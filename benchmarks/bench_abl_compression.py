@@ -1,0 +1,56 @@
+"""ABL-COMP — 128-bit compressed vs 256-bit uncompressed metadata.
+
+The compression scheme (Section 3.3) halves the through-memory metadata
+traffic: compare HWST128 (compressed, 2 x 64-bit shadow ops per
+pointer move) against the WDL-wide datapath (uncompressed 256-bit
+metadata, 32-byte shadow ops).
+"""
+
+import pytest
+
+from repro.harness.experiments import abl_compression
+from conftest import run_once, save_results
+
+WORKLOADS = ("tsp", "health")
+
+
+@pytest.fixture(scope="module")
+def data():
+    return abl_compression(workloads=WORKLOADS, scale="small")
+
+
+def test_abl_compression_generate(benchmark):
+    out = benchmark.pedantic(
+        abl_compression, kwargs={"workloads": ("tsp",),
+                                 "scale": "small"},
+        rounds=1, iterations=1)
+    assert out["rows"]
+
+
+def test_abl_compression_table(benchmark, data):
+    def check():
+        save_results("abl_compression", data)
+        print()
+        print(f"{'workload':10s}{'compressed oh':>15s}"
+              f"{'uncompressed oh':>17s}{'shadow bytes c/u':>20s}")
+        for row in data["rows"]:
+            print(f"{row['workload']:10s}{row['compressed_oh']:14.1f}%"
+                  f"{row['uncompressed_oh']:16.1f}%"
+                  f"{row['compressed_shadow_bytes']:>10d}/"
+                  f"{row['uncompressed_shadow_bytes']:<9d}")
+    run_once(benchmark, check)
+
+def test_abl_compression_halves_traffic(benchmark, data):
+    """Compressed metadata moves ~half the shadow bytes."""
+    def check():
+        for row in data["rows"]:
+            ratio = row["uncompressed_shadow_bytes"] / \
+                max(row["compressed_shadow_bytes"], 1)
+            assert ratio > 1.5, row
+    run_once(benchmark, check)
+
+def test_abl_compression_is_faster(benchmark, data):
+    def check():
+        for row in data["rows"]:
+            assert row["compressed_oh"] < row["uncompressed_oh"], row
+    run_once(benchmark, check)

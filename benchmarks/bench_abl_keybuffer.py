@@ -1,0 +1,78 @@
+"""ABL-KB — keybuffer size sweep (design choice of Section 3.5).
+
+The keybuffer's value: repeated temporal checks to hot locks skip the
+DCache key load. Sweeping 0..32 entries shows the hit-rate knee and
+diminishing returns beyond a small buffer — why the paper's tiny
+TLB-like structure (and its +112 FF budget) is enough.
+"""
+
+import pytest
+
+from repro.harness.experiments import abl_keybuffer
+from conftest import run_once, save_results
+
+WORKLOADS = ("hmmer", "tsp")
+SIZES = (0, 1, 2, 4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return abl_keybuffer(sizes=SIZES, workloads=WORKLOADS,
+                         scale="small")
+
+
+def test_abl_keybuffer_generate(benchmark):
+    data = benchmark.pedantic(
+        abl_keybuffer,
+        kwargs={"sizes": (0, 8), "workloads": ("hmmer",),
+                "scale": "small"},
+        rounds=1, iterations=1)
+    assert len(data["rows"]) == 2
+
+
+def test_abl_keybuffer_table(benchmark, sweep):
+    def check():
+        save_results("abl_keybuffer", sweep)
+        print()
+        print(f"{'entries':>8s}" + "".join(
+            f"{name + ' cyc':>14s}{'hit%':>7s}" for name in WORKLOADS))
+        for row in sweep["rows"]:
+            line = f"{row['entries']:8d}"
+            for name in WORKLOADS:
+                line += (f"{row[name]['cycles']:14d}"
+                         f"{100 * row[name]['hit_rate']:6.1f}%")
+            print(line)
+    run_once(benchmark, check)
+
+def test_abl_keybuffer_monotone_value(benchmark, sweep):
+    """More entries never hurt; zero entries are strictly worst."""
+    def check():
+        rows = {row["entries"]: row for row in sweep["rows"]}
+        for name in WORKLOADS:
+            zero = rows[0][name]["cycles"]
+            eight = rows[8][name]["cycles"]
+            assert eight < zero, f"{name}: keybuffer gave no benefit"
+            assert rows[8][name]["hit_rate"] > 0.5
+    run_once(benchmark, check)
+
+def test_abl_keybuffer_diminishing_returns(benchmark, sweep):
+    """The knee is early: 16 entries buy little over 8."""
+    def check():
+        rows = {row["entries"]: row for row in sweep["rows"]}
+        for name in WORKLOADS:
+            gain_0_8 = rows[0][name]["cycles"] - rows[8][name]["cycles"]
+            gain_8_16 = rows[8][name]["cycles"] - rows[16][name]["cycles"]
+            assert gain_8_16 <= gain_0_8
+    run_once(benchmark, check)
+
+def test_abl_keybuffer_replacement_policy(benchmark):
+    """LRU vs FIFO at a small size: LRU never loses, and both beat a
+    disabled buffer (the policy matters less than having one at all)."""
+    def check():
+        data = abl_keybuffer(sizes=(0, 2), workloads=("hmmer",),
+                             scale="small", policies=("lru", "fifo"))
+        rows = {(row["policy"], row["entries"]): row["hmmer"]
+                for row in data["rows"]}
+        assert rows[("lru", 2)]["cycles"] <= rows[("fifo", 2)]["cycles"]
+        assert rows[("fifo", 2)]["cycles"] <= rows[("fifo", 0)]["cycles"]
+    run_once(benchmark, check)

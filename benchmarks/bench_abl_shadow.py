@@ -1,0 +1,44 @@
+"""ABL-LMSM — SBCETS trie vs linear-mapped shadow memory (Section 2).
+
+The paper argues a linear map is more hardware-friendly; in software
+the trie pays a two-level walk per metadata operation. Comparing the
+two SBCETS runtimes isolates that cost.
+"""
+
+import pytest
+
+from repro.harness.experiments import abl_shadow_map
+from conftest import run_once, save_results
+
+WORKLOADS = ("tsp", "health")
+
+
+@pytest.fixture(scope="module")
+def data():
+    return abl_shadow_map(workloads=WORKLOADS, scale="small")
+
+
+def test_abl_shadow_generate(benchmark):
+    out = benchmark.pedantic(
+        abl_shadow_map, kwargs={"workloads": ("tsp",),
+                                "scale": "small"},
+        rounds=1, iterations=1)
+    assert out["rows"]
+
+
+def test_abl_shadow_table(benchmark, data):
+    def check():
+        save_results("abl_shadow", data)
+        print()
+        print(f"{'workload':10s}{'trie oh':>12s}{'linear oh':>12s}")
+        for row in data["rows"]:
+            print(f"{row['workload']:10s}{row['trie_oh']:11.1f}%"
+                  f"{row['linear_oh']:11.1f}%")
+    run_once(benchmark, check)
+
+def test_abl_trie_costs_more(benchmark, data):
+    """The trie walk makes software metadata ops strictly slower."""
+    def check():
+        for row in data["rows"]:
+            assert row["trie_oh"] > row["linear_oh"], row
+    run_once(benchmark, check)

@@ -1,0 +1,39 @@
+"""FIG2 — metadata compression field widths (Fig. 2 / Eq. 3-6).
+
+Regenerates the compressed metadata layout: the paper's platform
+parameters must give exactly 35/29/20/44, and the workload census must
+stay within the representable ranges.
+"""
+
+from repro.core.config import derive_field_widths
+from repro.harness.experiments import fig2_compression
+from conftest import run_once, save_results
+
+
+def test_fig2_paper_platform_widths(benchmark):
+    """256 GiB + 1 M locks -> the paper's 35/29/20/44 split."""
+    widths = benchmark(derive_field_widths, 256 << 30, 1 << 28, 1_000_000)
+    assert (widths.base, widths.range, widths.lock, widths.key) == \
+        (35, 29, 20, 44)
+
+
+def test_fig2_census(benchmark):
+    """Workload census: measured object sizes / lock usage fit the
+    configured widths (paper: >=25 range bits needed for SPEC2006)."""
+    data = benchmark.pedantic(
+        fig2_compression, kwargs={"scale": "small"},
+        rounds=1, iterations=1)
+    save_results("fig2_compression", data)
+    print()
+    print("FIG2 field widths (base/range/lock/key):")
+    print(f"  paper platform : {data['paper_platform']}")
+    print(f"  paper reference: {data['paper_reference']}")
+    print(f"  sim platform   : {data['sim_platform']}")
+    print(f"  census         : {data['census']}")
+    assert data["paper_platform"] == {"base": 35, "range": 29,
+                                      "lock": 20, "key": 44}
+    sim = data["sim_platform"]
+    assert sim["base"] + sim["range"] == 64
+    assert sim["lock"] + sim["key"] == 64
+    # Our census must fit comfortably inside the paper layout too.
+    assert data["census"]["max_object_bytes"] <= (1 << 29) * 8

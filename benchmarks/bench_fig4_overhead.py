@@ -1,0 +1,76 @@
+"""FIG4 — performance overhead of SBCETS / HWST128 / HWST128_tchk.
+
+Regenerates the Fig. 4 series on a representative workload subset at
+small scale (full suite: ``python -m repro.harness.experiments fig4``).
+Checks the calibrated shape: ordering SBCETS >> HWST128 > HWST128_tchk
+per workload, and geomeans in the calibrated bands recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig4_overhead
+from conftest import run_once, save_results
+
+SUBSET = ["stringsearch", "sha", "treeadd", "tsp", "health",
+          "lbm", "bzip2", "hmmer"]
+
+
+@pytest.fixture(scope="module")
+def fig4_data():
+    return fig4_overhead(scale="small", workloads=SUBSET)
+
+
+def test_fig4_generate(benchmark, fig4_data):
+    data = benchmark.pedantic(
+        fig4_overhead,
+        kwargs={"scale": "small", "workloads": ["treeadd"]},
+        rounds=1, iterations=1)
+    assert data["rows"]
+
+
+def test_fig4_table(benchmark, fig4_data):
+    def check():
+        data = fig4_data
+        save_results("fig4_overhead", data)
+        print()
+        print(f"{'workload':14s}{'sbcets':>12s}{'hwst128':>12s}"
+              f"{'hwst_tchk':>12s}")
+        for row in data["rows"]:
+            print(f"{row['workload']:14s}{row['sbcets']:11.1f}%"
+                  f"{row['hwst128']:11.1f}%{row['hwst128_tchk']:11.1f}%")
+        print(f"{'GEOMEAN':14s}{data['geomean']['sbcets']:11.1f}%"
+              f"{data['geomean']['hwst128']:11.1f}%"
+              f"{data['geomean']['hwst128_tchk']:11.1f}%")
+        print(f"{'paper':14s}{441.45:11.1f}%{152.91:11.1f}%{94.89:11.1f}%")
+    run_once(benchmark, check)
+
+def test_fig4_per_workload_ordering(benchmark, fig4_data):
+    """Every workload: software >> hardware > hardware+tchk."""
+    def check():
+        for row in fig4_data["rows"]:
+            assert row["sbcets"] > row["hwst128"], row
+            assert row["hwst128"] >= row["hwst128_tchk"], row
+            assert row["hwst128_tchk"] >= 0, row
+    run_once(benchmark, check)
+
+def test_fig4_geomean_bands(benchmark, fig4_data):
+    """Shape check: SBCETS in the several-hundred-percent band, the
+    hardware variants roughly an order of magnitude lower."""
+    def check():
+        geomean = fig4_data["geomean"]
+        assert 200 <= geomean["sbcets"] <= 900
+        assert 30 <= geomean["hwst128"] <= 300
+        assert 10 <= geomean["hwst128_tchk"] <= 200
+        # tchk buys a clear further reduction (the keybuffer's value).
+        assert geomean["hwst128_tchk"] < geomean["hwst128"]
+    run_once(benchmark, check)
+
+def test_fig4_speedup_over_software(benchmark, fig4_data):
+    """The headline: HWST128 is ~3.7x faster than SBCETS (Sec. 5.1)."""
+    def check():
+        geomean = fig4_data["geomean"]
+        factor = (1 + geomean["sbcets"] / 100) / \
+            (1 + geomean["hwst128_tchk"] / 100)
+        assert factor > 2.0, f"hardware speedup collapsed: {factor:.2f}x"
+    run_once(benchmark, check)

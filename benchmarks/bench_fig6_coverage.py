@@ -1,0 +1,84 @@
+"""FIG6 — Juliet security coverage of GCC / ASAN / SBCETS / HWST128.
+
+Runs a stratified sample of the generated corpus (proportions preserved,
+so expected percentages match the full corpus) under all four schemes
+and compares against the paper's coverage.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig6_coverage
+from repro.workloads.juliet import corpus_counts
+from conftest import run_once, save_results
+
+FRACTION = 0.012
+
+
+@pytest.fixture(scope="module")
+def fig6_data():
+    return fig6_coverage(fraction=FRACTION)
+
+
+def test_fig6_corpus_counts(benchmark):
+    """Section 4: 7074 spatial + 1292 temporal = 8366 cases."""
+    def check():
+        counts = corpus_counts()
+        assert counts["spatial"] == 7074
+        assert counts["temporal"] == 1292
+        assert counts["total"] == 8366
+    run_once(benchmark, check)
+
+def test_fig6_generate(benchmark):
+    data = benchmark.pedantic(
+        fig6_coverage,
+        kwargs={"fraction": 0.003, "schemes": ("gcc",)},
+        rounds=1, iterations=1)
+    assert "coverage" in data
+
+
+def test_fig6_table(benchmark, fig6_data):
+    def check():
+        save_results("fig6_coverage", fig6_data)
+        print()
+        print(fig6_data["table"])
+    run_once(benchmark, check)
+
+def test_fig6_coverage_close_to_paper(benchmark, fig6_data):
+    """Sampled coverage within a few points of Fig. 6."""
+    def check():
+        coverage = fig6_data["coverage"]
+        paper = fig6_data["paper_coverage"]
+        for scheme, expected in paper.items():
+            assert abs(coverage[scheme] - expected) < 8.0, \
+                f"{scheme}: {coverage[scheme]:.1f}% vs paper {expected}%"
+    run_once(benchmark, check)
+
+def test_fig6_orderings(benchmark, fig6_data):
+    """SBCETS >= HWST128 > ASAN >> GCC (Fig. 6 structure)."""
+    def check():
+        coverage = fig6_data["coverage"]
+        assert coverage["sbcets"] >= coverage["hwst128_tchk"]
+        assert coverage["hwst128_tchk"] > coverage["asan"]
+        assert coverage["asan"] > coverage["gcc"]
+    run_once(benchmark, check)
+
+def test_fig6_asan_misses_cwe690(benchmark, fig6_data):
+    """The paper's singled-out difference: ASAN detects none of
+    CWE690 (NULL deref from return with mapped offsets)."""
+    def check():
+        assert fig6_data["per_cwe"]["asan"].get(690, 0.0) == 0.0
+        assert fig6_data["per_cwe"]["sbcets"].get(690, 0.0) == 100.0
+    run_once(benchmark, check)
+
+def test_fig6_hwst_trails_sbcets_only_on_cwe122(benchmark, fig6_data):
+    """HWST128's only deficit vs SBCETS is CWE122 (compression
+    padding on odd-sized heap objects)."""
+    def check():
+        sbcets = fig6_data["per_cwe"]["sbcets"]
+        hwst = fig6_data["per_cwe"]["hwst128_tchk"]
+        for cwe in sbcets:
+            if cwe == 122:
+                assert hwst[cwe] <= sbcets[cwe]
+            else:
+                assert abs(hwst[cwe] - sbcets[cwe]) < 1e-9, cwe
+    run_once(benchmark, check)

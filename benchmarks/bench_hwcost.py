@@ -1,0 +1,51 @@
+"""TAB-HW — Section 5.3 hardware cost (+LUTs/+FFs/critical path)."""
+
+import pytest
+
+from repro.core.config import HwstConfig
+from repro.harness.experiments import hwcost_table
+from conftest import run_once, save_results
+
+
+@pytest.fixture(scope="module")
+def cost_data():
+    return hwcost_table()
+
+
+def test_hwcost_generate(benchmark):
+    data = benchmark(hwcost_table)
+    assert data["added_luts"] > 0
+
+
+def test_hwcost_table(benchmark, cost_data):
+    def check():
+        save_results("hwcost", cost_data)
+        print()
+        print(cost_data["table"])
+        paper = cost_data["paper"]
+        print(f"paper: +{paper['luts']} LUTs (+{paper['lut_pct']}%), "
+              f"+{paper['ffs']} FFs (+{paper['ff_pct']}%), "
+              f"{paper['cp_before']} -> {paper['cp_after']} ns")
+    run_once(benchmark, check)
+
+def test_hwcost_matches_paper(benchmark, cost_data):
+    def check():
+        paper = cost_data["paper"]
+        assert cost_data["added_luts"] == pytest.approx(paper["luts"],
+                                                        rel=0.05)
+        assert cost_data["added_ffs"] == pytest.approx(paper["ffs"],
+                                                       rel=0.10)
+        assert cost_data["lut_overhead_pct"] == pytest.approx(
+            paper["lut_pct"], abs=0.25)
+        assert cost_data["ff_overhead_pct"] == pytest.approx(
+            paper["ff_pct"], abs=0.10)
+        assert cost_data["critical_path_after_ns"] == pytest.approx(
+            paper["cp_after"], abs=0.15)
+    run_once(benchmark, check)
+
+def test_hwcost_scales_with_keybuffer(benchmark):
+    def check():
+        small = hwcost_table(HwstConfig(keybuffer_entries=2))
+        large = hwcost_table(HwstConfig(keybuffer_entries=32))
+        assert large["added_luts"] > small["added_luts"]
+    run_once(benchmark, check)

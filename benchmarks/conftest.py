@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each ``bench_*`` file regenerates one paper artefact (figure/table) at
+a reduced scale so ``pytest benchmarks/ --benchmark-only`` stays
+laptop-friendly; the full-scale runs are the ``repro.harness.experiments``
+CLI (see EXPERIMENTS.md). Results are also written to
+``benchmarks/results/*.json`` for inspection.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_results(name: str, data):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, default=str)
+    return path
+
+
+@pytest.fixture
+def results_saver():
+    return save_results
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Register ``fn`` with pytest-benchmark, executed exactly once.
+
+    Used for validation/table tests so the whole suite runs under
+    ``--benchmark-only`` (which skips tests without the fixture).
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

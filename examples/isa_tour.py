@@ -1,0 +1,107 @@
+"""Hand-written HWST128 assembly: the metadata flows of Fig. 1.
+
+Walks the paper's Figure 1 with real instructions on the simulator:
+
+  (a) metadata create + bind (`bndrs`/`bndrt`) and the fused deref check
+  (b) in-pipeline propagation (register moves carry the SRF entry)
+  (c) through-memory propagation on a pointer store (`sbdl`/`sbdu`)
+  (d) through-memory propagation on a pointer load (`lbdls`/`lbdus`)
+
+Run:  python examples/isa_tour.py
+"""
+
+from repro.core.config import HwstConfig
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+from repro.sim.memory import DEFAULT_LAYOUT
+from repro.sim.program import Program
+
+HEAP = DEFAULT_LAYOUT.heap_base
+LOCK0 = HwstConfig().lock_base
+
+ASM = f"""
+_start:
+    # --- (a) metadata create and bind -------------------------------
+    # an "allocation" at the start of the heap, 64 bytes
+    lui   t0, {HEAP >> 12}          # t0 = pointer (base)
+    addi  t1, t0, 64                # t1 = bound
+    bndrs t0, t0, t1                # SRF[t0] <- compressed spatial
+
+    lui   t3, {LOCK0 >> 12}         # t3 = lock_location address
+    addi  t2, zero, 77              # t2 = unique key
+    sd    t2, 0(t3)                 # *lock = key
+    bndrt t0, t2, t3                # SRF[t0] <- compressed temporal
+
+    # fused checks on a dereference of t0
+    tchk  t0                        # temporal: keybuffer + key compare
+    addi  t4, zero, 123
+    sd.chk t4, 8(t0)                # spatial check fused with the store
+
+    # --- (b) in-pipeline propagation ---------------------------------
+    addi  t5, t0, 16                # pointer arithmetic: SRF follows
+    tchk  t5
+    ld.chk t6, 0(t5)                # still fully checked
+
+    # --- (c) through-memory propagation: store ----------------------
+    addi  s1, t0, 128               # s1 = container address in the heap
+    sd    t0, 0(s1)                 # store the pointer itself
+    sbdl  t0, 0(s1)                 # store compressed lower half
+    sbdu  t0, 0(s1)                 # store compressed upper half
+
+    # --- (d) through-memory propagation: load -----------------------
+    ld    s2, 0(s1)                 # reload the pointer
+    lbdls s2, 0(s1)                 # reload metadata into SRF[s2]
+    lbdus s2, 0(s1)
+    tchk  s2
+    ld.chk a0, 8(s2)                # reads back the 123 stored above
+
+    # decompressing loads for wrapper code (lbas/lbnd/lkey/lloc)
+    lbas  s3, 0(s1)
+    lbnd  s4, 0(s1)
+    lkey  s5, 0(s1)
+    lloc  s6, 0(s1)
+
+    addi  a7, zero, 93              # exit(a0)
+    ecall
+"""
+
+
+def main():
+    instrs = assemble(ASM, base_pc=DEFAULT_LAYOUT.text_base)
+    program = Program(instrs=instrs, entry=DEFAULT_LAYOUT.text_base)
+    machine = Machine()
+    result = machine.run(program)
+
+    print("Fig. 1 metadata-flow tour")
+    print("-" * 60)
+    print(f"status     : {result.status} (exit={result.exit_code}; "
+          f"the 123 written through the checked store)")
+    print(f"instret    : {result.instret}")
+    print(f"hwst ops   : {result.stats['hwst_ops']}")
+    print(f"keybuffer  : {result.stats['kb_hits']} hits / "
+          f"{result.stats['kb_misses']} misses")
+    print()
+    base, bound, key, lock = machine.srf_metadata(18)  # s2
+    print("SRF entry reloaded from shadow memory (step d):")
+    print(f"  base={base:#x} bound={bound:#x} key={key} lock={lock:#x}")
+    print()
+    print("decompressed into GPRs by lbas/lbnd/lkey/lloc:")
+    for name, reg in (("base", 19), ("bound", 20), ("key", 21),
+                      ("lock", 22)):
+        print(f"  {name:5s} = {machine.regs[reg]:#x}")
+    print()
+    print("now free the object (erase the key) and watch tchk fire:")
+    bad = ASM.replace(
+        "    addi  a7, zero, 93              # exit(a0)",
+        "    sd    zero, 0(t3)               # free: erase the key\n"
+        "    tchk  s2                        # dangling pointer!\n"
+        "    addi  a7, zero, 93              # exit(a0)")
+    instrs = assemble(bad, base_pc=DEFAULT_LAYOUT.text_base)
+    result = Machine().run(Program(instrs=instrs,
+                                   entry=DEFAULT_LAYOUT.text_base))
+    print(f"  -> {result.status}")
+    print(f"     {result.detail}")
+
+
+if __name__ == "__main__":
+    main()

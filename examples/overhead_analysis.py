@@ -1,0 +1,56 @@
+"""Where do the cycles go? Overhead anatomy of the protection schemes.
+
+Runs one pointer-chasing and one compute-heavy workload under the
+Fig. 4 schemes and breaks the cycle count into the timing model's
+components (base issue, load-use stalls, redirects, D$ misses,
+metadata-unit cycles) plus keybuffer statistics — the microarchitecture
+story behind the paper's numbers.
+
+Run:  python examples/overhead_analysis.py
+"""
+
+from repro.harness.runner import perf_overhead_pct, run_workload
+
+WORKLOADS = ("tsp", "sha")
+SCHEMES = ("baseline", "sbcets", "hwst128", "hwst128_tchk")
+
+
+def main():
+    for name in WORKLOADS:
+        print(f"=== {name} ===")
+        base_cycles = None
+        header = (f"{'scheme':14s}{'cycles':>10s}{'perf.oh':>9s}"
+                  f"{'instret':>9s}{'d$miss':>8s}{'kb hit%':>9s}"
+                  f"{'meta ops':>9s}")
+        print(header)
+        for scheme in SCHEMES:
+            result = run_workload(name, scheme, scale="small")
+            if not result.ok:
+                raise SystemExit(f"{name}/{scheme}: {result.status}")
+            if scheme == "baseline":
+                base_cycles = result.cycles
+            overhead = perf_overhead_pct(result.cycles, base_cycles)
+            stats = result.stats
+            hits = stats.get("kb_hits", 0)
+            misses = stats.get("kb_misses", 0)
+            hit_rate = 100 * hits / (hits + misses) if hits + misses \
+                else 0.0
+            print(f"{scheme:14s}{result.cycles:>10d}"
+                  f"{overhead:>8.1f}%{result.instret:>9d}"
+                  f"{stats.get('dcache_misses', 0):>8d}"
+                  f"{hit_rate:>8.1f}%"
+                  f"{stats.get('shadow_ops', 0):>9d}")
+        # cycle breakdown of the full hardware scheme
+        result = run_workload(name, "hwst128_tchk", scale="small")
+        parts = {key[4:]: value for key, value in result.stats.items()
+                 if key.startswith("cyc_")}
+        total = sum(parts.values())
+        print("hwst128_tchk cycle breakdown: " + ", ".join(
+            f"{part}={100 * value / total:.1f}%"
+            for part, value in sorted(parts.items(), key=lambda p: -p[1])
+            if value))
+        print()
+
+
+if __name__ == "__main__":
+    main()

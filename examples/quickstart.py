@@ -1,0 +1,60 @@
+"""Quickstart: compile a mini-C program and run it under HWST128.
+
+Shows the one-call API (`repro.compile_and_run`), the cycle counts the
+timing model produces, and a memory-safety bug being caught by the
+hardware checks.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_and_run
+
+PROGRAM = r"""
+int main(void) {
+    long *data = (long*)malloc(8 * sizeof(long));
+    long sum = 0;
+    int i;
+    for (i = 0; i < 8; i++) { data[i] = i * i; }
+    for (i = 0; i < 8; i++) { sum += data[i]; }
+    print_str("sum of squares 0..7 = ");
+    print_int(sum);
+    print_char(10);
+    free(data);
+    return sum == 140 ? 0 : 1;
+}
+"""
+
+BUGGY = r"""
+int main(void) {
+    long *data = (long*)malloc(8 * sizeof(long));
+    free(data);
+    return (int)data[0];   /* use after free */
+}
+"""
+
+
+def main():
+    print("=== clean program ===")
+    for scheme in ("baseline", "hwst128_tchk"):
+        result = compile_and_run(PROGRAM, scheme=scheme)
+        print(f"{scheme:14s} status={result.status:6s} "
+              f"exit={result.exit_code} "
+              f"instructions={result.instret} cycles={result.cycles}")
+        print(f"{'':14s} output: {result.output_text().strip()!r}")
+    base = compile_and_run(PROGRAM, scheme="baseline")
+    hwst = compile_and_run(PROGRAM, scheme="hwst128_tchk")
+    overhead = 100.0 * (hwst.cycles / base.cycles - 1)
+    print(f"\nHWST128 overhead on this program: {overhead:.1f}% "
+          f"(Eq. 7 of the paper)")
+
+    print("\n=== use-after-free ===")
+    unprotected = compile_and_run(BUGGY, scheme="baseline")
+    protected = compile_and_run(BUGGY, scheme="hwst128_tchk")
+    print(f"baseline      -> {unprotected.status} "
+          f"(exit={unprotected.exit_code}: silent garbage)")
+    print(f"hwst128_tchk  -> {protected.status}")
+    print(f"               {protected.detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,220 @@
+"""Command-line toolchain: compile, run, inspect.
+
+The CLI face of the reproduction (the paper's contribution #4 is an
+open-source tool chain)::
+
+    python -m repro run prog.c --scheme hwst128_tchk --stats
+    python -m repro compile prog.c --disasm
+    python -m repro schemes
+    python -m repro workloads --run treeadd --scheme sbcets
+    python -m repro juliet --cwe 416 --limit 3 --scheme asan
+    python -m repro experiments fig4 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import HwstConfig
+from repro.errors import ReproError
+from repro.harness.runner import detected
+from repro.pipeline.timing import InOrderPipeline
+from repro.schemes import SCHEMES, compile_source
+from repro.sim.machine import Machine
+from repro.workloads import WORKLOADS
+
+
+def _read_source(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def _print_result(result, stats: bool):
+    print(f"status : {result.status}")
+    if result.status == "exit":
+        print(f"exit   : {result.exit_code}")
+    if result.detail:
+        print(f"detail : {result.detail}")
+    if result.output:
+        print(f"output : {result.output_text()!r}")
+    print(f"instret: {result.instret}")
+    print(f"cycles : {result.cycles}")
+    if stats:
+        print("stats  :")
+        for key in sorted(result.stats):
+            print(f"  {key:18s} {result.stats[key]}")
+
+
+def cmd_run(args) -> int:
+    source = _read_source(args.file)
+    program = compile_source(source, args.scheme, HwstConfig())
+    timing = None if args.no_timing else InOrderPipeline()
+    machine = Machine(timing=timing, trace_depth=args.trace)
+    result = machine.run(program, max_instructions=args.max_instructions)
+    _print_result(result, args.stats)
+    if args.trace and result.status != "exit":
+        print("\nlast retired instructions:")
+        print(machine.trace_text())
+    return 0 if result.status == "exit" and result.exit_code == 0 else 1
+
+
+def cmd_compile(args) -> int:
+    source = _read_source(args.file)
+    program = compile_source(source, args.scheme, HwstConfig())
+    print(f"scheme      : {args.scheme}")
+    print(f"text        : {program.text_base:#x}..{program.text_end:#x} "
+          f"({len(program.instrs)} instructions)")
+    data = program.segments[0] if program.segments else None
+    if data is not None:
+        print(f"data        : {data.addr:#x} (+{len(data.data)} bytes)")
+    print(f"entry       : {program.entry:#x}")
+    if args.encode:
+        from repro.isa.encoding import encode_program
+
+        blob = encode_program(program.instrs)
+        with open(args.encode, "wb") as fh:
+            fh.write(blob)
+        print(f"machine code: {args.encode} ({len(blob)} bytes)")
+    if args.disasm:
+        print()
+        print(program.listing())
+    return 0
+
+
+def cmd_schemes(_args) -> int:
+    width = max(len(name) for name in SCHEMES) + 2
+    for name, spec in SCHEMES.items():
+        print(f"{name:{width}s}{spec.description}")
+    return 0
+
+
+def cmd_workloads(args) -> int:
+    if args.run is None:
+        width = max(len(name) for name in WORKLOADS) + 2
+        for name, workload in WORKLOADS.items():
+            print(f"{workload.group:8s} {name:{width}s}"
+                  f"{workload.description}")
+        return 0
+    workload = WORKLOADS.get(args.run)
+    if workload is None:
+        print(f"unknown workload {args.run!r}", file=sys.stderr)
+        return 1
+    from repro.harness.runner import run_workload
+
+    result = run_workload(args.run, args.scheme, scale=args.scale)
+    _print_result(result, args.stats)
+    return 0 if result.ok else 1
+
+
+def cmd_juliet(args) -> int:
+    from repro.harness.runner import run_program
+    from repro.workloads.juliet import generate_corpus
+
+    cwes = [args.cwe] if args.cwe else None
+    cases = generate_corpus(fraction=1.0, cwes=cwes,
+                            max_per_subtype=args.limit)
+    for case in cases:
+        if args.show:
+            print(f"=== {case.case_id} (flow {case.flow}) ===")
+            print(case.bad_source)
+            continue
+        result = run_program(case.bad_source, args.scheme, timing=False,
+                             max_instructions=3_000_000)
+        verdict = "DETECTED" if detected(args.scheme, result) else \
+            "missed"
+        print(f"{case.case_id:38s} {result.status:20s} {verdict}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.harness import experiments
+
+    return experiments.main(args.rest)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HWST128 reproduction tool chain")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="compile and execute a mini-C file")
+    run_p.add_argument("file")
+    run_p.add_argument("--scheme", default="baseline",
+                       choices=sorted(SCHEMES))
+    run_p.add_argument("--stats", action="store_true")
+    run_p.add_argument("--no-timing", action="store_true")
+    run_p.add_argument("--trace", type=int, default=0, metavar="N",
+                       help="keep the last N instructions for post-mortem")
+    run_p.add_argument("--max-instructions", type=int,
+                       default=200_000_000)
+    run_p.set_defaults(fn=cmd_run)
+
+    compile_p = sub.add_parser("compile",
+                               help="compile and inspect a mini-C file")
+    compile_p.add_argument("file")
+    compile_p.add_argument("--scheme", default="baseline",
+                           choices=sorted(SCHEMES))
+    compile_p.add_argument("--disasm", action="store_true",
+                           help="print the full assembly listing")
+    compile_p.add_argument("--encode", metavar="OUT.BIN",
+                           help="write binary machine code")
+    compile_p.set_defaults(fn=cmd_compile)
+
+    schemes_p = sub.add_parser("schemes", help="list protection schemes")
+    schemes_p.set_defaults(fn=cmd_schemes)
+
+    workloads_p = sub.add_parser("workloads",
+                                 help="list or run benchmark workloads")
+    workloads_p.add_argument("--run", metavar="NAME")
+    workloads_p.add_argument("--scheme", default="baseline",
+                             choices=sorted(SCHEMES))
+    workloads_p.add_argument("--scale", default="default",
+                             choices=("default", "small"))
+    workloads_p.add_argument("--stats", action="store_true")
+    workloads_p.set_defaults(fn=cmd_workloads)
+
+    juliet_p = sub.add_parser("juliet",
+                              help="generate/run Juliet-style cases")
+    juliet_p.add_argument("--cwe", type=int)
+    juliet_p.add_argument("--limit", type=int, default=1,
+                          help="cases per subtype")
+    juliet_p.add_argument("--scheme", default="hwst128_tchk",
+                          choices=sorted(SCHEMES))
+    juliet_p.add_argument("--show", action="store_true",
+                          help="print sources instead of running")
+    juliet_p.set_defaults(fn=cmd_juliet)
+
+    experiments_p = sub.add_parser(
+        "experiments", help="regenerate paper figures "
+        "(see repro.harness.experiments)")
+    experiments_p.add_argument("rest", nargs=argparse.REMAINDER)
+    experiments_p.set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # `experiments` forwards everything verbatim (argparse's REMAINDER
+    # refuses leading options like `--list`).
+    if argv and argv[0] == "experiments":
+        from repro.harness import experiments
+
+        return experiments.main(argv[1:])
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+    except ReproError as err:
+        print(f"error: {type(err).__name__}: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

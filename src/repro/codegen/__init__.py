@@ -1,0 +1,14 @@
+"""RV64 code generation, runtime library and linking.
+
+* :mod:`repro.codegen.lower` — IR -> RV64 instruction selection with a
+  per-block temp allocator (-O0 register pressure model);
+* :mod:`repro.codegen.runtime` — the mini-C runtime library sources
+  (allocator, string ops, printing, lock table, per-scheme runtimes);
+* :mod:`repro.codegen.link` — program assembly: global layout, asm
+  stubs, ``_start``, symbol resolution, the final :class:`Program`.
+"""
+
+from repro.codegen.lower import CodegenOptions, compile_function
+from repro.codegen.link import build_program
+
+__all__ = ["CodegenOptions", "compile_function", "build_program"]

@@ -1,0 +1,193 @@
+"""Program assembly: lay out globals, emit stubs, resolve symbols.
+
+``build_program`` turns a (possibly instrumented) IR module plus the
+runtime into a loadable :class:`Program`:
+
+1. globals (user + runtime + string literals) are placed in the data
+   segment with their alignment;
+2. every IR function is lowered by :mod:`repro.codegen.lower`;
+3. assembly stubs provide the ecall veneers and platform constants
+   (heap window, lock table window, shadow offset) that the mini-C
+   runtime cannot express;
+4. ``_start`` programs the HWST128 CSRs (the paper: field widths and
+   the shadow offset are set at the beginning of the program), calls
+   ``__rt_init`` then ``main``, and exits with main's return value;
+5. call/hi/lo relocations are patched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import bits
+from repro.core.config import HwstConfig
+from repro.errors import LinkError
+from repro.isa import csr as csrdef
+from repro.isa.instructions import Instr, li_sequence
+from repro.isa.registers import A0, A7, RA, T0, ZERO
+from repro.ir.ir import Module
+from repro.codegen.lower import CodegenOptions, compile_function
+from repro.sim.memory import DEFAULT_LAYOUT, MemoryLayout
+from repro.sim.machine import SYS_ABORT, SYS_EXIT, SYS_WRITE
+
+# ecall numbers for the classified safety aborts (see machine handling
+# in repro.schemes.run: these appear as abort reasons).
+SYS_TRAP_SPATIAL = 1001
+SYS_TRAP_TEMPORAL = 1002
+SYS_TRAP_ASAN = 1003
+SYS_TRAP_CANARY = 1004
+
+
+def _stub_ret() -> Instr:
+    return Instr("jalr", rd=ZERO, rs1=RA, imm=0)
+
+
+def _const_stub(value: int) -> List[Instr]:
+    return li_sequence(A0, value) + [_stub_ret()]
+
+
+def _ecall_stub(number: int, returns: bool = True) -> List[Instr]:
+    out = li_sequence(A7, number) + [Instr("ecall")]
+    if returns:
+        out.append(_stub_ret())
+    return out
+
+
+def asm_stubs(config: HwstConfig,
+              layout: MemoryLayout) -> Dict[str, List[Instr]]:
+    """Hand-written assembly functions linked into every program."""
+    return {
+        "exit": _ecall_stub(SYS_EXIT, returns=False),
+        "abort": _ecall_stub(SYS_ABORT, returns=False),
+        "__ecall_write": _ecall_stub(SYS_WRITE),
+        "__trap_spatial": _ecall_stub(SYS_TRAP_SPATIAL, returns=False),
+        "__trap_temporal": _ecall_stub(SYS_TRAP_TEMPORAL, returns=False),
+        "__trap_asan": _ecall_stub(SYS_TRAP_ASAN, returns=False),
+        "__trap_canary": _ecall_stub(SYS_TRAP_CANARY, returns=False),
+        "__heap_base": _const_stub(layout.heap_base),
+        "__heap_end": _const_stub(layout.heap_top),
+        "__lock_table_base": _const_stub(config.lock_base),
+        "__lock_table_end": _const_stub(config.lock_limit),
+        "__shadow_offset": _const_stub(config.shadow_offset),
+        "__cycles": [Instr("csrrs", rd=A0, rs1=ZERO, imm=csrdef.CYCLE),
+                     _stub_ret()],
+    }
+
+
+def _start_code(config: HwstConfig) -> List[Instr]:
+    """Entry stub: program the HWST128 CSRs, init the runtime, run main."""
+    widths = config.widths
+    packed = csrdef.pack_meta_widths(widths.base, widths.range,
+                                     widths.lock, widths.key)
+    out: List[Instr] = []
+    for csr_addr, value in (
+        (csrdef.HWST_SM_OFFSET, config.shadow_offset),
+        (csrdef.HWST_META_WIDTHS, packed),
+        (csrdef.HWST_LOCK_BASE, config.lock_base),
+        (csrdef.HWST_LOCK_LIMIT, config.lock_limit),
+    ):
+        out += li_sequence(T0, value)
+        out.append(Instr("csrrw", rd=ZERO, rs1=T0, imm=csr_addr))
+    out.append(Instr("jal", rd=RA, sym="__rt_init", sym_kind="call"))
+    out.append(Instr("jal", rd=RA, sym="main", sym_kind="call"))
+    out += li_sequence(A7, SYS_EXIT)
+    out.append(Instr("ecall"))
+    return out
+
+
+def build_program(module: Module,
+                  config: Optional[HwstConfig] = None,
+                  layout: MemoryLayout = DEFAULT_LAYOUT,
+                  options: Optional[CodegenOptions] = None,
+                  meta: Optional[dict] = None):
+    """Link ``module`` into an executable :class:`Program`."""
+    from repro.sim.program import Program, Segment
+
+    config = config or HwstConfig()
+    options = options or CodegenOptions()
+
+    if "main" not in module.functions:
+        raise LinkError("no main() in module")
+    if "__rt_init" not in module.functions:
+        raise LinkError("no __rt_init() — runtime not linked in")
+
+    # 1. Data segment layout.
+    global_addr: Dict[str, int] = {}
+    cursor = layout.data_base
+    blob = bytearray()
+    for data in module.globals.values():
+        align = max(data.align, 8 if not data.is_string else 1)
+        aligned = bits.align_up(cursor, align)
+        blob += b"\x00" * (aligned - cursor)
+        cursor = aligned
+        global_addr[data.name] = cursor
+        chunk = data.data.ljust(data.size, b"\x00")
+        blob += chunk
+        cursor += data.size
+    if cursor > layout.heap_base:
+        raise LinkError(
+            f"data segment overflows into the heap "
+            f"({cursor:#x} > {layout.heap_base:#x})")
+
+    # 2. Compile functions.
+    chunks: List[tuple] = [("_start", _start_code(config))]
+    for name, code in asm_stubs(config, layout).items():
+        if name in module.functions:
+            continue  # a runtime/user definition overrides the stub
+        chunks.append((name, code))
+    for name, fn in module.functions.items():
+        chunks.append((name, compile_function(fn, options)))
+
+    # 3. Place sequentially.
+    func_addr: Dict[str, int] = {}
+    instrs: List[Instr] = []
+    for name, code in chunks:
+        func_addr[name] = layout.text_base + 4 * len(instrs)
+        instrs.extend(code)
+    text_end = layout.text_base + 4 * len(instrs)
+    if text_end > layout.data_base:
+        raise LinkError(f"text overflows data base ({text_end:#x})")
+
+    # 4. Patch relocations.
+    for index, ins in enumerate(instrs):
+        if ins.sym is None:
+            continue
+        pc = layout.text_base + 4 * index
+        if ins.sym_kind == "call":
+            target = func_addr.get(ins.sym)
+            if target is None:
+                raise LinkError(f"undefined function {ins.sym!r}")
+            offset = target - pc
+            if not bits.fits_signed(offset, 21):
+                raise LinkError(f"call to {ins.sym!r} out of jal range")
+            ins.imm = offset
+        elif ins.sym_kind in ("hi", "lo"):
+            addr = global_addr.get(ins.sym)
+            if addr is None:
+                raise LinkError(f"undefined global {ins.sym!r}")
+            hi = (addr + 0x800) >> 12
+            if ins.sym_kind == "hi":
+                ins.imm = hi & 0xFFFFF
+            else:
+                ins.imm = addr - (hi << 12)
+        else:
+            raise LinkError(
+                f"unresolved local label {ins.sym!r} escaped codegen")
+        ins.sym = None
+        ins.sym_kind = ""
+
+    symbols = dict(func_addr)
+    symbols.update(global_addr)
+    program_meta = dict(module.meta)
+    if meta:
+        program_meta.update(meta)
+    return Program(
+        instrs=instrs,
+        entry=func_addr["_start"],
+        text_base=layout.text_base,
+        segments=[Segment(addr=layout.data_base, data=bytes(blob),
+                          name="data")],
+        symbols=symbols,
+        layout=layout,
+        meta=program_meta,
+    )

@@ -1,0 +1,649 @@
+"""IR -> RV64 lowering (-O0 style).
+
+Frame layout (descending from the frame pointer ``s0``)::
+
+    s0 -  8   saved ra
+    s0 - 16   saved old s0
+              __canary          (gcc scheme; adjacent to saved regs)
+              object locals     (arrays/structs/address-taken)
+              scalar locals     (params, named scalars, hidden temps)
+              spill slots       (expression-tree overflow, call spills)
+
+Temporaries use t0-t6 with a per-block allocator; values crossing
+statements live in slots (the IR guarantees this). ``gp`` is reserved as
+an addressing scratch register for frames larger than the 12-bit
+immediate range. Pointer-typed temporaries that must survive a call or
+a spill carry their metadata with them through the shadow of the spill
+slot, using whichever metadata instructions the active scheme provides
+(HWST128 ``sbd/lbd``, MPX ``bndstx/bndldx``, AVX ``vst256/vld256``) —
+this is exactly the register-spill metadata traffic the paper's SRF is
+designed to keep cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import bits
+from repro.errors import CodegenError
+from repro.isa.instructions import Instr, li_sequence
+from repro.isa.registers import A0, GP, RA, S0, SP, T0, ZERO
+from repro.ir import ir as irdef
+
+TEMP_REGS = (5, 6, 7, 28, 29, 30, 31)          # t0-t6
+SPILL_SLOTS = 24
+
+
+@dataclass(frozen=True)
+class CodegenOptions:
+    """Scheme-dependent lowering knobs."""
+
+    # How pointer metadata travels when a pointer temp is spilled:
+    # None (no metadata), "hwst" (sbdl/sbdu + lbdls/lbdus),
+    # "mpx" (bndstx/bndldx), "avx" (vst256/vld256).
+    spill_meta: Optional[str] = None
+
+
+_LOAD_OPS = {(1, True): "lb", (1, False): "lbu", (2, True): "lh",
+             (2, False): "lhu", (4, True): "lw", (4, False): "lwu",
+             (8, True): "ld", (8, False): "ld"}
+_STORE_OPS = {1: "sb", 2: "sh", 4: "sw", 8: "sd"}
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class _FnEmitter:
+    def __init__(self, fn: irdef.Function, options: CodegenOptions):
+        self.fn = fn
+        self.options = options
+        self.out: List[Instr] = []
+        self.labels: Dict[str, int] = {}
+        self._layout_frame()
+        # allocator state (reset per block)
+        self.regmap: Dict[int, int] = {}
+        self.spillmap: Dict[int, int] = {}
+        self.free_regs: List[int] = []
+        self.free_spills: List[int] = []
+        self.last_use: Dict[int, int] = {}
+        self.cur_index = 0
+
+    # ------------------------------------------------------------------
+    # Frame
+    # ------------------------------------------------------------------
+
+    def _layout_frame(self):
+        slots = list(self.fn.locals.values())
+        canary = [s for s in slots if s.name == "__canary"]
+        objects = [s for s in slots
+                   if s.is_object and s.name != "__canary"]
+        scalars = [s for s in slots
+                   if not s.is_object and s.name != "__canary"]
+        self.slot_offset: Dict[str, int] = {}
+        cursor = 16  # ra + old s0
+        for slot in canary + objects + scalars:
+            # Stack objects are 8-aligned regardless of element type:
+            # the metadata compression drops 3 base bits (Eq. 3) and
+            # ASAN's shadow bytes cover 8-byte granules, so object
+            # bases must sit on the grid (compilers do the same).
+            align = max(slot.align, 8) if slot.is_object \
+                else max(slot.align, 1)
+            cursor = _align_up(cursor + slot.size, align)
+            self.slot_offset[slot.name] = cursor
+        cursor = _align_up(cursor, 8)
+        self.spill_base = cursor + 8
+        cursor += 8 * SPILL_SLOTS
+        self.frame_size = _align_up(cursor, 16)
+
+    def local_offset(self, name: str) -> int:
+        try:
+            return self.slot_offset[name]
+        except KeyError:
+            raise CodegenError(
+                f"{self.fn.name}: unknown local {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, op, **kw) -> Instr:
+        ins = Instr(op, **kw) if isinstance(op, str) else op
+        self.out.append(ins)
+        return ins
+
+    def emit_li(self, rd: int, value: int):
+        for ins in li_sequence(rd, value):
+            self.out.append(ins)
+
+    def emit_mv(self, rd: int, rs: int):
+        if rd != rs:
+            self.emit("addi", rd=rd, rs1=rs, imm=0)
+
+    def slot_base_imm(self, offset: int) -> Tuple[int, int]:
+        """Return (base_reg, imm) addressing ``s0 - offset``.
+
+        Uses ``gp`` as scratch when the offset exceeds the I-immediate.
+        """
+        if -2048 <= -offset <= 2047:
+            return S0, -offset
+        self.emit_li(GP, offset)
+        self.emit("sub", rd=GP, rs1=S0, rs2=GP)
+        return GP, 0
+
+    def emit_addr_of_slot(self, rd: int, name: str):
+        offset = self.local_offset(name)
+        if -2048 <= -offset <= 2047:
+            self.emit("addi", rd=rd, rs1=S0, imm=-offset)
+        else:
+            self.emit_li(rd, offset)
+            self.emit("sub", rd=rd, rs1=S0, rs2=rd)
+
+    # ------------------------------------------------------------------
+    # Register allocation
+    # ------------------------------------------------------------------
+
+    def _block_reset(self, block: irdef.BasicBlock):
+        self.regmap.clear()
+        self.spillmap.clear()
+        self.free_regs = list(TEMP_REGS)
+        self.free_spills = list(range(SPILL_SLOTS))
+        self.last_use = {}
+        for index, ins in enumerate(block.instrs):
+            for v in ins.uses():
+                self.last_use[v] = index
+
+    def _is_ptr(self, v: int) -> bool:
+        ctype = self.fn.vreg_types[v]
+        return ctype is not None and ctype.is_pointer()
+
+    def _spill_slot_imm(self, slot: int) -> Tuple[int, int]:
+        return self.slot_base_imm(self.spill_base + 8 * slot)
+
+    def _spill(self, victim: int):
+        reg = self.regmap.pop(victim)
+        if not self.free_spills:
+            raise CodegenError(f"{self.fn.name}: out of spill slots")
+        slot = self.free_spills.pop()
+        self.spillmap[victim] = slot
+        base, imm = self._spill_slot_imm(slot)
+        self.emit("sd", rs1=base, rs2=reg, imm=imm)
+        if self._is_ptr(victim):
+            self._emit_meta_spill(reg, base, imm)
+        self.free_regs.append(reg)
+
+    def _emit_meta_spill(self, reg: int, base: int, imm: int):
+        meta = self.options.spill_meta
+        if meta == "hwst":
+            self.emit("sbdl", rs1=base, rs2=reg, imm=imm)
+            self.emit("sbdu", rs1=base, rs2=reg, imm=imm)
+        elif meta == "mpx":
+            self.emit("bndstx", rs1=base, rs2=reg, imm=imm)
+        elif meta == "avx":
+            self.emit("vst256", rs1=base, rs2=reg, imm=imm)
+
+    def _emit_meta_reload(self, reg: int, base: int, imm: int):
+        meta = self.options.spill_meta
+        if meta == "hwst":
+            self.emit("lbdls", rd=reg, rs1=base, imm=imm)
+            self.emit("lbdus", rd=reg, rs1=base, imm=imm)
+        elif meta == "mpx":
+            self.emit("bndldx", rd=reg, rs1=base, imm=imm)
+        elif meta == "avx":
+            self.emit("vld256", rd=reg, rs1=base, imm=imm)
+
+    def _alloc(self, protect: Tuple[int, ...] = ()) -> int:
+        if self.free_regs:
+            return self.free_regs.pop()
+        protected_regs = {self.regmap[v] for v in protect
+                          if v in self.regmap}
+        for victim, reg in list(self.regmap.items()):
+            if reg not in protected_regs:
+                self._spill(victim)
+                return self.free_regs.pop()
+        raise CodegenError(f"{self.fn.name}: register pressure too high")
+
+    def _use(self, v: int, protect: Tuple[int, ...] = ()) -> int:
+        if v in self.regmap:
+            return self.regmap[v]
+        if v in self.spillmap:
+            slot = self.spillmap.pop(v)
+            reg = self._alloc(protect)
+            base, imm = self._spill_slot_imm(slot)
+            self.emit("ld", rd=reg, rs1=base, imm=imm)
+            if self._is_ptr(v):
+                self._emit_meta_reload(reg, base, imm)
+            self.free_spills.append(slot)
+            self.regmap[v] = reg
+            return reg
+        raise CodegenError(
+            f"{self.fn.name}: vreg {v} has no location (use before def?)")
+
+    def _release_if_dead(self, v: int, index: int):
+        if self.last_use.get(v, -1) <= index:
+            if v in self.regmap:
+                self.free_regs.append(self.regmap.pop(v))
+            elif v in self.spillmap:
+                self.free_spills.append(self.spillmap.pop(v))
+
+    def _def(self, v: int, protect: Tuple[int, ...] = ()) -> int:
+        reg = self._alloc(protect)
+        self.regmap[v] = reg
+        return reg
+
+    def _finish_instr(self, ins: irdef.IRInstr, index: int):
+        for v in set(ins.uses()):
+            self._release_if_dead(v, index)
+        for v in ins.defs():
+            if v not in self.last_use:   # dead result
+                self._release_if_dead(v, index)
+
+    # ------------------------------------------------------------------
+    # Function body
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[Instr]:
+        self._emit_prologue()
+        for block in self.fn.blocks:
+            self.labels[block.label] = len(self.out)
+            self._block_reset(block)
+            for index, ins in enumerate(block.instrs):
+                self.cur_index = index
+                self._emit_ir(ins, index)
+        self._resolve_local_labels()
+        return self.out
+
+    def _emit_prologue(self):
+        frame = self.frame_size
+        if frame <= 2047:
+            self.emit("addi", rd=SP, rs1=SP, imm=-frame)
+            self.emit("sd", rs1=SP, rs2=RA, imm=frame - 8)
+            self.emit("sd", rs1=SP, rs2=S0, imm=frame - 16)
+            self.emit("addi", rd=S0, rs1=SP, imm=frame)
+        else:
+            self.emit_li(GP, frame)
+            self.emit("sub", rd=SP, rs1=SP, rs2=GP)
+            self.emit("add", rd=GP, rs1=SP, rs2=GP)
+            self.emit("sd", rs1=GP, rs2=RA, imm=-8)
+            self.emit("sd", rs1=GP, rs2=S0, imm=-16)
+            self.emit_mv(S0, GP)
+
+    def _emit_epilogue(self):
+        self.emit("ld", rd=RA, rs1=S0, imm=-8)
+        self.emit_mv(SP, S0)
+        self.emit("ld", rd=S0, rs1=SP, imm=-16)
+        self.emit("jalr", rd=ZERO, rs1=RA, imm=0)
+
+    def _resolve_local_labels(self):
+        for index, ins in enumerate(self.out):
+            if ins.sym is not None and ins.sym_kind == "local":
+                target = self.labels.get(ins.sym)
+                if target is None:
+                    raise CodegenError(
+                        f"{self.fn.name}: unresolved label {ins.sym!r}")
+                ins.imm = 4 * (target - index)
+                ins.sym = None
+                ins.sym_kind = ""
+
+    # ------------------------------------------------------------------
+    # Per-IR-instruction lowering
+    # ------------------------------------------------------------------
+
+    def _emit_ir(self, ins: irdef.IRInstr, index: int):
+        handler = _IR_HANDLERS.get(type(ins))
+        if handler is None:
+            raise CodegenError(
+                f"{self.fn.name}: cannot lower {type(ins).__name__}")
+        handler(self, ins, index)
+
+
+# ---------------------------------------------------------------------------
+# IR handlers (module-level functions keyed by IR class)
+# ---------------------------------------------------------------------------
+
+def _h_iconst(em: _FnEmitter, ins: irdef.IConst, index: int):
+    rd = em._def(ins.dst)
+    em.emit_li(rd, ins.value)
+    em._finish_instr(ins, index)
+
+
+def _h_getparam(em: _FnEmitter, ins: irdef.GetParam, index: int):
+    if ins.index >= 8:
+        raise CodegenError("more than 8 arguments are not supported")
+    rd = em._def(ins.dst)
+    em.emit_mv(rd, A0 + ins.index)
+    em._finish_instr(ins, index)
+
+
+def _h_addrlocal(em: _FnEmitter, ins: irdef.AddrLocal, index: int):
+    rd = em._def(ins.dst)
+    em.emit_addr_of_slot(rd, ins.name)
+    em._finish_instr(ins, index)
+
+
+def _h_addrglobal(em: _FnEmitter, ins: irdef.AddrGlobal, index: int):
+    rd = em._def(ins.dst)
+    # Absolute address resolved by the linker (hi/lo pair).
+    em.emit("lui", rd=rd, sym=ins.name, sym_kind="hi")
+    em.emit("addiw", rd=rd, rs1=rd, sym=ins.name, sym_kind="lo")
+    em._finish_instr(ins, index)
+
+
+def _normalise(em: _FnEmitter, reg: int, width: int, signed: bool):
+    """Renormalise ``reg`` to the canonical form of a width-byte int."""
+    if width in (0, 8):
+        return
+    if width == 4:
+        if signed:
+            em.emit("addiw", rd=reg, rs1=reg, imm=0)
+        else:
+            em.emit("slli", rd=reg, rs1=reg, imm=32)
+            em.emit("srli", rd=reg, rs1=reg, imm=32)
+    elif width == 2:
+        em.emit("slli", rd=reg, rs1=reg, imm=48)
+        em.emit("srai" if signed else "srli", rd=reg, rs1=reg, imm=48)
+    elif width == 1:
+        if signed:
+            em.emit("slli", rd=reg, rs1=reg, imm=56)
+            em.emit("srai", rd=reg, rs1=reg, imm=56)
+        else:
+            em.emit("andi", rd=reg, rs1=reg, imm=0xFF)
+    else:
+        raise CodegenError(f"bad conversion width {width}")
+
+
+_W4_OPS = {"add": "addw", "sub": "subw", "mul": "mulw",
+           "sdiv": "divw", "udiv": "divuw", "srem": "remw",
+           "urem": "remuw", "shl": "sllw", "lshr": "srlw", "ashr": "sraw"}
+_N_OPS = {"add": "add", "sub": "sub", "mul": "mul", "sdiv": "div",
+          "udiv": "divu", "srem": "rem", "urem": "remu", "and": "and",
+          "or": "or", "xor": "xor", "shl": "sll", "lshr": "srl",
+          "ashr": "sra"}
+
+
+def _h_binop(em: _FnEmitter, ins: irdef.BinOp, index: int):
+    ra_ = em._use(ins.a, protect=(ins.b,))
+    rb = em._use(ins.b, protect=(ins.a,))
+    rd = em._def(ins.dst, protect=(ins.a, ins.b))
+    op = ins.op
+    if op in ("eq", "ne"):
+        em.emit("xor", rd=rd, rs1=ra_, rs2=rb)
+        if op == "eq":
+            em.emit("sltiu", rd=rd, rs1=rd, imm=1)
+        else:
+            em.emit("sltu", rd=rd, rs1=ZERO, rs2=rd)
+    elif op in ("slt", "ult"):
+        em.emit("slt" if op == "slt" else "sltu", rd=rd, rs1=ra_, rs2=rb)
+    elif op in ("sgt", "ugt"):
+        em.emit("slt" if op == "sgt" else "sltu", rd=rd, rs1=rb, rs2=ra_)
+    elif op in ("sle", "ule"):
+        em.emit("slt" if op == "sle" else "sltu", rd=rd, rs1=rb, rs2=ra_)
+        em.emit("xori", rd=rd, rs1=rd, imm=1)
+    elif op in ("sge", "uge"):
+        em.emit("slt" if op == "sge" else "sltu", rd=rd, rs1=ra_, rs2=rb)
+        em.emit("xori", rd=rd, rs1=rd, imm=1)
+    else:
+        width = ins.width
+        if width == 4 and op in _W4_OPS:
+            em.emit(_W4_OPS[op], rd=rd, rs1=ra_, rs2=rb)
+            if not ins.signed:
+                _normalise(em, rd, 4, False)
+        elif op in _N_OPS:
+            em.emit(_N_OPS[op], rd=rd, rs1=ra_, rs2=rb)
+            if width in (1, 2):
+                _normalise(em, rd, width, ins.signed)
+        else:
+            raise CodegenError(f"unknown binop {op!r}")
+    em._finish_instr(ins, index)
+
+
+def _h_unop(em: _FnEmitter, ins: irdef.UnOp, index: int):
+    ra_ = em._use(ins.a)
+    rd = em._def(ins.dst, protect=(ins.a,))
+    if ins.op == "neg":
+        if ins.width == 4:
+            em.emit("subw", rd=rd, rs1=ZERO, rs2=ra_)
+            if not ins.signed:
+                _normalise(em, rd, 4, False)
+        else:
+            em.emit("sub", rd=rd, rs1=ZERO, rs2=ra_)
+            if ins.width in (1, 2):
+                _normalise(em, rd, ins.width, ins.signed)
+    elif ins.op == "not":
+        em.emit("xori", rd=rd, rs1=ra_, imm=-1)
+        if ins.width in (1, 2, 4):
+            _normalise(em, rd, ins.width, ins.signed)
+    elif ins.op == "lognot":
+        em.emit("sltiu", rd=rd, rs1=ra_, imm=1)
+    else:
+        raise CodegenError(f"unknown unop {ins.op!r}")
+    em._finish_instr(ins, index)
+
+
+def _h_conv(em: _FnEmitter, ins: irdef.Conv, index: int):
+    ra_ = em._use(ins.a)
+    rd = em._def(ins.dst, protect=(ins.a,))
+    em.emit_mv(rd, ra_)
+    _normalise(em, rd, ins.width, ins.signed)
+    em._finish_instr(ins, index)
+
+
+def _h_load(em: _FnEmitter, ins: irdef.Load, index: int):
+    raddr = em._use(ins.addr)
+    rd = em._def(ins.dst, protect=(ins.addr,))
+    op = _LOAD_OPS[(ins.size, ins.signed if ins.size < 8 else True)]
+    if ins.checked:
+        op += ".chk"
+    em.emit(op, rd=rd, rs1=raddr, imm=0)
+    em._finish_instr(ins, index)
+
+
+def _h_store(em: _FnEmitter, ins: irdef.Store, index: int):
+    raddr = em._use(ins.addr, protect=(ins.src,))
+    rsrc = em._use(ins.src, protect=(ins.addr,))
+    op = _STORE_OPS[ins.size]
+    if ins.checked:
+        op += ".chk"
+    em.emit(op, rs1=raddr, rs2=rsrc, imm=0)
+    em._finish_instr(ins, index)
+
+
+def _h_call(em: _FnEmitter, ins: irdef.Call, index: int):
+    if len(ins.args) > 8:
+        raise CodegenError("more than 8 call arguments")
+    # Move arguments into a0..a7 (sources are always t-regs). Later
+    # args still sitting in temp regs may be spilled to make room —
+    # they reload when their turn comes.
+    for position, v in enumerate(ins.args):
+        reg = em._use(v)
+        em.emit_mv(A0 + position, reg)
+        # Free now unless this vreg appears again later in the arg list
+        # or has later uses.
+        if v not in ins.args[position + 1:]:
+            em._release_if_dead(v, index)
+    # Spill every temp that survives the call (t-regs are caller-saved).
+    for victim in list(em.regmap):
+        em._spill(victim)
+    em.emit("jal", rd=RA, sym=ins.name, sym_kind="call")
+    if ins.dst is not None and ins.dst in em.last_use:
+        rd = em._def(ins.dst)
+        em.emit_mv(rd, A0)
+    em._finish_instr(ins, index)
+
+
+def _h_ret(em: _FnEmitter, ins: irdef.Ret, index: int):
+    if ins.value is not None:
+        reg = em._use(ins.value)
+        em.emit_mv(A0, reg)
+    em._emit_epilogue()
+    em._finish_instr(ins, index)
+
+
+def _h_br(em: _FnEmitter, ins: irdef.Br, index: int):
+    cond = em._use(ins.cond)
+    em._finish_instr(ins, index)
+    em.emit("bne", rs1=cond, rs2=ZERO, imm=8)
+    em.emit("jal", rd=ZERO, sym=ins.else_label, sym_kind="local")
+    em.emit("jal", rd=ZERO, sym=ins.then_label, sym_kind="local")
+
+
+def _h_jmp(em: _FnEmitter, ins: irdef.Jmp, index: int):
+    em.emit("jal", rd=ZERO, sym=ins.label, sym_kind="local")
+    em._finish_instr(ins, index)
+
+
+def _h_trapif(em: _FnEmitter, ins: irdef.TrapIf, index: int):
+    cond = em._use(ins.cond)
+    em._finish_instr(ins, index)
+    em.emit("beq", rs1=cond, rs2=ZERO, imm=8)   # skip the trap jump
+    em.emit("jal", rd=ZERO, sym=f"__trap_{ins.kind}", sym_kind="call")
+
+
+# -- HWST128 extension ops -----------------------------------------------
+
+def _h_bndrs(em: _FnEmitter, ins: irdef.HwBndrs, index: int):
+    rptr = em._use(ins.ptr, protect=(ins.base, ins.bound))
+    rbase = em._use(ins.base, protect=(ins.ptr, ins.bound))
+    rbound = em._use(ins.bound, protect=(ins.ptr, ins.base))
+    em.emit("bndrs", rd=rptr, rs1=rbase, rs2=rbound)
+    em._finish_instr(ins, index)
+
+
+def _h_bndrt(em: _FnEmitter, ins: irdef.HwBndrt, index: int):
+    rptr = em._use(ins.ptr, protect=(ins.key, ins.lock))
+    rkey = em._use(ins.key, protect=(ins.ptr, ins.lock))
+    rlock = em._use(ins.lock, protect=(ins.ptr, ins.key))
+    em.emit("bndrt", rd=rptr, rs1=rkey, rs2=rlock)
+    em._finish_instr(ins, index)
+
+
+def _h_tchk(em: _FnEmitter, ins: irdef.HwTchk, index: int):
+    rptr = em._use(ins.ptr)
+    em.emit("tchk", rs1=rptr)
+    em._finish_instr(ins, index)
+
+
+def _h_sbd(em: _FnEmitter, ins: irdef.HwSbd, index: int):
+    rcont = em._use(ins.container, protect=(ins.ptr,))
+    rptr = em._use(ins.ptr, protect=(ins.container,))
+    if ins.which in ("lower", "both"):
+        em.emit("sbdl", rs1=rcont, rs2=rptr, imm=ins.offset)
+    if ins.which in ("upper", "both"):
+        em.emit("sbdu", rs1=rcont, rs2=rptr, imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+def _h_lbds(em: _FnEmitter, ins: irdef.HwLbds, index: int):
+    rcont = em._use(ins.container, protect=(ins.ptr,))
+    rptr = em._use(ins.ptr, protect=(ins.container,))
+    if ins.which in ("lower", "both"):
+        em.emit("lbdls", rd=rptr, rs1=rcont, imm=ins.offset)
+    if ins.which in ("upper", "both"):
+        em.emit("lbdus", rd=rptr, rs1=rcont, imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+_META_GPR_OPS = {"base": "lbas", "bound": "lbnd", "key": "lkey",
+                 "lock": "lloc"}
+
+
+def _h_metagpr(em: _FnEmitter, ins: irdef.HwMetaGpr, index: int):
+    rcont = em._use(ins.container)
+    rd = em._def(ins.dst, protect=(ins.container,))
+    em.emit(_META_GPR_OPS[ins.field_name], rd=rd, rs1=rcont,
+            imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+# -- MPX / AVX comparator ops ----------------------------------------------
+
+def _h_mpx_bndcl(em: _FnEmitter, ins: irdef.MpxBndcl, index: int):
+    rptr = em._use(ins.ptr, protect=(ins.addr,))
+    raddr = em._use(ins.addr, protect=(ins.ptr,))
+    em.emit("bndcl", rs1=rptr, rs2=raddr)
+    em._finish_instr(ins, index)
+
+
+def _h_mpx_bndcu(em: _FnEmitter, ins: irdef.MpxBndcu, index: int):
+    rptr = em._use(ins.ptr, protect=(ins.addr,))
+    raddr = em._use(ins.addr, protect=(ins.ptr,))
+    em.emit("bndcu", rs1=rptr, rs2=raddr)
+    em._finish_instr(ins, index)
+
+
+def _h_mpx_bndldx(em: _FnEmitter, ins: irdef.MpxBndldx, index: int):
+    rcont = em._use(ins.container, protect=(ins.ptr,))
+    rptr = em._use(ins.ptr, protect=(ins.container,))
+    em.emit("bndldx", rd=rptr, rs1=rcont, imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+def _h_mpx_bndstx(em: _FnEmitter, ins: irdef.MpxBndstx, index: int):
+    rcont = em._use(ins.container, protect=(ins.ptr,))
+    rptr = em._use(ins.ptr, protect=(ins.container,))
+    em.emit("bndstx", rs1=rcont, rs2=rptr, imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+def _h_avx_vld(em: _FnEmitter, ins: irdef.AvxVld, index: int):
+    rcont = em._use(ins.container, protect=(ins.ptr,))
+    rptr = em._use(ins.ptr, protect=(ins.container,))
+    em.emit("vld256", rd=rptr, rs1=rcont, imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+def _h_avx_vst(em: _FnEmitter, ins: irdef.AvxVst, index: int):
+    rcont = em._use(ins.container, protect=(ins.ptr,))
+    rptr = em._use(ins.ptr, protect=(ins.container,))
+    em.emit("vst256", rs1=rcont, rs2=rptr, imm=ins.offset)
+    em._finish_instr(ins, index)
+
+
+def _h_avx_vchk(em: _FnEmitter, ins: irdef.AvxVchk, index: int):
+    rptr = em._use(ins.ptr, protect=(ins.addr,))
+    raddr = em._use(ins.addr, protect=(ins.ptr,))
+    em.emit("vchk", rs1=rptr, rs2=raddr)
+    em._finish_instr(ins, index)
+
+
+_IR_HANDLERS = {
+    irdef.IConst: _h_iconst,
+    irdef.GetParam: _h_getparam,
+    irdef.AddrLocal: _h_addrlocal,
+    irdef.AddrGlobal: _h_addrglobal,
+    irdef.BinOp: _h_binop,
+    irdef.UnOp: _h_unop,
+    irdef.Conv: _h_conv,
+    irdef.Load: _h_load,
+    irdef.Store: _h_store,
+    irdef.Call: _h_call,
+    irdef.Ret: _h_ret,
+    irdef.Br: _h_br,
+    irdef.Jmp: _h_jmp,
+    irdef.TrapIf: _h_trapif,
+    irdef.HwBndrs: _h_bndrs,
+    irdef.HwBndrt: _h_bndrt,
+    irdef.HwTchk: _h_tchk,
+    irdef.HwSbd: _h_sbd,
+    irdef.HwLbds: _h_lbds,
+    irdef.HwMetaGpr: _h_metagpr,
+    irdef.MpxBndcl: _h_mpx_bndcl,
+    irdef.MpxBndcu: _h_mpx_bndcu,
+    irdef.MpxBndldx: _h_mpx_bndldx,
+    irdef.MpxBndstx: _h_mpx_bndstx,
+    irdef.AvxVld: _h_avx_vld,
+    irdef.AvxVst: _h_avx_vst,
+    irdef.AvxVchk: _h_avx_vchk,
+}
+
+
+def compile_function(fn: irdef.Function,
+                     options: Optional[CodegenOptions] = None) -> List[Instr]:
+    """Lower one IR function to RV64 instructions.
+
+    Function-local labels are resolved; call sites and global-address
+    pairs keep their ``sym`` for the linker.
+    """
+    emitter = _FnEmitter(fn, options or CodegenOptions())
+    return emitter.run()

@@ -1,0 +1,696 @@
+"""Runtime library sources (mini-C).
+
+Every program links the base runtime (allocator, string/printing
+helpers, deterministic PRNG) plus one scheme runtime providing
+``__rt_scheme_init`` and the scheme's helper functions. Runtime sources
+are compiled **without** instrumentation — they are the "library" side
+of the paper's source/binary-compatibility story; the schemes that need
+library coverage wrap these entry points instead of instrumenting them.
+
+The temporal lock table helpers (``__lock_alloc``/``__lock_free``)
+implement the paper's lock_location discipline as real simulated code,
+so their cost shows up in the performance figures: a fresh unique key
+per allocation, key erasure on free, lock_location recycling through a
+free stack.
+"""
+
+from __future__ import annotations
+
+BASE_RUNTIME = r"""
+/* ---- heap allocator: first-fit free list, 16-byte headers ---- */
+typedef struct Block Block;
+struct Block { long size; Block *next; };
+
+long __heap_ptr = 0;
+long __heap_limit = 0;
+Block *__free_list = 0;
+
+void *malloc(long n) {
+    Block *prev = 0;
+    Block *cur = __free_list;
+    if (n <= 0) { n = 1; }
+    n = (n + 7) & ~7;
+    while (cur) {
+        if (cur->size >= n) {
+            if (prev) { prev->next = cur->next; }
+            else { __free_list = cur->next; }
+            return (void*)((char*)cur + 16);
+        }
+        prev = cur;
+        cur = cur->next;
+    }
+    if (__heap_ptr + n + 16 > __heap_limit) { return 0; }
+    cur = (Block*)__heap_ptr;
+    cur->size = n;
+    cur->next = 0;
+    __heap_ptr = __heap_ptr + n + 16;
+    return (void*)((char*)cur + 16);
+}
+
+void free(void *p) {
+    Block *blk;
+    if (!p) { return; }
+    blk = (Block*)((char*)p - 16);
+    blk->next = __free_list;
+    __free_list = blk;
+}
+
+long __alloc_size(void *p) {
+    Block *blk = (Block*)((char*)p - 16);
+    return blk->size;
+}
+
+void *calloc(long count, long size) {
+    long total = count * size;
+    void *p = malloc(total);
+    if (p) { memset(p, 0, total); }
+    return p;
+}
+
+/* ---- memory / string helpers ---- */
+void *memcpy(void *dst, void *src, long n) {
+    char *d = (char*)dst;
+    char *s = (char*)src;
+    long i;
+    for (i = 0; i < n; i++) { d[i] = s[i]; }
+    return dst;
+}
+
+void *memset(void *dst, int value, long n) {
+    char *d = (char*)dst;
+    long i;
+    for (i = 0; i < n; i++) { d[i] = (char)value; }
+    return dst;
+}
+
+int memcmp(void *a, void *b, long n) {
+    unsigned char *x = (unsigned char*)a;
+    unsigned char *y = (unsigned char*)b;
+    long i;
+    for (i = 0; i < n; i++) {
+        if (x[i] != y[i]) { return (int)x[i] - (int)y[i]; }
+    }
+    return 0;
+}
+
+long strlen(char *s) {
+    long n = 0;
+    while (s[n]) { n++; }
+    return n;
+}
+
+char *strcpy(char *dst, char *src) {
+    long i = 0;
+    while (src[i]) { dst[i] = src[i]; i++; }
+    dst[i] = 0;
+    return dst;
+}
+
+char *strncpy(char *dst, char *src, long n) {
+    long i = 0;
+    while (i < n && src[i]) { dst[i] = src[i]; i++; }
+    while (i < n) { dst[i] = 0; i++; }
+    return dst;
+}
+
+char *strcat(char *dst, char *src) {
+    long n = strlen(dst);
+    strcpy(dst + n, src);
+    return dst;
+}
+
+int strcmp(char *a, char *b) {
+    long i = 0;
+    while (a[i] && a[i] == b[i]) { i++; }
+    return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+int strncmp(char *a, char *b, long n) {
+    long i = 0;
+    if (n == 0) { return 0; }
+    while (i < n - 1 && a[i] && a[i] == b[i]) { i++; }
+    return (int)(unsigned char)a[i] - (int)(unsigned char)b[i];
+}
+
+/* ---- output ---- */
+void print_char(int c) {
+    char buf[1];
+    buf[0] = (char)c;
+    __ecall_write(1, buf, 1);
+}
+
+void print_str(char *s) {
+    __ecall_write(1, s, strlen(s));
+}
+
+void print_int(long value) {
+    char buf[24];
+    long pos = 23;
+    int negative = 0;
+    if (value < 0) { negative = 1; value = -value; }
+    if (value == 0) { buf[pos] = '0'; pos--; }
+    while (value > 0) {
+        buf[pos] = (char)('0' + value % 10);
+        pos--;
+        value = value / 10;
+    }
+    if (negative) { buf[pos] = '-'; pos--; }
+    __ecall_write(1, buf + pos + 1, 23 - pos);
+}
+
+void print_hex(unsigned long value) {
+    char buf[18];
+    long pos = 17;
+    char *digits = "0123456789abcdef";
+    if (value == 0) { buf[pos] = '0'; pos--; }
+    while (value > 0) {
+        buf[pos] = digits[value & 15];
+        pos--;
+        value = value >> 4;
+    }
+    __ecall_write(1, buf + pos + 1, 17 - pos);
+}
+
+/* ---- deterministic PRNG (same stream on every run/scheme) ---- */
+long __rand_state = 88172645463325252;
+
+void rand_seed(long seed) {
+    if (seed == 0) { seed = 1; }
+    __rand_state = seed;
+}
+
+long rand_next(void) {
+    /* xorshift64 */
+    long x = __rand_state;
+    x = x ^ (x << 13);
+    x = x ^ ((x >> 7) & 0x1FFFFFFFFFFFFFF);
+    x = x ^ (x << 17);
+    __rand_state = x;
+    return x & 0x7FFFFFFFFFFFFFFF;
+}
+
+/* ---- temporal lock table (paper Section 3.1/3.4) ---- */
+long __lock_next = 0;
+long __lock_limit_cache = 0;
+long __key_next = 1;
+long __lock_stack[2048];
+long __lock_sp = 0;
+
+long __lock_alloc(void) {
+    long lk;
+    if (__lock_sp > 0) {
+        __lock_sp = __lock_sp - 1;
+        lk = __lock_stack[__lock_sp];
+    } else {
+        lk = __lock_next;
+        __lock_next = __lock_next + 8;
+        if (__lock_next > __lock_limit_cache) { abort(); }
+    }
+    *(long*)lk = __key_next;
+    __key_next = __key_next + 1;
+    return lk;
+}
+
+void __lock_free(long lk) {
+    if (lk == 0) { return; }
+    *(long*)lk = 0;
+    if (__lock_sp < 2048) {
+        __lock_stack[__lock_sp] = lk;
+        __lock_sp = __lock_sp + 1;
+    }
+}
+
+/* ---- init ---- */
+void __rt_init(void) {
+    __heap_ptr = __heap_base();
+    __heap_limit = __heap_end();
+    __free_list = 0;
+    __lock_next = __lock_table_base();
+    __lock_limit_cache = __lock_table_end();
+    __lock_sp = 0;
+    __key_next = 1;
+    __rt_scheme_init();
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Scheme runtimes
+# ---------------------------------------------------------------------------
+
+BASELINE_SCHEME_RUNTIME = r"""
+void __rt_scheme_init(void) { }
+"""
+
+# Shared by every pointer-based scheme: a process-lifetime lock for
+# global objects (never freed).
+_GLOBAL_LOCK_SNIPPET = r"""
+long __global_lock = 0;
+long __global_key = 0;
+"""
+
+HWST_SCHEME_RUNTIME = _GLOBAL_LOCK_SNIPPET + r"""
+/* software temporal check used by the no-tchk HWST128 variant: the
+   key is loaded from the lock_location with a plain load (paper 5.1:
+   "HWST128 uses the software method to load the key") */
+void __hwst_key_check(long key, long lock) {
+    if (lock == 0) { __trap_temporal(); }
+    if (*(long*)lock != key) { __trap_temporal(); }
+}
+
+/* free() sanity: pointer must be at the start of the allocation
+   (CWE761) and carry a live key (CWE415 double free) */
+void __hwst_free_check(long p, long base, long key, long lock) {
+    if (p == 0) { return; }
+    if (p != base) { __trap_temporal(); }
+    if (lock == 0) { __trap_temporal(); }
+    if (*(long*)lock != key) { __trap_temporal(); }
+}
+
+void __rt_scheme_init(void) {
+    __global_lock = __lock_alloc();
+    __global_key = *(long*)__global_lock;
+}
+"""
+
+def sbcets_runtime(shadow: str = "trie") -> str:
+    """SBCETS software runtime.
+
+    ``shadow`` selects the metadata map: "trie" is the faithful
+    SoftboundCETS two-level trie; "linear" uses the paper's
+    linear-mapped shadow memory (the ABL-LMSM ablation).
+    """
+    if shadow == "trie":
+        slot_fn = r"""
+long __sb_slot(long addr) {
+    long idx = addr >> 3;
+    long hi = (idx >> 11) & 1023;
+    long lo = idx & 2047;
+    long sec = __sb_trie[hi];
+    if (!sec) {
+        /* secondary pages are carved from the top of the heap: always
+           fresh (zeroed) and never recycled, like SBCETS' mmap pages */
+        __heap_limit = __heap_limit - 2048 * 32;
+        sec = __heap_limit;
+        if (sec < __heap_ptr) { abort(); }
+        __sb_trie[hi] = sec;
+    }
+    return sec + lo * 32;
+}
+"""
+    elif shadow == "linear":
+        slot_fn = r"""
+long __sb_slot(long addr) {
+    return (addr << 2) + __sb_shadow_off;
+}
+"""
+    else:
+        raise ValueError(f"unknown sbcets shadow mode {shadow!r}")
+    return _GLOBAL_LOCK_SNIPPET + r"""
+long __sb_trie[1024];
+long __sb_shadow_off = 0;
+/* the four metadata "registers" of the software scheme */
+long __sb_mbase = 0;
+long __sb_mbound = 0;
+long __sb_mkey = 0;
+long __sb_mlock = 0;
+/* shadow stack for metadata of pointer args / returns */
+long __sb_sstack[512];
+long __sb_ssp = 0;
+""" + slot_fn + r"""
+void __sb_mload(long addr) {
+    long s = __sb_slot(addr);
+    __sb_mbase = *(long*)s;
+    __sb_mbound = *(long*)(s + 8);
+    __sb_mkey = *(long*)(s + 16);
+    __sb_mlock = *(long*)(s + 24);
+}
+
+void __sb_mstore(long addr) {
+    long s = __sb_slot(addr);
+    *(long*)s = __sb_mbase;
+    *(long*)(s + 8) = __sb_mbound;
+    *(long*)(s + 16) = __sb_mkey;
+    *(long*)(s + 24) = __sb_mlock;
+}
+
+void __sb_setmeta(long base, long bound, long key, long lock) {
+    __sb_mbase = base;
+    __sb_mbound = bound;
+    __sb_mkey = key;
+    __sb_mlock = lock;
+}
+
+void __sb_check(long addr, long n) {
+    if (addr < __sb_mbase) { __trap_spatial(); }
+    if (addr + n > __sb_mbound) { __trap_spatial(); }
+    if (__sb_mlock == 0) { __trap_temporal(); }
+    if (*(long*)__sb_mlock != __sb_mkey) { __trap_temporal(); }
+}
+
+void __sb_check_spatial(long addr, long n) {
+    if (addr < __sb_mbase) { __trap_spatial(); }
+    if (addr + n > __sb_mbound) { __trap_spatial(); }
+}
+
+void __sb_ss_push(long index) {
+    long at = __sb_ssp + index * 4;
+    __sb_sstack[at] = __sb_mbase;
+    __sb_sstack[at + 1] = __sb_mbound;
+    __sb_sstack[at + 2] = __sb_mkey;
+    __sb_sstack[at + 3] = __sb_mlock;
+}
+
+void __sb_ss_pop(long index) {
+    long at = __sb_ssp + index * 4;
+    __sb_mbase = __sb_sstack[at];
+    __sb_mbound = __sb_sstack[at + 1];
+    __sb_mkey = __sb_sstack[at + 2];
+    __sb_mlock = __sb_sstack[at + 3];
+}
+
+void __sb_ss_pushret(void) {
+    __sb_sstack[504] = __sb_mbase;
+    __sb_sstack[505] = __sb_mbound;
+    __sb_sstack[506] = __sb_mkey;
+    __sb_sstack[507] = __sb_mlock;
+}
+
+void __sb_ss_popret(void) {
+    __sb_mbase = __sb_sstack[504];
+    __sb_mbound = __sb_sstack[505];
+    __sb_mkey = __sb_sstack[506];
+    __sb_mlock = __sb_sstack[507];
+}
+
+void __sb_spatial(long addr, long n, long base, long bound) {
+    if (addr < base) { __trap_spatial(); }
+    if (addr + n > bound) { __trap_spatial(); }
+}
+
+void __sb_free_check(long p) {
+    if (p == 0) { return; }
+    if (p != __sb_mbase) { __trap_temporal(); }
+    if (__sb_mlock == 0) { __trap_temporal(); }
+    if (*(long*)__sb_mlock != __sb_mkey) { __trap_temporal(); }
+    __lock_free(__sb_mlock);
+}
+
+void __rt_scheme_init(void) {
+    __sb_shadow_off = __shadow_offset();
+    __global_lock = __lock_alloc();
+    __global_key = *(long*)__global_lock;
+}
+"""
+
+
+ASAN_SCHEME_RUNTIME = r"""
+long __asan_off = 0;
+void *__asan_quarantine[64];
+long __asan_qhead = 0;
+long __asan_qcount = 0;
+
+void __asan_poison(long addr, long n, int value) {
+    long sb = __asan_off + (addr >> 3);
+    long end = __asan_off + ((addr + n + 7) >> 3);
+    while (sb < end) {
+        *(char*)sb = (char)value;
+        sb++;
+    }
+}
+
+void __asan_unpoison(long addr, long n) {
+    long sb = __asan_off + (addr >> 3);
+    long full = n >> 3;
+    long i;
+    for (i = 0; i < full; i++) { *(char*)sb = 0; sb++; }
+    if (n & 7) { *(char*)sb = (char)(n & 7); }
+}
+
+void *__asan_malloc(long n) {
+    char *raw;
+    if (n <= 0) { n = 1; }
+    raw = (char*)malloc(n + 32);
+    if (!raw) { return 0; }
+    *(long*)raw = n;
+    __asan_poison((long)raw, 16, 0xFA);
+    __asan_unpoison((long)(raw + 16), n);
+    /* the right redzone starts at the next 8-byte boundary: the last
+       (partial) shadow byte of the object encodes the tail length */
+    __asan_poison(((long)(raw + 16) + n + 7) & ~7, 16, 0xFB);
+    return (void*)(raw + 16);
+}
+
+void __asan_free(void *p) {
+    char *raw;
+    long n;
+    void *old;
+    if (!p) { return; }
+    /* free() must target a chunk start: a valid chunk has its left
+       redzone (0xFA) immediately below (catches CWE761) */
+    if (*(char*)(__asan_off + (((long)p - 1) >> 3)) != (char)0xFA) {
+        __trap_asan();
+    }
+    /* double free: the chunk is still poisoned 0xFD from the first free */
+    if (*(char*)(__asan_off + ((long)p >> 3)) == (char)0xFD) {
+        __trap_asan();
+    }
+    raw = (char*)p - 16;
+    n = *(long*)raw;
+    __asan_poison((long)p, n, 0xFD);
+    /* quarantine delays reuse so fresh UAF is caught */
+    if (__asan_qcount == 64) {
+        old = __asan_quarantine[__asan_qhead];
+        __asan_unpoison((long)old, *(long*)((char*)old - 16));
+        free((char*)old - 16);
+        __asan_qhead = (__asan_qhead + 1) & 63;
+        __asan_qcount = 63;
+    }
+    __asan_quarantine[(__asan_qhead + __asan_qcount) & 63] = p;
+    __asan_qcount = __asan_qcount + 1;
+}
+
+void *__asan_calloc(long count, long size) {
+    long total = count * size;
+    void *p = __asan_malloc(total);
+    if (p) { memset(p, 0, total); }
+    return p;
+}
+
+void __asan_check(long addr, long n) {
+    long sb = __asan_off + (addr >> 3);
+    char k = *(char*)sb;
+    if (k == 0) { return; }
+    if (k > 0 && k < 8) {
+        if ((addr & 7) + n <= (long)k) { return; }
+    }
+    __trap_asan();
+}
+
+void __asan_check_range(void *p, long n) {
+    long addr = (long)p;
+    long sb = __asan_off + (addr >> 3);
+    long last = __asan_off + ((addr + n - 1) >> 3);
+    char k;
+    if (n <= 0) { return; }
+    while (sb < last) {
+        if (*(char*)sb != 0) { __trap_asan(); }
+        sb++;
+    }
+    k = *(char*)sb;
+    if (k == 0) { return; }
+    if (k > 0 && k < 8) {
+        if (((addr + n - 1) & 7) < (long)k) { return; }
+    }
+    __trap_asan();
+}
+
+void __rt_scheme_init(void) {
+    __asan_off = __shadow_offset();
+}
+"""
+
+GCC_SCHEME_RUNTIME = r"""
+unsigned long __stack_chk_guard = 0;
+
+void __stack_chk_fail(void) {
+    __trap_canary();
+}
+
+void __canary_check(long value) {
+    if (value != (long)__stack_chk_guard) { __stack_chk_fail(); }
+}
+
+void __rt_scheme_init(void) {
+    __stack_chk_guard = 0xDEADBEEFCAFE0000;
+}
+"""
+
+BOGO_SCHEME_RUNTIME = _GLOBAL_LOCK_SNIPPET + r"""
+/* registry of containers known to hold heap pointers (the modelled
+   MPX bound table pages BOGO scans on free) */
+long __bogo_reg_arr[4096];
+long __bogo_reg_n = 0;
+long __bogo_shadow_off = 0;
+
+void __bogo_reg(long container) {
+    __bogo_reg_arr[__bogo_reg_n & 4095] = container;
+    __bogo_reg_n = __bogo_reg_n + 1;
+}
+
+void __bogo_free_scan(long base, long bound) {
+    /* BOGO: nullify the bounds of every table entry whose pointer
+       points into the freed region -> later checks fail (partial
+       temporal safety, use-after-free only). */
+    long count = __bogo_reg_n;
+    long i;
+    long c;
+    long v;
+    if (count > 4096) { count = 4096; }
+    for (i = 0; i < count; i++) {
+        c = __bogo_reg_arr[i];
+        v = *(long*)c;
+        if (v >= base && v < bound) {
+            *(long*)((c << 2) + __bogo_shadow_off) = 0;
+        }
+    }
+}
+
+void __bogo_free(void *p) {
+    if (!p) { return; }
+    __bogo_free_scan((long)p, (long)p + __alloc_size(p));
+    free(p);
+}
+
+void __rt_scheme_init(void) {
+    __bogo_shadow_off = __shadow_offset();
+    __global_lock = __lock_alloc();
+    __global_key = *(long*)__global_lock;
+}
+"""
+
+WDL_SCHEME_RUNTIME = _GLOBAL_LOCK_SNIPPET + r"""
+/* WatchdogLite metadata registers (narrow mode keeps them in memory,
+   wide mode keeps metadata in the 256-bit SRF instead). */
+long __wm_base = 0;
+long __wm_bound = 0;
+long __wm_key = 0;
+long __wm_lock = 0;
+long __wdl_shadow_off = 0;
+
+/* narrow mode: direct (linear, uncompressed) shadow, no trie walk */
+void __wdl_mload(long addr) {
+    long s = (addr << 2) + __wdl_shadow_off;
+    __wm_base = *(long*)s;
+    __wm_bound = *(long*)(s + 8);
+    __wm_key = *(long*)(s + 16);
+    __wm_lock = *(long*)(s + 24);
+}
+
+void __wdl_mstore(long addr) {
+    long s = (addr << 2) + __wdl_shadow_off;
+    *(long*)s = __wm_base;
+    *(long*)(s + 8) = __wm_bound;
+    *(long*)(s + 16) = __wm_key;
+    *(long*)(s + 24) = __wm_lock;
+}
+
+void __wdl_setmeta(long base, long bound, long key, long lock) {
+    __wm_base = base;
+    __wm_bound = bound;
+    __wm_key = key;
+    __wm_lock = lock;
+}
+
+void __wdl_spatial(long addr, long n, long base, long bound) {
+    if (addr < base) { __trap_spatial(); }
+    if (addr + n > bound) { __trap_spatial(); }
+}
+
+long __wdl_sstack[512];
+
+void __wdl_ss_push(long index) {
+    long at = index * 4;
+    __wdl_sstack[at] = __wm_base;
+    __wdl_sstack[at + 1] = __wm_bound;
+    __wdl_sstack[at + 2] = __wm_key;
+    __wdl_sstack[at + 3] = __wm_lock;
+}
+
+void __wdl_ss_pop(long index) {
+    long at = index * 4;
+    __wm_base = __wdl_sstack[at];
+    __wm_bound = __wdl_sstack[at + 1];
+    __wm_key = __wdl_sstack[at + 2];
+    __wm_lock = __wdl_sstack[at + 3];
+}
+
+void __wdl_ss_pushret(void) {
+    __wdl_sstack[504] = __wm_base;
+    __wdl_sstack[505] = __wm_bound;
+    __wdl_sstack[506] = __wm_key;
+    __wdl_sstack[507] = __wm_lock;
+}
+
+void __wdl_ss_popret(void) {
+    __wm_base = __wdl_sstack[504];
+    __wm_bound = __wdl_sstack[505];
+    __wm_key = __wdl_sstack[506];
+    __wm_lock = __wdl_sstack[507];
+}
+
+void __wdl_check(long addr, long n) {
+    if (addr < __wm_base) { __trap_spatial(); }
+    if (addr + n > __wm_bound) { __trap_spatial(); }
+    if (__wm_lock == 0) { __trap_temporal(); }
+    if (*(long*)__wm_lock != __wm_key) { __trap_temporal(); }
+}
+
+void __wdl_free_check(long p) {
+    if (p == 0) { return; }
+    if (p != __wm_base) { __trap_temporal(); }
+    if (__wm_lock == 0) { __trap_temporal(); }
+    if (*(long*)__wm_lock != __wm_key) { __trap_temporal(); }
+    __lock_free(__wm_lock);
+}
+
+/* wide mode free check reads uncompressed metadata straight from the
+   shadow of the pointer's container */
+void __wdl_free_check_at(long p, long container) {
+    long s = (container << 2) + __wdl_shadow_off;
+    long base = *(long*)s;
+    long key = *(long*)(s + 16);
+    long lock = *(long*)(s + 24);
+    if (p == 0) { return; }
+    if (p != base) { __trap_temporal(); }
+    if (lock == 0) { __trap_temporal(); }
+    if (*(long*)lock != key) { __trap_temporal(); }
+    __lock_free(lock);
+}
+
+void __rt_scheme_init(void) {
+    __wdl_shadow_off = __shadow_offset();
+    __global_lock = __lock_alloc();
+    __global_key = *(long*)__global_lock;
+}
+"""
+
+
+SCHEME_RUNTIMES = {
+    "baseline": BASELINE_SCHEME_RUNTIME,
+    "hwst": HWST_SCHEME_RUNTIME,
+    "sbcets": None,       # built by sbcets_runtime(shadow)
+    "asan": ASAN_SCHEME_RUNTIME,
+    "gcc": GCC_SCHEME_RUNTIME,
+    "bogo": BOGO_SCHEME_RUNTIME,
+    "wdl": WDL_SCHEME_RUNTIME,
+}
+
+
+def runtime_source(scheme_runtime: str = "baseline",
+                   sbcets_shadow: str = "trie") -> str:
+    """Full runtime source for a scheme family."""
+    if scheme_runtime == "sbcets":
+        extra = sbcets_runtime(sbcets_shadow)
+    else:
+        extra = SCHEME_RUNTIMES[scheme_runtime]
+    return BASE_RUNTIME + extra

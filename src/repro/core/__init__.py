@@ -1,0 +1,36 @@
+"""HWST128 core library: metadata, compression, shadow memory, locks.
+
+This package is the paper's primary contribution in reusable form:
+
+* :mod:`repro.core.metadata` — base/bound/key/lock pointer metadata;
+* :mod:`repro.core.compression` — the configurable 256-bit -> 128-bit
+  metadata compression scheme (Fig. 2, Eq. 2-6);
+* :mod:`repro.core.shadow` — the linear-mapped shadow memory map (Eq. 1);
+* :mod:`repro.core.locks` — lock_location allocation and unique key
+  generation for temporal safety;
+* :mod:`repro.core.config` — the HWST128 configuration consumed by the
+  CSRs, the compiler and the microarchitecture.
+"""
+
+from repro.core.config import HwstConfig, derive_field_widths, FieldWidths
+from repro.core.metadata import PointerMetadata
+from repro.core.compression import (
+    CompressedMetadata,
+    MetadataCompressor,
+    MetadataRangeError,
+)
+from repro.core.shadow import ShadowMap
+from repro.core.locks import LockAllocator, LockTableFull
+
+__all__ = [
+    "HwstConfig",
+    "FieldWidths",
+    "derive_field_widths",
+    "PointerMetadata",
+    "CompressedMetadata",
+    "MetadataCompressor",
+    "MetadataRangeError",
+    "ShadowMap",
+    "LockAllocator",
+    "LockTableFull",
+]

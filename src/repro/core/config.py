@@ -1,0 +1,136 @@
+"""HWST128 configuration: metadata field widths and memory map knobs.
+
+The paper sets the compressed layout for general-purpose applications to
+``base=35, range=29, lock=20, key=44`` (Fig. 2) and derives those widths
+from the platform with Eq. 3-6:
+
+* Eq. 3 — ``BIT_base  = ceil(log2(memory_size)) - 3`` (8-byte alignment
+  recovers three bits);
+* Eq. 4 — ``BIT_range = ceil(log2(max object size)) - 3``;
+* Eq. 5 — ``BIT_lock  = ceil(log2(lock entries))``;
+* Eq. 6 — ``BIT_key   = 128 - BIT_base - BIT_range - BIT_lock``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+SRF_BITS = 128           # shadow register width inherited from SHORE
+ALIGN_SHIFT = 3          # RV64 8-byte alignment recovers 3 bits
+HALF_BITS = 64           # compressed metadata is split in two 64-bit halves
+
+
+@dataclass(frozen=True)
+class FieldWidths:
+    """Bit widths of the four compressed metadata fields."""
+
+    base: int = 35
+    range: int = 29
+    lock: int = 20
+    key: int = 44
+
+    def __post_init__(self):
+        for name in ("base", "range", "lock", "key"):
+            width = getattr(self, name)
+            if width <= 0:
+                raise ValueError(f"{name} width must be positive, got {width}")
+        if self.base + self.range != HALF_BITS:
+            raise ValueError(
+                f"spatial half must pack into 64 bits: "
+                f"base({self.base}) + range({self.range}) != 64"
+            )
+        if self.lock + self.key != HALF_BITS:
+            raise ValueError(
+                f"temporal half must pack into 64 bits: "
+                f"lock({self.lock}) + key({self.key}) != 64"
+            )
+
+    @property
+    def total(self) -> int:
+        return self.base + self.range + self.lock + self.key
+
+    def max_base(self) -> int:
+        """Largest representable base address (byte units)."""
+        return ((1 << self.base) - 1) << ALIGN_SHIFT
+
+    def max_range(self) -> int:
+        """Largest representable object size in bytes."""
+        return ((1 << self.range) - 1) << ALIGN_SHIFT
+
+    def max_locks(self) -> int:
+        """Number of addressable lock_location entries."""
+        return 1 << self.lock
+
+
+def derive_field_widths(memory_size: int, max_object_size: int,
+                        lock_entries: int) -> FieldWidths:
+    """Apply Eq. 3-6 to derive a compressed layout for a platform.
+
+    The spatial half is padded so ``base + range == 64`` by growing the
+    range field (spare bits go to range, as in the paper's 35/29 layout
+    where only 25 range bits were strictly needed for SPEC2006), and the
+    temporal half gives every spare bit to the key (Eq. 6).
+
+    >>> w = derive_field_widths(256 << 30, 1 << 28, 1_000_000)
+    >>> (w.base, w.range, w.lock, w.key)
+    (35, 29, 20, 44)
+    """
+    if memory_size <= 0 or max_object_size <= 0 or lock_entries <= 0:
+        raise ValueError("memory size, object size and lock entries must be positive")
+    bit_base = max(1, math.ceil(math.log2(memory_size)) - ALIGN_SHIFT)
+    bit_range_min = max(1, math.ceil(math.log2(max_object_size)) - ALIGN_SHIFT)
+    bit_lock = max(1, math.ceil(math.log2(lock_entries)))
+    if bit_base + bit_range_min > HALF_BITS:
+        raise ValueError(
+            f"spatial metadata does not fit in 64 bits: "
+            f"base={bit_base}, range>={bit_range_min}"
+        )
+    bit_range = HALF_BITS - bit_base
+    bit_key = SRF_BITS - bit_base - bit_range - bit_lock  # Eq. 6
+    if bit_key <= 0:
+        raise ValueError(f"no key bits left (lock={bit_lock})")
+    return FieldWidths(base=bit_base, range=bit_range,
+                       lock=bit_lock, key=bit_key)
+
+
+@dataclass(frozen=True)
+class HwstConfig:
+    """Platform configuration shared by compiler, runtime and hardware.
+
+    The defaults describe the simulated machine: a 16 MiB user region
+    whose linear-mapped shadow (Eq. 1 maps each byte to four) starts at
+    ``shadow_offset``, a lock table carved out of the start of shadow
+    space (the paper's embedded-workload optimisation maps the lock table
+    over the .text shadow), and the paper's 35/29/20/44 field widths.
+    """
+
+    widths: FieldWidths = field(default_factory=FieldWidths)
+    user_top: int = 0x0100_0000          # user addresses live in [0, 16 MiB)
+    shadow_offset: int = 0x1000_0000     # csr.sm.offset
+    lock_base: int = 0x1000_0000         # lock table overlays .text shadow
+    lock_entries: int = 1 << 20          # paper: SPEC needs ~1 M locks
+    keybuffer_entries: int = 8           # TLB-like keybuffer size
+    keybuffer_policy: str = "lru"        # "lru" | "fifo" (ablation knob)
+    shadow_budget: int = 0               # 0 = unlimited (bytes of S.Mem)
+
+    def __post_init__(self):
+        if self.user_top <= 0:
+            raise ValueError("user_top must be positive")
+        if self.shadow_offset < self.user_top:
+            raise ValueError("shadow region must not overlap user memory")
+        if self.lock_entries > self.widths.max_locks():
+            raise ValueError(
+                f"lock_entries {self.lock_entries} exceeds addressable "
+                f"locks {self.widths.max_locks()}"
+            )
+
+    @property
+    def lock_limit(self) -> int:
+        """One past the last lock_location address (8 bytes per lock)."""
+        return self.lock_base + 8 * self.lock_entries
+
+    @property
+    def shadow_top(self) -> int:
+        """End of the linear-mapped shadow region."""
+        return self.shadow_offset + (self.user_top << 2)

@@ -1,0 +1,104 @@
+"""Lock_location allocation and unique key generation.
+
+Temporal safety binds each allocation to a ``(key, lock)`` pair: the key
+is a unique integer, the lock is the address of a lock_location holding
+the key. Freeing erases the key, so any surviving pointer fails the
+compare when dereferenced (Section 3.1).
+
+This allocator is the host-side reference model; the simulated runtime
+(`__lock_alloc`/`__lock_free` in the mini-C runtime) implements the same
+free-list policy as instructions so that its cost shows up in the
+performance figures. The model is used directly by unit tests, by the
+Juliet functional harness, and by API users embedding HWST128 semantics
+without the ISS.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import HwstConfig
+from repro.core.metadata import INVALID_KEY
+from repro.errors import ReproError
+
+
+class LockTableFull(ReproError):
+    """No free lock_location entries remain."""
+
+
+class LockAllocator:
+    """Free-list allocator over the lock table region.
+
+    Keys increase monotonically from 1 and are never reused, so a stale
+    pointer can never be revalidated by a later allocation that happens
+    to receive the same lock_location (the paper: "the new allocation
+    will have a different unique key").
+    """
+
+    def __init__(self, config: HwstConfig, memory=None):
+        self._base = config.lock_base
+        self._entries = config.lock_entries
+        self._memory = memory
+        self._next_fresh = 0            # bump pointer into the table
+        self._free: List[int] = []      # recycled lock addresses
+        self._next_key = 1
+        self._live: dict = {}           # lock addr -> key
+        self.stats_allocs = 0
+        self.stats_frees = 0
+        self.stats_max_live = 0
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def allocate(self):
+        """Return ``(lock_addr, key)`` for a fresh allocation."""
+        if self._free:
+            lock = self._free.pop()
+        elif self._next_fresh < self._entries:
+            lock = self._base + 8 * self._next_fresh
+            self._next_fresh += 1
+        else:
+            raise LockTableFull(
+                f"all {self._entries} lock_locations are live"
+            )
+        key = self._next_key
+        self._next_key += 1
+        self._live[lock] = key
+        self.stats_allocs += 1
+        self.stats_max_live = max(self.stats_max_live, len(self._live))
+        if self._memory is not None:
+            self._memory.store_u64(lock, key)
+        return lock, key
+
+    def free(self, lock: int):
+        """Erase the key at ``lock`` and recycle the lock_location."""
+        if lock not in self._live:
+            raise ReproError(f"lock {lock:#x} is not live (double free?)")
+        del self._live[lock]
+        self._free.append(lock)
+        self.stats_frees += 1
+        if self._memory is not None:
+            self._memory.store_u64(lock, INVALID_KEY)
+
+    def key_at(self, lock: int) -> int:
+        """Current key stored in a lock_location (0 when freed)."""
+        if self._memory is not None:
+            return self._memory.load_u64(lock)
+        return self._live.get(lock, INVALID_KEY)
+
+    def check(self, key: int, lock: int) -> bool:
+        """Temporal check: does the pointer's key still match its lock?"""
+        if lock == 0:
+            return False
+        return key != INVALID_KEY and self.key_at(lock) == key
+
+    def reset(self):
+        """Drop all state (new program run)."""
+        self._next_fresh = 0
+        self._free.clear()
+        self._live.clear()
+        self._next_key = 1
+        self.stats_allocs = 0
+        self.stats_frees = 0
+        self.stats_max_live = 0

@@ -1,0 +1,57 @@
+"""Uncompressed pointer metadata: base, bound, key, lock.
+
+This is the 256-bit metadata of Fig. 2 before compression. A pointer is
+spatially valid for an access of ``size`` bytes at ``addr`` when
+``base <= addr`` and ``addr + size <= bound``; it is temporally valid
+when the key stored at its lock_location still equals its own key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INVALID_KEY = 0  # a freed lock_location holds key 0
+
+
+@dataclass(frozen=True)
+class PointerMetadata:
+    """Metadata bound to one pointer value."""
+
+    base: int = 0
+    bound: int = 0
+    key: int = INVALID_KEY
+    lock: int = 0
+
+    def __post_init__(self):
+        if self.base < 0 or self.bound < 0:
+            raise ValueError("base/bound must be non-negative addresses")
+        if self.bound < self.base:
+            raise ValueError(
+                f"bound {self.bound:#x} precedes base {self.base:#x}"
+            )
+        if self.key < 0 or self.lock < 0:
+            raise ValueError("key/lock must be non-negative")
+
+    @property
+    def size(self) -> int:
+        """Object size in bytes covered by the spatial metadata."""
+        return self.bound - self.base
+
+    def spatially_valid(self, addr: int, size: int = 1) -> bool:
+        """True when ``[addr, addr+size)`` lies inside ``[base, bound)``."""
+        return self.base <= addr and addr + size <= self.bound
+
+    def is_null(self) -> bool:
+        """Null-pointer metadata: zero-size object at address zero."""
+        return self.base == 0 and self.bound == 0
+
+    def with_temporal(self, key: int, lock: int) -> "PointerMetadata":
+        """Copy with the temporal half replaced (bndrt semantics)."""
+        return PointerMetadata(self.base, self.bound, key, lock)
+
+    def with_spatial(self, base: int, bound: int) -> "PointerMetadata":
+        """Copy with the spatial half replaced (bndrs semantics)."""
+        return PointerMetadata(base, bound, self.key, self.lock)
+
+
+NULL_METADATA = PointerMetadata(0, 0, INVALID_KEY, 0)

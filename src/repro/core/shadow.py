@@ -1,0 +1,79 @@
+"""Linear-mapped shadow memory (LMSM) address mapping.
+
+Eq. 1 of the paper::
+
+    Addr_LMSM = (Addr_ptr_container << 2) + CSR_offset
+
+Every 8-byte pointer container in user memory owns a 32-byte shadow span;
+the 128-bit compressed metadata occupies the first 16 bytes (lower half
+first, matching the ``sbdl``/``sbdu`` split). The map is the functional
+model of the shadow memory address calculator (SMAC) pipeline unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compression import CompressedMetadata
+from repro.core.config import HwstConfig
+from repro.errors import MemoryFault
+
+CONTAINER_SHIFT = 2  # Eq. 1: container address is scaled by four
+
+
+@dataclass(frozen=True)
+class ShadowMap:
+    """Maps user container addresses to their LMSM metadata slots."""
+
+    offset: int
+    user_top: int
+
+    @classmethod
+    def from_config(cls, config: HwstConfig) -> "ShadowMap":
+        return cls(offset=config.shadow_offset, user_top=config.user_top)
+
+    def shadow_addr(self, container: int) -> int:
+        """Eq. 1: shadow address of a pointer container."""
+        if not 0 <= container < self.user_top:
+            raise MemoryFault(container, "container outside user memory")
+        return (container << CONTAINER_SHIFT) + self.offset
+
+    def lower_addr(self, container: int) -> int:
+        """Address of the compressed lower (spatial) half."""
+        return self.shadow_addr(container)
+
+    def upper_addr(self, container: int) -> int:
+        """Address of the compressed upper (temporal) half."""
+        return self.shadow_addr(container) + 8
+
+    def is_shadow_addr(self, addr: int) -> bool:
+        """True when ``addr`` falls inside the shadow region."""
+        return self.offset <= addr < self.offset + (self.user_top << CONTAINER_SHIFT)
+
+    def container_of(self, shadow_addr: int) -> int:
+        """Inverse of :meth:`shadow_addr` (for diagnostics)."""
+        if not self.is_shadow_addr(shadow_addr):
+            raise MemoryFault(shadow_addr, "not a shadow address")
+        return (shadow_addr - self.offset) >> CONTAINER_SHIFT
+
+    # -- memory plumbing ----------------------------------------------------
+
+    def store(self, memory, container: int, compressed: CompressedMetadata):
+        """Write both compressed halves for ``container`` (sbdl + sbdu)."""
+        addr = self.shadow_addr(container)
+        memory.store_u64(addr, compressed.lower)
+        memory.store_u64(addr + 8, compressed.upper)
+
+    def load(self, memory, container: int) -> CompressedMetadata:
+        """Read both compressed halves for ``container`` (lbdls + lbdus)."""
+        addr = self.shadow_addr(container)
+        return CompressedMetadata(
+            lower=memory.load_u64(addr),
+            upper=memory.load_u64(addr + 8),
+        )
+
+    def clear(self, memory, container: int):
+        """Zero the metadata slot (used when a non-pointer overwrites one)."""
+        addr = self.shadow_addr(container)
+        memory.store_u64(addr, 0)
+        memory.store_u64(addr + 8, 0)

@@ -1,0 +1,143 @@
+"""Exception hierarchy shared across the HWST128 reproduction.
+
+Simulator traps (spatial/temporal violations, faults) and toolchain errors
+(front-end, IR, code generation) all derive from :class:`ReproError` so a
+harness can catch everything produced by this package with one handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Toolchain errors
+# ---------------------------------------------------------------------------
+
+class ToolchainError(ReproError):
+    """Base class for compiler front-end / IR / codegen failures."""
+
+
+class LexError(ToolchainError):
+    """Invalid token in mini-C source."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class ParseError(ToolchainError):
+    """Syntax error in mini-C source."""
+
+    def __init__(self, message: str, line: int, col: int):
+        super().__init__(f"{line}:{col}: {message}")
+        self.line = line
+        self.col = col
+
+
+class SemanticError(ToolchainError):
+    """Type error or other semantic violation in mini-C source."""
+
+
+class IRError(ToolchainError):
+    """Malformed IR detected by the verifier or a pass."""
+
+
+class CodegenError(ToolchainError):
+    """Lowering from IR to RV64 failed."""
+
+
+class LinkError(ToolchainError):
+    """Symbol resolution failure when building a program image."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation traps
+# ---------------------------------------------------------------------------
+
+class SimTrap(ReproError):
+    """Base class for anything that stops the simulated program."""
+
+
+class SpatialViolation(SimTrap):
+    """Out-of-bound pointer dereference caught by a spatial check (SCU)."""
+
+    def __init__(self, pc: int, addr: int, base: int, bound: int):
+        super().__init__(
+            f"spatial violation at pc={pc:#x}: addr={addr:#x} "
+            f"outside [{base:#x}, {bound:#x})"
+        )
+        self.pc = pc
+        self.addr = addr
+        self.base = base
+        self.bound = bound
+
+
+class TemporalViolation(SimTrap):
+    """Dangling-pointer dereference caught by a temporal check (TCU)."""
+
+    def __init__(self, pc: int, ptr_key: int, lock_key: int, lock: int):
+        super().__init__(
+            f"temporal violation at pc={pc:#x}: pointer key {ptr_key:#x} != "
+            f"lock key {lock_key:#x} (lock={lock:#x})"
+        )
+        self.pc = pc
+        self.ptr_key = ptr_key
+        self.lock_key = lock_key
+        self.lock = lock
+
+
+class MemoryFault(SimTrap):
+    """Access to an unmapped or misaligned address."""
+
+    def __init__(self, addr: int, reason: str = "unmapped"):
+        super().__init__(f"memory fault at {addr:#x}: {reason}")
+        self.addr = addr
+        self.reason = reason
+
+
+class IllegalInstruction(SimTrap):
+    """Unknown opcode or malformed operands reached the decoder/executor."""
+
+    def __init__(self, pc: int, detail: str):
+        super().__init__(f"illegal instruction at pc={pc:#x}: {detail}")
+        self.pc = pc
+        self.detail = detail
+
+
+class EcallExit(SimTrap):
+    """Simulated program requested exit through an environment call."""
+
+    def __init__(self, code: int):
+        super().__init__(f"program exited with code {code}")
+        self.code = code
+
+
+class EcallAbort(SimTrap):
+    """Simulated program aborted (runtime detected a fatal condition)."""
+
+    def __init__(self, reason: str = "abort"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class SimLimitExceeded(SimTrap):
+    """Instruction budget exhausted — runaway program guard."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"instruction limit exceeded ({limit})")
+        self.limit = limit
+
+
+class ShadowMemoryExhausted(SimTrap):
+    """Shadow memory budget exhausted (reproduces the paper's lbm OOM)."""
+
+    def __init__(self, used: int, budget: int):
+        super().__init__(
+            f"shadow memory exhausted: {used} bytes used, budget {budget}"
+        )
+        self.used = used
+        self.budget = budget

@@ -1,0 +1,27 @@
+"""Experiment harness: runners, coverage evaluation, figure tables.
+
+* :mod:`repro.harness.runner` — compile-and-run helpers with caching,
+  perf.oh (Eq. 7) and speedup (Eq. 8) math, detection classification;
+* :mod:`repro.harness.coverage` — Fig. 6 Juliet coverage evaluation;
+* :mod:`repro.harness.experiments` — one entry point per paper artefact
+  (``python -m repro.harness.experiments --list``).
+"""
+
+from repro.harness.runner import (
+    detected,
+    perf_overhead_pct,
+    run_program,
+    run_workload,
+    speedup,
+)
+from repro.harness.coverage import evaluate_coverage, CoverageResult
+
+__all__ = [
+    "detected",
+    "perf_overhead_pct",
+    "run_program",
+    "run_workload",
+    "speedup",
+    "evaluate_coverage",
+    "CoverageResult",
+]

@@ -1,0 +1,97 @@
+"""Fig. 6: Juliet security-coverage evaluation.
+
+Runs every (sampled) bad case under each scheme, classifies detections
+with :func:`repro.harness.runner.detected`, and aggregates coverage per
+CWE and overall — the percentages of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.harness.runner import detected, run_program
+from repro.workloads.juliet import (
+    JulietCase, SPATIAL_CWES, TEMPORAL_CWES, generate_corpus,
+)
+
+# Paper Fig. 6 overall coverage (% of 8366 cases).
+PAPER_COVERAGE = {
+    "gcc": 11.20,
+    "asan": 58.08,
+    "sbcets": 64.49,
+    "hwst128_tchk": 63.63,
+}
+
+
+@dataclass
+class CoverageResult:
+    scheme: str
+    total: int = 0
+    detected: int = 0
+    per_cwe: Dict[int, List[int]] = field(default_factory=dict)
+    # case_id -> status string, for drill-down
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def coverage_pct(self) -> float:
+        return 100.0 * self.detected / self.total if self.total else 0.0
+
+    def cwe_coverage_pct(self, cwe: int) -> float:
+        det, tot = self.per_cwe.get(cwe, (0, 0))
+        return 100.0 * det / tot if tot else 0.0
+
+    def record(self, case: JulietCase, was_detected: bool):
+        self.total += 1
+        det, tot = self.per_cwe.get(case.cwe, (0, 0))
+        self.per_cwe[case.cwe] = (det + int(was_detected), tot + 1)
+        if was_detected:
+            self.detected += 1
+
+
+def evaluate_coverage(schemes: Iterable[str],
+                      fraction: float = 0.05,
+                      cases: Optional[List[JulietCase]] = None,
+                      check_good: bool = False,
+                      max_instructions: int = 5_000_000
+                      ) -> Dict[str, CoverageResult]:
+    """Measure Fig. 6 coverage for the given schemes.
+
+    ``fraction`` selects a stratified sample preserving the corpus
+    proportions; ``check_good`` additionally runs every good variant
+    and records false positives in ``failures``.
+    """
+    if cases is None:
+        cases = generate_corpus(fraction=fraction)
+    results: Dict[str, CoverageResult] = {}
+    for scheme in schemes:
+        result = CoverageResult(scheme=scheme)
+        for case in cases:
+            run = run_program(case.bad_source, scheme, timing=False,
+                              max_instructions=max_instructions)
+            result.record(case, detected(scheme, run))
+            if check_good:
+                good = run_program(case.good_source, scheme,
+                                   timing=False,
+                                   max_instructions=max_instructions)
+                if not (good.status == "exit" and good.exit_code == 0):
+                    result.failures.append(
+                        f"{case.case_id}: good variant -> {good.status}")
+        results[scheme] = result
+    return results
+
+
+def coverage_table(results: Dict[str, CoverageResult]) -> str:
+    """Render the Fig. 6 comparison table (measured vs paper)."""
+    lines = [f"{'scheme':14s} {'measured':>9s} {'paper':>7s}   per-CWE"]
+    for scheme, result in results.items():
+        paper = PAPER_COVERAGE.get(scheme)
+        paper_s = f"{paper:6.2f}%" if paper is not None else "    -  "
+        cwes = " ".join(
+            f"{cwe}:{result.cwe_coverage_pct(cwe):.0f}%"
+            for cwe in (*SPATIAL_CWES, *TEMPORAL_CWES)
+            if cwe in result.per_cwe
+        )
+        lines.append(
+            f"{scheme:14s} {result.coverage_pct:8.2f}% {paper_s}   {cwes}")
+    return "\n".join(lines)

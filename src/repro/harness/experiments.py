@@ -1,0 +1,335 @@
+"""Figure/table regeneration entry points.
+
+Each ``fig*``/``tab*``/``abl*`` function reproduces one paper artefact
+and returns structured data; ``main`` renders text tables. Usage::
+
+    python -m repro.harness.experiments --list
+    python -m repro.harness.experiments fig4 --scale small
+    python -m repro.harness.experiments all --scale small
+
+``scale`` selects workload inputs: "default" is the calibrated
+configuration used for EXPERIMENTS.md; "small" is a fast smoke
+configuration (same shapes, looser numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import HwstConfig, derive_field_widths
+from repro.harness.coverage import (
+    PAPER_COVERAGE, coverage_table, evaluate_coverage,
+)
+from repro.harness.runner import perf_overhead_pct, run_workload, speedup
+from repro.pipeline.hwcost import HardwareCostModel
+from repro.pipeline.timing import InOrderPipeline, TimingParams
+from repro.schemes import compile_source
+from repro.sim.machine import Machine
+from repro.workloads import SPEC_FIG5, WORKLOADS
+from repro.workloads.juliet import corpus_counts
+
+# Paper reference numbers -----------------------------------------------------
+
+PAPER_FIG4_GEOMEAN = {"sbcets": 441.45, "hwst128": 152.91,
+                      "hwst128_tchk": 94.89}
+PAPER_FIG5_GEOMEAN = {"bogo": 1.31, "wdl_narrow": 1.58,
+                      "wdl_wide": 1.64, "hwst128_tchk": 3.74}
+PAPER_FIG5_HIGHLIGHTS = {"bzip2": 7.98, "hmmer": 7.78}
+PAPER_HWCOST = {"luts": 1536, "lut_pct": 4.11, "ffs": 112,
+                "ff_pct": 0.66, "cp_before": 5.26, "cp_after": 6.45}
+
+
+def _geomean(values: Sequence[float]) -> float:
+    return math.prod(values) ** (1.0 / len(values)) if values else 0.0
+
+
+# ---------------------------------------------------------------------------
+# FIG2 — metadata compression widths (Eq. 3-6 census)
+# ---------------------------------------------------------------------------
+
+def fig2_compression(scale: str = "default",
+                     workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Derive the compressed field widths from a workload census.
+
+    Mirrors Section 3.3: run the suite, record the largest object and
+    the number of lock_locations used, then apply Eq. 3-6 for both the
+    paper's platform (256 GiB / 1 M locks -> 35/29/20/44) and the
+    simulated platform.
+    """
+    names = list(workloads) if workloads else list(WORKLOADS)
+    max_range = 8
+    max_locks = 1
+    config = HwstConfig()
+    for name in names:
+        machine = Machine(config=config)
+        program = compile_source(WORKLOADS[name].source(scale),
+                                 "hwst128_tchk", config)
+        machine.run(program)
+        comp = machine.compressor
+        max_range = max(max_range, comp.max_range_seen)
+        max_locks = max(max_locks, comp.max_lock_index_seen)
+    paper = derive_field_widths(256 << 30, 1 << 28, 1_000_000)
+    ours = derive_field_widths(config.user_top, max_range,
+                               max(max_locks, 2))
+    return {
+        "census": {"max_object_bytes": max_range,
+                   "lock_locations_used": max_locks,
+                   "workloads": len(names)},
+        "paper_platform": {"base": paper.base, "range": paper.range,
+                           "lock": paper.lock, "key": paper.key},
+        "sim_platform": {"base": ours.base, "range": ours.range,
+                         "lock": ours.lock, "key": ours.key},
+        "paper_reference": {"base": 35, "range": 29, "lock": 20,
+                            "key": 44, "min_range_bits_for_spec": 25},
+    }
+
+
+# ---------------------------------------------------------------------------
+# FIG4 — performance overhead (Eq. 7)
+# ---------------------------------------------------------------------------
+
+FIG4_SCHEMES = ("sbcets", "hwst128", "hwst128_tchk")
+
+
+def fig4_overhead(scale: str = "default",
+                  workloads: Optional[Sequence[str]] = None,
+                  timing_params: Optional[TimingParams] = None) -> Dict:
+    """Fig. 4: perf.oh of SBCETS / HWST128 / HWST128_tchk per workload."""
+    names = list(workloads) if workloads else list(WORKLOADS)
+    rows = []
+    ratios = {scheme: [] for scheme in FIG4_SCHEMES}
+    for name in names:
+        base = run_workload(name, "baseline", scale=scale,
+                            timing_params=timing_params)
+        if not base.ok:
+            raise RuntimeError(f"{name} baseline failed: {base.status}")
+        row = {"workload": name, "group": WORKLOADS[name].group,
+               "baseline_cycles": base.cycles}
+        for scheme in FIG4_SCHEMES:
+            run = run_workload(name, scheme, scale=scale,
+                               timing_params=timing_params)
+            if not run.ok:
+                raise RuntimeError(f"{name}/{scheme}: {run.status}")
+            row[scheme] = perf_overhead_pct(run.cycles, base.cycles)
+            ratios[scheme].append(run.cycles / base.cycles)
+        rows.append(row)
+    geomean = {scheme: 100.0 * (_geomean(values) - 1.0)
+               for scheme, values in ratios.items()}
+    return {"rows": rows, "geomean": geomean,
+            "paper_geomean": dict(PAPER_FIG4_GEOMEAN)}
+
+
+# ---------------------------------------------------------------------------
+# FIG5 — speedup factors (Eq. 8)
+# ---------------------------------------------------------------------------
+
+FIG5_SCHEMES = ("bogo", "wdl_narrow", "wdl_wide", "hwst128_tchk")
+
+
+def fig5_speedup(scale: str = "default",
+                 workloads: Optional[Sequence[str]] = None) -> Dict:
+    """Fig. 5: speedup over SBCETS for the acceleration schemes.
+
+    Note (EXPERIMENTS.md): the paper's BOGO/WDL bars are literature
+    values measured on x86 against x86 SBCETS; we re-implement the
+    mechanisms on the simulated RISC-V pipeline, so our measured
+    factors differ in level while HWST128 remains the fastest.
+    """
+    names = list(workloads) if workloads else list(SPEC_FIG5)
+    rows = []
+    ratios = {scheme: [] for scheme in FIG5_SCHEMES}
+    for name in names:
+        sbcets = run_workload(name, "sbcets", scale=scale)
+        if not sbcets.ok:
+            raise RuntimeError(f"{name}/sbcets: {sbcets.status}")
+        row = {"workload": name, "sbcets_cycles": sbcets.cycles}
+        for scheme in FIG5_SCHEMES:
+            run = run_workload(name, scheme, scale=scale)
+            if not run.ok:
+                raise RuntimeError(f"{name}/{scheme}: {run.status}")
+            row[scheme] = speedup(sbcets.cycles, run.cycles)
+            ratios[scheme].append(row[scheme])
+        rows.append(row)
+    geomean = {scheme: _geomean(values)
+               for scheme, values in ratios.items()}
+    return {"rows": rows, "geomean": geomean,
+            "paper_geomean": dict(PAPER_FIG5_GEOMEAN),
+            "paper_highlights": dict(PAPER_FIG5_HIGHLIGHTS)}
+
+
+# ---------------------------------------------------------------------------
+# FIG6 — Juliet security coverage
+# ---------------------------------------------------------------------------
+
+FIG6_SCHEMES = ("gcc", "asan", "sbcets", "hwst128_tchk")
+
+
+def fig6_coverage(fraction: float = 0.03,
+                  schemes: Sequence[str] = FIG6_SCHEMES) -> Dict:
+    """Fig. 6: coverage of GCC/ASAN/SBCETS/HWST128 on the corpus."""
+    results = evaluate_coverage(schemes, fraction=fraction)
+    counts = corpus_counts()
+    return {
+        "corpus": counts,
+        "paper_corpus": {"spatial": 7074, "temporal": 1292,
+                         "total": 8366},
+        "fraction": fraction,
+        "coverage": {s: r.coverage_pct for s, r in results.items()},
+        "per_cwe": {s: {cwe: r.cwe_coverage_pct(cwe)
+                        for cwe in sorted(r.per_cwe)}
+                    for s, r in results.items()},
+        "paper_coverage": dict(PAPER_COVERAGE),
+        "table": coverage_table(results),
+    }
+
+
+# ---------------------------------------------------------------------------
+# TAB-HW — Section 5.3 hardware cost
+# ---------------------------------------------------------------------------
+
+def hwcost_table(config: Optional[HwstConfig] = None) -> Dict:
+    report = HardwareCostModel(config or HwstConfig()).report()
+    return {
+        "added_luts": report.added_luts,
+        "lut_overhead_pct": round(report.lut_overhead_pct, 2),
+        "added_ffs": report.added_ffs,
+        "ff_overhead_pct": round(report.ff_overhead_pct, 2),
+        "critical_path_before_ns": report.baseline_critical_path_ns,
+        "critical_path_after_ns": report.critical_path_ns,
+        "paper": dict(PAPER_HWCOST),
+        "components": [(c.name, c.luts, c.ffs)
+                       for c in report.components],
+        "table": report.table(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+def abl_keybuffer(sizes: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
+                  workloads: Sequence[str] = ("bzip2", "hmmer", "tsp"),
+                  scale: str = "default",
+                  policies: Sequence[str] = ("lru",)) -> Dict:
+    """ABL-KB: keybuffer size/policy sweep (design choice of §3.5)."""
+    rows = []
+    for policy in policies:
+        for size in sizes:
+            config = HwstConfig(keybuffer_entries=size,
+                                keybuffer_policy=policy)
+            entry = {"entries": size, "policy": policy}
+            for name in workloads:
+                run = run_workload(name, "hwst128_tchk", scale=scale,
+                                   config=config)
+                if not run.ok:
+                    raise RuntimeError(f"{name}/kb={size}: {run.status}")
+                hits = run.stats.get("kb_hits", 0)
+                misses = run.stats.get("kb_misses", 0)
+                entry[name] = {
+                    "cycles": run.cycles,
+                    "hit_rate": hits / (hits + misses) if hits + misses
+                    else 0.0,
+                }
+            rows.append(entry)
+    return {"rows": rows, "workloads": list(workloads),
+            "policies": list(policies)}
+
+
+def abl_compression(workloads: Sequence[str] = ("tsp", "health",
+                                                "bzip2"),
+                    scale: str = "default") -> Dict:
+    """ABL-COMP: compressed 128-bit metadata (HWST128) vs uncompressed
+    256-bit metadata (the WDL-wide datapath) — half the through-memory
+    metadata traffic is the compression win of Section 3.3."""
+    rows = []
+    for name in workloads:
+        base = run_workload(name, "baseline", scale=scale)
+        compressed = run_workload(name, "hwst128_tchk", scale=scale)
+        uncompressed = run_workload(name, "wdl_wide", scale=scale)
+        rows.append({
+            "workload": name,
+            "compressed_oh": perf_overhead_pct(compressed.cycles,
+                                               base.cycles),
+            "uncompressed_oh": perf_overhead_pct(uncompressed.cycles,
+                                                 base.cycles),
+            "compressed_shadow_bytes": compressed.stats["shadow_bytes"],
+            "uncompressed_shadow_bytes":
+                uncompressed.stats["shadow_bytes"],
+        })
+    return {"rows": rows}
+
+
+def abl_shadow_map(workloads: Sequence[str] = ("tsp", "health",
+                                               "bzip2"),
+                   scale: str = "default") -> Dict:
+    """ABL-LMSM: SBCETS with its two-level trie vs the linear-mapped
+    shadow memory (the paper's hardware-friendly choice, Section 2)."""
+    rows = []
+    for name in workloads:
+        base = run_workload(name, "baseline", scale=scale)
+        trie = run_workload(name, "sbcets", scale=scale)
+        linear = run_workload(name, "sbcets_lmsm", scale=scale)
+        rows.append({
+            "workload": name,
+            "trie_oh": perf_overhead_pct(trie.cycles, base.cycles),
+            "linear_oh": perf_overhead_pct(linear.cycles, base.cycles),
+        })
+    return {"rows": rows}
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+EXPERIMENTS = {
+    "fig2": lambda args: fig2_compression(scale=args.scale),
+    "fig4": lambda args: fig4_overhead(scale=args.scale),
+    "fig5": lambda args: fig5_speedup(scale=args.scale),
+    "fig6": lambda args: fig6_coverage(fraction=args.fraction),
+    "hwcost": lambda args: hwcost_table(),
+    "abl_keybuffer": lambda args: abl_keybuffer(scale=args.scale),
+    "abl_compression": lambda args: abl_compression(scale=args.scale),
+    "abl_shadow": lambda args: abl_shadow_map(scale=args.scale),
+}
+
+
+def _render(name: str, data: Dict) -> str:
+    if "table" in data:
+        return data["table"]
+    return json.dumps(data, indent=2, default=str)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate HWST128 paper figures")
+    parser.add_argument("experiment", nargs="?", default="all",
+                        help="fig2|fig4|fig5|fig6|hwcost|abl_*|all")
+    parser.add_argument("--scale", default="default",
+                        choices=("default", "small"))
+    parser.add_argument("--fraction", type=float, default=0.03,
+                        help="Juliet corpus sample fraction")
+    parser.add_argument("--list", action="store_true")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    selected = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in selected:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
+            return 1
+        print(f"=== {name} ===")
+        print(_render(name, EXPERIMENTS[name](args)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

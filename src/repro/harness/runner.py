@@ -1,0 +1,68 @@
+"""Run helpers and the paper's evaluation math (Eq. 7/8)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.config import HwstConfig
+from repro.pipeline.timing import InOrderPipeline, TimingParams
+from repro.schemes import compile_source
+from repro.sim.machine import (
+    Machine, RunResult, STATUS_ABORT, STATUS_FAULT, STATUS_SPATIAL,
+    STATUS_TEMPORAL,
+)
+from repro.workloads import WORKLOADS
+
+
+def run_program(source: str, scheme: str,
+                config: Optional[HwstConfig] = None,
+                timing: bool = True,
+                timing_params: Optional[TimingParams] = None,
+                max_instructions: int = 200_000_000) -> RunResult:
+    """Compile + execute one program under one scheme."""
+    config = config or HwstConfig()
+    program = compile_source(source, scheme, config)
+    pipeline = InOrderPipeline(timing_params) if timing else None
+    machine = Machine(config=config, timing=pipeline)
+    return machine.run(program, max_instructions=max_instructions)
+
+
+def run_workload(name: str, scheme: str, scale: str = "default",
+                 **kwargs) -> RunResult:
+    """Run a registered benchmark workload under a scheme."""
+    return run_program(WORKLOADS[name].source(scale), scheme, **kwargs)
+
+
+def perf_overhead_pct(instrumented_cycles: int,
+                      baseline_cycles: int) -> float:
+    """Eq. 7: perf.oh(%) = (instrumented/baseline - 1) * 100."""
+    if baseline_cycles <= 0:
+        raise ValueError("baseline cycles must be positive")
+    return (instrumented_cycles / baseline_cycles - 1.0) * 100.0
+
+
+def speedup(sbcets_cycles: int, accelerated_cycles: int) -> float:
+    """Eq. 8: speedup(x) = SBCETS_cycles / accelerated_cycles."""
+    if accelerated_cycles <= 0:
+        raise ValueError("accelerated cycles must be positive")
+    return sbcets_cycles / accelerated_cycles
+
+
+# Detection classification (Section 4: "parsing the output of the test
+# case to observe if any violation is detected" — a report counts, a
+# silent crash does not).
+
+def detected(scheme: str, result: RunResult) -> bool:
+    """Did this scheme's tooling *report* a violation on this run?"""
+    if scheme in ("sbcets", "sbcets_lmsm", "hwst128", "hwst128_tchk",
+                  "bogo", "wdl_narrow", "wdl_wide"):
+        return result.status in (STATUS_SPATIAL, STATUS_TEMPORAL)
+    if scheme == "asan":
+        # ASAN prints a report for its own checks and for SEGV.
+        if result.status == STATUS_ABORT and "asan" in result.detail:
+            return True
+        return result.status == STATUS_FAULT
+    if scheme == "gcc":
+        return result.status == STATUS_ABORT and \
+            "smash" in result.detail
+    return False  # baseline: crashes produce no diagnostic

@@ -1,0 +1,36 @@
+"""Register IR, AST lowering, pointer analysis and instrumentation.
+
+The IR sits between the mini-C front end and the RV64 code generator:
+
+* :mod:`repro.ir.ir` — instruction definitions, functions, modules;
+* :mod:`repro.ir.irgen` — typed AST -> IR (-O0 style, no optimisation);
+* :mod:`repro.ir.verify` — structural invariants codegen relies on;
+* :mod:`repro.ir.instrument` — the scheme instrumentation passes
+  (SBCETS software, HWST128 hardware, ASAN, GCC canaries, BOGO/MPX,
+  WatchdogLite narrow/wide) that rewrite clean IR into protected IR.
+
+Pointer provenance is tracked during IR generation (``Function.prov``),
+which is the reproduction of the SBCETS pointer analysis the paper's
+compiler performs on LLVM IR.
+"""
+
+from repro.ir.ir import (
+    Module, Function, BasicBlock,
+    IConst, BinOp, UnOp, Conv, Load, Store, AddrLocal, AddrGlobal,
+    Call, Ret, Br, Jmp,
+    HwBndrs, HwBndrt, HwTchk, HwSbd, HwLbds, HwMetaGpr,
+    MpxBndcl, MpxBndcu, MpxBndldx, MpxBndstx,
+    AvxVld, AvxVst, AvxVchk,
+)
+from repro.ir.irgen import lower_unit
+from repro.ir.verify import verify_module
+
+__all__ = [
+    "Module", "Function", "BasicBlock",
+    "IConst", "BinOp", "UnOp", "Conv", "Load", "Store",
+    "AddrLocal", "AddrGlobal", "Call", "Ret", "Br", "Jmp",
+    "HwBndrs", "HwBndrt", "HwTchk", "HwSbd", "HwLbds", "HwMetaGpr",
+    "MpxBndcl", "MpxBndcu", "MpxBndldx", "MpxBndstx",
+    "AvxVld", "AvxVst", "AvxVchk",
+    "lower_unit", "verify_module",
+]

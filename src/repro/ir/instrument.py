@@ -1,0 +1,983 @@
+"""Instrumentation passes: clean IR -> protected IR.
+
+Each pass rewrites user functions in place, inserting metadata
+creation/propagation/check operations at the pointer events the IR
+generator annotated:
+
+* pointer loaded from memory   (``Load.ptr_result``)
+* pointer stored to memory     (``Store.ptr_value``)
+* user-level dereference       (``needs_check`` loads/stores)
+* allocation / free call sites (``malloc``/``calloc``/``free``)
+* calls with pointer arguments or results
+* function entry / returns     (frame lock, canary, redzones)
+
+The **container-shadow convention** is shared by all pointer-based
+schemes: a pointer value stored at container address ``A`` keeps its
+metadata in the shadow of ``A``; a pointer held in a register carries
+its metadata in the shadow register file (hardware schemes) or in the
+scheme's metadata registers (software schemes, rematerialised from the
+pointer's *root container* before every use). ``root`` tracking below
+is the per-block dataflow that makes that possible — it is the IR-level
+equivalent of the SRF in-pipeline propagation of Section 3.2.
+
+Static objects (named locals, globals) receive only spatial checks on
+direct access — their frame/image is provably live at that point, which
+mirrors the CETS dominator-based temporal-check elision — but escaping
+pointers to them are bound with the frame (or global) key/lock, so
+use-after-return is caught exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import HwstConfig
+from repro.errors import IRError
+from repro.minic.types import LONG, PointerType, VOID
+from repro.ir.ir import (
+    AddrGlobal, AddrLocal, AvxVchk, AvxVld, AvxVst, BasicBlock, BinOp,
+    Br, Call, Conv, Function, GetParam, GlobalData, HwBndrs, HwBndrt,
+    HwLbds, HwMetaGpr, HwSbd, HwTchk, IConst, IRInstr, Jmp, Load, Module,
+    MpxBndcl, MpxBndcu, MpxBndldx, MpxBndstx, Ret, Store, TrapIf, UnOp,
+)
+
+# Runtime functions whose buffer arguments get wrapper range checks
+# (the SBCETS "function wrapper" story for library calls):
+# name -> list of (ptr_arg_index, length_arg_index)
+WRAPPED_RANGE_FNS: Dict[str, List[Tuple[int, int]]] = {
+    "memcpy": [(0, 2), (1, 2)],
+    "memset": [(0, 2)],
+    "memcmp": [(0, 2), (1, 2)],
+    "strncpy": [(0, 2)],
+}
+
+ALLOC_FNS = ("malloc", "calloc")
+
+
+class _PassBase:
+    """Shared walking/rewriting machinery."""
+
+    temporal = True          # scheme tracks key/lock metadata
+    protects = True          # scheme instruments derefs at all
+
+    def __init__(self, module: Module, fn: Function, config: HwstConfig):
+        self.module = module
+        self.fn = fn
+        self.config = config
+        self.out: List[IRInstr] = []
+        self.root: Dict[int, int] = {}
+        self._scratch_n = 0
+        self.uses_frame_lock = False
+
+    # -- small helpers ---------------------------------------------------
+
+    def vreg(self, ctype=None) -> int:
+        return self.fn.new_vreg(ctype)
+
+    def emit(self, ins: IRInstr):
+        self.out.append(ins)
+
+    def const(self, value: int) -> int:
+        dst = self.vreg(LONG)
+        self.emit(IConst(dst, value))
+        return dst
+
+    def call(self, name: str, args: List[int],
+             returns: bool = False) -> Optional[int]:
+        dst = self.vreg(LONG) if returns else None
+        self.emit(Call(dst, name, list(args)))
+        return dst
+
+    def fresh_scratch(self) -> str:
+        """Hidden 8-byte local whose *shadow* parks metadata."""
+        self._scratch_n += 1
+        name = f"__meta.{self._scratch_n}"
+        self.fn.add_local(name, LONG)
+        return name
+
+    def addr_of_local(self, name: str) -> int:
+        dst = self.vreg(PointerType(VOID))
+        self.emit(AddrLocal(dst, name))
+        return dst
+
+    def addr_of_global(self, name: str) -> int:
+        dst = self.vreg(PointerType(VOID))
+        self.emit(AddrGlobal(dst, name))
+        return dst
+
+    def load_global(self, name: str) -> int:
+        addr = self.addr_of_global(name)
+        dst = self.vreg(LONG)
+        self.emit(Load(dst, addr, 8, True))
+        return dst
+
+    def prov(self, v: int):
+        return self.fn.prov.get(v)
+
+    def prov_kind(self, v: int) -> str:
+        prov = self.prov(v)
+        return prov[0] if prov else "none"
+
+    def object_size(self, prov) -> int:
+        kind, name = prov
+        if kind == "local":
+            return self.fn.locals[name].size
+        data = self.module.globals.get(name)
+        if data is None:
+            raise IRError(f"unknown global {name!r} in provenance")
+        return data.size
+
+    def static_bounds(self, prov) -> Tuple[int, int]:
+        """Materialise (base, bound) vregs for a local/global object."""
+        kind, name = prov
+        base = (self.addr_of_local(name) if kind == "local"
+                else self.addr_of_global(name))
+        size_v = self.const(self.object_size(prov))
+        bound = self.vreg(PointerType(VOID))
+        self.emit(BinOp(bound, "add", base, size_v))
+        return base, bound
+
+    def frame_keylock(self) -> Tuple[int, int]:
+        key = self.vreg(LONG)
+        self.emit(Load(key, self.addr_of_local("__frame_key"), 8, True))
+        lock = self.vreg(LONG)
+        self.emit(Load(lock, self.addr_of_local("__frame_lock"), 8, True))
+        return key, lock
+
+    def global_keylock(self) -> Tuple[int, int]:
+        return self.load_global("__global_key"), \
+            self.load_global("__global_lock")
+
+    def keylock_for(self, prov) -> Tuple[int, int]:
+        if prov[0] == "local":
+            if not self.uses_frame_lock:
+                # No frame lock allocated (shouldn't happen when a local
+                # object escapes, because having objects sets the flag).
+                return self.const(0), self.const(0)
+            return self.frame_keylock()
+        return self.global_keylock()
+
+    def masked_heap_metadata(self, p: int, size_v: int):
+        """Bind-site arithmetic handling malloc returning NULL.
+
+        Returns (bound, key, lock) vregs, all forced to zero when the
+        allocation failed so a NULL pointer keeps null metadata.
+        """
+        lock = self.call("__lock_alloc", [], returns=True)
+        key = self.vreg(LONG)
+        self.emit(Load(key, lock, 8, True))
+        zero = self.const(0)
+        nonzero = self.vreg(LONG)
+        self.emit(BinOp(nonzero, "ne", p, zero))
+        mask = self.vreg(LONG)
+        self.emit(UnOp(mask, "neg", nonzero))   # 0 or all-ones
+        raw_bound = self.vreg(LONG)
+        self.emit(BinOp(raw_bound, "add", p, size_v))
+        bound = self.vreg(LONG)
+        self.emit(BinOp(bound, "and", raw_bound, mask))
+        key_m = self.vreg(LONG)
+        self.emit(BinOp(key_m, "and", key, mask))
+        lock_m = self.vreg(LONG)
+        self.emit(BinOp(lock_m, "and", lock, mask))
+        return bound, key_m, lock_m
+
+    def inline_spatial(self, addr: int, size_v: int, base: int,
+                       bound: int):
+        """Inline -O0 spatial check: 2 compares + 2 trap branches."""
+        low = self.vreg(LONG)
+        self.emit(BinOp(low, "ult", addr, base))
+        self.emit(TrapIf(low, "spatial"))
+        end = self.vreg(LONG)
+        self.emit(BinOp(end, "add", addr, size_v))
+        high = self.vreg(LONG)
+        self.emit(BinOp(high, "ugt", end, bound))
+        self.emit(TrapIf(high, "spatial"))
+
+    def inline_key_check(self, key: int, lock: int):
+        """Inline temporal check: null-lock trap, then key compare.
+
+        The TrapIf on the null lock dominates the key load, so the load
+        through ``lock`` is safe when execution reaches it."""
+        null_lock = self.vreg(LONG)
+        zero = self.const(0)
+        self.emit(BinOp(null_lock, "eq", lock, zero))
+        self.emit(TrapIf(null_lock, "temporal"))
+        stored = self.vreg(LONG)
+        self.emit(Load(stored, lock, 8, True))
+        mismatch = self.vreg(LONG)
+        self.emit(BinOp(mismatch, "ne", stored, key))
+        self.emit(TrapIf(mismatch, "temporal"))
+
+    def clamped_last_byte(self, addr: int, length: int) -> int:
+        """addr + max(length-1, 0) without branching."""
+        one = self.const(1)
+        m1 = self.vreg(LONG)
+        self.emit(BinOp(m1, "sub", length, one))
+        sign = self.vreg(LONG)
+        self.emit(BinOp(sign, "ashr", m1, self.const(63)))
+        notsign = self.vreg(LONG)
+        self.emit(UnOp(notsign, "not", sign))
+        clamped = self.vreg(LONG)
+        self.emit(BinOp(clamped, "and", m1, notsign))
+        last = self.vreg(PointerType(VOID))
+        self.emit(BinOp(last, "add", addr, clamped))
+        return last
+
+    # -- the walk ------------------------------------------------------------
+
+    def run(self):
+        self.setup_function()
+        nparams = len(self.fn.param_names)
+        param_section = 3 * nparams
+        for block_index, block in enumerate(self.fn.blocks):
+            self.root = {}
+            self.out = []
+            pending_prologue = block_index == 0
+            for index, ins in enumerate(block.instrs):
+                if pending_prologue and index >= param_section:
+                    self.emit_prologue()
+                    pending_prologue = False
+                self.visit(ins, in_param_section=(
+                    block_index == 0 and index < param_section))
+            block.instrs = self.out
+        self.out = []
+
+    def setup_function(self):
+        """Hook: adjust frame (hidden locals) before rewriting."""
+        has_objects = any(slot.is_object for slot in
+                          self.fn.locals.values())
+        self.uses_frame_lock = self.temporal and has_objects
+        if self.uses_frame_lock:
+            self.fn.add_local("__frame_lock", LONG)
+            self.fn.add_local("__frame_key", LONG)
+
+    def emit_prologue(self):
+        if self.uses_frame_lock:
+            lock = self.call("__lock_alloc", [], returns=True)
+            self.emit(Store(self.addr_of_local("__frame_lock"), lock, 8))
+            key = self.vreg(LONG)
+            self.emit(Load(key, lock, 8, True))
+            self.emit(Store(self.addr_of_local("__frame_key"), key, 8))
+
+    def emit_epilogue(self):
+        if self.uses_frame_lock:
+            lock = self.vreg(LONG)
+            self.emit(Load(lock, self.addr_of_local("__frame_lock"),
+                           8, True))
+            self.call("__lock_free", [lock])
+
+    def visit(self, ins: IRInstr, in_param_section: bool = False):
+        if isinstance(ins, Load):
+            if ins.needs_check:
+                self.on_check(ins)
+            self.emit(ins)
+            if ins.ptr_result:
+                self.root[ins.dst] = ins.addr
+                self.on_ptr_loaded(ins)
+            return
+        if isinstance(ins, Store):
+            if ins.needs_check:
+                self.on_check(ins)
+            self.emit(ins)
+            if ins.ptr_value:
+                if self.prov_kind(ins.src) == "param":
+                    self.on_param_store(ins)
+                else:
+                    self.on_ptr_store(ins)
+            return
+        if isinstance(ins, BinOp):
+            self.emit(ins)
+            if self.prov(ins.dst) is not None:
+                root = self.root.get(ins.a)
+                if root is None:
+                    root = self.root.get(ins.b)
+                if root is not None:
+                    self.root[ins.dst] = root
+            return
+        if isinstance(ins, Call):
+            self.on_call(ins)
+            return
+        if isinstance(ins, Ret):
+            self.on_ret(ins)
+            self.emit_epilogue()
+            self.emit(ins)
+            return
+        self.emit(ins)
+
+    # -- hooks (defaults do nothing) -------------------------------------
+
+    def on_check(self, ins):
+        pass
+
+    def on_ptr_loaded(self, ins: Load):
+        pass
+
+    def on_ptr_store(self, ins: Store):
+        pass
+
+    def on_param_store(self, ins: Store):
+        self.on_ptr_store(ins)
+
+    def on_call(self, ins: Call):
+        self.emit(ins)
+
+    def on_ret(self, ins: Ret):
+        pass
+
+
+# ===========================================================================
+# HWST128 (Sections 3.2-3.5)
+# ===========================================================================
+
+class HwstPass(_PassBase):
+    """Full HWST128: SRF + compression + fused checks + tchk/keybuffer."""
+
+    use_tchk = True
+
+    # -- events ------------------------------------------------------------
+
+    def on_ptr_loaded(self, ins: Load):
+        # Through-memory propagation: shadow -> SRF (lbdls/lbdus).
+        self.emit(HwLbds(ins.dst, ins.addr, which="both"))
+
+    def _bind_static(self, ptr: int, prov):
+        base, bound = self.static_bounds(prov)
+        self.emit(HwBndrs(ptr, base, bound))
+        key, lock = self.keylock_for(prov)
+        self.emit(HwBndrt(ptr, key, lock))
+
+    def on_check(self, ins):
+        addr = ins.addr
+        kind = self.prov_kind(addr)
+        if kind in ("local", "global"):
+            # Static object: bind its metadata and run the full check
+            # (spatial fused, temporal via tchk / the software method).
+            prov = self.prov(addr)
+            base, bound = self.static_bounds(prov)
+            self.emit(HwBndrs(addr, base, bound))
+            key, lock = self.keylock_for(prov)
+            self.emit(HwBndrt(addr, key, lock))
+            ins.checked = True
+            if self.use_tchk:
+                self.emit(HwTchk(addr))
+            else:
+                self.inline_key_check(key, lock)
+            return
+        ins.checked = True
+        if kind == "loaded":
+            self._temporal_check(addr)
+        # kind == "call": freshly returned pointer cannot be stale;
+        # null/none: SRF is invalid -> the fused check traps.
+
+    def _temporal_check(self, addr: int):
+        if self.use_tchk:
+            self.emit(HwTchk(addr))
+            return
+        # hwst128 variant: "software method to load the key" (Sec. 5.1):
+        # decompress key/lock into GPRs, load the lock_location with a
+        # plain load, compare inline.
+        container = self.root.get(addr)
+        if container is None:
+            return
+        key = self.vreg(LONG)
+        self.emit(HwMetaGpr(key, container, "key"))
+        lock = self.vreg(LONG)
+        self.emit(HwMetaGpr(lock, container, "lock"))
+        self.inline_key_check(key, lock)
+
+    def on_ptr_store(self, ins: Store):
+        kind = self.prov_kind(ins.src)
+        if kind in ("local", "global"):
+            self._bind_static(ins.src, self.prov(ins.src))
+        # loaded/call/param: SRF already valid via propagation;
+        # null/none: invalid SRF stores zero metadata (correct).
+        self.emit(HwSbd(ins.addr, ins.src, which="both"))
+
+    def on_call(self, ins: Call):
+        if ins.name in ALLOC_FNS:
+            self._alloc_site(ins)
+            return
+        if ins.name == "free":
+            self._free_site(ins)
+            return
+        self._wrapper_checks(ins)
+        # Arguments whose metadata is static must enter the SRF before
+        # the call so the callee's sbd stores real metadata.
+        for position in ins.ptr_args:
+            arg = ins.args[position]
+            if self.prov_kind(arg) in ("local", "global"):
+                self._bind_static(arg, self.prov(arg))
+        self.emit(ins)
+
+    def _alloc_site(self, ins: Call):
+        self.emit(ins)
+        p = ins.dst
+        if p is None:
+            return
+        if ins.name == "calloc":
+            size_v = self.vreg(LONG)
+            self.emit(BinOp(size_v, "mul", ins.args[0], ins.args[1]))
+        else:
+            size_v = ins.args[0]
+        bound, key, lock = self.masked_heap_metadata(p, size_v)
+        self.emit(HwBndrs(p, p, bound))
+        self.emit(HwBndrt(p, key, lock))
+
+    def _free_site(self, ins: Call):
+        p = ins.args[0]
+        container = self.root.get(p)
+        if container is not None:
+            base = self.vreg(LONG)
+            self.emit(HwMetaGpr(base, container, "base"))
+            key = self.vreg(LONG)
+            self.emit(HwMetaGpr(key, container, "key"))
+            lock = self.vreg(LONG)
+            self.emit(HwMetaGpr(lock, container, "lock"))
+            self.call("__hwst_free_check", [p, base, key, lock])
+            self.call("__lock_free", [lock])
+        self.emit(ins)
+
+    def _wrapper_checks(self, ins: Call):
+        """Range checks for wrapped library calls (checked byte probes
+        at both ends of the range, using the fused-check loads)."""
+        ranges = WRAPPED_RANGE_FNS.get(ins.name)
+        if not ranges:
+            return
+        for ptr_index, len_index in ranges:
+            ptr = ins.args[ptr_index]
+            if self.prov_kind(ptr) in ("local", "global"):
+                base, bound = self.static_bounds(self.prov(ptr))
+                self.emit(HwBndrs(ptr, base, bound))
+            length = ins.args[len_index]
+            probe1 = self.vreg(LONG)
+            self.emit(Load(probe1, ptr, 1, False, checked=True))
+            last = self.clamped_last_byte(ptr, length)
+            probe2 = self.vreg(LONG)
+            self.emit(Load(probe2, last, 1, False, checked=True))
+
+    def on_ret(self, ins: Ret):
+        if ins.ptr_value and ins.value is not None:
+            if self.prov_kind(ins.value) in ("local", "global"):
+                # Escaping pointer to a stack/global object: bind with
+                # the frame key so use-after-return is caught.
+                self._bind_static(ins.value, self.prov(ins.value))
+
+
+class HwstNoTchkPass(HwstPass):
+    """HWST128 without the tchk instruction (Fig. 4 middle bars)."""
+
+    use_tchk = False
+
+
+# ===========================================================================
+# SoftboundCETS (software)
+# ===========================================================================
+
+class SbcetsPass(_PassBase):
+    """SBCETS: trie metadata, runtime-call checks, shadow stack."""
+
+    mload = "__sb_mload"
+    mstore = "__sb_mstore"
+    setmeta = "__sb_setmeta"
+    check = "__sb_check"
+    spatial = "__sb_spatial"
+    free_check = "__sb_free_check"
+    ss_push = "__sb_ss_push"
+    ss_pop = "__sb_ss_pop"
+    ss_pushret = "__sb_ss_pushret"
+    ss_popret = "__sb_ss_popret"
+
+    def materialize(self, v: int):
+        """Bring v's metadata into the scheme's metadata registers."""
+        kind = self.prov_kind(v)
+        if kind in ("loaded", "call", "param"):
+            container = self.root.get(v)
+            if container is not None:
+                self.call(self.mload, [container])
+                return
+            kind = "none"
+        if kind in ("local", "global"):
+            base, bound = self.static_bounds(self.prov(v))
+            key, lock = self.keylock_for(self.prov(v))
+            self.call(self.setmeta, [base, bound, key, lock])
+            return
+        zero = self.const(0)
+        self.call(self.setmeta, [zero, zero, zero, zero])
+
+    # metadata register globals (scheme runtime)
+    g_base = "__sb_mbase"
+    g_bound = "__sb_mbound"
+    g_key = "__sb_mkey"
+    g_lock = "__sb_mlock"
+
+    def on_check(self, ins):
+        """Inline -O0 check (compare + trap branches), as SBCETS emits;
+        metadata *table* operations stay runtime calls."""
+        addr = ins.addr
+        kind = self.prov_kind(addr)
+        size_v = self.const(ins.size)
+        if kind in ("local", "global"):
+            base, bound = self.static_bounds(self.prov(addr))
+            self.inline_spatial(addr, size_v, base, bound)
+            key, lock = self.keylock_for(self.prov(addr))
+            self.inline_key_check(key, lock)
+            return
+        self.materialize(addr)
+        base = self.load_global(self.g_base)
+        bound = self.load_global(self.g_bound)
+        self.inline_spatial(addr, size_v, base, bound)
+        key = self.load_global(self.g_key)
+        lock = self.load_global(self.g_lock)
+        self.inline_key_check(key, lock)
+
+    def on_ptr_store(self, ins: Store):
+        self.materialize(ins.src)
+        self.call(self.mstore, [ins.addr])
+
+    def on_param_store(self, ins: Store):
+        prov = self.prov(ins.src)
+        index = self.fn.param_names.index(prov[1])
+        self.call(self.ss_pop, [self.const(index)])
+        self.call(self.mstore, [ins.addr])
+        # later uses load from the slot -> "loaded" provenance
+
+    def on_call(self, ins: Call):
+        if ins.name in ALLOC_FNS:
+            self._alloc_site(ins)
+            return
+        if ins.name == "free":
+            self.materialize(ins.args[0])
+            self.call(self.free_check, [ins.args[0]])
+            self.emit(ins)
+            return
+        self._wrapper_checks(ins)
+        for position in ins.ptr_args:
+            self.materialize(ins.args[position])
+            self.call(self.ss_push, [self.const(position)])
+        self.emit(ins)
+        if ins.ptr_result and ins.dst is not None:
+            self.call(self.ss_popret, [])
+            scratch = self.addr_of_local(self.fresh_scratch())
+            self.call(self.mstore, [scratch])
+            self.root[ins.dst] = scratch
+
+    def _alloc_site(self, ins: Call):
+        self.emit(ins)
+        p = ins.dst
+        if p is None:
+            return
+        if ins.name == "calloc":
+            size_v = self.vreg(LONG)
+            self.emit(BinOp(size_v, "mul", ins.args[0], ins.args[1]))
+        else:
+            size_v = ins.args[0]
+        bound, key, lock = self.masked_heap_metadata(p, size_v)
+        self.call(self.setmeta, [p, bound, key, lock])
+        scratch = self.addr_of_local(self.fresh_scratch())
+        self.call(self.mstore, [scratch])
+        self.root[p] = scratch
+
+    def _wrapper_checks(self, ins: Call):
+        ranges = WRAPPED_RANGE_FNS.get(ins.name)
+        if not ranges:
+            return
+        for ptr_index, len_index in ranges:
+            ptr = ins.args[ptr_index]
+            kind = self.prov_kind(ptr)
+            if kind in ("local", "global"):
+                base, bound = self.static_bounds(self.prov(ptr))
+                self.call(self.spatial,
+                          [ptr, ins.args[len_index], base, bound])
+            else:
+                self.materialize(ptr)
+                self.call(self.check, [ptr, ins.args[len_index]])
+
+    def on_ret(self, ins: Ret):
+        if ins.ptr_value and ins.value is not None:
+            self.materialize(ins.value)
+            self.call(self.ss_pushret, [])
+
+
+# ===========================================================================
+# BOGO (MPX + bound nullification on free) — spatial + partial temporal
+# ===========================================================================
+
+class BogoPass(_PassBase):
+    temporal = False
+
+    def on_ptr_loaded(self, ins: Load):
+        self.emit(MpxBndldx(ins.dst, ins.addr))
+
+    def on_check(self, ins):
+        addr = ins.addr
+        kind = self.prov_kind(addr)
+        if kind in ("local", "global"):
+            base, bound = self.static_bounds(self.prov(addr))
+            self.emit(HwBndrs(addr, base, bound))
+        self.emit(MpxBndcl(addr, addr))
+        size_v = self.const(ins.size - 1)
+        last = self.vreg(PointerType(VOID))
+        self.emit(BinOp(last, "add", addr, size_v))
+        self.emit(MpxBndcu(addr, last))
+
+    def on_ptr_store(self, ins: Store):
+        if self.prov_kind(ins.src) in ("local", "global"):
+            base, bound = self.static_bounds(self.prov(ins.src))
+            self.emit(HwBndrs(ins.src, base, bound))
+        self.emit(MpxBndstx(ins.addr, ins.src))
+        self.call("__bogo_reg", [ins.addr])
+
+    def on_call(self, ins: Call):
+        if ins.name in ALLOC_FNS:
+            self._alloc_site(ins)
+            return
+        if ins.name == "free":
+            ins.name = "__bogo_free"   # scan + nullify + free
+            self.emit(ins)
+            return
+        self._wrapper_checks(ins)
+        for position in ins.ptr_args:
+            arg = ins.args[position]
+            if self.prov_kind(arg) in ("local", "global"):
+                base, bound = self.static_bounds(self.prov(arg))
+                self.emit(HwBndrs(arg, base, bound))
+        self.emit(ins)
+
+    def _alloc_site(self, ins: Call):
+        self.emit(ins)
+        p = ins.dst
+        if p is None:
+            return
+        if ins.name == "calloc":
+            size_v = self.vreg(LONG)
+            self.emit(BinOp(size_v, "mul", ins.args[0], ins.args[1]))
+        else:
+            size_v = ins.args[0]
+        zero = self.const(0)
+        nonzero = self.vreg(LONG)
+        self.emit(BinOp(nonzero, "ne", p, zero))
+        mask = self.vreg(LONG)
+        self.emit(UnOp(mask, "neg", nonzero))
+        raw_bound = self.vreg(LONG)
+        self.emit(BinOp(raw_bound, "add", p, size_v))
+        bound = self.vreg(LONG)
+        self.emit(BinOp(bound, "and", raw_bound, mask))
+        self.emit(HwBndrs(p, p, bound))
+
+    def _wrapper_checks(self, ins: Call):
+        ranges = WRAPPED_RANGE_FNS.get(ins.name)
+        if not ranges:
+            return
+        for ptr_index, len_index in ranges:
+            ptr = ins.args[ptr_index]
+            if self.prov_kind(ptr) in ("local", "global"):
+                base, bound = self.static_bounds(self.prov(ptr))
+                self.emit(HwBndrs(ptr, base, bound))
+            self.emit(MpxBndcl(ptr, ptr))
+            last = self.clamped_last_byte(ptr, ins.args[len_index])
+            self.emit(MpxBndcu(ptr, last))
+
+
+# ===========================================================================
+# WatchdogLite
+# ===========================================================================
+
+class WdlNarrowPass(SbcetsPass):
+    """WDL narrow: scalar metadata ops over a direct (linear,
+    uncompressed) shadow — same structure as SBCETS but without the
+    trie walk in the runtime helpers."""
+
+    g_base = "__wm_base"
+    g_bound = "__wm_bound"
+    g_key = "__wm_key"
+    g_lock = "__wm_lock"
+
+    mload = "__wdl_mload"
+    mstore = "__wdl_mstore"
+    setmeta = "__wdl_setmeta"
+    check = "__wdl_check"
+    spatial = "__wdl_spatial"
+    free_check = "__wdl_free_check"
+    ss_push = "__wdl_ss_push"
+    ss_pop = "__wdl_ss_pop"
+    ss_pushret = "__wdl_ss_pushret"
+    ss_popret = "__wdl_ss_popret"
+
+
+class WdlWidePass(_PassBase):
+    """WDL wide: 256-bit vector metadata moves + fused vector check."""
+
+    def shadow_addr_of(self, container: int) -> int:
+        shifted = self.vreg(LONG)
+        self.emit(BinOp(shifted, "shl", container, self.const(2)))
+        out = self.vreg(LONG)
+        self.emit(BinOp(out, "add", shifted,
+                        self.const(self.config.shadow_offset)))
+        return out
+
+    def write_wide_metadata(self, container: int, base: int, bound: int,
+                            key: int, lock: int):
+        shadow = self.shadow_addr_of(container)
+        self.emit(Store(shadow, base, 8))
+        for offset, value in ((8, bound), (16, key), (24, lock)):
+            at = self.vreg(LONG)
+            self.emit(BinOp(at, "add", shadow, self.const(offset)))
+            self.emit(Store(at, value, 8))
+
+    def materialize_wide(self, v: int) -> Optional[int]:
+        """Ensure v's wide SRF entry is valid; returns scratch container."""
+        kind = self.prov_kind(v)
+        if kind in ("loaded", "call", "param"):
+            return self.root.get(v)
+        scratch = self.addr_of_local(self.fresh_scratch())
+        if kind in ("local", "global"):
+            base, bound = self.static_bounds(self.prov(v))
+            key, lock = self.keylock_for(self.prov(v))
+        else:
+            base = bound = key = lock = self.const(0)
+        self.write_wide_metadata(scratch, base, bound, key, lock)
+        self.emit(AvxVld(v, scratch))
+        return scratch
+
+    def on_ptr_loaded(self, ins: Load):
+        self.emit(AvxVld(ins.dst, ins.addr))
+
+    def on_check(self, ins):
+        addr = ins.addr
+        kind = self.prov_kind(addr)
+        if kind not in ("loaded", "call", "param"):
+            self.materialize_wide(addr)
+        self.emit(AvxVchk(addr, addr))
+
+    def on_ptr_store(self, ins: Store):
+        kind = self.prov_kind(ins.src)
+        if kind in ("loaded", "call", "param"):
+            self.emit(AvxVst(ins.addr, ins.src))
+            return
+        if kind in ("local", "global"):
+            base, bound = self.static_bounds(self.prov(ins.src))
+            key, lock = self.keylock_for(self.prov(ins.src))
+        else:
+            base = bound = key = lock = self.const(0)
+        self.write_wide_metadata(ins.addr, base, bound, key, lock)
+
+    def on_call(self, ins: Call):
+        if ins.name in ALLOC_FNS:
+            self._alloc_site(ins)
+            return
+        if ins.name == "free":
+            p = ins.args[0]
+            container = self.root.get(p) or self.materialize_wide(p)
+            if container is not None:
+                self.call("__wdl_free_check_at", [p, container])
+            self.emit(ins)
+            return
+        self._wrapper_checks(ins)
+        for position in ins.ptr_args:
+            arg = ins.args[position]
+            if self.prov_kind(arg) in ("local", "global", "null", "none"):
+                self.materialize_wide(arg)
+        self.emit(ins)
+        if ins.ptr_result and ins.dst is not None:
+            # wide SRF propagated back through a0; park it for roots
+            scratch = self.addr_of_local(self.fresh_scratch())
+            self.emit(AvxVst(scratch, ins.dst))
+            self.root[ins.dst] = scratch
+
+    def _alloc_site(self, ins: Call):
+        self.emit(ins)
+        p = ins.dst
+        if p is None:
+            return
+        if ins.name == "calloc":
+            size_v = self.vreg(LONG)
+            self.emit(BinOp(size_v, "mul", ins.args[0], ins.args[1]))
+        else:
+            size_v = ins.args[0]
+        bound, key, lock = self.masked_heap_metadata(p, size_v)
+        scratch = self.addr_of_local(self.fresh_scratch())
+        self.write_wide_metadata(scratch, p, bound, key, lock)
+        self.emit(AvxVld(p, scratch))
+        self.root[p] = scratch
+
+    def _wrapper_checks(self, ins: Call):
+        ranges = WRAPPED_RANGE_FNS.get(ins.name)
+        if not ranges:
+            return
+        for ptr_index, len_index in ranges:
+            ptr = ins.args[ptr_index]
+            self.materialize_wide(ptr)
+            self.emit(AvxVchk(ptr, ptr))
+            last = self.clamped_last_byte(ptr, ins.args[len_index])
+            self.emit(AvxVchk(ptr, last))
+
+
+# ===========================================================================
+# AddressSanitizer
+# ===========================================================================
+
+ASAN_REDZONE = 16
+
+
+class AsanPass(_PassBase):
+    temporal = False
+
+    def setup_function(self):
+        super().setup_function()
+        # Interleave redzone objects around every stack object.
+        old = list(self.fn.locals.items())
+        self.fn.locals.clear()
+        self._redzones: List[str] = []
+        self._objects: List[str] = []
+        rz_n = 0
+        pending_leading = True
+        for name, slot in old:
+            if slot.is_object:
+                if pending_leading:
+                    rz = f"__rz.{rz_n}"
+                    rz_n += 1
+                    self.fn.locals[rz] = _redzone_slot(rz)
+                    self._redzones.append(rz)
+                    pending_leading = False
+                self.fn.locals[name] = slot
+                self._objects.append(name)
+                rz = f"__rz.{rz_n}"
+                rz_n += 1
+                self.fn.locals[rz] = _redzone_slot(rz)
+                self._redzones.append(rz)
+            else:
+                self.fn.locals[name] = slot
+
+    def emit_prologue(self):
+        for rz in self._redzones:
+            addr = self.addr_of_local(rz)
+            self.call("__asan_poison",
+                      [addr, self.const(ASAN_REDZONE), self.const(0xF1)])
+        for name in self._objects:
+            addr = self.addr_of_local(name)
+            self.call("__asan_unpoison",
+                      [addr, self.const(self.fn.locals[name].size)])
+        if self.fn.name == "main":
+            for rz_name in self.module.meta.get("asan_global_rz", ()):
+                addr = self.addr_of_global(rz_name)
+                self.call("__asan_poison",
+                          [addr, self.const(ASAN_REDZONE),
+                           self.const(0xF9)])
+            for gname, gsize in self.module.meta.get("asan_global_tail",
+                                                     ()):
+                addr = self.addr_of_global(gname)
+                self.call("__asan_unpoison", [addr, self.const(gsize)])
+
+    def emit_epilogue(self):
+        for rz in self._redzones:
+            addr = self.addr_of_local(rz)
+            self.call("__asan_poison",
+                      [addr, self.const(ASAN_REDZONE), self.const(0)])
+        for name in self._objects:
+            addr = self.addr_of_local(name)
+            size = (self.fn.locals[name].size + 7) & ~7
+            self.call("__asan_poison", [addr, self.const(size),
+                                        self.const(0)])
+
+    def on_check(self, ins):
+        self.call("__asan_check", [ins.addr, self.const(ins.size)])
+
+    def on_call(self, ins: Call):
+        rename = {"malloc": "__asan_malloc", "calloc": "__asan_calloc",
+                  "free": "__asan_free"}
+        if ins.name in rename:
+            ins.name = rename[ins.name]
+        ranges = WRAPPED_RANGE_FNS.get(ins.name)
+        if ranges:
+            for ptr_index, len_index in ranges:
+                self.call("__asan_check_range",
+                          [ins.args[ptr_index], ins.args[len_index]])
+        self.emit(ins)
+
+
+def _redzone_slot(name: str):
+    from repro.ir.ir import LocalSlot
+
+    return LocalSlot(name=name, ctype=LONG, size=ASAN_REDZONE, align=8,
+                     is_object=True)
+
+
+# ===========================================================================
+# GCC stack protector
+# ===========================================================================
+
+class GccPass(_PassBase):
+    temporal = False
+    protects = False
+
+    def setup_function(self):
+        has_arrays = any(slot.is_object for slot in self.fn.locals.values())
+        self._protected = has_arrays
+        self.uses_frame_lock = False
+        if has_arrays:
+            # __canary is placed adjacent to the saved registers by the
+            # frame layout; arrays sit directly below it.
+            old = list(self.fn.locals.items())
+            self.fn.locals.clear()
+            self.fn.add_local("__canary", LONG)
+            for name, slot in old:
+                self.fn.locals[name] = slot
+
+    def emit_prologue(self):
+        if self._protected:
+            guard = self.load_global("__stack_chk_guard")
+            self.emit(Store(self.addr_of_local("__canary"), guard, 8))
+
+    def emit_epilogue(self):
+        if self._protected:
+            value = self.vreg(LONG)
+            self.emit(Load(value, self.addr_of_local("__canary"), 8, True))
+            self.call("__canary_check", [value])
+
+
+# ===========================================================================
+# driver
+# ===========================================================================
+
+PASSES = {
+    "sbcets": SbcetsPass,
+    "hwst128": HwstNoTchkPass,
+    "hwst128_tchk": HwstPass,
+    "bogo": BogoPass,
+    "wdl_narrow": WdlNarrowPass,
+    "wdl_wide": WdlWidePass,
+    "asan": AsanPass,
+    "gcc": GccPass,
+}
+
+
+def instrument_module(module: Module, pass_name: str,
+                      config: Optional[HwstConfig] = None):
+    """Apply the named instrumentation pass to every user function."""
+    pass_cls = PASSES.get(pass_name)
+    if pass_cls is None:
+        raise IRError(f"unknown instrumentation pass {pass_name!r}")
+    config = config or HwstConfig()
+    if pass_name == "asan":
+        _asan_global_redzones(module)
+    for fn in module.functions.values():
+        pass_cls(module, fn, config).run()
+    module.meta["instrumented"] = pass_name
+
+
+def _asan_global_redzones(module: Module):
+    """Interleave 16-byte redzone globals and record poison work."""
+    old = list(module.globals.items())
+    module.globals.clear()
+    rz_names = []
+    tails = []
+    for index, (name, data) in enumerate(old):
+        module.globals[name] = data
+        rz = GlobalData(name=f"__grz.{index}", size=ASAN_REDZONE,
+                        align=8, data=b"")
+        module.globals[rz.name] = rz
+        rz_names.append(rz.name)
+        if data.size % 8:
+            tails.append((name, data.size))
+    module.meta["asan_global_rz"] = tuple(rz_names)
+    module.meta["asan_global_tail"] = tuple(tails)

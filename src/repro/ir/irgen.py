@@ -1,0 +1,863 @@
+"""AST -> IR lowering (-O0 style).
+
+Every mini-C function becomes an IR :class:`Function`. Lowering mirrors
+what clang -O0 does structurally: all named variables live in stack
+slots, expression temporaries form single-block trees, short-circuit
+operators and ternaries round-trip through hidden temp slots, and no
+optimisation of any kind is applied (the paper compiles all benchmarks
+without optimisation).
+
+Pointer provenance (``Function.prov``) is recorded for every
+pointer-typed vreg as it is produced; the instrumentation passes use it
+to decide where a pointer's metadata comes from (static object bounds,
+loaded from shadow memory, function call result, null).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.minic import ast
+from repro.minic.sema import SemaResult
+from repro.minic.types import (
+    ArrayType, CType, IntType, PointerType, StructType,
+    CHAR, INT, LONG, VOID, pointee_size,
+)
+from repro.ir.ir import (
+    AddrGlobal, AddrLocal, BasicBlock, BinOp, Br, Call, Conv, Function,
+    GetParam, GlobalData, IConst, Jmp, Load, Module, Ret, Store, UnOp,
+)
+
+def _splits_blocks(expr) -> bool:
+    """True when lowering ``expr`` creates new basic blocks (short-circuit
+    operators and ternaries). Sibling operands must then round-trip
+    through a temp slot to preserve the block-local vreg invariant."""
+    if expr is None:
+        return False
+    if isinstance(expr, ast.Cond):
+        return True
+    if isinstance(expr, ast.Binary) and expr.op in ("&&", "||"):
+        return True
+    for attr in ("operand", "left", "right", "target", "value", "base",
+                 "index", "cond", "then", "other"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, ast.Expr) and _splits_blocks(child):
+            return True
+    args = getattr(expr, "args", None)
+    if args:
+        return any(_splits_blocks(a) for a in args)
+    return False
+
+
+_CMP_OPS = {"==": "eq", "!=": "ne"}
+_SIGNED_CMP = {"<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+_UNSIGNED_CMP = {"<": "ult", "<=": "ule", ">": "ugt", ">=": "uge"}
+_ARITH_OPS = {"+": "add", "-": "sub", "*": "mul",
+              "&": "and", "|": "or", "^": "xor", "<<": "shl"}
+
+
+class _FuncLowering:
+    def __init__(self, sema: SemaResult, name: str, module: Module):
+        self.sema = sema
+        info = sema.functions[name]
+        self.info = info
+        self.fn = Function(name, info.func_type.ret, info.param_names)
+        self.module = module
+        self._block: BasicBlock = self.fn.add_block("entry")
+        self._label_counter = 0
+        self._tmp_counter = 0
+        self._break_stack: List[str] = []
+        self._continue_stack: List[str] = []
+        # Declare params first (codegen prologue stores a0.. into them).
+        for pname in info.param_names:
+            self.fn.add_local(pname, info.locals[pname], is_param=True)
+        for lname, ltype in info.locals.items():
+            if lname in self.fn.locals:
+                continue
+            self.fn.add_local(lname, ltype,
+                              is_object=not ltype.is_scalar())
+
+    # -- plumbing ---------------------------------------------------------
+
+    def emit(self, instr):
+        if self._block.terminated():
+            # Unreachable code after return/break: park it in a dead block.
+            self._block = self.fn.add_block(self.new_label("dead"))
+        self._block.instrs.append(instr)
+        return instr
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}.{self._label_counter}"
+
+    def start_block(self, label: str) -> BasicBlock:
+        self._block = self.fn.add_block(label)
+        return self._block
+
+    def new_tmp_slot(self, ctype: CType) -> str:
+        self._tmp_counter += 1
+        name = f"__tmp.{self._tmp_counter}"
+        self.fn.add_local(name, ctype)
+        return name
+
+    def vreg(self, ctype: Optional[CType] = None) -> int:
+        return self.fn.new_vreg(ctype)
+
+    def const(self, value: int, ctype: CType = LONG) -> int:
+        dst = self.vreg(ctype)
+        self.emit(IConst(dst, value))
+        return dst
+
+    def set_prov(self, v: int, prov):
+        self.fn.prov[v] = prov
+
+    def prov_of(self, v: int):
+        return self.fn.prov.get(v)
+
+    def _roundtrip_save(self, value: int, ctype: CType):
+        """Park ``value`` in a fresh temp slot; returns a reload closure.
+
+        Used whenever a sibling operand splits basic blocks, so that no
+        vreg crosses a block boundary."""
+        slot_type = ctype if ctype.is_scalar() else LONG
+        tmp = self.new_tmp_slot(slot_type)
+        size = max(slot_type.size, 1)
+        is_ptr = slot_type.is_pointer()
+        addr = self.vreg(PointerType(slot_type))
+        self.emit(AddrLocal(addr, tmp))
+        self.emit(Store(addr, value, size, ptr_value=is_ptr))
+
+        def reload() -> int:
+            addr2 = self.vreg(PointerType(slot_type))
+            self.emit(AddrLocal(addr2, tmp))
+            dst = self.vreg(ctype)
+            signed = slot_type.signed if isinstance(slot_type, IntType) \
+                else True
+            self.emit(Load(dst, addr2, size, signed, ptr_result=is_ptr))
+            if is_ptr:
+                self.set_prov(dst, ("loaded", None))
+            return dst
+
+        return reload
+
+    # -- lvalues -------------------------------------------------------------
+
+    def lower_lvalue(self, expr: ast.Expr) -> Tuple[int, bool]:
+        """Return (address vreg, needs_check)."""
+        if isinstance(expr, ast.Ident):
+            if expr.binding in ("local", "param"):
+                dst = self.vreg(PointerType(expr.ctype))
+                self.emit(AddrLocal(dst, expr.name))
+                self.set_prov(dst, ("local", expr.name))
+                return dst, False
+            if expr.binding == "global":
+                dst = self.vreg(PointerType(expr.ctype))
+                self.emit(AddrGlobal(dst, expr.name))
+                self.set_prov(dst, ("global", expr.name))
+                return dst, False
+            raise IRError(f"{expr.name} is not an lvalue")
+        if isinstance(expr, ast.Unary) and expr.op == "*":
+            addr = self.lower_rvalue(expr.operand)
+            return addr, True
+        if isinstance(expr, ast.Index):
+            base = self.lower_rvalue(expr.base)
+            if _splits_blocks(expr.index):
+                reload = self._roundtrip_save(
+                    base, self._decayed_type(expr.base))
+                index = self.lower_rvalue(expr.index)
+                base = reload()
+            else:
+                index = self.lower_rvalue(expr.index)
+            elem_size = expr.ctype.size if expr.ctype.size else 1
+            scaled = self._scale(index, elem_size)
+            dst = self.vreg(PointerType(expr.ctype))
+            self.emit(BinOp(dst, "add", base, scaled))
+            self.set_prov(dst, self.prov_of(base))
+            # Direct indexing of a named local/global array is still a
+            # user-level access that the schemes check.
+            return dst, True
+        if isinstance(expr, ast.Member):
+            if expr.arrow:
+                base = self.lower_rvalue(expr.base)
+                needs_check = True
+                struct = expr.base.ctype
+                if isinstance(struct, ArrayType):
+                    struct = struct.decay()
+                struct = struct.pointee
+            else:
+                base, needs_check = self.lower_lvalue(expr.base)
+                struct = expr.base.ctype
+            field_obj = struct.field_named(expr.name)
+            if field_obj.offset == 0:
+                self.set_prov(base, self.prov_of(base))
+                return base, needs_check
+            off = self.const(field_obj.offset)
+            dst = self.vreg(PointerType(expr.ctype))
+            self.emit(BinOp(dst, "add", base, off))
+            self.set_prov(dst, self.prov_of(base))
+            return dst, needs_check
+        if isinstance(expr, ast.Cast):
+            # (T*)lvalue used as lvalue — forward to the operand.
+            return self.lower_lvalue(expr.operand)
+        raise IRError(f"not an lvalue: {type(expr).__name__}")
+
+    def _scale(self, index: int, size: int) -> int:
+        if size == 1:
+            return index
+        size_v = self.const(size)
+        dst = self.vreg(LONG)
+        self.emit(BinOp(dst, "mul", index, size_v))
+        return dst
+
+    # -- rvalues ----------------------------------------------------------
+
+    def lower_rvalue(self, expr: ast.Expr) -> int:
+        ctype = expr.ctype
+        if isinstance(expr, ast.IntLit):
+            return self.const(expr.value, ctype)
+        if isinstance(expr, ast.StrLit):
+            dst = self.vreg(PointerType(CHAR))
+            self.emit(AddrGlobal(dst, expr.symbol))
+            self.set_prov(dst, ("global", expr.symbol))
+            return dst
+        if isinstance(expr, ast.Ident):
+            return self._rvalue_ident(expr)
+        if isinstance(expr, ast.Unary):
+            return self._rvalue_unary(expr)
+        if isinstance(expr, ast.PostIncDec):
+            return self._rvalue_postincdec(expr)
+        if isinstance(expr, ast.Binary):
+            return self._rvalue_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._rvalue_assign(expr)
+        if isinstance(expr, ast.Cond):
+            return self._rvalue_cond(expr)
+        if isinstance(expr, ast.Call):
+            value = self._rvalue_call(expr)
+            if value is None:
+                raise IRError(f"void call {expr.name}() used as a value")
+            return value
+        if isinstance(expr, (ast.Index, ast.Member)):
+            return self._load_lvalue(expr)
+        if isinstance(expr, ast.Cast):
+            return self._rvalue_cast(expr)
+        if isinstance(expr, ast.SizeofType):
+            return self.const(expr.query_type.size)
+        if isinstance(expr, ast.SizeofExpr):
+            return self.const(expr.operand.ctype.size)
+        raise IRError(f"cannot lower {type(expr).__name__}")
+
+    def _load_lvalue(self, expr: ast.Expr) -> int:
+        """Load from an lvalue (with array decay)."""
+        if isinstance(expr.ctype, ArrayType):
+            addr, _ = self.lower_lvalue(expr)
+            self.set_prov(addr, self.prov_of(addr))
+            return addr  # decay: the address is the value
+        if isinstance(expr.ctype, StructType):
+            addr, _ = self.lower_lvalue(expr)
+            return addr  # struct rvalue = its address (for memcpy/member)
+        addr, needs_check = self.lower_lvalue(expr)
+        ctype = expr.ctype
+        dst = self.vreg(ctype)
+        signed = ctype.signed if isinstance(ctype, IntType) else True
+        load = Load(dst, addr, max(ctype.size, 1), signed,
+                    ptr_result=ctype.is_pointer(), needs_check=needs_check)
+        self.emit(load)
+        if ctype.is_pointer():
+            self.set_prov(dst, ("loaded", None))
+        return dst
+
+    def _rvalue_ident(self, expr: ast.Ident) -> int:
+        if expr.binding == "enum":
+            return self.const(expr.enum_value, INT)
+        if isinstance(expr.ctype, (ArrayType, StructType)):
+            addr, _ = self.lower_lvalue(expr)
+            return addr
+        return self._load_lvalue(expr)
+
+    def _rvalue_unary(self, expr: ast.Unary) -> int:
+        if expr.op == "&":
+            operand = expr.operand
+            addr, _ = self.lower_lvalue(operand)
+            # Taking the address of a scalar local promotes it to a
+            # protected stack object (SBCETS treats it like an alloca).
+            if isinstance(operand, ast.Ident) and \
+                    operand.binding in ("local", "param"):
+                self.fn.locals[operand.name].is_object = True
+            return addr
+        if expr.op == "*":
+            return self._load_lvalue(expr)
+        operand = self.lower_rvalue(expr.operand)
+        ctype = expr.ctype
+        dst = self.vreg(ctype)
+        width = ctype.size if isinstance(ctype, IntType) and ctype.size < 8 \
+            else 0
+        signed = ctype.signed if isinstance(ctype, IntType) else True
+        mapping = {"-": "neg", "~": "not", "!": "lognot"}
+        self.emit(UnOp(dst, mapping[expr.op], operand,
+                       width=width, signed=signed))
+        return dst
+
+    def _rvalue_postincdec(self, expr: ast.PostIncDec) -> int:
+        target = expr.operand
+        addr, needs_check = self.lower_lvalue(target)
+        ctype = expr.ctype
+        old = self.vreg(ctype)
+        signed = ctype.signed if isinstance(ctype, IntType) else True
+        self.emit(Load(old, addr, max(ctype.size, 1), signed,
+                       ptr_result=ctype.is_pointer(),
+                       needs_check=needs_check))
+        if ctype.is_pointer():
+            self.set_prov(old, ("loaded", None))
+        step = pointee_size(ctype) if ctype.is_pointer() else 1
+        step_v = self.const(step)
+        updated = self.vreg(ctype)
+        op = "add" if expr.op == "++" else "sub"
+        width = ctype.size if isinstance(ctype, IntType) and ctype.size < 8 \
+            else 0
+        self.emit(BinOp(updated, op, old, step_v, width=width,
+                        signed=signed))
+        if ctype.is_pointer():
+            self.set_prov(updated, self.prov_of(old))
+        self.emit(Store(addr, updated, max(ctype.size, 1),
+                        ptr_value=ctype.is_pointer(),
+                        needs_check=needs_check))
+        return old
+
+    def _cmp_kind(self, left_t: CType, right_t: CType) -> str:
+        if left_t.is_pointer() or right_t.is_pointer():
+            return "u"
+        signed = True
+        if isinstance(left_t, IntType) and isinstance(right_t, IntType):
+            # usual conversions: unsigned wins at equal width
+            width = max(left_t.size, right_t.size, 4)
+            lsigned = left_t.signed or left_t.size < width
+            rsigned = right_t.signed or right_t.size < width
+            signed = lsigned and rsigned
+        return "s" if signed else "u"
+
+    def _decayed_type(self, expr: ast.Expr) -> CType:
+        if isinstance(expr.ctype, ArrayType):
+            return expr.ctype.decay()
+        return expr.ctype
+
+    def _rvalue_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._rvalue_logical(expr)
+        left_t = self._decayed_type(expr.left)
+        right_t = self._decayed_type(expr.right)
+        left = self.lower_rvalue(expr.left)
+        if _splits_blocks(expr.right):
+            reload = self._roundtrip_save(left, left_t)
+            right = self.lower_rvalue(expr.right)
+            left = reload()
+        else:
+            right = self.lower_rvalue(expr.right)
+        dst = self.vreg(expr.ctype)
+        if op in _CMP_OPS:
+            self.emit(BinOp(dst, _CMP_OPS[op], left, right))
+            return dst
+        if op in _SIGNED_CMP:
+            table = _SIGNED_CMP if self._cmp_kind(left_t, right_t) == "s" \
+                else _UNSIGNED_CMP
+            self.emit(BinOp(dst, table[op], left, right))
+            return dst
+        # Pointer arithmetic.
+        if left_t.is_pointer() and right_t.is_pointer() and op == "-":
+            diff = self.vreg(LONG)
+            self.emit(BinOp(diff, "sub", left, right))
+            size = pointee_size(left_t)
+            if size == 1:
+                return diff
+            size_v = self.const(size)
+            self.emit(BinOp(dst, "sdiv", diff, size_v))
+            return dst
+        if left_t.is_pointer() or right_t.is_pointer():
+            if left_t.is_pointer():
+                ptr, idx, ptr_t = left, right, left_t
+            else:
+                ptr, idx, ptr_t = right, left, right_t
+            scaled = self._scale(idx, pointee_size(ptr_t))
+            ir_op = "add" if op == "+" else "sub"
+            self.emit(BinOp(dst, ir_op, ptr, scaled))
+            self.set_prov(dst, self.prov_of(ptr))
+            return dst
+        # Integer arithmetic with C result-width semantics.
+        result_t = expr.ctype
+        width = result_t.size if isinstance(result_t, IntType) and \
+            result_t.size < 8 else 0
+        signed = result_t.signed if isinstance(result_t, IntType) else True
+        if op in _ARITH_OPS:
+            self.emit(BinOp(dst, _ARITH_OPS[op], left, right,
+                            width=width, signed=signed))
+            return dst
+        if op == "/":
+            self.emit(BinOp(dst, "sdiv" if signed else "udiv",
+                            left, right, width=width, signed=signed))
+            return dst
+        if op == "%":
+            self.emit(BinOp(dst, "srem" if signed else "urem",
+                            left, right, width=width, signed=signed))
+            return dst
+        if op == ">>":
+            self.emit(BinOp(dst, "ashr" if signed else "lshr",
+                            left, right, width=width, signed=signed))
+            return dst
+        raise IRError(f"unhandled binary op {op!r}")
+
+    def _rvalue_logical(self, expr: ast.Binary) -> int:
+        tmp = self.new_tmp_slot(INT)
+        rhs_label = self.new_label("sc.rhs")
+        end_label = self.new_label("sc.end")
+        set0 = self.new_label("sc.zero")
+        set1 = self.new_label("sc.one")
+
+        left = self.lower_rvalue(expr.left)
+        if expr.op == "&&":
+            self.emit(Br(left, rhs_label, set0))
+        else:
+            self.emit(Br(left, set1, rhs_label))
+
+        self.start_block(rhs_label)
+        right = self.lower_rvalue(expr.right)
+        self.emit(Br(right, set1, set0))
+
+        self.start_block(set1)
+        one = self.const(1, INT)
+        addr1 = self.vreg(PointerType(INT))
+        self.emit(AddrLocal(addr1, tmp))
+        self.emit(Store(addr1, one, 4))
+        self.emit(Jmp(end_label))
+
+        self.start_block(set0)
+        zero = self.const(0, INT)
+        addr0 = self.vreg(PointerType(INT))
+        self.emit(AddrLocal(addr0, tmp))
+        self.emit(Store(addr0, zero, 4))
+        self.emit(Jmp(end_label))
+
+        self.start_block(end_label)
+        addr2 = self.vreg(PointerType(INT))
+        self.emit(AddrLocal(addr2, tmp))
+        dst = self.vreg(INT)
+        self.emit(Load(dst, addr2, 4, True))
+        return dst
+
+    def _rvalue_cond(self, expr: ast.Cond) -> int:
+        ctype = expr.ctype
+        tmp = self.new_tmp_slot(ctype if ctype.is_scalar() else LONG)
+        then_label = self.new_label("sel.then")
+        else_label = self.new_label("sel.else")
+        end_label = self.new_label("sel.end")
+        size = max(ctype.size, 1) if ctype.is_scalar() else 8
+        is_ptr = ctype.is_pointer()
+
+        cond = self.lower_rvalue(expr.cond)
+        self.emit(Br(cond, then_label, else_label))
+
+        self.start_block(then_label)
+        then_v = self.lower_rvalue(expr.then)
+        addr_t = self.vreg(PointerType(ctype))
+        self.emit(AddrLocal(addr_t, tmp))
+        self.emit(Store(addr_t, then_v, size, ptr_value=is_ptr))
+        self.emit(Jmp(end_label))
+
+        self.start_block(else_label)
+        else_v = self.lower_rvalue(expr.other)
+        addr_e = self.vreg(PointerType(ctype))
+        self.emit(AddrLocal(addr_e, tmp))
+        self.emit(Store(addr_e, else_v, size, ptr_value=is_ptr))
+        self.emit(Jmp(end_label))
+
+        self.start_block(end_label)
+        addr = self.vreg(PointerType(ctype))
+        self.emit(AddrLocal(addr, tmp))
+        dst = self.vreg(ctype)
+        signed = ctype.signed if isinstance(ctype, IntType) else True
+        self.emit(Load(dst, addr, size, signed, ptr_result=is_ptr))
+        if is_ptr:
+            self.set_prov(dst, ("loaded", None))
+        return dst
+
+    def _rvalue_assign(self, expr: ast.Assign) -> int:
+        target_t = expr.target.ctype
+        # Struct assignment -> memcpy.
+        if isinstance(target_t, StructType):
+            dst_addr, _ = self.lower_lvalue(expr.target)
+            src_addr = self.lower_rvalue(expr.value)
+            size = self.const(target_t.size)
+            self.emit(Call(None, "memcpy", [dst_addr, src_addr, size],
+                           ptr_args=(0, 1)))
+            return dst_addr
+        size = max(target_t.size, 1)
+        is_ptr = target_t.is_pointer()
+        signed = target_t.signed if isinstance(target_t, IntType) else True
+        value_splits = _splits_blocks(expr.value)
+        target_splits = _splits_blocks(expr.target)
+        if expr.op == "=":
+            if value_splits or target_splits:
+                # RHS first so no vreg crosses the blocks either side
+                # creates; park it when the target itself splits.
+                value = self.lower_rvalue(expr.value)
+                value = self._coerce(value, self._decayed_type(expr.value),
+                                     target_t)
+                if target_splits:
+                    reload = self._roundtrip_save(value, target_t)
+                    addr, needs_check = self.lower_lvalue(expr.target)
+                    value = reload()
+                else:
+                    addr, needs_check = self.lower_lvalue(expr.target)
+            else:
+                addr, needs_check = self.lower_lvalue(expr.target)
+                value = self.lower_rvalue(expr.value)
+                value = self._coerce(value, self._decayed_type(expr.value),
+                                     target_t)
+            self.emit(Store(addr, value, size, ptr_value=is_ptr,
+                            needs_check=needs_check))
+            return value
+        # Compound assignment: evaluate the RHS first when it splits
+        # blocks, so the target address stays block-local.
+        rhs_reload = None
+        if value_splits or target_splits:
+            rhs = self.lower_rvalue(expr.value)
+            if target_splits:
+                rhs_reload = self._roundtrip_save(
+                    rhs, self._decayed_type(expr.value))
+            addr, needs_check = self.lower_lvalue(expr.target)
+            if rhs_reload is not None:
+                rhs = rhs_reload()
+        else:
+            addr, needs_check = self.lower_lvalue(expr.target)
+            rhs = None
+        old = self.vreg(target_t)
+        self.emit(Load(old, addr, size, signed, ptr_result=is_ptr,
+                       needs_check=needs_check))
+        if is_ptr:
+            self.set_prov(old, ("loaded", None))
+        if rhs is None:
+            rhs = self.lower_rvalue(expr.value)
+        binop = expr.op[:-1]
+        if is_ptr:
+            scaled = self._scale(rhs, pointee_size(target_t))
+            value = self.vreg(target_t)
+            self.emit(BinOp(value, "add" if binop == "+" else "sub",
+                            old, scaled))
+            self.set_prov(value, self.prov_of(old))
+        else:
+            width = target_t.size if target_t.size < 8 else 0
+            ir_op = {
+                "+": "add", "-": "sub", "*": "mul",
+                "/": "sdiv" if signed else "udiv",
+                "%": "srem" if signed else "urem",
+                "&": "and", "|": "or", "^": "xor",
+                "<<": "shl",
+                ">>": "ashr" if signed else "lshr",
+            }[binop]
+            value = self.vreg(target_t)
+            self.emit(BinOp(value, ir_op, old, rhs,
+                            width=width, signed=signed))
+        self.emit(Store(addr, value, size, ptr_value=is_ptr,
+                        needs_check=needs_check))
+        return value
+
+    def _coerce(self, value: int, from_t: CType, to_t: CType) -> int:
+        """Renormalise `value` when narrowing integer conversions matter."""
+        if isinstance(to_t, IntType) and isinstance(from_t, IntType):
+            if to_t.size < from_t.size or \
+                    (to_t.size == from_t.size and to_t.signed != from_t.signed):
+                dst = self.vreg(to_t)
+                self.emit(Conv(dst, value, to_t.size, to_t.signed))
+                return dst
+        return value
+
+    def _rvalue_cast(self, expr: ast.Cast) -> int:
+        value = self.lower_rvalue(expr.operand)
+        from_t = self._decayed_type(expr.operand)
+        to_t = expr.target_type
+        if to_t.is_pointer():
+            if from_t.is_pointer():
+                self.set_prov(value, self.prov_of(value))
+            elif isinstance(expr.operand, ast.IntLit) and \
+                    expr.operand.value == 0:
+                self.set_prov(value, ("null", None))
+            else:
+                self.set_prov(value, ("none", None))
+            # Re-type the vreg as a pointer for later scaling decisions.
+            self.fn.vreg_types[value] = to_t
+            return value
+        if isinstance(to_t, IntType):
+            if from_t.is_pointer():
+                return value
+            return self._coerce(value, from_t, to_t)
+        return value
+
+    def _rvalue_call(self, expr: ast.Call) -> Optional[int]:
+        ftype = self.sema.func_types[expr.name]
+        args = []
+        ptr_args = []
+        # When any argument splits basic blocks, every argument value
+        # round-trips through a temp slot so none crosses a boundary.
+        any_splits = any(_splits_blocks(arg) for arg in expr.args)
+        reloads = []
+        for position, (arg, param_t) in enumerate(
+                zip(expr.args, ftype.params)):
+            value = self.lower_rvalue(arg)
+            value = self._coerce(value, self._decayed_type(arg), param_t)
+            if any_splits:
+                reloads.append(self._roundtrip_save(value, param_t))
+            else:
+                args.append(value)
+            arg_t = self._decayed_type(arg)
+            if param_t.is_pointer() or arg_t.is_pointer():
+                ptr_args.append(position)
+        if any_splits:
+            args = [reload() for reload in reloads]
+        ret_t = ftype.ret
+        dst = None
+        if not ret_t.is_void():
+            dst = self.vreg(ret_t)
+        self.emit(Call(dst, expr.name, args, ptr_args=tuple(ptr_args),
+                       ptr_result=ret_t.is_pointer()))
+        if dst is not None and ret_t.is_pointer():
+            self.set_prov(dst, ("call", expr.name))
+        return dst
+
+    # -- statements --------------------------------------------------------
+
+    def lower_stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.Block):
+            for sub in stmt.stmts:
+                self.lower_stmt(sub)
+        elif isinstance(stmt, ast.VarDecl):
+            self._lower_vardecl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                if isinstance(stmt.expr, ast.Call):
+                    self._rvalue_call(stmt.expr)   # result may be unused
+                else:
+                    self.lower_rvalue(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._lower_dowhile(stmt)
+        elif isinstance(stmt, ast.For):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._lower_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.emit(Jmp(self._break_stack[-1]))
+        elif isinstance(stmt, ast.Continue):
+            self.emit(Jmp(self._continue_stack[-1]))
+        else:  # pragma: no cover
+            raise IRError(f"unknown statement {type(stmt).__name__}")
+
+    def _store_local(self, name: str, ctype: CType, value: int):
+        addr = self.vreg(PointerType(ctype))
+        self.emit(AddrLocal(addr, name))
+        self.emit(Store(addr, value, max(ctype.size, 1),
+                        ptr_value=ctype.is_pointer()))
+
+    def _lower_vardecl(self, stmt: ast.VarDecl):
+        ctype = stmt.var_type
+        if stmt.init is not None:
+            value = self.lower_rvalue(stmt.init)
+            value = self._coerce(value, self._decayed_type(stmt.init), ctype)
+            self._store_local(stmt.name, ctype, value)
+        elif stmt.init_list is not None:
+            assert isinstance(ctype, ArrayType)
+            elem = ctype.elem
+            for index, item in enumerate(stmt.init_list):
+                value = self.lower_rvalue(item)
+                base = self.vreg(PointerType(elem))
+                self.emit(AddrLocal(base, stmt.name))
+                off = self.const(index * elem.size)
+                addr = self.vreg(PointerType(elem))
+                self.emit(BinOp(addr, "add", base, off))
+                self.emit(Store(addr, value, max(elem.size, 1)))
+
+    def _lower_condition(self, expr: ast.Expr, then_label: str,
+                         else_label: str):
+        cond = self.lower_rvalue(expr)
+        self.emit(Br(cond, then_label, else_label))
+
+    def _lower_if(self, stmt: ast.If):
+        then_label = self.new_label("if.then")
+        end_label = self.new_label("if.end")
+        else_label = self.new_label("if.else") if stmt.other else end_label
+        self._lower_condition(stmt.cond, then_label, else_label)
+        self.start_block(then_label)
+        self.lower_stmt(stmt.then)
+        self.emit(Jmp(end_label))
+        if stmt.other is not None:
+            self.start_block(else_label)
+            self.lower_stmt(stmt.other)
+            self.emit(Jmp(end_label))
+        self.start_block(end_label)
+
+    def _lower_while(self, stmt: ast.While):
+        cond_label = self.new_label("while.cond")
+        body_label = self.new_label("while.body")
+        end_label = self.new_label("while.end")
+        self.emit(Jmp(cond_label))
+        self.start_block(cond_label)
+        self._lower_condition(stmt.cond, body_label, end_label)
+        self.start_block(body_label)
+        self._break_stack.append(end_label)
+        self._continue_stack.append(cond_label)
+        self.lower_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.emit(Jmp(cond_label))
+        self.start_block(end_label)
+
+    def _lower_dowhile(self, stmt: ast.DoWhile):
+        body_label = self.new_label("do.body")
+        cond_label = self.new_label("do.cond")
+        end_label = self.new_label("do.end")
+        self.emit(Jmp(body_label))
+        self.start_block(body_label)
+        self._break_stack.append(end_label)
+        self._continue_stack.append(cond_label)
+        self.lower_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.emit(Jmp(cond_label))
+        self.start_block(cond_label)
+        self._lower_condition(stmt.cond, body_label, end_label)
+        self.start_block(end_label)
+
+    def _lower_for(self, stmt: ast.For):
+        cond_label = self.new_label("for.cond")
+        body_label = self.new_label("for.body")
+        step_label = self.new_label("for.step")
+        end_label = self.new_label("for.end")
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        self.emit(Jmp(cond_label))
+        self.start_block(cond_label)
+        if stmt.cond is not None:
+            self._lower_condition(stmt.cond, body_label, end_label)
+        else:
+            self.emit(Jmp(body_label))
+        self.start_block(body_label)
+        self._break_stack.append(end_label)
+        self._continue_stack.append(step_label)
+        self.lower_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.emit(Jmp(step_label))
+        self.start_block(step_label)
+        if stmt.step is not None:
+            self.lower_rvalue(stmt.step)
+        self.emit(Jmp(cond_label))
+        self.start_block(end_label)
+
+    def _lower_return(self, stmt: ast.Return):
+        if stmt.value is None:
+            self.emit(Ret(None))
+            return
+        value = self.lower_rvalue(stmt.value)
+        value = self._coerce(value, self._decayed_type(stmt.value),
+                             self.fn.ret_ctype)
+        self.emit(Ret(value, ptr_value=self.fn.ret_ctype.is_pointer()))
+
+    # -- toplevel ----------------------------------------------------------
+
+    def lower(self) -> Function:
+        # Spill incoming arguments into their slots (-O0 prologue). The
+        # stores are ordinary IR so instrumentation sees pointer params
+        # and can attach their metadata (SRF propagation / shadow stack).
+        for index, pname in enumerate(self.info.param_names):
+            ptype = self.info.locals[pname]
+            value = self.vreg(ptype)
+            self.emit(GetParam(value, index))
+            if ptype.is_pointer():
+                self.set_prov(value, ("param", pname))
+            addr = self.vreg(PointerType(ptype))
+            self.emit(AddrLocal(addr, pname))
+            self.emit(Store(addr, value, max(ptype.size, 1),
+                            ptr_value=ptype.is_pointer()))
+        self.lower_stmt(self.info.node.body)
+        if not self._block.terminated():
+            if self.fn.ret_ctype.is_void():
+                self.emit(Ret(None))
+            else:
+                zero = self.const(0, self.fn.ret_ctype)
+                self.emit(Ret(zero))
+        # Terminate any dangling dead blocks.
+        for blk in self.fn.blocks:
+            if not blk.terminated():
+                blk.instrs.append(Ret(None) if self.fn.ret_ctype.is_void()
+                                  else Ret(self._dead_zero(blk)))
+        return self.fn
+
+    def _dead_zero(self, blk: BasicBlock) -> int:
+        dst = self.vreg(self.fn.ret_ctype)
+        blk.instrs.append(IConst(dst, 0))
+        return dst
+
+
+def _encode_global(gvar: ast.GlobalVar) -> bytes:
+    """Build the initialiser bytes of a global variable."""
+    ctype = gvar.var_type
+    if gvar.init_string is not None:
+        data = gvar.init_string
+        return data.ljust(ctype.size, b"\x00")[:ctype.size]
+    if gvar.init is not None:
+        value = _const_fold(gvar.init)
+        size = max(ctype.size, 1)
+        return (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+    if gvar.init_list is not None:
+        assert isinstance(ctype, ArrayType)
+        elem_size = max(ctype.elem.size, 1)
+        out = bytearray()
+        for item in gvar.init_list:
+            value = _const_fold(item)
+            out += (value & ((1 << (8 * elem_size)) - 1)).to_bytes(
+                elem_size, "little")
+        return bytes(out).ljust(ctype.size, b"\x00")[:ctype.size]
+    return b""
+
+
+def _const_fold(expr: ast.Expr) -> int:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        return -_const_fold(expr.operand)
+    if isinstance(expr, ast.Unary) and expr.op == "~":
+        return ~_const_fold(expr.operand)
+    if isinstance(expr, ast.Ident) and expr.binding == "enum":
+        return expr.enum_value
+    if isinstance(expr, ast.SizeofType):
+        return expr.query_type.size
+    if isinstance(expr, ast.Binary):
+        ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b, "<<": lambda a, b: a << b,
+               ">>": lambda a, b: a >> b, "|": lambda a, b: a | b,
+               "&": lambda a, b: a & b, "^": lambda a, b: a ^ b,
+               "/": lambda a, b: a // b, "%": lambda a, b: a % b}
+        if expr.op in ops:
+            return ops[expr.op](_const_fold(expr.left),
+                                _const_fold(expr.right))
+    raise IRError("global initialiser must be a constant expression")
+
+
+def lower_unit(sema: SemaResult, module_name: str = "module") -> Module:
+    """Lower an analyzed translation unit into an IR module."""
+    module = Module(module_name)
+    for name in sema.functions:
+        module.add_function(_FuncLowering(sema, name, module).lower())
+    for name, gvar in sema.globals.items():
+        module.add_global(GlobalData(
+            name=name, size=max(gvar.var_type.size, 1),
+            align=max(gvar.var_type.align, 1),
+            data=_encode_global(gvar), ctype=gvar.var_type))
+    for name, data in sema.strings.items():
+        module.add_global(GlobalData(
+            name=name, size=len(data), align=1, data=data,
+            is_string=True))
+    return module

@@ -1,0 +1,87 @@
+"""IR structural verifier.
+
+Checks the invariants the -O0 code generator relies on:
+
+* every basic block ends in exactly one terminator and contains no
+  terminator earlier;
+* every vreg is defined exactly once, before all of its uses, and all
+  uses are inside the defining block (block-local expression trees);
+* branch targets exist;
+* locals referenced by AddrLocal exist in the frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import IRError
+from repro.ir.ir import AddrLocal, Br, Function, Jmp, Module
+
+
+def verify_function(fn: Function):
+    labels = {blk.label for blk in fn.blocks}
+    if len(labels) != len(fn.blocks):
+        raise IRError(f"{fn.name}: duplicate block labels")
+    defined_in: Dict[int, str] = {}
+
+    for blk in fn.blocks:
+        if not blk.instrs:
+            raise IRError(f"{fn.name}/{blk.label}: empty block")
+        for index, ins in enumerate(blk.instrs):
+            last = index == len(blk.instrs) - 1
+            if ins.is_terminator() != last:
+                raise IRError(
+                    f"{fn.name}/{blk.label}: terminator misplaced at "
+                    f"{index} ({ins})"
+                )
+            for v in ins.defs():
+                if v in defined_in:
+                    raise IRError(
+                        f"{fn.name}/{blk.label}: vreg {v} redefined")
+                if not 0 <= v < len(fn.vreg_types):
+                    raise IRError(f"{fn.name}: vreg {v} never allocated")
+                defined_in[v] = blk.label
+            if isinstance(ins, AddrLocal) and ins.name not in fn.locals:
+                raise IRError(
+                    f"{fn.name}/{blk.label}: unknown local {ins.name!r}")
+            if isinstance(ins, Br):
+                for target in (ins.then_label, ins.else_label):
+                    if target not in labels:
+                        raise IRError(
+                            f"{fn.name}/{blk.label}: branch to missing "
+                            f"block {target!r}")
+            if isinstance(ins, Jmp) and ins.label not in labels:
+                raise IRError(
+                    f"{fn.name}/{blk.label}: jump to missing block "
+                    f"{ins.label!r}")
+
+    # Uses: defined earlier in the same block.
+    for blk in fn.blocks:
+        seen: Set[int] = set()
+        for ins in blk.instrs:
+            for v in ins.uses():
+                if v in seen:
+                    continue
+                if defined_in.get(v) != blk.label:
+                    raise IRError(
+                        f"{fn.name}/{blk.label}: vreg {v} used in "
+                        f"{blk.label} but defined in "
+                        f"{defined_in.get(v)} ({ins})")
+                raise IRError(
+                    f"{fn.name}/{blk.label}: vreg {v} used before its "
+                    f"definition ({ins})")
+            for v in ins.defs():
+                seen.add(v)
+            # A use after the def in the same block is fine; re-walk:
+        # Second pass done implicitly: the loop above flags any use whose
+        # def has not yet been seen in this block.
+
+
+def _verify_block_uses(fn: Function, blk) -> None:  # pragma: no cover
+    pass
+
+
+def verify_module(module: Module):
+    """Verify every function; raises IRError on the first violation."""
+    for fn in module.functions.values():
+        verify_function(fn)

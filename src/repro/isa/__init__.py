@@ -1,0 +1,46 @@
+"""RISC-V RV64 subset ISA plus the HWST128 memory-safety extension.
+
+The package defines:
+
+* :mod:`repro.isa.registers` — integer register file names/indices;
+* :mod:`repro.isa.csr` — control/status register map, including the
+  HWST128 configuration CSRs (shadow-memory offset, metadata bit widths,
+  lock-table window);
+* :mod:`repro.isa.instructions` — the :class:`Instr` container and the
+  spec table describing every supported mnemonic;
+* :mod:`repro.isa.encoding` — 32-bit binary encode/decode for the subset.
+"""
+
+from repro.isa.instructions import (
+    Instr,
+    InstrSpec,
+    SPEC_TABLE,
+    spec_for,
+    is_hwst_mnemonic,
+)
+from repro.isa.registers import (
+    REG_COUNT,
+    reg_index,
+    reg_name,
+    ZERO, RA, SP, GP, TP, FP,
+    T0, T1, T2, T3, T4, T5, T6,
+    S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11,
+    A0, A1, A2, A3, A4, A5, A6, A7,
+)
+from repro.isa import csr
+
+__all__ = [
+    "Instr",
+    "InstrSpec",
+    "SPEC_TABLE",
+    "spec_for",
+    "is_hwst_mnemonic",
+    "REG_COUNT",
+    "reg_index",
+    "reg_name",
+    "csr",
+    "ZERO", "RA", "SP", "GP", "TP", "FP",
+    "T0", "T1", "T2", "T3", "T4", "T5", "T6",
+    "S0", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11",
+    "A0", "A1", "A2", "A3", "A4", "A5", "A6", "A7",
+]

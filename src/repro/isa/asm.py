@@ -1,0 +1,210 @@
+"""Two-pass textual assembler / disassembler.
+
+Accepts the same syntax the disassembler (``Instr.__str__`` /
+``Program.listing``) emits, so listings round-trip::
+
+    loop:
+        addi t0, t0, -1
+        bne t0, zero, loop
+        jalr zero, ra, 0
+
+Supported operand forms:
+
+* registers by ABI name or ``xN``;
+* immediates in decimal or hex (``0x..``), optionally negative;
+* ``imm(reg)`` memory operands for loads/stores/shadow ops;
+* label targets for branches and jumps (resolved pc-relative);
+* ``# comment`` to end of line; ``label:`` on its own line or before
+  an instruction; an optional leading ``0x...:`` address (as printed
+  by listings) is ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ToolchainError
+from repro.isa.instructions import (
+    FMT_B, FMT_CSR, FMT_I, FMT_J, FMT_R, FMT_S, FMT_SYS, FMT_U,
+    Instr, SPEC_TABLE,
+)
+from repro.isa.registers import reg_index
+
+
+class AsmError(ToolchainError):
+    """Assembly syntax or resolution error."""
+
+    def __init__(self, message: str, line_no: int):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_ADDR_PREFIX_RE = re.compile(r"^0x[0-9a-fA-F]+:\s*")
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(([\w.]+)\)$")
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmError(f"bad integer {text!r}", line_no) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _is_label(token: str) -> bool:
+    if _MEM_RE.match(token):
+        return False
+    if token.lstrip("-").isdigit() or token.lstrip("-").startswith("0x"):
+        return False
+    try:
+        reg_index(token)
+        return False
+    except ValueError:
+        return True
+
+
+def assemble(text: str, base_pc: int = 0) -> List[Instr]:
+    """Assemble ``text`` into an instruction list.
+
+    Branch/jump label targets become pc-relative immediates against
+    ``base_pc``; numeric targets are taken as already-relative offsets.
+    """
+    # Pass 1: measure addresses, collect labels.
+    labels: Dict[str, int] = {}
+    parsed: List[Tuple[int, str, str]] = []   # (line_no, op, rest)
+    index = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        line = _ADDR_PREFIX_RE.sub("", line)
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            name = match.group(1)
+            if name in labels:
+                raise AsmError(f"duplicate label {name!r}", line_no)
+            labels[name] = index
+            continue
+        parts = line.split(None, 1)
+        op = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if op not in SPEC_TABLE:
+            raise AsmError(f"unknown mnemonic {op!r}", line_no)
+        parsed.append((line_no, op, rest))
+        index += 1
+
+    # Pass 2: build instructions.
+    out: List[Instr] = []
+    for position, (line_no, op, rest) in enumerate(parsed):
+        spec = SPEC_TABLE[op]
+        operands = _split_operands(rest)
+
+        def resolve_target(token: str) -> int:
+            if _is_label(token):
+                if token not in labels:
+                    raise AsmError(f"undefined label {token!r}", line_no)
+                return 4 * (labels[token] - position)
+            return _parse_int(token, line_no)
+
+        def reg(token: str) -> int:
+            try:
+                return reg_index(token)
+            except ValueError:
+                raise AsmError(f"bad register {token!r}",
+                               line_no) from None
+
+        def need(count: int):
+            if len(operands) != count:
+                raise AsmError(
+                    f"{op} expects {count} operands, got "
+                    f"{len(operands)}", line_no)
+
+        if op == "tchk":
+            need(1)
+            out.append(Instr(op, rs1=reg(operands[0])))
+        elif spec.fmt == FMT_R:
+            if spec.writes_rd:
+                need(3)
+                out.append(Instr(op, rd=reg(operands[0]),
+                                 rs1=reg(operands[1]),
+                                 rs2=reg(operands[2])))
+            else:
+                need(2)
+                out.append(Instr(op, rs1=reg(operands[0]),
+                                 rs2=reg(operands[1])))
+        elif spec.fmt == FMT_I and spec.is_load:
+            need(2)
+            mem = _MEM_RE.match(operands[1])
+            if not mem:
+                raise AsmError(f"expected imm(reg), got {operands[1]!r}",
+                               line_no)
+            out.append(Instr(op, rd=reg(operands[0]),
+                             rs1=reg(mem.group(2)),
+                             imm=_parse_int(mem.group(1), line_no)))
+        elif spec.fmt == FMT_I and op == "jalr":
+            need(3)
+            out.append(Instr(op, rd=reg(operands[0]),
+                             rs1=reg(operands[1]),
+                             imm=_parse_int(operands[2], line_no)))
+        elif spec.fmt == FMT_I:
+            need(3)
+            out.append(Instr(op, rd=reg(operands[0]),
+                             rs1=reg(operands[1]),
+                             imm=_parse_int(operands[2], line_no)))
+        elif spec.fmt == FMT_S:
+            need(2)
+            mem = _MEM_RE.match(operands[1])
+            if not mem:
+                raise AsmError(f"expected imm(reg), got {operands[1]!r}",
+                               line_no)
+            out.append(Instr(op, rs2=reg(operands[0]),
+                             rs1=reg(mem.group(2)),
+                             imm=_parse_int(mem.group(1), line_no)))
+        elif spec.fmt == FMT_B:
+            need(3)
+            out.append(Instr(op, rs1=reg(operands[0]),
+                             rs2=reg(operands[1]),
+                             imm=resolve_target(operands[2])))
+        elif spec.fmt == FMT_U:
+            need(2)
+            out.append(Instr(op, rd=reg(operands[0]),
+                             imm=_parse_int(operands[1], line_no)))
+        elif spec.fmt == FMT_J:
+            need(2)
+            out.append(Instr(op, rd=reg(operands[0]),
+                             imm=resolve_target(operands[1])))
+        elif spec.fmt == FMT_CSR:
+            need(3)
+            out.append(Instr(op, rd=reg(operands[0]),
+                             imm=_parse_int(operands[1], line_no),
+                             rs1=reg(operands[2])))
+        elif spec.fmt == FMT_SYS:
+            need(0)
+            out.append(Instr(op))
+        else:  # pragma: no cover
+            raise AsmError(f"unhandled format for {op}", line_no)
+    return out
+
+
+def disassemble(instrs, base_pc: int = 0,
+                symbols: Optional[Dict[str, int]] = None) -> str:
+    """Render instructions as assembly text ``assemble`` accepts."""
+    by_addr: Dict[int, str] = {}
+    if symbols:
+        for name, addr in symbols.items():
+            by_addr.setdefault(addr, name)
+    lines = []
+    for offset, ins in enumerate(instrs):
+        pc = base_pc + 4 * offset
+        if pc in by_addr:
+            lines.append(f"{by_addr[pc]}:")
+        lines.append(f"    {ins}")
+    return "\n".join(lines)

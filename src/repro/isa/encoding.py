@@ -1,0 +1,220 @@
+"""Binary encode/decode for the supported instruction subset.
+
+Standard RISC-V 32-bit formats are used; the HWST128 and comparator
+extensions live in the custom-0/1/2/3 opcode spaces with the same field
+layout, which is how the paper's CHISEL implementation extends Rocket's
+decoder. Encoding is primarily used for program images, round-trip
+testing, and the disassembler; the ISS executes :class:`Instr` objects
+directly for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro import bits
+from repro.errors import IllegalInstruction
+from repro.isa.instructions import (
+    FMT_B, FMT_CSR, FMT_I, FMT_J, FMT_R, FMT_S, FMT_SYS, FMT_U,
+    Instr, InstrSpec, SPEC_TABLE,
+)
+
+_SHIFT_IMM_OPS = frozenset(
+    ["slli", "srli", "srai", "slliw", "srliw", "sraiw"]
+)
+
+
+def _check_reg(value: int, name: str) -> int:
+    if not 0 <= value < 32:
+        raise ValueError(f"{name} out of range: {value}")
+    return value
+
+
+def encode(instr: Instr) -> int:
+    """Encode one instruction into its 32-bit word."""
+    spec = SPEC_TABLE.get(instr.op)
+    if spec is None:
+        raise ValueError(f"unknown mnemonic: {instr.op}")
+    rd = _check_reg(instr.rd, "rd")
+    rs1 = _check_reg(instr.rs1, "rs1")
+    rs2 = _check_reg(instr.rs2, "rs2")
+    imm = instr.imm
+
+    if spec.fmt == FMT_R:
+        return (spec.funct7 << 25) | (rs2 << 20) | (rs1 << 15) | \
+            (spec.funct3 << 12) | (rd << 7) | spec.opcode
+
+    if spec.fmt == FMT_I:
+        if instr.op in _SHIFT_IMM_OPS:
+            max_shamt = 31 if instr.op.endswith("w") else 63
+            if not 0 <= imm <= max_shamt:
+                raise ValueError(f"{instr.op} shamt out of range: {imm}")
+            imm_field = (spec.funct7 << 5) | imm
+        else:
+            if not bits.fits_signed(imm, 12):
+                raise ValueError(f"{instr.op} immediate out of range: {imm}")
+            imm_field = imm & 0xFFF
+        return (imm_field << 20) | (rs1 << 15) | (spec.funct3 << 12) | \
+            (rd << 7) | spec.opcode
+
+    if spec.fmt == FMT_S:
+        if not bits.fits_signed(imm, 12):
+            raise ValueError(f"{instr.op} immediate out of range: {imm}")
+        imm &= 0xFFF
+        return ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | \
+            (spec.funct3 << 12) | ((imm & 0x1F) << 7) | spec.opcode
+
+    if spec.fmt == FMT_B:
+        if not bits.fits_signed(imm, 13) or imm & 1:
+            raise ValueError(f"{instr.op} branch offset invalid: {imm}")
+        imm &= 0x1FFF
+        return (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25) | \
+            (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | \
+            (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | spec.opcode
+
+    if spec.fmt == FMT_U:
+        if not 0 <= imm < (1 << 20):
+            raise ValueError(f"{instr.op} immediate out of range: {imm}")
+        return (imm << 12) | (rd << 7) | spec.opcode
+
+    if spec.fmt == FMT_J:
+        if not bits.fits_signed(imm, 21) or imm & 1:
+            raise ValueError(f"{instr.op} jump offset invalid: {imm}")
+        imm &= 0x1F_FFFF
+        return (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21) | \
+            (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12) | \
+            (rd << 7) | spec.opcode
+
+    if spec.fmt == FMT_SYS:
+        if instr.op == "ecall":
+            return 0x0000_0073
+        if instr.op == "ebreak":
+            return 0x0010_0073
+        if instr.op == "fence":
+            return 0x0FF0_000F
+        raise ValueError(f"unencodable system op: {instr.op}")
+
+    if spec.fmt == FMT_CSR:
+        if not 0 <= imm < (1 << 12):
+            raise ValueError(f"csr address out of range: {imm:#x}")
+        return (imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | \
+            (rd << 7) | spec.opcode
+
+    raise ValueError(f"unknown format {spec.fmt}")
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+def _build_decode_index() -> Dict[Tuple[int, int], List[InstrSpec]]:
+    index: Dict[Tuple[int, int], List[InstrSpec]] = {}
+    for spec in SPEC_TABLE.values():
+        if spec.fmt == FMT_SYS:
+            continue  # handled explicitly
+        index.setdefault((spec.opcode, spec.funct3), []).append(spec)
+    return index
+
+
+_DECODE_INDEX = _build_decode_index()
+
+
+def decode(word: int, pc: int = 0) -> Instr:
+    """Decode a 32-bit word back into an :class:`Instr`.
+
+    ``pc`` is only used for error messages.
+    """
+    word &= 0xFFFF_FFFF
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    # System opcodes first: ecall/ebreak share (0x73, funct3=0).
+    if opcode == 0x73 and funct3 == 0:
+        if word == 0x0000_0073:
+            return Instr("ecall")
+        if word == 0x0010_0073:
+            return Instr("ebreak")
+        raise IllegalInstruction(pc, f"unknown SYSTEM encoding {word:#010x}")
+    if opcode == 0x0F:
+        return Instr("fence")
+
+    # U/J formats have no funct3: dispatch on opcode alone.
+    if opcode == 0x37 or opcode == 0x17:
+        return Instr("lui" if opcode == 0x37 else "auipc",
+                     rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if opcode == 0x6F:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) | \
+            (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instr("jal", rd=rd, imm=bits.sext(imm, 21))
+
+    candidates = _DECODE_INDEX.get((opcode, funct3))
+    if not candidates:
+        raise IllegalInstruction(pc, f"unknown opcode {word:#010x}")
+
+    spec = None
+    if len(candidates) == 1:
+        spec = candidates[0]
+    else:
+        # Disambiguate by funct7 (R-format and shift-immediates). Shift
+        # immediates on RV64 use a 6-bit shamt, so compare the upper 6 bits.
+        for cand in candidates:
+            if cand.fmt == FMT_R and cand.funct7 == funct7:
+                spec = cand
+                break
+            if cand.fmt == FMT_I and cand.mnemonic in _SHIFT_IMM_OPS:
+                if (funct7 >> 1) == (cand.funct7 >> 1):
+                    spec = cand
+                    break
+        if spec is None:
+            raise IllegalInstruction(
+                pc, f"no funct7 match for {word:#010x} (funct7={funct7:#x})"
+            )
+
+    if spec.fmt == FMT_R:
+        return Instr(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    if spec.fmt == FMT_I:
+        if spec.mnemonic in _SHIFT_IMM_OPS:
+            shamt_bits = 5 if spec.mnemonic.endswith("w") else 6
+            return Instr(spec.mnemonic, rd=rd, rs1=rs1,
+                         imm=(word >> 20) & ((1 << shamt_bits) - 1))
+        return Instr(spec.mnemonic, rd=rd, rs1=rs1,
+                     imm=bits.sext(word >> 20, 12))
+    if spec.fmt == FMT_S:
+        imm = ((word >> 25) << 5) | ((word >> 7) & 0x1F)
+        return Instr(spec.mnemonic, rs1=rs1, rs2=rs2, imm=bits.sext(imm, 12))
+    if spec.fmt == FMT_B:
+        imm = (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) | \
+            (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1)
+        return Instr(spec.mnemonic, rs1=rs1, rs2=rs2, imm=bits.sext(imm, 13))
+    if spec.fmt == FMT_U:
+        return Instr(spec.mnemonic, rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if spec.fmt == FMT_J:
+        imm = (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) | \
+            (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1)
+        return Instr(spec.mnemonic, rd=rd, imm=bits.sext(imm, 21))
+    if spec.fmt == FMT_CSR:
+        return Instr(spec.mnemonic, rd=rd, rs1=rs1, imm=(word >> 20) & 0xFFF)
+    raise IllegalInstruction(pc, f"unknown format for {word:#010x}")
+
+
+def encode_program(instrs) -> bytes:
+    """Encode a sequence of instructions into little-endian machine code."""
+    blob = bytearray()
+    for instr in instrs:
+        blob += encode(instr).to_bytes(4, "little")
+    return bytes(blob)
+
+
+def decode_program(blob: bytes, base_pc: int = 0):
+    """Decode little-endian machine code back into instructions."""
+    if len(blob) % 4:
+        raise ValueError("machine code length must be a multiple of 4")
+    out = []
+    for offset in range(0, len(blob), 4):
+        word = int.from_bytes(blob[offset:offset + 4], "little")
+        out.append(decode(word, pc=base_pc + offset))
+    return out

@@ -1,0 +1,61 @@
+"""Integer register file naming for the RV64 subset.
+
+Thirty-two integer registers with the standard RISC-V ABI names. The
+shadow register file (SRF) introduced by HWST128 mirrors this file
+one-to-one: metadata bound to ``x7`` lives in ``srf7``.
+"""
+
+from __future__ import annotations
+
+REG_COUNT = 32
+
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+_NAME_TO_INDEX = {name: idx for idx, name in enumerate(ABI_NAMES)}
+_NAME_TO_INDEX.update({f"x{i}": i for i in range(REG_COUNT)})
+_NAME_TO_INDEX["fp"] = 8  # frame pointer alias for s0
+
+# Convenience constants --------------------------------------------------
+ZERO, RA, SP, GP, TP = 0, 1, 2, 3, 4
+T0, T1, T2 = 5, 6, 7
+S0, S1 = 8, 9
+FP = S0
+A0, A1, A2, A3, A4, A5, A6, A7 = range(10, 18)
+S2, S3, S4, S5, S6, S7, S8, S9, S10, S11 = range(18, 28)
+T3, T4, T5, T6 = range(28, 32)
+
+CALLER_SAVED = (RA, T0, T1, T2, A0, A1, A2, A3, A4, A5, A6, A7, T3, T4, T5, T6)
+CALLEE_SAVED = (SP, S0, S1, S2, S3, S4, S5, S6, S7, S8, S9, S10, S11)
+ARG_REGS = (A0, A1, A2, A3, A4, A5, A6, A7)
+
+
+def reg_index(name: str) -> int:
+    """Map an ABI or ``xN`` register name to its index.
+
+    >>> reg_index("sp")
+    2
+    >>> reg_index("x31")
+    31
+    """
+    try:
+        return _NAME_TO_INDEX[name]
+    except KeyError:
+        raise ValueError(f"unknown register name: {name!r}") from None
+
+
+def reg_name(index: int) -> str:
+    """Map a register index to its ABI name.
+
+    >>> reg_name(2)
+    'sp'
+    """
+    if not 0 <= index < REG_COUNT:
+        raise ValueError(f"register index out of range: {index}")
+    return ABI_NAMES[index]

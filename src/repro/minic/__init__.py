@@ -1,0 +1,20 @@
+"""Mini-C front end: the language the workloads are written in.
+
+A C subset sufficient for the MiBench/Olden/SPEC-style kernels and the
+Juliet-style security cases: integer types (char/short/int/long,
+signed/unsigned), pointers, arrays, structs, typedefs, functions,
+control flow (if/while/for/do/break/continue/return), sizeof, string
+literals, and the usual expression operators. No floating point (the
+reproduction substitutes fixed point — see DESIGN.md), no function
+pointers, no varargs.
+
+Pipeline: :func:`tokenize` -> :func:`parse` -> :func:`analyze`
+producing a typed AST consumed by :mod:`repro.ir.irgen`.
+"""
+
+from repro.minic.lexer import Token, tokenize
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.minic import ast, types
+
+__all__ = ["Token", "tokenize", "parse", "analyze", "ast", "types"]

@@ -1,0 +1,222 @@
+"""AST node definitions for the mini-C front end.
+
+Nodes carry source positions for diagnostics; the semantic analyzer
+annotates expression nodes with ``ctype`` (and lvalue-ness) in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.minic.types import CType
+
+
+@dataclass
+class Node:
+    line: int = 0
+    col: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    ctype: Optional[CType] = None
+    is_lvalue: bool = False
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: bytes = b""
+    symbol: str = ""   # assigned by sema: name of the backing global
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    # Filled by sema: "local", "param", "global", "func", "enum"
+    binding: str = ""
+    enum_value: int = 0
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # - ! ~ * & ++pre --pre
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class PostIncDec(Expr):
+    op: str = ""          # ++ or --
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""          # + - * / % << >> & | ^ < <= > >= == != && ||
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="         # = += -= *= /= %= &= |= ^= <<= >>=
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Cond(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    other: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Member(Expr):
+    base: Optional[Expr] = None
+    name: str = ""
+    arrow: bool = False   # True for ->, False for .
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeofType(Expr):
+    query_type: Optional[CType] = None
+
+
+@dataclass
+class SizeofExpr(Expr):
+    operand: Optional[Expr] = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str = ""
+    var_type: Optional[CType] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None   # array/struct initialisers
+    is_static: bool = False
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None       # VarDecl or ExprStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    ret_type: Optional[CType] = None
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    is_static: bool = False
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    var_type: Optional[CType] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+    init_string: Optional[bytes] = None
+
+
+@dataclass
+class TranslationUnit(Node):
+    functions: List[FuncDef] = field(default_factory=list)
+    globals: List[GlobalVar] = field(default_factory=list)
+    # struct/typedef/enum tables live in the sema Scope; kept here for
+    # listing/debug purposes.
+    struct_names: List[str] = field(default_factory=list)

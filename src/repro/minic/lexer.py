@@ -1,0 +1,193 @@
+"""Tokenizer for the mini-C subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset([
+    "void", "char", "short", "int", "long", "signed", "unsigned",
+    "if", "else", "while", "for", "do", "return", "break", "continue",
+    "struct", "sizeof", "typedef", "static", "const", "goto", "switch",
+    "case", "default", "enum", "union", "extern",
+])
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+]
+
+TOK_EOF = "eof"
+TOK_IDENT = "ident"
+TOK_KEYWORD = "keyword"
+TOK_INT = "int"
+TOK_STRING = "string"
+TOK_CHAR = "char"
+TOK_OP = "op"
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object     # str for ident/op/keyword/string, int for numbers
+    line: int
+    col: int
+
+    def __str__(self):
+        return f"{self.kind}({self.value!r})"
+
+
+class _Cursor:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def advance(self, count: int = 1) -> str:
+        text = self.source[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.source)
+
+    def startswith(self, text: str) -> bool:
+        return self.source.startswith(text, self.pos)
+
+
+def _read_escape(cur: _Cursor) -> int:
+    cur.advance()  # backslash
+    ch = cur.peek()
+    if ch == "x":
+        cur.advance()
+        digits = ""
+        while cur.peek() and cur.peek() in "0123456789abcdefABCDEF":
+            digits += cur.advance()
+        if not digits:
+            raise LexError("empty hex escape", cur.line, cur.col)
+        return int(digits, 16) & 0xFF
+    if ch in _ESCAPES:
+        cur.advance()
+        return _ESCAPES[ch]
+    raise LexError(f"unknown escape \\{ch}", cur.line, cur.col)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert mini-C source text into a token list (EOF-terminated)."""
+    cur = _Cursor(source)
+    tokens: List[Token] = []
+    while not cur.at_end():
+        ch = cur.peek()
+        # Whitespace.
+        if ch in " \t\r\n":
+            cur.advance()
+            continue
+        # Comments.
+        if cur.startswith("//"):
+            while not cur.at_end() and cur.peek() != "\n":
+                cur.advance()
+            continue
+        if cur.startswith("/*"):
+            start_line, start_col = cur.line, cur.col
+            cur.advance(2)
+            while not cur.startswith("*/"):
+                if cur.at_end():
+                    raise LexError("unterminated comment",
+                                   start_line, start_col)
+                cur.advance()
+            cur.advance(2)
+            continue
+        line, col = cur.line, cur.col
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            name = ""
+            while cur.peek().isalnum() or cur.peek() == "_":
+                name += cur.advance()
+            kind = TOK_KEYWORD if name in KEYWORDS else TOK_IDENT
+            tokens.append(Token(kind, name, line, col))
+            continue
+        # Numbers.
+        if ch.isdigit():
+            if cur.startswith("0x") or cur.startswith("0X"):
+                cur.advance(2)
+                digits = ""
+                while cur.peek() and cur.peek() in "0123456789abcdefABCDEF":
+                    digits += cur.advance()
+                if not digits:
+                    raise LexError("empty hex literal", line, col)
+                value = int(digits, 16)
+            else:
+                digits = ""
+                while cur.peek().isdigit():
+                    digits += cur.advance()
+                value = int(digits, 10)
+            # Swallow integer suffixes (uUlL) — all ints are modelled.
+            while cur.peek() and cur.peek() in "uUlL":
+                cur.advance()
+            tokens.append(Token(TOK_INT, value, line, col))
+            continue
+        # Character literals.
+        if ch == "'":
+            cur.advance()
+            if cur.peek() == "\\":
+                value = _read_escape(cur)
+            elif cur.peek() == "'":
+                raise LexError("empty character literal", line, col)
+            else:
+                value = ord(cur.advance())
+            if cur.peek() != "'":
+                raise LexError("unterminated character literal", line, col)
+            cur.advance()
+            tokens.append(Token(TOK_CHAR, value, line, col))
+            continue
+        # String literals (with adjacent-literal concatenation).
+        if ch == '"':
+            data = bytearray()
+            while cur.peek() == '"':
+                cur.advance()
+                while cur.peek() != '"':
+                    if cur.at_end() or cur.peek() == "\n":
+                        raise LexError("unterminated string literal",
+                                       line, col)
+                    if cur.peek() == "\\":
+                        data.append(_read_escape(cur))
+                    else:
+                        data.append(ord(cur.advance()))
+                cur.advance()
+                # Skip whitespace between adjacent literals.
+                while cur.peek() and cur.peek() in " \t\r\n":
+                    cur.advance()
+            tokens.append(Token(TOK_STRING, bytes(data), line, col))
+            continue
+        # Operators / punctuation.
+        for op in OPERATORS:
+            if cur.startswith(op):
+                cur.advance(len(op))
+                tokens.append(Token(TOK_OP, op, line, col))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TOK_EOF, None, cur.line, cur.col))
+    return tokens

@@ -1,0 +1,622 @@
+"""Recursive-descent parser for the mini-C subset."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ParseError
+from repro.minic import ast
+from repro.minic.lexer import (
+    TOK_CHAR, TOK_EOF, TOK_IDENT, TOK_INT, TOK_KEYWORD, TOK_OP, TOK_STRING,
+    Token, tokenize,
+)
+from repro.minic.types import (
+    ArrayType, CType, IntType, PointerType, StructType, VoidType,
+    CHAR, INT, LONG, SHORT, UCHAR, UINT, ULONG, USHORT, VOID,
+)
+
+_TYPE_KEYWORDS = frozenset([
+    "void", "char", "short", "int", "long", "signed", "unsigned",
+    "struct", "const", "enum", "union",
+])
+
+# Binary operator precedence (larger binds tighter).
+_BINOP_PREC = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=",
+                         "&=", "|=", "^=", "<<=", ">>="])
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.typedefs: Dict[str, CType] = {}
+        self.structs: Dict[str, StructType] = {}
+        self.enums: Dict[str, int] = {}
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != TOK_EOF:
+            self.pos += 1
+        return tok
+
+    def at(self, kind: str, value=None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def at_op(self, value: str) -> bool:
+        return self.at(TOK_OP, value)
+
+    def accept_op(self, value: str) -> bool:
+        if self.at_op(value):
+            self.next()
+            return True
+        return False
+
+    def accept_keyword(self, value: str) -> bool:
+        if self.at(TOK_KEYWORD, value):
+            self.next()
+            return True
+        return False
+
+    def expect_op(self, value: str) -> Token:
+        tok = self.peek()
+        if not self.at_op(value):
+            raise ParseError(f"expected {value!r}, got {tok}",
+                             tok.line, tok.col)
+        return self.next()
+
+    def expect_keyword(self, value: str) -> Token:
+        tok = self.peek()
+        if not self.at(TOK_KEYWORD, value):
+            raise ParseError(f"expected {value!r}, got {tok}",
+                             tok.line, tok.col)
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != TOK_IDENT:
+            raise ParseError(f"expected identifier, got {tok}",
+                             tok.line, tok.col)
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        tok = self.peek()
+        return ParseError(message + f" (got {tok})", tok.line, tok.col)
+
+    # -- type parsing ---------------------------------------------------------
+
+    def starts_type(self, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        if tok.kind == TOK_KEYWORD and tok.value in _TYPE_KEYWORDS:
+            return True
+        return tok.kind == TOK_IDENT and tok.value in self.typedefs
+
+    def parse_base_type(self) -> CType:
+        """Parse type specifiers (no declarator)."""
+        tok = self.peek()
+        while self.accept_keyword("const") or self.accept_keyword("static") \
+                or self.accept_keyword("extern"):
+            pass
+        if self.at(TOK_KEYWORD, "struct") or self.at(TOK_KEYWORD, "union"):
+            return self.parse_struct_type()
+        if self.at(TOK_KEYWORD, "enum"):
+            return self.parse_enum_type()
+        if self.peek().kind == TOK_IDENT and \
+                self.peek().value in self.typedefs:
+            name = self.next().value
+            return self.typedefs[name]
+        # Collect primitive specifier words.
+        words: List[str] = []
+        while self.peek().kind == TOK_KEYWORD and self.peek().value in (
+                "void", "char", "short", "int", "long",
+                "signed", "unsigned", "const"):
+            word = self.next().value
+            if word != "const":
+                words.append(word)
+        if not words:
+            raise ParseError(f"expected a type, got {tok}", tok.line, tok.col)
+        if words == ["void"]:
+            return VOID
+        signed = "unsigned" not in words
+        core = [w for w in words if w not in ("signed", "unsigned")]
+        mapping = {
+            (): INT if signed else UINT,
+            ("char",): CHAR if signed else UCHAR,
+            ("short",): SHORT if signed else USHORT,
+            ("short", "int"): SHORT if signed else USHORT,
+            ("int",): INT if signed else UINT,
+            ("long",): LONG if signed else ULONG,
+            ("long", "int"): LONG if signed else ULONG,
+            ("long", "long"): LONG if signed else ULONG,
+            ("long", "long", "int"): LONG if signed else ULONG,
+        }
+        key = tuple(core)
+        if key not in mapping:
+            raise ParseError(f"unsupported type {' '.join(words)}",
+                             tok.line, tok.col)
+        return mapping[key]
+
+    def parse_struct_type(self) -> CType:
+        tok = self.next()  # struct / union
+        if tok.value == "union":
+            raise ParseError("unions are not supported", tok.line, tok.col)
+        name = None
+        if self.peek().kind == TOK_IDENT:
+            name = self.next().value
+        if self.at_op("{"):
+            struct = self._get_or_create_struct(name, tok)
+            self.next()  # {
+            members: List[Tuple[str, CType]] = []
+            while not self.accept_op("}"):
+                base = self.parse_base_type()
+                while True:
+                    member_type, member_name = self.parse_declarator(base)
+                    if member_name is None:
+                        raise self.error("struct member needs a name")
+                    members.append((member_name, member_type))
+                    if not self.accept_op(","):
+                        break
+                self.expect_op(";")
+            struct.define(members)
+            return struct
+        if name is None:
+            raise ParseError("anonymous struct must have a body",
+                             tok.line, tok.col)
+        return self._get_or_create_struct(name, tok)
+
+    def _get_or_create_struct(self, name: Optional[str],
+                              tok: Token) -> StructType:
+        if name is None:
+            name = f"__anon{len(self.structs)}"
+        if name not in self.structs:
+            self.structs[name] = StructType(name)
+        return self.structs[name]
+
+    def parse_enum_type(self) -> CType:
+        self.expect_keyword("enum")
+        if self.peek().kind == TOK_IDENT:
+            self.next()  # tag name, ignored
+        if self.accept_op("{"):
+            value = 0
+            while not self.accept_op("}"):
+                name_tok = self.expect_ident()
+                if self.accept_op("="):
+                    value = self.parse_constant_expression()
+                self.enums[name_tok.value] = value
+                value += 1
+                if not self.accept_op(","):
+                    self.expect_op("}")
+                    break
+        return INT
+
+    def parse_declarator(self, base: CType):
+        """Parse ``* ... name [N]...`` returning (type, name|None)."""
+        ctype = base
+        while self.accept_op("*"):
+            while self.accept_keyword("const"):
+                pass
+            ctype = PointerType(ctype)
+        name = None
+        if self.peek().kind == TOK_IDENT:
+            name = self.next().value
+        # Array suffixes bind outside-in: int a[2][3] is array of arrays.
+        dims: List[int] = []
+        while self.accept_op("["):
+            if self.at_op("]"):
+                dims.append(0)  # incomplete (param decay handles it)
+            else:
+                dims.append(self.parse_constant_expression())
+            self.expect_op("]")
+        for dim in reversed(dims):
+            ctype = ArrayType(ctype, dim)
+        return ctype, name
+
+    def parse_constant_expression(self) -> int:
+        expr = self.parse_ternary()
+        value = _const_eval(expr, self.enums)
+        if value is None:
+            raise self.error("expected a constant expression")
+        return value
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expression(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_ternary()
+        tok = self.peek()
+        if tok.kind == TOK_OP and tok.value in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return ast.Assign(line=tok.line, col=tok.col, op=tok.value,
+                              target=left, value=value)
+        return left
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.at_op("?"):
+            tok = self.next()
+            then = self.parse_expression()
+            self.expect_op(":")
+            other = self.parse_ternary()
+            return ast.Cond(line=tok.line, col=tok.col, cond=cond,
+                            then=then, other=other)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != TOK_OP:
+                return left
+            prec = _BINOP_PREC.get(tok.value, 0)
+            if prec == 0 or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(line=tok.line, col=tok.col, op=tok.value,
+                              left=left, right=right)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == TOK_OP and tok.value in ("-", "!", "~", "*", "&", "+"):
+            self.next()
+            operand = self.parse_unary()
+            if tok.value == "+":
+                return operand
+            return ast.Unary(line=tok.line, col=tok.col, op=tok.value,
+                             operand=operand)
+        if tok.kind == TOK_OP and tok.value in ("++", "--"):
+            self.next()
+            operand = self.parse_unary()
+            # ++x desugars to (x += 1)
+            op = "+=" if tok.value == "++" else "-="
+            one = ast.IntLit(line=tok.line, col=tok.col, value=1)
+            return ast.Assign(line=tok.line, col=tok.col, op=op,
+                              target=operand, value=one)
+        if tok.kind == TOK_KEYWORD and tok.value == "sizeof":
+            self.next()
+            if self.at_op("(") and self.starts_type(1):
+                self.expect_op("(")
+                qtype, _ = self.parse_declarator(self.parse_base_type())
+                self.expect_op(")")
+                return ast.SizeofType(line=tok.line, col=tok.col,
+                                      query_type=qtype)
+            operand = self.parse_unary()
+            return ast.SizeofExpr(line=tok.line, col=tok.col,
+                                  operand=operand)
+        # Cast: "(" type ")" unary
+        if self.at_op("(") and self.starts_type(1):
+            self.expect_op("(")
+            target, _ = self.parse_declarator(self.parse_base_type())
+            self.expect_op(")")
+            operand = self.parse_unary()
+            return ast.Cast(line=tok.line, col=tok.col,
+                            target_type=target, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            tok = self.peek()
+            if self.accept_op("["):
+                index = self.parse_expression()
+                self.expect_op("]")
+                expr = ast.Index(line=tok.line, col=tok.col, base=expr,
+                                 index=index)
+            elif self.accept_op("."):
+                name = self.expect_ident().value
+                expr = ast.Member(line=tok.line, col=tok.col, base=expr,
+                                  name=name, arrow=False)
+            elif self.accept_op("->"):
+                name = self.expect_ident().value
+                expr = ast.Member(line=tok.line, col=tok.col, base=expr,
+                                  name=name, arrow=True)
+            elif self.at_op("++") or self.at_op("--"):
+                op = self.next().value
+                expr = ast.PostIncDec(line=tok.line, col=tok.col, op=op,
+                                      operand=expr)
+            elif self.at_op("(") and isinstance(expr, ast.Ident):
+                self.next()
+                args: List[ast.Expr] = []
+                if not self.at_op(")"):
+                    args.append(self.parse_assignment())
+                    while self.accept_op(","):
+                        args.append(self.parse_assignment())
+                self.expect_op(")")
+                expr = ast.Call(line=tok.line, col=tok.col, name=expr.name,
+                                args=args)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == TOK_INT or tok.kind == TOK_CHAR:
+            self.next()
+            return ast.IntLit(line=tok.line, col=tok.col, value=tok.value)
+        if tok.kind == TOK_STRING:
+            self.next()
+            return ast.StrLit(line=tok.line, col=tok.col, value=tok.value)
+        if tok.kind == TOK_IDENT:
+            self.next()
+            if tok.value in self.enums:
+                return ast.Ident(line=tok.line, col=tok.col,
+                                 name=tok.value, binding="enum",
+                                 enum_value=self.enums[tok.value])
+            return ast.Ident(line=tok.line, col=tok.col, name=tok.value)
+        if self.accept_op("("):
+            expr = self.parse_expression()
+            self.expect_op(")")
+            return expr
+        raise self.error("expected an expression")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.at_op("{"):
+            return self.parse_block()
+        if self.at(TOK_KEYWORD, "if"):
+            self.next()
+            self.expect_op("(")
+            cond = self.parse_expression()
+            self.expect_op(")")
+            then = self.parse_statement()
+            other = None
+            if self.accept_keyword("else"):
+                other = self.parse_statement()
+            return ast.If(line=tok.line, col=tok.col, cond=cond,
+                          then=then, other=other)
+        if self.at(TOK_KEYWORD, "while"):
+            self.next()
+            self.expect_op("(")
+            cond = self.parse_expression()
+            self.expect_op(")")
+            body = self.parse_statement()
+            return ast.While(line=tok.line, col=tok.col, cond=cond,
+                             body=body)
+        if self.at(TOK_KEYWORD, "do"):
+            self.next()
+            body = self.parse_statement()
+            self.expect_keyword("while")
+            self.expect_op("(")
+            cond = self.parse_expression()
+            self.expect_op(")")
+            self.expect_op(";")
+            return ast.DoWhile(line=tok.line, col=tok.col, cond=cond,
+                               body=body)
+        if self.at(TOK_KEYWORD, "for"):
+            self.next()
+            self.expect_op("(")
+            init: Optional[ast.Stmt] = None
+            if not self.at_op(";"):
+                if self.starts_type():
+                    init = self.parse_declaration_statement()
+                else:
+                    expr = self.parse_expression()
+                    self.expect_op(";")
+                    init = ast.ExprStmt(line=tok.line, col=tok.col,
+                                        expr=expr)
+            else:
+                self.next()
+            cond = None
+            if not self.at_op(";"):
+                cond = self.parse_expression()
+            self.expect_op(";")
+            step = None
+            if not self.at_op(")"):
+                step = self.parse_expression()
+            self.expect_op(")")
+            body = self.parse_statement()
+            return ast.For(line=tok.line, col=tok.col, init=init,
+                           cond=cond, step=step, body=body)
+        if self.at(TOK_KEYWORD, "return"):
+            self.next()
+            value = None
+            if not self.at_op(";"):
+                value = self.parse_expression()
+            self.expect_op(";")
+            return ast.Return(line=tok.line, col=tok.col, value=value)
+        if self.at(TOK_KEYWORD, "break"):
+            self.next()
+            self.expect_op(";")
+            return ast.Break(line=tok.line, col=tok.col)
+        if self.at(TOK_KEYWORD, "continue"):
+            self.next()
+            self.expect_op(";")
+            return ast.Continue(line=tok.line, col=tok.col)
+        if self.at(TOK_KEYWORD, "switch") or self.at(TOK_KEYWORD, "goto"):
+            raise ParseError(f"{tok.value} is not supported by mini-C",
+                             tok.line, tok.col)
+        if self.starts_type():
+            return self.parse_declaration_statement()
+        if self.accept_op(";"):
+            return ast.Block(line=tok.line, col=tok.col, stmts=[])
+        expr = self.parse_expression()
+        self.expect_op(";")
+        return ast.ExprStmt(line=tok.line, col=tok.col, expr=expr)
+
+    def parse_block(self) -> ast.Block:
+        tok = self.expect_op("{")
+        stmts: List[ast.Stmt] = []
+        while not self.accept_op("}"):
+            stmts.append(self.parse_statement())
+        return ast.Block(line=tok.line, col=tok.col, stmts=stmts)
+
+    def parse_declaration_statement(self) -> ast.Stmt:
+        """One or more local declarations: ``int a = 1, *p;``."""
+        tok = self.peek()
+        base = self.parse_base_type()
+        decls: List[ast.Stmt] = []
+        # `struct S { ... };` as a bare statement declares nothing.
+        if self.accept_op(";"):
+            return ast.Block(line=tok.line, col=tok.col, stmts=[])
+        while True:
+            var_type, name = self.parse_declarator(base)
+            if name is None:
+                raise self.error("declaration needs a name")
+            init = None
+            init_list = None
+            if self.accept_op("="):
+                if self.at_op("{"):
+                    init_list = self.parse_initializer_list()
+                else:
+                    init = self.parse_assignment()
+            decls.append(ast.VarDecl(line=tok.line, col=tok.col, name=name,
+                                     var_type=var_type, init=init,
+                                     init_list=init_list))
+            if not self.accept_op(","):
+                break
+        self.expect_op(";")
+        if len(decls) == 1:
+            return decls[0]
+        return ast.Block(line=tok.line, col=tok.col, stmts=decls)
+
+    def parse_initializer_list(self) -> List[ast.Expr]:
+        self.expect_op("{")
+        items: List[ast.Expr] = []
+        while not self.accept_op("}"):
+            if self.at_op("{"):
+                # Flatten nested initialiser lists (row-major).
+                items.extend(self.parse_initializer_list())
+            else:
+                items.append(self.parse_assignment())
+            if not self.accept_op(","):
+                self.expect_op("}")
+                break
+        return items
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self.at(TOK_EOF):
+            if self.accept_keyword("typedef"):
+                base = self.parse_base_type()
+                ctype, name = self.parse_declarator(base)
+                if name is None:
+                    raise self.error("typedef needs a name")
+                self.typedefs[name] = ctype
+                self.expect_op(";")
+                continue
+            tok = self.peek()
+            base = self.parse_base_type()
+            # `struct S { ... };` or `enum {...};` alone.
+            if self.accept_op(";"):
+                continue
+            ctype, name = self.parse_declarator(base)
+            if name is None:
+                raise self.error("expected a declarator")
+            if self.at_op("("):
+                func = self.parse_function(ctype, name, tok)
+                if func is not None:
+                    unit.functions.append(func)
+                continue
+            # Global variable(s).
+            while True:
+                init = None
+                init_list = None
+                init_string = None
+                if self.accept_op("="):
+                    if self.at_op("{"):
+                        init_list = self.parse_initializer_list()
+                        if isinstance(ctype, ArrayType) and ctype.count == 0:
+                            ctype = ArrayType(ctype.elem, len(init_list))
+                    elif self.peek().kind == TOK_STRING and \
+                            isinstance(ctype, ArrayType):
+                        init_string = self.next().value + b"\x00"
+                        if ctype.count == 0:
+                            ctype = ArrayType(ctype.elem, len(init_string))
+                    else:
+                        init = self.parse_ternary()
+                unit.globals.append(ast.GlobalVar(
+                    line=tok.line, col=tok.col, name=name,
+                    var_type=ctype, init=init, init_list=init_list,
+                    init_string=init_string))
+                if not self.accept_op(","):
+                    break
+                ctype, name = self.parse_declarator(base)
+                if name is None:
+                    raise self.error("expected a declarator")
+            self.expect_op(";")
+        unit.struct_names = sorted(self.structs)
+        return unit
+
+    def parse_function(self, ret_type: CType, name: str,
+                       tok: Token) -> Optional[ast.FuncDef]:
+        self.expect_op("(")
+        params: List[ast.Param] = []
+        if self.at(TOK_KEYWORD, "void") and self.peek(1).kind == TOK_OP \
+                and self.peek(1).value == ")":
+            self.next()
+        elif not self.at_op(")"):
+            while True:
+                base = self.parse_base_type()
+                ptype, pname = self.parse_declarator(base)
+                if isinstance(ptype, ArrayType):
+                    ptype = ptype.decay()  # array params decay
+                params.append(ast.Param(line=tok.line, col=tok.col,
+                                        name=pname or "", ctype=ptype))
+                if not self.accept_op(","):
+                    break
+        self.expect_op(")")
+        if self.accept_op(";"):
+            return None  # prototype only; sema resolves by definition
+        body = self.parse_block()
+        return ast.FuncDef(line=tok.line, col=tok.col, name=name,
+                           ret_type=ret_type, params=params, body=body)
+
+
+def _const_eval(expr: ast.Expr, enums: Dict[str, int]) -> Optional[int]:
+    """Fold a constant expression at parse time (for array dims, enums)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Ident):
+        return enums.get(expr.name)
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_eval(expr.operand, enums)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Unary) and expr.op == "~":
+        inner = _const_eval(expr.operand, enums)
+        return None if inner is None else ~inner
+    if isinstance(expr, ast.SizeofType):
+        return expr.query_type.size
+    if isinstance(expr, ast.Binary):
+        left = _const_eval(expr.left, enums)
+        right = _const_eval(expr.right, enums)
+        if left is None or right is None:
+            return None
+        ops = {
+            "+": lambda a, b: a + b, "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a // b if b else None,
+            "%": lambda a, b: a % b if b else None,
+            "<<": lambda a, b: a << b, ">>": lambda a, b: a >> b,
+            "&": lambda a, b: a & b, "|": lambda a, b: a | b,
+            "^": lambda a, b: a ^ b,
+        }
+        fn = ops.get(expr.op)
+        return fn(left, right) if fn else None
+    return None
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C source into an (untyped) AST."""
+    return Parser(tokenize(source)).parse_translation_unit()

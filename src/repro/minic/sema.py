@@ -1,0 +1,510 @@
+"""Semantic analysis: scopes, type checking, AST annotation.
+
+``analyze`` walks the parsed AST and
+
+* resolves identifiers (locals get function-unique names so the IR
+  generator needs no scope handling),
+* annotates every expression with its :class:`CType` and lvalue-ness,
+* checks calls against definitions and the builtin runtime signatures,
+* assigns string literals to synthetic global symbols.
+
+Checking is deliberately lenient where C is lenient at -O0 (integer
+width mixing, void* <-> T*), and strict where the IR generator needs
+guarantees (struct member existence, call arity, lvalue targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SemanticError
+from repro.minic import ast
+from repro.minic.types import (
+    ArrayType, CType, FuncType, IntType, PointerType, StructType,
+    CHAR, INT, LONG, ULONG, VOID, VOID_PTR,
+    common_type, pointee_size,
+)
+
+# Runtime library signatures visible to every program. Implementations
+# live in repro.codegen.runtime (mini-C) or are lowered specially.
+BUILTIN_FUNCS: Dict[str, FuncType] = {
+    "malloc": FuncType(PointerType(VOID), (LONG,)),
+    "calloc": FuncType(PointerType(VOID), (LONG, LONG)),
+    "free": FuncType(VOID, (PointerType(VOID),)),
+    "memcpy": FuncType(PointerType(VOID),
+                       (PointerType(VOID), PointerType(VOID), LONG)),
+    "memset": FuncType(PointerType(VOID),
+                       (PointerType(VOID), INT, LONG)),
+    "memcmp": FuncType(INT, (PointerType(VOID), PointerType(VOID), LONG)),
+    "strlen": FuncType(LONG, (PointerType(CHAR),)),
+    "strcpy": FuncType(PointerType(CHAR),
+                       (PointerType(CHAR), PointerType(CHAR))),
+    "strncpy": FuncType(PointerType(CHAR),
+                        (PointerType(CHAR), PointerType(CHAR), LONG)),
+    "strcmp": FuncType(INT, (PointerType(CHAR), PointerType(CHAR))),
+    "strncmp": FuncType(INT, (PointerType(CHAR), PointerType(CHAR), LONG)),
+    "strcat": FuncType(PointerType(CHAR),
+                       (PointerType(CHAR), PointerType(CHAR))),
+    "print_str": FuncType(VOID, (PointerType(CHAR),)),
+    "print_int": FuncType(VOID, (LONG,)),
+    "print_hex": FuncType(VOID, (ULONG,)),
+    "print_char": FuncType(VOID, (INT,)),
+    "exit": FuncType(VOID, (INT,)),
+    "abort": FuncType(VOID, ()),
+    "rand_next": FuncType(LONG, ()),        # deterministic LCG
+    "rand_seed": FuncType(VOID, (LONG,)),
+    # Platform stubs provided by the linker (asm veneers) — used by the
+    # runtime library sources, not by workloads.
+    "__ecall_write": FuncType(LONG, (INT, PointerType(CHAR), LONG)),
+    "__heap_base": FuncType(LONG, ()),
+    "__heap_end": FuncType(LONG, ()),
+    "__lock_table_base": FuncType(LONG, ()),
+    "__lock_table_end": FuncType(LONG, ()),
+    "__shadow_offset": FuncType(LONG, ()),
+    "__cycles": FuncType(LONG, ()),
+    "__trap_spatial": FuncType(VOID, ()),
+    "__trap_temporal": FuncType(VOID, ()),
+    "__trap_asan": FuncType(VOID, ()),
+    "__trap_canary": FuncType(VOID, ()),
+    # Runtime-internal entry points referenced across scheme sources.
+    "__rt_init": FuncType(VOID, ()),
+    "__rt_scheme_init": FuncType(VOID, ()),
+    "__lock_alloc": FuncType(LONG, ()),
+    "__lock_free": FuncType(VOID, (LONG,)),
+}
+
+
+@dataclass
+class FunctionInfo:
+    """Per-function results: the typed body plus its local frame."""
+
+    node: ast.FuncDef
+    func_type: FuncType
+    # unique local name -> type (params included, in order, first)
+    locals: Dict[str, CType] = field(default_factory=dict)
+    param_names: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SemaResult:
+    unit: ast.TranslationUnit
+    functions: Dict[str, FunctionInfo]
+    func_types: Dict[str, FuncType]
+    globals: Dict[str, ast.GlobalVar]
+    strings: Dict[str, bytes] = field(default_factory=dict)
+
+
+_STRING_COUNTER = [0]
+
+
+def _fresh_string_symbol() -> str:
+    """Process-unique string-literal symbol (units are later linked)."""
+    _STRING_COUNTER[0] += 1
+    return f"__str{_STRING_COUNTER[0]}"
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, tuple] = {}  # name -> (unique, ctype, kind)
+
+    def declare(self, name: str, unique: str, ctype: CType, kind: str):
+        if name in self.names:
+            raise SemanticError(f"redeclaration of {name!r}")
+        self.names[name] = (unique, ctype, kind)
+
+    def lookup(self, name: str):
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class Analyzer:
+    def __init__(self, unit: ast.TranslationUnit):
+        self.unit = unit
+        self.func_types: Dict[str, FuncType] = dict(BUILTIN_FUNCS)
+        self.globals: Dict[str, ast.GlobalVar] = {}
+        self.strings: Dict[str, bytes] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._current: Optional[FunctionInfo] = None
+        self._scope: Optional[_Scope] = None
+        self._unique_counter = 0
+        self._loop_depth = 0
+
+    # -- entry ------------------------------------------------------------
+
+    def run(self) -> SemaResult:
+        for gvar in self.unit.globals:
+            if gvar.name in self.globals:
+                raise SemanticError(f"global {gvar.name!r} redefined")
+            if gvar.var_type.size == 0 and not gvar.var_type.is_void():
+                raise SemanticError(
+                    f"global {gvar.name!r} has incomplete type")
+            self.globals[gvar.name] = gvar
+        seen_defs = set()
+        for func in self.unit.functions:
+            ftype = FuncType(func.ret_type,
+                             tuple(p.ctype for p in func.params))
+            if func.name in seen_defs:
+                raise SemanticError(f"function {func.name!r} redefined")
+            seen_defs.add(func.name)
+            # Re-declaring a builtin is fine: the runtime implements
+            # most of them in mini-C.
+            self.func_types[func.name] = ftype
+        for gvar in self.unit.globals:
+            self._check_global_init(gvar)
+        for func in self.unit.functions:
+            self._analyze_function(func)
+        return SemaResult(unit=self.unit, functions=self.functions,
+                          func_types=self.func_types, globals=self.globals,
+                          strings=self.strings)
+
+    # -- globals -------------------------------------------------------------
+
+    def _check_global_init(self, gvar: ast.GlobalVar):
+        if gvar.init is not None:
+            self._type_expr(gvar.init)
+        if gvar.init_list is not None:
+            if not isinstance(gvar.var_type, ArrayType):
+                raise SemanticError(
+                    f"brace initialiser on non-array global {gvar.name!r}")
+            for item in gvar.init_list:
+                self._type_expr(item)
+        if gvar.init_string is not None:
+            if not isinstance(gvar.var_type, ArrayType):
+                raise SemanticError(
+                    f"string initialiser on non-array global {gvar.name!r}")
+            if gvar.var_type.count == 0:
+                gvar.var_type = ArrayType(gvar.var_type.elem,
+                                          len(gvar.init_string))
+
+    # -- functions -----------------------------------------------------------
+
+    def _analyze_function(self, func: ast.FuncDef):
+        info = FunctionInfo(node=func,
+                            func_type=self.func_types[func.name])
+        self._current = info
+        self._scope = _Scope()
+        self._unique_counter = 0
+        for param in func.params:
+            unique = self._declare_local(param.name, param.ctype, "param")
+            info.param_names.append(unique)
+        self._check_block(func.body)
+        self.functions[func.name] = info
+        self._current = None
+        self._scope = None
+
+    def _declare_local(self, name: str, ctype: CType, kind: str) -> str:
+        if not name:
+            raise SemanticError("nameless declaration")
+        if ctype.is_void():
+            raise SemanticError(f"variable {name!r} declared void")
+        if ctype.size == 0:
+            raise SemanticError(f"variable {name!r} has incomplete type")
+        unique = name
+        while unique in self._current.locals:
+            self._unique_counter += 1
+            unique = f"{name}.{self._unique_counter}"
+        self._scope.declare(name, unique, ctype, kind)
+        self._current.locals[unique] = ctype
+        return unique
+
+    # -- statements ---------------------------------------------------------
+
+    def _check_block(self, block: ast.Block):
+        self._scope = _Scope(self._scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt)
+        self._scope = self._scope.parent
+
+    def _check_stmt(self, stmt: ast.Stmt):
+        if isinstance(stmt, ast.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            unique = self._declare_local(stmt.name, stmt.var_type, "local")
+            stmt.name = unique
+            if stmt.init is not None:
+                init_type = self._type_expr(stmt.init)
+                self._check_assignable(stmt.var_type, init_type, stmt)
+            if stmt.init_list is not None:
+                if not isinstance(stmt.var_type, ArrayType):
+                    raise SemanticError(
+                        "brace initialiser on non-array local")
+                for item in stmt.init_list:
+                    self._type_expr(item)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._type_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._require_scalar(self._type_expr(stmt.cond), stmt)
+            self._check_stmt(stmt.then)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._require_scalar(self._type_expr(stmt.cond), stmt)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            self._scope = _Scope(self._scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self._require_scalar(self._type_expr(stmt.cond), stmt)
+            if stmt.step is not None:
+                self._type_expr(stmt.step)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scope = self._scope.parent
+        elif isinstance(stmt, ast.Return):
+            ret = self._current.func_type.ret
+            if stmt.value is not None:
+                if ret.is_void():
+                    raise SemanticError("returning a value from void function")
+                value_type = self._type_expr(stmt.value)
+                self._check_assignable(ret, value_type, stmt)
+            elif not ret.is_void():
+                raise SemanticError(
+                    f"non-void function {self._current.node.name!r} "
+                    f"returns nothing")
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError("break/continue outside a loop")
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown statement {type(stmt).__name__}")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _type_expr(self, expr: ast.Expr) -> CType:
+        ctype = self._type_expr_inner(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _decayed(self, expr: ast.Expr) -> CType:
+        """Type of expr in rvalue context (arrays decay to pointers)."""
+        ctype = self._type_expr(expr)
+        if isinstance(ctype, ArrayType):
+            return ctype.decay()
+        return ctype
+
+    def _type_expr_inner(self, expr: ast.Expr) -> CType:
+        if isinstance(expr, ast.IntLit):
+            return LONG if abs(expr.value) > 0x7FFF_FFFF else INT
+        if isinstance(expr, ast.StrLit):
+            if not expr.symbol:
+                expr.symbol = _fresh_string_symbol()
+                self.strings[expr.symbol] = expr.value + b"\x00"
+            return ArrayType(CHAR, len(expr.value) + 1)
+        if isinstance(expr, ast.Ident):
+            return self._type_ident(expr)
+        if isinstance(expr, ast.Unary):
+            return self._type_unary(expr)
+        if isinstance(expr, ast.PostIncDec):
+            operand_type = self._decayed(expr.operand)
+            if not expr.operand.is_lvalue:
+                raise SemanticError("++/-- needs an lvalue")
+            if not operand_type.is_scalar():
+                raise SemanticError("++/-- needs a scalar")
+            return operand_type
+        if isinstance(expr, ast.Binary):
+            return self._type_binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._type_assign(expr)
+        if isinstance(expr, ast.Cond):
+            self._require_scalar(self._decayed(expr.cond), expr)
+            then_type = self._decayed(expr.then)
+            other_type = self._decayed(expr.other)
+            if then_type.is_pointer():
+                return then_type
+            if other_type.is_pointer():
+                return other_type
+            return common_type(then_type, other_type)
+        if isinstance(expr, ast.Call):
+            return self._type_call(expr)
+        if isinstance(expr, ast.Index):
+            base_type = self._decayed(expr.base)
+            index_type = self._decayed(expr.index)
+            if not base_type.is_pointer():
+                raise SemanticError(f"cannot index {base_type}")
+            if not index_type.is_integer():
+                raise SemanticError("array index must be an integer")
+            expr.is_lvalue = True
+            return base_type.pointee
+        if isinstance(expr, ast.Member):
+            return self._type_member(expr)
+        if isinstance(expr, ast.Cast):
+            self._decayed(expr.operand)
+            return expr.target_type
+        if isinstance(expr, ast.SizeofType):
+            return LONG
+        if isinstance(expr, ast.SizeofExpr):
+            self._type_expr(expr.operand)
+            return LONG
+        raise SemanticError(f"unknown expression {type(expr).__name__}")
+
+    def _type_ident(self, expr: ast.Ident) -> CType:
+        if expr.binding == "enum":
+            return INT
+        found = self._scope.lookup(expr.name) if self._scope else None
+        if found is not None:
+            unique, ctype, kind = found
+            expr.name = unique
+            expr.binding = kind
+            expr.is_lvalue = True
+            return ctype
+        if expr.name in self.globals:
+            expr.binding = "global"
+            expr.is_lvalue = True
+            return self.globals[expr.name].var_type
+        if expr.name in self.func_types:
+            expr.binding = "func"
+            return self.func_types[expr.name]
+        raise SemanticError(f"undeclared identifier {expr.name!r}")
+
+    def _type_unary(self, expr: ast.Unary) -> CType:
+        if expr.op == "&":
+            operand_type = self._type_expr(expr.operand)
+            if not expr.operand.is_lvalue:
+                raise SemanticError("& needs an lvalue")
+            if isinstance(operand_type, ArrayType):
+                # &arr has type T(*)[N]; model as pointer to element,
+                # which is what the workloads rely on.
+                return PointerType(operand_type.elem)
+            return PointerType(operand_type)
+        if expr.op == "*":
+            operand_type = self._decayed(expr.operand)
+            if not operand_type.is_pointer():
+                raise SemanticError(f"cannot dereference {operand_type}")
+            if operand_type.pointee.is_void():
+                raise SemanticError("cannot dereference void*")
+            expr.is_lvalue = True
+            return operand_type.pointee
+        operand_type = self._decayed(expr.operand)
+        if expr.op == "!":
+            self._require_scalar(operand_type, expr)
+            return INT
+        if expr.op in ("-", "~"):
+            if not operand_type.is_integer():
+                raise SemanticError(f"unary {expr.op} needs an integer")
+            return common_type(operand_type, INT)
+        raise SemanticError(f"unknown unary operator {expr.op!r}")
+
+    def _type_binary(self, expr: ast.Binary) -> CType:
+        left = self._decayed(expr.left)
+        right = self._decayed(expr.right)
+        op = expr.op
+        if op in ("&&", "||"):
+            self._require_scalar(left, expr)
+            self._require_scalar(right, expr)
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.is_pointer() or right.is_pointer():
+                return INT
+            common_type(left, right)
+            return INT
+        if op == "+":
+            if left.is_pointer() and right.is_integer():
+                return left
+            if left.is_integer() and right.is_pointer():
+                return right
+            return common_type(left, right)
+        if op == "-":
+            if left.is_pointer() and right.is_pointer():
+                return LONG
+            if left.is_pointer() and right.is_integer():
+                return left
+            return common_type(left, right)
+        if op in ("*", "/", "%", "&", "|", "^", "<<", ">>"):
+            if not (left.is_integer() and right.is_integer()):
+                raise SemanticError(f"operator {op} needs integers "
+                                    f"({left} vs {right})")
+            if op in ("<<", ">>"):
+                return common_type(left, INT)
+            return common_type(left, right)
+        raise SemanticError(f"unknown binary operator {op!r}")
+
+    def _type_assign(self, expr: ast.Assign) -> CType:
+        target_type = self._type_expr(expr.target)
+        if not expr.target.is_lvalue:
+            raise SemanticError("assignment target is not an lvalue")
+        if isinstance(target_type, ArrayType):
+            raise SemanticError("cannot assign to an array")
+        value_type = self._decayed(expr.value)
+        if expr.op == "=":
+            self._check_assignable(target_type, value_type, expr)
+        else:
+            binop = expr.op[:-1]
+            if target_type.is_pointer():
+                if binop not in ("+", "-") or not value_type.is_integer():
+                    raise SemanticError(
+                        f"bad compound assignment {expr.op} on pointer")
+            elif not (target_type.is_integer() and value_type.is_integer()):
+                raise SemanticError(
+                    f"bad compound assignment {expr.op} "
+                    f"({target_type} vs {value_type})")
+        return target_type
+
+    def _type_call(self, expr: ast.Call) -> CType:
+        ftype = self.func_types.get(expr.name)
+        if ftype is None:
+            raise SemanticError(f"call to undeclared function {expr.name!r}")
+        if len(expr.args) != len(ftype.params):
+            raise SemanticError(
+                f"{expr.name}() expects {len(ftype.params)} args, "
+                f"got {len(expr.args)}")
+        for arg, param_type in zip(expr.args, ftype.params):
+            arg_type = self._decayed(arg)
+            self._check_assignable(param_type, arg_type, expr)
+        return ftype.ret
+
+    def _type_member(self, expr: ast.Member) -> CType:
+        base_type = self._type_expr(expr.base)
+        if expr.arrow:
+            if isinstance(base_type, ArrayType):
+                base_type = base_type.decay()
+            if not base_type.is_pointer() or \
+                    not base_type.pointee.is_struct():
+                raise SemanticError(f"-> on non-struct-pointer {base_type}")
+            struct = base_type.pointee
+        else:
+            if not base_type.is_struct():
+                raise SemanticError(f". on non-struct {base_type}")
+            if not expr.base.is_lvalue:
+                raise SemanticError(". on a non-lvalue struct")
+            struct = base_type
+        field_obj = struct.field_named(expr.name)
+        expr.is_lvalue = True
+        return field_obj.ctype
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _require_scalar(ctype: CType, node):
+        if not ctype.is_scalar():
+            raise SemanticError(f"expected a scalar, got {ctype}")
+
+    @staticmethod
+    def _check_assignable(target: CType, value: CType, node):
+        if isinstance(value, ArrayType):
+            value = value.decay()
+        if target.is_integer() and value.is_integer():
+            return
+        if target.is_pointer() and value.is_pointer():
+            return  # lenient: void* interconversion and T*/U* punning
+        if target.is_pointer() and value.is_integer():
+            return  # NULL (0) and deliberate int->ptr in test cases
+        if target.is_integer() and value.is_pointer():
+            return  # ptr->int casts used by allocator internals
+        if target.is_struct() and value is target:
+            return  # struct assignment (same type)
+        raise SemanticError(f"cannot assign {value} to {target}")
+
+
+def analyze(unit: ast.TranslationUnit) -> SemaResult:
+    """Type-check and annotate ``unit``; returns the sema tables."""
+    return Analyzer(unit).run()

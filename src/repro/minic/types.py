@@ -1,0 +1,218 @@
+"""Type system for the mini-C front end.
+
+LP64 model: char=1, short=2, int=4, long=8, pointers=8 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+
+
+class CType:
+    """Base class; all types are immutable and compared structurally."""
+
+    size: int = 0
+    align: int = 1
+
+    def is_integer(self) -> bool:
+        return False
+
+    def is_pointer(self) -> bool:
+        return False
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_struct(self) -> bool:
+        return False
+
+    def is_void(self) -> bool:
+        return False
+
+    def is_scalar(self) -> bool:
+        return self.is_integer() or self.is_pointer()
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    size: int = 0
+    align: int = 1
+
+    def is_void(self) -> bool:
+        return True
+
+    def __str__(self):
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    size: int = 4
+    signed: bool = True
+    align: int = 0  # computed in __post_init__
+
+    def __post_init__(self):
+        if self.size not in (1, 2, 4, 8):
+            raise ValueError(f"bad integer size {self.size}")
+        object.__setattr__(self, "align", self.size)
+
+    def is_integer(self) -> bool:
+        return True
+
+    def __str__(self):
+        names = {1: "char", 2: "short", 4: "int", 8: "long"}
+        prefix = "" if self.signed else "unsigned "
+        return prefix + names[self.size]
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType = field(default_factory=VoidType)
+    size: int = 8
+    align: int = 8
+
+    def is_pointer(self) -> bool:
+        return True
+
+    def __str__(self):
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    elem: CType = field(default_factory=lambda: IntType(4, True))
+    count: int = 0
+    size: int = 0
+    align: int = 1
+
+    def __post_init__(self):
+        if self.count < 0:
+            raise ValueError("array count must be non-negative")
+        object.__setattr__(self, "size", self.elem.size * self.count)
+        object.__setattr__(self, "align", self.elem.align)
+
+    def is_array(self) -> bool:
+        return True
+
+    def decay(self) -> PointerType:
+        return PointerType(self.elem)
+
+    def __str__(self):
+        return f"{self.elem}[{self.count}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    ctype: CType
+    offset: int
+
+
+class StructType(CType):
+    """Struct with laid-out fields. Mutable during definition, then sealed."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: List[StructField] = []
+        self._by_name: Dict[str, StructField] = {}
+        self.size = 0
+        self.align = 1
+        self.complete = False
+
+    def define(self, members: List[Tuple[str, CType]]):
+        if self.complete:
+            raise SemanticError(f"struct {self.name} redefined")
+        offset = 0
+        align = 1
+        for member_name, ctype in members:
+            if ctype.size == 0:
+                raise SemanticError(
+                    f"struct {self.name}: member {member_name} has "
+                    f"incomplete type {ctype}"
+                )
+            if member_name in self._by_name:
+                raise SemanticError(
+                    f"struct {self.name}: duplicate member {member_name}"
+                )
+            offset = _align_up(offset, ctype.align)
+            field_obj = StructField(member_name, ctype, offset)
+            self.fields.append(field_obj)
+            self._by_name[member_name] = field_obj
+            offset += ctype.size
+            align = max(align, ctype.align)
+        self.size = _align_up(offset, align) if offset else 0
+        self.align = align
+        self.complete = True
+
+    def field_named(self, name: str) -> StructField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SemanticError(
+                f"struct {self.name} has no member {name!r}"
+            ) from None
+
+    def is_struct(self) -> bool:
+        return True
+
+    def __str__(self):
+        return f"struct {self.name}"
+
+    def __eq__(self, other):
+        return self is other  # structs are nominal
+
+    def __hash__(self):
+        return id(self)
+
+
+@dataclass(frozen=True)
+class FuncType(CType):
+    ret: CType = field(default_factory=VoidType)
+    params: Tuple[CType, ...] = ()
+    size: int = 0
+    align: int = 1
+
+    def __str__(self):
+        args = ", ".join(str(p) for p in self.params)
+        return f"{self.ret}({args})"
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+# Canonical instances -------------------------------------------------------
+VOID = VoidType()
+CHAR = IntType(1, True)
+UCHAR = IntType(1, False)
+SHORT = IntType(2, True)
+USHORT = IntType(2, False)
+INT = IntType(4, True)
+UINT = IntType(4, False)
+LONG = IntType(8, True)
+ULONG = IntType(8, False)
+CHAR_PTR = PointerType(CHAR)
+VOID_PTR = PointerType(VOID)
+
+
+def common_type(a: CType, b: CType) -> CType:
+    """Usual arithmetic conversions, simplified: widest wins, unsigned
+    wins ties."""
+    if not (a.is_integer() and b.is_integer()):
+        raise SemanticError(f"no common type for {a} and {b}")
+    size = max(a.size, b.size, 4)  # integer promotion to at least int
+    signed = a.signed and b.signed
+    if a.size == b.size and a.size >= 4:
+        signed = a.signed and b.signed
+    return IntType(size, signed)
+
+
+def pointee_size(ptr: CType) -> int:
+    """Element size for pointer arithmetic (void* scales by 1)."""
+    if not ptr.is_pointer():
+        raise SemanticError(f"{ptr} is not a pointer")
+    size = ptr.pointee.size
+    return size if size else 1

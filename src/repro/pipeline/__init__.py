@@ -1,0 +1,26 @@
+"""Microarchitectural timing and hardware-cost models.
+
+* :mod:`repro.pipeline.cache` — set-associative data-cache model;
+* :mod:`repro.pipeline.timing` — trace-driven 5-stage in-order pipeline
+  timing (the Rocket-class core the paper runs on its ZCU102 FPGA);
+* :mod:`repro.pipeline.hwcost` — structural LUT/FF/critical-path
+  estimator reproducing the Section 5.3 hardware-cost discussion.
+"""
+
+from repro.pipeline.cache import DataCache, CacheParams
+from repro.pipeline.timing import InOrderPipeline, TimingParams
+from repro.pipeline.hwcost import (
+    HardwareCostModel,
+    CostReport,
+    rocket_baseline,
+)
+
+__all__ = [
+    "DataCache",
+    "CacheParams",
+    "InOrderPipeline",
+    "TimingParams",
+    "HardwareCostModel",
+    "CostReport",
+    "rocket_baseline",
+]

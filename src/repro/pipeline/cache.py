@@ -1,0 +1,76 @@
+"""Set-associative write-allocate data-cache timing model.
+
+Only hit/miss behaviour matters for the figures (miss penalty is folded
+into a single constant, covering writeback traffic), so the model tracks
+tags and LRU order but no data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry of the cache (defaults: Rocket-ish 16 KiB, 4-way, 64 B)."""
+
+    size_bytes: int = 16 * 1024
+    ways: int = 4
+    line_bytes: int = 64
+
+    def __post_init__(self):
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError("cache size must divide into ways * lines")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+class DataCache:
+    """LRU set-associative cache: ``access`` returns True on hit."""
+
+    def __init__(self, params: CacheParams = CacheParams()):
+        self.params = params
+        self._line_shift = params.line_bytes.bit_length() - 1
+        self._set_mask = params.sets - 1
+        if params.sets & self._set_mask and params.sets != 1:
+            raise ValueError("set count must be a power of two")
+        # Per-set list of tags in LRU order (front = most recent).
+        self._sets = [[] for _ in range(params.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int, is_store: bool = False) -> bool:
+        """Look up ``addr``; allocate on miss. Returns hit/miss."""
+        line = addr >> self._line_shift
+        index = line & self._set_mask
+        tag = line >> (self._set_mask.bit_length())
+        ways = self._sets[index]
+        try:
+            pos = ways.index(tag)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, tag)
+            if len(ways) > self.params.ways:
+                ways.pop()
+            return False
+        self.hits += 1
+        if pos:
+            ways.insert(0, ways.pop(pos))
+        return True
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def flush(self):
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0

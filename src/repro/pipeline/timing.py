@@ -1,0 +1,187 @@
+"""Trace-driven timing model of the 5-stage in-order HWST128 pipeline.
+
+The machine (functional ISS) retires instructions in program order and
+hands each one to :meth:`InOrderPipeline.retire`. The model charges:
+
+* one base cycle per instruction (in-order, single-issue);
+* a load-use bubble when an instruction consumes the result of the
+  immediately preceding load (data arrives from MEM, bypass covers
+  everything else);
+* a redirect penalty for taken branches and jumps (branches resolve in
+  EX with a static not-taken predictor, Rocket-style);
+* multiplier/divider occupancy;
+* data-cache miss penalties for every memory access, including the
+  shadow-memory metadata traffic;
+* the temporal-check cost: a ``tchk`` whose lock hits the keybuffer is a
+  single cycle, a miss performs the key load through the D-cache
+  (Section 3.5 — the keybuffer bypasses the DCache access on a hit).
+
+Fused-check accesses (``ld.chk`` …) cost the same as plain accesses: the
+SCU compares in EX off the decompressed SRF metadata, in parallel with
+address generation, which is exactly the SHORE/HWST128 design point (the
+price is paid in critical-path ns, not cycles — see ``hwcost``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.pipeline.cache import CacheParams, DataCache
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Latency/penalty knobs of the pipeline model.
+
+    Defaults are calibrated for the scaled-down workloads: the cache is
+    shrunk in proportion to the inputs (2 KiB vs the paper's SPEC-sized
+    footprints against a Rocket L1) and the miss penalty reflects the
+    ZCU102's DDR latency. ``EXPERIMENTS.md`` records the calibration.
+    """
+
+    branch_penalty: int = 2      # taken-branch redirect (resolve in EX)
+    jump_penalty: int = 2        # jal/jalr redirect
+    load_use_stall: int = 1      # load -> immediate consumer bubble
+    mul_latency: int = 3         # extra cycles occupying EX
+    div_latency: int = 24
+    dcache_miss_penalty: int = 60
+    bind_extra: int = 1          # COMP packing before the SRF writeback
+    smac_extra: int = 1          # SMAC shift+add in front of the AGU
+    srf_load_use_stall: int = 1  # lbd[l/u]s -> checked-use interlock
+    tchk_occupancy: int = 2      # tchk uses the MEM stage (CAM lookup)
+    keybuffer_miss_extra: int = 1   # fill cycle on top of the key load
+    wide_access_extra: int = 3      # 256-bit access: 4 beats on a 64-bit bus
+    mpx_walk_extra: int = 4         # MPX two-level bound-table walk
+    avx_check_extra: int = 2        # vchk: 4-field vector compare
+    cache: CacheParams = field(default_factory=lambda: CacheParams(
+        size_bytes=2048, ways=2, line_bytes=32))
+
+
+class InOrderPipeline:
+    """Cycle accumulator fed by the ISS retire stream."""
+
+    def __init__(self, params: Optional[TimingParams] = None):
+        self.params = params or TimingParams()
+        self.dcache = DataCache(self.params.cache)
+        self.cycles = 0
+        self._last_load_rd = -1
+        self._last_srf_load_rd = -1
+        self.breakdown: Dict[str, int] = {
+            "base": 0, "load_use": 0, "redirect": 0,
+            "muldiv": 0, "dmiss": 0, "tchk_miss": 0, "wide": 0,
+        }
+
+    def reset(self):
+        self.dcache = DataCache(self.params.cache)
+        self.cycles = 0
+        self._last_load_rd = -1
+        self._last_srf_load_rd = -1
+        for key in self.breakdown:
+            self.breakdown[key] = 0
+
+    def retire(self, ins: Instr, mem_addr: Optional[int], is_store: bool,
+               taken: bool, kb_hit: Optional[bool], mem2: Optional[int]):
+        """Account one retired instruction."""
+        params = self.params
+        spec = SPEC_TABLE[ins.op]
+        cost = 1
+        self.breakdown["base"] += 1
+
+        # Load-use interlock against the previous instruction.
+        last = self._last_load_rd
+        if last > 0 and (
+            (spec.reads_rs1 and ins.rs1 == last)
+            or (spec.reads_rs2 and ins.rs2 == last)
+        ):
+            cost += params.load_use_stall
+            self.breakdown["load_use"] += params.load_use_stall
+        # (shadow metadata loads write the SRF, not the GPR file — they
+        # are tracked by the SRF interlock below instead)
+        self._last_load_rd = ins.rd if (
+            spec.is_load and spec.writes_rd and not spec.srf_write) else -1
+
+        # SRF load-use interlock: metadata arriving from the shadow
+        # loads (lbdls/lbdus) is consumed by a fused check, tchk or sbd
+        # in the very next cycle — the bypass network cannot cover a
+        # MEM-stage producer.
+        srf_last = self._last_srf_load_rd
+        if srf_last >= 0:
+            consumes_srf = (
+                ((spec.checked or ins.op == "tchk") and ins.rs1 == srf_last)
+                or (ins.op in ("sbdl", "sbdu") and ins.rs2 == srf_last)
+            )
+            if consumes_srf:
+                cost += params.srf_load_use_stall
+                self.breakdown["load_use"] += params.srf_load_use_stall
+        self._last_srf_load_rd = ins.rd if (spec.srf_write and spec.is_load) \
+            else -1
+
+        if spec.shadow_access:
+            # Eq. 1 address generation (SMAC) in front of the AGU.
+            cost += params.smac_extra
+            self.breakdown["wide"] += params.smac_extra
+        if spec.ext == "mpx" and spec.shadow_access:
+            # bndldx/bndstx: the MPX bound-table walk is slow silicon.
+            cost += params.mpx_walk_extra
+            self.breakdown["wide"] += params.mpx_walk_extra
+        elif spec.ext == "avx" and not spec.shadow_access:
+            # vchk: compare all four metadata fields.
+            cost += params.avx_check_extra
+            self.breakdown["wide"] += params.avx_check_extra
+
+        if spec.mul_like:
+            cost += params.mul_latency
+            self.breakdown["muldiv"] += params.mul_latency
+        elif spec.div_like:
+            cost += params.div_latency
+            self.breakdown["muldiv"] += params.div_latency
+
+        if spec.srf_write and not spec.is_load:
+            # bndrs/bndrt: the configurable field packer (COMP) sits in
+            # front of the SRF write port.
+            cost += params.bind_extra
+            self.breakdown["wide"] += params.bind_extra
+
+        if taken and (spec.is_branch or spec.is_jump):
+            penalty = params.branch_penalty if spec.is_branch \
+                else params.jump_penalty
+            cost += penalty
+            self.breakdown["redirect"] += penalty
+
+        if mem_addr is not None:
+            if not self.dcache.access(mem_addr, is_store):
+                cost += params.dcache_miss_penalty
+                self.breakdown["dmiss"] += params.dcache_miss_penalty
+            if spec.mem_bytes > 8:
+                cost += params.wide_access_extra
+                self.breakdown["wide"] += params.wide_access_extra
+
+        # tchk occupies the MEM stage for its keybuffer CAM lookup even
+        # on a hit (the win is skipping the DCache access, Section 3.5).
+        if kb_hit is not None:
+            cost += params.tchk_occupancy
+            self.breakdown["wide"] += params.tchk_occupancy
+
+        # Secondary access: tchk key load on keybuffer miss, MPX bound
+        # table walk second beat, WDL in-check key load.
+        if mem2 is not None:
+            extra = 1  # the additional memory operation itself
+            if not self.dcache.access(mem2, False):
+                extra += params.dcache_miss_penalty
+                self.breakdown["dmiss"] += params.dcache_miss_penalty
+            if kb_hit is False:
+                extra += params.keybuffer_miss_extra
+                self.breakdown["tchk_miss"] += params.keybuffer_miss_extra + 1
+            else:
+                self.breakdown["wide"] += 1
+            cost += extra
+
+        self.cycles += cost
+
+    def stats(self) -> Dict[str, int]:
+        out = {f"cyc_{name}": value for name, value in self.breakdown.items()}
+        out["dcache_hits"] = self.dcache.hits
+        out["dcache_misses"] = self.dcache.misses
+        return out

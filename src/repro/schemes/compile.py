@@ -1,0 +1,115 @@
+"""Source -> Program compile pipelines, one per protection scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.codegen.link import build_program
+from repro.codegen.lower import CodegenOptions
+from repro.codegen.runtime import runtime_source
+from repro.core.config import HwstConfig
+from repro.ir.irgen import lower_unit
+from repro.ir.verify import verify_module
+from repro.minic import analyze, parse
+from repro.pipeline.timing import InOrderPipeline, TimingParams
+from repro.sim.machine import Machine, RunResult
+from repro.sim.memory import DEFAULT_LAYOUT
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """How to build a program under one protection scheme."""
+
+    name: str
+    runtime: str                       # scheme runtime family
+    instrument: Optional[str] = None   # instrumentation pass name
+    spill_meta: Optional[str] = None   # codegen metadata-spill flavour
+    sbcets_shadow: str = "trie"
+    description: str = ""
+
+
+SCHEMES: Dict[str, SchemeSpec] = {
+    "baseline": SchemeSpec(
+        "baseline", runtime="baseline",
+        description="unprotected build (perf.oh denominator)"),
+    "sbcets": SchemeSpec(
+        "sbcets", runtime="sbcets", instrument="sbcets",
+        description="SoftboundCETS software spatial+temporal safety"),
+    "sbcets_lmsm": SchemeSpec(
+        "sbcets_lmsm", runtime="sbcets", instrument="sbcets",
+        sbcets_shadow="linear",
+        description="SBCETS with linear-mapped shadow (ABL-LMSM ablation)"),
+    "hwst128": SchemeSpec(
+        "hwst128", runtime="hwst", instrument="hwst128",
+        spill_meta="hwst",
+        description="HWST128 without tchk (software temporal key load)"),
+    "hwst128_tchk": SchemeSpec(
+        "hwst128_tchk", runtime="hwst", instrument="hwst128_tchk",
+        spill_meta="hwst",
+        description="full HWST128: tchk + keybuffer"),
+    "bogo": SchemeSpec(
+        "bogo", runtime="bogo", instrument="bogo", spill_meta="mpx",
+        description="BOGO on MPX: spatial + free-time bound nullification"),
+    "wdl_narrow": SchemeSpec(
+        "wdl_narrow", runtime="wdl", instrument="wdl_narrow",
+        description="WatchdogLite, scalar metadata handling"),
+    "wdl_wide": SchemeSpec(
+        "wdl_wide", runtime="wdl", instrument="wdl_wide", spill_meta="avx",
+        description="WatchdogLite, AVX 256-bit metadata handling"),
+    "asan": SchemeSpec(
+        "asan", runtime="asan", instrument="asan",
+        description="AddressSanitizer: redzones + quarantine"),
+    "gcc": SchemeSpec(
+        "gcc", runtime="gcc", instrument="gcc",
+        description="GCC stack-protector canaries"),
+}
+
+
+def scheme_names():
+    return list(SCHEMES)
+
+
+def _compile_unit(source: str, name: str):
+    return lower_unit(analyze(parse(source)), name)
+
+
+def compile_source(source: str, scheme: str = "baseline",
+                   config: Optional[HwstConfig] = None,
+                   program_name: str = "program"):
+    """Compile mini-C ``source`` under ``scheme`` into a Program."""
+    spec = SCHEMES.get(scheme)
+    if spec is None:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)}")
+    config = config or HwstConfig()
+
+    module = _compile_unit(source, program_name)
+    if spec.instrument is not None:
+        from repro.ir.instrument import instrument_module
+
+        instrument_module(module, spec.instrument)
+    runtime = _compile_unit(
+        runtime_source(spec.runtime, spec.sbcets_shadow), "runtime")
+    module.merge(runtime)
+    verify_module(module)
+
+    options = CodegenOptions(spill_meta=spec.spill_meta)
+    program = build_program(module, config=config, layout=DEFAULT_LAYOUT,
+                            options=options,
+                            meta={"scheme": scheme, "name": program_name})
+    return program
+
+
+def run_source(source: str, scheme: str = "baseline",
+               config: Optional[HwstConfig] = None,
+               timing: bool = True,
+               timing_params: Optional[TimingParams] = None,
+               max_instructions: int = 200_000_000,
+               program_name: str = "program") -> RunResult:
+    """Compile and execute ``source`` under ``scheme``."""
+    config = config or HwstConfig()
+    program = compile_source(source, scheme, config, program_name)
+    pipeline = InOrderPipeline(timing_params) if timing else None
+    machine = Machine(config=config, timing=pipeline)
+    return machine.run(program, max_instructions=max_instructions)

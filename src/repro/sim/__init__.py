@@ -1,0 +1,27 @@
+"""Functional simulation substrate: memory, ISS, keybuffer, programs.
+
+* :mod:`repro.sim.memory` — paged byte-addressable memory with mapped
+  regions (unmapped access faults, which is how null derefs surface on
+  the unprotected baseline);
+* :mod:`repro.sim.keybuffer` — the TLB-like lock->key buffer from
+  Section 3.5;
+* :mod:`repro.sim.program` — linked program images (text + data + symbols);
+* :mod:`repro.sim.machine` — the instruction-set simulator executing the
+  RV64 subset plus the HWST128/MPX/AVX extensions, in the role the
+  augmented SPIKE plays in the paper.
+"""
+
+from repro.sim.memory import Memory, MemoryLayout
+from repro.sim.keybuffer import KeyBuffer
+from repro.sim.program import Program, Segment
+from repro.sim.machine import Machine, RunResult
+
+__all__ = [
+    "Memory",
+    "MemoryLayout",
+    "KeyBuffer",
+    "Program",
+    "Segment",
+    "Machine",
+    "RunResult",
+]

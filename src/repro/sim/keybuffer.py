@@ -1,0 +1,87 @@
+"""The keybuffer: a small TLB-like cache of lock_location -> key.
+
+Section 3.5: the temporal check needs a memory load to fetch the key
+stored at a pointer's lock_location. The keybuffer records the most
+recently loaded keys so a ``tchk`` whose lock hits the buffer skips the
+DCache access entirely. It is cleared whenever a pointer is freed (the
+machine snoops stores into the lock-table window), guaranteeing the
+buffer never serves a stale key.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class KeyBuffer:
+    """Fully-associative buffer of ``lock -> key`` entries.
+
+    ``policy`` selects the replacement strategy: "lru" (default, what a
+    TLB-like structure would do) or "fifo" (cheaper hardware — an
+    ablation knob for the Section 3.5 design point).
+    """
+
+    def __init__(self, entries: int = 8, policy: str = "lru"):
+        if entries < 0:
+            raise ValueError(f"entries must be non-negative: {entries}")
+        if policy not in ("lru", "fifo"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self._entries = entries
+        self._policy = policy
+        self._data: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.clears = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, lock: int) -> Optional[int]:
+        """Return the cached key for ``lock`` or None on miss."""
+        if self._entries == 0:
+            self.misses += 1
+            return None
+        key = self._data.get(lock)
+        if key is None:
+            self.misses += 1
+            return None
+        if self._policy == "lru":
+            self._data.move_to_end(lock)
+        self.hits += 1
+        return key
+
+    def fill(self, lock: int, key: int):
+        """Install a freshly loaded key, evicting the victim on overflow."""
+        if self._entries == 0:
+            return
+        fresh = lock not in self._data
+        self._data[lock] = key
+        if fresh or self._policy == "lru":
+            self._data.move_to_end(lock)
+        while len(self._data) > self._entries:
+            self._data.popitem(last=False)
+
+    def invalidate(self, lock: int):
+        """Drop a single entry (a new key was written to its lock)."""
+        self._data.pop(lock, None)
+
+    def clear(self):
+        """Flush everything (a pointer was freed)."""
+        if self._data:
+            self._data.clear()
+        self.clears += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        self.clears = 0

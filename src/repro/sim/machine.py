@@ -1,0 +1,880 @@
+"""Instruction-set simulator for the RV64 subset + HWST128 extension.
+
+Functionally this is the paper's SPIKE-augmented-with-HWST128: it executes
+programs, maintains the shadow register file (SRF) with SHORE-style
+in-pipeline metadata propagation, performs the fused spatial checks
+(SCU), the keybuffer-assisted temporal check (TCU), and the shadow-memory
+metadata moves through the SMAC address mapping. A timing model can be
+attached to convert the retired instruction stream into cycle counts
+(the FPGA role).
+
+SRF propagation rules (Section 3.2 "in-pipeline propagation"):
+
+* ALU register-register ops propagate the metadata of ``rs1`` when bound,
+  else of ``rs2`` — pointer arithmetic keeps its object's metadata;
+* ALU register-immediate ops propagate ``rs1``;
+* everything else that writes ``rd`` (plain loads, ``lui``, ``jal[r]``,
+  CSR reads, …) invalidates ``SRF[rd]``; metadata re-enters registers
+  only through ``bndr[s/t]`` or the shadow loads ``lbd[l/u]s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import bits
+from repro.core.compression import MetadataCompressor
+from repro.core.config import HwstConfig
+from repro.core.shadow import ShadowMap
+from repro.errors import (
+    EcallAbort,
+    EcallExit,
+    IllegalInstruction,
+    MemoryFault,
+    ShadowMemoryExhausted,
+    SimLimitExceeded,
+    SimTrap,
+    SpatialViolation,
+    TemporalViolation,
+)
+from repro.isa import csr as csrdef
+from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.sim.keybuffer import KeyBuffer
+from repro.sim.memory import Memory
+from repro.sim.program import Program
+
+# SRF entry: (lower, upper, spatial_valid, temporal_valid)
+SRF_INVALID: Tuple[int, int, bool, bool] = (0, 0, False, False)
+
+# Syscall numbers (proxy-kernel flavoured).
+SYS_WRITE = 64
+SYS_EXIT = 93
+SYS_ABORT = 1000
+# Classified safety traps raised by software protection runtimes
+# (SBCETS check failures, ASAN reports, canary smashes).
+SYS_TRAP_SPATIAL = 1001
+SYS_TRAP_TEMPORAL = 1002
+SYS_TRAP_ASAN = 1003
+SYS_TRAP_CANARY = 1004
+
+STATUS_EXIT = "exit"
+STATUS_SPATIAL = "spatial_violation"
+STATUS_TEMPORAL = "temporal_violation"
+STATUS_FAULT = "memory_fault"
+STATUS_ABORT = "abort"
+STATUS_LIMIT = "limit"
+STATUS_ILLEGAL = "illegal_instruction"
+STATUS_OOM = "shadow_oom"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated program execution."""
+
+    status: str
+    exit_code: int = 0
+    detail: str = ""
+    instret: int = 0
+    cycles: int = 0
+    output: bytes = b""
+    stats: Dict[str, int] = dc_field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_EXIT and self.exit_code == 0
+
+    @property
+    def detected_violation(self) -> bool:
+        """True when a memory-safety check fired (spatial or temporal)."""
+        return self.status in (STATUS_SPATIAL, STATUS_TEMPORAL)
+
+    def output_text(self) -> str:
+        return self.output.decode("utf-8", errors="replace")
+
+
+class Machine:
+    """Functional RV64 + HWST128 simulator."""
+
+    def __init__(self, config: Optional[HwstConfig] = None, timing=None,
+                 trace_depth: int = 0):
+        self.config = config or HwstConfig()
+        self.timing = timing
+        # Optional ring buffer of the last N retired (pc, Instr) pairs
+        # for post-mortem debugging (see trace_text()).
+        self.trace_depth = trace_depth
+        self._trace: List[Tuple[int, Instr]] = []
+        self.memory = Memory()
+        self.keybuffer = KeyBuffer(self.config.keybuffer_entries,
+                                   self.config.keybuffer_policy)
+        self.compressor = MetadataCompressor(self.config)
+        self.shadow = ShadowMap.from_config(self.config)
+        self.regs: List[int] = [0] * 32
+        self.srf: List[Tuple[int, int, bool, bool]] = [SRF_INVALID] * 32
+        self.srf_wide: List[Optional[Tuple[int, int, int, int]]] = [None] * 32
+        self.pc = 0
+        self.csrs: Dict[int, int] = {}
+        self.instret = 0
+        self.output = bytearray()
+        self.program: Optional[Program] = None
+        self.stats: Dict[str, int] = {}
+        self._lock_lo = self.config.lock_base
+        self._lock_hi = self.config.lock_limit
+        self._dispatch: Dict[str, Callable[[Instr], Optional[int]]] = \
+            self._build_dispatch()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def reset(self):
+        self.memory = Memory()
+        self.keybuffer = KeyBuffer(self.config.keybuffer_entries,
+                                   self.config.keybuffer_policy)
+        # NB: handlers close over self.regs — mutate it in place.
+        self.regs[:] = [0] * 32
+        self.srf[:] = [SRF_INVALID] * 32
+        self.srf_wide[:] = [None] * 32
+        self.pc = 0
+        self.instret = 0
+        self.output = bytearray()
+        self.stats = {
+            "loads": 0, "stores": 0, "branches": 0, "taken": 0,
+            "hwst_ops": 0, "shadow_ops": 0, "tchk": 0, "calls": 0,
+        }
+        self.csrs = {
+            csrdef.HWST_SM_OFFSET: self.config.shadow_offset,
+            csrdef.HWST_META_WIDTHS: csrdef.pack_meta_widths(
+                self.config.widths.base, self.config.widths.range,
+                self.config.widths.lock, self.config.widths.key),
+            csrdef.HWST_LOCK_BASE: self.config.lock_base,
+            csrdef.HWST_LOCK_LIMIT: self.config.lock_limit,
+            csrdef.HWST_STATUS: 0x3,
+        }
+        if self.timing is not None:
+            self.timing.reset()
+
+    def load(self, program: Program):
+        """Reset and load ``program`` (segments + registers + pc)."""
+        self.reset()
+        self.program = program
+        program.load_into(self.memory)
+        # sp: leave headroom below stack_top so wild stack writes above
+        # the frame stay in mapped memory (silent corruption, like a
+        # real process), rather than faulting artificially.
+        self.regs[2] = program.layout.stack_top - 4096
+        self.pc = program.entry
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, program: Program,
+            max_instructions: int = 200_000_000) -> RunResult:
+        """Execute ``program`` to completion and summarise the outcome."""
+        self.load(program)
+        instrs = program.instrs
+        text_base = program.text_base
+        dispatch = self._dispatch
+        status, code, detail = STATUS_EXIT, 0, ""
+        try:
+            remaining = max_instructions
+            while True:
+                index = (self.pc - text_base) >> 2
+                if index < 0 or index >= len(instrs):
+                    raise MemoryFault(self.pc, "pc outside text")
+                ins = instrs[index]
+                handler = dispatch.get(ins.op)
+                if handler is None:
+                    raise IllegalInstruction(self.pc, ins.op)
+                if self.trace_depth:
+                    self._trace.append((self.pc, ins))
+                    if len(self._trace) > self.trace_depth:
+                        del self._trace[0]
+                next_pc = handler(ins)
+                self.pc = self.pc + 4 if next_pc is None else next_pc
+                self.instret += 1
+                remaining -= 1
+                if remaining <= 0:
+                    raise SimLimitExceeded(max_instructions)
+        except EcallExit as trap:
+            code = trap.code
+        except SpatialViolation as trap:
+            status, detail = STATUS_SPATIAL, str(trap)
+        except TemporalViolation as trap:
+            status, detail = STATUS_TEMPORAL, str(trap)
+        except ShadowMemoryExhausted as trap:
+            status, detail = STATUS_OOM, str(trap)
+        except MemoryFault as trap:
+            status, detail = STATUS_FAULT, str(trap)
+        except EcallAbort as trap:
+            status, detail = STATUS_ABORT, str(trap)
+        except IllegalInstruction as trap:
+            status, detail = STATUS_ILLEGAL, str(trap)
+        except SimLimitExceeded as trap:
+            status, detail = STATUS_LIMIT, str(trap)
+        stats = dict(self.stats)
+        stats["kb_hits"] = self.keybuffer.hits
+        stats["kb_misses"] = self.keybuffer.misses
+        stats["shadow_bytes"] = self.memory.shadow_bytes_touched
+        cycles = self.timing.cycles if self.timing is not None else self.instret
+        if self.timing is not None:
+            stats.update(self.timing.stats())
+        return RunResult(
+            status=status, exit_code=code, detail=detail,
+            instret=self.instret, cycles=cycles,
+            output=bytes(self.output), stats=stats,
+        )
+
+    def trace_text(self) -> str:
+        """Render the retired-instruction ring buffer (needs a Machine
+        constructed with ``trace_depth > 0``)."""
+        lines = []
+        symbols = {}
+        if self.program is not None:
+            symbols = {addr: name for name, addr
+                       in self.program.symbols.items()
+                       if self.program.instr_at(addr) is not None}
+        for pc, ins in self._trace:
+            label = symbols.get(pc)
+            if label:
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:#8x}: {ins}")
+        return "\n".join(lines)
+
+    def step(self):
+        """Execute a single instruction (testing hook)."""
+        assert self.program is not None, "load a program first"
+        ins = self.program.instr_at(self.pc)
+        if ins is None:
+            raise MemoryFault(self.pc, "pc outside text")
+        handler = self._dispatch.get(ins.op)
+        if handler is None:
+            raise IllegalInstruction(self.pc, ins.op)
+        next_pc = handler(ins)
+        self.pc = self.pc + 4 if next_pc is None else next_pc
+        self.instret += 1
+
+    # ------------------------------------------------------------------
+    # Timing hook
+    # ------------------------------------------------------------------
+
+    def _retire(self, ins: Instr, mem_addr: Optional[int] = None,
+                is_store: bool = False, taken: bool = False,
+                kb_hit: Optional[bool] = None,
+                mem2: Optional[int] = None):
+        if self.timing is not None:
+            self.timing.retire(ins, mem_addr, is_store, taken, kb_hit, mem2)
+
+    # ------------------------------------------------------------------
+    # SRF helpers
+    # ------------------------------------------------------------------
+
+    def _srf_propagate_r(self, rd: int, rs1: int, rs2: int):
+        if rd == 0:
+            return
+        entry = self.srf[rs1]
+        if entry[2] or entry[3] or self.srf_wide[rs1] is not None:
+            self.srf[rd] = entry
+            self.srf_wide[rd] = self.srf_wide[rs1]
+            return
+        entry = self.srf[rs2]
+        if entry[2] or entry[3] or self.srf_wide[rs2] is not None:
+            self.srf[rd] = entry
+            self.srf_wide[rd] = self.srf_wide[rs2]
+            return
+        self.srf[rd] = SRF_INVALID
+        self.srf_wide[rd] = None
+
+    def _srf_propagate_i(self, rd: int, rs1: int):
+        if rd == 0:
+            return
+        self.srf[rd] = self.srf[rs1]
+        self.srf_wide[rd] = self.srf_wide[rs1]
+
+    def _srf_invalidate(self, rd: int):
+        if rd == 0:
+            return
+        self.srf[rd] = SRF_INVALID
+        self.srf_wide[rd] = None
+
+    def srf_metadata(self, reg: int):
+        """Decompressed metadata bound to ``reg`` (testing/debug hook)."""
+        lower, upper, lvalid, uvalid = self.srf[reg]
+        base, bound = (self.compressor.decompress_spatial(lower)
+                       if lvalid else (0, 0))
+        key, lock = (self.compressor.decompress_temporal(upper)
+                     if uvalid else (0, 0))
+        return base, bound, key, lock
+
+    # ------------------------------------------------------------------
+    # Check units
+    # ------------------------------------------------------------------
+
+    def _spatial_check(self, reg: int, addr: int, nbytes: int):
+        """SCU: fused bounds check of ``addr`` against SRF[reg]."""
+        lower, _, lvalid, _ = self.srf[reg]
+        if not lvalid:
+            raise SpatialViolation(self.pc, addr, 0, 0)
+        base, bound = self.compressor.decompress_spatial(lower)
+        if addr < base or addr + nbytes > bound:
+            raise SpatialViolation(self.pc, addr, base, bound)
+
+    def _temporal_check(self, reg: int):
+        """TCU: keybuffer-assisted key/lock compare. Returns (kb_hit, mem2)."""
+        _, upper, _, uvalid = self.srf[reg]
+        if not uvalid:
+            raise TemporalViolation(self.pc, 0, 0, 0)
+        key, lock = self.compressor.decompress_temporal(upper)
+        if lock == 0:
+            raise TemporalViolation(self.pc, key, 0, 0)
+        cached = self.keybuffer.lookup(lock)
+        if cached is not None:
+            if cached != key:
+                raise TemporalViolation(self.pc, key, cached, lock)
+            return True, None
+        stored = self.memory.load_u64(lock)
+        self.keybuffer.fill(lock, stored)
+        if stored != key:
+            raise TemporalViolation(self.pc, key, stored, lock)
+        return False, lock
+
+    # ------------------------------------------------------------------
+    # Shadow memory plumbing
+    # ------------------------------------------------------------------
+
+    def _smac(self, container: int) -> int:
+        """Shadow-memory address calculation (Eq. 1) + budget guard."""
+        addr = (container << 2) + self.csrs[csrdef.HWST_SM_OFFSET]
+        budget = self.config.shadow_budget
+        if budget and self.memory.shadow_bytes_touched > budget:
+            raise ShadowMemoryExhausted(
+                self.memory.shadow_bytes_touched, budget)
+        return addr
+
+    def _snoop_lock_store(self, addr: int, value: int):
+        """Keep the keybuffer coherent with writes to the lock table."""
+        if self._lock_lo <= addr < self._lock_hi:
+            if value == 0:
+                self.keybuffer.clear()      # a pointer was freed
+            else:
+                self.keybuffer.invalidate(addr)
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+
+    def _build_dispatch(self) -> Dict[str, Callable[[Instr], Optional[int]]]:
+        d: Dict[str, Callable[[Instr], Optional[int]]] = {}
+
+        for op in ("add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra",
+                   "or", "and", "addw", "subw", "sllw", "srlw", "sraw",
+                   "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem",
+                   "remu", "mulw", "divw", "divuw", "remw", "remuw"):
+            d[op] = self._make_alu_r(op)
+        for op in ("addi", "slti", "sltiu", "xori", "ori", "andi",
+                   "slli", "srli", "srai", "addiw", "slliw", "srliw",
+                   "sraiw"):
+            d[op] = self._make_alu_i(op)
+        for op, spec in SPEC_TABLE.items():
+            if spec.is_load and spec.opcode == 0x03:
+                d[op] = self._make_load(op, spec.mem_bytes, spec.mem_signed)
+            elif spec.is_store and spec.opcode == 0x23:
+                d[op] = self._make_store(op, spec.mem_bytes)
+            elif spec.checked and spec.is_load:
+                d[op] = self._make_checked_load(op, spec.mem_bytes,
+                                                spec.mem_signed)
+            elif spec.checked and spec.is_store:
+                d[op] = self._make_checked_store(op, spec.mem_bytes)
+        for op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            d[op] = self._make_branch(op)
+        d["jal"] = self._op_jal
+        d["jalr"] = self._op_jalr
+        d["lui"] = self._op_lui
+        d["auipc"] = self._op_auipc
+        d["ecall"] = self._op_ecall
+        d["ebreak"] = self._op_ebreak
+        d["fence"] = self._op_fence
+        d["csrrw"] = self._make_csr("w")
+        d["csrrs"] = self._make_csr("s")
+        d["csrrc"] = self._make_csr("c")
+        # HWST128 extension.
+        d["bndrs"] = self._op_bndrs
+        d["bndrt"] = self._op_bndrt
+        d["tchk"] = self._op_tchk
+        d["sbdl"] = self._make_sbd(upper=False)
+        d["sbdu"] = self._make_sbd(upper=True)
+        d["lbdls"] = self._make_lbds(upper=False)
+        d["lbdus"] = self._make_lbds(upper=True)
+        d["lbas"] = self._make_meta_gpr_load("base")
+        d["lbnd"] = self._make_meta_gpr_load("bound")
+        d["lkey"] = self._make_meta_gpr_load("key")
+        d["lloc"] = self._make_meta_gpr_load("lock")
+        # MPX comparator model.
+        d["bndcl"] = self._op_bndcl
+        d["bndcu"] = self._op_bndcu
+        d["bndldx"] = self._op_bndldx
+        d["bndstx"] = self._op_bndstx
+        # AVX comparator model.
+        d["vld256"] = self._op_vld256
+        d["vst256"] = self._op_vst256
+        d["vchk"] = self._op_vchk
+        return d
+
+    # -- ALU -----------------------------------------------------------
+
+    @staticmethod
+    def _alu_fn(op: str):
+        U, S = bits.to_u64, bits.to_s64
+
+        def div64(a, b):
+            a, b = S(a), S(b)
+            if b == 0:
+                return bits.MASK64
+            if a == -(1 << 63) and b == -1:
+                return U(a)
+            return U(int(a / b) if (a < 0) != (b < 0) else a // b)
+
+        def rem64(a, b):
+            a, b = S(a), S(b)
+            if b == 0:
+                return U(a)
+            if a == -(1 << 63) and b == -1:
+                return 0
+            return U(a - int(a / b) * b if (a < 0) != (b < 0) else a % b)
+
+        table = {
+            "add": lambda a, b: U(a + b),
+            "sub": lambda a, b: U(a - b),
+            "sll": lambda a, b: U(a << (b & 63)),
+            "slt": lambda a, b: int(S(a) < S(b)),
+            "sltu": lambda a, b: int(a < b),
+            "xor": lambda a, b: a ^ b,
+            "srl": lambda a, b: a >> (b & 63),
+            "sra": lambda a, b: U(S(a) >> (b & 63)),
+            "or": lambda a, b: a | b,
+            "and": lambda a, b: a & b,
+            "addw": lambda a, b: U(bits.sext(a + b, 32)),
+            "subw": lambda a, b: U(bits.sext(a - b, 32)),
+            "sllw": lambda a, b: U(bits.sext(a << (b & 31), 32)),
+            "srlw": lambda a, b: U(bits.sext((a & bits.MASK32) >> (b & 31), 32)),
+            "sraw": lambda a, b: U(bits.to_s32(a) >> (b & 31)),
+            "mul": lambda a, b: U(a * b),
+            "mulh": lambda a, b: U((S(a) * S(b)) >> 64),
+            "mulhu": lambda a, b: (a * b) >> 64,
+            "mulhsu": lambda a, b: U((S(a) * b) >> 64),
+            "div": div64,
+            "divu": lambda a, b: bits.MASK64 if b == 0 else a // b,
+            "rem": rem64,
+            "remu": lambda a, b: a if b == 0 else a % b,
+            "mulw": lambda a, b: U(bits.sext(a * b, 32)),
+            "divw": lambda a, b: U(bits.sext(
+                div64(U(bits.to_s32(a)), U(bits.to_s32(b))), 32)),
+            "divuw": lambda a, b: bits.MASK64 if (b & bits.MASK32) == 0
+            else U(bits.sext((a & bits.MASK32) // (b & bits.MASK32), 32)),
+            "remw": lambda a, b: U(bits.sext(
+                rem64(U(bits.to_s32(a)), U(bits.to_s32(b))), 32)),
+            "remuw": lambda a, b: U(bits.sext(a & bits.MASK32, 32))
+            if (b & bits.MASK32) == 0
+            else U(bits.sext((a & bits.MASK32) % (b & bits.MASK32), 32)),
+            # immediate variants share the binary function:
+            "addi": lambda a, b: U(a + b),
+            "slti": lambda a, b: int(S(a) < S(b)),
+            "sltiu": lambda a, b: int(a < b),
+            "xori": lambda a, b: a ^ b,
+            "ori": lambda a, b: a | b,
+            "andi": lambda a, b: a & b,
+            "slli": lambda a, b: U(a << (b & 63)),
+            "srli": lambda a, b: a >> (b & 63),
+            "srai": lambda a, b: U(S(a) >> (b & 63)),
+            "addiw": lambda a, b: U(bits.sext(a + b, 32)),
+            "slliw": lambda a, b: U(bits.sext(a << (b & 31), 32)),
+            "srliw": lambda a, b: U(bits.sext((a & bits.MASK32) >> (b & 31), 32)),
+            "sraiw": lambda a, b: U(bits.to_s32(a) >> (b & 31)),
+        }
+        return table[op]
+
+    def _make_alu_r(self, op: str):
+        fn = self._alu_fn(op)
+        regs = self.regs
+
+        def handler(ins: Instr):
+            rd = ins.rd
+            if rd:
+                regs[rd] = fn(regs[ins.rs1], regs[ins.rs2])
+                self._srf_propagate_r(rd, ins.rs1, ins.rs2)
+            self._retire(ins)
+            return None
+
+        return handler
+
+    def _make_alu_i(self, op: str):
+        fn = self._alu_fn(op)
+        regs = self.regs
+
+        def handler(ins: Instr):
+            rd = ins.rd
+            if rd:
+                regs[rd] = fn(regs[ins.rs1], bits.to_u64(ins.imm))
+                self._srf_propagate_i(rd, ins.rs1)
+            self._retire(ins)
+            return None
+
+        return handler
+
+    # -- memory ----------------------------------------------------------
+
+    def _make_load(self, op: str, nbytes: int, signed: bool):
+        def handler(ins: Instr):
+            addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            value = self.memory.load_uint(addr, nbytes)
+            if signed:
+                value = bits.to_u64(bits.sext(value, 8 * nbytes))
+            if ins.rd:
+                self.regs[ins.rd] = value
+                self._srf_invalidate(ins.rd)
+            self.stats["loads"] += 1
+            self._retire(ins, mem_addr=addr)
+            return None
+
+        return handler
+
+    def _make_store(self, op: str, nbytes: int):
+        def handler(ins: Instr):
+            addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            value = self.regs[ins.rs2]
+            self.memory.store_uint(addr, nbytes, value)
+            if nbytes == 8:
+                self._snoop_lock_store(addr, value)
+            self.stats["stores"] += 1
+            self._retire(ins, mem_addr=addr, is_store=True)
+            return None
+
+        return handler
+
+    def _make_checked_load(self, op: str, nbytes: int, signed: bool):
+        def handler(ins: Instr):
+            addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            self._spatial_check(ins.rs1, addr, nbytes)
+            value = self.memory.load_uint(addr, nbytes)
+            if signed:
+                value = bits.to_u64(bits.sext(value, 8 * nbytes))
+            if ins.rd:
+                self.regs[ins.rd] = value
+                self._srf_invalidate(ins.rd)
+            self.stats["loads"] += 1
+            self.stats["hwst_ops"] += 1
+            self._retire(ins, mem_addr=addr)
+            return None
+
+        return handler
+
+    def _make_checked_store(self, op: str, nbytes: int):
+        def handler(ins: Instr):
+            addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            self._spatial_check(ins.rs1, addr, nbytes)
+            value = self.regs[ins.rs2]
+            self.memory.store_uint(addr, nbytes, value)
+            if nbytes == 8:
+                self._snoop_lock_store(addr, value)
+            self.stats["stores"] += 1
+            self.stats["hwst_ops"] += 1
+            self._retire(ins, mem_addr=addr, is_store=True)
+            return None
+
+        return handler
+
+    # -- control flow -------------------------------------------------------
+
+    def _make_branch(self, op: str):
+        S = bits.to_s64
+        compare = {
+            "beq": lambda a, b: a == b,
+            "bne": lambda a, b: a != b,
+            "blt": lambda a, b: S(a) < S(b),
+            "bge": lambda a, b: S(a) >= S(b),
+            "bltu": lambda a, b: a < b,
+            "bgeu": lambda a, b: a >= b,
+        }[op]
+
+        def handler(ins: Instr):
+            taken = compare(self.regs[ins.rs1], self.regs[ins.rs2])
+            self.stats["branches"] += 1
+            if taken:
+                self.stats["taken"] += 1
+            self._retire(ins, taken=taken)
+            return bits.to_u64(self.pc + ins.imm) if taken else None
+
+        return handler
+
+    def _op_jal(self, ins: Instr):
+        if ins.rd:
+            self.regs[ins.rd] = bits.to_u64(self.pc + 4)
+            self._srf_invalidate(ins.rd)
+        self.stats["calls"] += 1
+        self._retire(ins, taken=True)
+        return bits.to_u64(self.pc + ins.imm)
+
+    def _op_jalr(self, ins: Instr):
+        target = bits.to_u64(self.regs[ins.rs1] + ins.imm) & ~1
+        if ins.rd:
+            self.regs[ins.rd] = bits.to_u64(self.pc + 4)
+            self._srf_invalidate(ins.rd)
+        self._retire(ins, taken=True)
+        return target
+
+    def _op_lui(self, ins: Instr):
+        if ins.rd:
+            self.regs[ins.rd] = bits.to_u64(bits.sext(ins.imm << 12, 32))
+            self._srf_invalidate(ins.rd)
+        self._retire(ins)
+        return None
+
+    def _op_auipc(self, ins: Instr):
+        if ins.rd:
+            self.regs[ins.rd] = bits.to_u64(
+                self.pc + bits.sext(ins.imm << 12, 32))
+            self._srf_invalidate(ins.rd)
+        self._retire(ins)
+        return None
+
+    def _op_fence(self, ins: Instr):
+        self._retire(ins)
+        return None
+
+    def _op_ebreak(self, ins: Instr):
+        raise EcallAbort("ebreak")
+
+    def _op_ecall(self, ins: Instr):
+        self._retire(ins)
+        number = self.regs[17]  # a7
+        if number == SYS_EXIT:
+            raise EcallExit(bits.to_s64(self.regs[10]))
+        if number == SYS_WRITE:
+            buf, length = self.regs[11], self.regs[12]
+            self.output += self.memory.load_bytes(buf, length)
+            self.regs[10] = length
+            return None
+        if number == SYS_ABORT:
+            raise EcallAbort("program abort")
+        if number == SYS_TRAP_SPATIAL:
+            raise SpatialViolation(self.pc, self.regs[10], 0, 0)
+        if number == SYS_TRAP_TEMPORAL:
+            raise TemporalViolation(self.pc, self.regs[10], 0, 0)
+        if number == SYS_TRAP_ASAN:
+            raise EcallAbort("asan-report")
+        if number == SYS_TRAP_CANARY:
+            raise EcallAbort("stack-smashing-detected")
+        raise IllegalInstruction(self.pc, f"unknown ecall {number}")
+
+    def _make_csr(self, kind: str):
+        def handler(ins: Instr):
+            addr = ins.imm
+            old = self._csr_read(addr)
+            src = self.regs[ins.rs1]
+            if kind == "w":
+                self._csr_write(addr, src)
+            elif kind == "s" and ins.rs1 != 0:
+                self._csr_write(addr, old | src)
+            elif kind == "c" and ins.rs1 != 0:
+                self._csr_write(addr, old & ~src)
+            if ins.rd:
+                self.regs[ins.rd] = old
+                self._srf_invalidate(ins.rd)
+            self._retire(ins)
+            return None
+
+        return handler
+
+    def _csr_read(self, addr: int) -> int:
+        if addr == csrdef.CYCLE:
+            return self.timing.cycles if self.timing is not None else self.instret
+        if addr in (csrdef.TIME, csrdef.INSTRET):
+            return self.instret
+        return self.csrs.get(addr, 0)
+
+    def _csr_write(self, addr: int, value: int):
+        value = bits.to_u64(value)
+        self.csrs[addr] = value
+        if addr == csrdef.HWST_LOCK_BASE:
+            self._lock_lo = value
+        elif addr == csrdef.HWST_LOCK_LIMIT:
+            self._lock_hi = value
+
+    # -- HWST128 ---------------------------------------------------------
+
+    def _op_bndrs(self, ins: Instr):
+        base, bound = self.regs[ins.rs1], self.regs[ins.rs2]
+        lower = self.compressor.compress_spatial(base, bound)
+        _, upper, _, uvalid = self.srf[ins.rd]
+        self.srf[ins.rd] = (lower, upper, True, uvalid)
+        self.srf_wide[ins.rd] = None
+        self.stats["hwst_ops"] += 1
+        self._retire(ins)
+        return None
+
+    def _op_bndrt(self, ins: Instr):
+        key, lock = self.regs[ins.rs1], self.regs[ins.rs2]
+        upper = self.compressor.compress_temporal(key, lock)
+        lower, _, lvalid, _ = self.srf[ins.rd]
+        self.srf[ins.rd] = (lower, upper, lvalid, True)
+        self.stats["hwst_ops"] += 1
+        self._retire(ins)
+        return None
+
+    def _op_tchk(self, ins: Instr):
+        self.stats["tchk"] += 1
+        self.stats["hwst_ops"] += 1
+        kb_hit, mem2 = self._temporal_check(ins.rs1)
+        self._retire(ins, kb_hit=kb_hit, mem2=mem2)
+        return None
+
+    def _make_sbd(self, upper: bool):
+        def handler(ins: Instr):
+            container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            shadow_addr = self._smac(container) + (8 if upper else 0)
+            lower_v, upper_v, lvalid, uvalid = self.srf[ins.rs2]
+            if upper:
+                value = upper_v if uvalid else 0
+            else:
+                value = lower_v if lvalid else 0
+            self.memory.store_u64(shadow_addr, value)
+            self.stats["stores"] += 1
+            self.stats["hwst_ops"] += 1
+            self.stats["shadow_ops"] += 1
+            self._retire(ins, mem_addr=shadow_addr, is_store=True)
+            return None
+
+        return handler
+
+    def _make_lbds(self, upper: bool):
+        def handler(ins: Instr):
+            container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            shadow_addr = self._smac(container) + (8 if upper else 0)
+            value = self.memory.load_u64(shadow_addr)
+            lower_v, upper_v, lvalid, uvalid = self.srf[ins.rd]
+            if upper:
+                self.srf[ins.rd] = (lower_v, value, lvalid, True)
+            else:
+                self.srf[ins.rd] = (value, upper_v, True, uvalid)
+            self.srf_wide[ins.rd] = None
+            self.stats["loads"] += 1
+            self.stats["hwst_ops"] += 1
+            self.stats["shadow_ops"] += 1
+            self._retire(ins, mem_addr=shadow_addr)
+            return None
+
+        return handler
+
+    def _make_meta_gpr_load(self, which: str):
+        temporal = which in ("key", "lock")
+
+        def handler(ins: Instr):
+            container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+            shadow_addr = self._smac(container) + (8 if temporal else 0)
+            value = self.memory.load_u64(shadow_addr)
+            if temporal:
+                key, lock = self.compressor.decompress_temporal(value)
+                result = key if which == "key" else lock
+            else:
+                base, bound = self.compressor.decompress_spatial(value)
+                result = base if which == "base" else bound
+            if ins.rd:
+                self.regs[ins.rd] = bits.to_u64(result)
+                self._srf_invalidate(ins.rd)
+            self.stats["loads"] += 1
+            self.stats["hwst_ops"] += 1
+            self.stats["shadow_ops"] += 1
+            self._retire(ins, mem_addr=shadow_addr)
+            return None
+
+        return handler
+
+    # -- MPX comparator model ---------------------------------------------
+
+    def _op_bndcl(self, ins: Instr):
+        lower, _, lvalid, _ = self.srf[ins.rs1]
+        addr = self.regs[ins.rs2]
+        if not lvalid:
+            raise SpatialViolation(self.pc, addr, 0, 0)
+        base, _ = self.compressor.decompress_spatial(lower)
+        if addr < base:
+            raise SpatialViolation(self.pc, addr, base, base)
+        self._retire(ins)
+        return None
+
+    def _op_bndcu(self, ins: Instr):
+        lower, _, lvalid, _ = self.srf[ins.rs1]
+        addr = self.regs[ins.rs2]
+        if not lvalid:
+            raise SpatialViolation(self.pc, addr, 0, 0)
+        base, bound = self.compressor.decompress_spatial(lower)
+        if addr >= bound:
+            raise SpatialViolation(self.pc, addr, base, bound)
+        self._retire(ins)
+        return None
+
+    def _op_bndldx(self, ins: Instr):
+        container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+        shadow_addr = self._smac(container)
+        value = self.memory.load_u64(shadow_addr)
+        _, upper_v, _, uvalid = self.srf[ins.rd]
+        self.srf[ins.rd] = (value, upper_v, True, uvalid)
+        self.stats["loads"] += 2  # MPX bound-table walk is two accesses
+        self.stats["shadow_ops"] += 1
+        self._retire(ins, mem_addr=shadow_addr, mem2=shadow_addr + 8)
+        return None
+
+    def _op_bndstx(self, ins: Instr):
+        container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+        shadow_addr = self._smac(container)
+        lower_v, _, lvalid, _ = self.srf[ins.rs2]
+        self.memory.store_u64(shadow_addr, lower_v if lvalid else 0)
+        self.stats["stores"] += 2
+        self.stats["shadow_ops"] += 1
+        self._retire(ins, mem_addr=shadow_addr, is_store=True,
+                     mem2=shadow_addr + 8)
+        return None
+
+    # -- AVX comparator model -----------------------------------------------
+
+    def _op_vld256(self, ins: Instr):
+        container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+        shadow_addr = self._smac(container)
+        fields = tuple(self.memory.load_u64(shadow_addr + 8 * i)
+                       for i in range(4))
+        self.srf_wide[ins.rd] = fields  # (base, bound, key, lock)
+        self.srf[ins.rd] = SRF_INVALID
+        self.stats["loads"] += 1
+        self.stats["shadow_ops"] += 1
+        self._retire(ins, mem_addr=shadow_addr)
+        return None
+
+    def _op_vst256(self, ins: Instr):
+        container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
+        shadow_addr = self._smac(container)
+        fields = self.srf_wide[ins.rs2] or (0, 0, 0, 0)
+        for i, value in enumerate(fields):
+            self.memory.store_u64(shadow_addr + 8 * i, value)
+        self.stats["stores"] += 1
+        self.stats["shadow_ops"] += 1
+        self._retire(ins, mem_addr=shadow_addr, is_store=True)
+        return None
+
+    def _op_vchk(self, ins: Instr):
+        """WDL wide check: spatial + temporal in one vector operation."""
+        wide = self.srf_wide[ins.rs1]
+        addr = self.regs[ins.rs2]
+        if wide is None:
+            raise SpatialViolation(self.pc, addr, 0, 0)
+        base, bound, key, lock = wide
+        if addr < base or addr >= bound:
+            raise SpatialViolation(self.pc, addr, base, bound)
+        mem2 = None
+        if lock:
+            stored = self.memory.load_u64(lock)
+            mem2 = lock
+            if stored != key:
+                raise TemporalViolation(self.pc, key, stored, lock)
+        self._retire(ins, mem2=mem2)
+        return None

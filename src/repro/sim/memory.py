@@ -1,0 +1,196 @@
+"""Byte-addressable paged memory with explicit mapped regions.
+
+Pages are allocated lazily inside mapped regions, so the 4x-sized
+linear-mapped shadow region costs nothing until metadata is written.
+Accesses outside every mapped region raise :class:`MemoryFault` — the
+simulated equivalent of a SIGSEGV, which is what an unprotected baseline
+run produces on a null dereference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MemoryFault
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Address-space layout of the simulated machine.
+
+    The lock table overlays the shadow of the .text window (the paper's
+    embedded-workload optimisation), so user data segments start above
+    ``lock_shadow_guard`` to keep their shadow clear of the lock table.
+    """
+
+    text_base: int = 0x0001_0000
+    data_base: int = 0x0020_0000
+    heap_base: int = 0x0040_0000
+    heap_top: int = 0x00D0_0000
+    stack_top: int = 0x00F0_0000     # grows down
+    stack_size: int = 0x0010_0000
+    user_top: int = 0x0100_0000
+    shadow_offset: int = 0x1000_0000
+
+    @property
+    def stack_base(self) -> int:
+        return self.stack_top - self.stack_size
+
+    @property
+    def shadow_top(self) -> int:
+        return self.shadow_offset + (self.user_top << 2)
+
+
+DEFAULT_LAYOUT = MemoryLayout()
+
+
+class Memory:
+    """Paged memory. All loads/stores are little-endian."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+        self._regions: List[Tuple[int, int, str]] = []  # (start, end, name)
+        self.shadow_bytes_touched = 0
+        self._shadow_range: Optional[Tuple[int, int]] = None
+        # Fast path: the most recently hit region (accesses cluster).
+        self._hot = (1, 0)  # impossible range -> first access misses
+
+    # -- region management --------------------------------------------------
+
+    def map_region(self, start: int, size: int, name: str = ""):
+        """Declare ``[start, start+size)`` as accessible."""
+        if size <= 0:
+            raise ValueError(f"region size must be positive: {size}")
+        self._regions.append((start, start + size, name))
+        if name == "shadow":
+            self._shadow_range = (start, start + size)
+
+    def map_layout(self, layout: MemoryLayout):
+        """Map the standard user segments + shadow region of ``layout``."""
+        self.map_region(layout.text_base,
+                        layout.data_base - layout.text_base, "text")
+        self.map_region(layout.data_base,
+                        layout.heap_base - layout.data_base, "data")
+        self.map_region(layout.heap_base,
+                        layout.heap_top - layout.heap_base, "heap")
+        self.map_region(layout.stack_base, layout.stack_size, "stack")
+        self.map_region(layout.shadow_offset,
+                        layout.shadow_top - layout.shadow_offset, "shadow")
+
+    def region_of(self, addr: int) -> Optional[str]:
+        """Name of the region containing ``addr`` (None when unmapped)."""
+        for start, end, name in self._regions:
+            if start <= addr < end:
+                return name
+        return None
+
+    def is_mapped(self, addr: int, size: int = 1) -> bool:
+        for start, end, _ in self._regions:
+            if start <= addr and addr + size <= end:
+                return True
+        return False
+
+    def _check(self, addr: int, size: int):
+        hot_start, hot_end = self._hot
+        if addr < hot_start or addr + size > hot_end:
+            for start, end, _ in self._regions:
+                if start <= addr and addr + size <= end:
+                    self._hot = (start, end)
+                    break
+            else:
+                raise MemoryFault(addr, f"unmapped {size}-byte access")
+        if self._shadow_range and \
+                self._shadow_range[0] <= addr < self._shadow_range[1]:
+            self.shadow_bytes_touched += size
+
+    def _page(self, page_index: int) -> bytearray:
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    @property
+    def pages_allocated(self) -> int:
+        return len(self._pages)
+
+    # -- scalar accessors ----------------------------------------------------
+
+    def load_bytes(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        out = bytearray()
+        remaining = size
+        while remaining:
+            page = self._page(addr >> PAGE_SHIFT)
+            offset = addr & PAGE_MASK
+            take = min(remaining, PAGE_SIZE - offset)
+            out += page[offset:offset + take]
+            addr += take
+            remaining -= take
+        return bytes(out)
+
+    def store_bytes(self, addr: int, data: bytes):
+        self._check(addr, len(data))
+        pos = 0
+        remaining = len(data)
+        while remaining:
+            page = self._page(addr >> PAGE_SHIFT)
+            offset = addr & PAGE_MASK
+            take = min(remaining, PAGE_SIZE - offset)
+            page[offset:offset + take] = data[pos:pos + take]
+            addr += take
+            pos += take
+            remaining -= take
+
+    def load_uint(self, addr: int, size: int) -> int:
+        """Unsigned little-endian load of ``size`` bytes."""
+        self._check(addr, size)
+        offset = addr & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._page(addr >> PAGE_SHIFT)
+            return int.from_bytes(page[offset:offset + size], "little")
+        return int.from_bytes(self.load_bytes(addr, size), "little")
+
+    def store_uint(self, addr: int, size: int, value: int):
+        """Little-endian store of the low ``size`` bytes of ``value``."""
+        self._check(addr, size)
+        value &= (1 << (8 * size)) - 1
+        offset = addr & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._page(addr >> PAGE_SHIFT)
+            page[offset:offset + size] = value.to_bytes(size, "little")
+        else:
+            self.store_bytes(addr, value.to_bytes(size, "little"))
+
+    def load_u64(self, addr: int) -> int:
+        return self.load_uint(addr, 8)
+
+    def store_u64(self, addr: int, value: int):
+        self.store_uint(addr, 8, value)
+
+    def load_u32(self, addr: int) -> int:
+        return self.load_uint(addr, 4)
+
+    def store_u32(self, addr: int, value: int):
+        self.store_uint(addr, 4, value)
+
+    def load_u8(self, addr: int) -> int:
+        return self.load_uint(addr, 1)
+
+    def store_u8(self, addr: int, value: int):
+        self.store_uint(addr, 1, value)
+
+    def load_cstring(self, addr: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated byte string (diagnostics/syscalls)."""
+        out = bytearray()
+        for i in range(limit):
+            byte = self.load_u8(addr + i)
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)

@@ -1,0 +1,85 @@
+"""Linked program images for the simulator.
+
+A :class:`Program` is what the codegen/linker produces: a flat list of
+instructions placed at ``text_base``, initialised data segments, a symbol
+table, and the memory layout it was linked against. The machine loads
+segments into memory and starts at ``entry`` (the ``_start`` stub, which
+calls ``main`` and issues the exit ecall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.isa.instructions import Instr
+from repro.sim.memory import DEFAULT_LAYOUT, Memory, MemoryLayout
+
+
+@dataclass
+class Segment:
+    """One initialised data region."""
+
+    addr: int
+    data: bytes
+    name: str = "data"
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+
+@dataclass
+class Program:
+    """A linked, loadable program."""
+
+    instrs: List[Instr]
+    entry: int
+    text_base: int = DEFAULT_LAYOUT.text_base
+    segments: List[Segment] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    layout: MemoryLayout = DEFAULT_LAYOUT
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def text_size(self) -> int:
+        return 4 * len(self.instrs)
+
+    @property
+    def text_end(self) -> int:
+        return self.text_base + self.text_size
+
+    def pc_of(self, name: str) -> int:
+        """Address of a function symbol."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"no symbol named {name!r}") from None
+
+    def instr_at(self, pc: int) -> Optional[Instr]:
+        index = (pc - self.text_base) >> 2
+        if 0 <= index < len(self.instrs):
+            return self.instrs[index]
+        return None
+
+    def load_into(self, memory: Memory):
+        """Map the layout and copy data segments into ``memory``."""
+        memory.map_layout(self.layout)
+        for segment in self.segments:
+            memory.store_bytes(segment.addr, segment.data)
+
+    def listing(self, start: int = 0, count: Optional[int] = None) -> str:
+        """Assembly listing with addresses and symbol markers."""
+        addr_to_sym = {}
+        for name, addr in self.symbols.items():
+            if self.text_base <= addr < self.text_end:
+                addr_to_sym.setdefault(addr, []).append(name)
+        lines = []
+        end = len(self.instrs) if count is None else min(len(self.instrs),
+                                                         start + count)
+        for index in range(start, end):
+            pc = self.text_base + 4 * index
+            for name in addr_to_sym.get(pc, ()):
+                lines.append(f"{name}:")
+            lines.append(f"  {pc:#8x}: {self.instrs[index]}")
+        return "\n".join(lines)

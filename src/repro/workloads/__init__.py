@@ -1,0 +1,15 @@
+"""Benchmark workloads: MiBench / Olden / SPEC-like kernels + Juliet.
+
+Every performance workload is a self-checking mini-C program (exit code
+0 on success) whose algorithmic skeleton and pointer/heap behaviour
+follow the benchmark it stands in for (DESIGN.md documents the
+substitutions, e.g. fixed-point for floating point). ``WORKLOADS`` maps
+name -> :class:`Workload`; groups are ``mibench``, ``olden``, ``spec``.
+"""
+
+from repro.workloads.base import Workload, WORKLOADS, register, by_group
+from repro.workloads import mibench, olden, spec  # noqa: F401 (registration)
+
+SPEC_FIG5 = ("milc", "lbm", "sphinx3", "sjeng", "gobmk", "bzip2", "hmmer")
+
+__all__ = ["Workload", "WORKLOADS", "register", "by_group", "SPEC_FIG5"]

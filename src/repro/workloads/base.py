@@ -1,0 +1,42 @@
+"""Workload registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One self-checking benchmark program."""
+
+    name: str
+    group: str             # "mibench" | "olden" | "spec"
+    source_template: str
+    params: Dict[str, int] = field(default_factory=dict)
+    small_params: Dict[str, int] = field(default_factory=dict)
+    description: str = ""
+
+    def source(self, scale: str = "default") -> str:
+        """Render the program; ``@NAME@`` tokens become parameter values."""
+        values = dict(self.params)
+        if scale == "small":
+            values.update(self.small_params)
+        text = self.source_template
+        for key, value in values.items():
+            text = text.replace(f"@{key}@", str(value))
+        return text
+
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in WORKLOADS:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+def by_group(group: str):
+    return [w for w in WORKLOADS.values() if w.group == group]

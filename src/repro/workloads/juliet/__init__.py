@@ -1,0 +1,36 @@
+"""Juliet-style security test corpus (Section 4 / Fig. 6).
+
+A generated stand-in for the NIST Juliet 1.x C cases the paper uses:
+ten CWE families (spatial: 121/122/124/126/127, temporal:
+415/416/476/690/761), each split into *subtypes* whose detectability
+per tool is mechanical (redzone-skipping distances, compression-padding
+off-by-ones, intra-object overflows, quarantine-evicted use-after-free,
+NULL-plus-large-offset dereferences, …), wrapped in Juliet-style
+control/data-flow variants, in the paper's corpus proportions
+(7074 spatial + 1292 temporal = 8366 cases).
+
+Every case carries a *bad* and a *good* program; detection is measured
+by actually executing the instrumented binaries and observing which
+classified trap (if any) fires — the same methodology as the paper's
+SPIKE runs.
+"""
+
+from repro.workloads.juliet.generator import (
+    CWE_PLAN,
+    JulietCase,
+    SPATIAL_CWES,
+    TEMPORAL_CWES,
+    corpus_counts,
+    generate_corpus,
+    total_cases,
+)
+
+__all__ = [
+    "CWE_PLAN",
+    "JulietCase",
+    "SPATIAL_CWES",
+    "TEMPORAL_CWES",
+    "corpus_counts",
+    "generate_corpus",
+    "total_cases",
+]

@@ -1,0 +1,587 @@
+"""Juliet-style case generation.
+
+Each subtype is a template producing a (bad, good) mini-C program pair
+parameterised by deterministic per-case values (buffer sizes, overflow
+distances) and wrapped in one of five Juliet-style flow variants. The
+``expected`` field records which tool families detect the bad variant
+*by construction* — the property tests verify the executed behaviour
+matches, and the Fig. 6 bench measures coverage by execution alone.
+
+Tool families: ``pointer`` (SBCETS and both HWST128 variants — they
+differ only on the ``odd_off_by_one`` subtype, flagged separately),
+``asan``, ``gcc``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+SPATIAL_CWES = (121, 122, 124, 126, 127)
+TEMPORAL_CWES = (415, 416, 476, 690, 761)
+
+# (subtype, count) per CWE — proportions chosen so the per-tool corpus
+# coverage lands at the paper's Fig. 6 percentages (see DESIGN.md).
+CWE_PLAN: Dict[int, List[Tuple[str, int]]] = {
+    121: [("loop_to_canary", 937), ("inter_object", 401),
+          ("far_write", 70), ("intra_struct", 1100)],
+    122: [("heap_loop", 800), ("memcpy_overflow", 300),
+          ("odd_off_by_one", 72), ("heap_far", 80),
+          ("heap_intra", 704)],
+    124: [("heap_under", 500), ("heap_far_under", 30),
+          ("intra_under", 398)],
+    126: [("heap_overread", 350), ("heap_far_read", 18),
+          ("intra_read", 314)],
+    127: [("heap_under_read", 527), ("heap_far_under_read", 18),
+          ("intra_under_read", 455)],
+    415: [("double_free", 190)],
+    416: [("uaf_fresh", 362), ("uaf_evicted", 30)],
+    476: [("null_deref", 290)],
+    690: [("null_return_offset", 290)],
+    761: [("free_offset", 130)],
+}
+
+
+def total_cases() -> int:
+    return sum(count for plan in CWE_PLAN.values()
+               for _, count in plan)
+
+
+def corpus_counts() -> Dict[str, int]:
+    spatial = sum(c for cwe in SPATIAL_CWES
+                  for _, c in CWE_PLAN[cwe])
+    temporal = sum(c for cwe in TEMPORAL_CWES
+                   for _, c in CWE_PLAN[cwe])
+    return {"spatial": spatial, "temporal": temporal,
+            "total": spatial + temporal}
+
+
+@dataclass(frozen=True)
+class JulietCase:
+    """One generated case: a bad/good program pair."""
+
+    case_id: str
+    cwe: int
+    subtype: str
+    flow: int
+    bad_source: str
+    good_source: str
+    # Which tool families detect the bad variant by construction.
+    expected: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def temporal(self) -> bool:
+        return self.cwe in TEMPORAL_CWES
+
+
+# ---------------------------------------------------------------------------
+# Flow variants (Juliet control/data-flow wrappers)
+# ---------------------------------------------------------------------------
+
+def _wrap_flow(flow: int, prelude: str, body: str) -> str:
+    """Wrap the scenario ``body`` in a Juliet-style flow variant."""
+    if flow == 1:       # straight-line
+        inner = body
+        return f"{prelude}\nint main(void) {{\n{inner}\n    return 0;\n}}\n"
+    if flow == 2:       # if(1)
+        return (f"{prelude}\nint main(void) {{\n    if (1) {{\n{body}\n"
+                f"    }}\n    return 0;\n}}\n")
+    if flow == 3:       # global flag
+        return (f"{prelude}\nint __flag5 = 5;\nint main(void) {{\n"
+                f"    if (__flag5 == 5) {{\n{body}\n    }}\n"
+                f"    return 0;\n}}\n")
+    if flow == 4:       # while(1) { ...; break; }
+        return (f"{prelude}\nint main(void) {{\n    while (1) {{\n{body}\n"
+                f"        break;\n    }}\n    return 0;\n}}\n")
+    if flow == 5:       # scenario in a helper function
+        return (f"{prelude}\nvoid do_case(void) {{\n{body}\n}}\n"
+                f"int main(void) {{\n    do_case();\n    return 0;\n}}\n")
+    if flow == 6:       # single-iteration for loop reaches the sink
+        return (f"{prelude}\nint main(void) {{\n    int __once;\n"
+                f"    for (__once = 0; __once < 1; __once++) {{\n{body}\n"
+                f"    }}\n    return 0;\n}}\n")
+    if flow == 7:       # opaque predicate (always true at runtime)
+        return (f"{prelude}\nint __opaque(void) {{ return 5 * 5 == 25; }}\n"
+                f"int main(void) {{\n    if (__opaque()) {{\n{body}\n"
+                f"    }}\n    return 0;\n}}\n")
+    raise ValueError(f"unknown flow variant {flow}")
+
+
+FLOW_VARIANTS = (1, 2, 3, 4, 5, 6, 7)
+
+
+# ---------------------------------------------------------------------------
+# Subtype templates: each returns (prelude, bad_body, good_body, expected)
+# ---------------------------------------------------------------------------
+
+def _t_loop_to_canary(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((4, 6, 8, 10, 12))
+    body = (
+        "    long buf[{n}];\n"
+        "    long i;\n"
+        "    for (i = 0; i < {m}; i++) {{\n"
+        "        buf[i] = i;\n"
+        "    }}\n"
+        "    if (buf[0] != 0) {{ print_int(buf[0]); }}"
+    )
+    bad = body.format(n=n, m=n + 2)
+    good = body.format(n=n, m=n)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": True}
+
+
+def _t_inter_object(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((4, 6, 8))
+    off = rng.choice((0, 1))
+    body = (
+        "    long upper[{n}];\n"
+        "    long lower[8];\n"
+        "    long i;\n"
+        "    for (i = 0; i < {n}; i++) {{ upper[i] = i; }}\n"
+        "    for (i = 0; i < 8; i++) {{ lower[i] = i; }}\n"
+        "    lower[{idx}] = 7;\n"
+        "    if (upper[0] > 100) {{ print_int(upper[0]); }}"
+    )
+    bad = body.format(n=n, idx=8 + off)
+    good = body.format(n=n, idx=7)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_far_write(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((4, 8))
+    far = rng.choice((40, 48, 56))
+    body = (
+        "    long buf[{n}];\n"
+        "    buf[0] = 1;\n"
+        "    buf[{idx}] = 7;\n"
+        "    if (buf[0] != 1) {{ print_int(buf[0]); }}"
+    )
+    bad = body.format(n=n, idx=n + far)
+    good = body.format(n=n, idx=n - 1)
+    return "", bad, good, {"pointer": True, "asan": False, "gcc": False}
+
+
+def _t_intra_struct(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    k = rng.choice((8, 16, 24))
+    over = rng.choice((2, 4, 6))
+    prelude = ("typedef struct {{ char data[{k}]; long tail[4]; }} Box;"
+               .format(k=k))
+    body = (
+        "    Box box;\n"
+        "    long i;\n"
+        "    box.tail[0] = 5;\n"
+        "    for (i = 0; i < {m}; i++) {{\n"
+        "        box.data[i] = (char)i;\n"
+        "    }}\n"
+        "    if (box.data[0] != 0) {{ print_int(1); }}"
+    )
+    bad = body.format(m=k + over)
+    good = body.format(m=k)
+    return prelude, bad, good, {"pointer": False, "asan": False,
+                                "gcc": False}
+
+
+def _t_heap_loop(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((4, 8, 12, 16))
+    body = (
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    long i;\n"
+        "    for (i = 0; i <= {m}; i++) {{\n"
+        "        p[i] = i;\n"
+        "    }}\n"
+        "    free(p);"
+    )
+    bad = body.format(n=n, m=n)
+    good = body.format(n=n, m=n - 1)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_memcpy_overflow(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((16, 32, 64))
+    extra = rng.choice((8, 16))
+    body = (
+        "    char *dst = (char*)malloc({n});\n"
+        "    char *src = (char*)malloc({n} + {extra});\n"
+        "    memset(src, 7, {n} + {extra});\n"
+        "    memcpy(dst, src, {count});\n"
+        "    free(src);\n"
+        "    free(dst);"
+    )
+    bad = body.format(n=n, extra=extra, count=n + extra)
+    good = body.format(n=n, extra=extra, count=n)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_odd_off_by_one(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    # Odd allocation size: the compressed bound rounds up to the 8-byte
+    # grid, so HWST128 misses the one-byte overflow (the paper's CWE122
+    # gap vs SBCETS) while exact-bounds tools catch it.
+    n = rng.choice((9, 11, 13, 17, 21))
+    body = (
+        "    char *p = (char*)malloc({n});\n"
+        "    long i;\n"
+        "    for (i = 0; i < {n}; i++) {{ p[i] = (char)i; }}\n"
+        "    p[{idx}] = 1;\n"
+        "    free(p);"
+    )
+    bad = body.format(n=n, idx=n)
+    good = body.format(n=n, idx=n - 1)
+    return "", bad, good, {"pointer": True, "hwst_misses": True,
+                           "asan": True, "gcc": False}
+
+
+def _t_heap_far(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    far = rng.choice((64, 96))
+    body = (
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    p[0] = 1;\n"
+        "    p[{idx}] = 7;\n"
+        "    free(p);"
+    )
+    bad = body.format(n=n, idx=n + far)
+    good = body.format(n=n, idx=n - 1)
+    return "", bad, good, {"pointer": True, "asan": False, "gcc": False}
+
+
+def _t_heap_intra(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    k = rng.choice((8, 16, 24))
+    over = rng.choice((2, 4))
+    prelude = ("typedef struct {{ char data[{k}]; long tail[4]; }} Box;"
+               .format(k=k))
+    body = (
+        "    Box *box = (Box*)malloc(sizeof(Box));\n"
+        "    long i;\n"
+        "    box->tail[0] = 5;\n"
+        "    for (i = 0; i < {m}; i++) {{\n"
+        "        box->data[i] = (char)i;\n"
+        "    }}\n"
+        "    free(box);"
+    )
+    bad = body.format(m=k + over)
+    good = body.format(m=k)
+    return prelude, bad, good, {"pointer": False, "asan": False,
+                                "gcc": False}
+
+
+def _t_heap_under(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    body = (
+        "    long *q = (long*)malloc(512);\n"
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    q[0] = 1;\n"
+        "    p[{idx}] = 7;\n"
+        "    free(p);\n"
+        "    free(q);"
+    )
+    bad = body.format(n=n, idx=-1)
+    good = body.format(n=n, idx=0)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_heap_far_under(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    back = rng.choice((20, 30))
+    body = (
+        "    long *q = (long*)malloc(512);\n"
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    q[0] = 1;\n"
+        "    p[{idx}] = 7;\n"
+        "    free(p);\n"
+        "    free(q);"
+    )
+    bad = body.format(n=n, idx=-back)
+    good = body.format(n=n, idx=0)
+    return "", bad, good, {"pointer": True, "asan": False, "gcc": False}
+
+
+def _t_intra_under(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    k = rng.choice((8, 16))
+    prelude = ("typedef struct {{ long head[4]; char data[{k}]; }} Box;"
+               .format(k=k))
+    body = (
+        "    Box *box = (Box*)malloc(sizeof(Box));\n"
+        "    box->head[0] = 5;\n"
+        "    box->data[{idx}] = 7;\n"
+        "    free(box);"
+    )
+    bad = body.format(idx=-4)
+    good = body.format(idx=0)
+    return prelude, bad, good, {"pointer": False, "asan": False,
+                                "gcc": False}
+
+
+def _t_heap_overread(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    body = (
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    long acc = 0;\n"
+        "    long i;\n"
+        "    for (i = 0; i <= {m}; i++) {{ acc += p[i]; }}\n"
+        "    free(p);\n"
+        "    if (acc > 1000000) {{ print_int(acc); }}"
+    )
+    bad = body.format(n=n, m=n)
+    good = body.format(n=n, m=n - 1)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_heap_far_read(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    far = rng.choice((64, 80))
+    body = (
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    long v = p[{idx}];\n"
+        "    free(p);\n"
+        "    if (v > 1000000) {{ print_int(v); }}"
+    )
+    bad = body.format(n=n, idx=n + far)
+    good = body.format(n=n, idx=0)
+    return "", bad, good, {"pointer": True, "asan": False, "gcc": False}
+
+
+def _t_intra_read(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    k = rng.choice((8, 16))
+    prelude = ("typedef struct {{ char data[{k}]; long tail[4]; }} Box;"
+               .format(k=k))
+    body = (
+        "    Box box;\n"
+        "    long v;\n"
+        "    box.tail[0] = 5;\n"
+        "    box.data[0] = 1;\n"
+        "    v = box.data[{idx}];\n"
+        "    if (v > 100) {{ print_int(v); }}"
+    )
+    bad = body.format(idx=k + 2)
+    good = body.format(idx=0)
+    return prelude, bad, good, {"pointer": False, "asan": False,
+                                "gcc": False}
+
+
+def _t_heap_under_read(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    body = (
+        "    long *q = (long*)malloc(512);\n"
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    long v;\n"
+        "    q[0] = 1;\n"
+        "    v = p[{idx}];\n"
+        "    free(p);\n"
+        "    free(q);\n"
+        "    if (v > 1000000) {{ print_int(v); }}"
+    )
+    bad = body.format(n=n, idx=-1)
+    good = body.format(n=n, idx=0)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_heap_far_under_read(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((8, 16))
+    back = rng.choice((20, 30))
+    body = (
+        "    long *q = (long*)malloc(512);\n"
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    long v;\n"
+        "    q[0] = 1;\n"
+        "    v = p[{idx}];\n"
+        "    free(p);\n"
+        "    free(q);\n"
+        "    if (v > 1000000) {{ print_int(v); }}"
+    )
+    bad = body.format(n=n, idx=-back)
+    good = body.format(n=n, idx=0)
+    return "", bad, good, {"pointer": True, "asan": False, "gcc": False}
+
+
+def _t_intra_under_read(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    k = rng.choice((8, 16))
+    prelude = ("typedef struct {{ long head[4]; char data[{k}]; }} Box;"
+               .format(k=k))
+    body = (
+        "    Box *box = (Box*)malloc(sizeof(Box));\n"
+        "    long v;\n"
+        "    box->head[0] = 5;\n"
+        "    v = box->data[{idx}];\n"
+        "    free(box);\n"
+        "    if (v > 100) {{ print_int(v); }}"
+    )
+    bad = body.format(idx=-8)
+    good = body.format(idx=0)
+    return prelude, bad, good, {"pointer": False, "asan": False,
+                                "gcc": False}
+
+
+def _t_double_free(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((16, 32))
+    body = (
+        "    long *p = (long*)malloc({n});\n"
+        "    p[0] = 1;\n"
+        "    free(p);\n"
+        "{second}"
+    )
+    bad = body.format(n=n, second="    free(p);")
+    good = body.format(n=n, second="")
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_uaf_fresh(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((16, 32))
+    write = rng.choice((0, 1))
+    sink = "p[0] = 9;" if write else "v = p[0];"
+    body = (
+        "    long *p = (long*)malloc({n});\n"
+        "    long v = 0;\n"
+        "    p[0] = 1;\n"
+        "    {free_at}\n"
+        "    {sink}\n"
+        "    {free_after}\n"
+        "    if (v > 100) {{ print_int(v); }}"
+    )
+    bad = body.format(n=n, free_at="free(p);", sink=sink, free_after="")
+    good = body.format(n=n, free_at="", sink=sink,
+                       free_after="free(p);")
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_uaf_evicted(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    # Enough churn to push the freed chunk out of ASAN's quarantine,
+    # so the shadow is unpoisoned again; keys never lie, so the
+    # pointer-based schemes still catch it.
+    body = (
+        "    long *p = (long*)malloc(24);\n"
+        "    long v = 0;\n"
+        "    long i;\n"
+        "    p[0] = 1;\n"
+        "    {free_at}\n"
+        "    for (i = 0; i < 70; i++) {{\n"
+        "        long *q = (long*)malloc(48);\n"
+        "        q[0] = i;\n"
+        "        free(q);\n"
+        "    }}\n"
+        "    {sink}\n"
+        "    {free_after}\n"
+        "    if (v > 100) {{ print_int(v); }}"
+    )
+    bad = body.format(free_at="free(p);", sink="v = p[0];", free_after="")
+    good = body.format(free_at="", sink="v = p[0];",
+                       free_after="free(p);")
+    return "", bad, good, {"pointer": True, "asan": False, "gcc": False}
+
+
+def _t_null_deref(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    write = rng.choice((0, 1))
+    sink = "*p = 5;" if write else "v = *p;"
+    body = (
+        "    long backing = 3;\n"
+        "    long *p = {init};\n"
+        "    long v = 0;\n"
+        "    {sink}\n"
+        "    if (v > 100) {{ print_int(v); }}"
+    )
+    bad = body.format(init="0", sink=sink)
+    good = body.format(init="&backing", sink=sink)
+    # ASAN's runtime reports the SEGV (classified as detected); a plain
+    # GCC build just crashes without a diagnostic.
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+def _t_null_return_offset(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    # malloc fails (huge request); the unchecked NULL is dereferenced at
+    # a large field offset that lands in mapped (text) memory, so no
+    # fault occurs: only the pointer-based schemes see zero metadata.
+    offset = rng.choice((68000, 72000, 90000))
+    prelude = ("typedef struct {{ char pad[{off}]; long x; }} Big;"
+               .format(off=offset))
+    body = (
+        "    Big *p = (Big*)malloc({req});\n"
+        "    {check}\n"
+        "    p->x = 5;\n"
+        "    {cleanup}"
+    )
+    bad = body.format(req="900000000", check="", cleanup="")
+    good = body.format(req="sizeof(Big)",
+                       check="if (!p) { return 0; }",
+                       cleanup="free((void*)p);")
+    return prelude, bad, good, {"pointer": True, "asan": False,
+                                "gcc": False}
+
+
+def _t_free_offset(rng) -> Tuple[str, str, str, Dict[str, bool]]:
+    n = rng.choice((16, 32))
+    off = rng.choice((2, 4))
+    body = (
+        "    long *p = (long*)malloc({n} * sizeof(long));\n"
+        "    p[0] = 1;\n"
+        "    free(p + {off});"
+    )
+    bad = body.format(n=n, off=off)
+    good = body.format(n=n, off=0)
+    return "", bad, good, {"pointer": True, "asan": True, "gcc": False}
+
+
+_TEMPLATES: Dict[str, Callable] = {
+    "loop_to_canary": _t_loop_to_canary,
+    "inter_object": _t_inter_object,
+    "far_write": _t_far_write,
+    "intra_struct": _t_intra_struct,
+    "heap_loop": _t_heap_loop,
+    "memcpy_overflow": _t_memcpy_overflow,
+    "odd_off_by_one": _t_odd_off_by_one,
+    "heap_far": _t_heap_far,
+    "heap_intra": _t_heap_intra,
+    "heap_under": _t_heap_under,
+    "heap_far_under": _t_heap_far_under,
+    "intra_under": _t_intra_under,
+    "heap_overread": _t_heap_overread,
+    "heap_far_read": _t_heap_far_read,
+    "intra_read": _t_intra_read,
+    "heap_under_read": _t_heap_under_read,
+    "heap_far_under_read": _t_heap_far_under_read,
+    "intra_under_read": _t_intra_under_read,
+    "double_free": _t_double_free,
+    "uaf_fresh": _t_uaf_fresh,
+    "uaf_evicted": _t_uaf_evicted,
+    "null_deref": _t_null_deref,
+    "null_return_offset": _t_null_return_offset,
+    "free_offset": _t_free_offset,
+}
+
+
+def _build_case(cwe: int, subtype: str, index: int) -> JulietCase:
+    rng = random.Random(f"{cwe}/{subtype}/{index}")
+    flow = FLOW_VARIANTS[index % len(FLOW_VARIANTS)]
+    prelude, bad_body, good_body, expected = _TEMPLATES[subtype](rng)
+    return JulietCase(
+        case_id=f"CWE{cwe}_{subtype}_{index:04d}",
+        cwe=cwe,
+        subtype=subtype,
+        flow=flow,
+        bad_source=_wrap_flow(flow, prelude, bad_body),
+        good_source=_wrap_flow(flow, prelude, good_body),
+        expected=dict(expected),
+    )
+
+
+def generate_corpus(fraction: float = 1.0,
+                    cwes: Optional[Iterable[int]] = None,
+                    max_per_subtype: Optional[int] = None
+                    ) -> List[JulietCase]:
+    """Generate the corpus (optionally a stratified sample).
+
+    ``fraction`` scales every subtype's count (rounded, at least 1), so
+    a sampled run preserves the corpus proportions and therefore the
+    expected coverage percentages.
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    selected = list(cwes) if cwes is not None else \
+        list(SPATIAL_CWES + TEMPORAL_CWES)
+    cases: List[JulietCase] = []
+    for cwe in selected:
+        for subtype, count in CWE_PLAN[cwe]:
+            take = max(1, round(count * fraction))
+            if max_per_subtype is not None:
+                take = min(take, max_per_subtype)
+            for index in range(take):
+                cases.append(_build_case(cwe, subtype, index))
+    return cases

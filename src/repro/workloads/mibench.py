@@ -1,0 +1,526 @@
+"""MiBench-class embedded kernels (Fig. 4 left group).
+
+Nine kernels mirroring the MiBench programs the paper runs: string
+search, CRC32, bitcount, dijkstra, SHA, basicmath, FFT, ADPCM and
+SUSAN. Fixed-point arithmetic substitutes for floating point (see
+DESIGN.md); inputs are generated with the deterministic runtime PRNG so
+every scheme executes the identical computation.
+"""
+
+from repro.workloads.base import Workload, register
+
+register(Workload(
+    name="stringsearch",
+    group="mibench",
+    description="Boyer-Moore-Horspool search over generated text",
+    params={"TEXT": 640, "ROUNDS": 2},
+    small_params={"TEXT": 256, "ROUNDS": 2},
+    source_template=r"""
+int bmh_search(char *text, long n, char *pat, long m) {
+    long skip[256];
+    long i;
+    long k;
+    int hits = 0;
+    for (i = 0; i < 256; i++) { skip[i] = m; }
+    for (i = 0; i < m - 1; i++) { skip[(int)(unsigned char)pat[i]] = m - 1 - i; }
+    k = m - 1;
+    while (k < n) {
+        long j = m - 1;
+        long t = k;
+        while (j >= 0 && text[t] == pat[j]) { t--; j--; }
+        if (j < 0) { hits++; }
+        k = k + skip[(int)(unsigned char)text[k]];
+    }
+    return hits;
+}
+
+int main(void) {
+    long n = @TEXT@;
+    char *text = (char*)malloc(n + 1);
+    char *pat = (char*)malloc(8);
+    long i;
+    int r;
+    int total = 0;
+    rand_seed(42);
+    for (i = 0; i < n; i++) {
+        text[i] = (char)('a' + rand_next() % 4);
+    }
+    text[n] = 0;
+    strcpy(pat, "abab");
+    for (r = 0; r < @ROUNDS@; r++) {
+        total += bmh_search(text, n, pat, 4);
+    }
+    free(pat);
+    free(text);
+    return total > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="CRC32",
+    group="mibench",
+    description="table-driven CRC-32 over a heap buffer",
+    params={"BYTES": 768, "ROUNDS": 2},
+    small_params={"BYTES": 512, "ROUNDS": 1},
+    source_template=r"""
+unsigned int crc_table[256];
+
+void crc_init(void) {
+    unsigned int c;
+    int n;
+    int k;
+    for (n = 0; n < 256; n++) {
+        c = (unsigned int)n;
+        for (k = 0; k < 8; k++) {
+            if (c & 1) { c = 0xEDB88320 ^ (c >> 1); }
+            else { c = c >> 1; }
+        }
+        crc_table[n] = c;
+    }
+}
+
+unsigned int crc32(unsigned char *buf, long len) {
+    unsigned int c = 0xFFFFFFFF;
+    long i;
+    for (i = 0; i < len; i++) {
+        c = crc_table[(int)((c ^ buf[i]) & 0xFF)] ^ (c >> 8);
+    }
+    return c ^ 0xFFFFFFFF;
+}
+
+int main(void) {
+    long n = @BYTES@;
+    unsigned char *buf = (unsigned char*)malloc(n);
+    long i;
+    int r;
+    unsigned int sum = 0;
+    rand_seed(7);
+    crc_init();
+    for (i = 0; i < n; i++) { buf[i] = (unsigned char)(rand_next() & 0xFF); }
+    for (r = 0; r < @ROUNDS@; r++) { buf[r] = (unsigned char)(buf[r] + 1); sum = sum * 31 + crc32(buf, n); }
+    free(buf);
+    return sum != 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="bitcounts",
+    group="mibench",
+    description="four bit-counting strategies over random words",
+    params={"WORDS": 60},
+    small_params={"WORDS": 25},
+    source_template=r"""
+int count_shift(unsigned long x) {
+    int n = 0;
+    while (x) { n += (int)(x & 1); x = x >> 1; }
+    return n;
+}
+
+int count_kernighan(unsigned long x) {
+    int n = 0;
+    while (x) { x = x & (x - 1); n++; }
+    return n;
+}
+
+int nibble_table[16] = {0,1,1,2,1,2,2,3,1,2,2,3,2,3,3,4};
+
+int count_nibbles(unsigned long x) {
+    int n = 0;
+    while (x) { n += nibble_table[(int)(x & 15)]; x = x >> 4; }
+    return n;
+}
+
+int count_bytes(unsigned long x) {
+    int n = 0;
+    while (x) {
+        n += nibble_table[(int)(x & 15)] + nibble_table[(int)((x >> 4) & 15)];
+        x = x >> 8;
+    }
+    return n;
+}
+
+int main(void) {
+    long words = @WORDS@;
+    long i;
+    long a = 0;
+    long b = 0;
+    long c = 0;
+    long d = 0;
+    rand_seed(99);
+    for (i = 0; i < words; i++) {
+        unsigned long x = (unsigned long)rand_next();
+        a += count_shift(x);
+        b += count_kernighan(x);
+        c += count_nibbles(x);
+        d += count_bytes(x);
+    }
+    if (a != b) { return 1; }
+    if (b != c) { return 2; }
+    if (c != d) { return 3; }
+    return 0;
+}
+"""))
+
+register(Workload(
+    name="dijkstra",
+    group="mibench",
+    description="single-source shortest paths, adjacency matrix on heap",
+    params={"NODES": 24},
+    small_params={"NODES": 10},
+    source_template=r"""
+enum { INF = 1000000000 };
+
+int main(void) {
+    int n = @NODES@;
+    long *adj = (long*)malloc((long)n * n * sizeof(long));
+    long *dist = (long*)malloc((long)n * sizeof(long));
+    int *seen = (int*)malloc((long)n * sizeof(int));
+    int i;
+    int j;
+    int round;
+    long total = 0;
+    rand_seed(1234);
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            if (i == j) { adj[(long)i * n + j] = 0; }
+            else { adj[(long)i * n + j] = 1 + rand_next() % 100; }
+        }
+    }
+    for (round = 0; round < 2; round++) {
+        for (i = 0; i < n; i++) { dist[i] = INF; seen[i] = 0; }
+        dist[round] = 0;
+        for (i = 0; i < n; i++) {
+            int best = -1;
+            long bestd = INF + 1;
+            for (j = 0; j < n; j++) {
+                if (!seen[j] && dist[j] < bestd) { bestd = dist[j]; best = j; }
+            }
+            if (best < 0) { break; }
+            seen[best] = 1;
+            for (j = 0; j < n; j++) {
+                long via = dist[best] + adj[(long)best * n + j];
+                if (via < dist[j]) { dist[j] = via; }
+            }
+        }
+        for (j = 0; j < n; j++) { total += dist[j]; }
+    }
+    free(seen);
+    free(dist);
+    free(adj);
+    return total > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="sha",
+    group="mibench",
+    description="SHA-1 rounds over a generated message",
+    params={"BLOCKS": 3},
+    small_params={"BLOCKS": 2},
+    source_template=r"""
+unsigned int rotl(unsigned int x, int s) {
+    return (x << s) | (x >> (32 - s));
+}
+
+void sha1_block(unsigned int *h, unsigned int *w) {
+    unsigned int a = h[0];
+    unsigned int b = h[1];
+    unsigned int c = h[2];
+    unsigned int d = h[3];
+    unsigned int e = h[4];
+    unsigned int f;
+    unsigned int k;
+    unsigned int temp;
+    int t;
+    for (t = 16; t < 80; t++) {
+        w[t] = rotl(w[t-3] ^ w[t-8] ^ w[t-14] ^ w[t-16], 1);
+    }
+    for (t = 0; t < 80; t++) {
+        if (t < 20) { f = (b & c) | ((~b) & d); k = 0x5A827999; }
+        else if (t < 40) { f = b ^ c ^ d; k = 0x6ED9EBA1; }
+        else if (t < 60) { f = (b & c) | (b & d) | (c & d); k = 0x8F1BBCDC; }
+        else { f = b ^ c ^ d; k = 0xCA62C1D6; }
+        temp = rotl(a, 5) + f + e + k + w[t];
+        e = d;
+        d = c;
+        c = rotl(b, 30);
+        b = a;
+        a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+}
+
+int main(void) {
+    unsigned int h[5];
+    unsigned int *w = (unsigned int*)malloc(80 * sizeof(int));
+    int blk;
+    int i;
+    h[0] = 0x67452301; h[1] = 0xEFCDAB89; h[2] = 0x98BADCFE;
+    h[3] = 0x10325476; h[4] = 0xC3D2E1F0;
+    rand_seed(5);
+    for (blk = 0; blk < @BLOCKS@; blk++) {
+        for (i = 0; i < 16; i++) { w[i] = (unsigned int)rand_next(); }
+        sha1_block(h, w);
+    }
+    free(w);
+    return (h[0] | h[1] | h[2] | h[3] | h[4]) != 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="math",
+    group="mibench",
+    description="basicmath: integer sqrt/cbrt, angle conversion (Q16.16)",
+    params={"VALUES": 200},
+    small_params={"VALUES": 100},
+    source_template=r"""
+long isqrt(long x) {
+    long r = x;
+    long last = 0;
+    if (x <= 0) { return 0; }
+    if (r > 65536) { r = 65536; }
+    while (r != last) {
+        last = r;
+        r = (r + x / r) / 2;
+    }
+    return r;
+}
+
+long icbrt(long x) {
+    long r = 1;
+    while (r * r * r <= x) { r++; }
+    return r - 1;
+}
+
+long deg_to_rad_q16(long deg) {
+    /* pi/180 in Q16.16 = 1144 */
+    return deg * 1144;
+}
+
+int main(void) {
+    long i;
+    long acc = 0;
+    long *values = (long*)malloc(@VALUES@ * sizeof(long));
+    long *roots = (long*)malloc(@VALUES@ * sizeof(long));
+    rand_seed(11);
+    for (i = 0; i < @VALUES@; i++) {
+        values[i] = 1 + rand_next() % 100000;
+    }
+    for (i = 0; i < @VALUES@; i++) {
+        long v = values[i];
+        long s = isqrt(v);
+        if (s * s > v) { return 1; }
+        if ((s + 1) * (s + 1) <= v) { return 2; }
+        roots[i] = s;
+        if (i % 16 == 0) { roots[i] += icbrt(v % 4096); }
+        roots[i] += deg_to_rad_q16(v % 360) >> 16;
+    }
+    for (i = 0; i < @VALUES@; i++) { acc += roots[i]; }
+    free(roots);
+    free(values);
+    return acc > 0 ? 0 : 3;
+}
+"""))
+
+register(Workload(
+    name="FFT",
+    group="mibench",
+    description="radix-2 fixed-point FFT (Q16.16) + inverse check",
+    params={"N": 64},
+    small_params={"N": 16},
+    source_template=r"""
+enum { FBITS = 16 };
+long SIN_TAB[64];
+long COS_TAB[64];
+
+long fmul(long a, long b) {
+    return (a * b) >> FBITS;
+}
+
+void build_tables(int n) {
+    /* quarter-wave integer sine via Bhaskara approximation (Q16.16) */
+    int i;
+    for (i = 0; i < n; i++) {
+        long deg = (long)i * 360 / n;
+        long d = deg;
+        long sign = 1;
+        long s;
+        if (d >= 180) { d -= 180; sign = -1; }
+        s = 4 * d * (180 - d);
+        s = (s << FBITS) / (40500 - d * (180 - d));
+        SIN_TAB[i] = sign * s;
+        deg = deg + 90;
+        if (deg >= 360) { deg -= 360; }
+        d = deg;
+        sign = 1;
+        if (d >= 180) { d -= 180; sign = -1; }
+        s = 4 * d * (180 - d);
+        s = (s << FBITS) / (40500 - d * (180 - d));
+        COS_TAB[i] = sign * s;
+    }
+}
+
+void fft(long *re, long *im, int n, int inverse) {
+    int i;
+    int j;
+    int len;
+    /* bit reversal permutation */
+    j = 0;
+    for (i = 1; i < n; i++) {
+        int bit = n >> 1;
+        while (j & bit) { j = j ^ bit; bit = bit >> 1; }
+        j = j | bit;
+        if (i < j) {
+            long t = re[i]; re[i] = re[j]; re[j] = t;
+            t = im[i]; im[i] = im[j]; im[j] = t;
+        }
+    }
+    for (len = 2; len <= n; len = len << 1) {
+        int step = n / len;
+        for (i = 0; i < n; i += len) {
+            int k;
+            for (k = 0; k < len / 2; k++) {
+                int idx = k * step;
+                long wr = COS_TAB[idx];
+                long wi = inverse ? SIN_TAB[idx] : -SIN_TAB[idx];
+                long ur = re[i + k];
+                long ui = im[i + k];
+                long vr = fmul(re[i + k + len / 2], wr) - fmul(im[i + k + len / 2], wi);
+                long vi = fmul(re[i + k + len / 2], wi) + fmul(im[i + k + len / 2], wr);
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+            }
+        }
+    }
+    if (inverse) {
+        for (i = 0; i < n; i++) { re[i] = re[i] / n; im[i] = im[i] / n; }
+    }
+}
+
+int main(void) {
+    int n = @N@;
+    long *re = (long*)malloc(n * sizeof(long));
+    long *im = (long*)malloc(n * sizeof(long));
+    long *orig = (long*)malloc(n * sizeof(long));
+    int i;
+    long err = 0;
+    build_tables(n);
+    rand_seed(3);
+    for (i = 0; i < n; i++) {
+        re[i] = (rand_next() % 256) << FBITS;
+        im[i] = 0;
+        orig[i] = re[i];
+    }
+    fft(re, im, n, 0);
+    fft(re, im, n, 1);
+    for (i = 0; i < n; i++) {
+        long d = re[i] - orig[i];
+        if (d < 0) { d = -d; }
+        if (d > err) { err = d; }
+    }
+    free(orig);
+    free(im);
+    free(re);
+    /* allow ~6% fixed-point round-trip error */
+    return err < (16 << FBITS) ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="adpcm",
+    group="mibench",
+    description="IMA ADPCM encode of synthetic PCM samples",
+    params={"SAMPLES": 600},
+    small_params={"SAMPLES": 300},
+    source_template=r"""
+int step_table[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+                      16, 17, 19, 21, 23, 25, 28, 31};
+int index_adjust[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+int main(void) {
+    long n = @SAMPLES@;
+    short *pcm = (short*)malloc(n * sizeof(short));
+    char *out = (char*)malloc(n);
+    long i;
+    int predicted = 0;
+    int index = 0;
+    long checksum = 0;
+    rand_seed(21);
+    for (i = 0; i < n; i++) {
+        pcm[i] = (short)((rand_next() % 2048) - 1024);
+    }
+    for (i = 0; i < n; i++) {
+        int step = step_table[index];
+        int diff = (int)pcm[i] - predicted;
+        int code = 0;
+        if (diff < 0) { code = 8; diff = -diff; }
+        if (diff >= step) { code |= 4; diff -= step; }
+        if (diff >= step / 2) { code |= 2; diff -= step / 2; }
+        if (diff >= step / 4) { code |= 1; }
+        out[i] = (char)code;
+        predicted += (code & 8) ? -((code & 7) * step / 4) : ((code & 7) * step / 4);
+        index += index_adjust[code & 7];
+        if (index < 0) { index = 0; }
+        if (index > 15) { index = 15; }
+        checksum += code;
+    }
+    free(out);
+    free(pcm);
+    return checksum > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="susan",
+    group="mibench",
+    description="SUSAN-style image smoothing over a synthetic image",
+    params={"W": 16, "H": 12},
+    small_params={"W": 12, "H": 10},
+    source_template=r"""
+int main(void) {
+    int w = @W@;
+    int h = @H@;
+    unsigned char *img = (unsigned char*)malloc((long)w * h);
+    unsigned char *out = (unsigned char*)malloc((long)w * h);
+    int x;
+    int y;
+    long total = 0;
+    rand_seed(77);
+    for (y = 0; y < h; y++) {
+        for (x = 0; x < w; x++) {
+            img[(long)y * w + x] = (unsigned char)(rand_next() % 256);
+        }
+    }
+    for (y = 1; y < h - 1; y++) {
+        for (x = 1; x < w - 1; x++) {
+            int center = (int)img[(long)y * w + x];
+            long num = 0;
+            long den = 0;
+            int dy;
+            for (dy = -1; dy <= 1; dy++) {
+                int dx;
+                for (dx = -1; dx <= 1; dx++) {
+                    int v = (int)img[(long)(y + dy) * w + (x + dx)];
+                    int d = v - center;
+                    int sim;
+                    if (d < 0) { d = -d; }
+                    sim = 256 - d;         /* brightness similarity */
+                    num += (long)v * sim;
+                    den += sim;
+                }
+            }
+            out[(long)y * w + x] = (unsigned char)(num / den);
+            total += out[(long)y * w + x];
+        }
+    }
+    free(out);
+    free(img);
+    return total > 0 ? 0 : 1;
+}
+"""))

@@ -1,0 +1,477 @@
+"""Olden-class pointer-chasing kernels (Fig. 4 middle group).
+
+Seven kernels mirroring the Olden suite: treeadd, bisort, mst,
+perimeter, health, em3d and tsp. All are allocation-heavy linked
+structures — the workloads that stress metadata propagation through
+memory (Section 3.2).
+"""
+
+from repro.workloads.base import Workload, register
+
+register(Workload(
+    name="treeadd",
+    group="olden",
+    description="balanced binary tree build + recursive sum",
+    params={"DEPTH": 7},
+    small_params={"DEPTH": 4},
+    source_template=r"""
+typedef struct Tree Tree;
+struct Tree { long value; Tree *left; Tree *right; };
+
+Tree *build(int depth, long value) {
+    Tree *t = (Tree*)malloc(sizeof(Tree));
+    t->value = value;
+    if (depth <= 1) {
+        t->left = 0;
+        t->right = 0;
+    } else {
+        t->left = build(depth - 1, 2 * value);
+        t->right = build(depth - 1, 2 * value + 1);
+    }
+    return t;
+}
+
+long sum(Tree *t) {
+    if (!t) { return 0; }
+    return t->value + sum(t->left) + sum(t->right);
+}
+
+void destroy(Tree *t) {
+    if (!t) { return; }
+    destroy(t->left);
+    destroy(t->right);
+    free(t);
+}
+
+int main(void) {
+    Tree *root = build(@DEPTH@, 1);
+    long total = sum(root);
+    destroy(root);
+    return total > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="bisort",
+    group="olden",
+    description="binary-tree insertion sort + sortedness verification",
+    params={"N": 120},
+    small_params={"N": 40},
+    source_template=r"""
+typedef struct Node Node;
+struct Node { long key; Node *left; Node *right; };
+
+Node *insert(Node *root, long key) {
+    if (!root) {
+        Node *n = (Node*)malloc(sizeof(Node));
+        n->key = key;
+        n->left = 0;
+        n->right = 0;
+        return n;
+    }
+    if (key < root->key) { root->left = insert(root->left, key); }
+    else { root->right = insert(root->right, key); }
+    return root;
+}
+
+long walk(Node *t, long *out, long pos) {
+    if (!t) { return pos; }
+    pos = walk(t->left, out, pos);
+    out[pos] = t->key;
+    pos = pos + 1;
+    return walk(t->right, out, pos);
+}
+
+void destroy(Node *t) {
+    if (!t) { return; }
+    destroy(t->left);
+    destroy(t->right);
+    free(t);
+}
+
+int main(void) {
+    long n = @N@;
+    long *sorted = (long*)malloc(n * sizeof(long));
+    Node *root = 0;
+    long i;
+    rand_seed(17);
+    for (i = 0; i < n; i++) {
+        root = insert(root, rand_next() % 10000);
+    }
+    if (walk(root, sorted, 0) != n) { return 1; }
+    for (i = 1; i < n; i++) {
+        if (sorted[i - 1] > sorted[i]) { return 2; }
+    }
+    destroy(root);
+    free(sorted);
+    return 0;
+}
+"""))
+
+register(Workload(
+    name="mst",
+    group="olden",
+    description="Prim's MST over adjacency-list graph of heap nodes",
+    params={"NODES": 20},
+    small_params={"NODES": 8},
+    source_template=r"""
+typedef struct Edge Edge;
+typedef struct Vertex Vertex;
+struct Edge { int to; long weight; Edge *next; };
+struct Vertex { Edge *edges; long best; int in_tree; };
+
+void add_edge(Vertex *vs, int from, int to, long weight) {
+    Edge *e = (Edge*)malloc(sizeof(Edge));
+    e->to = to;
+    e->weight = weight;
+    e->next = vs[from].edges;
+    vs[from].edges = e;
+}
+
+int main(void) {
+    int n = @NODES@;
+    Vertex *vs = (Vertex*)malloc((long)n * sizeof(Vertex));
+    int i;
+    int j;
+    long total = 0;
+    rand_seed(31);
+    for (i = 0; i < n; i++) {
+        vs[i].edges = 0;
+        vs[i].best = 1000000000;
+        vs[i].in_tree = 0;
+    }
+    for (i = 0; i < n; i++) {
+        for (j = i + 1; j < n; j++) {
+            long w = 1 + rand_next() % 512;
+            add_edge(vs, i, j, w);
+            add_edge(vs, j, i, w);
+        }
+    }
+    vs[0].best = 0;
+    for (i = 0; i < n; i++) {
+        int bi = -1;
+        long bw = 1000000001;
+        Edge *e;
+        for (j = 0; j < n; j++) {
+            if (!vs[j].in_tree && vs[j].best < bw) { bw = vs[j].best; bi = j; }
+        }
+        if (bi < 0) { return 1; }
+        vs[bi].in_tree = 1;
+        total += vs[bi].best;
+        e = vs[bi].edges;
+        while (e) {
+            if (!vs[e->to].in_tree && e->weight < vs[e->to].best) {
+                vs[e->to].best = e->weight;
+            }
+            e = e->next;
+        }
+    }
+    for (i = 0; i < n; i++) {
+        Edge *e = vs[i].edges;
+        while (e) { Edge *nx = e->next; free(e); e = nx; }
+    }
+    free(vs);
+    return total > 0 ? 0 : 2;
+}
+"""))
+
+register(Workload(
+    name="perimeter",
+    group="olden",
+    description="quadtree build + perimeter of the marked region",
+    params={"DEPTH": 4},
+    small_params={"DEPTH": 3},
+    source_template=r"""
+typedef struct Quad Quad;
+struct Quad {
+    int kind;       /* 0 = white, 1 = black, 2 = grey */
+    Quad *child[4];
+};
+
+Quad *build(int depth, long x, long y, long size) {
+    Quad *q = (Quad*)malloc(sizeof(Quad));
+    int i;
+    if (depth == 0) {
+        /* region: disk around the centre of a 64x64 image */
+        long cx = x + size / 2 - 32;
+        long cy = y + size / 2 - 32;
+        q->kind = (cx * cx + cy * cy < 24 * 24) ? 1 : 0;
+        for (i = 0; i < 4; i++) { q->child[i] = 0; }
+        return q;
+    }
+    q->kind = 2;
+    q->child[0] = build(depth - 1, x, y, size / 2);
+    q->child[1] = build(depth - 1, x + size / 2, y, size / 2);
+    q->child[2] = build(depth - 1, x, y + size / 2, size / 2);
+    q->child[3] = build(depth - 1, x + size / 2, y + size / 2, size / 2);
+    /* merge uniform children */
+    if (q->child[0]->kind != 2) {
+        int k = q->child[0]->kind;
+        int same = 1;
+        for (i = 1; i < 4; i++) {
+            if (q->child[i]->kind != k) { same = 0; }
+        }
+        if (same) {
+            for (i = 0; i < 4; i++) { free(q->child[i]); q->child[i] = 0; }
+            q->kind = k;
+        }
+    }
+    return q;
+}
+
+long count_black_leaves(Quad *q, long size) {
+    if (!q) { return 0; }
+    if (q->kind == 1) { return size; }
+    if (q->kind == 0) { return 0; }
+    return count_black_leaves(q->child[0], size / 2)
+         + count_black_leaves(q->child[1], size / 2)
+         + count_black_leaves(q->child[2], size / 2)
+         + count_black_leaves(q->child[3], size / 2);
+}
+
+void destroy(Quad *q) {
+    int i;
+    if (!q) { return; }
+    for (i = 0; i < 4; i++) { destroy(q->child[i]); }
+    free(q);
+}
+
+int main(void) {
+    Quad *root = build(@DEPTH@, 0, 0, 64);
+    long area = count_black_leaves(root, 64);
+    destroy(root);
+    return area > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="health",
+    group="olden",
+    description="hierarchical hospital simulation with patient lists",
+    params={"STEPS": 20, "LEVELS": 3},
+    small_params={"STEPS": 8, "LEVELS": 2},
+    source_template=r"""
+typedef struct Patient Patient;
+typedef struct Hospital Hospital;
+struct Patient { long id; long time; Patient *next; };
+struct Hospital {
+    Patient *waiting;
+    Hospital *child[2];
+    long treated;
+};
+
+Hospital *build(int level) {
+    Hospital *h = (Hospital*)malloc(sizeof(Hospital));
+    h->waiting = 0;
+    h->treated = 0;
+    if (level > 0) {
+        h->child[0] = build(level - 1);
+        h->child[1] = build(level - 1);
+    } else {
+        h->child[0] = 0;
+        h->child[1] = 0;
+    }
+    return h;
+}
+
+void step(Hospital *h, long tick) {
+    Patient *p;
+    Patient *prev;
+    if (!h) { return; }
+    /* new arrival with some probability */
+    if (rand_next() % 4 == 0) {
+        p = (Patient*)malloc(sizeof(Patient));
+        p->id = tick;
+        p->time = 1 + rand_next() % 5;
+        p->next = h->waiting;
+        h->waiting = p;
+    }
+    /* treat the queue */
+    prev = 0;
+    p = h->waiting;
+    while (p) {
+        p->time = p->time - 1;
+        if (p->time <= 0) {
+            Patient *done = p;
+            if (prev) { prev->next = p->next; }
+            else { h->waiting = p->next; }
+            p = p->next;
+            free(done);
+            h->treated = h->treated + 1;
+        } else {
+            prev = p;
+            p = p->next;
+        }
+    }
+    step(h->child[0], tick);
+    step(h->child[1], tick);
+}
+
+long total_treated(Hospital *h) {
+    if (!h) { return 0; }
+    return h->treated + total_treated(h->child[0])
+        + total_treated(h->child[1]);
+}
+
+void destroy(Hospital *h) {
+    Patient *p;
+    if (!h) { return; }
+    p = h->waiting;
+    while (p) { Patient *nx = p->next; free(p); p = nx; }
+    destroy(h->child[0]);
+    destroy(h->child[1]);
+    free(h);
+}
+
+int main(void) {
+    Hospital *root;
+    long t;
+    long treated;
+    rand_seed(2026);
+    root = build(@LEVELS@);
+    for (t = 0; t < @STEPS@; t++) { step(root, t); }
+    treated = total_treated(root);
+    destroy(root);
+    return treated > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="em3d",
+    group="olden",
+    description="bipartite E/H node graph relaxation",
+    params={"NODES": 48, "ITERS": 6, "DEGREE": 4},
+    small_params={"NODES": 12, "ITERS": 2, "DEGREE": 2},
+    source_template=r"""
+typedef struct ENode ENode;
+struct ENode {
+    long value;
+    ENode *deps[@DEGREE@];
+    long coeffs[@DEGREE@];
+    ENode *next;
+};
+
+ENode *make_list(int count, ENode **arr) {
+    ENode *head = 0;
+    int i;
+    for (i = 0; i < count; i++) {
+        ENode *n = (ENode*)malloc(sizeof(ENode));
+        int d;
+        n->value = rand_next() % 1000;
+        for (d = 0; d < @DEGREE@; d++) { n->deps[d] = 0; n->coeffs[d] = 1 + rand_next() % 7; }
+        n->next = head;
+        head = n;
+        arr[i] = n;
+    }
+    return head;
+}
+
+void wire(ENode *from, ENode **pool, int count) {
+    ENode *n = from;
+    while (n) {
+        int d;
+        for (d = 0; d < @DEGREE@; d++) {
+            n->deps[d] = pool[rand_next() % count];
+        }
+        n = n->next;
+    }
+}
+
+void relax(ENode *list) {
+    ENode *n = list;
+    while (n) {
+        long acc = 0;
+        int d;
+        for (d = 0; d < @DEGREE@; d++) {
+            acc += n->deps[d]->value * n->coeffs[d];
+        }
+        n->value = (n->value + (acc >> 3)) % 65536;
+        n = n->next;
+    }
+}
+
+void destroy(ENode *list) {
+    while (list) { ENode *nx = list->next; free(list); list = nx; }
+}
+
+int main(void) {
+    int half = @NODES@ / 2;
+    ENode **earr = (ENode**)malloc((long)half * sizeof(ENode*));
+    ENode **harr = (ENode**)malloc((long)half * sizeof(ENode*));
+    ENode *elist;
+    ENode *hlist;
+    long sum = 0;
+    int it;
+    ENode *n;
+    rand_seed(404);
+    elist = make_list(half, earr);
+    hlist = make_list(half, harr);
+    wire(elist, harr, half);
+    wire(hlist, earr, half);
+    for (it = 0; it < @ITERS@; it++) {
+        relax(elist);
+        relax(hlist);
+    }
+    n = elist;
+    while (n) { sum += n->value; n = n->next; }
+    destroy(elist);
+    destroy(hlist);
+    free(harr);
+    free(earr);
+    return sum >= 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="tsp",
+    group="olden",
+    description="nearest-neighbour tour over a linked list of cities",
+    params={"CITIES": 36},
+    small_params={"CITIES": 10},
+    source_template=r"""
+typedef struct City City;
+struct City { long x; long y; int visited; City *next; };
+
+long dist2(City *a, City *b) {
+    long dx = a->x - b->x;
+    long dy = a->y - b->y;
+    return dx * dx + dy * dy;
+}
+
+int main(void) {
+    int n = @CITIES@;
+    City *head = 0;
+    City *cur;
+    int i;
+    long tour = 0;
+    rand_seed(55);
+    for (i = 0; i < n; i++) {
+        City *c = (City*)malloc(sizeof(City));
+        c->x = rand_next() % 1000;
+        c->y = rand_next() % 1000;
+        c->visited = 0;
+        c->next = head;
+        head = c;
+    }
+    cur = head;
+    cur->visited = 1;
+    for (i = 1; i < n; i++) {
+        City *best = 0;
+        long bestd = 0;
+        City *c = head;
+        while (c) {
+            if (!c->visited) {
+                long d = dist2(cur, c);
+                if (!best || d < bestd) { best = c; bestd = d; }
+            }
+            c = c->next;
+        }
+        if (!best) { return 1; }
+        best->visited = 1;
+        tour += bestd;
+        cur = best;
+    }
+    while (head) { City *nx = head->next; free(head); head = nx; }
+    return tour > 0 ? 0 : 2;
+}
+"""))

@@ -1,0 +1,456 @@
+"""SPEC CPU2006-class kernels (Fig. 4/5 right group).
+
+Seven kernels standing in for the SPEC programs the paper evaluates:
+milc, lbm, sphinx3, sjeng, gobmk, bzip2 and hmmer. Floating-point
+programs (milc/lbm/sphinx3) use fixed-point arithmetic with the same
+array/stencil access patterns; bzip2 and hmmer are written with the
+per-block/per-sequence allocate-free churn that makes their temporal
+checking expensive (the paper singles them out in Section 5.1: CETS
+instrumentation hits them hardest, so the keybuffer speedup is largest).
+"""
+
+from repro.workloads.base import Workload, register
+
+register(Workload(
+    name="milc",
+    group="spec",
+    description="su3-like 3x3 fixed-point matrix products over a lattice",
+    params={"SITES": 24, "ITERS": 2},
+    small_params={"SITES": 16, "ITERS": 1},
+    source_template=r"""
+enum { FB = 12 };
+
+void mat_mul(long *a, long *b, long *c) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < 3; i++) {
+        for (j = 0; j < 3; j++) {
+            long acc = 0;
+            for (k = 0; k < 3; k++) {
+                acc += (a[i * 3 + k] * b[k * 3 + j]) >> FB;
+            }
+            c[i * 3 + j] = acc;
+        }
+    }
+}
+
+int main(void) {
+    int sites = @SITES@;
+    long *lattice = (long*)malloc((long)sites * 9 * sizeof(long));
+    long *gauge = (long*)malloc((long)sites * 9 * sizeof(long));
+    long *tmp = (long*)malloc(9 * sizeof(long));
+    int s;
+    int e;
+    int it;
+    long checksum = 0;
+    rand_seed(61);
+    for (s = 0; s < sites * 9; s++) {
+        lattice[s] = (rand_next() % 4096) - 2048;
+        gauge[s] = (rand_next() % 4096) - 2048;
+    }
+    for (it = 0; it < @ITERS@; it++) {
+        for (s = 0; s < sites; s++) {
+            int nbr = (s + 1) % sites;
+            mat_mul(lattice + (long)s * 9, gauge + (long)nbr * 9, tmp);
+            for (e = 0; e < 9; e++) {
+                lattice[(long)s * 9 + e] = (lattice[(long)s * 9 + e] + tmp[e]) / 2;
+            }
+        }
+    }
+    for (s = 0; s < sites * 9; s++) { checksum += lattice[s]; }
+    free(tmp);
+    free(gauge);
+    free(lattice);
+    return (checksum < 100000000 && checksum > -100000000) ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="lbm",
+    group="spec",
+    description="lattice-Boltzmann-style 5-point stencil relaxation",
+    params={"W": 20, "H": 14, "STEPS": 3},
+    small_params={"W": 10, "H": 8, "STEPS": 2},
+    source_template=r"""
+int main(void) {
+    int w = @W@;
+    int h = @H@;
+    long *grid = (long*)malloc((long)w * h * sizeof(long));
+    long *next = (long*)malloc((long)w * h * sizeof(long));
+    int x;
+    int y;
+    int t;
+    long total = 0;
+    rand_seed(13);
+    for (y = 0; y < h; y++) {
+        for (x = 0; x < w; x++) {
+            grid[(long)y * w + x] = rand_next() % 10000;
+        }
+    }
+    for (t = 0; t < @STEPS@; t++) {
+        for (y = 1; y < h - 1; y++) {
+            for (x = 1; x < w - 1; x++) {
+                long c = grid[(long)y * w + x];
+                long n = grid[(long)(y - 1) * w + x];
+                long s = grid[(long)(y + 1) * w + x];
+                long e = grid[(long)y * w + (x + 1)];
+                long o = grid[(long)y * w + (x - 1)];
+                next[(long)y * w + x] = c + ((n + s + e + o - 4 * c) >> 2);
+            }
+        }
+        for (y = 1; y < h - 1; y++) {
+            for (x = 1; x < w - 1; x++) {
+                grid[(long)y * w + x] = next[(long)y * w + x];
+            }
+        }
+    }
+    for (y = 0; y < h; y++) {
+        for (x = 0; x < w; x++) { total += grid[(long)y * w + x]; }
+    }
+    free(next);
+    free(grid);
+    return total > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="sphinx3",
+    group="spec",
+    description="gaussian-mixture scoring of feature frames (fixed point)",
+    params={"FRAMES": 14, "MIXES": 8, "DIM": 13},
+    small_params={"FRAMES": 6, "MIXES": 4, "DIM": 8},
+    source_template=r"""
+enum { FB = 10 };
+
+long score_frame(long *feat, long *means, long *vars, int mixes, int dim) {
+    long best = -1000000000;
+    int m;
+    for (m = 0; m < mixes; m++) {
+        long acc = 0;
+        int d;
+        for (d = 0; d < dim; d++) {
+            long diff = feat[d] - means[m * dim + d];
+            acc -= (diff * diff) >> FB;
+            acc += vars[m * dim + d];
+        }
+        if (acc > best) { best = acc; }
+    }
+    return best;
+}
+
+int main(void) {
+    int frames = @FRAMES@;
+    int mixes = @MIXES@;
+    int dim = @DIM@;
+    long *means = (long*)malloc((long)mixes * dim * sizeof(long));
+    long *vars = (long*)malloc((long)mixes * dim * sizeof(long));
+    int f;
+    int i;
+    long total = 0;
+    rand_seed(2001);
+    for (i = 0; i < mixes * dim; i++) {
+        means[i] = (rand_next() % 2048) - 1024;
+        vars[i] = rand_next() % 64;
+    }
+    /* per-frame feature vectors are allocated and freed, like the
+       per-utterance buffers in sphinx3 */
+    for (f = 0; f < frames; f++) {
+        long *feat = (long*)malloc((long)dim * sizeof(long));
+        for (i = 0; i < dim; i++) { feat[i] = (rand_next() % 2048) - 1024; }
+        total += score_frame(feat, means, vars, mixes, dim);
+        free(feat);
+    }
+    free(vars);
+    free(means);
+    return total != 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="sjeng",
+    group="spec",
+    description="alpha-beta minimax over a 3x3 game tree",
+    params={"GAMES": 2, "PRE": 4, "MAXD": 9},
+    small_params={"GAMES": 1, "PRE": 5, "MAXD": 8},
+    source_template=r"""
+int winner(int *board) {
+    int lines[24] = {0,1,2, 3,4,5, 6,7,8, 0,3,6, 1,4,7, 2,5,8, 0,4,8, 2,4,6};
+    int i;
+    for (i = 0; i < 8; i++) {
+        int a = lines[i * 3];
+        int b = lines[i * 3 + 1];
+        int c = lines[i * 3 + 2];
+        if (board[a] != 0 && board[a] == board[b] && board[b] == board[c]) {
+            return board[a];
+        }
+    }
+    return 0;
+}
+
+int minimax(int *board, int player, int depth, int alpha, int beta) {
+    int w = winner(board);
+    int i;
+    int moved = 0;
+    if (w != 0) { return w * (10 - depth); }
+    if (depth >= @MAXD@) { return 0; }
+    for (i = 0; i < 9; i++) {
+        if (board[i] == 0) {
+            int score;
+            moved = 1;
+            board[i] = player;
+            score = minimax(board, -player, depth + 1, alpha, beta);
+            board[i] = 0;
+            if (player == 1) {
+                if (score > alpha) { alpha = score; }
+                if (alpha >= beta) { return alpha; }
+            } else {
+                if (score < beta) { beta = score; }
+                if (beta <= alpha) { return beta; }
+            }
+        }
+    }
+    if (!moved) { return 0; }
+    return player == 1 ? alpha : beta;
+}
+
+int main(void) {
+    int g;
+    long total = 0;
+    rand_seed(8);
+    for (g = 0; g < @GAMES@; g++) {
+        int *board = (int*)malloc(9 * sizeof(int));
+        int i;
+        for (i = 0; i < 9; i++) { board[i] = 0; }
+        for (i = 0; i < @PRE@; i++) {
+            board[rand_next() % 9] = (i & 1) ? -1 : 1;
+        }
+        total += minimax(board, -1, @PRE@, -1000, 1000);
+        free(board);
+    }
+    return (total > -100 && total < 100) ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="gobmk",
+    group="spec",
+    description="go-board liberty counting by flood fill",
+    params={"SIZE": 9, "STONES": 30, "ROUNDS": 2},
+    small_params={"SIZE": 5, "STONES": 8, "ROUNDS": 1},
+    source_template=r"""
+int flood(int *board, int *mark, int size, int x, int y, int colour) {
+    /* returns the number of liberties of the group at (x,y) */
+    int libs = 0;
+    int *stack_x = (int*)malloc((long)size * size * sizeof(int));
+    int *stack_y = (int*)malloc((long)size * size * sizeof(int));
+    int top = 0;
+    stack_x[top] = x;
+    stack_y[top] = y;
+    top = 1;
+    mark[y * size + x] = 1;
+    while (top > 0) {
+        int cx;
+        int cy;
+        int d;
+        int dxs[4] = {1, -1, 0, 0};
+        int dys[4] = {0, 0, 1, -1};
+        top = top - 1;
+        cx = stack_x[top];
+        cy = stack_y[top];
+        for (d = 0; d < 4; d++) {
+            int nx = cx + dxs[d];
+            int ny = cy + dys[d];
+            if (nx < 0 || nx >= size || ny < 0 || ny >= size) { continue; }
+            if (mark[ny * size + nx]) { continue; }
+            if (board[ny * size + nx] == 0) {
+                mark[ny * size + nx] = 1;
+                libs++;
+            } else if (board[ny * size + nx] == colour) {
+                mark[ny * size + nx] = 1;
+                stack_x[top] = nx;
+                stack_y[top] = ny;
+                top = top + 1;
+            }
+        }
+    }
+    free(stack_y);
+    free(stack_x);
+    return libs;
+}
+
+int main(void) {
+    int size = @SIZE@;
+    int *board = (int*)malloc((long)size * size * sizeof(int));
+    int *mark = (int*)malloc((long)size * size * sizeof(int));
+    int i;
+    int r;
+    long total = 0;
+    rand_seed(360);
+    for (i = 0; i < size * size; i++) { board[i] = 0; }
+    for (i = 0; i < @STONES@; i++) {
+        board[rand_next() % (size * size)] = (i & 1) ? 1 : 2;
+    }
+    for (r = 0; r < @ROUNDS@; r++) {
+        int x;
+        int y;
+        for (i = 0; i < size * size; i++) { mark[i] = 0; }
+        for (y = 0; y < size; y++) {
+            for (x = 0; x < size; x++) {
+                if (board[y * size + x] != 0 && !mark[y * size + x]) {
+                    total += flood(board, mark, size, x, y,
+                                   board[y * size + x]);
+                }
+            }
+        }
+    }
+    free(mark);
+    free(board);
+    return total > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="bzip2",
+    group="spec",
+    description="block compression: BWT + MTF + RLE with per-block heap churn",
+    params={"BLOCK": 40, "BLOCKS": 3},
+    small_params={"BLOCK": 32, "BLOCKS": 2},
+    source_template=r"""
+/* suffix comparison for the Burrows-Wheeler transform */
+int suf_cmp(unsigned char *buf, int n, int a, int b) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int ca = (int)buf[(a + i) % n];
+        int cb = (int)buf[(b + i) % n];
+        if (ca != cb) { return ca - cb; }
+    }
+    return 0;
+}
+
+long compress_block(unsigned char *data, int n) {
+    int *order = (int*)malloc((long)n * sizeof(int));
+    unsigned char *bwt = (unsigned char*)malloc(n);
+    unsigned char *mtf = (unsigned char*)malloc(n);
+    int *alphabet = (int*)malloc(256 * sizeof(int));
+    int i;
+    int j;
+    long out = 0;
+    int run;
+    for (i = 0; i < n; i++) { order[i] = i; }
+    /* insertion sort of the rotations (bzip2 uses a fancier sort) */
+    for (i = 1; i < n; i++) {
+        int key = order[i];
+        j = i - 1;
+        while (j >= 0 && suf_cmp(data, n, order[j], key) > 0) {
+            order[j + 1] = order[j];
+            j = j - 1;
+        }
+        order[j + 1] = key;
+    }
+    for (i = 0; i < n; i++) {
+        bwt[i] = data[(order[i] + n - 1) % n];
+    }
+    /* move-to-front */
+    for (i = 0; i < 256; i++) { alphabet[i] = i; }
+    for (i = 0; i < n; i++) {
+        int c = (int)bwt[i];
+        int pos = 0;
+        while (alphabet[pos] != c) { pos++; }
+        mtf[i] = (unsigned char)pos;
+        while (pos > 0) { alphabet[pos] = alphabet[pos - 1]; pos--; }
+        alphabet[0] = c;
+    }
+    /* run-length accumulate */
+    run = 0;
+    for (i = 0; i < n; i++) {
+        if (mtf[i] == 0) { run++; }
+        else {
+            out += run > 0 ? 2 : 0;
+            out += 1 + (mtf[i] > 15 ? 1 : 0);
+            run = 0;
+        }
+    }
+    free(alphabet);
+    free(mtf);
+    free(bwt);
+    free(order);
+    return out;
+}
+
+int main(void) {
+    int blocks = @BLOCKS@;
+    int n = @BLOCK@;
+    long total = 0;
+    int b;
+    rand_seed(929);
+    for (b = 0; b < blocks; b++) {
+        unsigned char *data = (unsigned char*)malloc(n);
+        int i;
+        for (i = 0; i < n; i++) {
+            data[i] = (unsigned char)('a' + rand_next() % 6);
+        }
+        total += compress_block(data, n);
+        free(data);
+    }
+    return total > 0 ? 0 : 1;
+}
+"""))
+
+register(Workload(
+    name="hmmer",
+    group="spec",
+    description="profile-HMM Viterbi with per-sequence heap churn",
+    params={"STATES": 16, "SEQLEN": 16, "SEQS": 3},
+    small_params={"STATES": 8, "SEQLEN": 8, "SEQS": 2},
+    source_template=r"""
+enum { NEG = -100000000 };
+
+long viterbi(int *seq, int len, long *match_emit, long *trans, int states) {
+    long *prev = (long*)malloc((long)states * sizeof(long));
+    long *cur = (long*)malloc((long)states * sizeof(long));
+    int i;
+    int s;
+    long best;
+    for (s = 0; s < states; s++) {
+        prev[s] = (s == 0) ? 0 : NEG;
+    }
+    for (i = 0; i < len; i++) {
+        for (s = 0; s < states; s++) {
+            long stay = prev[s] + trans[s * 2];
+            long move = (s > 0 ? prev[s - 1] : NEG) + trans[s * 2 + 1];
+            long emit = match_emit[s * 4 + seq[i]];
+            cur[s] = (stay > move ? stay : move) + emit;
+        }
+        for (s = 0; s < states; s++) { prev[s] = cur[s]; }
+    }
+    best = NEG;
+    for (s = 0; s < states; s++) {
+        if (prev[s] > best) { best = prev[s]; }
+    }
+    free(cur);
+    free(prev);
+    return best;
+}
+
+int main(void) {
+    int states = @STATES@;
+    long *match_emit = (long*)malloc((long)states * 4 * sizeof(long));
+    long *trans = (long*)malloc((long)states * 2 * sizeof(long));
+    int i;
+    int q;
+    long total = 0;
+    rand_seed(606);
+    for (i = 0; i < states * 4; i++) { match_emit[i] = (rand_next() % 64) - 32; }
+    for (i = 0; i < states * 2; i++) { trans[i] = -(long)(rand_next() % 8); }
+    for (q = 0; q < @SEQS@; q++) {
+        int *seq = (int*)malloc((long)@SEQLEN@ * sizeof(int));
+        for (i = 0; i < @SEQLEN@; i++) { seq[i] = (int)(rand_next() % 4); }
+        total += viterbi(seq, @SEQLEN@, match_emit, trans, states);
+        free(seq);
+    }
+    free(trans);
+    free(match_emit);
+    return total < 0 ? 0 : (total > 0 ? 0 : 1);
+}
+"""))

@@ -1,0 +1,109 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import bits
+
+
+class TestConversions:
+    def test_to_u64_wraps(self):
+        assert bits.to_u64(-1) == bits.MASK64
+        assert bits.to_u64(1 << 64) == 0
+        assert bits.to_u64(5) == 5
+
+    def test_to_s64_negative(self):
+        assert bits.to_s64(bits.MASK64) == -1
+        assert bits.to_s64(0x8000_0000_0000_0000) == -(1 << 63)
+        assert bits.to_s64(7) == 7
+
+    def test_to_u32_s32(self):
+        assert bits.to_u32(-1) == 0xFFFF_FFFF
+        assert bits.to_s32(0xFFFF_FFFF) == -1
+        assert bits.to_s32(0x7FFF_FFFF) == 0x7FFF_FFFF
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_u64_s64_roundtrip(self, value):
+        assert bits.to_s64(bits.to_u64(value)) == value
+
+
+class TestSext:
+    def test_sext_positive(self):
+        assert bits.sext(0x7F, 8) == 127
+
+    def test_sext_negative(self):
+        assert bits.sext(0xFF, 8) == -1
+        assert bits.sext(0x800, 12) == -2048
+
+    def test_sext_truncates_high_bits(self):
+        assert bits.sext(0x1FF, 8) == -1
+
+    @given(st.integers(min_value=1, max_value=63),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_sext_range(self, width, value):
+        result = bits.sext(value, width)
+        assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+
+
+class TestFits:
+    def test_fits_signed(self):
+        assert bits.fits_signed(2047, 12)
+        assert bits.fits_signed(-2048, 12)
+        assert not bits.fits_signed(2048, 12)
+        assert not bits.fits_signed(-2049, 12)
+
+    def test_fits_unsigned(self):
+        assert bits.fits_unsigned(255, 8)
+        assert not bits.fits_unsigned(256, 8)
+        assert not bits.fits_unsigned(-1, 8)
+
+
+class TestAlign:
+    def test_align_up(self):
+        assert bits.align_up(0, 8) == 0
+        assert bits.align_up(1, 8) == 8
+        assert bits.align_up(8, 8) == 8
+        assert bits.align_up(9, 16) == 16
+
+    def test_align_down(self):
+        assert bits.align_down(15, 8) == 8
+        assert bits.align_down(16, 8) == 16
+
+    def test_align_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bits.align_up(5, 3)
+        with pytest.raises(ValueError):
+            bits.align_down(5, 6)
+
+    @given(st.integers(min_value=0, max_value=1 << 40),
+           st.sampled_from([1, 2, 4, 8, 16, 4096]))
+    def test_align_up_properties(self, value, alignment):
+        result = bits.align_up(value, alignment)
+        assert result >= value
+        assert result % alignment == 0
+        assert result - value < alignment
+
+
+class TestFields:
+    def test_extract(self):
+        assert bits.extract(0xABCD, 4, 8) == 0xBC
+
+    def test_deposit(self):
+        assert bits.deposit(0x0000, 4, 8, 0xBC) == 0x0BC0
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=0, max_value=56),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=255))
+    def test_deposit_extract_roundtrip(self, value, lo, width, field):
+        field &= (1 << width) - 1
+        assert bits.extract(bits.deposit(value, lo, width, field),
+                            lo, width) == field
+
+    def test_bit_length_for(self):
+        assert bits.bit_length_for(0) == 1
+        assert bits.bit_length_for(1) == 1
+        assert bits.bit_length_for(255) == 8
+        assert bits.bit_length_for(256) == 9
+        with pytest.raises(ValueError):
+            bits.bit_length_for(-1)

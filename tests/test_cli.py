@@ -1,0 +1,143 @@
+"""Tests for the command-line tool chain (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = """
+int main(void) {
+    long *p = (long*)malloc(8);
+    p[0] = 41;
+    long v = p[0] + 1;
+    free(p);
+    print_int(v);
+    return 0;
+}
+"""
+
+BUGGY = """
+int main(void) {
+    long *p = (long*)malloc(8);
+    free(p);
+    return (int)(p[0] & 0);
+}
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.c"
+    path.write_text(BUGGY)
+    return str(path)
+
+
+class TestRun:
+    def test_run_clean(self, clean_file, capsys):
+        assert main(["run", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "status : exit" in out
+        assert "'42'" in out
+
+    def test_run_detects_bug(self, buggy_file, capsys):
+        rc = main(["run", buggy_file, "--scheme", "hwst128_tchk"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "temporal_violation" in out
+
+    def test_run_with_stats(self, clean_file, capsys):
+        assert main(["run", clean_file, "--stats"]) == 0
+        assert "loads" in capsys.readouterr().out
+
+    def test_run_with_trace(self, buggy_file, capsys):
+        rc = main(["run", buggy_file, "--scheme", "sbcets",
+                   "--trace", "8"])
+        assert rc == 1
+        assert "last retired instructions" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.c"]) == 1
+
+    def test_compile_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main(void) { return undeclared; }")
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile_summary(self, clean_file, capsys):
+        assert main(["compile", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "entry" in out
+
+    def test_disasm(self, clean_file, capsys):
+        assert main(["compile", clean_file, "--disasm"]) == 0
+        out = capsys.readouterr().out
+        assert "main:" in out
+        assert "jalr" in out
+
+    def test_encode_writes_binary(self, clean_file, tmp_path, capsys):
+        out_bin = str(tmp_path / "prog.bin")
+        assert main(["compile", clean_file, "--encode", out_bin]) == 0
+        blob = open(out_bin, "rb").read()
+        assert len(blob) % 4 == 0 and len(blob) > 100
+
+    def test_encoded_binary_decodes(self, clean_file, tmp_path):
+        out_bin = str(tmp_path / "prog.bin")
+        main(["compile", clean_file, "--encode", out_bin,
+              "--scheme", "hwst128_tchk"])
+        from repro.isa.encoding import decode_program
+
+        instrs = decode_program(open(out_bin, "rb").read())
+        assert any(i.op == "tchk" for i in instrs)
+
+
+class TestListings:
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "hwst128_tchk" in out and "sbcets" in out
+
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "treeadd" in out and "bzip2" in out
+
+    def test_workload_run(self, capsys):
+        assert main(["workloads", "--run", "treeadd",
+                     "--scale", "small"]) == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_workload_unknown(self, capsys):
+        assert main(["workloads", "--run", "nope"]) == 1
+
+
+class TestJuliet:
+    def test_juliet_show(self, capsys):
+        assert main(["juliet", "--cwe", "415", "--limit", "1",
+                     "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "CWE415" in out and "free(p)" in out
+
+    def test_juliet_run(self, capsys):
+        assert main(["juliet", "--cwe", "476", "--limit", "1",
+                     "--scheme", "sbcets"]) == 0
+        assert "DETECTED" in capsys.readouterr().out
+
+
+class TestExperimentsPassthrough:
+    def test_hwcost(self, capsys):
+        assert main(["experiments", "hwcost"]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "fig4" in capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Unit tests for the code generator's frame layout."""
+
+import pytest
+
+from repro.codegen.lower import CodegenOptions, _FnEmitter
+from repro.ir.irgen import lower_unit
+from repro.minic import analyze, parse
+
+
+def emitter_for(source, fn_name="main"):
+    module = lower_unit(analyze(parse(source)))
+    return _FnEmitter(module.functions[fn_name], CodegenOptions())
+
+
+class TestFrameLayout:
+    def test_saved_registers_reserved(self):
+        em = emitter_for("int main(void) { return 0; }")
+        # ra at s0-8, old s0 at s0-16: first slot starts past 16.
+        for offset in em.slot_offset.values():
+            assert offset > 16
+
+    def test_frame_16_aligned(self):
+        for source in (
+            "int main(void) { return 0; }",
+            "int main(void) { char c; return 0; }",
+            "int main(void) { long a[3]; a[0]=1; return 0; }",
+        ):
+            em = emitter_for(source)
+            assert em.frame_size % 16 == 0
+
+    def test_objects_eight_aligned(self):
+        em = emitter_for("""
+        int main(void) {
+            char tag;
+            unsigned int h[5];
+            char buf[10];
+            int *p = (int*)h;
+            return 0;
+        }""")
+        fn = em.fn
+        for name, slot in fn.locals.items():
+            if slot.is_object:
+                # address = s0 - offset must be 8-aligned
+                assert em.slot_offset[name] % 8 == 0, name
+
+    def test_slots_do_not_overlap(self):
+        em = emitter_for("""
+        int main(void) {
+            char a[10];
+            long b;
+            char c[3];
+            int d;
+            a[0] = 1; b = 2; c[0] = 3; d = 4;
+            int *p = (int*)a;
+            return 0;
+        }""")
+        spans = []
+        for name, slot in em.fn.locals.items():
+            end = em.slot_offset[name]
+            spans.append((end - slot.size, end, name))
+        spans.sort()
+        for (lo1, hi1, n1), (lo2, hi2, n2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2 or lo1 >= hi2 or (lo1, hi1) == (lo2, hi2), \
+                (n1, n2)
+
+    def test_canary_adjacent_to_saved_registers(self):
+        """With the gcc pass, __canary must sit between the saved
+        registers and every object (arrays overflow upward into it)."""
+        from repro.core.config import HwstConfig
+        from repro.ir.instrument import instrument_module
+
+        module = lower_unit(analyze(parse("""
+        int main(void) { char buf[16]; buf[0] = 1; return 0; }""")))
+        instrument_module(module, "gcc", HwstConfig())
+        em = _FnEmitter(module.functions["main"], CodegenOptions())
+        canary_off = em.slot_offset["__canary"]
+        for name, slot in em.fn.locals.items():
+            if slot.is_object and name != "__canary":
+                assert em.slot_offset[name] > canary_off, name
+
+    def test_spill_area_within_frame(self):
+        em = emitter_for("int main(void) { return 0; }")
+        last_spill = em.spill_base + 8 * 23
+        assert last_spill <= em.frame_size
+
+    def test_unknown_local_raises(self):
+        from repro.errors import CodegenError
+
+        em = emitter_for("int main(void) { return 0; }")
+        with pytest.raises(CodegenError):
+            em.local_offset("ghost")

@@ -1,0 +1,157 @@
+"""Tests for the metadata compression scheme (Fig. 2, Eq. 2-6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.compression import (
+    CompressedMetadata, MetadataCompressor, MetadataRangeError,
+)
+from repro.core.config import FieldWidths, HwstConfig
+from repro.core.metadata import NULL_METADATA, PointerMetadata
+
+CONFIG = HwstConfig()
+COMP = MetadataCompressor(CONFIG)
+
+
+class TestSpatialCompression:
+    def test_aligned_roundtrip_exact(self):
+        lower = COMP.compress_spatial(0x40_0000, 0x40_0100)
+        assert COMP.decompress_spatial(lower) == (0x40_0000, 0x40_0100)
+
+    def test_unaligned_bound_rounds_up(self):
+        """Odd sizes round the bound up to the 8-byte grid (never down,
+        or legal accesses to the last bytes would trap)."""
+        lower = COMP.compress_spatial(0x40_0000, 0x40_0005)
+        base, bound = COMP.decompress_spatial(lower)
+        assert base == 0x40_0000
+        assert bound == 0x40_0008
+
+    def test_unaligned_base_rounds_down(self):
+        lower = COMP.compress_spatial(0x40_0003, 0x40_0010)
+        base, bound = COMP.decompress_spatial(lower)
+        assert base == 0x40_0000
+        assert bound >= 0x40_0010
+
+    def test_slack_is_the_cwe122_mechanism(self):
+        """Sub-alignment overflow room — why HWST128 trails SBCETS on
+        some CWE122 cases (Section 5.2)."""
+        assert COMP.spatial_slack(0x40_0000, 0x40_0100) == 0
+        assert COMP.spatial_slack(0x40_0000, 0x40_0101) == 7
+
+    def test_null_metadata_compresses_to_zero(self):
+        assert COMP.compress_spatial(0, 0) == 0
+        assert COMP.decompress_spatial(0) == (0, 0)
+
+    def test_bound_before_base_rejected(self):
+        with pytest.raises(MetadataRangeError):
+            COMP.compress_spatial(0x100, 0x80)
+
+    def test_range_overflow_rejected(self):
+        huge = HwstConfig(widths=FieldWidths(base=60, range=4,
+                                             lock=20, key=44))
+        comp = MetadataCompressor(huge)
+        with pytest.raises(MetadataRangeError):
+            comp.compress_spatial(0, 1 << 10)
+
+    @given(st.integers(min_value=0, max_value=(1 << 24) - 8),
+           st.integers(min_value=0, max_value=(1 << 16)))
+    def test_compressed_region_always_covers(self, base, size):
+        """Compression must over-approximate: the decompressed region
+        always contains the original one."""
+        bound = base + size
+        lower = COMP.compress_spatial(base, bound)
+        c_base, c_bound = COMP.decompress_spatial(lower)
+        assert c_base <= base
+        assert c_bound >= bound
+        assert c_base % 8 == 0 and c_bound % 8 == 0
+        assert base - c_base < 8
+        assert c_bound - bound < 8 + 8  # base shift can add one grid step
+
+
+class TestTemporalCompression:
+    def test_roundtrip(self):
+        lock = CONFIG.lock_base + 8 * 1234
+        upper = COMP.compress_temporal(key=99, lock=lock)
+        assert COMP.decompress_temporal(upper) == (99, lock)
+
+    def test_null_lock(self):
+        upper = COMP.compress_temporal(key=0, lock=0)
+        assert COMP.decompress_temporal(upper) == (0, 0)
+
+    def test_lock_outside_table_rejected(self):
+        with pytest.raises(MetadataRangeError):
+            COMP.compress_temporal(key=1, lock=CONFIG.lock_base - 8)
+
+    def test_misaligned_lock_rejected(self):
+        with pytest.raises(MetadataRangeError):
+            COMP.compress_temporal(key=1, lock=CONFIG.lock_base + 3)
+
+    def test_key_overflow_rejected(self):
+        with pytest.raises(MetadataRangeError):
+            COMP.compress_temporal(key=1 << 44, lock=0)
+
+    def test_lock_index_overflow_rejected(self):
+        with pytest.raises(MetadataRangeError):
+            COMP.compress_temporal(key=1,
+                                   lock=CONFIG.lock_base + 8 * ((1 << 20) - 1))
+
+    @given(st.integers(min_value=0, max_value=(1 << 44) - 1),
+           st.integers(min_value=0, max_value=1_000_000 - 1))
+    def test_temporal_roundtrip_property(self, key, lock_index):
+        lock = CONFIG.lock_base + 8 * lock_index
+        upper = COMP.compress_temporal(key, lock)
+        assert COMP.decompress_temporal(upper) == (key, lock)
+
+
+class TestFullRecords:
+    def test_roundtrip_record(self):
+        meta = PointerMetadata(base=0x40_0000, bound=0x40_0800,
+                               key=77, lock=CONFIG.lock_base + 8 * 7)
+        packed = COMP.compress(meta)
+        assert isinstance(packed, CompressedMetadata)
+        assert COMP.decompress(packed) == meta
+
+    def test_halves_are_64bit(self):
+        meta = PointerMetadata(base=0x40_0000, bound=0x40_0800,
+                               key=(1 << 44) - 1,
+                               lock=CONFIG.lock_base)
+        packed = COMP.compress(meta)
+        assert 0 <= packed.lower < (1 << 64)
+        assert 0 <= packed.upper < (1 << 64)
+
+    def test_null_record(self):
+        packed = COMP.compress(NULL_METADATA)
+        assert packed.lower == 0 and packed.upper == 0
+
+    def test_compressed_metadata_validates(self):
+        with pytest.raises(ValueError):
+            CompressedMetadata(lower=1 << 64, upper=0)
+
+
+class TestPointerMetadata:
+    def test_spatial_validity(self):
+        meta = PointerMetadata(base=100, bound=200)
+        assert meta.spatially_valid(100, 1)
+        assert meta.spatially_valid(199, 1)
+        assert meta.spatially_valid(192, 8)
+        assert not meta.spatially_valid(99, 1)
+        assert not meta.spatially_valid(200, 1)
+        assert not meta.spatially_valid(193, 8)
+
+    def test_size(self):
+        assert PointerMetadata(base=16, bound=48).size == 32
+
+    def test_null(self):
+        assert NULL_METADATA.is_null()
+        assert not NULL_METADATA.spatially_valid(0, 1)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PointerMetadata(base=10, bound=5)
+
+    def test_with_halves(self):
+        meta = PointerMetadata(base=0, bound=8)
+        temporal = meta.with_temporal(key=5, lock=0x1000_0000)
+        assert temporal.base == 0 and temporal.key == 5
+        spatial = temporal.with_spatial(base=8, bound=24)
+        assert spatial.key == 5 and spatial.size == 16

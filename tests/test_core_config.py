@@ -1,0 +1,104 @@
+"""Tests for HwstConfig and the Eq. 3-6 field width derivation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import (
+    FieldWidths, HwstConfig, derive_field_widths, SRF_BITS,
+)
+
+
+class TestFieldWidths:
+    def test_paper_layout(self):
+        """Fig. 2: 35-bit base, 29-bit range, 20-bit lock, 44-bit key."""
+        widths = FieldWidths()
+        assert (widths.base, widths.range, widths.lock, widths.key) == \
+            (35, 29, 20, 44)
+        assert widths.total == SRF_BITS
+
+    def test_halves_must_pack(self):
+        with pytest.raises(ValueError):
+            FieldWidths(base=35, range=30, lock=20, key=44)
+        with pytest.raises(ValueError):
+            FieldWidths(base=35, range=29, lock=21, key=44)
+
+    def test_positive_widths(self):
+        with pytest.raises(ValueError):
+            FieldWidths(base=0, range=64, lock=20, key=44)
+
+    def test_max_values(self):
+        widths = FieldWidths()
+        assert widths.max_base() == ((1 << 35) - 1) << 3
+        assert widths.max_range() == ((1 << 29) - 1) << 3
+        assert widths.max_locks() == 1 << 20
+
+
+class TestDerivation:
+    def test_paper_parameters(self):
+        """256 GiB memory + 1 M locks reproduce the paper's 35/29/20/44."""
+        widths = derive_field_widths(256 << 30, 1 << 28, 1_000_000)
+        assert (widths.base, widths.range, widths.lock, widths.key) == \
+            (35, 29, 20, 44)
+
+    def test_spec_minimum_range(self):
+        """Paper: at least 25 range bits are needed for SPEC2006."""
+        widths = derive_field_widths(256 << 30, 1 << 28, 1_000_000)
+        assert widths.range >= 25
+
+    def test_small_platform(self):
+        widths = derive_field_widths(1 << 24, 1 << 16, 1 << 10)
+        assert widths.base == 21
+        assert widths.range == 43
+        assert widths.lock == 10
+        assert widths.key == 54
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            derive_field_widths(0, 1, 1)
+        with pytest.raises(ValueError):
+            derive_field_widths(1 << 30, -5, 1)
+
+    def test_rejects_oversized_spatial(self):
+        with pytest.raises(ValueError):
+            derive_field_widths(1 << 62, 1 << 40, 16)
+
+    @given(st.integers(min_value=20, max_value=45),
+           st.integers(min_value=4, max_value=24),
+           st.integers(min_value=1, max_value=24))
+    def test_derivation_always_packs(self, mem_bits, obj_bits, lock_bits):
+        widths = derive_field_widths(1 << mem_bits, 1 << obj_bits,
+                                     1 << lock_bits)
+        assert widths.total == SRF_BITS
+        assert widths.base + widths.range == 64
+        assert widths.lock + widths.key == 64
+        # Derived widths must actually cover the inputs.
+        assert widths.max_base() + 8 > (1 << mem_bits) - 8
+        assert widths.max_range() >= (1 << obj_bits) - 8
+        assert widths.max_locks() >= 1 << lock_bits
+
+
+class TestHwstConfig:
+    def test_defaults_consistent(self):
+        config = HwstConfig()
+        assert config.lock_limit == config.lock_base + 8 * config.lock_entries
+        assert config.shadow_top == config.shadow_offset + (config.user_top << 2)
+
+    def test_shadow_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            HwstConfig(user_top=0x2000_0000, shadow_offset=0x1000_0000)
+
+    def test_too_many_locks_rejected(self):
+        with pytest.raises(ValueError):
+            HwstConfig(lock_entries=1 << 21)  # exceeds 20 lock bits
+
+    def test_csr_width_packing_roundtrip(self):
+        from repro.isa import csr
+
+        packed = csr.pack_meta_widths(35, 29, 20, 44)
+        assert csr.unpack_meta_widths(packed) == (35, 29, 20, 44)
+
+    def test_csr_width_overflow(self):
+        from repro.isa import csr
+
+        with pytest.raises(ValueError):
+            csr.pack_meta_widths(64, 29, 20, 44)

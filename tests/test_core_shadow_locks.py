@@ -1,0 +1,176 @@
+"""Tests for the linear-mapped shadow memory (Eq. 1) and lock allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.compression import CompressedMetadata, MetadataCompressor
+from repro.core.config import HwstConfig
+from repro.core.locks import LockAllocator, LockTableFull
+from repro.core.shadow import ShadowMap
+from repro.errors import MemoryFault, ReproError
+from repro.sim.memory import Memory
+
+CONFIG = HwstConfig()
+
+
+def make_memory() -> Memory:
+    memory = Memory()
+    memory.map_region(0, CONFIG.user_top, "user")
+    memory.map_region(CONFIG.shadow_offset,
+                      CONFIG.shadow_top - CONFIG.shadow_offset, "shadow")
+    return memory
+
+
+class TestShadowMap:
+    def setup_method(self):
+        self.shadow = ShadowMap.from_config(CONFIG)
+
+    def test_eq1_mapping(self):
+        """Addr_LMSM = (Addr_container << 2) + CSR_offset."""
+        assert self.shadow.shadow_addr(0x40_0000) == \
+            (0x40_0000 << 2) + CONFIG.shadow_offset
+
+    def test_halves_are_adjacent(self):
+        container = 0x40_0008
+        assert self.shadow.upper_addr(container) == \
+            self.shadow.lower_addr(container) + 8
+
+    def test_distinct_containers_never_collide(self):
+        a = self.shadow.shadow_addr(0x40_0000)
+        b = self.shadow.shadow_addr(0x40_0008)
+        assert b - a == 32  # 8-byte container -> 32-byte shadow span
+
+    def test_out_of_user_space_rejected(self):
+        with pytest.raises(MemoryFault):
+            self.shadow.shadow_addr(CONFIG.user_top)
+
+    def test_is_shadow_addr(self):
+        assert self.shadow.is_shadow_addr(CONFIG.shadow_offset)
+        assert not self.shadow.is_shadow_addr(CONFIG.shadow_offset - 1)
+        assert not self.shadow.is_shadow_addr(0x40_0000)
+
+    def test_container_of_inverse(self):
+        container = 0x0042_1238
+        assert self.shadow.container_of(
+            self.shadow.shadow_addr(container)) == container
+
+    def test_container_of_rejects_user_addr(self):
+        with pytest.raises(MemoryFault):
+            self.shadow.container_of(0x40_0000)
+
+    @given(st.integers(min_value=0, max_value=CONFIG.user_top // 8 - 1))
+    def test_mapping_is_injective(self, index):
+        container = index * 8
+        addr = self.shadow.shadow_addr(container)
+        assert self.shadow.is_shadow_addr(addr)
+        assert self.shadow.container_of(addr) == container
+
+    def test_store_load_roundtrip(self):
+        memory = make_memory()
+        packed = CompressedMetadata(lower=0xDEAD_BEEF, upper=0xCAFE_F00D)
+        self.shadow.store(memory, 0x40_0010, packed)
+        assert self.shadow.load(memory, 0x40_0010) == packed
+
+    def test_clear(self):
+        memory = make_memory()
+        packed = CompressedMetadata(lower=1, upper=2)
+        self.shadow.store(memory, 0x40_0010, packed)
+        self.shadow.clear(memory, 0x40_0010)
+        cleared = self.shadow.load(memory, 0x40_0010)
+        assert cleared.lower == 0 and cleared.upper == 0
+
+    def test_untouched_slot_reads_zero(self):
+        memory = make_memory()
+        packed = self.shadow.load(memory, 0x40_0020)
+        assert packed.lower == 0 and packed.upper == 0
+
+
+class TestLockAllocator:
+    def test_keys_are_unique_and_monotonic(self):
+        allocator = LockAllocator(CONFIG)
+        seen = set()
+        for _ in range(100):
+            _, key = allocator.allocate()
+            assert key not in seen
+            seen.add(key)
+
+    def test_free_erases_key(self):
+        memory = make_memory()
+        allocator = LockAllocator(CONFIG, memory)
+        lock, key = allocator.allocate()
+        assert memory.load_u64(lock) == key
+        allocator.free(lock)
+        assert memory.load_u64(lock) == 0
+
+    def test_check_semantics(self):
+        memory = make_memory()
+        allocator = LockAllocator(CONFIG, memory)
+        lock, key = allocator.allocate()
+        assert allocator.check(key, lock)
+        allocator.free(lock)
+        assert not allocator.check(key, lock)
+
+    def test_recycled_lock_gets_fresh_key(self):
+        """A dangling pointer can never be revalidated by reuse."""
+        memory = make_memory()
+        allocator = LockAllocator(CONFIG, memory)
+        lock1, key1 = allocator.allocate()
+        allocator.free(lock1)
+        lock2, key2 = allocator.allocate()
+        assert lock2 == lock1          # recycled lock_location
+        assert key2 != key1            # but a different key
+        assert not allocator.check(key1, lock1)
+        assert allocator.check(key2, lock2)
+
+    def test_double_free_detected(self):
+        allocator = LockAllocator(CONFIG)
+        lock, _ = allocator.allocate()
+        allocator.free(lock)
+        with pytest.raises(ReproError):
+            allocator.free(lock)
+
+    def test_table_exhaustion(self):
+        small = HwstConfig(lock_entries=4)
+        allocator = LockAllocator(small)
+        for _ in range(4):
+            allocator.allocate()
+        with pytest.raises(LockTableFull):
+            allocator.allocate()
+
+    def test_null_lock_never_checks(self):
+        allocator = LockAllocator(CONFIG)
+        assert not allocator.check(5, 0)
+
+    def test_stats(self):
+        allocator = LockAllocator(CONFIG)
+        locks = [allocator.allocate()[0] for _ in range(5)]
+        for lock in locks[:2]:
+            allocator.free(lock)
+        assert allocator.stats_allocs == 5
+        assert allocator.stats_frees == 2
+        assert allocator.stats_max_live == 5
+        assert allocator.live_count == 3
+
+    def test_reset(self):
+        allocator = LockAllocator(CONFIG)
+        allocator.allocate()
+        allocator.reset()
+        assert allocator.live_count == 0
+        assert allocator.stats_allocs == 0
+        _, key = allocator.allocate()
+        assert key == 1
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_live_set_invariant(self, operations):
+        """Property: keys of live locks are always distinct and non-zero."""
+        allocator = LockAllocator(CONFIG)
+        live = []
+        for do_alloc in operations:
+            if do_alloc or not live:
+                live.append(allocator.allocate())
+            else:
+                lock, _ = live.pop()
+                allocator.free(lock)
+            keys = [key for _, key in live]
+            assert len(set(keys)) == len(keys)
+            assert all(key != 0 for key in keys)

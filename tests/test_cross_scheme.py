@@ -1,0 +1,56 @@
+"""Cross-scheme functional equivalence on real workloads.
+
+The foundation of every performance figure: all schemes must compute
+the same thing. A representative workload subset runs under every
+scheme; outputs and exit codes must match the baseline exactly.
+"""
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.schemes import scheme_names
+
+WORKLOAD_SUBSET = ("sha", "treeadd", "hmmer", "gobmk")
+SCHEMES = [s for s in scheme_names() if s != "baseline"]
+
+_baseline_cache = {}
+
+
+def baseline(name):
+    if name not in _baseline_cache:
+        _baseline_cache[name] = run_workload(
+            name, "baseline", scale="small", timing=False,
+            max_instructions=30_000_000)
+    return _baseline_cache[name]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("name", WORKLOAD_SUBSET)
+def test_scheme_preserves_workload_semantics(name, scheme):
+    base = baseline(name)
+    assert base.ok
+    run = run_workload(name, scheme, scale="small", timing=False,
+                       max_instructions=120_000_000)
+    assert run.status == "exit", (name, scheme, run.status, run.detail)
+    assert run.exit_code == 0, (name, scheme)
+    assert run.output == base.output, (name, scheme)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_SUBSET)
+def test_instrumentation_cost_ordering(name):
+    """Instruction-count sanity: software schemes execute far more
+    instructions than hardware schemes on the same workload."""
+    sbcets = run_workload(name, "sbcets", scale="small", timing=False,
+                          max_instructions=120_000_000)
+    hwst = run_workload(name, "hwst128_tchk", scale="small",
+                        timing=False, max_instructions=120_000_000)
+    base = baseline(name)
+    assert sbcets.instret > hwst.instret > base.instret
+
+
+def test_timing_determinism():
+    """Same workload, same scheme, twice: identical cycle counts."""
+    first = run_workload("treeadd", "hwst128_tchk", scale="small")
+    second = run_workload("treeadd", "hwst128_tchk", scale="small")
+    assert first.cycles == second.cycles
+    assert first.instret == second.instret

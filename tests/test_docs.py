@@ -1,0 +1,118 @@
+"""Documentation consistency checks."""
+
+import pathlib
+import re
+
+from repro.isa.instructions import SPEC_TABLE
+from repro.schemes import SCHEMES
+from repro.workloads import WORKLOADS
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def read(name):
+    return (ROOT / name).read_text()
+
+
+class TestIsaReference:
+    def test_every_mnemonic_documented(self):
+        doc = read("docs/isa.md")
+        for mnemonic in SPEC_TABLE:
+            assert mnemonic in doc, f"{mnemonic} missing from docs/isa.md"
+
+    def test_no_phantom_hwst_mnemonics(self):
+        """Every backtick-quoted hwst-looking mnemonic in the doc
+        exists in the spec table."""
+        doc = read("docs/isa.md")
+        for match in re.findall(r"`(\w+\.chk|bndr[st]|tchk|sbd[lu]|"
+                                r"lbd[lu]s|lbas|lbnd|lkey|lloc|bndc[lu]|"
+                                r"bndldx|bndstx|vld256|vst256|vchk)[ ,`]",
+                                doc):
+            assert match in SPEC_TABLE, match
+
+    def test_csr_addresses_match(self):
+        from repro.isa import csr
+
+        doc = read("docs/isa.md")
+        for addr, name in ((csr.HWST_SM_OFFSET, "hwst.sm.offset"),
+                           (csr.HWST_META_WIDTHS, "hwst.meta.widths"),
+                           (csr.HWST_LOCK_BASE, "hwst.lock.base"),
+                           (csr.HWST_LOCK_LIMIT, "hwst.lock.limit")):
+            assert f"{addr:#x}" in doc.lower()
+            assert name in doc
+
+
+class TestDesignDoc:
+    def test_design_lists_every_bench(self):
+        design = read("DESIGN.md")
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert bench.name in design, \
+                f"{bench.name} not in the DESIGN.md experiment index"
+
+    def test_design_mentions_all_schemes(self):
+        design = read("DESIGN.md")
+        for name in ("sbcets", "hwst128", "bogo", "wdl", "asan", "gcc"):
+            assert name in design
+
+
+class TestReadme:
+    def test_readme_examples_exist(self):
+        readme = read("README.md")
+        for line in readme.splitlines():
+            match = re.match(r"python (examples/\w+\.py)", line.strip())
+            if match:
+                assert (ROOT / match.group(1)).exists(), match.group(1)
+
+    def test_readme_mentions_experiments_cli(self):
+        assert "repro.harness.experiments" in read("README.md")
+
+
+class TestExperimentsDoc:
+    def test_every_figure_covered(self):
+        experiments = read("EXPERIMENTS.md")
+        for artefact in ("FIG2", "FIG4", "FIG5", "FIG6", "TAB-HW",
+                         "ABL-KB", "ABL-COMP", "ABL-LMSM"):
+            assert artefact in experiments, artefact
+
+    def test_paper_headline_numbers_present(self):
+        experiments = read("EXPERIMENTS.md")
+        for headline in ("441.45", "152.91", "94.89", "3.74",
+                         "11.20", "58.08", "64.49", "63.63",
+                         "1536", "112", "6.45"):
+            assert headline in experiments, headline
+
+
+class TestDocstrings:
+    def test_public_modules_have_docstrings(self):
+        import importlib
+
+        for module_name in (
+            "repro", "repro.bits", "repro.errors",
+            "repro.isa", "repro.isa.instructions", "repro.isa.encoding",
+            "repro.isa.asm", "repro.isa.csr", "repro.isa.registers",
+            "repro.core", "repro.core.compression", "repro.core.shadow",
+            "repro.core.locks", "repro.core.config", "repro.core.metadata",
+            "repro.sim", "repro.sim.machine", "repro.sim.memory",
+            "repro.sim.keybuffer", "repro.sim.program",
+            "repro.pipeline", "repro.pipeline.timing",
+            "repro.pipeline.cache", "repro.pipeline.hwcost",
+            "repro.minic", "repro.minic.lexer", "repro.minic.parser",
+            "repro.minic.sema", "repro.minic.types",
+            "repro.ir", "repro.ir.ir", "repro.ir.irgen",
+            "repro.ir.instrument", "repro.ir.verify",
+            "repro.codegen", "repro.codegen.lower", "repro.codegen.link",
+            "repro.codegen.runtime",
+            "repro.schemes", "repro.schemes.compile",
+            "repro.workloads", "repro.workloads.juliet",
+            "repro.harness", "repro.harness.runner",
+            "repro.harness.coverage", "repro.harness.experiments",
+            "repro.cli",
+        ):
+            module = importlib.import_module(module_name)
+            assert module.__doc__, f"{module_name} lacks a docstring"
+
+    def test_schemes_and_workloads_described(self):
+        for spec in SCHEMES.values():
+            assert spec.description
+        for workload in WORKLOADS.values():
+            assert workload.description

@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.stem} produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "memory_safety_demo", "overhead_analysis",
+            "metadata_compression", "juliet_explorer",
+            "isa_tour"} <= names

@@ -1,0 +1,145 @@
+"""Tests for the experiment harness (Eq. 7/8 math, coverage, figures)."""
+
+import pytest
+
+from repro.harness.coverage import CoverageResult, evaluate_coverage
+from repro.harness.experiments import (
+    abl_compression, abl_keybuffer, abl_shadow_map,
+    fig2_compression, fig4_overhead, fig5_speedup, hwcost_table,
+)
+from repro.harness.runner import (
+    detected, perf_overhead_pct, run_workload, speedup,
+)
+from repro.sim.machine import RunResult
+from repro.workloads.juliet import generate_corpus
+
+
+class TestMath:
+    def test_eq7_perf_overhead(self):
+        assert perf_overhead_pct(200, 100) == pytest.approx(100.0)
+        assert perf_overhead_pct(100, 100) == pytest.approx(0.0)
+        assert perf_overhead_pct(541, 100) == pytest.approx(441.0)
+
+    def test_eq7_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            perf_overhead_pct(100, 0)
+
+    def test_eq8_speedup(self):
+        assert speedup(374, 100) == pytest.approx(3.74)
+
+    def test_eq8_rejects_zero(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+
+class TestDetectionClassification:
+    def _result(self, status, detail=""):
+        return RunResult(status=status, detail=detail)
+
+    def test_pointer_schemes(self):
+        for scheme in ("sbcets", "hwst128", "hwst128_tchk", "bogo",
+                       "wdl_narrow", "wdl_wide"):
+            assert detected(scheme, self._result("spatial_violation"))
+            assert detected(scheme, self._result("temporal_violation"))
+            assert not detected(scheme, self._result("memory_fault"))
+            assert not detected(scheme, self._result("exit"))
+
+    def test_asan_counts_segv_reports(self):
+        assert detected("asan", self._result("abort", "asan-report"))
+        assert detected("asan", self._result("memory_fault"))
+        assert not detected("asan", self._result("abort", "other"))
+        assert not detected("asan", self._result("exit"))
+
+    def test_gcc_only_counts_canary(self):
+        assert detected("gcc", self._result(
+            "abort", "stack-smashing-detected"))
+        assert not detected("gcc", self._result("memory_fault"))
+        assert not detected("gcc", self._result("spatial_violation"))
+
+    def test_baseline_never_detects(self):
+        assert not detected("baseline", self._result("memory_fault"))
+        assert not detected("baseline", self._result("abort"))
+
+
+class TestCoverage:
+    def test_tiny_corpus_evaluation(self):
+        cases = generate_corpus(fraction=1.0, max_per_subtype=1,
+                                cwes=[415, 476])
+        results = evaluate_coverage(["hwst128_tchk", "gcc"],
+                                    cases=cases)
+        hwst = results["hwst128_tchk"]
+        assert hwst.total == len(cases)
+        assert hwst.coverage_pct == 100.0   # both CWEs fully detectable
+        assert results["gcc"].coverage_pct == 0.0
+
+    def test_per_cwe_breakdown(self):
+        cases = generate_corpus(fraction=1.0, max_per_subtype=1,
+                                cwes=[476])
+        results = evaluate_coverage(["sbcets"], cases=cases)
+        assert results["sbcets"].cwe_coverage_pct(476) == 100.0
+
+    def test_good_variant_checking(self):
+        cases = generate_corpus(fraction=1.0, max_per_subtype=1,
+                                cwes=[415])
+        results = evaluate_coverage(["hwst128_tchk"], cases=cases,
+                                    check_good=True)
+        assert results["hwst128_tchk"].failures == []
+
+    def test_coverage_result_empty(self):
+        result = CoverageResult(scheme="x")
+        assert result.coverage_pct == 0.0
+        assert result.cwe_coverage_pct(121) == 0.0
+
+
+class TestExperiments:
+    def test_fig2_small(self):
+        data = fig2_compression(scale="small",
+                                workloads=["treeadd", "sha"])
+        assert data["paper_platform"] == {"base": 35, "range": 29,
+                                          "lock": 20, "key": 44}
+        assert data["census"]["max_object_bytes"] > 0
+        assert data["census"]["lock_locations_used"] > 0
+
+    def test_fig4_small(self):
+        data = fig4_overhead(scale="small", workloads=["treeadd"])
+        row = data["rows"][0]
+        assert row["sbcets"] > row["hwst128"] > 0
+        assert data["geomean"]["sbcets"] > 0
+
+    def test_fig5_small(self):
+        data = fig5_speedup(scale="small", workloads=["hmmer"])
+        row = data["rows"][0]
+        assert row["hwst128_tchk"] > 1.0
+
+    def test_hwcost(self):
+        data = hwcost_table()
+        assert data["added_luts"] == pytest.approx(1536, rel=0.05)
+        assert data["added_ffs"] == pytest.approx(112, rel=0.10)
+
+    def test_abl_keybuffer_small(self):
+        data = abl_keybuffer(sizes=(0, 8), workloads=("hmmer",),
+                             scale="small")
+        rows = {row["entries"]: row for row in data["rows"]}
+        assert rows[8]["hmmer"]["cycles"] < rows[0]["hmmer"]["cycles"]
+
+    def test_abl_compression_small(self):
+        data = abl_compression(workloads=("tsp",), scale="small")
+        row = data["rows"][0]
+        assert row["uncompressed_shadow_bytes"] > \
+            row["compressed_shadow_bytes"]
+
+    def test_abl_shadow_small(self):
+        data = abl_shadow_map(workloads=("tsp",), scale="small")
+        row = data["rows"][0]
+        assert row["trie_oh"] > row["linear_oh"]
+
+
+class TestWorkloadRunner:
+    def test_run_workload_by_name(self):
+        result = run_workload("treeadd", "baseline", scale="small",
+                              timing=False)
+        assert result.ok
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            run_workload("notathing", "baseline")

@@ -1,0 +1,84 @@
+"""Additional coverage-harness tests: sampling stability and tables."""
+
+import pytest
+
+from repro.harness.coverage import (
+    PAPER_COVERAGE, CoverageResult, coverage_table, evaluate_coverage,
+)
+from repro.workloads.juliet import generate_corpus
+
+
+class TestSamplingStability:
+    def test_same_fraction_same_cases(self):
+        a = generate_corpus(fraction=0.01)
+        b = generate_corpus(fraction=0.01)
+        assert [c.case_id for c in a] == [c.case_id for c in b]
+
+    def test_larger_fraction_is_superset(self):
+        small = {c.case_id for c in generate_corpus(fraction=0.01)}
+        large = {c.case_id for c in generate_corpus(fraction=0.02)}
+        assert small <= large
+
+    def test_subtype_shares_preserved(self):
+        """Stratified sampling keeps the hwst-gap share near 0.86 %."""
+        sample = generate_corpus(fraction=0.05)
+        odd = sum(1 for c in sample if c.subtype == "odd_off_by_one")
+        share = 100.0 * odd / len(sample)
+        assert 0.3 < share < 1.6
+
+
+class TestCoverageAggregation:
+    def test_record_accumulates(self):
+        from repro.workloads.juliet.generator import _build_case
+
+        result = CoverageResult(scheme="x")
+        case_a = _build_case(121, "loop_to_canary", 0)
+        case_b = _build_case(415, "double_free", 0)
+        result.record(case_a, True)
+        result.record(case_b, False)
+        assert result.total == 2
+        assert result.detected == 1
+        assert result.coverage_pct == pytest.approx(50.0)
+        assert result.cwe_coverage_pct(121) == 100.0
+        assert result.cwe_coverage_pct(415) == 0.0
+
+    def test_table_includes_paper_reference(self):
+        result = CoverageResult(scheme="sbcets")
+        text = coverage_table({"sbcets": result})
+        assert "64.49" in text
+
+    def test_paper_reference_values(self):
+        assert PAPER_COVERAGE == {"gcc": 11.20, "asan": 58.08,
+                                  "sbcets": 64.49,
+                                  "hwst128_tchk": 63.63}
+
+
+class TestMiniEvaluation:
+    def test_cwe_761_families(self):
+        """Free-offset cases: temporal schemes + asan catch, gcc not."""
+        cases = generate_corpus(fraction=1.0, max_per_subtype=2,
+                                cwes=[761])
+        results = evaluate_coverage(
+            ["hwst128_tchk", "asan", "gcc"], cases=cases)
+        assert results["hwst128_tchk"].coverage_pct == 100.0
+        assert results["asan"].coverage_pct == 100.0
+        assert results["gcc"].coverage_pct == 0.0
+
+    def test_cwe_690_asan_blindspot(self):
+        cases = generate_corpus(fraction=1.0, max_per_subtype=3,
+                                cwes=[690])
+        results = evaluate_coverage(["asan", "sbcets"], cases=cases)
+        assert results["asan"].coverage_pct == 0.0
+        assert results["sbcets"].coverage_pct == 100.0
+
+    def test_cwe_122_hwst_gap_isolated(self):
+        """Only the odd_off_by_one subtype separates the two tools."""
+        cases = [c for c in generate_corpus(fraction=1.0,
+                                            max_per_subtype=2,
+                                            cwes=[122])]
+        results = evaluate_coverage(["sbcets", "hwst128_tchk"],
+                                    cases=cases)
+        diff = results["sbcets"].detected - \
+            results["hwst128_tchk"].detected
+        odd = sum(1 for c in cases if c.subtype == "odd_off_by_one")
+        assert diff == odd

@@ -1,0 +1,250 @@
+"""IR-level tests for the instrumentation passes.
+
+These look at the rewritten IR directly (no execution): which metadata
+operations each pass inserts, where, and how the frame changes.
+"""
+
+import pytest
+
+from repro.core.config import HwstConfig
+from repro.ir import ir as irdef
+from repro.ir.instrument import instrument_module
+from repro.ir.irgen import lower_unit
+from repro.ir.verify import verify_module
+from repro.minic import analyze, parse
+
+POINTER_PROGRAM = """
+long get(long *p, long i) {
+    return p[i];
+}
+int main(void) {
+    long *data = (long*)malloc(4 * sizeof(long));
+    long local[4];
+    data[0] = 5;
+    local[1] = 6;
+    long v = get(data, 0);
+    free(data);
+    return (int)v;
+}
+"""
+
+
+def build(pass_name, source=POINTER_PROGRAM):
+    module = lower_unit(analyze(parse(source)))
+    instrument_module(module, pass_name, HwstConfig())
+    verify_module(module)
+    return module
+
+
+def ops_of(module, fn_name, op_type):
+    fn = module.functions[fn_name]
+    return [ins for blk in fn.blocks for ins in blk.instrs
+            if isinstance(ins, op_type)]
+
+
+def calls_to(module, fn_name, callee):
+    return [ins for ins in ops_of(module, fn_name, irdef.Call)
+            if ins.name == callee]
+
+
+class TestHwstPass:
+    def test_verifies_after_rewrite(self):
+        build("hwst128_tchk")
+
+    def test_checked_flags_set(self):
+        module = build("hwst128_tchk")
+        checked = [ins for ins in ops_of(module, "main", irdef.Load)
+                   if ins.checked]
+        checked += [ins for ins in ops_of(module, "main", irdef.Store)
+                    if ins.checked]
+        assert checked, "no fused-check accesses emitted"
+
+    def test_tchk_emitted_for_heap_derefs(self):
+        module = build("hwst128_tchk")
+        assert ops_of(module, "get", irdef.HwTchk)
+
+    def test_no_tchk_variant_uses_meta_gpr_loads(self):
+        module = build("hwst128")
+        assert not ops_of(module, "get", irdef.HwTchk)
+        assert ops_of(module, "get", irdef.HwMetaGpr)
+        assert ops_of(module, "get", irdef.TrapIf)
+
+    def test_propagation_on_pointer_loads(self):
+        module = build("hwst128_tchk")
+        lbds = ops_of(module, "main", irdef.HwLbds)
+        assert lbds, "pointer loads must pull metadata into the SRF"
+
+    def test_propagation_on_pointer_stores(self):
+        module = build("hwst128_tchk")
+        sbd = ops_of(module, "main", irdef.HwSbd)
+        assert sbd, "pointer stores must push metadata to shadow"
+
+    def test_malloc_site_binds(self):
+        module = build("hwst128_tchk")
+        assert ops_of(module, "main", irdef.HwBndrs)
+        assert ops_of(module, "main", irdef.HwBndrt)
+        assert calls_to(module, "main", "__lock_alloc")
+
+    def test_free_site_checks_and_releases_lock(self):
+        module = build("hwst128_tchk")
+        assert calls_to(module, "main", "__hwst_free_check")
+        assert calls_to(module, "main", "__lock_free")
+
+    def test_frame_lock_for_object_frames(self):
+        module = build("hwst128_tchk")
+        fn = module.functions["main"]   # has a local array
+        assert "__frame_lock" in fn.locals
+        assert "__frame_key" in fn.locals
+        # every return path frees it
+        rets = ops_of(module, "main", irdef.Ret)
+        frees = calls_to(module, "main", "__lock_free")
+        assert len(frees) >= len(rets)
+
+    def test_no_frame_lock_without_objects(self):
+        module = build("hwst128_tchk", """
+        int main(void) { int a = 1; return a; }""")
+        assert "__frame_lock" not in module.functions["main"].locals
+
+    def test_wrapper_range_probe_for_memcpy(self):
+        module = build("hwst128_tchk", """
+        int main(void) {
+            char *d = (char*)malloc(8);
+            char *s = (char*)malloc(8);
+            memcpy(d, s, 8);
+            free(s);
+            free(d);
+            return 0;
+        }""")
+        probes = [ins for ins in ops_of(module, "main", irdef.Load)
+                  if ins.checked and ins.size == 1]
+        assert len(probes) >= 4  # first+last byte of both buffers
+
+
+class TestSbcetsPass:
+    def test_metadata_calls_inserted(self):
+        module = build("sbcets")
+        assert calls_to(module, "get", "__sb_mload")
+        assert calls_to(module, "main", "__sb_mstore")
+
+    def test_checks_are_inline(self):
+        module = build("sbcets")
+        assert ops_of(module, "get", irdef.TrapIf)
+
+    def test_shadow_stack_for_pointer_args(self):
+        module = build("sbcets")
+        assert calls_to(module, "main", "__sb_ss_push")
+        assert calls_to(module, "get", "__sb_ss_pop")
+
+    def test_no_hw_ops_in_software_scheme(self):
+        module = build("sbcets")
+        for fn_name in module.functions:
+            assert not ops_of(module, fn_name, irdef.HwLbds)
+            assert not ops_of(module, fn_name, irdef.HwTchk)
+
+    def test_pointer_return_pushes_metadata(self):
+        module = build("sbcets", """
+        long *mk(void) { return (long*)malloc(8); }
+        int main(void) {
+            long *p = mk();
+            free(p);
+            return 0;
+        }""")
+        assert calls_to(module, "mk", "__sb_ss_pushret")
+        assert calls_to(module, "main", "__sb_ss_popret")
+
+
+class TestBogoPass:
+    def test_mpx_ops(self):
+        module = build("bogo")
+        assert ops_of(module, "get", irdef.MpxBndcl)
+        assert ops_of(module, "get", irdef.MpxBndcu)
+        assert ops_of(module, "get", irdef.MpxBndldx)
+
+    def test_free_rewritten_to_scan(self):
+        module = build("bogo")
+        assert calls_to(module, "main", "__bogo_free")
+        assert not calls_to(module, "main", "free")
+
+    def test_registry_updates_on_pointer_store(self):
+        module = build("bogo")
+        assert calls_to(module, "main", "__bogo_reg")
+
+    def test_no_temporal_machinery(self):
+        module = build("bogo")
+        assert not calls_to(module, "main", "__lock_alloc")
+        assert "__frame_lock" not in module.functions["main"].locals
+
+
+class TestWdlPasses:
+    def test_narrow_uses_wdl_runtime(self):
+        module = build("wdl_narrow")
+        assert calls_to(module, "get", "__wdl_mload")
+
+    def test_wide_uses_vector_ops(self):
+        module = build("wdl_wide")
+        assert ops_of(module, "get", irdef.AvxVld)
+        assert ops_of(module, "get", irdef.AvxVchk)
+        assert ops_of(module, "main", irdef.AvxVst)
+
+
+class TestAsanPass:
+    def test_allocator_renamed(self):
+        module = build("asan")
+        assert calls_to(module, "main", "__asan_malloc")
+        assert calls_to(module, "main", "__asan_free")
+        assert not calls_to(module, "main", "malloc")
+
+    def test_checks_are_calls(self):
+        module = build("asan")
+        assert calls_to(module, "get", "__asan_check")
+
+    def test_stack_redzones_added(self):
+        module = build("asan")
+        fn = module.functions["main"]
+        redzones = [n for n in fn.locals if n.startswith("__rz")]
+        assert len(redzones) >= 2   # leading + trailing around `local`
+
+    def test_global_redzones_interleaved(self):
+        module = build("asan", """
+        int table[4] = {1, 2, 3, 4};
+        int main(void) { return table[0] - 1; }""")
+        assert any(n.startswith("__grz") for n in module.globals)
+
+
+class TestGccPass:
+    def test_canary_only_with_arrays(self):
+        module = build("gcc")
+        assert "__canary" in module.functions["main"].locals
+        assert "__canary" not in module.functions["get"].locals
+
+    def test_canary_checked_on_return(self):
+        module = build("gcc")
+        assert calls_to(module, "main", "__canary_check")
+
+    def test_no_pointer_instrumentation(self):
+        module = build("gcc")
+        assert not ops_of(module, "get", irdef.TrapIf)
+        assert not calls_to(module, "get", "__sb_mload")
+
+
+class TestProvenance:
+    def test_malloc_result_provenance(self):
+        module = lower_unit(analyze(parse(POINTER_PROGRAM)))
+        fn = module.functions["main"]
+        assert ("call", "malloc") in fn.prov.values()
+
+    def test_local_object_provenance(self):
+        module = lower_unit(analyze(parse(POINTER_PROGRAM)))
+        fn = module.functions["main"]
+        assert any(p == ("local", "local") for p in fn.prov.values())
+
+    def test_loaded_provenance(self):
+        module = lower_unit(analyze(parse(POINTER_PROGRAM)))
+        fn = module.functions["get"]
+        assert ("loaded", None) in fn.prov.values()
+
+    def test_null_provenance(self):
+        module = lower_unit(analyze(parse("""
+        int main(void) { long *p = (long*)0; return p == 0; }""")))
+        fn = module.functions["main"]
+        assert ("null", None) in fn.prov.values()

@@ -1,0 +1,164 @@
+"""Tests for the textual assembler/disassembler."""
+
+import pytest
+
+from repro.isa.asm import AsmError, assemble, disassemble
+from repro.isa.instructions import Instr
+from repro.schemes import compile_source
+from repro.sim.machine import Machine
+from repro.sim.program import Program
+from repro.sim.memory import DEFAULT_LAYOUT
+
+
+class TestAssembleBasics:
+    def test_r_type(self):
+        (ins,) = assemble("add t0, t1, t2")
+        assert (ins.op, ins.rd, ins.rs1, ins.rs2) == ("add", 5, 6, 7)
+
+    def test_i_type(self):
+        (ins,) = assemble("addi a0, zero, -42")
+        assert (ins.op, ins.rd, ins.imm) == ("addi", 10, -42)
+
+    def test_load_store_memory_operands(self):
+        load, store = assemble("ld t0, 16(sp)\nsd t0, -8(s0)")
+        assert (load.op, load.rd, load.rs1, load.imm) == ("ld", 5, 2, 16)
+        assert (store.op, store.rs2, store.rs1, store.imm) == \
+            ("sd", 5, 8, -8)
+
+    def test_hex_immediates(self):
+        (ins,) = assemble("andi t0, t0, 0xFF")
+        assert ins.imm == 0xFF
+
+    def test_x_register_names(self):
+        (ins,) = assemble("add x1, x2, x31")
+        assert (ins.rd, ins.rs1, ins.rs2) == (1, 2, 31)
+
+    def test_system_ops(self):
+        ops = assemble("ecall\nebreak\nfence")
+        assert [i.op for i in ops] == ["ecall", "ebreak", "fence"]
+
+    def test_csr(self):
+        (ins,) = assemble("csrrw zero, 0x800, t0")
+        assert (ins.op, ins.imm, ins.rs1) == ("csrrw", 0x800, 5)
+
+    def test_comments_and_blank_lines(self):
+        ops = assemble("""
+        # prologue
+        addi sp, sp, -16   # grow stack
+
+        ecall
+        """)
+        assert [i.op for i in ops] == ["addi", "ecall"]
+
+    def test_listing_address_prefix_ignored(self):
+        (ins,) = assemble("0x10000: addi t0, zero, 1")
+        assert ins.op == "addi"
+
+    def test_hwst_ops(self):
+        ops = assemble("""
+        bndrs t0, t1, t2
+        bndrt t0, t3, t4
+        tchk t0
+        sbdl t0, 0(s0)
+        lbdls t0, -24(s0)
+        ld.chk a0, 0(t0)
+        """)
+        assert [i.op for i in ops] == ["bndrs", "bndrt", "tchk", "sbdl",
+                                       "lbdls", "ld.chk"]
+        assert ops[2].rs1 == 5
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        ops = assemble("""
+        loop:
+            addi t0, t0, -1
+            bne t0, zero, loop
+        """)
+        assert ops[1].imm == -4
+
+    def test_forward_jump(self):
+        ops = assemble("""
+            jal zero, end
+            addi t0, zero, 1
+        end:
+            ecall
+        """)
+        assert ops[0].imm == 8
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmError):
+            assemble("jal zero, nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble("a:\na:\necall")
+
+    def test_numeric_target_kept_relative(self):
+        (ins,) = assemble("beq t0, t1, 8")
+        assert ins.imm == 8
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("frobnicate t0, t1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AsmError):
+            assemble("add t0, t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AsmError):
+            assemble("add t0, t1, t9")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmError):
+            assemble("ld t0, t1")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as err:
+            assemble("addi t0, zero, 1\nbogus t0")
+        assert err.value.line_no == 2
+
+
+class TestRoundTrips:
+    def test_disassemble_assemble_identity(self):
+        source = """
+        int sum(int n) {
+            int total = 0;
+            int i;
+            for (i = 1; i <= n; i++) { total += i; }
+            return total;
+        }
+        int main(void) { return sum(10) - 55; }
+        """
+        program = compile_source(source, "hwst128_tchk")
+        text = disassemble(program.instrs, base_pc=program.text_base,
+                           symbols=program.symbols)
+        rebuilt = assemble(text, base_pc=program.text_base)
+        assert len(rebuilt) == len(program.instrs)
+        for a, b in zip(program.instrs, rebuilt):
+            assert (a.op, a.rd, a.rs1, a.rs2, a.imm) == \
+                (b.op, b.rd, b.rs1, b.rs2, b.imm)
+
+    def test_assembled_program_executes(self):
+        """Hand-written assembly runs on the machine: sum 1..5 then
+        exit with the total."""
+        text = """
+        _start:
+            addi t0, zero, 5
+            addi a0, zero, 0
+        loop:
+            add a0, a0, t0
+            addi t0, t0, -1
+            bne t0, zero, loop
+            addi a7, zero, 93
+            ecall
+        """
+        instrs = assemble(text, base_pc=DEFAULT_LAYOUT.text_base)
+        program = Program(instrs=instrs,
+                          entry=DEFAULT_LAYOUT.text_base)
+        result = Machine().run(program)
+        assert result.status == "exit"
+        assert result.exit_code == 15

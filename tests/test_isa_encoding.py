@@ -1,0 +1,206 @@
+"""Encode/decode round-trip tests for the ISA, including HWST128 ops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IllegalInstruction
+from repro.isa.encoding import (
+    decode, decode_program, encode, encode_program,
+)
+from repro.isa.instructions import (
+    FMT_B, FMT_CSR, FMT_I, FMT_J, FMT_R, FMT_S, FMT_SYS, FMT_U,
+    Instr, SPEC_TABLE, li_sequence,
+)
+
+REG = st.integers(min_value=0, max_value=31)
+
+
+def _roundtrip(instr: Instr) -> Instr:
+    return decode(encode(instr))
+
+
+class TestBasicRoundtrips:
+    def test_r_type(self):
+        ins = _roundtrip(Instr("add", rd=1, rs1=2, rs2=3))
+        assert (ins.op, ins.rd, ins.rs1, ins.rs2) == ("add", 1, 2, 3)
+
+    def test_sub_vs_add_funct7(self):
+        assert _roundtrip(Instr("sub", rd=4, rs1=5, rs2=6)).op == "sub"
+
+    def test_i_type_negative_imm(self):
+        ins = _roundtrip(Instr("addi", rd=7, rs1=8, imm=-2048))
+        assert ins.imm == -2048
+
+    def test_load_store(self):
+        ld = _roundtrip(Instr("ld", rd=9, rs1=2, imm=-16))
+        assert (ld.op, ld.imm) == ("ld", -16)
+        sd = _roundtrip(Instr("sd", rs1=2, rs2=10, imm=24))
+        assert (sd.op, sd.rs1, sd.rs2, sd.imm) == ("sd", 2, 10, 24)
+
+    def test_branch(self):
+        br = _roundtrip(Instr("bne", rs1=1, rs2=2, imm=-64))
+        assert (br.op, br.imm) == ("bne", -64)
+
+    def test_jal(self):
+        j = _roundtrip(Instr("jal", rd=1, imm=2048))
+        assert (j.op, j.rd, j.imm) == ("jal", 1, 2048)
+
+    def test_lui(self):
+        u = _roundtrip(Instr("lui", rd=3, imm=0xFFFFF))
+        assert (u.op, u.imm) == ("lui", 0xFFFFF)
+
+    def test_shift_immediates_rv64(self):
+        for op in ("slli", "srli", "srai"):
+            ins = _roundtrip(Instr(op, rd=1, rs1=2, imm=63))
+            assert (ins.op, ins.imm) == (op, 63)
+
+    def test_shift_immediates_w(self):
+        for op in ("slliw", "srliw", "sraiw"):
+            ins = _roundtrip(Instr(op, rd=1, rs1=2, imm=31))
+            assert (ins.op, ins.imm) == (op, 31)
+
+    def test_system(self):
+        assert _roundtrip(Instr("ecall")).op == "ecall"
+        assert _roundtrip(Instr("ebreak")).op == "ebreak"
+        assert _roundtrip(Instr("fence")).op == "fence"
+
+    def test_csr(self):
+        ins = _roundtrip(Instr("csrrw", rd=1, rs1=2, imm=0x800))
+        assert (ins.op, ins.imm) == ("csrrw", 0x800)
+
+
+class TestHwstRoundtrips:
+    def test_bind_instructions(self):
+        for op in ("bndrs", "bndrt"):
+            ins = _roundtrip(Instr(op, rd=10, rs1=11, rs2=12))
+            assert (ins.op, ins.rd, ins.rs1, ins.rs2) == (op, 10, 11, 12)
+
+    def test_tchk(self):
+        ins = _roundtrip(Instr("tchk", rs1=14))
+        assert (ins.op, ins.rs1) == ("tchk", 14)
+
+    def test_shadow_moves(self):
+        for op in ("sbdl", "sbdu"):
+            ins = _roundtrip(Instr(op, rs1=2, rs2=10, imm=-40))
+            assert (ins.op, ins.imm) == (op, -40)
+        for op in ("lbdls", "lbdus", "lbas", "lbnd", "lkey", "lloc"):
+            ins = _roundtrip(Instr(op, rd=10, rs1=2, imm=16))
+            assert (ins.op, ins.imm) == (op, 16)
+
+    def test_checked_accesses(self):
+        for op in ("lb.chk", "lh.chk", "lw.chk", "ld.chk",
+                   "lbu.chk", "lhu.chk", "lwu.chk"):
+            assert _roundtrip(Instr(op, rd=5, rs1=6, imm=8)).op == op
+        for op in ("sb.chk", "sh.chk", "sw.chk", "sd.chk"):
+            assert _roundtrip(Instr(op, rs1=6, rs2=7, imm=-8)).op == op
+
+    def test_comparator_extensions(self):
+        for op in ("bndcl", "bndcu", "vchk"):
+            ins = _roundtrip(Instr(op, rs1=3, rs2=4))
+            assert (ins.op, ins.rs1, ins.rs2) == (op, 3, 4)
+        assert _roundtrip(Instr("bndldx", rd=5, rs1=6, imm=0)).op == "bndldx"
+        assert _roundtrip(Instr("bndstx", rs1=6, rs2=7, imm=8)).op == "bndstx"
+        assert _roundtrip(Instr("vld256", rd=5, rs1=6, imm=0)).op == "vld256"
+        assert _roundtrip(Instr("vst256", rs1=6, rs2=7, imm=0)).op == "vst256"
+
+
+class TestEncodingValidation:
+    def test_imm_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode(Instr("addi", rd=1, rs1=1, imm=4096))
+
+    def test_branch_must_be_even(self):
+        with pytest.raises(ValueError):
+            encode(Instr("beq", rs1=1, rs2=2, imm=3))
+
+    def test_bad_register(self):
+        with pytest.raises(ValueError):
+            encode(Instr("add", rd=32, rs1=0, rs2=0))
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            encode(Instr("bogus"))
+
+    def test_decode_garbage(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0xFFFF_FFFF)
+
+    def test_decode_zero_word(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0)
+
+
+class TestProgramBlob:
+    def test_roundtrip_program(self):
+        prog = [
+            Instr("addi", rd=10, rs1=0, imm=5),
+            Instr("addi", rd=11, rs1=0, imm=7),
+            Instr("add", rd=12, rs1=10, rs2=11),
+            Instr("ecall"),
+        ]
+        blob = encode_program(prog)
+        assert len(blob) == 16
+        back = decode_program(blob)
+        assert [i.op for i in back] == ["addi", "addi", "add", "ecall"]
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            decode_program(b"\x00\x00\x00")
+
+
+# Property-based round-trip over every encodable mnemonic -------------------
+
+_R_OPS = sorted(m for m, s in SPEC_TABLE.items() if s.fmt == FMT_R)
+_I_OPS = sorted(m for m, s in SPEC_TABLE.items()
+                if s.fmt == FMT_I and m not in
+                ("slli", "srli", "srai", "slliw", "srliw", "sraiw"))
+_S_OPS = sorted(m for m, s in SPEC_TABLE.items() if s.fmt == FMT_S)
+_B_OPS = sorted(m for m, s in SPEC_TABLE.items() if s.fmt == FMT_B)
+
+
+@given(st.sampled_from(_R_OPS), REG, REG, REG)
+def test_r_format_roundtrip(op, rd, rs1, rs2):
+    ins = _roundtrip(Instr(op, rd=rd, rs1=rs1, rs2=rs2))
+    assert (ins.op, ins.rd, ins.rs1, ins.rs2) == (op, rd, rs1, rs2)
+
+
+@given(st.sampled_from(_I_OPS), REG, REG,
+       st.integers(min_value=-2048, max_value=2047))
+def test_i_format_roundtrip(op, rd, rs1, imm):
+    ins = _roundtrip(Instr(op, rd=rd, rs1=rs1, imm=imm))
+    assert (ins.op, ins.rd, ins.rs1, ins.imm) == (op, rd, rs1, imm)
+
+
+@given(st.sampled_from(_S_OPS), REG, REG,
+       st.integers(min_value=-2048, max_value=2047))
+def test_s_format_roundtrip(op, rs1, rs2, imm):
+    ins = _roundtrip(Instr(op, rs1=rs1, rs2=rs2, imm=imm))
+    assert (ins.op, ins.rs1, ins.rs2, ins.imm) == (op, rs1, rs2, imm)
+
+
+@given(st.sampled_from(_B_OPS), REG, REG,
+       st.integers(min_value=-2048, max_value=2047))
+def test_b_format_roundtrip(op, rs1, rs2, imm):
+    imm *= 2
+    ins = _roundtrip(Instr(op, rs1=rs1, rs2=rs2, imm=imm))
+    assert (ins.op, ins.rs1, ins.rs2, ins.imm) == (op, rs1, rs2, imm)
+
+
+@given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+def test_li_sequence_materialises_constant(value):
+    """li_sequence must reconstruct any 64-bit constant when executed."""
+    from repro import bits as b
+
+    reg = 0
+    for ins in li_sequence(5, value):
+        if ins.op == "lui":
+            reg = b.to_u64(b.sext(ins.imm << 12, 32))
+        elif ins.op == "addiw":
+            reg = b.to_u64(b.sext(reg + ins.imm, 32))
+        elif ins.op == "addi":
+            reg = b.to_u64(reg + ins.imm)
+        elif ins.op == "slli":
+            reg = b.to_u64(reg << ins.imm)
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected op {ins.op}")
+    assert b.to_s64(reg) == value

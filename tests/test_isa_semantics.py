@@ -1,0 +1,116 @@
+"""Golden tests for RV64 arithmetic corner cases in the ISS.
+
+Each case executes one instruction on the machine and compares against
+the architecturally defined result — the corners where Python integer
+semantics and two's-complement hardware diverge.
+"""
+
+import pytest
+
+from repro.isa.instructions import Instr, li_sequence
+from repro.sim.machine import Machine
+from repro.sim.memory import DEFAULT_LAYOUT
+from repro.sim.program import Program
+
+INT64_MIN = -(1 << 63)
+INT32_MIN = -(1 << 31)
+U64 = (1 << 64) - 1
+
+
+def compute(op, a, b):
+    machine = Machine()
+    instrs = (li_sequence(5, a) + li_sequence(6, b) +
+              [Instr(op, rd=10, rs1=5, rs2=6),
+               Instr("addi", rd=17, rs1=0, imm=93),
+               Instr("ecall")])
+    program = Program(instrs=instrs, entry=DEFAULT_LAYOUT.text_base)
+    result = machine.run(program)
+    assert result.status == "exit"
+    return result.exit_code  # sign-extended 64-bit value
+
+
+CASES = [
+    # op, a, b, expected (signed 64-bit)
+    ("add", INT64_MIN, -1, (1 << 63) - 1),          # wraps
+    ("sub", INT64_MIN, 1, (1 << 63) - 1),
+    ("mul", 1 << 62, 4, 0),                          # low 64 bits
+    ("mulh", 1 << 62, 4, 1),                         # high 64 bits
+    ("mulhu", -1, -1, -2),                           # (2^64-1)^2 >> 64
+    ("div", INT64_MIN, -1, INT64_MIN),               # overflow case
+    ("div", 7, 0, -1),                               # div by zero
+    ("divu", 7, 0, -1),                              # all ones
+    ("rem", INT64_MIN, -1, 0),
+    ("rem", 7, 0, 7),
+    ("remu", 7, 0, 7),
+    ("div", -7, 2, -3),                              # trunc toward zero
+    ("rem", -7, 2, -1),
+    ("sll", 1, 63, INT64_MIN),
+    ("sll", 1, 64, 1),                               # shamt mod 64
+    ("srl", -1, 1, (1 << 63) - 1),                   # logical
+    ("sra", -8, 1, -4),                              # arithmetic
+    ("slt", -1, 0, 1),
+    ("sltu", -1, 0, 0),                              # unsigned: huge > 0
+    ("addw", (1 << 31) - 1, 1, INT32_MIN),           # 32-bit wrap
+    ("subw", INT32_MIN, 1, (1 << 31) - 1),
+    ("mulw", 1 << 20, 1 << 20, 0),                   # 2^40 mod 2^32
+    ("divw", INT32_MIN, -1, INT32_MIN),              # 32-bit overflow
+    ("divw", 7, 0, -1),
+    ("remw", INT32_MIN, -1, 0),
+    ("remw", 9, 0, 9),
+    ("divuw", 7, 0, -1),
+    ("remuw", 9, 0, 9),
+    ("sllw", 1, 31, INT32_MIN),                      # sign-extends
+    ("srlw", INT32_MIN, 1, 1 << 30),
+    ("sraw", INT32_MIN, 31, -1),
+]
+
+
+@pytest.mark.parametrize("op,a,b,expected", CASES,
+                         ids=[f"{c[0]}_{i}" for i, c in enumerate(CASES)])
+def test_arithmetic_corner(op, a, b, expected):
+    assert compute(op, a, b) == expected
+
+
+class TestImmediates:
+    def run_prog(self, instrs):
+        program = Program(
+            instrs=list(instrs) + [Instr("addi", rd=17, rs1=0, imm=93),
+                                   Instr("ecall")],
+            entry=DEFAULT_LAYOUT.text_base)
+        result = Machine().run(program)
+        assert result.status == "exit"
+        return result.exit_code
+
+    def test_addiw_wraps(self):
+        value = self.run_prog(
+            li_sequence(5, (1 << 31) - 1) +
+            [Instr("addiw", rd=10, rs1=5, imm=1)])
+        assert value == INT32_MIN
+
+    def test_sraiw_on_negative(self):
+        value = self.run_prog(
+            li_sequence(5, -64) + [Instr("sraiw", rd=10, rs1=5, imm=3)])
+        assert value == -8
+
+    def test_srli_vs_srai(self):
+        logical = self.run_prog(
+            li_sequence(5, -2) + [Instr("srli", rd=10, rs1=5, imm=1)])
+        arithmetic = self.run_prog(
+            li_sequence(5, -2) + [Instr("srai", rd=10, rs1=5, imm=1)])
+        assert logical == (1 << 63) - 1
+        assert arithmetic == -1
+
+    def test_sltiu_with_negative_imm(self):
+        # sltiu compares against the sign-extended immediate as unsigned:
+        # anything but all-ones is < 0xFFFF...FFFF.
+        value = self.run_prog(
+            li_sequence(5, 12345) + [Instr("sltiu", rd=10, rs1=5, imm=-1)])
+        assert value == 1
+
+    def test_lui_sign_extends(self):
+        value = self.run_prog([Instr("lui", rd=10, imm=0x80000)])
+        assert value == -(1 << 31)
+
+    def test_auipc_is_pc_relative(self):
+        value = self.run_prog([Instr("auipc", rd=10, imm=0)])
+        assert value == DEFAULT_LAYOUT.text_base

@@ -1,0 +1,116 @@
+"""Tests for the Juliet-style corpus generator and detection behaviour."""
+
+import pytest
+
+from repro.harness.runner import detected, run_program
+from repro.workloads.juliet import (
+    CWE_PLAN, SPATIAL_CWES, TEMPORAL_CWES, corpus_counts,
+    generate_corpus, total_cases,
+)
+from repro.workloads.juliet.generator import _TEMPLATES, _build_case
+
+
+class TestCorpusPlan:
+    def test_totals_match_paper(self):
+        """Section 4: 7074 spatial + 1292 temporal = 8366."""
+        counts = corpus_counts()
+        assert counts == {"spatial": 7074, "temporal": 1292,
+                          "total": 8366}
+        assert total_cases() == 8366
+
+    def test_all_ten_cwes_present(self):
+        assert set(CWE_PLAN) == set(SPATIAL_CWES) | set(TEMPORAL_CWES)
+
+    def test_every_subtype_has_a_template(self):
+        for plan in CWE_PLAN.values():
+            for subtype, count in plan:
+                assert subtype in _TEMPLATES
+                assert count > 0
+
+    def test_cwe122_odd_subtype_sized_for_hwst_gap(self):
+        """The HWST-misses share is ~0.86% of the corpus (Fig. 6)."""
+        odd = dict(CWE_PLAN[122])["odd_off_by_one"]
+        assert abs(100.0 * odd / total_cases() - 0.86) < 0.05
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = _build_case(122, "heap_loop", 3)
+        b = _build_case(122, "heap_loop", 3)
+        assert a.bad_source == b.bad_source
+        assert a.good_source == b.good_source
+
+    def test_indices_vary_cases(self):
+        sources = {_build_case(121, "loop_to_canary", i).bad_source
+                   for i in range(10)}
+        assert len(sources) > 1   # parameters/flows differ
+
+    def test_flow_variants_cycle(self):
+        flows = {_build_case(121, "loop_to_canary", i).flow
+                 for i in range(7)}
+        assert flows == {1, 2, 3, 4, 5, 6, 7}
+
+    def test_fraction_sampling_preserves_proportions(self):
+        sample = generate_corpus(fraction=0.01)
+        full = total_cases()
+        assert abs(len(sample) - full * 0.01) < 30
+        cwes = {c.cwe for c in sample}
+        assert cwes == set(CWE_PLAN)   # every family represented
+
+    def test_full_corpus_size(self):
+        assert len(generate_corpus(fraction=1.0)) == 8366
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus(fraction=0.0)
+        with pytest.raises(ValueError):
+            generate_corpus(fraction=1.5)
+
+    def test_max_per_subtype(self):
+        sample = generate_corpus(fraction=1.0, max_per_subtype=2)
+        assert len(sample) == 2 * sum(len(p) for p in CWE_PLAN.values())
+
+    def test_cwe_filter(self):
+        sample = generate_corpus(fraction=0.01, cwes=[415, 476])
+        assert {c.cwe for c in sample} == {415, 476}
+
+    def test_case_metadata(self):
+        case = _build_case(416, "uaf_fresh", 0)
+        assert case.temporal
+        assert case.expected["pointer"] is True
+        spatial_case = _build_case(121, "far_write", 0)
+        assert not spatial_case.temporal
+
+
+# One case per subtype, executed for real across the Fig. 6 schemes;
+# the designed expectations are the contract the coverage bench relies on.
+_SUBTYPE_PARAMS = [(cwe, subtype) for cwe, plan in CWE_PLAN.items()
+                   for subtype, _ in plan]
+
+
+@pytest.mark.parametrize("cwe,subtype", _SUBTYPE_PARAMS)
+def test_subtype_detection_contract(cwe, subtype):
+    case = _build_case(cwe, subtype, 0)
+    for scheme in ("sbcets", "hwst128_tchk", "asan", "gcc"):
+        result = run_program(case.bad_source, scheme, timing=False,
+                             max_instructions=3_000_000)
+        if scheme == "sbcets":
+            expected = case.expected["pointer"]
+        elif scheme == "hwst128_tchk":
+            expected = case.expected["pointer"] and \
+                not case.expected.get("hwst_misses")
+        else:
+            expected = case.expected[scheme]
+        assert detected(scheme, result) == expected, \
+            (scheme, result.status, result.detail)
+
+
+@pytest.mark.parametrize("cwe,subtype", _SUBTYPE_PARAMS)
+def test_subtype_good_variant_is_clean(cwe, subtype):
+    """No false positives on the paired good variants."""
+    case = _build_case(cwe, subtype, 1)
+    for scheme in ("sbcets", "hwst128_tchk", "asan", "gcc"):
+        result = run_program(case.good_source, scheme, timing=False,
+                             max_instructions=3_000_000)
+        assert result.status == "exit" and result.exit_code == 0, \
+            (scheme, result.status, result.detail)

@@ -1,0 +1,134 @@
+"""Tests for the mini-C tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import (
+    TOK_CHAR, TOK_EOF, TOK_IDENT, TOK_INT, TOK_KEYWORD, TOK_OP,
+    TOK_STRING, tokenize,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == TOK_EOF
+
+    def test_identifiers(self):
+        assert values("foo _bar baz123") == ["foo", "_bar", "baz123"]
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("int integer")
+        assert toks[0].kind == TOK_KEYWORD
+        assert toks[1].kind == TOK_IDENT
+
+    def test_decimal_numbers(self):
+        assert values("0 42 1234567890") == [0, 42, 1234567890]
+
+    def test_hex_numbers(self):
+        assert values("0x0 0xFF 0xdeadBEEF") == [0, 255, 0xDEADBEEF]
+
+    def test_integer_suffixes_swallowed(self):
+        assert values("10L 10UL 10u") == [10, 10, 10]
+
+    def test_empty_hex_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_char_literals(self):
+        assert values("'a' '0' ' '") == [97, 48, 32]
+
+    def test_char_escapes(self):
+        assert values(r"'\n' '\t' '\0' '\\' '\''") == [10, 9, 0, 92, 39]
+
+    def test_hex_escape(self):
+        assert values(r"'\x41'") == [0x41]
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+    def test_empty_char(self):
+        with pytest.raises(LexError):
+            tokenize("''")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert values('"hello"') == [b"hello"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\nb\0"') == [b"a\nb\x00"]
+
+    def test_adjacent_concatenation(self):
+        assert values('"foo" "bar"') == [b"foobar"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"ab\ncd"')
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert values("<<= >>= == <= >= != && || -> ++ --") == \
+            ["<<=", ">>=", "==", "<=", ">=", "!=", "&&", "||", "->",
+             "++", "--"]
+
+    def test_compound_assign(self):
+        assert values("+= -= *= /= %= &= |= ^=") == \
+            ["+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="]
+
+    def test_single_char_ops(self):
+        assert values("+ - * / % < > ! ~ & | ^ ( ) { } [ ] ; , . ? :") \
+            == list("+-*/%<>!~&|^(){}[];,.?:")
+
+    def test_arrow_vs_minus(self):
+        assert values("a->b - c") == ["a", "->", "b", "-", "c"]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_comment_not_nested(self):
+        assert values("a /* /* */ b") == ["a", "b"]
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        toks = tokenize("a\nbb\n  c")
+        assert toks[0].line == 1
+        assert toks[1].line == 2
+        assert toks[2].line == 3
+        assert toks[2].col == 3
+
+    def test_error_position(self):
+        try:
+            tokenize("ab\n  @")
+        except LexError as err:
+            assert err.line == 2 and err.col == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected LexError")

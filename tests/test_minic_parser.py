@@ -1,0 +1,251 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import ast, parse
+from repro.minic.types import ArrayType, IntType, PointerType
+
+
+def parse_expr(text):
+    unit = parse(f"int main(void) {{ return {text}; }}")
+    stmt = unit.functions[0].body.stmts[0]
+    assert isinstance(stmt, ast.Return)
+    return stmt.value
+
+
+def parse_body(text):
+    unit = parse(f"int main(void) {{ {text} }}")
+    return unit.functions[0].body.stmts
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x;")
+        assert unit.globals[0].name == "x"
+        assert unit.globals[0].var_type == IntType(4, True)
+
+    def test_global_pointer(self):
+        unit = parse("long *p;")
+        assert isinstance(unit.globals[0].var_type, PointerType)
+
+    def test_global_array(self):
+        unit = parse("char buf[32];")
+        gtype = unit.globals[0].var_type
+        assert isinstance(gtype, ArrayType) and gtype.count == 32
+
+    def test_two_dimensional_array(self):
+        unit = parse("int grid[3][4];")
+        gtype = unit.globals[0].var_type
+        assert gtype.count == 3 and gtype.elem.count == 4
+        assert gtype.size == 48
+
+    def test_array_size_from_initialiser(self):
+        unit = parse("int a[] = {1, 2, 3};")
+        assert unit.globals[0].var_type.count == 3
+
+    def test_string_initialiser(self):
+        unit = parse('char msg[] = "hey";')
+        assert unit.globals[0].var_type.count == 4  # includes NUL
+
+    def test_multiple_declarators(self):
+        unit = parse("int a, *b, c[4];")
+        names = [g.name for g in unit.globals]
+        assert names == ["a", "b", "c"]
+        assert isinstance(unit.globals[1].var_type, PointerType)
+
+    def test_unsigned_types(self):
+        unit = parse("unsigned char a; unsigned long b; unsigned c;")
+        assert not unit.globals[0].var_type.signed
+        assert unit.globals[1].var_type.size == 8
+        assert unit.globals[2].var_type.size == 4
+
+    def test_typedef(self):
+        unit = parse("typedef unsigned int u32; u32 value;")
+        assert unit.globals[0].var_type == IntType(4, False)
+
+    def test_typedef_pointer(self):
+        unit = parse("typedef struct N N; struct N { N *next; };")
+        assert "N" in unit.struct_names
+
+    def test_enum_constants(self):
+        unit = parse("enum { A, B = 10, C }; int x[C];")
+        assert unit.globals[0].var_type.count == 11
+
+    def test_const_ignored(self):
+        unit = parse("const int x = 5;")
+        assert unit.globals[0].init.value == 5
+
+    def test_array_dim_constant_expression(self):
+        unit = parse("int x[4 * 2 + 1];")
+        assert unit.globals[0].var_type.count == 9
+
+    def test_sizeof_in_constant(self):
+        unit = parse("char buf[sizeof(long) * 2];")
+        assert unit.globals[0].var_type.count == 16
+
+
+class TestStructs:
+    def test_struct_definition(self):
+        unit = parse("struct Point { int x; int y; }; struct Point p;")
+        assert unit.globals[0].var_type.size == 8
+
+    def test_struct_layout_padding(self):
+        unit = parse("struct S { char c; long v; }; struct S s;")
+        stype = unit.globals[0].var_type
+        assert stype.size == 16
+        assert stype.field_named("v").offset == 8
+
+    def test_struct_array_member(self):
+        unit = parse("struct S { int a[4]; char b; }; struct S s;")
+        assert unit.globals[0].var_type.size == 20
+
+    def test_union_rejected(self):
+        with pytest.raises(ParseError):
+            parse("union U { int a; };")
+
+
+class TestFunctions:
+    def test_params(self):
+        unit = parse("int add(int a, long b) { return a; }")
+        func = unit.functions[0]
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_void_params(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_void_pointer_param(self):
+        unit = parse("int f(void *p) { return 0; }")
+        assert isinstance(unit.functions[0].params[0].ctype, PointerType)
+
+    def test_array_param_decays(self):
+        unit = parse("int f(int a[8]) { return 0; }")
+        assert isinstance(unit.functions[0].params[0].ctype, PointerType)
+
+    def test_prototype_is_skipped(self):
+        unit = parse("int f(int a); int f(int a) { return a; }")
+        assert len(unit.functions) == 1
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = parse_expr("1 << 2 < 3")
+        assert expr.op == "<" and expr.left.op == "<<"
+
+    def test_logical_precedence(self):
+        expr = parse_expr("1 || 2 && 3")
+        assert expr.op == "||" and expr.right.op == "&&"
+
+    def test_right_assoc_assignment(self):
+        stmts = parse_body("int a; int b; a = b = 1;")
+        assign = stmts[2].expr
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_unary_chain(self):
+        expr = parse_expr("-~!0")
+        assert expr.op == "-" and expr.operand.op == "~"
+
+    def test_ternary(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Cond)
+
+    def test_nested_ternary_right_assoc(self):
+        expr = parse_expr("1 ? 2 : 3 ? 4 : 5")
+        assert isinstance(expr.other, ast.Cond)
+
+    def test_cast_vs_parenthesised_expr(self):
+        expr = parse_expr("(long)1")
+        assert isinstance(expr, ast.Cast)
+        expr2 = parse_expr("(1)")
+        assert isinstance(expr2, ast.IntLit)
+
+    def test_cast_of_cast(self):
+        expr = parse_expr("(int)(char)300")
+        assert isinstance(expr, ast.Cast)
+        assert isinstance(expr.operand, ast.Cast)
+
+    def test_sizeof_type_and_expr(self):
+        assert isinstance(parse_expr("sizeof(int)"), ast.SizeofType)
+        unit = parse("int main(void) { int x; return sizeof x; }")
+        ret = unit.functions[0].body.stmts[1]
+        assert isinstance(ret.value, ast.SizeofExpr)
+
+    def test_postfix_chain(self):
+        expr = parse_expr("a[1].b->c")
+        assert isinstance(expr, ast.Member) and expr.arrow
+        assert isinstance(expr.base, ast.Member)
+        assert isinstance(expr.base.base, ast.Index)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, 2, 3)")
+        assert isinstance(expr, ast.Call) and len(expr.args) == 3
+
+    def test_pre_increment_desugars(self):
+        expr = parse_expr("++x")
+        assert isinstance(expr, ast.Assign) and expr.op == "+="
+
+    def test_post_increment(self):
+        expr = parse_expr("x++")
+        assert isinstance(expr, ast.PostIncDec)
+
+
+class TestStatements:
+    def test_if_else_chain(self):
+        stmts = parse_body("if (1) { } else if (2) { } else { }")
+        node = stmts[0]
+        assert isinstance(node.other, ast.If)
+
+    def test_while(self):
+        stmts = parse_body("while (1) { break; }")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_do_while(self):
+        stmts = parse_body("do { } while (0);")
+        assert isinstance(stmts[0], ast.DoWhile)
+
+    def test_for_with_declaration(self):
+        stmts = parse_body("for (int i = 0; i < 4; i++) { }")
+        node = stmts[0]
+        assert isinstance(node.init, ast.VarDecl)
+
+    def test_for_empty_clauses(self):
+        stmts = parse_body("for (;;) { break; }")
+        node = stmts[0]
+        assert node.init is None and node.cond is None and \
+            node.step is None
+
+    def test_local_initialiser_list(self):
+        stmts = parse_body("int a[3] = {1, 2, 3};")
+        assert isinstance(stmts[0], ast.VarDecl)
+        assert len(stmts[0].init_list) == 3
+
+    def test_empty_statement(self):
+        stmts = parse_body(";")
+        assert isinstance(stmts[0], ast.Block)
+
+    def test_switch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("switch (1) { }")
+
+    def test_goto_rejected(self):
+        with pytest.raises(ParseError):
+            parse_body("goto out;")
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { int a = 1 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("int main(void) { return (1; }")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(ParseError):
+            parse("= 5;")

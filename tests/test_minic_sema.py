@@ -1,0 +1,198 @@
+"""Tests for the semantic analyzer."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.minic import analyze, parse
+from repro.minic.types import IntType, PointerType
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def check_fails(source, fragment=""):
+    with pytest.raises(SemanticError) as err:
+        check(source)
+    if fragment:
+        assert fragment in str(err.value)
+
+
+class TestScopes:
+    def test_undeclared_identifier(self):
+        check_fails("int main(void) { return x; }", "undeclared")
+
+    def test_local_shadowing_gets_unique_names(self):
+        result = check("""
+        int main(void) {
+            int v = 1;
+            if (v) { int v = 2; v += 1; }
+            return v;
+        }""")
+        locals_ = list(result.functions["main"].locals)
+        assert len([n for n in locals_ if n.startswith("v")]) == 2
+
+    def test_block_scope_ends(self):
+        check_fails("""
+        int main(void) {
+            if (1) { int inner = 1; }
+            return inner;
+        }""")
+
+    def test_redeclaration_in_same_scope(self):
+        check_fails("int main(void) { int a; int a; return 0; }",
+                    "redeclaration")
+
+    def test_param_visible(self):
+        check("int f(int a) { return a + 1; }")
+
+    def test_global_visible_in_function(self):
+        check("int g; int main(void) { return g; }")
+
+    def test_global_redefined(self):
+        check_fails("int g; long g;", "redefined")
+
+    def test_function_redefined(self):
+        check_fails("int f(void) { return 0; } int f(void) { return 1; }",
+                    "redefined")
+
+    def test_for_init_scope(self):
+        check("""
+        int main(void) {
+            int total = 0;
+            for (int i = 0; i < 3; i++) { total += i; }
+            for (int i = 9; i > 0; i--) { total += i; }
+            return total;
+        }""")
+
+
+class TestTypes:
+    def test_void_variable_rejected(self):
+        check_fails("int main(void) { void v; return 0; }")
+
+    def test_deref_non_pointer(self):
+        check_fails("int main(void) { int a; return *a; }")
+
+    def test_deref_void_pointer(self):
+        check_fails("int main(void) { void *p; return *p; }")
+
+    def test_index_non_pointer(self):
+        check_fails("int main(void) { int a; return a[0]; }")
+
+    def test_member_of_non_struct(self):
+        check_fails("int main(void) { int a; return a.x; }")
+
+    def test_arrow_on_non_pointer(self):
+        check_fails("""
+        struct S { int x; };
+        int main(void) { struct S s; return s->x; }""")
+
+    def test_unknown_member(self):
+        check_fails("""
+        struct S { int x; };
+        int main(void) { struct S s; return s.y; }""", "no member")
+
+    def test_assign_to_rvalue(self):
+        check_fails("int main(void) { 1 = 2; return 0; }", "lvalue")
+
+    def test_assign_to_array(self):
+        check_fails("""
+        int main(void) { int a[4]; int b[4]; a = b; return 0; }""")
+
+    def test_address_of_rvalue(self):
+        check_fails("int main(void) { int *p = &1; return 0; }")
+
+    def test_pointer_arith_annotations(self):
+        result = check("""
+        int main(void) { long *p = 0; long *q = p + 3; return 0; }""")
+        assert result is not None
+
+    def test_pointer_minus_pointer_is_long(self):
+        check("""
+        long main2(long *a, long *b) { return a - b; }
+        int main(void) { return 0; }""")
+
+    def test_mod_on_pointer_rejected(self):
+        check_fails("int main(void) { int *p = 0; p = p * 2; return 0; }")
+
+    def test_struct_assignment_same_type(self):
+        check("""
+        struct S { int x; long y; };
+        int main(void) {
+            struct S a;
+            struct S b;
+            a.x = 1;
+            b = a;
+            return b.x;
+        }""")
+
+    def test_break_outside_loop(self):
+        check_fails("int main(void) { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        check_fails("int main(void) { continue; return 0; }")
+
+
+class TestCalls:
+    def test_undeclared_function(self):
+        check_fails("int main(void) { return nothere(); }", "undeclared")
+
+    def test_wrong_arity(self):
+        check_fails("""
+        int f(int a) { return a; }
+        int main(void) { return f(1, 2); }""", "expects")
+
+    def test_builtin_signatures_available(self):
+        check("""
+        int main(void) {
+            void *p = malloc(8);
+            memset(p, 0, 8);
+            free(p);
+            print_int(strlen("ab"));
+            return 0;
+        }""")
+
+    def test_void_return_with_value(self):
+        check_fails("void f(void) { return 5; }")
+
+    def test_nonvoid_return_without_value(self):
+        check_fails("int f(void) { return; } int main(void) { return 0; }")
+
+    def test_forward_reference_within_unit(self):
+        check("""
+        int helper(int x);
+        int main(void) { return helper(1); }
+        int helper(int x) { return x + 1; }""")
+
+
+class TestAnnotations:
+    def test_expression_types_annotated(self):
+        unit = parse("int main(void) { long v = 1; return (int)v; }")
+        analyze(unit)
+        decl = unit.functions[0].body.stmts[0]
+        assert decl.init.ctype is not None
+
+    def test_string_literal_gets_symbol(self):
+        unit = parse('int main(void) { print_str("x"); return 0; }')
+        result = analyze(unit)
+        assert len(result.strings) == 1
+        symbol, data = next(iter(result.strings.items()))
+        assert data == b"x\x00"
+
+    def test_ident_binding_recorded(self):
+        unit = parse("int g; int main(void) { return g; }")
+        analyze(unit)
+        ret = unit.functions[0].body.stmts[0]
+        assert ret.value.binding == "global"
+
+    def test_param_binding(self):
+        unit = parse("int f(int a) { return a; }")
+        analyze(unit)
+        ret = unit.functions[0].body.stmts[0]
+        assert ret.value.binding == "param"
+
+    def test_lvalue_flags(self):
+        unit = parse("int main(void) { int a[4]; a[0] = 1; return 0; }")
+        analyze(unit)
+        assign = unit.functions[0].body.stmts[1].expr
+        assert assign.target.is_lvalue

@@ -1,0 +1,57 @@
+"""Tests for the Section 5.3 hardware cost model."""
+
+import pytest
+
+from repro.core.config import FieldWidths, HwstConfig
+from repro.pipeline.hwcost import HardwareCostModel, rocket_baseline
+
+
+class TestPaperNumbers:
+    def setup_method(self):
+        self.report = HardwareCostModel(HwstConfig()).report()
+
+    def test_lut_overhead_close_to_paper(self):
+        """Paper: +1536 LUTs (+4.11 %). Structural model should land
+        within a few percent."""
+        assert self.report.added_luts == pytest.approx(1536, rel=0.05)
+        assert self.report.lut_overhead_pct == pytest.approx(4.11, abs=0.25)
+
+    def test_ff_overhead_close_to_paper(self):
+        """Paper: +112 FFs (+0.66 %)."""
+        assert self.report.added_ffs == pytest.approx(112, rel=0.10)
+        assert self.report.ff_overhead_pct == pytest.approx(0.66, abs=0.10)
+
+    def test_critical_path_stretch(self):
+        """Paper: 5.26 ns -> 6.45 ns, caused by the metadata bypass."""
+        assert self.report.baseline_critical_path_ns == pytest.approx(5.26)
+        assert self.report.critical_path_ns == pytest.approx(6.45, abs=0.15)
+        assert self.report.critical_path_ns > self.report.baseline_critical_path_ns
+
+    def test_baseline_derived_from_percentages(self):
+        luts, ffs, _ = rocket_baseline()
+        assert round(100 * 1536 / luts, 2) == pytest.approx(4.11, abs=0.02)
+        assert round(100 * 112 / ffs, 2) == pytest.approx(0.66, abs=0.02)
+
+    def test_component_breakdown_nonempty(self):
+        names = [c.name for c in self.report.components]
+        assert any("SRF" in n for n in names)
+        assert any("keybuffer" in n for n in names)
+        assert any("SMAC" in n for n in names)
+        assert all(c.luts >= 0 and c.ffs >= 0 for c in self.report.components)
+
+    def test_table_renders(self):
+        text = self.report.table()
+        assert "TOTAL" in text
+        assert "critical path" in text
+
+
+class TestModelScaling:
+    def test_bigger_keybuffer_costs_more(self):
+        small = HardwareCostModel(HwstConfig(keybuffer_entries=4)).report()
+        large = HardwareCostModel(HwstConfig(keybuffer_entries=32)).report()
+        assert large.added_luts > small.added_luts
+        assert large.added_ffs > small.added_ffs
+
+    def test_zero_entry_keybuffer_still_reports(self):
+        report = HardwareCostModel(HwstConfig(keybuffer_entries=0)).report()
+        assert report.added_luts > 0

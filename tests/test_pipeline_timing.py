@@ -1,0 +1,164 @@
+"""Unit tests for the pipeline timing model."""
+
+import pytest
+
+from repro.isa.instructions import Instr
+from repro.pipeline.cache import CacheParams
+from repro.pipeline.timing import InOrderPipeline, TimingParams
+
+
+def pipe(**kwargs):
+    return InOrderPipeline(TimingParams(**kwargs))
+
+
+def retire(p, op, rd=0, rs1=0, rs2=0, mem=None, store=False,
+           taken=False, kb=None, mem2=None):
+    p.retire(Instr(op, rd=rd, rs1=rs1, rs2=rs2), mem, store, taken,
+             kb, mem2)
+
+
+class TestBaseCosts:
+    def test_alu_is_one_cycle(self):
+        p = pipe()
+        retire(p, "add", rd=1, rs1=2, rs2=3)
+        assert p.cycles == 1
+
+    def test_load_use_stall(self):
+        p = pipe()
+        retire(p, "ld", rd=5, rs1=2, mem=0x1000)
+        miss = p.params.dcache_miss_penalty
+        retire(p, "addi", rd=6, rs1=5)   # consumes the load
+        assert p.cycles == 2 + miss + p.params.load_use_stall
+
+    def test_no_stall_with_gap(self):
+        p = pipe()
+        retire(p, "ld", rd=5, rs1=2, mem=0x1000)
+        retire(p, "addi", rd=7, rs1=8)   # unrelated
+        retire(p, "addi", rd=6, rs1=5)   # one cycle later: bypassed
+        assert p.breakdown["load_use"] == 0
+
+    def test_taken_branch_penalty(self):
+        p = pipe()
+        retire(p, "beq", rs1=1, rs2=2, taken=True)
+        assert p.cycles == 1 + p.params.branch_penalty
+
+    def test_untaken_branch_is_free(self):
+        p = pipe()
+        retire(p, "beq", rs1=1, rs2=2, taken=False)
+        assert p.cycles == 1
+
+    def test_jump_penalty(self):
+        p = pipe()
+        retire(p, "jal", rd=1, taken=True)
+        assert p.cycles == 1 + p.params.jump_penalty
+
+    def test_mul_div_latency(self):
+        p = pipe()
+        retire(p, "mul", rd=1, rs1=2, rs2=3)
+        retire(p, "div", rd=1, rs1=2, rs2=3)
+        assert p.cycles == 2 + p.params.mul_latency + \
+            p.params.div_latency
+
+
+class TestMemorySystem:
+    def test_miss_then_hit(self):
+        p = pipe()
+        retire(p, "ld", rd=1, rs1=2, mem=0x2000)
+        first = p.cycles
+        retire(p, "sd", rs1=2, rs2=3, mem=0x2008, store=True)
+        assert first == 1 + p.params.dcache_miss_penalty
+        assert p.cycles == first + 1   # same line hits
+
+    def test_custom_cache_params(self):
+        p = pipe(cache=CacheParams(size_bytes=64, ways=1,
+                                   line_bytes=32))
+        retire(p, "ld", rd=1, rs1=2, mem=0x0)
+        retire(p, "ld", rd=1, rs1=2, mem=0x40)  # maps to same set
+        retire(p, "ld", rd=1, rs1=2, mem=0x0)   # evicted -> miss
+        assert p.dcache.misses == 3
+
+
+class TestHwstCosts:
+    def test_tchk_hit_occupancy(self):
+        p = pipe()
+        retire(p, "tchk", rs1=5, kb=True)
+        assert p.cycles == 1 + p.params.tchk_occupancy
+
+    def test_tchk_miss_pays_key_load(self):
+        p = pipe()
+        retire(p, "tchk", rs1=5, kb=False, mem2=0x1000_0000)
+        hit = 1 + p.params.tchk_occupancy
+        assert p.cycles > hit + 1   # key load (miss) + fill
+
+    def test_bind_extra(self):
+        p = pipe()
+        retire(p, "bndrs", rd=1, rs1=2, rs2=3)
+        assert p.cycles == 1 + p.params.bind_extra
+
+    def test_shadow_access_smac(self):
+        p = pipe()
+        retire(p, "ld", rd=1, rs1=2, mem=0x100)     # warm nothing
+        base = p.cycles
+        retire(p, "lbdls", rd=1, rs1=2, mem=0x1100_0000)
+        extra = p.cycles - base
+        assert extra >= 1 + p.params.smac_extra
+
+    def test_srf_load_use_interlock(self):
+        p = pipe()
+        retire(p, "lbdus", rd=5, rs1=2, mem=0x1100_0000)
+        before = p.breakdown["load_use"]
+        retire(p, "tchk", rs1=5, kb=True)
+        assert p.breakdown["load_use"] == before + \
+            p.params.srf_load_use_stall
+
+    def test_no_srf_interlock_for_other_reg(self):
+        p = pipe()
+        retire(p, "lbdus", rd=5, rs1=2, mem=0x1100_0000)
+        before = p.breakdown["load_use"]
+        retire(p, "tchk", rs1=6, kb=True)
+        assert p.breakdown["load_use"] == before
+
+    def test_mpx_walk_cost(self):
+        p = pipe()
+        retire(p, "ld", rd=1, rs1=2, mem=0x1100_0000)  # warm the line
+        base = p.cycles
+        retire(p, "bndldx", rd=1, rs1=2, mem=0x1100_0000)
+        assert p.cycles - base >= 1 + p.params.mpx_walk_extra
+
+    def test_avx_wide_beats(self):
+        p = pipe()
+        retire(p, "ld", rd=1, rs1=2, mem=0x1100_0000)
+        base = p.cycles
+        retire(p, "vld256", rd=1, rs1=2, mem=0x1100_0000)
+        assert p.cycles - base >= 1 + p.params.wide_access_extra
+
+    def test_vchk_vector_compare_cost(self):
+        p = pipe()
+        retire(p, "vchk", rs1=1, rs2=2)
+        assert p.cycles == 1 + p.params.avx_check_extra
+
+
+class TestAccounting:
+    def test_breakdown_sums_to_cycles(self):
+        p = pipe()
+        retire(p, "ld", rd=5, rs1=2, mem=0x1000)
+        retire(p, "addi", rd=6, rs1=5)
+        retire(p, "beq", rs1=6, rs2=0, taken=True)
+        retire(p, "tchk", rs1=6, kb=False, mem2=0x1000_0000)
+        retire(p, "mul", rd=1, rs1=2, rs2=3)
+        assert sum(p.breakdown.values()) == p.cycles
+
+    def test_stats_exported(self):
+        p = pipe()
+        retire(p, "ld", rd=1, rs1=2, mem=0)
+        stats = p.stats()
+        assert stats["dcache_misses"] == 1
+        assert "cyc_base" in stats
+
+    def test_reset(self):
+        p = pipe()
+        retire(p, "ld", rd=1, rs1=2, mem=0)
+        p.reset()
+        assert p.cycles == 0
+        assert p.dcache.misses == 0
+        assert all(v == 0 for v in p.breakdown.values())

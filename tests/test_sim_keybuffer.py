@@ -1,0 +1,131 @@
+"""Tests for the TLB-like keybuffer (Section 3.5)."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.sim.keybuffer import KeyBuffer
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        kb = KeyBuffer(entries=4)
+        assert kb.lookup(0x1000) is None
+        kb.fill(0x1000, 42)
+        assert kb.lookup(0x1000) == 42
+        assert kb.hits == 1 and kb.misses == 1
+
+    def test_lru_eviction(self):
+        kb = KeyBuffer(entries=2)
+        kb.fill(1, 11)
+        kb.fill(2, 22)
+        kb.lookup(1)           # 1 becomes MRU
+        kb.fill(3, 33)         # evicts 2
+        assert kb.lookup(2) is None
+        assert kb.lookup(1) == 11
+        assert kb.lookup(3) == 33
+
+    def test_clear_on_free(self):
+        """Paper: the keybuffer is cleared whenever a pointer is freed."""
+        kb = KeyBuffer(entries=4)
+        kb.fill(1, 11)
+        kb.fill(2, 22)
+        kb.clear()
+        assert kb.lookup(1) is None
+        assert kb.lookup(2) is None
+        assert kb.clears == 1
+
+    def test_invalidate_single(self):
+        kb = KeyBuffer(entries=4)
+        kb.fill(1, 11)
+        kb.fill(2, 22)
+        kb.invalidate(1)
+        assert kb.lookup(1) is None
+        assert kb.lookup(2) == 22
+
+    def test_fill_updates_existing(self):
+        kb = KeyBuffer(entries=4)
+        kb.fill(1, 11)
+        kb.fill(1, 99)
+        assert kb.lookup(1) == 99
+        assert len(kb) == 1
+
+    def test_zero_entries_always_misses(self):
+        """A size-0 keybuffer degenerates to the no-tchk behaviour."""
+        kb = KeyBuffer(entries=0)
+        kb.fill(1, 11)
+        assert kb.lookup(1) is None
+        assert kb.misses == 1
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            KeyBuffer(entries=-1)
+
+    def test_hit_rate(self):
+        kb = KeyBuffer(entries=2)
+        assert kb.hit_rate == 0.0
+        kb.fill(1, 1)
+        kb.lookup(1)
+        kb.lookup(2)
+        assert kb.hit_rate == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        kb = KeyBuffer(entries=2)
+        kb.fill(1, 1)
+        kb.lookup(1)
+        kb.reset_stats()
+        assert kb.hits == 0 and kb.misses == 0 and kb.clears == 0
+        assert kb.lookup(1) == 1  # contents survive a stats reset
+
+
+class TestReplacementPolicies:
+    def test_fifo_evicts_insertion_order(self):
+        kb = KeyBuffer(entries=2, policy="fifo")
+        kb.fill(1, 11)
+        kb.fill(2, 22)
+        kb.lookup(1)          # would refresh under LRU, not under FIFO
+        kb.fill(3, 33)        # evicts 1 (oldest insertion)
+        assert kb.lookup(1) is None
+        assert kb.lookup(2) == 22
+
+    def test_lru_vs_fifo_differ(self):
+        lru = KeyBuffer(entries=2, policy="lru")
+        fifo = KeyBuffer(entries=2, policy="fifo")
+        for kb in (lru, fifo):
+            kb.fill(1, 11)
+            kb.fill(2, 22)
+            kb.lookup(1)
+            kb.fill(3, 33)
+        assert lru.lookup(1) == 11      # survived: it was MRU
+        assert fifo.lookup(1) is None   # evicted: oldest insertion
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            KeyBuffer(entries=2, policy="random")
+
+    def test_fifo_update_keeps_age(self):
+        kb = KeyBuffer(entries=2, policy="fifo")
+        kb.fill(1, 11)
+        kb.fill(2, 22)
+        kb.fill(1, 99)        # update, not a re-insertion
+        kb.fill(3, 33)        # evicts 1 still
+        assert kb.lookup(1) is None
+        assert kb.lookup(2) == 22
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=9),
+                          st.integers(min_value=1, max_value=100)),
+                max_size=200),
+       st.integers(min_value=1, max_value=8))
+def test_capacity_invariant(fills, entries):
+    """Property: the buffer never exceeds its capacity and a lookup
+    after fill returns the most recently filled value."""
+    kb = KeyBuffer(entries=entries)
+    last = {}
+    for lock, key in fills:
+        kb.fill(lock, key)
+        last[lock] = key
+        assert len(kb) <= entries
+    for lock, key in last.items():
+        found = kb.lookup(lock)
+        assert found is None or found == key

@@ -1,0 +1,502 @@
+"""Tests for the functional ISS: base ISA semantics + HWST128 extension."""
+
+import pytest
+
+from repro.core.config import HwstConfig
+from repro.isa.instructions import Instr, li_sequence
+from repro.isa import csr as csrdef
+from repro.pipeline.timing import InOrderPipeline
+from repro.sim.machine import (
+    Machine, RunResult,
+    STATUS_EXIT, STATUS_FAULT, STATUS_ILLEGAL, STATUS_LIMIT,
+    STATUS_SPATIAL, STATUS_TEMPORAL,
+)
+from repro.sim.memory import DEFAULT_LAYOUT
+from repro.sim.program import Program
+
+HEAP = DEFAULT_LAYOUT.heap_base
+LOCK0 = HwstConfig().lock_base  # first lock_location
+
+
+def make_program(instrs, **meta) -> Program:
+    return Program(instrs=list(instrs), entry=DEFAULT_LAYOUT.text_base,
+                   meta=meta)
+
+
+def run(instrs, timing=False, max_instructions=100_000) -> RunResult:
+    machine = Machine(timing=InOrderPipeline() if timing else None)
+    return machine.run(make_program(instrs),
+                       max_instructions=max_instructions)
+
+
+def exit_with(reg_setup):
+    """Template: run `reg_setup`, then exit with code in a0."""
+    return list(reg_setup) + [
+        Instr("addi", rd=17, rs1=0, imm=93),   # a7 = SYS_EXIT
+        Instr("ecall"),
+    ]
+
+
+class TestBaseIsa:
+    def test_addi_and_exit_code(self):
+        result = run(exit_with([Instr("addi", rd=10, rs1=0, imm=42)]))
+        assert result.status == STATUS_EXIT
+        assert result.exit_code == 42
+
+    def test_arithmetic(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=100),
+            Instr("addi", rd=6, rs1=0, imm=-30),
+            Instr("add", rd=10, rs1=5, rs2=6),
+        ]))
+        assert result.exit_code == 70
+
+    def test_sub_negative_result(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=10),
+            Instr("addi", rd=6, rs1=0, imm=30),
+            Instr("sub", rd=10, rs1=5, rs2=6),
+        ]))
+        assert result.exit_code == -20
+
+    def test_mul_div_rem(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=37),
+            Instr("addi", rd=6, rs1=0, imm=5),
+            Instr("mul", rd=7, rs1=5, rs2=6),     # 185
+            Instr("div", rd=8, rs1=7, rs2=6),     # 37
+            Instr("rem", rd=9, rs1=7, rs2=5),     # 0
+            Instr("add", rd=10, rs1=8, rs2=9),
+        ]))
+        assert result.exit_code == 37
+
+    def test_div_by_zero_riscv_semantics(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=7),
+            Instr("div", rd=10, rs1=5, rs2=0),
+        ]))
+        assert result.exit_code == -1
+
+    def test_rem_by_zero_returns_dividend(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=7),
+            Instr("rem", rd=10, rs1=5, rs2=0),
+        ]))
+        assert result.exit_code == 7
+
+    def test_slt_sltu(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=-1),
+            Instr("addi", rd=6, rs1=0, imm=1),
+            Instr("slt", rd=7, rs1=5, rs2=6),     # -1 < 1 -> 1
+            Instr("sltu", rd=8, rs1=5, rs2=6),    # huge > 1 -> 0
+            Instr("slli", rd=7, rs1=7, imm=1),
+            Instr("add", rd=10, rs1=7, rs2=8),
+        ]))
+        assert result.exit_code == 2
+
+    def test_word_ops_sign_extend(self):
+        result = run(exit_with([
+            # 0x7FFFFFFF + 1 wraps to -2^31 under addw.
+            Instr("lui", rd=5, imm=0x80000 >> 1),    # 0x4000_0000
+            Instr("addiw", rd=5, rs1=5, imm=-1),     # 0x3FFF_FFFF
+            Instr("addw", rd=5, rs1=5, rs2=5),       # 0x7FFF_FFFE
+            Instr("addiw", rd=5, rs1=5, imm=2),      # wraps negative
+            Instr("srai", rd=10, rs1=5, imm=31),     # -1
+        ]))
+        assert result.exit_code == -1
+
+    def test_branch_loop_sums(self):
+        # sum 1..10 via bne loop
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=0),    # i = 0
+            Instr("addi", rd=6, rs1=0, imm=0),    # acc = 0
+            Instr("addi", rd=7, rs1=0, imm=10),   # limit
+            # loop:
+            Instr("addi", rd=5, rs1=5, imm=1),
+            Instr("add", rd=6, rs1=6, rs2=5),
+            Instr("bne", rs1=5, rs2=7, imm=-8),
+            Instr("addi", rd=10, rs1=6, imm=0),
+        ]))
+        assert result.exit_code == 55
+
+    def test_jal_jalr_call_return(self):
+        text = DEFAULT_LAYOUT.text_base
+        result = run(exit_with([
+            Instr("jal", rd=1, imm=12),            # call +12
+            Instr("addi", rd=10, rs1=10, imm=1),   # after return: a0 += 1
+            Instr("jal", rd=0, imm=12),            # jump to exit sequence
+            Instr("addi", rd=10, rs1=0, imm=41),   # callee: a0 = 41
+            Instr("jalr", rd=0, rs1=1, imm=0),     # return
+        ]))
+        assert result.exit_code == 42
+
+    def test_memory_roundtrip(self):
+        setup = li_sequence(5, HEAP) + [
+            Instr("addi", rd=6, rs1=0, imm=1234),
+            Instr("sd", rs1=5, rs2=6, imm=16),
+            Instr("ld", rd=10, rs1=5, imm=16),
+        ]
+        assert run(exit_with(setup)).exit_code == 1234
+
+    def test_byte_halfword_sign_extension(self):
+        setup = li_sequence(5, HEAP) + [
+            Instr("addi", rd=6, rs1=0, imm=-1),
+            Instr("sb", rs1=5, rs2=6, imm=0),
+            Instr("lb", rd=7, rs1=5, imm=0),     # -1
+            Instr("lbu", rd=8, rs1=5, imm=0),    # 255
+            Instr("add", rd=10, rs1=7, rs2=8),   # 254
+        ]
+        assert run(exit_with(setup)).exit_code == 254
+
+    def test_write_syscall_output(self):
+        # store "hi\n" at heap and write(1, heap, 3)
+        setup = li_sequence(5, HEAP) + [
+            Instr("addi", rd=6, rs1=0, imm=ord("h")),
+            Instr("sb", rs1=5, rs2=6, imm=0),
+            Instr("addi", rd=6, rs1=0, imm=ord("i")),
+            Instr("sb", rs1=5, rs2=6, imm=1),
+            Instr("addi", rd=6, rs1=0, imm=10),
+            Instr("sb", rs1=5, rs2=6, imm=2),
+            Instr("addi", rd=10, rs1=0, imm=1),
+            Instr("addi", rd=11, rs1=5, imm=0),
+            Instr("addi", rd=12, rs1=0, imm=3),
+            Instr("addi", rd=17, rs1=0, imm=64),
+            Instr("ecall"),
+            Instr("addi", rd=10, rs1=0, imm=0),
+        ]
+        result = run(exit_with(setup))
+        assert result.output == b"hi\n"
+        assert result.exit_code == 0
+
+    def test_null_deref_faults(self):
+        result = run([Instr("ld", rd=10, rs1=0, imm=0)])
+        assert result.status == STATUS_FAULT
+
+    def test_pc_off_text_faults(self):
+        result = run([Instr("jal", rd=0, imm=-4096)])
+        assert result.status == STATUS_FAULT
+
+    def test_instruction_limit(self):
+        result = run([Instr("jal", rd=0, imm=0)], max_instructions=100)
+        assert result.status == STATUS_LIMIT
+
+    def test_x0_is_hardwired_zero(self):
+        result = run(exit_with([
+            Instr("addi", rd=0, rs1=0, imm=55),
+            Instr("addi", rd=10, rs1=0, imm=0),
+        ]))
+        assert result.exit_code == 0
+
+    def test_csr_cycle_readable(self):
+        result = run(exit_with([
+            Instr("addi", rd=5, rs1=0, imm=1),
+            Instr("addi", rd=5, rs1=5, imm=1),
+            Instr("csrrs", rd=10, rs1=0, imm=csrdef.CYCLE),
+        ]))
+        assert result.status == STATUS_EXIT
+        assert result.exit_code > 0
+
+
+def bind_heap_object(size=64, key=7):
+    """Instruction prelude: t0 = HEAP pointer bound to [HEAP, HEAP+size)
+    with temporal metadata (key stored at LOCK0)."""
+    seq = []
+    seq += li_sequence(5, HEAP)                        # t0 = ptr
+    seq += li_sequence(6, HEAP + size)                 # t1 = bound
+    seq += [Instr("bndrs", rd=5, rs1=5, rs2=6)]
+    seq += li_sequence(7, key)                         # t2 = key
+    seq += li_sequence(28, LOCK0)                      # t3 = lock
+    seq += [
+        Instr("sd", rs1=28, rs2=7, imm=0),             # *lock = key
+        Instr("bndrt", rd=5, rs1=7, rs2=28),
+    ]
+    return seq
+
+
+class TestHwstExtension:
+    def test_checked_load_in_bounds(self):
+        seq = bind_heap_object() + [
+            Instr("ld.chk", rd=10, rs1=5, imm=0),
+        ]
+        result = run(exit_with(seq))
+        assert result.status == STATUS_EXIT
+
+    def test_checked_load_out_of_bounds(self):
+        seq = bind_heap_object(size=64) + [
+            Instr("ld.chk", rd=10, rs1=5, imm=64),   # first OOB byte
+        ]
+        result = run(seq)
+        assert result.status == STATUS_SPATIAL
+
+    def test_checked_load_at_last_legal_byte(self):
+        seq = bind_heap_object(size=64) + [
+            Instr("lbu.chk", rd=10, rs1=5, imm=63),
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_checked_load_wide_access_at_edge(self):
+        """An 8-byte access at bound-4 must trap even though the first
+        byte is in bounds."""
+        seq = bind_heap_object(size=64) + [
+            Instr("ld.chk", rd=10, rs1=5, imm=60),
+        ]
+        assert run(seq).status == STATUS_SPATIAL
+
+    def test_checked_store_out_of_bounds(self):
+        seq = bind_heap_object(size=16) + [
+            Instr("sd.chk", rs1=5, rs2=7, imm=-8),   # below base
+        ]
+        assert run(seq).status == STATUS_SPATIAL
+
+    def test_checked_access_without_metadata_traps(self):
+        seq = li_sequence(5, HEAP) + [
+            Instr("ld.chk", rd=10, rs1=5, imm=0),
+        ]
+        assert run(seq).status == STATUS_SPATIAL
+
+    def test_srf_propagation_through_mv(self):
+        """Register moves carry the metadata (in-pipeline propagation)."""
+        seq = bind_heap_object() + [
+            Instr("addi", rd=6, rs1=5, imm=8),        # t1 = ptr + 8
+            Instr("ld.chk", rd=10, rs1=6, imm=0),     # still checked
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_srf_propagation_r_type_picks_pointer_operand(self):
+        seq = bind_heap_object() + [
+            Instr("addi", rd=6, rs1=0, imm=16),
+            Instr("add", rd=7, rs1=6, rs2=5),        # idx + ptr
+            Instr("ld.chk", rd=10, rs1=7, imm=0),
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_plain_load_invalidates_srf(self):
+        seq = bind_heap_object() + [
+            Instr("ld", rd=5, rs1=5, imm=0),        # t0 now a data value
+            Instr("ld.chk", rd=10, rs1=5, imm=0),
+        ]
+        assert run(seq).status == STATUS_SPATIAL
+
+    def test_tchk_passes_for_live_pointer(self):
+        seq = bind_heap_object(key=9) + [
+            Instr("tchk", rs1=5),
+            Instr("ld.chk", rd=10, rs1=5, imm=0),
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_tchk_fails_after_free(self):
+        """Freeing erases the key: *lock = 0, then tchk must trap."""
+        seq = bind_heap_object(key=9) + [
+            Instr("sd", rs1=28, rs2=0, imm=0),       # *lock = 0 (free)
+            Instr("tchk", rs1=5),
+        ]
+        assert run(seq).status == STATUS_TEMPORAL
+
+    def test_tchk_fails_for_reassigned_key(self):
+        seq = bind_heap_object(key=9) + li_sequence(29, 1234) + [
+            Instr("sd", rs1=28, rs2=29, imm=0),      # new allocation's key
+            Instr("tchk", rs1=5),
+        ]
+        assert run(seq).status == STATUS_TEMPORAL
+
+    def test_keybuffer_serves_repeat_tchk(self):
+        seq = bind_heap_object(key=9)
+        seq += [Instr("tchk", rs1=5)] * 5
+        machine = Machine()
+        result = machine.run(make_program(exit_with(seq)))
+        assert result.status == STATUS_EXIT
+        assert result.stats["kb_hits"] == 4
+        assert result.stats["kb_misses"] == 1
+
+    def test_keybuffer_cleared_by_free_catches_stale_key(self):
+        """The snoop on lock-table stores keeps the keybuffer coherent:
+        a free between two tchks must not be masked by a cached key."""
+        seq = bind_heap_object(key=9) + [
+            Instr("tchk", rs1=5),                    # fills keybuffer
+            Instr("sd", rs1=28, rs2=0, imm=0),       # free
+            Instr("tchk", rs1=5),                    # must trap
+        ]
+        assert run(seq).status == STATUS_TEMPORAL
+
+    def test_tchk_without_temporal_metadata(self):
+        seq = li_sequence(5, HEAP) + li_sequence(6, HEAP + 64) + [
+            Instr("bndrs", rd=5, rs1=5, rs2=6),
+            Instr("tchk", rs1=5),
+        ]
+        assert run(seq).status == STATUS_TEMPORAL
+
+    def test_shadow_roundtrip_through_memory(self):
+        """sbdl/sbdu then lbdls/lbdus restores checked access rights."""
+        seq = bind_heap_object(size=64, key=9)
+        seq += li_sequence(29, HEAP + 0x100)           # container addr
+        seq += [
+            Instr("sbdl", rs1=29, rs2=5, imm=0),
+            Instr("sbdu", rs1=29, rs2=5, imm=0),
+            Instr("sd", rs1=29, rs2=5, imm=0),         # store the pointer
+            Instr("ld", rd=6, rs1=29, imm=0),          # reload pointer
+            Instr("lbdls", rd=6, rs1=29, imm=0),
+            Instr("lbdus", rd=6, rs1=29, imm=0),
+            Instr("tchk", rs1=6),
+            Instr("ld.chk", rd=10, rs1=6, imm=8),
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_decompressing_gpr_loads(self):
+        """lbas/lbnd/lkey/lloc recover the uncompressed fields."""
+        seq = bind_heap_object(size=64, key=9)
+        seq += li_sequence(29, HEAP + 0x100)
+        seq += [
+            Instr("sbdl", rs1=29, rs2=5, imm=0),
+            Instr("sbdu", rs1=29, rs2=5, imm=0),
+            Instr("lbas", rd=11, rs1=29, imm=0),     # base
+            Instr("lbnd", rd=12, rs1=29, imm=0),     # bound
+            Instr("lkey", rd=13, rs1=29, imm=0),     # key
+            Instr("lloc", rd=14, rs1=29, imm=0),     # lock
+            # a0 = (bound - base) + key  == 64 + 9
+            Instr("sub", rd=10, rs1=12, rs2=11),
+            Instr("add", rd=10, rs1=10, rs2=13),
+        ]
+        result = run(exit_with(seq))
+        assert result.status == STATUS_EXIT
+        assert result.exit_code == 64 + 9
+
+    def test_lloc_recovers_lock_address(self):
+        seq = bind_heap_object(size=64, key=9)
+        seq += li_sequence(29, HEAP + 0x100)
+        seq += [
+            Instr("sbdu", rs1=29, rs2=5, imm=0),
+            Instr("lloc", rd=10, rs1=29, imm=0),
+            Instr("sub", rd=10, rs1=10, rs2=28),   # lock - LOCK0 == 0
+        ]
+        result = run(exit_with(seq))
+        assert result.exit_code == 0
+
+    def test_unknown_instruction_is_illegal(self):
+        result = run([Instr("bogus")])
+        assert result.status == STATUS_ILLEGAL
+
+    def test_stats_count_hwst_ops(self):
+        seq = bind_heap_object() + [
+            Instr("tchk", rs1=5),
+            Instr("ld.chk", rd=10, rs1=5, imm=0),
+        ]
+        result = run(exit_with(seq))
+        assert result.stats["hwst_ops"] >= 4   # bndrs, bndrt, tchk, ld.chk
+        assert result.stats["tchk"] == 1
+
+
+class TestMpxAndAvxModels:
+    def test_bndcl_bndcu_pass_and_fail(self):
+        seq = bind_heap_object(size=64) + [
+            Instr("bndcl", rs1=5, rs2=5),
+            Instr("addi", rd=6, rs1=5, imm=63),
+            Instr("bndcu", rs1=5, rs2=6),
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+        seq_bad = bind_heap_object(size=64) + [
+            Instr("addi", rd=6, rs1=5, imm=64),
+            Instr("bndcu", rs1=5, rs2=6),
+        ]
+        assert run(seq_bad).status == STATUS_SPATIAL
+
+    def test_bndldx_bndstx_roundtrip(self):
+        seq = bind_heap_object(size=64)
+        seq += li_sequence(29, HEAP + 0x200)
+        seq += [
+            Instr("bndstx", rs1=29, rs2=5, imm=0),
+            Instr("bndldx", rd=6, rs1=29, imm=0),
+            Instr("addi", rd=7, rs1=5, imm=63),
+            Instr("bndcu", rs1=6, rs2=7),
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_vld_vst_vchk_wide_metadata(self):
+        """WDL wide mode: 256-bit uncompressed metadata + fused check."""
+        seq = li_sequence(29, HEAP + 0x300)      # container
+        # Write uncompressed metadata directly into the shadow span.
+        seq += li_sequence(5, HEAP)              # base
+        seq += li_sequence(6, HEAP + 64)         # bound
+        seq += li_sequence(7, 9)                 # key
+        seq += li_sequence(28, LOCK0)            # lock
+        seq += [
+            Instr("sd", rs1=28, rs2=7, imm=0),   # *lock = key
+        ]
+        # Build the 32-byte shadow image via vst256 from a wide SRF
+        # loaded by hand: easiest is vld256 after storing fields with
+        # plain stores through a shadow pointer.
+        shadow_addr = (HEAP + 0x300 << 2) + HwstConfig().shadow_offset
+        seq += li_sequence(30, shadow_addr)
+        seq += [
+            Instr("sd", rs1=30, rs2=5, imm=0),
+            Instr("sd", rs1=30, rs2=6, imm=8),
+            Instr("sd", rs1=30, rs2=7, imm=16),
+            Instr("sd", rs1=30, rs2=28, imm=24),
+            Instr("vld256", rd=5, rs1=29, imm=0),
+            Instr("vchk", rs1=5, rs2=5),          # addr = base: in bounds
+        ]
+        assert run(exit_with(seq)).status == STATUS_EXIT
+
+    def test_vchk_detects_temporal(self):
+        shadow_addr = (HEAP + 0x300 << 2) + HwstConfig().shadow_offset
+        seq = li_sequence(29, HEAP + 0x300)
+        seq += li_sequence(5, HEAP)
+        seq += li_sequence(6, HEAP + 64)
+        seq += li_sequence(7, 9)
+        seq += li_sequence(28, LOCK0)
+        seq += li_sequence(30, shadow_addr)
+        seq += [
+            Instr("sd", rs1=30, rs2=5, imm=0),
+            Instr("sd", rs1=30, rs2=6, imm=8),
+            Instr("sd", rs1=30, rs2=7, imm=16),
+            Instr("sd", rs1=30, rs2=28, imm=24),
+            Instr("sd", rs1=28, rs2=0, imm=0),    # lock holds 0 != key
+            Instr("vld256", rd=5, rs1=29, imm=0),
+            Instr("vchk", rs1=5, rs2=5),
+        ]
+        assert run(seq).status == STATUS_TEMPORAL
+
+
+class TestTimingIntegration:
+    def test_cycles_exceed_instret(self):
+        seq = bind_heap_object() + [
+            Instr("ld.chk", rd=10, rs1=5, imm=0),
+        ]
+        result = run(exit_with(seq), timing=True)
+        assert result.cycles > result.instret  # misses + redirects exist
+
+    def test_keybuffer_saves_cycles(self):
+        """Repeated tchk to the same lock must be cheaper with a
+        keybuffer than without (the Fig. 4 HWST128_tchk vs HWST128 gap)."""
+        def run_with_kb(entries):
+            config = HwstConfig(keybuffer_entries=entries)
+            machine = Machine(config=config, timing=InOrderPipeline())
+            seq = bind_heap_object(key=3)
+            seq += [Instr("tchk", rs1=5)] * 50
+            return machine.run(make_program(exit_with(seq))).cycles
+
+        assert run_with_kb(8) < run_with_kb(0)
+
+    def test_taken_branch_costs_more(self):
+        body_taken = [
+            Instr("addi", rd=5, rs1=0, imm=1),
+            Instr("beq", rs1=0, rs2=0, imm=8),   # taken, skips next
+            Instr("addi", rd=6, rs1=0, imm=1),
+        ]
+        body_not = [
+            Instr("addi", rd=5, rs1=0, imm=1),
+            Instr("bne", rs1=0, rs2=0, imm=8),   # never taken
+            Instr("addi", rd=6, rs1=0, imm=1),
+        ]
+        taken = run(exit_with(body_taken), timing=True)
+        untaken = run(exit_with(body_not), timing=True)
+        assert taken.cycles > untaken.cycles - 1  # same instret -1
+        assert taken.stats["cyc_redirect"] > untaken.stats["cyc_redirect"]
+
+    def test_load_use_stall_counted(self):
+        seq = li_sequence(5, HEAP) + [
+            Instr("ld", rd=6, rs1=5, imm=0),
+            Instr("addi", rd=7, rs1=6, imm=1),   # immediate consumer
+        ]
+        result = run(exit_with(seq), timing=True)
+        assert result.stats["cyc_load_use"] >= 1

@@ -1,0 +1,146 @@
+"""Tests for the paged memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.sim.memory import DEFAULT_LAYOUT, Memory, MemoryLayout, PAGE_SIZE
+
+
+def small_memory() -> Memory:
+    memory = Memory()
+    memory.map_region(0x1000, 0x10000, "test")
+    return memory
+
+
+class TestRegions:
+    def test_unmapped_access_faults(self):
+        memory = small_memory()
+        with pytest.raises(MemoryFault):
+            memory.load_u8(0x0)
+        with pytest.raises(MemoryFault):
+            memory.store_u8(0x2_0000, 1)
+
+    def test_null_page_is_unmapped_by_default(self):
+        """Page zero stays unmapped so baseline null derefs fault."""
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        with pytest.raises(MemoryFault):
+            memory.load_u64(0)
+
+    def test_access_straddling_region_end_faults(self):
+        memory = small_memory()
+        with pytest.raises(MemoryFault):
+            memory.load_u64(0x1000 + 0x10000 - 4)
+
+    def test_region_of(self):
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        assert memory.region_of(DEFAULT_LAYOUT.text_base) == "text"
+        assert memory.region_of(DEFAULT_LAYOUT.heap_base) == "heap"
+        assert memory.region_of(DEFAULT_LAYOUT.stack_top - 8) == "stack"
+        assert memory.region_of(DEFAULT_LAYOUT.shadow_offset) == "shadow"
+        assert memory.region_of(0) is None
+
+    def test_bad_region_size(self):
+        with pytest.raises(ValueError):
+            Memory().map_region(0, 0)
+
+
+class TestScalars:
+    def test_u64_roundtrip(self):
+        memory = small_memory()
+        memory.store_u64(0x1008, 0x1122_3344_5566_7788)
+        assert memory.load_u64(0x1008) == 0x1122_3344_5566_7788
+
+    def test_little_endian(self):
+        memory = small_memory()
+        memory.store_u32(0x1000, 0xAABBCCDD)
+        assert memory.load_u8(0x1000) == 0xDD
+        assert memory.load_u8(0x1003) == 0xAA
+
+    def test_store_truncates(self):
+        memory = small_memory()
+        memory.store_u8(0x1000, 0x1FF)
+        assert memory.load_u8(0x1000) == 0xFF
+
+    def test_zero_initialised(self):
+        memory = small_memory()
+        assert memory.load_u64(0x2000) == 0
+
+    def test_page_crossing_access(self):
+        memory = Memory()
+        memory.map_region(0, 4 * PAGE_SIZE, "span")
+        addr = PAGE_SIZE - 3
+        memory.store_u64(addr, 0x0102_0304_0506_0708)
+        assert memory.load_u64(addr) == 0x0102_0304_0506_0708
+
+    @given(st.integers(min_value=0, max_value=0xFFF8),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_u64_roundtrip_property(self, offset, value):
+        memory = small_memory()
+        addr = 0x1000 + (offset & ~7)
+        memory.store_u64(addr, value)
+        assert memory.load_u64(addr) == value
+
+
+class TestBulk:
+    def test_bytes_roundtrip(self):
+        memory = small_memory()
+        blob = bytes(range(256))
+        memory.store_bytes(0x1100, blob)
+        assert memory.load_bytes(0x1100, 256) == blob
+
+    def test_cstring(self):
+        memory = small_memory()
+        memory.store_bytes(0x1200, b"hello\x00world")
+        assert memory.load_cstring(0x1200) == b"hello"
+
+    def test_cstring_limit(self):
+        memory = small_memory()
+        memory.store_bytes(0x1300, b"a" * 64)
+        assert memory.load_cstring(0x1300, limit=16) == b"a" * 16
+
+    def test_pages_allocated_lazily(self):
+        memory = Memory()
+        memory.map_region(0, 1 << 20, "big")
+        assert memory.pages_allocated == 0
+        memory.store_u8(0x8_0000, 1)
+        assert memory.pages_allocated == 1
+
+
+class TestShadowAccounting:
+    def test_shadow_bytes_counted(self):
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        before = memory.shadow_bytes_touched
+        memory.store_u64(DEFAULT_LAYOUT.shadow_offset + 64, 1)
+        assert memory.shadow_bytes_touched == before + 8
+
+    def test_user_bytes_not_counted(self):
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        memory.store_u64(DEFAULT_LAYOUT.heap_base, 1)
+        assert memory.shadow_bytes_touched == 0
+
+
+class TestLayout:
+    def test_default_layout_is_consistent(self):
+        layout = DEFAULT_LAYOUT
+        assert layout.text_base < layout.data_base < layout.heap_base
+        assert layout.heap_top <= layout.stack_base
+        assert layout.stack_top <= layout.user_top
+        assert layout.shadow_offset >= layout.user_top
+
+    def test_lock_table_overlays_text_shadow_only(self):
+        """The lock table must fit below the shadow of the data segment."""
+        from repro.core.config import HwstConfig
+
+        layout = DEFAULT_LAYOUT
+        config = HwstConfig()
+        data_shadow_start = (layout.data_base << 2) + layout.shadow_offset
+        assert config.lock_limit <= data_shadow_start
+
+    def test_stack_base(self):
+        layout = MemoryLayout()
+        assert layout.stack_base == layout.stack_top - layout.stack_size

@@ -1,0 +1,69 @@
+"""Tests for the benchmark workloads: registry + execution correctness.
+
+Every kernel must be self-checking (exit 0) under the unprotected
+baseline AND under full HWST128 protection (no false positives), with
+identical output — the precondition for Eq. 7 to be meaningful.
+"""
+
+import pytest
+
+from repro.harness.runner import run_workload
+from repro.workloads import SPEC_FIG5, WORKLOADS, by_group
+
+ALL = sorted(WORKLOADS)
+
+
+class TestRegistry:
+    def test_twentythree_workloads(self):
+        assert len(WORKLOADS) == 23
+
+    def test_groups(self):
+        assert len(by_group("mibench")) == 9
+        assert len(by_group("olden")) == 7
+        assert len(by_group("spec")) == 7
+
+    def test_fig5_subset_matches_paper(self):
+        """Fig. 5 uses milc, lbm, sphinx3, sjeng, gobmk, bzip2, hmmer."""
+        assert set(SPEC_FIG5) == {"milc", "lbm", "sphinx3", "sjeng",
+                                  "gobmk", "bzip2", "hmmer"}
+        for name in SPEC_FIG5:
+            assert WORKLOADS[name].group == "spec"
+
+    def test_paper_workload_names_present(self):
+        for name in ("CRC32", "dijkstra", "sha", "FFT", "adpcm",
+                     "susan", "tsp", "em3d", "health", "mst",
+                     "perimeter", "bisort", "treeadd"):
+            assert name in WORKLOADS, name
+
+    def test_sources_render_with_params(self):
+        for workload in WORKLOADS.values():
+            source = workload.source("small")
+            assert "@"not in source.replace("@", "", 0) or \
+                "@" not in source, f"{workload.name}: unexpanded params"
+            assert "int main" in source
+
+    def test_descriptions(self):
+        for workload in WORKLOADS.values():
+            assert workload.description
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_workload_baseline_self_check(name):
+    result = run_workload(name, "baseline", scale="small", timing=False,
+                          max_instructions=30_000_000)
+    assert result.status == "exit", (name, result.status, result.detail)
+    assert result.exit_code == 0, (name, result.exit_code)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_workload_clean_under_hwst(name):
+    """Full protection must not fire on correct kernels."""
+    base = run_workload(name, "baseline", scale="small", timing=False,
+                        max_instructions=30_000_000)
+    hwst = run_workload(name, "hwst128_tchk", scale="small",
+                        timing=False, max_instructions=60_000_000)
+    assert hwst.status == "exit", (name, hwst.status, hwst.detail)
+    assert hwst.exit_code == 0, name
+    assert hwst.output == base.output, name
+    # instrumentation really ran:
+    assert hwst.instret > base.instret, name
