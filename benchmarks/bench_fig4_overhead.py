@@ -18,7 +18,8 @@ SUBSET = ["stringsearch", "sha", "treeadd", "tsp", "health",
 
 @pytest.fixture(scope="module")
 def fig4_data():
-    return fig4_overhead(scale="small", workloads=SUBSET)
+    return fig4_overhead(scale="small", workloads=SUBSET,
+                         collect_metrics=True)
 
 
 def test_fig4_generate(benchmark, fig4_data):
@@ -73,4 +74,24 @@ def test_fig4_speedup_over_software(benchmark, fig4_data):
         factor = (1 + geomean["sbcets"] / 100) / \
             (1 + geomean["hwst128_tchk"] / 100)
         assert factor > 2.0, f"hardware speedup collapsed: {factor:.2f}x"
+    run_once(benchmark, check)
+
+def test_fig4_metric_snapshots(benchmark, fig4_data):
+    """Per-run metric snapshots ride along with the overhead rows: the
+    tchk runs must show keybuffer traffic and every run a consistent
+    cycle count between the registry and the headline number."""
+    def check():
+        saved = []
+        for row in fig4_data["rows"]:
+            snaps = row["metrics"]
+            assert set(snaps) == {"baseline", "sbcets", "hwst128",
+                                  "hwst128_tchk"}
+            tchk = snaps["hwst128_tchk"]
+            assert tchk["sim.kb.hits"] + tchk["sim.kb.misses"] > 0, row
+            for scheme, snap in snaps.items():
+                assert snap["sim.cycles"] == snap["pipeline.cycles"], \
+                    (row["workload"], scheme)
+            saved.append({"workload": row["workload"],
+                          "hwst128_tchk": tchk})
+        save_results("fig4_metrics", saved)
     run_once(benchmark, check)

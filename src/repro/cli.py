@@ -31,6 +31,13 @@ def _read_source(path: str) -> str:
         return fh.read()
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
+
+
 def _print_result(result, stats: bool):
     print(f"status : {result.status}")
     if result.status == "exit":
@@ -42,22 +49,88 @@ def _print_result(result, stats: bool):
     print(f"instret: {result.instret}")
     print(f"cycles : {result.cycles}")
     if stats:
+        from repro.obs.stats import derived_rates
+
         print("stats  :")
         for key in sorted(result.stats):
             print(f"  {key:18s} {result.stats[key]}")
+        rates = derived_rates(result.stats, instret=result.instret,
+                              cycles=result.cycles)
+        print("derived:")
+        for key in sorted(rates):
+            print(f"  {key:18s} {rates[key]:.4f}")
 
 
 def cmd_run(args) -> int:
     source = _read_source(args.file)
-    program = compile_source(source, args.scheme, HwstConfig())
-    timing = None if args.no_timing else InOrderPipeline()
-    machine = Machine(timing=timing, trace_depth=args.trace)
+    observing = bool(args.profile or args.trace_out or args.metrics_out)
+    metrics = tracer = profiler = phases = None
+    if observing:
+        from repro.obs import (CycleProfiler, MetricsRegistry, PhaseTimers,
+                               Tracer)
+
+        metrics = MetricsRegistry()
+        if args.trace_out:
+            tracer = Tracer(capacity=args.trace_buffer)
+        if args.profile:
+            profiler = CycleProfiler()
+        phases = PhaseTimers(metrics=metrics, tracer=tracer)
+    program = compile_source(source, args.scheme, HwstConfig(),
+                             phases=phases)
+    timing = None if args.no_timing else InOrderPipeline(metrics=metrics)
+    machine = Machine(timing=timing, trace_depth=args.trace,
+                      metrics=metrics, tracer=tracer, profiler=profiler)
     result = machine.run(program, max_instructions=args.max_instructions)
     _print_result(result, args.stats)
     if args.trace and result.status != "exit":
         print("\nlast retired instructions:")
         print(machine.trace_text())
+    if args.profile:
+        report = profiler.report(program)
+        print("\nhotspots:")
+        print(report.table())
+        print(f"attributed : {100.0 * report.attributed_fraction:.1f}% "
+              "of cycles mapped to functions")
+    if args.metrics_out:
+        machine.metrics.to_json(
+            args.metrics_out,
+            extra={"scheme": args.scheme, "file": args.file})
+        print(f"metrics -> {args.metrics_out}")
+    if args.trace_out:
+        if args.trace_format == "jsonl":
+            tracer.to_jsonl(args.trace_out)
+        else:
+            tracer.to_chrome_json(args.trace_out)
+        note = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"trace   -> {args.trace_out} "
+              f"({len(tracer)} events{note})")
     return 0 if result.status == "exit" and result.exit_code == 0 else 1
+
+
+def cmd_stats(args) -> int:
+    """Run a program and pretty-print the full metric tree."""
+    from repro.obs import MetricsRegistry, PhaseTimers
+    from repro.obs.metrics import format_tree
+    from repro.obs.stats import derived_rates
+
+    source = _read_source(args.file)
+    metrics = MetricsRegistry()
+    phases = PhaseTimers(metrics=metrics)
+    program = compile_source(source, args.scheme, HwstConfig(),
+                             phases=phases)
+    timing = None if args.no_timing else InOrderPipeline(metrics=metrics)
+    machine = Machine(timing=timing, metrics=metrics)
+    result = machine.run(program, max_instructions=args.max_instructions)
+    print(f"{args.file} under {args.scheme}: {result.status} "
+          f"({result.instret} instructions, {result.cycles} cycles)")
+    rates = derived_rates(result.stats, instret=result.instret,
+                          cycles=result.cycles)
+    print(format_tree(metrics.tree(), derived=rates))
+    if args.metrics_out:
+        metrics.to_json(args.metrics_out,
+                        extra={"scheme": args.scheme, "file": args.file})
+        print(f"metrics -> {args.metrics_out}")
+    return 0 if result.ok else 1
 
 
 def cmd_compile(args) -> int:
@@ -150,7 +223,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep the last N instructions for post-mortem")
     run_p.add_argument("--max-instructions", type=int,
                        default=200_000_000)
+    run_p.add_argument("--profile", action="store_true",
+                       help="per-function cycle-attribution hotspot table")
+    run_p.add_argument("--metrics-out", metavar="OUT.JSON",
+                       help="write the metric snapshot "
+                       "(repro.obs.metrics/v1)")
+    run_p.add_argument("--trace-out", metavar="OUT.JSON",
+                       help="write a structured event trace")
+    run_p.add_argument("--trace-format", default="chrome",
+                       choices=("chrome", "jsonl"),
+                       help="trace_event JSON (Perfetto-loadable) or JSONL")
+    run_p.add_argument("--trace-buffer", type=_positive_int,
+                       default=65536, metavar="N",
+                       help="trace ring-buffer capacity")
     run_p.set_defaults(fn=cmd_run)
+
+    stats_p = sub.add_parser(
+        "stats", help="run a mini-C file and print the metric tree")
+    stats_p.add_argument("file")
+    stats_p.add_argument("--scheme", default="baseline",
+                         choices=sorted(SCHEMES))
+    stats_p.add_argument("--no-timing", action="store_true")
+    stats_p.add_argument("--max-instructions", type=int,
+                         default=200_000_000)
+    stats_p.add_argument("--metrics-out", metavar="OUT.JSON",
+                         help="also write the snapshot as JSON")
+    stats_p.set_defaults(fn=cmd_stats)
 
     compile_p = sub.add_parser("compile",
                                help="compile and inspect a mini-C file")

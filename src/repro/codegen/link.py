@@ -99,12 +99,20 @@ def build_program(module: Module,
                   config: Optional[HwstConfig] = None,
                   layout: MemoryLayout = DEFAULT_LAYOUT,
                   options: Optional[CodegenOptions] = None,
-                  meta: Optional[dict] = None):
-    """Link ``module`` into an executable :class:`Program`."""
+                  meta: Optional[dict] = None,
+                  phases=None):
+    """Link ``module`` into an executable :class:`Program`.
+
+    ``phases`` (a :class:`repro.obs.phases.PhaseTimers`) splits the
+    backend wall time into the per-function ``lower`` phase and the
+    surrounding ``link`` work (layout, placement, relocation).
+    """
+    from repro.obs.phases import NULL_PHASES
     from repro.sim.program import Program, Segment
 
     config = config or HwstConfig()
     options = options or CodegenOptions()
+    phases = phases if phases is not None else NULL_PHASES
 
     if "main" not in module.functions:
         raise LinkError("no main() in module")
@@ -112,69 +120,72 @@ def build_program(module: Module,
         raise LinkError("no __rt_init() — runtime not linked in")
 
     # 1. Data segment layout.
-    global_addr: Dict[str, int] = {}
-    cursor = layout.data_base
-    blob = bytearray()
-    for data in module.globals.values():
-        align = max(data.align, 8 if not data.is_string else 1)
-        aligned = bits.align_up(cursor, align)
-        blob += b"\x00" * (aligned - cursor)
-        cursor = aligned
-        global_addr[data.name] = cursor
-        chunk = data.data.ljust(data.size, b"\x00")
-        blob += chunk
-        cursor += data.size
-    if cursor > layout.heap_base:
-        raise LinkError(
-            f"data segment overflows into the heap "
-            f"({cursor:#x} > {layout.heap_base:#x})")
+    with phases.phase("link"):
+        global_addr: Dict[str, int] = {}
+        cursor = layout.data_base
+        blob = bytearray()
+        for data in module.globals.values():
+            align = max(data.align, 8 if not data.is_string else 1)
+            aligned = bits.align_up(cursor, align)
+            blob += b"\x00" * (aligned - cursor)
+            cursor = aligned
+            global_addr[data.name] = cursor
+            chunk = data.data.ljust(data.size, b"\x00")
+            blob += chunk
+            cursor += data.size
+        if cursor > layout.heap_base:
+            raise LinkError(
+                f"data segment overflows into the heap "
+                f"({cursor:#x} > {layout.heap_base:#x})")
 
     # 2. Compile functions.
-    chunks: List[tuple] = [("_start", _start_code(config))]
-    for name, code in asm_stubs(config, layout).items():
-        if name in module.functions:
-            continue  # a runtime/user definition overrides the stub
-        chunks.append((name, code))
-    for name, fn in module.functions.items():
-        chunks.append((name, compile_function(fn, options)))
+    with phases.phase("lower"):
+        chunks: List[tuple] = [("_start", _start_code(config))]
+        for name, code in asm_stubs(config, layout).items():
+            if name in module.functions:
+                continue  # a runtime/user definition overrides the stub
+            chunks.append((name, code))
+        for name, fn in module.functions.items():
+            chunks.append((name, compile_function(fn, options)))
 
-    # 3. Place sequentially.
-    func_addr: Dict[str, int] = {}
-    instrs: List[Instr] = []
-    for name, code in chunks:
-        func_addr[name] = layout.text_base + 4 * len(instrs)
-        instrs.extend(code)
-    text_end = layout.text_base + 4 * len(instrs)
-    if text_end > layout.data_base:
-        raise LinkError(f"text overflows data base ({text_end:#x})")
+    with phases.phase("link"):
+        # 3. Place sequentially.
+        func_addr: Dict[str, int] = {}
+        instrs: List[Instr] = []
+        for name, code in chunks:
+            func_addr[name] = layout.text_base + 4 * len(instrs)
+            instrs.extend(code)
+        text_end = layout.text_base + 4 * len(instrs)
+        if text_end > layout.data_base:
+            raise LinkError(f"text overflows data base ({text_end:#x})")
 
-    # 4. Patch relocations.
-    for index, ins in enumerate(instrs):
-        if ins.sym is None:
-            continue
-        pc = layout.text_base + 4 * index
-        if ins.sym_kind == "call":
-            target = func_addr.get(ins.sym)
-            if target is None:
-                raise LinkError(f"undefined function {ins.sym!r}")
-            offset = target - pc
-            if not bits.fits_signed(offset, 21):
-                raise LinkError(f"call to {ins.sym!r} out of jal range")
-            ins.imm = offset
-        elif ins.sym_kind in ("hi", "lo"):
-            addr = global_addr.get(ins.sym)
-            if addr is None:
-                raise LinkError(f"undefined global {ins.sym!r}")
-            hi = (addr + 0x800) >> 12
-            if ins.sym_kind == "hi":
-                ins.imm = hi & 0xFFFFF
+        # 4. Patch relocations.
+        for index, ins in enumerate(instrs):
+            if ins.sym is None:
+                continue
+            pc = layout.text_base + 4 * index
+            if ins.sym_kind == "call":
+                target = func_addr.get(ins.sym)
+                if target is None:
+                    raise LinkError(f"undefined function {ins.sym!r}")
+                offset = target - pc
+                if not bits.fits_signed(offset, 21):
+                    raise LinkError(f"call to {ins.sym!r} out of jal range")
+                ins.imm = offset
+            elif ins.sym_kind in ("hi", "lo"):
+                addr = global_addr.get(ins.sym)
+                if addr is None:
+                    raise LinkError(f"undefined global {ins.sym!r}")
+                hi = (addr + 0x800) >> 12
+                if ins.sym_kind == "hi":
+                    ins.imm = hi & 0xFFFFF
+                else:
+                    ins.imm = addr - (hi << 12)
             else:
-                ins.imm = addr - (hi << 12)
-        else:
-            raise LinkError(
-                f"unresolved local label {ins.sym!r} escaped codegen")
-        ins.sym = None
-        ins.sym_kind = ""
+                raise LinkError(
+                    f"unresolved local label {ins.sym!r} escaped codegen")
+            ins.sym = None
+            ins.sym_kind = ""
 
     symbols = dict(func_addr)
     symbols.update(global_addr)

@@ -98,8 +98,14 @@ FIG4_SCHEMES = ("sbcets", "hwst128", "hwst128_tchk")
 
 def fig4_overhead(scale: str = "default",
                   workloads: Optional[Sequence[str]] = None,
-                  timing_params: Optional[TimingParams] = None) -> Dict:
-    """Fig. 4: perf.oh of SBCETS / HWST128 / HWST128_tchk per workload."""
+                  timing_params: Optional[TimingParams] = None,
+                  collect_metrics: bool = False) -> Dict:
+    """Fig. 4: perf.oh of SBCETS / HWST128 / HWST128_tchk per workload.
+
+    With ``collect_metrics`` every row carries the per-run metric
+    snapshots (``RunResult.metrics``, keyed by scheme), which the
+    ``benchmarks/`` suite saves next to the overhead numbers.
+    """
     names = list(workloads) if workloads else list(WORKLOADS)
     rows = []
     ratios = {scheme: [] for scheme in FIG4_SCHEMES}
@@ -110,6 +116,7 @@ def fig4_overhead(scale: str = "default",
             raise RuntimeError(f"{name} baseline failed: {base.status}")
         row = {"workload": name, "group": WORKLOADS[name].group,
                "baseline_cycles": base.cycles}
+        snapshots = {"baseline": base.metrics}
         for scheme in FIG4_SCHEMES:
             run = run_workload(name, scheme, scale=scale,
                                timing_params=timing_params)
@@ -117,6 +124,9 @@ def fig4_overhead(scale: str = "default",
                 raise RuntimeError(f"{name}/{scheme}: {run.status}")
             row[scheme] = perf_overhead_pct(run.cycles, base.cycles)
             ratios[scheme].append(run.cycles / base.cycles)
+            snapshots[scheme] = run.metrics
+        if collect_metrics:
+            row["metrics"] = snapshots
         rows.append(row)
     geomean = {scheme: 100.0 * (_geomean(values) - 1.0)
                for scheme, values in ratios.items()}
@@ -215,7 +225,8 @@ def hwcost_table(config: Optional[HwstConfig] = None) -> Dict:
 def abl_keybuffer(sizes: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
                   workloads: Sequence[str] = ("bzip2", "hmmer", "tsp"),
                   scale: str = "default",
-                  policies: Sequence[str] = ("lru",)) -> Dict:
+                  policies: Sequence[str] = ("lru",),
+                  collect_metrics: bool = False) -> Dict:
     """ABL-KB: keybuffer size/policy sweep (design choice of §3.5)."""
     rows = []
     for policy in policies:
@@ -235,6 +246,8 @@ def abl_keybuffer(sizes: Sequence[int] = (0, 1, 2, 4, 8, 16, 32),
                     "hit_rate": hits / (hits + misses) if hits + misses
                     else 0.0,
                 }
+                if collect_metrics:
+                    entry[name]["metrics"] = run.metrics
             rows.append(entry)
     return {"rows": rows, "workloads": list(workloads),
             "policies": list(policies)}
@@ -288,11 +301,13 @@ def abl_shadow_map(workloads: Sequence[str] = ("tsp", "health",
 
 EXPERIMENTS = {
     "fig2": lambda args: fig2_compression(scale=args.scale),
-    "fig4": lambda args: fig4_overhead(scale=args.scale),
+    "fig4": lambda args: fig4_overhead(scale=args.scale,
+                                       collect_metrics=args.metrics),
     "fig5": lambda args: fig5_speedup(scale=args.scale),
     "fig6": lambda args: fig6_coverage(fraction=args.fraction),
     "hwcost": lambda args: hwcost_table(),
-    "abl_keybuffer": lambda args: abl_keybuffer(scale=args.scale),
+    "abl_keybuffer": lambda args: abl_keybuffer(
+        scale=args.scale, collect_metrics=args.metrics),
     "abl_compression": lambda args: abl_compression(scale=args.scale),
     "abl_shadow": lambda args: abl_shadow_map(scale=args.scale),
 }
@@ -313,6 +328,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=("default", "small"))
     parser.add_argument("--fraction", type=float, default=0.03,
                         help="Juliet corpus sample fraction")
+    parser.add_argument("--metrics", action="store_true",
+                        help="attach per-run metric snapshots to the "
+                        "experiment data (fig4, abl_keybuffer)")
     parser.add_argument("--list", action="store_true")
     args = parser.parse_args(argv)
     if args.list:

@@ -18,12 +18,25 @@ def run_program(source: str, scheme: str,
                 config: Optional[HwstConfig] = None,
                 timing: bool = True,
                 timing_params: Optional[TimingParams] = None,
-                max_instructions: int = 200_000_000) -> RunResult:
-    """Compile + execute one program under one scheme."""
+                max_instructions: int = 200_000_000,
+                metrics=None, tracer=None, profiler=None,
+                phases=None) -> RunResult:
+    """Compile + execute one program under one scheme.
+
+    Observability hooks (``metrics``/``tracer``/``profiler``/compile
+    ``phases``) are optional and off by default; when a shared
+    registry is passed, compile-phase, simulator and pipeline metrics
+    all land in the same snapshot (``RunResult.metrics``).
+    """
     config = config or HwstConfig()
-    program = compile_source(source, scheme, config)
-    pipeline = InOrderPipeline(timing_params) if timing else None
-    machine = Machine(config=config, timing=pipeline)
+    if phases is None and metrics is not None:
+        from repro.obs.phases import PhaseTimers
+        phases = PhaseTimers(metrics=metrics, tracer=tracer)
+    program = compile_source(source, scheme, config, phases=phases)
+    pipeline = InOrderPipeline(timing_params, metrics=metrics) \
+        if timing else None
+    machine = Machine(config=config, timing=pipeline, metrics=metrics,
+                      tracer=tracer, profiler=profiler)
     return machine.run(program, max_instructions=max_instructions)
 
 

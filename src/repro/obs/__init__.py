@@ -1,0 +1,40 @@
+"""``repro.obs`` — unified telemetry for the HWST128 reproduction.
+
+Four cooperating pieces (see docs/observability.md for the catalogue):
+
+* :mod:`repro.obs.metrics` — hierarchical :class:`MetricsRegistry`
+  with typed :class:`Counter`/:class:`Gauge`/:class:`Histogram`,
+  snapshot/delta/merge and JSON export;
+* :mod:`repro.obs.tracing` — bounded-ring structured event
+  :class:`Tracer` with Chrome ``trace_event`` and JSONL exporters;
+* :mod:`repro.obs.profiler` — :class:`CycleProfiler`, per-PC /
+  per-function cycle attribution on the timing model;
+* :mod:`repro.obs.phases` — :class:`PhaseTimers`, wall-clock spans
+  around the compile pipeline.
+
+Everything is off by default: a machine without a tracer/profiler and
+a compile without phase timers take the null-sink fast paths.
+"""
+
+from repro.obs.metrics import (
+    Counter, Gauge, Histogram, MetricsRegistry, Scope, format_tree,
+    merge_snapshots,
+)
+from repro.obs.phases import (
+    COMPILE_PHASES, NULL_PHASES, NullPhaseTimers, PhaseTimers,
+)
+from repro.obs.profiler import CycleProfiler, FunctionProfile, ProfileReport
+from repro.obs.stats import HitMissStats, derived_rates
+from repro.obs.tracing import (
+    NULL_TRACER, NullTracer, TRACE_CATEGORIES, TraceEvent, Tracer,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Scope",
+    "format_tree", "merge_snapshots",
+    "COMPILE_PHASES", "NULL_PHASES", "NullPhaseTimers", "PhaseTimers",
+    "CycleProfiler", "FunctionProfile", "ProfileReport",
+    "HitMissStats", "derived_rates",
+    "NULL_TRACER", "NullTracer", "TRACE_CATEGORIES", "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,165 @@
+"""Cycle-attribution profiler for the timing model.
+
+The machine calls :meth:`CycleProfiler.record` with every retired
+``(pc, cycles)`` pair (``cycles`` being the full cost the pipeline
+charged, stalls and miss penalties included), so the accumulated
+per-PC map attributes 100 % of modelled cycles. After the run,
+:meth:`CycleProfiler.report` folds PCs onto the :class:`~repro.sim.
+program.Program` symbol table, producing the per-function hotspot
+table the perf PRs optimise against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["CycleProfiler", "FunctionProfile", "ProfileReport"]
+
+
+@dataclass
+class FunctionProfile:
+    """Aggregated cost of one function (or the ``?`` bucket)."""
+
+    name: str
+    cycles: int = 0
+    retired: int = 0
+    pcs: Dict[int, int] = field(default_factory=dict)   # pc -> cycles
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.retired if self.retired else 0.0
+
+    def hottest_pcs(self, limit: int = 3) -> List[Tuple[int, int]]:
+        return sorted(self.pcs.items(), key=lambda kv: -kv[1])[:limit]
+
+
+@dataclass
+class ProfileReport:
+    """Hotspot table: functions sorted by cycle cost."""
+
+    total_cycles: int
+    total_retired: int
+    functions: List[FunctionProfile]
+
+    @property
+    def attributed_cycles(self) -> int:
+        return sum(f.cycles for f in self.functions
+                   if f.name != "?")
+
+    @property
+    def attributed_fraction(self) -> float:
+        return self.attributed_cycles / self.total_cycles \
+            if self.total_cycles else 0.0
+
+    def table(self, limit: int = 20, show_pcs: bool = True) -> str:
+        lines = [
+            f"{'function':28s}{'cycles':>12s}{'%':>7s}{'cum%':>7s}"
+            f"{'retired':>10s}{'cpi':>6s}",
+        ]
+        cumulative = 0
+        for fn in self.functions[:limit]:
+            cumulative += fn.cycles
+            pct = 100.0 * fn.cycles / self.total_cycles \
+                if self.total_cycles else 0.0
+            cum = 100.0 * cumulative / self.total_cycles \
+                if self.total_cycles else 0.0
+            lines.append(
+                f"{fn.name:28s}{fn.cycles:>12d}{pct:>6.1f}%{cum:>6.1f}%"
+                f"{fn.retired:>10d}{fn.cpi:>6.2f}")
+            if show_pcs:
+                for pc, cycles in fn.hottest_pcs():
+                    lines.append(f"    {pc:#10x}  {cycles:>10d} cyc")
+        remaining = self.functions[limit:]
+        if remaining:
+            rest = sum(f.cycles for f in remaining)
+            lines.append(f"{f'… {len(remaining)} more':28s}{rest:>12d}")
+        lines.append(
+            f"{'TOTAL':28s}{self.total_cycles:>12d}{100.0:>6.1f}%"
+            f"{'':>7s}{self.total_retired:>10d}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "total_cycles": self.total_cycles,
+            "total_retired": self.total_retired,
+            "attributed_fraction": self.attributed_fraction,
+            "functions": [
+                {
+                    "name": fn.name,
+                    "cycles": fn.cycles,
+                    "retired": fn.retired,
+                    "pct": (100.0 * fn.cycles / self.total_cycles
+                            if self.total_cycles else 0.0),
+                    "hottest_pcs": [
+                        {"pc": f"{pc:#x}", "cycles": cyc}
+                        for pc, cyc in fn.hottest_pcs()
+                    ],
+                }
+                for fn in self.functions
+            ],
+        }
+
+
+class CycleProfiler:
+    """Per-PC cycle accumulator (feeds :class:`ProfileReport`)."""
+
+    def __init__(self):
+        self.pc_cycles: Dict[int, int] = {}
+        self.pc_retired: Dict[int, int] = {}
+        self.total_cycles = 0
+        self.total_retired = 0
+
+    def record(self, pc: int, cycles: int):
+        """Hot path: one call per retired instruction when attached."""
+        self.total_cycles += cycles
+        self.total_retired += 1
+        pc_cycles = self.pc_cycles
+        pc_cycles[pc] = pc_cycles.get(pc, 0) + cycles
+        pc_retired = self.pc_retired
+        pc_retired[pc] = pc_retired.get(pc, 0) + 1
+
+    def reset(self):
+        self.pc_cycles.clear()
+        self.pc_retired.clear()
+        self.total_cycles = 0
+        self.total_retired = 0
+
+    # -- attribution -------------------------------------------------------
+
+    @staticmethod
+    def _function_index(program) -> Tuple[List[int], List[str]]:
+        """Sorted (starts, names) of function symbols inside .text."""
+        funcs = sorted(
+            (addr, name) for name, addr in program.symbols.items()
+            if program.text_base <= addr < program.text_end
+            and program.instr_at(addr) is not None)
+        return [a for a, _ in funcs], [n for _, n in funcs]
+
+    def report(self, program=None) -> ProfileReport:
+        """Fold the PC map onto ``program``'s symbols.
+
+        Without a program every PC lands in the ``?`` bucket (still a
+        valid per-PC profile).
+        """
+        starts: List[int] = []
+        names: List[str] = []
+        if program is not None:
+            starts, names = self._function_index(program)
+        buckets: Dict[str, FunctionProfile] = {}
+        for pc, cycles in self.pc_cycles.items():
+            index = bisect_right(starts, pc) - 1
+            name = names[index] if index >= 0 else "?"
+            bucket = buckets.get(name)
+            if bucket is None:
+                bucket = buckets[name] = FunctionProfile(name)
+            bucket.cycles += cycles
+            bucket.retired += self.pc_retired[pc]
+            bucket.pcs[pc] = cycles
+        functions = sorted(buckets.values(), key=lambda f: -f.cycles)
+        return ProfileReport(
+            total_cycles=self.total_cycles,
+            total_retired=self.total_retired,
+            functions=functions,
+        )

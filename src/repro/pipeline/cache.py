@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.stats import HitMissStats
+
 
 @dataclass(frozen=True)
 class CacheParams:
@@ -29,10 +31,16 @@ class CacheParams:
         return self.size_bytes // (self.ways * self.line_bytes)
 
 
-class DataCache:
-    """LRU set-associative cache: ``access`` returns True on hit."""
+class DataCache(HitMissStats):
+    """LRU set-associative cache: ``access`` returns True on hit.
 
-    def __init__(self, params: CacheParams = CacheParams()):
+    Hit/miss accounting comes from :class:`repro.obs.stats.
+    HitMissStats`; pass ``metrics`` (a registry scope, e.g.
+    ``pipeline.dcache``) to surface the counters in metric snapshots.
+    """
+
+    def __init__(self, params: CacheParams = CacheParams(),
+                 metrics=None):
         self.params = params
         self._line_shift = params.line_bytes.bit_length() - 1
         self._set_mask = params.sets - 1
@@ -40,8 +48,7 @@ class DataCache:
             raise ValueError("set count must be a power of two")
         # Per-set list of tags in LRU order (front = most recent).
         self._sets = [[] for _ in range(params.sets)]
-        self.hits = 0
-        self.misses = 0
+        self._init_hit_miss(metrics)
 
     def access(self, addr: int, is_store: bool = False) -> bool:
         """Look up ``addr``; allocate on miss. Returns hit/miss."""
@@ -52,25 +59,16 @@ class DataCache:
         try:
             pos = ways.index(tag)
         except ValueError:
-            self.misses += 1
+            self._misses.value += 1
             ways.insert(0, tag)
             if len(ways) > self.params.ways:
                 ways.pop()
             return False
-        self.hits += 1
+        self._hits.value += 1
         if pos:
             ways.insert(0, ways.pop(pos))
         return True
 
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
     def flush(self):
         for ways in self._sets:
             ways.clear()
-
-    def reset_stats(self):
-        self.hits = 0
-        self.misses = 0

@@ -28,7 +28,23 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.cache import CacheParams, DataCache
+
+# Legacy breakdown keys (the ``cyc_*`` stats) and the registry metric
+# each one lives under. ``dmiss`` keeps its paper-facing name
+# ``pipeline.dcache.miss_penalty_cycles`` — it is a D-cache property,
+# not a pipeline-stage one.
+BREAKDOWN_METRICS = {
+    "base": "cycles.base",
+    "load_use": "cycles.load_use",
+    "redirect": "cycles.redirect",
+    "muldiv": "cycles.muldiv",
+    "dmiss": "dcache.miss_penalty_cycles",
+    "tchk_miss": "cycles.tchk_miss",
+    "wide": "cycles.wide",
+}
+BREAKDOWN_KEYS = tuple(BREAKDOWN_METRICS)
 
 
 @dataclass(frozen=True)
@@ -62,32 +78,46 @@ class TimingParams:
 class InOrderPipeline:
     """Cycle accumulator fed by the ISS retire stream."""
 
-    def __init__(self, params: Optional[TimingParams] = None):
+    def __init__(self, params: Optional[TimingParams] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.params = params or TimingParams()
-        self.dcache = DataCache(self.params.cache)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._scope = self.metrics.scope("pipeline")
+        # Breakdown counters live in the registry; handlers bump the
+        # captured Counter objects directly (as cheap as the dict they
+        # replace).
+        self._bk = {key: self._scope.counter(name)
+                    for key, name in BREAKDOWN_METRICS.items()}
+        self.dcache = DataCache(self.params.cache,
+                                metrics=self._scope.scope("dcache"))
         self.cycles = 0
         self._last_load_rd = -1
         self._last_srf_load_rd = -1
-        self.breakdown: Dict[str, int] = {
-            "base": 0, "load_use": 0, "redirect": 0,
-            "muldiv": 0, "dmiss": 0, "tchk_miss": 0, "wide": 0,
-        }
+
+    @property
+    def breakdown(self) -> Dict[str, int]:
+        """Back-compat view of the per-cause cycle counters."""
+        return {key: counter.value for key, counter in self._bk.items()}
 
     def reset(self):
-        self.dcache = DataCache(self.params.cache)
+        self.dcache = DataCache(self.params.cache,
+                                metrics=self._scope.scope("dcache"))
         self.cycles = 0
         self._last_load_rd = -1
         self._last_srf_load_rd = -1
-        for key in self.breakdown:
-            self.breakdown[key] = 0
+        for counter in self._bk.values():
+            counter.reset()
 
     def retire(self, ins: Instr, mem_addr: Optional[int], is_store: bool,
-               taken: bool, kb_hit: Optional[bool], mem2: Optional[int]):
-        """Account one retired instruction."""
+               taken: bool, kb_hit: Optional[bool],
+               mem2: Optional[int]) -> int:
+        """Account one retired instruction; returns its total cost in
+        cycles (base + stalls + penalties) for cycle attribution."""
         params = self.params
+        bk = self._bk
         spec = SPEC_TABLE[ins.op]
         cost = 1
-        self.breakdown["base"] += 1
+        bk["base"].value += 1
 
         # Load-use interlock against the previous instruction.
         last = self._last_load_rd
@@ -96,7 +126,7 @@ class InOrderPipeline:
             or (spec.reads_rs2 and ins.rs2 == last)
         ):
             cost += params.load_use_stall
-            self.breakdown["load_use"] += params.load_use_stall
+            bk["load_use"].value += params.load_use_stall
         # (shadow metadata loads write the SRF, not the GPR file — they
         # are tracked by the SRF interlock below instead)
         self._last_load_rd = ins.rd if (
@@ -114,55 +144,55 @@ class InOrderPipeline:
             )
             if consumes_srf:
                 cost += params.srf_load_use_stall
-                self.breakdown["load_use"] += params.srf_load_use_stall
+                bk["load_use"].value += params.srf_load_use_stall
         self._last_srf_load_rd = ins.rd if (spec.srf_write and spec.is_load) \
             else -1
 
         if spec.shadow_access:
             # Eq. 1 address generation (SMAC) in front of the AGU.
             cost += params.smac_extra
-            self.breakdown["wide"] += params.smac_extra
+            bk["wide"].value += params.smac_extra
         if spec.ext == "mpx" and spec.shadow_access:
             # bndldx/bndstx: the MPX bound-table walk is slow silicon.
             cost += params.mpx_walk_extra
-            self.breakdown["wide"] += params.mpx_walk_extra
+            bk["wide"].value += params.mpx_walk_extra
         elif spec.ext == "avx" and not spec.shadow_access:
             # vchk: compare all four metadata fields.
             cost += params.avx_check_extra
-            self.breakdown["wide"] += params.avx_check_extra
+            bk["wide"].value += params.avx_check_extra
 
         if spec.mul_like:
             cost += params.mul_latency
-            self.breakdown["muldiv"] += params.mul_latency
+            bk["muldiv"].value += params.mul_latency
         elif spec.div_like:
             cost += params.div_latency
-            self.breakdown["muldiv"] += params.div_latency
+            bk["muldiv"].value += params.div_latency
 
         if spec.srf_write and not spec.is_load:
             # bndrs/bndrt: the configurable field packer (COMP) sits in
             # front of the SRF write port.
             cost += params.bind_extra
-            self.breakdown["wide"] += params.bind_extra
+            bk["wide"].value += params.bind_extra
 
         if taken and (spec.is_branch or spec.is_jump):
             penalty = params.branch_penalty if spec.is_branch \
                 else params.jump_penalty
             cost += penalty
-            self.breakdown["redirect"] += penalty
+            bk["redirect"].value += penalty
 
         if mem_addr is not None:
             if not self.dcache.access(mem_addr, is_store):
                 cost += params.dcache_miss_penalty
-                self.breakdown["dmiss"] += params.dcache_miss_penalty
+                bk["dmiss"].value += params.dcache_miss_penalty
             if spec.mem_bytes > 8:
                 cost += params.wide_access_extra
-                self.breakdown["wide"] += params.wide_access_extra
+                bk["wide"].value += params.wide_access_extra
 
         # tchk occupies the MEM stage for its keybuffer CAM lookup even
         # on a hit (the win is skipping the DCache access, Section 3.5).
         if kb_hit is not None:
             cost += params.tchk_occupancy
-            self.breakdown["wide"] += params.tchk_occupancy
+            bk["wide"].value += params.tchk_occupancy
 
         # Secondary access: tchk key load on keybuffer miss, MPX bound
         # table walk second beat, WDL in-check key load.
@@ -170,17 +200,20 @@ class InOrderPipeline:
             extra = 1  # the additional memory operation itself
             if not self.dcache.access(mem2, False):
                 extra += params.dcache_miss_penalty
-                self.breakdown["dmiss"] += params.dcache_miss_penalty
+                bk["dmiss"].value += params.dcache_miss_penalty
             if kb_hit is False:
                 extra += params.keybuffer_miss_extra
-                self.breakdown["tchk_miss"] += params.keybuffer_miss_extra + 1
+                bk["tchk_miss"].value += params.keybuffer_miss_extra + 1
             else:
-                self.breakdown["wide"] += 1
+                bk["wide"].value += 1
             cost += extra
 
         self.cycles += cost
+        return cost
 
     def stats(self) -> Dict[str, int]:
+        """Legacy stats view; also publishes the cycle-total gauge."""
+        self._scope.gauge("cycles").set(self.cycles)
         out = {f"cyc_{name}": value for name, value in self.breakdown.items()}
         out["dcache_hits"] = self.dcache.hits
         out["dcache_misses"] = self.dcache.misses

@@ -11,7 +11,9 @@ from repro.codegen.runtime import runtime_source
 from repro.core.config import HwstConfig
 from repro.ir.irgen import lower_unit
 from repro.ir.verify import verify_module
-from repro.minic import analyze, parse
+from repro.minic import analyze, tokenize
+from repro.minic.parser import Parser
+from repro.obs.phases import NULL_PHASES
 from repro.pipeline.timing import InOrderPipeline, TimingParams
 from repro.sim.machine import Machine, RunResult
 from repro.sim.memory import DEFAULT_LAYOUT
@@ -70,34 +72,53 @@ def scheme_names():
     return list(SCHEMES)
 
 
-def _compile_unit(source: str, name: str):
-    return lower_unit(analyze(parse(source)), name)
+def _compile_unit(source: str, name: str, phases=NULL_PHASES):
+    """Front end for one translation unit, phase-timed stage by stage."""
+    with phases.phase("lex"):
+        tokens = tokenize(source)
+    with phases.phase("parse"):
+        unit = Parser(tokens).parse_translation_unit()
+    with phases.phase("sema"):
+        sema = analyze(unit)
+    with phases.phase("irgen"):
+        return lower_unit(sema, name)
 
 
 def compile_source(source: str, scheme: str = "baseline",
                    config: Optional[HwstConfig] = None,
-                   program_name: str = "program"):
-    """Compile mini-C ``source`` under ``scheme`` into a Program."""
+                   program_name: str = "program",
+                   phases=None):
+    """Compile mini-C ``source`` under ``scheme`` into a Program.
+
+    ``phases`` is an optional :class:`repro.obs.phases.PhaseTimers`;
+    when attached, lex/parse/sema/irgen/instrument/lower/link wall
+    times accumulate into its ``compile.*`` metrics (the user unit and
+    the runtime unit both pass through the front-end phases).
+    """
     spec = SCHEMES.get(scheme)
     if spec is None:
         raise ValueError(
             f"unknown scheme {scheme!r}; pick one of {sorted(SCHEMES)}")
     config = config or HwstConfig()
+    phases = phases if phases is not None else NULL_PHASES
 
-    module = _compile_unit(source, program_name)
+    module = _compile_unit(source, program_name, phases)
     if spec.instrument is not None:
         from repro.ir.instrument import instrument_module
 
-        instrument_module(module, spec.instrument)
+        with phases.phase("instrument"):
+            instrument_module(module, spec.instrument)
     runtime = _compile_unit(
-        runtime_source(spec.runtime, spec.sbcets_shadow), "runtime")
+        runtime_source(spec.runtime, spec.sbcets_shadow), "runtime",
+        phases)
     module.merge(runtime)
     verify_module(module)
 
     options = CodegenOptions(spill_meta=spec.spill_meta)
     program = build_program(module, config=config, layout=DEFAULT_LAYOUT,
                             options=options,
-                            meta={"scheme": scheme, "name": program_name})
+                            meta={"scheme": scheme, "name": program_name},
+                            phases=phases)
     return program
 
 
@@ -106,10 +127,25 @@ def run_source(source: str, scheme: str = "baseline",
                timing: bool = True,
                timing_params: Optional[TimingParams] = None,
                max_instructions: int = 200_000_000,
-               program_name: str = "program") -> RunResult:
-    """Compile and execute ``source`` under ``scheme``."""
+               program_name: str = "program",
+               metrics=None, tracer=None, profiler=None,
+               phases=None) -> RunResult:
+    """Compile and execute ``source`` under ``scheme``.
+
+    The optional observability hooks (``metrics`` registry, ``tracer``,
+    ``profiler``, compile ``phases``) are threaded into both the
+    compile pipeline and the machine; pass one shared
+    :class:`~repro.obs.metrics.MetricsRegistry` to get the full
+    ``compile.* / sim.* / pipeline.*`` tree in one snapshot.
+    """
     config = config or HwstConfig()
-    program = compile_source(source, scheme, config, program_name)
-    pipeline = InOrderPipeline(timing_params) if timing else None
-    machine = Machine(config=config, timing=pipeline)
+    if phases is None and metrics is not None:
+        from repro.obs.phases import PhaseTimers
+        phases = PhaseTimers(metrics=metrics, tracer=tracer)
+    program = compile_source(source, scheme, config, program_name,
+                             phases=phases)
+    pipeline = InOrderPipeline(timing_params, metrics=metrics) \
+        if timing else None
+    machine = Machine(config=config, timing=pipeline, metrics=metrics,
+                      tracer=tracer, profiler=profiler)
     return machine.run(program, max_instructions=max_instructions)

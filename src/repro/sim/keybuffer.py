@@ -13,16 +13,23 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from repro.obs.stats import HitMissStats
 
-class KeyBuffer:
+
+class KeyBuffer(HitMissStats):
     """Fully-associative buffer of ``lock -> key`` entries.
 
     ``policy`` selects the replacement strategy: "lru" (default, what a
     TLB-like structure would do) or "fifo" (cheaper hardware — an
     ablation knob for the Section 3.5 design point).
+
+    Hit/miss accounting comes from :class:`repro.obs.stats.HitMissStats`;
+    pass ``metrics`` (a registry scope, e.g. ``sim.kb``) to surface the
+    counters in metric snapshots.
     """
 
-    def __init__(self, entries: int = 8, policy: str = "lru"):
+    def __init__(self, entries: int = 8, policy: str = "lru",
+                 metrics=None):
         if entries < 0:
             raise ValueError(f"entries must be non-negative: {entries}")
         if policy not in ("lru", "fifo"):
@@ -30,13 +37,21 @@ class KeyBuffer:
         self._entries = entries
         self._policy = policy
         self._data: "OrderedDict[int, int]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.clears = 0
+        self._init_hit_miss(metrics)
+        self._clears = self._stat_counter("clears")
+        self._evictions = self._stat_counter("evictions")
 
     @property
     def capacity(self) -> int:
         return self._entries
+
+    @property
+    def clears(self) -> int:
+        return self._clears.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def __len__(self) -> int:
         return len(self._data)
@@ -44,27 +59,34 @@ class KeyBuffer:
     def lookup(self, lock: int) -> Optional[int]:
         """Return the cached key for ``lock`` or None on miss."""
         if self._entries == 0:
-            self.misses += 1
+            self._misses.value += 1
             return None
         key = self._data.get(lock)
         if key is None:
-            self.misses += 1
+            self._misses.value += 1
             return None
         if self._policy == "lru":
             self._data.move_to_end(lock)
-        self.hits += 1
+        self._hits.value += 1
         return key
 
-    def fill(self, lock: int, key: int):
-        """Install a freshly loaded key, evicting the victim on overflow."""
+    def fill(self, lock: int, key: int) -> Optional[int]:
+        """Install a freshly loaded key, evicting the victim on overflow.
+
+        Returns the evicted lock (None when nothing was evicted) so the
+        machine can trace keybuffer evictions.
+        """
         if self._entries == 0:
-            return
+            return None
         fresh = lock not in self._data
         self._data[lock] = key
         if fresh or self._policy == "lru":
             self._data.move_to_end(lock)
+        evicted = None
         while len(self._data) > self._entries:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            self._evictions.value += 1
+        return evicted
 
     def invalidate(self, lock: int):
         """Drop a single entry (a new key was written to its lock)."""
@@ -74,14 +96,4 @@ class KeyBuffer:
         """Flush everything (a pointer was freed)."""
         if self._data:
             self._data.clear()
-        self.clears += 1
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def reset_stats(self):
-        self.hits = 0
-        self.misses = 0
-        self.clears = 0
+        self._clears.value += 1

@@ -40,9 +40,16 @@ from repro.errors import (
 )
 from repro.isa import csr as csrdef
 from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.obs.metrics import MetricsRegistry
+from repro.pipeline.timing import BREAKDOWN_KEYS
 from repro.sim.keybuffer import KeyBuffer
 from repro.sim.memory import Memory
 from repro.sim.program import Program
+
+# Machine-level event counters, in registry order (``sim.<name>``).
+# The legacy ``RunResult.stats`` keys are these same short names.
+SIM_COUNTERS = ("loads", "stores", "branches", "taken",
+                "hwst_ops", "shadow_ops", "tchk", "calls")
 
 # SRF entry: (lower, upper, spatial_valid, temporal_valid)
 SRF_INVALID: Tuple[int, int, bool, bool] = (0, 0, False, False)
@@ -79,6 +86,9 @@ class RunResult:
     cycles: int = 0
     output: bytes = b""
     stats: Dict[str, int] = dc_field(default_factory=dict)
+    # Flat metric snapshot (``sim.*`` + ``pipeline.*``) of the run; the
+    # legacy ``stats`` dict is a view of the same counters.
+    metrics: Dict[str, object] = dc_field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -97,16 +107,35 @@ class Machine:
     """Functional RV64 + HWST128 simulator."""
 
     def __init__(self, config: Optional[HwstConfig] = None, timing=None,
-                 trace_depth: int = 0):
+                 trace_depth: int = 0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None, profiler=None):
         self.config = config or HwstConfig()
         self.timing = timing
         # Optional ring buffer of the last N retired (pc, Instr) pairs
         # for post-mortem debugging (see trace_text()).
         self.trace_depth = trace_depth
         self._trace: List[Tuple[int, Instr]] = []
+        # Telemetry (repro.obs). Machine counters live under ``sim.*``;
+        # handlers capture the Counter objects at dispatch-build time so
+        # the hot loop pays one attribute store per event. ``tracer``
+        # and ``profiler`` stay None by default — the null-sink fast
+        # path is a single ``is not None`` test per retire.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sim = self.metrics.scope("sim")
+        self._ct = {name: self._sim.counter(name) for name in SIM_COUNTERS}
+        self.tracer = tracer
+        self._tracer_retire = tracer if (
+            tracer is not None and tracer.wants("retire")) else None
+        self._tracer_kb = tracer if (
+            tracer is not None and tracer.wants("kb")) else None
+        self._tracer_shadow = tracer if (
+            tracer is not None and tracer.wants("shadow")) else None
+        self.profiler = profiler
         self.memory = Memory()
         self.keybuffer = KeyBuffer(self.config.keybuffer_entries,
-                                   self.config.keybuffer_policy)
+                                   self.config.keybuffer_policy,
+                                   metrics=self._sim.scope("kb"))
         self.compressor = MetadataCompressor(self.config)
         self.shadow = ShadowMap.from_config(self.config)
         self.regs: List[int] = [0] * 32
@@ -117,11 +146,15 @@ class Machine:
         self.instret = 0
         self.output = bytearray()
         self.program: Optional[Program] = None
-        self.stats: Dict[str, int] = {}
         self._lock_lo = self.config.lock_base
         self._lock_hi = self.config.lock_limit
         self._dispatch: Dict[str, Callable[[Instr], Optional[int]]] = \
             self._build_dispatch()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Back-compat view of the ``sim.*`` event counters."""
+        return {name: counter.value for name, counter in self._ct.items()}
 
     # ------------------------------------------------------------------
     # Setup
@@ -129,8 +162,13 @@ class Machine:
 
     def reset(self):
         self.memory = Memory()
+        # Zero every ``sim.*`` metric in place (handlers hold direct
+        # references to the Counter objects), then re-attach the
+        # keybuffer to the same scope.
+        self.metrics.reset(prefix="sim")
         self.keybuffer = KeyBuffer(self.config.keybuffer_entries,
-                                   self.config.keybuffer_policy)
+                                   self.config.keybuffer_policy,
+                                   metrics=self._sim.scope("kb"))
         # NB: handlers close over self.regs — mutate it in place.
         self.regs[:] = [0] * 32
         self.srf[:] = [SRF_INVALID] * 32
@@ -138,10 +176,6 @@ class Machine:
         self.pc = 0
         self.instret = 0
         self.output = bytearray()
-        self.stats = {
-            "loads": 0, "stores": 0, "branches": 0, "taken": 0,
-            "hwst_ops": 0, "shadow_ops": 0, "tchk": 0, "calls": 0,
-        }
         self.csrs = {
             csrdef.HWST_SM_OFFSET: self.config.shadow_offset,
             csrdef.HWST_META_WIDTHS: csrdef.pack_meta_widths(
@@ -153,6 +187,8 @@ class Machine:
         }
         if self.timing is not None:
             self.timing.reset()
+        if self.profiler is not None:
+            self.profiler.reset()
 
     def load(self, program: Program):
         """Reset and load ``program`` (segments + registers + pc)."""
@@ -213,18 +249,52 @@ class Machine:
             status, detail = STATUS_ILLEGAL, str(trap)
         except SimLimitExceeded as trap:
             status, detail = STATUS_LIMIT, str(trap)
-        stats = dict(self.stats)
+        stats = self.stats
         stats["kb_hits"] = self.keybuffer.hits
         stats["kb_misses"] = self.keybuffer.misses
         stats["shadow_bytes"] = self.memory.shadow_bytes_touched
         cycles = self.timing.cycles if self.timing is not None else self.instret
+        # Timing-model keys are always present (zeroed without a timing
+        # model) so consumers never need key-existence checks.
+        stats["dcache_hits"] = 0
+        stats["dcache_misses"] = 0
+        for key in BREAKDOWN_KEYS:
+            stats[f"cyc_{key}"] = 0
         if self.timing is not None:
             stats.update(self.timing.stats())
+        tracer = self.tracer
+        if tracer is not None:
+            if status != STATUS_EXIT and tracer.wants("trap"):
+                tracer.emit("trap", status, ts=cycles,
+                            args={"pc": self.pc, "detail": detail})
+            if tracer.wants("sim"):
+                tracer.emit("sim", "run", ts=0, dur=cycles,
+                            args={"status": status,
+                                  "instret": self.instret})
+        sim = self._sim
+        sim.gauge("instret").set(self.instret)
+        sim.gauge("cycles").set(cycles)
+        sim.scope("shadow").gauge("bytes_touched").set(
+            self.memory.shadow_bytes_touched)
+        sim.scope("mem").gauge("pages_allocated").set(
+            self.memory.pages_allocated)
         return RunResult(
             status=status, exit_code=code, detail=detail,
             instret=self.instret, cycles=cycles,
             output=bytes(self.output), stats=stats,
+            metrics=self.metrics_snapshot(),
         )
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Combined flat snapshot of the machine's registry plus the
+        timing model's (when the pipeline keeps its own registry)."""
+        snap = self.metrics.snapshot()
+        timing = self.timing
+        if timing is not None:
+            treg = getattr(timing, "metrics", None)
+            if treg is not None and treg is not self.metrics:
+                snap.update(treg.snapshot())
+        return snap
 
     def trace_text(self) -> str:
         """Render the retired-instruction ring buffer (needs a Machine
@@ -259,12 +329,29 @@ class Machine:
     # Timing hook
     # ------------------------------------------------------------------
 
+    def _now(self) -> int:
+        """Current simulated timestamp (cycles, or instret untimed)."""
+        return self.timing.cycles if self.timing is not None \
+            else self.instret
+
     def _retire(self, ins: Instr, mem_addr: Optional[int] = None,
                 is_store: bool = False, taken: bool = False,
                 kb_hit: Optional[bool] = None,
                 mem2: Optional[int] = None):
-        if self.timing is not None:
-            self.timing.retire(ins, mem_addr, is_store, taken, kb_hit, mem2)
+        timing = self.timing
+        if timing is not None:
+            cost = timing.retire(ins, mem_addr, is_store, taken, kb_hit,
+                                 mem2)
+        else:
+            cost = 1
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.record(self.pc, cost)
+        tracer = self._tracer_retire
+        if tracer is not None:
+            end = timing.cycles if timing is not None else self.instret
+            tracer.emit("retire", ins.op, ts=end - cost, dur=cost,
+                        args={"pc": self.pc})
 
     # ------------------------------------------------------------------
     # SRF helpers
@@ -334,7 +421,14 @@ class Machine:
                 raise TemporalViolation(self.pc, key, cached, lock)
             return True, None
         stored = self.memory.load_u64(lock)
-        self.keybuffer.fill(lock, stored)
+        evicted = self.keybuffer.fill(lock, stored)
+        tracer = self._tracer_kb
+        if tracer is not None:
+            now = self._now()
+            tracer.emit("kb", "fill", ts=now, args={"lock": lock})
+            if evicted is not None:
+                tracer.emit("kb", "evict", ts=now,
+                            args={"lock": evicted})
         if stored != key:
             raise TemporalViolation(self.pc, key, stored, lock)
         return False, lock
@@ -359,6 +453,10 @@ class Machine:
                 self.keybuffer.clear()      # a pointer was freed
             else:
                 self.keybuffer.invalidate(addr)
+            tracer = self._tracer_kb
+            if tracer is not None:
+                tracer.emit("kb", "clear" if value == 0 else "invalidate",
+                            ts=self._now(), args={"lock": addr})
 
     # ------------------------------------------------------------------
     # Handlers
@@ -525,6 +623,8 @@ class Machine:
     # -- memory ----------------------------------------------------------
 
     def _make_load(self, op: str, nbytes: int, signed: bool):
+        ct_loads = self._ct["loads"]
+
         def handler(ins: Instr):
             addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
             value = self.memory.load_uint(addr, nbytes)
@@ -533,26 +633,31 @@ class Machine:
             if ins.rd:
                 self.regs[ins.rd] = value
                 self._srf_invalidate(ins.rd)
-            self.stats["loads"] += 1
+            ct_loads.value += 1
             self._retire(ins, mem_addr=addr)
             return None
 
         return handler
 
     def _make_store(self, op: str, nbytes: int):
+        ct_stores = self._ct["stores"]
+
         def handler(ins: Instr):
             addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
             value = self.regs[ins.rs2]
             self.memory.store_uint(addr, nbytes, value)
             if nbytes == 8:
                 self._snoop_lock_store(addr, value)
-            self.stats["stores"] += 1
+            ct_stores.value += 1
             self._retire(ins, mem_addr=addr, is_store=True)
             return None
 
         return handler
 
     def _make_checked_load(self, op: str, nbytes: int, signed: bool):
+        ct_loads = self._ct["loads"]
+        ct_hwst = self._ct["hwst_ops"]
+
         def handler(ins: Instr):
             addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
             self._spatial_check(ins.rs1, addr, nbytes)
@@ -562,14 +667,17 @@ class Machine:
             if ins.rd:
                 self.regs[ins.rd] = value
                 self._srf_invalidate(ins.rd)
-            self.stats["loads"] += 1
-            self.stats["hwst_ops"] += 1
+            ct_loads.value += 1
+            ct_hwst.value += 1
             self._retire(ins, mem_addr=addr)
             return None
 
         return handler
 
     def _make_checked_store(self, op: str, nbytes: int):
+        ct_stores = self._ct["stores"]
+        ct_hwst = self._ct["hwst_ops"]
+
         def handler(ins: Instr):
             addr = bits.to_u64(self.regs[ins.rs1] + ins.imm)
             self._spatial_check(ins.rs1, addr, nbytes)
@@ -577,8 +685,8 @@ class Machine:
             self.memory.store_uint(addr, nbytes, value)
             if nbytes == 8:
                 self._snoop_lock_store(addr, value)
-            self.stats["stores"] += 1
-            self.stats["hwst_ops"] += 1
+            ct_stores.value += 1
+            ct_hwst.value += 1
             self._retire(ins, mem_addr=addr, is_store=True)
             return None
 
@@ -597,11 +705,14 @@ class Machine:
             "bgeu": lambda a, b: a >= b,
         }[op]
 
+        ct_branches = self._ct["branches"]
+        ct_taken = self._ct["taken"]
+
         def handler(ins: Instr):
             taken = compare(self.regs[ins.rs1], self.regs[ins.rs2])
-            self.stats["branches"] += 1
+            ct_branches.value += 1
             if taken:
-                self.stats["taken"] += 1
+                ct_taken.value += 1
             self._retire(ins, taken=taken)
             return bits.to_u64(self.pc + ins.imm) if taken else None
 
@@ -611,7 +722,7 @@ class Machine:
         if ins.rd:
             self.regs[ins.rd] = bits.to_u64(self.pc + 4)
             self._srf_invalidate(ins.rd)
-        self.stats["calls"] += 1
+        self._ct["calls"].value += 1
         self._retire(ins, taken=True)
         return bits.to_u64(self.pc + ins.imm)
 
@@ -709,7 +820,7 @@ class Machine:
         _, upper, _, uvalid = self.srf[ins.rd]
         self.srf[ins.rd] = (lower, upper, True, uvalid)
         self.srf_wide[ins.rd] = None
-        self.stats["hwst_ops"] += 1
+        self._ct["hwst_ops"].value += 1
         self._retire(ins)
         return None
 
@@ -718,18 +829,22 @@ class Machine:
         upper = self.compressor.compress_temporal(key, lock)
         lower, _, lvalid, _ = self.srf[ins.rd]
         self.srf[ins.rd] = (lower, upper, lvalid, True)
-        self.stats["hwst_ops"] += 1
+        self._ct["hwst_ops"].value += 1
         self._retire(ins)
         return None
 
     def _op_tchk(self, ins: Instr):
-        self.stats["tchk"] += 1
-        self.stats["hwst_ops"] += 1
+        self._ct["tchk"].value += 1
+        self._ct["hwst_ops"].value += 1
         kb_hit, mem2 = self._temporal_check(ins.rs1)
         self._retire(ins, kb_hit=kb_hit, mem2=mem2)
         return None
 
     def _make_sbd(self, upper: bool):
+        ct_stores = self._ct["stores"]
+        ct_hwst = self._ct["hwst_ops"]
+        ct_shadow = self._ct["shadow_ops"]
+
         def handler(ins: Instr):
             container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
             shadow_addr = self._smac(container) + (8 if upper else 0)
@@ -739,15 +854,25 @@ class Machine:
             else:
                 value = lower_v if lvalid else 0
             self.memory.store_u64(shadow_addr, value)
-            self.stats["stores"] += 1
-            self.stats["hwst_ops"] += 1
-            self.stats["shadow_ops"] += 1
+            ct_stores.value += 1
+            ct_hwst.value += 1
+            ct_shadow.value += 1
+            tracer = self._tracer_shadow
+            if tracer is not None:
+                tracer.emit("shadow", "store" if value else "clear",
+                            ts=self._now(),
+                            args={"container": container,
+                                  "half": "upper" if upper else "lower"})
             self._retire(ins, mem_addr=shadow_addr, is_store=True)
             return None
 
         return handler
 
     def _make_lbds(self, upper: bool):
+        ct_loads = self._ct["loads"]
+        ct_hwst = self._ct["hwst_ops"]
+        ct_shadow = self._ct["shadow_ops"]
+
         def handler(ins: Instr):
             container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
             shadow_addr = self._smac(container) + (8 if upper else 0)
@@ -758,9 +883,14 @@ class Machine:
             else:
                 self.srf[ins.rd] = (value, upper_v, True, uvalid)
             self.srf_wide[ins.rd] = None
-            self.stats["loads"] += 1
-            self.stats["hwst_ops"] += 1
-            self.stats["shadow_ops"] += 1
+            ct_loads.value += 1
+            ct_hwst.value += 1
+            ct_shadow.value += 1
+            tracer = self._tracer_shadow
+            if tracer is not None:
+                tracer.emit("shadow", "load", ts=self._now(),
+                            args={"container": container,
+                                  "half": "upper" if upper else "lower"})
             self._retire(ins, mem_addr=shadow_addr)
             return None
 
@@ -768,6 +898,9 @@ class Machine:
 
     def _make_meta_gpr_load(self, which: str):
         temporal = which in ("key", "lock")
+        ct_loads = self._ct["loads"]
+        ct_hwst = self._ct["hwst_ops"]
+        ct_shadow = self._ct["shadow_ops"]
 
         def handler(ins: Instr):
             container = bits.to_u64(self.regs[ins.rs1] + ins.imm)
@@ -782,9 +915,9 @@ class Machine:
             if ins.rd:
                 self.regs[ins.rd] = bits.to_u64(result)
                 self._srf_invalidate(ins.rd)
-            self.stats["loads"] += 1
-            self.stats["hwst_ops"] += 1
-            self.stats["shadow_ops"] += 1
+            ct_loads.value += 1
+            ct_hwst.value += 1
+            ct_shadow.value += 1
             self._retire(ins, mem_addr=shadow_addr)
             return None
 
@@ -820,8 +953,8 @@ class Machine:
         value = self.memory.load_u64(shadow_addr)
         _, upper_v, _, uvalid = self.srf[ins.rd]
         self.srf[ins.rd] = (value, upper_v, True, uvalid)
-        self.stats["loads"] += 2  # MPX bound-table walk is two accesses
-        self.stats["shadow_ops"] += 1
+        self._ct["loads"].value += 2  # MPX bound-table walk: two accesses
+        self._ct["shadow_ops"].value += 1
         self._retire(ins, mem_addr=shadow_addr, mem2=shadow_addr + 8)
         return None
 
@@ -830,8 +963,8 @@ class Machine:
         shadow_addr = self._smac(container)
         lower_v, _, lvalid, _ = self.srf[ins.rs2]
         self.memory.store_u64(shadow_addr, lower_v if lvalid else 0)
-        self.stats["stores"] += 2
-        self.stats["shadow_ops"] += 1
+        self._ct["stores"].value += 2
+        self._ct["shadow_ops"].value += 1
         self._retire(ins, mem_addr=shadow_addr, is_store=True,
                      mem2=shadow_addr + 8)
         return None
@@ -845,8 +978,8 @@ class Machine:
                        for i in range(4))
         self.srf_wide[ins.rd] = fields  # (base, bound, key, lock)
         self.srf[ins.rd] = SRF_INVALID
-        self.stats["loads"] += 1
-        self.stats["shadow_ops"] += 1
+        self._ct["loads"].value += 1
+        self._ct["shadow_ops"].value += 1
         self._retire(ins, mem_addr=shadow_addr)
         return None
 
@@ -856,8 +989,8 @@ class Machine:
         fields = self.srf_wide[ins.rs2] or (0, 0, 0, 0)
         for i, value in enumerate(fields):
             self.memory.store_u64(shadow_addr + 8 * i, value)
-        self.stats["stores"] += 1
-        self.stats["shadow_ops"] += 1
+        self._ct["stores"].value += 1
+        self._ct["shadow_ops"].value += 1
         self._retire(ins, mem_addr=shadow_addr, is_store=True)
         return None
 
