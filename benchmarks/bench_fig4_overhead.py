@@ -36,14 +36,32 @@ def test_fig4_table(benchmark, fig4_data):
         save_results("fig4_overhead", data)
         print()
         print(f"{'workload':14s}{'sbcets':>12s}{'hwst128':>12s}"
-              f"{'hwst_tchk':>12s}")
+              f"{'hwst_tchk':>12s}{'tchk+elide':>12s}{'elided':>8s}")
         for row in data["rows"]:
             print(f"{row['workload']:14s}{row['sbcets']:11.1f}%"
-                  f"{row['hwst128']:11.1f}%{row['hwst128_tchk']:11.1f}%")
+                  f"{row['hwst128']:11.1f}%{row['hwst128_tchk']:11.1f}%"
+                  f"{row['hwst128_tchk_elide']:11.1f}%"
+                  f"{row['checks_elided']:8d}")
         print(f"{'GEOMEAN':14s}{data['geomean']['sbcets']:11.1f}%"
               f"{data['geomean']['hwst128']:11.1f}%"
-              f"{data['geomean']['hwst128_tchk']:11.1f}%")
+              f"{data['geomean']['hwst128_tchk']:11.1f}%"
+              f"{data['geomean']['hwst128_tchk_elide']:11.1f}%")
         print(f"{'paper':14s}{441.45:11.1f}%{152.91:11.1f}%{94.89:11.1f}%")
+    run_once(benchmark, check)
+
+
+def test_fig4_check_elision(benchmark, fig4_data):
+    """--elide-checks must prove checks away on real workloads and
+    never run slower than the un-elided tchk build."""
+    def check():
+        wins = 0
+        for row in fig4_data["rows"]:
+            assert row["hwst128_tchk_elide"] <= row["hwst128_tchk"] \
+                + 1e-9, row
+            if row["checks_elided"] > 0 and \
+                    row["hwst128_tchk_elide"] < row["hwst128_tchk"]:
+                wins += 1
+        assert wins > 0, "no workload had any check elided"
     run_once(benchmark, check)
 
 def test_fig4_per_workload_ordering(benchmark, fig4_data):
@@ -85,7 +103,7 @@ def test_fig4_metric_snapshots(benchmark, fig4_data):
         for row in fig4_data["rows"]:
             snaps = row["metrics"]
             assert set(snaps) == {"baseline", "sbcets", "hwst128",
-                                  "hwst128_tchk"}
+                                  "hwst128_tchk", "hwst128_tchk_elide"}
             tchk = snaps["hwst128_tchk"]
             assert tchk["sim.kb.hits"] + tchk["sim.kb.misses"] > 0, row
             for scheme, snap in snaps.items():

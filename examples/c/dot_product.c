@@ -1,0 +1,18 @@
+// Clean example: fixed-trip loops over stack arrays.  Every access is
+// provably in bounds, so `repro analyze` stays quiet and
+// `--elide-checks` removes the instrumentation checks entirely.
+int main(void) {
+    int a[8];
+    int b[8];
+    int i;
+    int acc = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        a[i] = i + 1;
+        b[i] = 8 - i;
+    }
+    for (i = 0; i < 8; i = i + 1) {
+        acc = acc + a[i] * b[i];
+    }
+    print_int(acc);
+    return 0;
+}

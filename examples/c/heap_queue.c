@@ -1,0 +1,24 @@
+// Clean example: heap allocation, a write/read cycle, and a single
+// free on every path.  The linter reports nothing.
+int main(void) {
+    long *ring = (long *)malloc(10 * 8);
+    int head = 0;
+    int i;
+    long total = 0;
+    if (ring == 0) {
+        return 1;
+    }
+    for (i = 0; i < 10; i = i + 1) {
+        ring[head] = (long)(i * i);
+        head = head + 1;
+        if (head >= 10) {
+            head = 0;
+        }
+    }
+    for (i = 0; i < 10; i = i + 1) {
+        total = total + ring[i];
+    }
+    free(ring);
+    print_int(total);
+    return 0;
+}

@@ -1,0 +1,32 @@
+// Deliberately buggy example for the static linter: every function
+// below contains a memory-safety defect `repro analyze` reports
+// without running the program.
+int oob_write(void) {
+    int buf[4];
+    buf[4] = 7;             // off-by-one past the last element
+    return buf[0];
+}
+
+int use_after_free(void) {
+    int *p = (int *)malloc(16);
+    if (p == 0) {
+        return 1;
+    }
+    *p = 5;
+    free(p);
+    return *p;              // read through the freed pointer
+}
+
+int double_free(void) {
+    char *block = (char *)malloc(32);
+    free(block);
+    free(block);            // second release of the same region
+    return 0;
+}
+
+int main(void) {
+    int x = oob_write();
+    int y = use_after_free();
+    int z = double_free();
+    return x + y + z;
+}

@@ -1,0 +1,183 @@
+"""Control-flow graph over :class:`repro.ir.ir.Function` blocks.
+
+The IR transfers control only at block terminators (``Br``/``Jmp``/
+``Ret``), so edges fall straight out of the last instruction of each
+block. On top of the raw edge sets this module provides the standard
+orderings and summaries every dataflow client wants:
+
+* reverse postorder (the iteration order that makes forward fixpoints
+  converge quickly on reducible graphs);
+* the set of blocks reachable from entry (irgen deliberately parks
+  statically dead user code in unreachable ``dead.N`` blocks, and
+  ``if``/``else`` arms that both return leave an unreachable join
+  block behind — clients must be able to tell these apart from live
+  code);
+* immediate dominators via the Cooper-Harvey-Kennedy iterative
+  algorithm, plus ``dominates`` queries for the check-elision client.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.ir import BasicBlock, Br, Function, Jmp
+
+__all__ = ["CFG", "block_successors"]
+
+
+def block_successors(block: BasicBlock) -> Tuple[str, ...]:
+    """Successor labels of one block (empty for ``Ret``-terminated)."""
+    if not block.instrs:
+        return ()
+    last = block.instrs[-1]
+    if isinstance(last, Br):
+        if last.then_label == last.else_label:
+            return (last.then_label,)
+        return (last.then_label, last.else_label)
+    if isinstance(last, Jmp):
+        return (last.label,)
+    return ()
+
+
+class CFG:
+    """Successor/predecessor maps + orderings for one function."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.blocks: Dict[str, BasicBlock] = {
+            blk.label: blk for blk in fn.blocks}
+        self.entry: str = fn.blocks[0].label if fn.blocks else ""
+        self.succs: Dict[str, Tuple[str, ...]] = {}
+        self.preds: Dict[str, List[str]] = {
+            blk.label: [] for blk in fn.blocks}
+        for blk in fn.blocks:
+            succs = block_successors(blk)
+            self.succs[blk.label] = succs
+            for succ in succs:
+                # Missing targets are the verifier's job; tolerate here.
+                if succ in self.preds:
+                    self.preds[succ].append(blk.label)
+        self.reachable: Set[str] = self._reachable_from_entry()
+        self.rpo: List[str] = self._reverse_postorder()
+        self.rpo_index: Dict[str, int] = {
+            label: i for i, label in enumerate(self.rpo)}
+        self._idom: Optional[Dict[str, Optional[str]]] = None
+
+    # -- orderings ---------------------------------------------------------
+
+    def _reachable_from_entry(self) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [self.entry] if self.entry else []
+        while stack:
+            label = stack.pop()
+            if label in seen or label not in self.blocks:
+                continue
+            seen.add(label)
+            stack.extend(self.succs.get(label, ()))
+        return seen
+
+    def _reverse_postorder(self) -> List[str]:
+        """Iterative DFS postorder over reachable blocks, reversed."""
+        order: List[str] = []
+        seen: Set[str] = set()
+        if not self.entry:
+            return order
+        stack: List[Tuple[str, int]] = [(self.entry, 0)]
+        seen.add(self.entry)
+        while stack:
+            label, child = stack[-1]
+            succs = self.succs.get(label, ())
+            if child < len(succs):
+                stack[-1] = (label, child + 1)
+                nxt = succs[child]
+                if nxt not in seen and nxt in self.blocks:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                stack.pop()
+                order.append(label)
+        order.reverse()
+        return order
+
+    def unreachable_blocks(self) -> List[str]:
+        """Labels with no CFG path from entry, in layout order."""
+        return [blk.label for blk in self.fn.blocks
+                if blk.label not in self.reachable]
+
+    def back_edges(self) -> List[Tuple[str, str]]:
+        """Edges (a, b) where b appears at or before a in RPO (loop
+        back-edges on reducible graphs)."""
+        edges = []
+        for label in self.rpo:
+            for succ in self.succs.get(label, ()):
+                if succ in self.rpo_index and \
+                        self.rpo_index[succ] <= self.rpo_index[label]:
+                    edges.append((label, succ))
+        return edges
+
+    def loop_heads(self) -> Set[str]:
+        return {head for _, head in self.back_edges()}
+
+    # -- dominators --------------------------------------------------------
+
+    @property
+    def idom(self) -> Dict[str, Optional[str]]:
+        """Immediate dominator per reachable block (entry maps to None)."""
+        if self._idom is None:
+            self._idom = self._compute_idoms()
+        return self._idom
+
+    def _compute_idoms(self) -> Dict[str, Optional[str]]:
+        idom: Dict[str, str] = {}
+        if not self.entry:
+            return {}
+        idom[self.entry] = self.entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while self.rpo_index[a] > self.rpo_index[b]:
+                    a = idom[a]
+                while self.rpo_index[b] > self.rpo_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in self.rpo:
+                if label == self.entry:
+                    continue
+                new_idom = None
+                for pred in self.preds.get(label, ()):
+                    if pred not in idom:
+                        continue  # pred not processed / unreachable
+                    new_idom = pred if new_idom is None \
+                        else intersect(pred, new_idom)
+                if new_idom is not None and \
+                        idom.get(label) != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        out: Dict[str, Optional[str]] = dict(idom)
+        out[self.entry] = None
+        return out
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True when every path from entry to ``b`` passes through ``a``
+        (reflexive). Unreachable blocks dominate nothing and are
+        dominated by everything reaching them vacuously — we return
+        False for any query touching one."""
+        if a not in self.reachable or b not in self.reachable:
+            return False
+        node: Optional[str] = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def dominator_tree(self) -> Dict[str, List[str]]:
+        tree: Dict[str, List[str]] = {label: [] for label in self.rpo}
+        for label, parent in self.idom.items():
+            if parent is not None:
+                tree[parent].append(label)
+        return tree

@@ -1,0 +1,253 @@
+"""Generic forward dataflow engine over :class:`repro.analyze.cfg.CFG`.
+
+Clients subclass :class:`ForwardAnalysis` and provide the lattice
+operations (``initial_state``/``join``/``copy``) plus a per-block
+``transfer``. The engine runs a worklist to a fixpoint in reverse
+postorder, keeping **per-edge** out states: ``transfer`` may return a
+single state (same on every out-edge) or an :class:`EdgeStates` map,
+which is what lets the memory-safety client refine facts along
+branch edges (``p != 0`` on the then-edge, etc.). Mapping an edge to
+``None`` marks it infeasible (bottom) and the join skips it.
+
+Termination on infinite-height domains (intervals) comes from the
+optional ``widen`` hook: after a block has been reprocessed
+``widen_after`` times, its joined input is widened against the
+previous input. After the fixpoint, ``narrow_passes`` descending
+sweeps in RPO re-run the transfer without widening to claw back
+precision lost to widening (safe: transfer is monotone, and we only
+replace states computed from already-sound inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generic, List, Optional, Tuple, TypeVar
+
+from repro.analyze.cfg import CFG
+from repro.ir.ir import Function
+
+S = TypeVar("S")
+
+__all__ = ["EdgeStates", "ForwardAnalysis", "ReachingDefinitions",
+           "run_forward"]
+
+
+class EdgeStates:
+    """Explicit per-successor transfer result.
+
+    ``transfer`` wraps ``{succ_label: state_or_None}`` in this class so
+    the engine can tell an edge map from a client whose *state* happens
+    to be a plain dict (e.g. ReachingDefinitions)."""
+
+    __slots__ = ("by_succ",)
+
+    def __init__(self, by_succ: Dict[str, Any]):
+        self.by_succ = by_succ
+
+
+class ForwardAnalysis(Generic[S]):
+    """Base class for forward dataflow clients."""
+
+    #: start widening a block's input after this many reprocessings
+    widen_after: int = 3
+    #: descending sweeps after the ascending fixpoint
+    narrow_passes: int = 2
+
+    # -- lattice -----------------------------------------------------------
+
+    def initial_state(self, cfg: CFG) -> S:
+        """State on entry to the entry block."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        """Least upper bound of two states."""
+        raise NotImplementedError
+
+    def copy(self, state: S) -> S:
+        """A transfer-safe copy of ``state`` (may be ``state`` itself
+        for immutable representations)."""
+        return state
+
+    def widen(self, old: S, new: S) -> S:
+        """Widening; default is plain join (fine for finite domains)."""
+        return self.join(old, new)
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, cfg: CFG, label: str, state: S):
+        """Abstractly execute block ``label`` from input ``state``.
+
+        Return either one out-state (applied to every successor) or an
+        :class:`EdgeStates` wrapping ``{succ_label: state_or_None}``;
+        ``None`` marks the edge infeasible.
+        """
+        raise NotImplementedError
+
+
+class DataflowResult(Generic[S]):
+    """Fixpoint: input state per reachable block + per-edge outs."""
+
+    def __init__(self, cfg: CFG, block_in: Dict[str, S],
+                 edge_out: Dict[Tuple[str, str], Optional[S]],
+                 iterations: int):
+        self.cfg = cfg
+        self.block_in = block_in
+        self.edge_out = edge_out
+        self.iterations = iterations
+
+    def in_state(self, label: str) -> Optional[S]:
+        return self.block_in.get(label)
+
+
+def _out_edges(analysis: ForwardAnalysis, cfg: CFG, label: str,
+               state: Any) -> Dict[Tuple[str, str], Any]:
+    """Normalize a transfer result to per-edge states."""
+    result = analysis.transfer(cfg, label, analysis.copy(state))
+    succs = cfg.succs.get(label, ())
+    if isinstance(result, EdgeStates):
+        return {(label, succ): result.by_succ.get(succ)
+                for succ in succs}
+    return {(label, succ): result for succ in succs}
+
+
+def run_forward(analysis: ForwardAnalysis, fn_or_cfg) -> DataflowResult:
+    """Run ``analysis`` to a fixpoint over ``fn_or_cfg``."""
+    cfg = fn_or_cfg if isinstance(fn_or_cfg, CFG) else CFG(fn_or_cfg)
+    if not cfg.entry:
+        return DataflowResult(cfg, {}, {}, 0)
+
+    block_in: Dict[str, Any] = {cfg.entry: analysis.initial_state(cfg)}
+    edge_out: Dict[Tuple[str, str], Any] = {}
+    visits: Dict[str, int] = {}
+    iterations = 0
+
+    worklist: List[str] = [cfg.entry]
+    queued = {cfg.entry}
+    while worklist:
+        # RPO-ordered worklist: pop the earliest block queued.
+        worklist.sort(key=lambda lb: cfg.rpo_index.get(lb, 1 << 30))
+        label = worklist.pop(0)
+        queued.discard(label)
+        iterations += 1
+
+        if label != cfg.entry:
+            joined: Any = None
+            for pred in cfg.preds.get(label, ()):
+                st = edge_out.get((pred, label))
+                if st is None:
+                    continue
+                joined = analysis.copy(st) if joined is None \
+                    else analysis.join(joined, st)
+            if joined is None:
+                continue  # no feasible in-edge yet
+            visits[label] = visits.get(label, 0) + 1
+            if visits[label] > analysis.widen_after and \
+                    label in block_in:
+                joined = analysis.widen(block_in[label], joined)
+            if label in block_in and \
+                    analysis.states_equal(block_in[label], joined):
+                continue
+            block_in[label] = joined
+
+        outs = _out_edges(analysis, cfg, label, block_in[label])
+        for (src, succ), st in outs.items():
+            prev = edge_out.get((src, succ), "__unset__")
+            if prev != "__unset__" and _edge_equal(analysis, prev, st):
+                continue
+            edge_out[(src, succ)] = st
+            if succ not in queued and succ in cfg.blocks:
+                worklist.append(succ)
+                queued.add(succ)
+
+        if iterations > 64 * max(1, len(cfg.blocks)) * \
+                (analysis.widen_after + 2):
+            break  # safety valve; widening should prevent this
+
+    # Descending (narrowing) sweeps: recompute joins without widening.
+    for _ in range(analysis.narrow_passes):
+        changed = False
+        for label in cfg.rpo:
+            if label != cfg.entry:
+                joined = None
+                for pred in cfg.preds.get(label, ()):
+                    st = edge_out.get((pred, label))
+                    if st is None:
+                        continue
+                    joined = analysis.copy(st) if joined is None \
+                        else analysis.join(joined, st)
+                if joined is None:
+                    continue
+                if not analysis.states_equal(
+                        block_in.get(label), joined):
+                    block_in[label] = joined
+                    changed = True
+            outs = _out_edges(analysis, cfg, label, block_in[label])
+            for key, st in outs.items():
+                if not _edge_equal(analysis, edge_out.get(key), st):
+                    edge_out[key] = st
+                    changed = True
+        if not changed:
+            break
+
+    return DataflowResult(cfg, block_in, edge_out, iterations)
+
+
+def _edge_equal(analysis: ForwardAnalysis, a, b) -> bool:
+    if a is None or b is None:
+        return a is b
+    return analysis.states_equal(a, b)
+
+
+# states_equal lives on the class so clients may override it; default
+# uses ==, which every state representation here supports.
+def _states_equal(self, a, b) -> bool:
+    if a is None or b is None:
+        return a is b
+    return a == b
+
+
+ForwardAnalysis.states_equal = _states_equal  # type: ignore[attr-defined]
+
+
+class ReachingDefinitions(ForwardAnalysis):
+    """Classic reaching definitions over stack slots.
+
+    A definition is ``(block_label, instr_index)`` of a ``Store`` whose
+    address is an ``AddrLocal`` computed in the same block (the
+    block-local single-def IR makes this the common shape irgen emits).
+    State maps slot name -> frozenset of definition sites. Used to
+    exercise the engine in tests; the memory-safety client has its own
+    richer domain.
+    """
+
+    def __init__(self, fn: Function):
+        from repro.ir.ir import AddrLocal, Store
+
+        self.fn = fn
+        # slot defs per block, precomputed
+        self._defs: Dict[str, List[Tuple[str, int]]] = {}
+        for blk in fn.blocks:
+            addr_slot: Dict[str, str] = {}
+            for idx, ins in enumerate(blk.instrs):
+                if isinstance(ins, AddrLocal):
+                    addr_slot[ins.dst] = ins.name
+                elif isinstance(ins, Store) and \
+                        ins.addr in addr_slot:
+                    self._defs.setdefault(blk.label, []).append(
+                        (addr_slot[ins.addr], idx))
+
+    def initial_state(self, cfg: CFG):
+        return {}
+
+    def copy(self, state):
+        return dict(state)
+
+    def join(self, a, b):
+        out = dict(a)
+        for slot, sites in b.items():
+            out[slot] = out.get(slot, frozenset()) | sites
+        return out
+
+    def transfer(self, cfg: CFG, label: str, state):
+        for slot, idx in self._defs.get(label, ()):
+            state[slot] = frozenset({(label, idx)})
+        return state

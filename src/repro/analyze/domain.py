@@ -1,0 +1,340 @@
+"""Abstract domain for the memory-safety analysis.
+
+Two pieces:
+
+* :class:`Interval` — integer ranges with ``±inf`` sentinels, the
+  usual arithmetic/lattice operations, and widening. All IR integer
+  arithmetic is width-limited; any operation whose concrete result
+  could wrap its width goes to Top rather than modeling modular
+  arithmetic (sound, loses precision exactly where the program might
+  overflow — which is where we must not elide checks anyway).
+
+* :class:`AVal` — the abstract value of one vreg or stack slot:
+  an integer range, a pointer (region + byte-offset interval +
+  nullness), an uninitialized slot, or Top. Pointers carry their
+  allocation *region*: ``("local", name)`` / ``("global", name)`` /
+  ``("heap", site_key)``, or ``None`` for pointers of unknown
+  provenance (loaded from memory, returned by unmodeled calls).
+  Compare results additionally carry a predicate (op + operand
+  abstract values) so branch transfer can refine along edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+INF = float("inf")
+NEG_INF = float("-inf")
+
+__all__ = ["Interval", "AVal", "INF", "NEG_INF",
+           "LIVE", "FREED", "MAYBE_FREED", "HeapRegion"]
+
+
+def _is_int(x) -> bool:
+    return x != INF and x != NEG_INF
+
+
+# Widening thresholds: C type-range limits, nearest-first.
+_WIDEN_LOS = (0, -(1 << 7), -(1 << 15), -(1 << 31), -(1 << 63))
+_WIDEN_HIS = (0, (1 << 7) - 1, (1 << 15) - 1, (1 << 31) - 1,
+              (1 << 63) - 1)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed integer interval [lo, hi]; lo/hi may be ±inf."""
+
+    lo: float = NEG_INF
+    hi: float = INF
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(v: int) -> "Interval":
+        return Interval(v, v)
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(NEG_INF, INF)
+
+    @staticmethod
+    def range(lo, hi) -> "Interval":
+        return Interval(lo, hi)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == NEG_INF and self.hi == INF
+
+    @property
+    def is_const(self) -> bool:
+        return _is_int(self.lo) and self.lo == self.hi
+
+    def contains(self, v: int) -> bool:
+        return self.lo <= v <= self.hi
+
+    def definitely(self, op: str, other: "Interval") -> Optional[bool]:
+        """Evaluate ``self op other`` if it holds for *all* pairs;
+        return None when the answer depends on the concrete values."""
+        if op == "eq":
+            if self.hi < other.lo or other.hi < self.lo:
+                return False
+            if self.is_const and other.is_const and \
+                    self.lo == other.lo:
+                return True
+            return None
+        if op == "ne":
+            inv = self.definitely("eq", other)
+            return None if inv is None else not inv
+        if op in ("slt", "ult"):
+            if self.hi < other.lo:
+                return True
+            if self.lo >= other.hi:
+                return False
+            return None
+        if op in ("sle", "ule"):
+            if self.hi <= other.lo:
+                return True
+            if self.lo > other.hi:
+                return False
+            return None
+        if op in ("sgt", "ugt"):
+            return other.definitely("slt", self)
+        if op in ("sge", "uge"):
+            return other.definitely("sle", self)
+        return None
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Threshold widening: an unstable bound jumps to the nearest
+        C-width limit rather than straight to infinity.  This keeps a
+        loop counter reloaded through a 4-byte slot inside the int
+        range (``clamp_width`` would otherwise wrap ``[0,+inf]`` to the
+        full signed range, destroying the in-bounds proof)."""
+        lo, hi = self.lo, self.hi
+        if newer.lo < lo:
+            lo = next((t for t in _WIDEN_LOS if t <= newer.lo), NEG_INF)
+        if newer.hi > hi:
+            hi = next((t for t in _WIDEN_HIS if t >= newer.hi), INF)
+        return Interval(lo, hi)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        if self.is_top or other.is_top:
+            return Interval.top()
+        prods = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if (a in (INF, NEG_INF) and b == 0) or \
+                        (b in (INF, NEG_INF) and a == 0):
+                    prods.append(0)
+                else:
+                    prods.append(a * b)
+        return Interval(min(prods), max(prods))
+
+    def shl(self, other: "Interval") -> "Interval":
+        if other.is_const and _is_int(other.lo) and \
+                0 <= other.lo <= 48:
+            return self.mul(Interval.const(1 << int(other.lo)))
+        return Interval.top()
+
+    def and_mask(self, other: "Interval") -> "Interval":
+        # x & mask with both non-negative is bounded by min(hi, hi).
+        if self.lo >= 0 and other.lo >= 0:
+            hi = min(self.hi, other.hi)
+            return Interval(0, hi)
+        return Interval.top()
+
+    def clamp_width(self, width: int, signed: bool) -> "Interval":
+        """Result of truncating/extending to ``width`` bits. If the
+        interval already fits the target range it is unchanged;
+        otherwise the result is the full target range (no wraparound
+        modeling)."""
+        if width <= 0 or width >= 64:
+            return self
+        if signed:
+            lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        else:
+            lo, hi = 0, (1 << width) - 1
+        if self.lo >= lo and self.hi <= hi:
+            return self
+        return Interval(lo, hi)
+
+    def __repr__(self) -> str:
+        def fmt(x):
+            if x == INF:
+                return "+inf"
+            if x == NEG_INF:
+                return "-inf"
+            return str(int(x))
+        return f"[{fmt(self.lo)},{fmt(self.hi)}]"
+
+
+# Heap-region status values.
+LIVE = "live"
+FREED = "freed"
+MAYBE_FREED = "maybe_freed"
+
+
+@dataclass(frozen=True)
+class HeapRegion:
+    """One abstract allocation site."""
+
+    size: Interval = field(default_factory=Interval.top)
+    status: str = LIVE
+
+    def join(self, other: "HeapRegion") -> "HeapRegion":
+        status = self.status if self.status == other.status \
+            else MAYBE_FREED
+        return HeapRegion(self.size.join(other.size), status)
+
+
+@dataclass(frozen=True)
+class AVal:
+    """Abstract value: int range, pointer, uninitialized, or Top.
+
+    ``kind``:
+      * ``"int"``    — integer with range ``rng``
+      * ``"ptr"``    — pointer into ``region`` at byte ``offset``;
+                       ``region is None`` means unknown provenance
+      * ``"uninit"`` — never written (slot values only)
+      * ``"top"``    — anything
+    ``nullness`` (pointers): "null" / "nonnull" / "maybe".
+    ``origin``: stack-slot name this value was loaded from, if any —
+    the hook branch refinement uses to write facts back to the slot.
+    ``pred``: for int results of compares, (op, lhs AVal, rhs AVal).
+    """
+
+    kind: str = "top"
+    rng: Interval = field(default_factory=Interval.top)
+    region: Optional[Tuple[str, object]] = None
+    offset: Interval = field(default_factory=Interval.top)
+    nullness: str = "maybe"
+    origin: Optional[str] = None
+    pred: Optional[tuple] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "AVal":
+        return AVal()
+
+    @staticmethod
+    def uninit() -> "AVal":
+        return AVal(kind="uninit")
+
+    @staticmethod
+    def int_const(v: int) -> "AVal":
+        return AVal(kind="int", rng=Interval.const(v))
+
+    @staticmethod
+    def int_range(rng: Interval) -> "AVal":
+        return AVal(kind="int", rng=rng)
+
+    @staticmethod
+    def ptr(region, offset: Interval, nullness: str = "nonnull",
+            origin: Optional[str] = None) -> "AVal":
+        return AVal(kind="ptr", region=region, offset=offset,
+                    nullness=nullness, origin=origin)
+
+    @staticmethod
+    def null() -> "AVal":
+        return AVal(kind="ptr", region=None,
+                    offset=Interval.const(0), nullness="null")
+
+    @staticmethod
+    def unknown_ptr(origin: Optional[str] = None) -> "AVal":
+        return AVal(kind="ptr", region=None, offset=Interval.top(),
+                    nullness="maybe", origin=origin)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_ptr(self) -> bool:
+        return self.kind == "ptr"
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == "int"
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "AVal") -> "AVal":
+        if self == other:
+            return self
+        if self.kind == "uninit" and other.kind == "uninit":
+            return AVal.uninit()
+        if self.kind == "int" and other.kind == "int":
+            return AVal(kind="int", rng=self.rng.join(other.rng),
+                        origin=self._join_origin(other))
+        if self.kind == "ptr" and other.kind == "ptr":
+            # null joins into another pointer as nullness="maybe"
+            # while keeping the other side's region/offset — this is
+            # what makes `p = cond ? buf : 0` still elidable after an
+            # `if (p)` refinement.
+            if self.nullness == "null" and other.region is not None:
+                return replace(other, nullness=_join_null(
+                    self.nullness, other.nullness),
+                    origin=self._join_origin(other))
+            if other.nullness == "null" and self.region is not None:
+                return replace(self, nullness=_join_null(
+                    self.nullness, other.nullness),
+                    origin=self._join_origin(other))
+            region = self.region if self.region == other.region \
+                else None
+            offset = self.offset.join(other.offset) \
+                if region is not None else Interval.top()
+            return AVal(kind="ptr", region=region, offset=offset,
+                        nullness=_join_null(self.nullness,
+                                            other.nullness),
+                        origin=self._join_origin(other))
+        return AVal.top()
+
+    def _join_origin(self, other: "AVal") -> Optional[str]:
+        return self.origin if self.origin == other.origin else None
+
+    def widen(self, newer: "AVal") -> "AVal":
+        if self.kind == "int" and newer.kind == "int":
+            return AVal(kind="int", rng=self.rng.widen(newer.rng),
+                        origin=self._join_origin(newer))
+        if self.kind == "ptr" and newer.kind == "ptr" and \
+                self.region == newer.region:
+            return AVal(kind="ptr", region=self.region,
+                        offset=self.offset.widen(newer.offset),
+                        nullness=_join_null(self.nullness,
+                                            newer.nullness),
+                        origin=self._join_origin(newer))
+        return self.join(newer)
+
+    def __repr__(self) -> str:
+        if self.kind == "int":
+            return f"int{self.rng!r}"
+        if self.kind == "ptr":
+            reg = "?" if self.region is None else \
+                f"{self.region[0]}:{self.region[1]}"
+            return f"ptr({reg}+{self.offset!r},{self.nullness})"
+        return self.kind
+
+
+def _join_null(a: str, b: str) -> str:
+    return a if a == b else "maybe"

@@ -1,0 +1,134 @@
+"""Redundant-check elimination over an instrumented module.
+
+Runs *after* an elidable instrumentation pass. The instrumentation
+tagged every op it emitted for a checked access with ``_check_for``
+(the guarded Load/Store) and ``_check_part``:
+
+* ``"spatial"``  — bounds materialisation + the fused-check binding
+  (HwBndrs / inline compares); dropped when the access is proven
+  in-bounds, together with clearing ``checked`` so the lowered access
+  becomes a plain load/store.
+* ``"temporal"`` — key/lock materialisation + HwBndrt + tchk (or the
+  inline key compare); dropped when the region is statically live or
+  an equivalent earlier check on the same unchanged pointer
+  dominates this one.
+* ``"shared"``   — metadata materialisation both halves rely on
+  (e.g. SBCETS ``__sb_mload``); dropped only on full elision.
+
+The analysis facts come from ``ins._ms_facts`` stamped by
+:func:`repro.analyze.memsafety.analyze_function` on the
+pre-instrumentation module — instrumentation re-emits the same
+instruction objects, so the facts ride along.
+
+Soundness is *scheme-relative*: a pass advertises ``elidable = True``
+only when dropping a proven check cannot change what the scheme
+detects (see docs/analysis.md for the argument, including why a
+maybe-null heap pointer still allows temporal elision but never
+spatial elision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.config import HwstConfig
+from repro.ir.instrument import PASSES
+from repro.ir.ir import Load, Module, Store
+
+__all__ = ["ElisionStats", "elide_module"]
+
+
+@dataclass
+class ElisionStats:
+    """What the pass did, for compile.analyze.* counters."""
+
+    checks_total: int = 0          # tagged check groups seen
+    spatial_proven: int = 0        # accesses proven in-bounds
+    temporal_proven: int = 0       # accesses with statically-live region
+    temporal_dominated: int = 0    # covered by an earlier kept check
+    checks_elided: int = 0         # groups fully removed
+    spatial_elided: int = 0        # spatial half dropped (incl. full)
+    temporal_elided: int = 0       # temporal half dropped (incl. full)
+    ops_removed: int = 0           # IR instructions deleted
+    by_function: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def checks_proven(self) -> int:
+        """Accesses where at least one half was proven redundant."""
+        return self.spatial_elided + self.temporal_elided \
+            - self.checks_elided
+
+
+def elide_module(module: Module,
+                 config: Optional[HwstConfig] = None) -> ElisionStats:
+    """Drop proven-redundant check ops from an instrumented module."""
+    stats = ElisionStats()
+    pass_name = module.meta.get("instrumented")
+    pass_cls = PASSES.get(pass_name) if pass_name else None
+    if pass_cls is None or not getattr(pass_cls, "elidable", False):
+        return stats
+
+    for fn in module.functions.values():
+        removed = 0
+        for blk in fn.blocks:
+            decisions = _group_decisions(blk.instrs, stats)
+            if not decisions:
+                continue
+            kept = []
+            for ins in blk.instrs:
+                target = getattr(ins, "_check_for", None)
+                if target is not None:
+                    drop_parts = decisions.get(id(target))
+                    part = getattr(ins, "_check_part", "shared")
+                    if drop_parts and part in drop_parts:
+                        removed += 1
+                        continue
+                kept.append(ins)
+            blk.instrs = kept
+        if removed:
+            stats.by_function[fn.name] = removed
+        stats.ops_removed += removed
+    return stats
+
+
+def _group_decisions(instrs, stats: ElisionStats):
+    """Per guarded access: which tagged parts to drop. Also flips the
+    access's ``checked`` flag off when its spatial half goes away (a
+    fused checked load with no bounds bound would trap)."""
+    decisions = {}
+    seen = set()
+    for ins in instrs:
+        target = getattr(ins, "_check_for", None)
+        if target is None or id(target) in seen:
+            continue
+        seen.add(id(target))
+        stats.checks_total += 1
+        facts = getattr(target, "_ms_facts", None)
+        if facts is None:
+            continue
+        spatial = facts.spatial_ok
+        temporal_static = facts.temporal_ok
+        temporal = temporal_static or facts.temporal_dom
+        if facts.spatial_ok:
+            stats.spatial_proven += 1
+        if temporal_static:
+            stats.temporal_proven += 1
+        elif facts.temporal_dom:
+            stats.temporal_dominated += 1
+        if not spatial and not temporal:
+            continue
+        drop = set()
+        if spatial:
+            drop.add("spatial")
+            stats.spatial_elided += 1
+            if isinstance(target, (Load, Store)):
+                target.checked = False
+        if temporal:
+            drop.add("temporal")
+            stats.temporal_elided += 1
+        if spatial and temporal:
+            drop.add("shared")
+            stats.checks_elided += 1
+        decisions[id(target)] = drop
+    return decisions

@@ -1,0 +1,177 @@
+"""Static memory-safety linter: findings, reports, module/source APIs.
+
+``analyze_module`` runs the :mod:`repro.analyze.memsafety` dataflow
+over every function of an IR module and collects structured findings;
+``analyze_source`` runs just the front end (lex/parse/sema/irgen — no
+instrumentation, no runtime link) and then analyzes the result, which
+is what the ``repro analyze`` CLI uses.
+
+Severity convention: ``error`` findings are *must*-style facts (a
+trapping execution provably exists on a feasible path); ``warning``
+and ``info`` findings are advisory and never gate an exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analyze.cfg import CFG
+from repro.analyze.memsafety import (MemSafety, compute_may_free,
+                                     run_forward)
+from repro.core.config import HwstConfig
+from repro.ir.ir import Module
+
+__all__ = ["Finding", "AnalysisReport", "analyze_module",
+           "analyze_source"]
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter diagnostic with function/line provenance."""
+
+    kind: str           # oob | uaf | double-free | invalid-free |
+    #                     null-deref | uninit-deref | scope-escape |
+    #                     dead-code
+    severity: str       # error | warning | info
+    function: str
+    block: str
+    line: int           # 1-based source line; 0 when unknown
+    message: str
+
+    def location(self) -> str:
+        where = self.function
+        if self.line:
+            where += f":{self.line}"
+        return where
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "severity": self.severity,
+                "function": self.function, "block": self.block,
+                "line": self.line, "message": self.message}
+
+
+@dataclass
+class AnalysisReport:
+    """All findings for one module, plus summary counters."""
+
+    name: str = "module"
+    findings: List[Finding] = field(default_factory=list)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
+        return counts
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": "repro.analyze/v1",
+            "name": self.name,
+            "ok": self.ok,
+            "counts": self.counts_by_kind(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def text(self) -> str:
+        if not self.findings:
+            return f"{self.name}: clean (no findings)"
+        lines = []
+        for f in sorted(self.findings,
+                        key=lambda f: (SEVERITIES.index(f.severity),
+                                       f.function, f.line)):
+            lines.append(f"{f.severity:7s} {f.location():24s} "
+                         f"[{f.kind}] {f.message}")
+        counts = self.counts_by_kind()
+        summary = ", ".join(f"{counts[k]} {k}" for k in sorted(counts))
+        lines.append(f"{self.name}: {len(self.findings)} finding"
+                     f"{'s' if len(self.findings) != 1 else ''} "
+                     f"({summary})")
+        return "\n".join(lines)
+
+
+def analyze_module(module: Module,
+                   config: Optional[HwstConfig] = None,
+                   stamp: bool = False) -> AnalysisReport:
+    """Run the memory-safety analysis over every function."""
+    config = config or HwstConfig()
+    report = AnalysisReport(name=module.name)
+    may_free = compute_may_free(module)
+    for fn in module.functions.values():
+        analysis = MemSafety(module, fn, config, may_free)
+        result = run_forward(analysis, fn)
+        seen = set()
+
+        def record(ins, kind, severity, message,
+                   _fn=fn, _result=result, _seen=seen):
+            block = _block_of(_result.cfg, ins)
+            dedup = (id(ins), kind, message)
+            if dedup in _seen:
+                return
+            _seen.add(dedup)
+            report.findings.append(Finding(
+                kind=kind, severity=severity, function=_fn.name,
+                block=block, line=getattr(ins, "line", 0),
+                message=message))
+
+        analysis.report(result, record, stamp=stamp)
+        _dead_code_findings(fn, result.cfg, report)
+    return report
+
+
+def _block_of(cfg: CFG, ins) -> str:
+    for label, blk in cfg.blocks.items():
+        if ins in blk.instrs:
+            return label
+    return "?"
+
+
+def _dead_code_findings(fn, cfg: CFG, report: AnalysisReport):
+    """Unreachable ``dead.N`` blocks are statements irgen parked after
+    a terminator — user code that can never run."""
+    for label in cfg.unreachable_blocks():
+        if not label.startswith("dead."):
+            continue
+        blk = cfg.blocks[label]
+        # A dead block holding only its closing jump is a structural
+        # artifact (e.g. the empty fallthrough of `if (...) return;`),
+        # not user code — only real parked statements are worth a note.
+        body = [ins for ins in blk.instrs if not ins.is_terminator()]
+        if not body:
+            continue
+        line = next((ins.line for ins in body
+                     if getattr(ins, "line", 0)), 0)
+        report.findings.append(Finding(
+            kind="dead-code", severity="info", function=fn.name,
+            block=label, line=line,
+            message="statement is unreachable (follows a return or "
+                    "unconditional jump)"))
+
+
+def analyze_source(source: str, name: str = "program",
+                   config: Optional[HwstConfig] = None
+                   ) -> AnalysisReport:
+    """Front-end + analysis for mini-C source (no instrumentation)."""
+    from repro.ir.irgen import lower_unit
+    from repro.minic.lexer import tokenize
+    from repro.minic.parser import Parser
+    from repro.minic.sema import analyze
+
+    tokens = tokenize(source)
+    unit = Parser(tokens).parse_translation_unit()
+    sema = analyze(unit)
+    module = lower_unit(sema, name)
+    return analyze_module(module, config)

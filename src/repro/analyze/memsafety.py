@@ -1,0 +1,873 @@
+"""Interval/provenance dataflow for memory safety over the IR.
+
+One :class:`MemSafety` instance analyzes one function. The state maps
+stack slots (and module globals) to abstract values (:class:`AVal`),
+tracks one :class:`HeapRegion` per allocation site, and carries the
+set of slots whose pointer value has already passed a temporal check
+on every path (``checked`` — the dominance fact behind temporal-check
+elision). Virtual registers never cross blocks in this IR, so the
+vreg environment is rebuilt inside each block transfer.
+
+Soundness posture (documented in docs/analysis.md):
+
+* ``spatial_ok`` on an access means: on every path, the address lies
+  inside a known-size region at a non-negative offset, the access end
+  stays at or below the region's *minimum* possible size, and the
+  pointer is definitely non-null. Only then may an elision client
+  drop the spatial check.
+* ``temporal_ok`` means the region is a local/global (live for the
+  whole function) or a heap site that is definitely not freed yet on
+  every path. ``temporal_dom`` means a kept temporal check on the
+  same slot's unchanged pointer value dominates this access.
+* Error findings are emitted only for *must* or *reachable-must*
+  facts (an interval that provably exceeds the region on some
+  iteration, a definitely-null or definitely-freed pointer), so every
+  error finding corresponds to a dynamically trapping execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analyze.cfg import CFG
+from repro.analyze.dataflow import (EdgeStates, ForwardAnalysis,
+                                    run_forward)
+from repro.analyze.domain import (FREED, LIVE, MAYBE_FREED, AVal,
+                                  HeapRegion, Interval)
+from repro.core.config import HwstConfig
+from repro.ir.instrument import ALLOC_FNS, WRAPPED_RANGE_FNS
+from repro.ir.ir import (AddrGlobal, AddrLocal, BinOp, Br, Call, Conv,
+                         Function, GetParam, IConst, Jmp, Load, Module,
+                         Ret, Store, UnOp)
+
+__all__ = ["MemSafety", "analyze_function", "compute_may_free",
+           "AccessFacts"]
+
+CMP_OPS = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge",
+                     "ult", "ule", "ugt", "uge"})
+CMP_NEG = {"eq": "ne", "ne": "eq", "slt": "sge", "sge": "slt",
+           "sle": "sgt", "sgt": "sle", "ult": "uge", "uge": "ult",
+           "ule": "ugt", "ugt": "ule"}
+CMP_SWAP = {"eq": "eq", "ne": "ne", "slt": "sgt", "sgt": "slt",
+            "sle": "sge", "sge": "sle", "ult": "ugt", "ugt": "ult",
+            "ule": "uge", "uge": "ule"}
+
+# Runtime helpers that neither write user memory nor free anything.
+PURE_FNS = frozenset({"print_char", "print_str", "print_int",
+                      "print_hex", "rand_seed", "rand_next",
+                      "strlen", "strcmp", "strncmp", "memcmp",
+                      "__alloc_size"})
+# Runtime helpers that write through their first pointer argument.
+WRITE_THROUGH_ARG0 = frozenset({"memcpy", "memset", "strncpy",
+                                "strcpy", "strcat"})
+KNOWN_RUNTIME = (PURE_FNS | WRITE_THROUGH_ARG0 | set(ALLOC_FNS)
+                 | {"free"})
+
+
+def compute_may_free(module: Module) -> Set[str]:
+    """Function names that may (transitively) release a heap region or
+    call code we cannot see. Calls to these invalidate every heap
+    status and the whole temporal-dominance set."""
+    callees: Dict[str, Set[str]] = {}
+    for name, fn in module.functions.items():
+        calls: Set[str] = set()
+        for blk in fn.blocks:
+            for ins in blk.instrs:
+                if isinstance(ins, Call):
+                    calls.add(ins.name)
+        callees[name] = calls
+    may_free: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, calls in callees.items():
+            if name in may_free:
+                continue
+            for callee in calls:
+                if callee == "free" or callee in may_free or \
+                        (callee not in callees and
+                         callee not in KNOWN_RUNTIME):
+                    may_free.add(name)
+                    changed = True
+                    break
+    return may_free
+
+
+class AccessFacts:
+    """Per-access conclusions, stamped on the Load/Store instruction."""
+
+    __slots__ = ("spatial_ok", "temporal_ok", "temporal_dom")
+
+    def __init__(self):
+        self.spatial_ok = True   # AND-accumulated over report visits
+        self.temporal_ok = True
+        self.temporal_dom = True
+
+    def __repr__(self):
+        return (f"AccessFacts(sp={self.spatial_ok}, "
+                f"tp={self.temporal_ok}, dom={self.temporal_dom})")
+
+
+class MState:
+    """Slots + heap regions + temporally-checked slot set."""
+
+    __slots__ = ("slots", "heap", "checked")
+
+    def __init__(self, slots: Dict[str, AVal],
+                 heap: Dict[tuple, HeapRegion],
+                 checked: FrozenSet[str]):
+        self.slots = slots
+        self.heap = heap
+        self.checked = checked
+
+    def copy(self) -> "MState":
+        return MState(dict(self.slots), dict(self.heap), self.checked)
+
+    def __eq__(self, other):
+        return (isinstance(other, MState)
+                and self.slots == other.slots
+                and self.heap == other.heap
+                and self.checked == other.checked)
+
+    def __repr__(self):
+        return (f"MState(slots={self.slots}, heap={self.heap}, "
+                f"checked={sorted(self.checked)})")
+
+
+def _strip(av: AVal) -> AVal:
+    return replace(av, origin=None, pred=None)
+
+
+def _same_value(a: AVal, b: AVal) -> bool:
+    return _strip(a) == _strip(b)
+
+
+# Recorder: (ins, kind, severity, message)
+Recorder = Callable[[object, str, str, str], None]
+
+
+class MemSafety(ForwardAnalysis):
+    """The memory-safety dataflow client for one function."""
+
+    def __init__(self, module: Module, fn: Function,
+                 config: Optional[HwstConfig] = None,
+                 may_free: Optional[Set[str]] = None):
+        self.module = module
+        self.fn = fn
+        self.config = config or HwstConfig()
+        self.may_free = may_free if may_free is not None \
+            else compute_may_free(module)
+        self._record: Optional[Recorder] = None
+        self._stamp = False
+
+    # -- lattice -----------------------------------------------------------
+
+    def initial_state(self, cfg: CFG) -> MState:
+        slots: Dict[str, AVal] = {}
+        for name in self.fn.locals:
+            slots["l:" + name] = AVal.uninit()
+        for name, data in self.module.globals.items():
+            slots["g:" + name] = self._global_initial(data)
+        return MState(slots, {}, frozenset())
+
+    def _global_initial(self, data) -> AVal:
+        from repro.minic.types import PointerType
+
+        if data.is_string or data.size > 8:
+            return AVal.top()
+        raw = bytes(data.data[:data.size]).ljust(max(data.size, 1),
+                                                 b"\0")
+        value = int.from_bytes(raw, "little", signed=True)
+        if isinstance(data.ctype, PointerType):
+            return AVal.null() if value == 0 else AVal.top()
+        return AVal.int_const(value)
+
+    def copy(self, state: MState) -> MState:
+        return state.copy()
+
+    def join(self, a: MState, b: MState) -> MState:
+        slots = {}
+        for key in a.slots.keys() | b.slots.keys():
+            va, vb = a.slots.get(key), b.slots.get(key)
+            slots[key] = va.join(vb) if va is not None and \
+                vb is not None else AVal.top()
+        heap = dict(a.heap)
+        for site, region in b.heap.items():
+            cur = heap.get(site)
+            heap[site] = region if cur is None else cur.join(region)
+        return MState(slots, heap, a.checked & b.checked)
+
+    def widen(self, old: MState, new: MState) -> MState:
+        slots = {}
+        for key in old.slots.keys() | new.slots.keys():
+            va, vb = old.slots.get(key), new.slots.get(key)
+            slots[key] = va.widen(vb) if va is not None and \
+                vb is not None else AVal.top()
+        heap = dict(old.heap)
+        for site, region in new.heap.items():
+            cur = heap.get(site)
+            if cur is None:
+                heap[site] = region
+            else:
+                status = cur.status if cur.status == region.status \
+                    else MAYBE_FREED
+                heap[site] = HeapRegion(cur.size.widen(region.size),
+                                        status)
+        return MState(slots, heap, old.checked & new.checked)
+
+    # -- transfer ----------------------------------------------------------
+
+    def transfer(self, cfg: CFG, label: str, state: MState):
+        return self._walk(cfg.blocks[label], state)
+
+    def report(self, result, recorder: Recorder, stamp: bool = True):
+        """Re-walk every feasibly-reachable block from its fixpoint
+        in-state, recording findings and stamping AccessFacts."""
+        self._record = recorder
+        self._stamp = stamp
+        try:
+            for label, in_state in result.block_in.items():
+                self._walk(result.cfg.blocks[label], in_state.copy())
+        finally:
+            self._record = None
+            self._stamp = False
+
+    # -- region plumbing ---------------------------------------------------
+
+    def _slot_key(self, region) -> Optional[str]:
+        if region is None:
+            return None
+        kind, name = region
+        if kind == "local":
+            return "l:" + str(name)
+        if kind == "global":
+            return "g:" + str(name)
+        return None
+
+    def _region_size(self, state: MState, region) -> Optional[Interval]:
+        kind, name = region
+        if kind == "local":
+            slot = self.fn.locals.get(name)
+            return Interval.const(slot.size) if slot else None
+        if kind == "global":
+            data = self.module.globals.get(name)
+            return Interval.const(data.size) if data else None
+        if kind == "heap":
+            heap = state.heap.get(region[1])
+            return heap.size if heap is not None else None
+        return None
+
+    def _scalar_slot(self, region, size: int) -> Optional[str]:
+        """Slot key if the access reads/writes exactly one tracked
+        slot (whole-slot, offset 0)."""
+        key = self._slot_key(region)
+        if key is None:
+            return None
+        kind, name = region
+        obj_size = (self.fn.locals[name].size if kind == "local"
+                    else self.module.globals[name].size)
+        return key if obj_size == size else None
+
+    # -- the block walk ----------------------------------------------------
+
+    def _walk(self, blk, state: MState):
+        env: Dict[int, AVal] = {}
+
+        def aval(v: Optional[int]) -> AVal:
+            if v is None:
+                return AVal.top()
+            return env.get(v, AVal.top())
+
+        out = state
+        for idx, ins in enumerate(blk.instrs):
+            if isinstance(ins, IConst):
+                if self.fn.prov.get(ins.dst) == ("null", None):
+                    env[ins.dst] = AVal.null()
+                else:
+                    env[ins.dst] = AVal.int_const(ins.value)
+            elif isinstance(ins, AddrLocal):
+                env[ins.dst] = AVal.ptr(("local", ins.name),
+                                        Interval.const(0))
+            elif isinstance(ins, AddrGlobal):
+                env[ins.dst] = AVal.ptr(("global", ins.name),
+                                        Interval.const(0))
+            elif isinstance(ins, GetParam):
+                prov = self.fn.prov.get(ins.dst)
+                env[ins.dst] = AVal.unknown_ptr() if prov else \
+                    AVal.top()
+            elif isinstance(ins, Conv):
+                env[ins.dst] = self._conv(aval(ins.a), ins.width,
+                                          ins.signed)
+            elif isinstance(ins, UnOp):
+                env[ins.dst] = self._unop(ins.op, aval(ins.a))
+            elif isinstance(ins, BinOp):
+                env[ins.dst] = self._binop(ins.op, aval(ins.a),
+                                           aval(ins.b), ins.width,
+                                           ins.signed)
+            elif isinstance(ins, Load):
+                env[ins.dst] = self._load(ins, aval(ins.addr), out)
+            elif isinstance(ins, Store):
+                out = self._store(ins, aval(ins.addr),
+                                  aval(ins.src), out)
+            elif isinstance(ins, Call):
+                out = self._call(ins, blk.label, idx, env, out)
+            elif isinstance(ins, Ret):
+                if ins.ptr_value and ins.value is not None:
+                    rv = aval(ins.value)
+                    if rv.is_ptr and rv.region is not None and \
+                            rv.region[0] == "local":
+                        self._emit(ins, "scope-escape", "warning",
+                                   f"returning pointer to local "
+                                   f"object '{rv.region[1]}'")
+                return out
+            elif isinstance(ins, Br):
+                return self._branch(ins, aval(ins.cond), out)
+            elif isinstance(ins, Jmp):
+                return out
+            else:
+                # Instrumentation / hardware ops: defs go to Top.
+                for d in ins.defs():
+                    env[d] = AVal.top()
+        return out
+
+    # -- expression transfer -----------------------------------------------
+
+    def _conv(self, av: AVal, width: int, signed: bool) -> AVal:
+        if av.is_ptr and width >= 8:
+            return av
+        if av.is_int:
+            return AVal.int_range(av.rng.clamp_width(8 * width,
+                                                     signed))
+        return AVal.top()
+
+    def _unop(self, op: str, a: AVal) -> AVal:
+        if op == "neg" and a.is_int:
+            return AVal.int_range(a.rng.neg())
+        if op == "lognot":
+            if a.pred is not None:
+                pop, pl, pr = a.pred
+                flipped = (CMP_NEG[pop], pl, pr)
+                rng = _flip_bool(a.rng)
+                return AVal(kind="int", rng=rng, pred=flipped)
+            if a.is_ptr:
+                pred = ("eq", a, AVal.int_const(0))
+                if a.nullness == "null":
+                    return AVal(kind="int", rng=Interval.const(1),
+                                pred=pred)
+                if a.nullness == "nonnull":
+                    return AVal(kind="int", rng=Interval.const(0),
+                                pred=pred)
+                return AVal(kind="int", rng=Interval(0, 1), pred=pred)
+            if a.is_int:
+                pred = ("eq", a, AVal.int_const(0))
+                if a.rng.is_const:
+                    return AVal(kind="int", rng=Interval.const(
+                        0 if a.rng.lo != 0 else 1), pred=pred)
+                if not a.rng.contains(0):
+                    return AVal(kind="int", rng=Interval.const(0),
+                                pred=pred)
+                return AVal(kind="int", rng=Interval(0, 1), pred=pred)
+        return AVal.top()
+
+    def _binop(self, op: str, a: AVal, b: AVal, width: int,
+               signed: bool) -> AVal:
+        if op in CMP_OPS:
+            return self._compare(op, a, b)
+        if op == "add":
+            if a.is_ptr and b.is_int:
+                return replace(a, offset=a.offset.add(b.rng),
+                               pred=None)
+            if b.is_ptr and a.is_int:
+                return replace(b, offset=b.offset.add(a.rng),
+                               pred=None)
+            if a.is_int and b.is_int:
+                return self._int(a.rng.add(b.rng), width, signed)
+        elif op == "sub":
+            if a.is_ptr and b.is_int:
+                return replace(a, offset=a.offset.sub(b.rng),
+                               pred=None)
+            if a.is_ptr and b.is_ptr:
+                if a.region is not None and a.region == b.region:
+                    return AVal.int_range(a.offset.sub(b.offset))
+                return AVal(kind="int")
+            if a.is_int and b.is_int:
+                return self._int(a.rng.sub(b.rng), width, signed)
+        elif op == "mul":
+            if a.is_int and b.is_int:
+                return self._int(a.rng.mul(b.rng), width, signed)
+        elif op == "shl":
+            if a.is_int and b.is_int:
+                return self._int(a.rng.shl(b.rng), width, signed)
+        elif op == "and":
+            if a.is_int and b.is_int:
+                return self._int(a.rng.and_mask(b.rng), width, signed)
+        elif op in ("sdiv", "udiv"):
+            if a.is_int and b.is_int and b.rng.is_const and \
+                    b.rng.lo > 0:
+                return self._int(_div_const(a.rng, int(b.rng.lo)),
+                                 width, signed)
+            return AVal(kind="int")
+        elif op in ("srem", "urem"):
+            if a.is_int and b.is_int and b.rng.is_const and \
+                    b.rng.lo > 0 and a.rng.lo >= 0:
+                d = int(b.rng.lo)
+                hi = min(a.rng.hi, d - 1)
+                return AVal.int_range(Interval(0, hi))
+            return AVal(kind="int")
+        elif op in ("or", "xor", "lshr", "ashr"):
+            return AVal(kind="int")
+        return AVal.top()
+
+    def _int(self, rng: Interval, width: int, signed: bool) -> AVal:
+        if width:
+            rng = rng.clamp_width(8 * width, signed)
+        return AVal.int_range(rng)
+
+    def _compare(self, op: str, a: AVal, b: AVal) -> AVal:
+        pred = (op, a, b)
+        verdict: Optional[bool] = None
+        if a.is_int and b.is_int:
+            verdict = a.rng.definitely(op, b.rng)
+        elif a.is_ptr and b.is_ptr:
+            if _is_nullish(b) and op in ("eq", "ne"):
+                verdict = self._null_verdict(op, a)
+            elif _is_nullish(a) and op in ("eq", "ne"):
+                verdict = self._null_verdict(op, b)
+            elif a.region is not None and a.region == b.region and \
+                    a.nullness == "nonnull" and \
+                    b.nullness == "nonnull":
+                verdict = a.offset.definitely(op, b.offset)
+        elif a.is_ptr and b.is_int and b.rng == Interval.const(0) \
+                and op in ("eq", "ne"):
+            verdict = self._null_verdict(op, a)
+        elif b.is_ptr and a.is_int and a.rng == Interval.const(0) \
+                and op in ("eq", "ne"):
+            verdict = self._null_verdict(op, b)
+        if verdict is None:
+            return AVal(kind="int", rng=Interval(0, 1), pred=pred)
+        return AVal(kind="int",
+                    rng=Interval.const(1 if verdict else 0),
+                    pred=pred)
+
+    @staticmethod
+    def _null_verdict(op: str, p: AVal) -> Optional[bool]:
+        if p.nullness == "null":
+            return op == "eq"
+        if p.nullness == "nonnull":
+            return op == "ne"
+        return None
+
+    # -- memory transfer ---------------------------------------------------
+
+    def _load(self, ins: Load, addr: AVal, state: MState) -> AVal:
+        if ins.needs_check:
+            self._classify(ins, addr, Interval.const(ins.size),
+                           state, is_store=False)
+        value: Optional[AVal] = None
+        if addr.is_ptr and addr.offset == Interval.const(0):
+            key = self._scalar_slot(addr.region, ins.size) \
+                if addr.region is not None else None
+            if key is not None and key in state.slots:
+                value = replace(state.slots[key], origin=key)
+        if value is None:
+            value = AVal.unknown_ptr() if ins.ptr_result \
+                else AVal.top()
+        elif ins.ptr_result and not value.is_ptr and \
+                value.kind != "uninit":
+            value = replace(AVal.unknown_ptr(), origin=value.origin)
+        return value
+
+    def _store(self, ins: Store, addr: AVal, src: AVal,
+               state: MState) -> MState:
+        if ins.needs_check:
+            self._classify(ins, addr, Interval.const(ins.size),
+                           state, is_store=True)
+        if addr.is_ptr and addr.region is not None:
+            key = self._slot_key(addr.region)
+            if key is not None:
+                new = state.copy()
+                exact = self._scalar_slot(addr.region, ins.size)
+                if exact is not None and \
+                        addr.offset == Interval.const(0):
+                    new.slots[exact] = replace(src, origin=None)
+                else:
+                    new.slots[key] = AVal.top()
+                new.checked = new.checked - {key}
+                return new
+            return state  # heap store: element values untracked
+        # Store through an unknown pointer: it may legally target any
+        # address-taken object or global (the access's own check stays,
+        # so it cannot stray outside *some* valid object).
+        return self._havoc_objects(state)
+
+    def _havoc_objects(self, state: MState) -> MState:
+        new = state.copy()
+        dropped = set()
+        for key in new.slots:
+            if key.startswith("g:"):
+                new.slots[key] = AVal.top()
+                dropped.add(key)
+            else:
+                slot = self.fn.locals.get(key[2:])
+                if slot is not None and slot.is_object:
+                    new.slots[key] = AVal.top()
+                    dropped.add(key)
+        new.checked = new.checked - dropped
+        return new
+
+    # -- calls -------------------------------------------------------------
+
+    def _call(self, ins: Call, label: str, idx: int,
+              env: Dict[int, AVal], state: MState) -> MState:
+        name = ins.name
+
+        def aval(v):
+            return env.get(v, AVal.top()) if v is not None \
+                else AVal.top()
+
+        if name in ALLOC_FNS:
+            return self._alloc(ins, label, idx, env, state)
+        if name == "free":
+            return self._free(ins, aval(ins.args[0]), state)
+
+        ranges = WRAPPED_RANGE_FNS.get(name)
+        if ranges:
+            for ptr_index, len_index in ranges:
+                self._classify(ins, aval(ins.args[ptr_index]),
+                               aval(ins.args[len_index]).rng
+                               if aval(ins.args[len_index]).is_int
+                               else Interval.top(),
+                               state, is_store=(ptr_index == 0),
+                               wrapper=name)
+
+        if ins.dst is not None:
+            env[ins.dst] = AVal.unknown_ptr() if ins.ptr_result \
+                else AVal.top()
+
+        if name in PURE_FNS:
+            return state
+        if name in WRITE_THROUGH_ARG0:
+            dst = aval(ins.args[0]) if ins.args else AVal.top()
+            if dst.is_ptr and dst.region is not None:
+                key = self._slot_key(dst.region)
+                if key is not None:
+                    new = state.copy()
+                    new.slots[key] = AVal.top()
+                    new.checked = new.checked - {key}
+                    return new
+                return state
+            return self._havoc_objects(state)
+
+        # User-defined or unknown function.
+        new = self._havoc_objects(state)
+        if name in self.may_free or name not in \
+                self.module.functions:
+            heap = {site: HeapRegion(r.size,
+                                     FREED if r.status == FREED
+                                     else MAYBE_FREED)
+                    for site, r in new.heap.items()}
+            new = MState(new.slots, heap, frozenset())
+        return new
+
+    def _alloc(self, ins: Call, label: str, idx: int,
+               env: Dict[int, AVal], state: MState) -> MState:
+        def aval(v):
+            return env.get(v, AVal.top())
+
+        if ins.name == "calloc":
+            size = aval(ins.args[0]).rng.mul(aval(ins.args[1]).rng) \
+                if (aval(ins.args[0]).is_int and
+                    aval(ins.args[1]).is_int) else Interval.top()
+        else:
+            arg = aval(ins.args[0])
+            size = arg.rng if arg.is_int else Interval.top()
+        site = (self.fn.name, label, idx)
+        new = state.copy()
+        if ins.dst is not None:
+            if size.lo != float("inf") and \
+                    size.lo > self.config.user_top:
+                # Bigger than the whole user address space: the
+                # bump/free-list allocator must return NULL.
+                env[ins.dst] = AVal.null()
+            else:
+                old = new.heap.get(site)
+                status = LIVE if old is None or old.status == LIVE \
+                    else MAYBE_FREED
+                new.heap[site] = HeapRegion(
+                    Interval(max(size.lo, 0), size.hi), status)
+                env[ins.dst] = AVal.ptr(("heap", site),
+                                        Interval.const(0),
+                                        nullness="maybe")
+        return new
+
+    def _free(self, ins: Call, p: AVal, state: MState) -> MState:
+        if p.kind == "uninit":
+            self._emit(ins, "uninit-deref", "error",
+                       "free() of uninitialized pointer")
+            return state
+        if not p.is_ptr:
+            return state
+        if p.nullness == "null":
+            return state  # free(NULL) is a no-op in the runtime
+        if p.region is None:
+            # Unknown provenance: anything might have been freed.
+            heap = {site: HeapRegion(r.size,
+                                     FREED if r.status == FREED
+                                     else MAYBE_FREED)
+                    for site, r in state.heap.items()}
+            return MState(dict(state.slots), heap, frozenset())
+        kind = p.region[0]
+        if kind in ("local", "global"):
+            self._emit(ins, "invalid-free", "error",
+                       f"free() of non-heap pointer to "
+                       f"{kind} '{p.region[1]}'")
+            return state
+        site = p.region[1]
+        region = state.heap.get(site)
+        new = state.copy()
+        if region is not None and region.status == FREED:
+            self._emit(ins, "double-free", "error",
+                       "free() of an already-freed allocation")
+        elif not p.offset.contains(0):
+            self._emit(ins, "invalid-free", "error",
+                       f"free() of interior pointer "
+                       f"(offset {p.offset!r})")
+        size = region.size if region is not None else Interval.top()
+        new.heap[site] = HeapRegion(size, FREED)
+        # Lock died: drop dominance facts for slots aiming at it.
+        new.checked = frozenset(
+            s for s in new.checked
+            if not (new.slots.get(s) is not None
+                    and new.slots[s].is_ptr
+                    and new.slots[s].region == p.region))
+        return new
+
+    # -- access classification ---------------------------------------------
+
+    def _classify(self, ins, addr: AVal, length: Interval,
+                  state: MState, is_store: bool,
+                  wrapper: Optional[str] = None):
+        """Judge one checked access; record findings (report pass) and
+        fold the verdict into the instruction's AccessFacts."""
+        spatial_ok = False
+        temporal_ok = False
+        what = f"{wrapper}() range" if wrapper else \
+            ("store" if is_store else "load")
+
+        if addr.kind == "uninit":
+            self._emit(ins, "uninit-deref", "error",
+                       f"{what} through uninitialized pointer"
+                       + (f" (from '{addr.origin[2:]}')"
+                          if addr.origin else ""))
+        elif addr.is_ptr:
+            if addr.nullness == "null":
+                self._emit(ins, "null-deref", "error",
+                           f"{what} through NULL pointer")
+            elif addr.region is not None:
+                spatial_ok, temporal_ok = self._judge_region(
+                    ins, addr, length, state, what)
+
+        temporal_dom = (addr.origin is not None
+                        and addr.origin in state.checked)
+        if self._stamp and not wrapper:
+            facts = getattr(ins, "_ms_facts", None)
+            if facts is None:
+                facts = AccessFacts()
+                ins._ms_facts = facts
+            facts.spatial_ok &= spatial_ok
+            facts.temporal_ok &= temporal_ok
+            facts.temporal_dom &= temporal_dom
+        # Seed dominance only when this access keeps a temporal check
+        # (a fully-proven access's check disappears; a dominated one
+        # reuses the earlier check).
+        if not wrapper and addr.origin is not None and \
+                not temporal_ok and not temporal_dom:
+            state.checked = state.checked | {addr.origin}
+
+    def _judge_region(self, ins, addr: AVal, length: Interval,
+                      state: MState, what: str
+                      ) -> Tuple[bool, bool]:
+        region = addr.region
+        size = self._region_size(state, region)
+        kind = region[0]
+        temporal_ok = kind in ("local", "global")
+        if kind == "heap":
+            hr = state.heap.get(region[1])
+            if hr is not None and hr.status == FREED:
+                self._emit(ins, "uaf", "error",
+                           f"{what} through freed heap pointer")
+                return False, False
+            temporal_ok = hr is not None and hr.status == LIVE
+        if size is None:
+            return False, temporal_ok
+        end = addr.offset.add(length)
+        if addr.offset.lo < 0 or end.hi > size.hi:
+            if length.lo > 0 or not what.endswith("range"):
+                name = region[1] if kind != "heap" else "allocation"
+                self._emit(ins, "oob", "error",
+                           f"{what} out of bounds of {kind} object "
+                           f"'{name}': offsets {addr.offset!r}+"
+                           f"{length!r} exceed size {size!r}")
+            return False, temporal_ok
+        spatial_ok = (addr.offset.lo >= 0
+                      and end.hi <= size.lo
+                      and addr.nullness == "nonnull")
+        return spatial_ok, temporal_ok
+
+    def _emit(self, ins, kind: str, severity: str, message: str):
+        if self._record is not None:
+            self._record(ins, kind, severity, message)
+
+    # -- branches ----------------------------------------------------------
+
+    def _branch(self, ins: Br, cond: AVal, state: MState):
+        then_state: Optional[MState] = state
+        else_state: Optional[MState] = state.copy()
+
+        if cond.is_int and not cond.rng.is_top:
+            if cond.rng == Interval.const(0):
+                then_state = None
+            elif not cond.rng.contains(0):
+                else_state = None
+        elif cond.is_ptr:
+            if cond.nullness == "null":
+                then_state = None
+            elif cond.nullness == "nonnull":
+                else_state = None
+
+        pred = cond.pred
+        if pred is None and cond.is_ptr:
+            pred = ("ne", cond, AVal.int_const(0))
+        elif pred is None and cond.is_int and cond.origin:
+            pred = ("ne", cond, AVal.int_const(0))
+        if pred is not None:
+            op, la, lb = pred
+            if then_state is not None:
+                then_state = self._apply_pred(then_state, op, la, lb)
+            if else_state is not None:
+                else_state = self._apply_pred(else_state,
+                                              CMP_NEG[op], la, lb)
+        if ins.then_label == ins.else_label:
+            if then_state is None:
+                return else_state
+            if else_state is None:
+                return then_state
+            return self.join(then_state, else_state)
+        return EdgeStates({ins.then_label: then_state,
+                           ins.else_label: else_state})
+
+    def _apply_pred(self, state: MState, op: str, la: AVal,
+                    lb: AVal) -> Optional[MState]:
+        if la.is_int and lb.is_int:
+            if la.rng.definitely(op, lb.rng) is False:
+                return None
+        new = state
+        for side, other, sop in ((la, lb, op),
+                                 (lb, la, CMP_SWAP[op])):
+            key = side.origin
+            if key is None:
+                continue
+            cur = new.slots.get(key)
+            if cur is None or not _same_value(cur, side):
+                continue
+            refined = _refine(side, sop, other)
+            if refined is None:
+                return None
+            if not _same_value(refined, cur):
+                if new is state:
+                    new = state.copy()
+                new.slots[key] = replace(refined, origin=None)
+        return new
+
+
+# -- refinement helpers ----------------------------------------------------
+
+def _is_nullish(av: AVal) -> bool:
+    return (av.is_ptr and av.nullness == "null") or \
+        (av.is_int and av.rng == Interval.const(0))
+
+
+def _flip_bool(rng: Interval) -> Interval:
+    if rng == Interval.const(0):
+        return Interval.const(1)
+    if not rng.contains(0):
+        return Interval.const(0)
+    return Interval(0, 1)
+
+
+def _div_const(rng: Interval, d: int) -> Interval:
+    def trunc(x):
+        if x in (float("inf"), float("-inf")):
+            return x
+        q = abs(int(x)) // d
+        return q if x >= 0 else -q
+    lo, hi = trunc(rng.lo), trunc(rng.hi)
+    return Interval(min(lo, hi), max(lo, hi))
+
+
+def _refine(av: AVal, op: str, other: AVal) -> Optional[AVal]:
+    """Value of ``av`` assuming ``av op other`` holds; None if that is
+    impossible (the edge is infeasible)."""
+    if av.is_ptr and _is_nullish(other) and op in ("eq", "ne"):
+        if op == "eq":
+            if av.nullness == "nonnull":
+                return None
+            return AVal.null()
+        if av.nullness == "null":
+            return None
+        return replace(av, nullness="nonnull")
+    if av.is_int and other.is_int:
+        rng = _refine_rng(av.rng, op, other.rng)
+        if rng is None:
+            return None
+        return replace(av, rng=rng)
+    if av.is_ptr and other.is_ptr and av.region is not None and \
+            av.region == other.region:
+        rng = _refine_rng(av.offset, op, other.offset)
+        if rng is None:
+            return None
+        return replace(av, offset=rng)
+    return av
+
+
+def _refine_rng(rng: Interval, op: str,
+                other: Interval) -> Optional[Interval]:
+    if op == "eq":
+        return rng.meet(other)
+    if op == "ne":
+        if other.is_const:
+            if rng.is_const and rng.lo == other.lo:
+                return None
+            if rng.lo == other.lo:
+                return Interval(rng.lo + 1, rng.hi)
+            if rng.hi == other.hi:
+                return Interval(rng.lo, rng.hi - 1)
+        return rng
+    if op in ("ult", "ule", "ugt", "uge") and \
+            (rng.lo < 0 or other.lo < 0):
+        return rng  # unsigned view of negatives: no refinement
+    if op in ("slt", "ult"):
+        return rng.meet(Interval(float("-inf"), other.hi - 1))
+    if op in ("sle", "ule"):
+        return rng.meet(Interval(float("-inf"), other.hi))
+    if op in ("sgt", "ugt"):
+        return rng.meet(Interval(other.lo + 1, float("inf")))
+    if op in ("sge", "uge"):
+        return rng.meet(Interval(other.lo, float("inf")))
+    return rng
+
+
+def analyze_function(module: Module, fn: Function,
+                     config: Optional[HwstConfig] = None,
+                     may_free: Optional[Set[str]] = None,
+                     recorder: Optional[Recorder] = None,
+                     stamp: bool = True):
+    """Fixpoint + report pass for one function. Returns the
+    DataflowResult; findings go to ``recorder``; AccessFacts are
+    stamped on checked accesses when ``stamp``."""
+    analysis = MemSafety(module, fn, config, may_free)
+    result = run_forward(analysis, fn)
+    analysis.report(result, recorder or (lambda *a: None),
+                    stamp=stamp)
+    return result

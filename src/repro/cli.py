@@ -4,6 +4,8 @@ The CLI face of the reproduction (the paper's contribution #4 is an
 open-source tool chain)::
 
     python -m repro run prog.c --scheme hwst128_tchk --stats
+    python -m repro run prog.c --scheme hwst128_tchk --elide-checks
+    python -m repro analyze prog.c --json
     python -m repro compile prog.c --disasm
     python -m repro schemes
     python -m repro workloads --run treeadd --scheme sbcets
@@ -29,6 +31,10 @@ from repro.workloads import WORKLOADS
 def _read_source(path: str) -> str:
     with open(path) as fh:
         return fh.read()
+
+
+def _config(args) -> HwstConfig:
+    return HwstConfig(elide_checks=getattr(args, "elide_checks", False))
 
 
 def _positive_int(text: str) -> int:
@@ -75,7 +81,7 @@ def cmd_run(args) -> int:
         if args.profile:
             profiler = CycleProfiler()
         phases = PhaseTimers(metrics=metrics, tracer=tracer)
-    program = compile_source(source, args.scheme, HwstConfig(),
+    program = compile_source(source, args.scheme, _config(args),
                              phases=phases)
     timing = None if args.no_timing else InOrderPipeline(metrics=metrics)
     machine = Machine(timing=timing, trace_depth=args.trace,
@@ -116,7 +122,7 @@ def cmd_stats(args) -> int:
     source = _read_source(args.file)
     metrics = MetricsRegistry()
     phases = PhaseTimers(metrics=metrics)
-    program = compile_source(source, args.scheme, HwstConfig(),
+    program = compile_source(source, args.scheme, _config(args),
                              phases=phases)
     timing = None if args.no_timing else InOrderPipeline(metrics=metrics)
     machine = Machine(timing=timing, metrics=metrics)
@@ -135,7 +141,7 @@ def cmd_stats(args) -> int:
 
 def cmd_compile(args) -> int:
     source = _read_source(args.file)
-    program = compile_source(source, args.scheme, HwstConfig())
+    program = compile_source(source, args.scheme, _config(args))
     print(f"scheme      : {args.scheme}")
     print(f"text        : {program.text_base:#x}..{program.text_end:#x} "
           f"({len(program.instrs)} instructions)")
@@ -176,7 +182,8 @@ def cmd_workloads(args) -> int:
         return 1
     from repro.harness.runner import run_workload
 
-    result = run_workload(args.run, args.scheme, scale=args.scale)
+    result = run_workload(args.run, args.scheme, scale=args.scale,
+                          config=_config(args))
     _print_result(result, args.stats)
     return 0 if result.ok else 1
 
@@ -193,12 +200,36 @@ def cmd_juliet(args) -> int:
             print(f"=== {case.case_id} (flow {case.flow}) ===")
             print(case.bad_source)
             continue
-        result = run_program(case.bad_source, args.scheme, timing=False,
+        result = run_program(case.bad_source, args.scheme,
+                             config=_config(args), timing=False,
                              max_instructions=3_000_000)
         verdict = "DETECTED" if detected(args.scheme, result) else \
             "missed"
         print(f"{case.case_id:38s} {result.status:20s} {verdict}")
     return 0
+
+
+def cmd_analyze(args) -> int:
+    """Static memory-safety lint: no execution, no instrumentation."""
+    import json
+
+    from repro.analyze import analyze_source
+
+    reports = []
+    failed = False
+    for path in args.files:
+        report = analyze_source(_read_source(path), name=path)
+        reports.append(report)
+        if report.errors():
+            failed = True
+    if args.json:
+        payload = [report.to_dict() for report in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload,
+                         indent=2))
+    else:
+        for report in reports:
+            print(report.text())
+    return 1 if failed else 0
 
 
 def cmd_experiments(args) -> int:
@@ -218,6 +249,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scheme", default="baseline",
                        choices=sorted(SCHEMES))
     run_p.add_argument("--stats", action="store_true")
+    run_p.add_argument("--elide-checks", action="store_true",
+                       help="statically remove proven-redundant checks")
     run_p.add_argument("--no-timing", action="store_true")
     run_p.add_argument("--trace", type=int, default=0, metavar="N",
                        help="keep the last N instructions for post-mortem")
@@ -243,6 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("file")
     stats_p.add_argument("--scheme", default="baseline",
                          choices=sorted(SCHEMES))
+    stats_p.add_argument("--elide-checks", action="store_true",
+                         help="statically remove proven-redundant checks")
     stats_p.add_argument("--no-timing", action="store_true")
     stats_p.add_argument("--max-instructions", type=int,
                          default=200_000_000)
@@ -255,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
     compile_p.add_argument("file")
     compile_p.add_argument("--scheme", default="baseline",
                            choices=sorted(SCHEMES))
+    compile_p.add_argument("--elide-checks", action="store_true",
+                           help="statically remove proven-redundant checks")
     compile_p.add_argument("--disasm", action="store_true",
                            help="print the full assembly listing")
     compile_p.add_argument("--encode", metavar="OUT.BIN",
@@ -272,6 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
     workloads_p.add_argument("--scale", default="default",
                              choices=("default", "small"))
     workloads_p.add_argument("--stats", action="store_true")
+    workloads_p.add_argument("--elide-checks", action="store_true",
+                             help="statically remove proven-redundant "
+                             "checks")
     workloads_p.set_defaults(fn=cmd_workloads)
 
     juliet_p = sub.add_parser("juliet",
@@ -283,7 +323,16 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(SCHEMES))
     juliet_p.add_argument("--show", action="store_true",
                           help="print sources instead of running")
+    juliet_p.add_argument("--elide-checks", action="store_true",
+                          help="statically remove proven-redundant checks")
     juliet_p.set_defaults(fn=cmd_juliet)
+
+    analyze_p = sub.add_parser(
+        "analyze", help="static memory-safety lint (no execution)")
+    analyze_p.add_argument("files", nargs="+")
+    analyze_p.add_argument("--json", action="store_true",
+                           help="emit repro.analyze/v1 JSON")
+    analyze_p.set_defaults(fn=cmd_analyze)
 
     experiments_p = sub.add_parser(
         "experiments", help="regenerate paper figures "

@@ -113,6 +113,7 @@ class HwstConfig:
     keybuffer_entries: int = 8           # TLB-like keybuffer size
     keybuffer_policy: str = "lru"        # "lru" | "fifo" (ablation knob)
     shadow_budget: int = 0               # 0 = unlimited (bytes of S.Mem)
+    elide_checks: bool = False           # static redundant-check elision
 
     def __post_init__(self):
         if self.user_top <= 0:

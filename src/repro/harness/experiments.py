@@ -95,20 +95,29 @@ def fig2_compression(scale: str = "default",
 
 FIG4_SCHEMES = ("sbcets", "hwst128", "hwst128_tchk")
 
+# Extra configuration beyond the paper's: full HWST128 with the static
+# redundant-check eliminator (--elide-checks) switched on.
+FIG4_ELIDE = "hwst128_tchk_elide"
+
 
 def fig4_overhead(scale: str = "default",
                   workloads: Optional[Sequence[str]] = None,
                   timing_params: Optional[TimingParams] = None,
-                  collect_metrics: bool = False) -> Dict:
+                  collect_metrics: bool = False,
+                  include_elide: bool = True) -> Dict:
     """Fig. 4: perf.oh of SBCETS / HWST128 / HWST128_tchk per workload.
 
+    With ``include_elide`` (default) every workload also runs under
+    ``hwst128_tchk`` with static check elision; the row then carries
+    ``checks_elided`` (the ``compile.analyze.checks_elided`` counter).
     With ``collect_metrics`` every row carries the per-run metric
     snapshots (``RunResult.metrics``, keyed by scheme), which the
     ``benchmarks/`` suite saves next to the overhead numbers.
     """
     names = list(workloads) if workloads else list(WORKLOADS)
     rows = []
-    ratios = {scheme: [] for scheme in FIG4_SCHEMES}
+    schemes = FIG4_SCHEMES + ((FIG4_ELIDE,) if include_elide else ())
+    ratios = {scheme: [] for scheme in schemes}
     for name in names:
         base = run_workload(name, "baseline", scale=scale,
                             timing_params=timing_params)
@@ -125,6 +134,21 @@ def fig4_overhead(scale: str = "default",
             row[scheme] = perf_overhead_pct(run.cycles, base.cycles)
             ratios[scheme].append(run.cycles / base.cycles)
             snapshots[scheme] = run.metrics
+        if include_elide:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            run = run_workload(name, "hwst128_tchk", scale=scale,
+                               timing_params=timing_params,
+                               config=HwstConfig(elide_checks=True),
+                               metrics=registry)
+            if not run.ok:
+                raise RuntimeError(f"{name}/{FIG4_ELIDE}: {run.status}")
+            row[FIG4_ELIDE] = perf_overhead_pct(run.cycles, base.cycles)
+            row["checks_elided"] = registry.counter(
+                "compile.analyze.checks_elided").value
+            ratios[FIG4_ELIDE].append(run.cycles / base.cycles)
+            snapshots[FIG4_ELIDE] = run.metrics
         if collect_metrics:
             row["metrics"] = snapshots
         rows.append(row)

@@ -29,6 +29,7 @@ use-after-return is caught exactly as the paper describes.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.config import HwstConfig
@@ -59,6 +60,11 @@ class _PassBase:
 
     temporal = True          # scheme tracks key/lock metadata
     protects = True          # scheme instruments derefs at all
+    # Whether repro.analyze.elide may delete this pass's proven-redundant
+    # check ops without changing what the scheme detects. Only True for
+    # passes whose checks are whole-object spatial + key/lock temporal
+    # (matching the analysis's proof obligations).
+    elidable = False
 
     def __init__(self, module: Module, fn: Function, config: HwstConfig):
         self.module = module
@@ -68,6 +74,12 @@ class _PassBase:
         self.root: Dict[int, int] = {}
         self._scratch_n = 0
         self.uses_frame_lock = False
+        # Check-group tagging for --elide-checks: while expanding the
+        # check for one guarded access, every emitted op is stamped
+        # with the access it guards and which half it implements.
+        self.tag_checks = bool(config.elide_checks) and self.elidable
+        self._current_check: Optional[IRInstr] = None
+        self._current_part = "shared"
 
     # -- small helpers ---------------------------------------------------
 
@@ -75,7 +87,20 @@ class _PassBase:
         return self.fn.new_vreg(ctype)
 
     def emit(self, ins: IRInstr):
+        if self._current_check is not None:
+            ins._check_for = self._current_check
+            ins._check_part = self._current_part
         self.out.append(ins)
+
+    @contextmanager
+    def check_part(self, part: str):
+        """Mark ops emitted inside as one half of the current check."""
+        prev = self._current_part
+        self._current_part = part
+        try:
+            yield
+        finally:
+            self._current_part = prev
 
     def const(self, value: int) -> int:
         dst = self.vreg(LONG)
@@ -266,10 +291,22 @@ class _PassBase:
                            8, True))
             self.call("__lock_free", [lock])
 
+    def _dispatch_check(self, ins: IRInstr):
+        if not self.tag_checks:
+            self.on_check(ins)
+            return
+        self._current_check = ins
+        self._current_part = "shared"
+        try:
+            self.on_check(ins)
+        finally:
+            self._current_check = None
+            self._current_part = "shared"
+
     def visit(self, ins: IRInstr, in_param_section: bool = False):
         if isinstance(ins, Load):
             if ins.needs_check:
-                self.on_check(ins)
+                self._dispatch_check(ins)
             self.emit(ins)
             if ins.ptr_result:
                 self.root[ins.dst] = ins.addr
@@ -277,7 +314,7 @@ class _PassBase:
             return
         if isinstance(ins, Store):
             if ins.needs_check:
-                self.on_check(ins)
+                self._dispatch_check(ins)
             self.emit(ins)
             if ins.ptr_value:
                 if self.prov_kind(ins.src) == "param":
@@ -333,6 +370,7 @@ class HwstPass(_PassBase):
     """Full HWST128: SRF + compression + fused checks + tchk/keybuffer."""
 
     use_tchk = True
+    elidable = True
 
     # -- events ------------------------------------------------------------
 
@@ -353,19 +391,23 @@ class HwstPass(_PassBase):
             # Static object: bind its metadata and run the full check
             # (spatial fused, temporal via tchk / the software method).
             prov = self.prov(addr)
-            base, bound = self.static_bounds(prov)
-            self.emit(HwBndrs(addr, base, bound))
-            key, lock = self.keylock_for(prov)
-            self.emit(HwBndrt(addr, key, lock))
+            with self.check_part("spatial"):
+                base, bound = self.static_bounds(prov)
+                self.emit(HwBndrs(addr, base, bound))
+            with self.check_part("temporal"):
+                key, lock = self.keylock_for(prov)
+                self.emit(HwBndrt(addr, key, lock))
             ins.checked = True
-            if self.use_tchk:
-                self.emit(HwTchk(addr))
-            else:
-                self.inline_key_check(key, lock)
+            with self.check_part("temporal"):
+                if self.use_tchk:
+                    self.emit(HwTchk(addr))
+                else:
+                    self.inline_key_check(key, lock)
             return
         ins.checked = True
         if kind == "loaded":
-            self._temporal_check(addr)
+            with self.check_part("temporal"):
+                self._temporal_check(addr)
         # kind == "call": freshly returned pointer cannot be stale;
         # null/none: SRF is invalid -> the fused check traps.
 
@@ -476,6 +518,7 @@ class HwstNoTchkPass(HwstPass):
 class SbcetsPass(_PassBase):
     """SBCETS: trie metadata, runtime-call checks, shadow stack."""
 
+    elidable = True
     mload = "__sb_mload"
     mstore = "__sb_mstore"
     setmeta = "__sb_setmeta"
@@ -515,20 +558,25 @@ class SbcetsPass(_PassBase):
         metadata *table* operations stay runtime calls."""
         addr = ins.addr
         kind = self.prov_kind(addr)
-        size_v = self.const(ins.size)
+        with self.check_part("spatial"):
+            size_v = self.const(ins.size)
         if kind in ("local", "global"):
-            base, bound = self.static_bounds(self.prov(addr))
-            self.inline_spatial(addr, size_v, base, bound)
-            key, lock = self.keylock_for(self.prov(addr))
-            self.inline_key_check(key, lock)
+            with self.check_part("spatial"):
+                base, bound = self.static_bounds(self.prov(addr))
+                self.inline_spatial(addr, size_v, base, bound)
+            with self.check_part("temporal"):
+                key, lock = self.keylock_for(self.prov(addr))
+                self.inline_key_check(key, lock)
             return
         self.materialize(addr)
-        base = self.load_global(self.g_base)
-        bound = self.load_global(self.g_bound)
-        self.inline_spatial(addr, size_v, base, bound)
-        key = self.load_global(self.g_key)
-        lock = self.load_global(self.g_lock)
-        self.inline_key_check(key, lock)
+        with self.check_part("spatial"):
+            base = self.load_global(self.g_base)
+            bound = self.load_global(self.g_bound)
+            self.inline_spatial(addr, size_v, base, bound)
+        with self.check_part("temporal"):
+            key = self.load_global(self.g_key)
+            lock = self.load_global(self.g_lock)
+            self.inline_key_check(key, lock)
 
     def on_ptr_store(self, ins: Store):
         self.materialize(ins.src)
@@ -686,6 +734,11 @@ class WdlNarrowPass(SbcetsPass):
     """WDL narrow: scalar metadata ops over a direct (linear,
     uncompressed) shadow — same structure as SBCETS but without the
     trie walk in the runtime helpers."""
+
+    # Elision is only validated against the hwst/sbcets trap semantics;
+    # keep the comparator baselines un-elided so overhead numbers stay
+    # directly comparable with the paper's.
+    elidable = False
 
     g_base = "__wm_base"
     g_bound = "__wm_bound"

@@ -28,6 +28,11 @@ from repro.minic.types import CType
 class IRInstr:
     """Base class. ``uses()``/``defs()`` drive liveness and verification."""
 
+    # Source line for diagnostics. Deliberately *not* a dataclass field
+    # (un-annotated class attribute): subclasses keep their positional
+    # constructors, and irgen stamps the attribute after construction.
+    line = 0
+
     def uses(self) -> Tuple[int, ...]:
         return ()
 

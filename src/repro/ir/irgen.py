@@ -69,6 +69,7 @@ class _FuncLowering:
         self._tmp_counter = 0
         self._break_stack: List[str] = []
         self._continue_stack: List[str] = []
+        self._cur_line = 0
         # Declare params first (codegen prologue stores a0.. into them).
         for pname in info.param_names:
             self.fn.add_local(pname, info.locals[pname], is_param=True)
@@ -84,6 +85,8 @@ class _FuncLowering:
         if self._block.terminated():
             # Unreachable code after return/break: park it in a dead block.
             self._block = self.fn.add_block(self.new_label("dead"))
+        if not instr.line:
+            instr.line = self._cur_line
         self._block.instrs.append(instr)
         return instr
 
@@ -145,6 +148,8 @@ class _FuncLowering:
 
     def lower_lvalue(self, expr: ast.Expr) -> Tuple[int, bool]:
         """Return (address vreg, needs_check)."""
+        if expr.line:
+            self._cur_line = expr.line
         if isinstance(expr, ast.Ident):
             if expr.binding in ("local", "param"):
                 dst = self.vreg(PointerType(expr.ctype))
@@ -214,6 +219,8 @@ class _FuncLowering:
 
     def lower_rvalue(self, expr: ast.Expr) -> int:
         ctype = expr.ctype
+        if expr.line:
+            self._cur_line = expr.line
         if isinstance(expr, ast.IntLit):
             return self.const(expr.value, ctype)
         if isinstance(expr, ast.StrLit):
@@ -627,6 +634,8 @@ class _FuncLowering:
     # -- statements --------------------------------------------------------
 
     def lower_stmt(self, stmt: ast.Stmt):
+        if stmt.line:
+            self._cur_line = stmt.line
         if isinstance(stmt, ast.Block):
             for sub in stmt.stmts:
                 self.lower_stmt(sub)

@@ -7,21 +7,66 @@ Checks the invariants the -O0 code generator relies on:
 * every vreg is defined exactly once, before all of its uses, and all
   uses are inside the defining block (block-local expression trees);
 * branch targets exist;
-* locals referenced by AddrLocal exist in the frame.
+* block labels are unique, including case-insensitively (codegen and
+  ``Function.block`` look labels up by exact string, so two labels that
+  differ only by case silently shadow each other);
+* locals referenced by AddrLocal exist in the frame;
+* calls to in-module functions pass the right number of arguments
+  (unknown callees — runtime helpers — are skipped);
+* optionally (``allow_unreachable=False``) no block is unreachable
+  from the entry block.  The default is permissive because irgen
+  deliberately emits ``dead.*`` landing blocks for statements after a
+  ``return``; use :func:`unreachable_blocks` to inspect them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, List, Optional, Set
 
 from repro.errors import IRError
-from repro.ir.ir import AddrLocal, Br, Function, Jmp, Module
+from repro.ir.ir import AddrLocal, Br, Call, Function, Jmp, Module
 
 
-def verify_function(fn: Function):
+def unreachable_blocks(fn: Function) -> List[str]:
+    """Labels of blocks with no path from the entry block, layout order."""
+    if not fn.blocks:
+        return []
+    succs: Dict[str, tuple] = {}
+    for blk in fn.blocks:
+        term = blk.instrs[-1] if blk.instrs else None
+        if isinstance(term, Br):
+            succs[blk.label] = (term.then_label, term.else_label)
+        elif isinstance(term, Jmp):
+            succs[blk.label] = (term.label,)
+        else:
+            succs[blk.label] = ()
+    entry = fn.blocks[0].label
+    seen = {entry}
+    stack = [entry]
+    while stack:
+        for nxt in succs.get(stack.pop(), ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return [blk.label for blk in fn.blocks if blk.label not in seen]
+
+
+def verify_function(fn: Function, module: Optional[Module] = None, *,
+                    allow_unreachable: bool = True):
     labels = {blk.label for blk in fn.blocks}
     if len(labels) != len(fn.blocks):
-        raise IRError(f"{fn.name}: duplicate block labels")
+        counts: Dict[str, int] = {}
+        for blk in fn.blocks:
+            counts[blk.label] = counts.get(blk.label, 0) + 1
+        dupes = sorted(label for label, n in counts.items() if n > 1)
+        raise IRError(f"{fn.name}: duplicate block labels {dupes}")
+    folded: Dict[str, str] = {}
+    for blk in fn.blocks:
+        prev = folded.setdefault(blk.label.casefold(), blk.label)
+        if prev != blk.label:
+            raise IRError(
+                f"{fn.name}: block labels {prev!r} and {blk.label!r} "
+                f"differ only by case and would shadow each other")
     defined_in: Dict[int, str] = {}
 
     for blk in fn.blocks:
@@ -44,6 +89,14 @@ def verify_function(fn: Function):
             if isinstance(ins, AddrLocal) and ins.name not in fn.locals:
                 raise IRError(
                     f"{fn.name}/{blk.label}: unknown local {ins.name!r}")
+            if isinstance(ins, Call) and module is not None:
+                callee = module.functions.get(ins.name)
+                if callee is not None and \
+                        len(ins.args) != len(callee.param_names):
+                    raise IRError(
+                        f"{fn.name}/{blk.label}: call to {ins.name!r} "
+                        f"passes {len(ins.args)} argument(s) but its "
+                        f"definition takes {len(callee.param_names)}")
             if isinstance(ins, Br):
                 for target in (ins.then_label, ins.else_label):
                     if target not in labels:
@@ -76,12 +129,15 @@ def verify_function(fn: Function):
         # Second pass done implicitly: the loop above flags any use whose
         # def has not yet been seen in this block.
 
+    if not allow_unreachable:
+        dead = unreachable_blocks(fn)
+        if dead:
+            raise IRError(
+                f"{fn.name}: unreachable block(s) {dead} — no path from "
+                f"entry {fn.blocks[0].label!r}")
 
-def _verify_block_uses(fn: Function, blk) -> None:  # pragma: no cover
-    pass
 
-
-def verify_module(module: Module):
+def verify_module(module: Module, *, allow_unreachable: bool = True):
     """Verify every function; raises IRError on the first violation."""
     for fn in module.functions.values():
-        verify_function(fn)
+        verify_function(fn, module, allow_unreachable=allow_unreachable)

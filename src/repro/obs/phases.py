@@ -20,7 +20,7 @@ __all__ = ["PhaseTimers", "NullPhaseTimers", "NULL_PHASES",
            "COMPILE_PHASES"]
 
 COMPILE_PHASES = ("lex", "parse", "sema", "irgen", "instrument",
-                  "lower", "link")
+                  "analyze", "lower", "link")
 
 
 class _PhaseSpan:
@@ -54,6 +54,14 @@ class PhaseTimers:
     @property
     def enabled(self) -> bool:
         return True
+
+    @property
+    def metrics(self):
+        """The ``compile``-scoped metrics view, or None when detached.
+
+        Lets pipeline stages hang counters off the same registry the
+        timers write to (e.g. ``compile.analyze.checks_elided``)."""
+        return self._scope
 
     def phase(self, name: str) -> _PhaseSpan:
         return _PhaseSpan(self, name)

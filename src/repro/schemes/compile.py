@@ -94,6 +94,13 @@ def compile_source(source: str, scheme: str = "baseline",
     when attached, lex/parse/sema/irgen/instrument/lower/link wall
     times accumulate into its ``compile.*`` metrics (the user unit and
     the runtime unit both pass through the front-end phases).
+
+    When ``config.elide_checks`` is set and the scheme's pass is
+    elidable, the static memory-safety analysis runs before
+    instrumentation (stamping per-access facts) and the redundant-check
+    eliminator runs after it; elision counts land in
+    ``module.meta["analyze"]`` and, with ``phases`` attached, in the
+    ``compile.analyze.*`` counters.
     """
     spec = SCHEMES.get(scheme)
     if spec is None:
@@ -104,10 +111,38 @@ def compile_source(source: str, scheme: str = "baseline",
 
     module = _compile_unit(source, program_name, phases)
     if spec.instrument is not None:
-        from repro.ir.instrument import instrument_module
+        from repro.ir.instrument import PASSES, instrument_module
 
+        elide = config.elide_checks and \
+            getattr(PASSES.get(spec.instrument), "elidable", False)
+        if elide:
+            from repro.analyze.memsafety import (analyze_function,
+                                                 compute_may_free)
+
+            with phases.phase("analyze"):
+                may_free = compute_may_free(module)
+                for fn in module.functions.values():
+                    analyze_function(module, fn, config, may_free,
+                                     stamp=True)
         with phases.phase("instrument"):
-            instrument_module(module, spec.instrument)
+            instrument_module(module, spec.instrument, config=config)
+        if elide:
+            from repro.analyze.elide import elide_module
+
+            with phases.phase("analyze"):
+                stats = elide_module(module, config)
+            module.meta["analyze"] = {
+                "checks_total": stats.checks_total,
+                "checks_proven": stats.checks_proven,
+                "checks_elided": stats.checks_elided,
+                "spatial_elided": stats.spatial_elided,
+                "temporal_elided": stats.temporal_elided,
+                "ops_removed": stats.ops_removed,
+            }
+            scope = phases.metrics
+            if scope is not None:
+                for key, value in module.meta["analyze"].items():
+                    scope.counter(f"analyze.{key}").inc(value)
     runtime = _compile_unit(
         runtime_source(spec.runtime, spec.sbcets_shadow), "runtime",
         phases)

@@ -492,16 +492,19 @@ def _t_null_return_offset(rng) -> Tuple[str, str, str, Dict[str, bool]]:
     offset = rng.choice((68000, 72000, 90000))
     prelude = ("typedef struct {{ char pad[{off}]; long x; }} Big;"
                .format(off=offset))
-    body = (
-        "    Big *p = (Big*)malloc({req});\n"
-        "    {check}\n"
-        "    p->x = 5;\n"
-        "    {cleanup}"
+    # The good variant guards the deref instead of early-returning so
+    # the body stays valid inside void flow-variant helpers.
+    bad = (
+        "    Big *p = (Big*)malloc(900000000);\n"
+        "    p->x = 5;"
     )
-    bad = body.format(req="900000000", check="", cleanup="")
-    good = body.format(req="sizeof(Big)",
-                       check="if (!p) { return 0; }",
-                       cleanup="free((void*)p);")
+    good = (
+        "    Big *p = (Big*)malloc(sizeof(Big));\n"
+        "    if (p != 0) {\n"
+        "        p->x = 5;\n"
+        "        free((void*)p);\n"
+        "    }"
+    )
     return prelude, bad, good, {"pointer": True, "asan": False,
                                 "gcc": False}
 

@@ -5,7 +5,8 @@ import pytest
 from repro.errors import IRError
 from repro.ir import ir as irdef
 from repro.ir.irgen import lower_unit
-from repro.ir.verify import verify_function, verify_module
+from repro.ir.verify import (unreachable_blocks, verify_function,
+                             verify_module)
 from repro.minic import analyze, parse
 from repro.minic.types import LONG
 
@@ -213,6 +214,67 @@ class TestVerifier:
         block.instrs.append(irdef.IConst(v, 1))
         block.instrs.append(irdef.Ret(v))
         verify_function(fn)
+
+    def test_case_shadowed_labels_rejected(self):
+        """Labels differing only by case would shadow each other in
+        any case-insensitive assembler; the verifier must name both."""
+        fn, block = self.make_fn()
+        v = fn.new_vreg()
+        block.instrs.append(irdef.IConst(v, 1))
+        block.instrs.append(irdef.Jmp("Loop"))
+        upper = fn.add_block("Loop")
+        upper.instrs.append(irdef.Jmp("loop"))
+        lower_blk = fn.add_block("loop")
+        w = fn.new_vreg()
+        lower_blk.instrs.append(irdef.IConst(w, 0))
+        lower_blk.instrs.append(irdef.Ret(w))
+        with pytest.raises(IRError) as exc:
+            verify_function(fn)
+        message = str(exc.value)
+        assert "'Loop'" in message and "'loop'" in message
+        assert "case" in message
+
+    def test_call_arity_mismatch_rejected(self):
+        module = lower("int f(int a, int b) { return a + b; } "
+                       "int main(void) { return f(1, 2); }")
+        main = module.functions["main"]
+        call = next(i for b in main.blocks for i in b.instrs
+                    if isinstance(i, irdef.Call))
+        call.args = call.args[:1]
+        with pytest.raises(IRError) as exc:
+            verify_function(main, module)
+        assert "f" in str(exc.value)
+
+    def test_call_arity_checked_at_module_level(self):
+        module = lower("int f(int a) { return a; } "
+                       "int main(void) { return f(1); }")
+        fn = module.functions["main"]
+        call = next(i for b in fn.blocks for i in b.instrs
+                    if isinstance(i, irdef.Call))
+        call.args = list(call.args) + [call.args[0]]
+        with pytest.raises(IRError):
+            verify_module(module)
+
+    def test_unreachable_block_tolerated_by_default(self):
+        fn, block = self.make_fn()
+        v = fn.new_vreg()
+        block.instrs.append(irdef.IConst(v, 1))
+        block.instrs.append(irdef.Ret(v))
+        dead = fn.add_block("dead")
+        w = fn.new_vreg()
+        dead.instrs.append(irdef.IConst(w, 2))
+        dead.instrs.append(irdef.Ret(w))
+        verify_function(fn)
+        assert unreachable_blocks(fn) == ["dead"]
+        with pytest.raises(IRError) as exc:
+            verify_function(fn, allow_unreachable=False)
+        assert "dead" in str(exc.value)
+
+    def test_lowered_module_passes_module_checks(self):
+        module = lower("int f(int a, int b) { return a + b; } "
+                       "int main(void) { return f(3, 4); }")
+        for fn in module.functions.values():
+            verify_function(fn, module)
 
 
 class TestModule:

@@ -337,7 +337,8 @@ class TestPhaseTimers:
 
     def test_known_phase_names(self):
         assert set(COMPILE_PHASES) == {"lex", "parse", "sema", "irgen",
-                                       "instrument", "lower", "link"}
+                                       "instrument", "analyze",
+                                       "lower", "link"}
 
 
 # ---------------------------------------------------------------------------
