@@ -10,7 +10,7 @@ open-source tool chain)::
     python -m repro schemes
     python -m repro workloads --run treeadd --scheme sbcets
     python -m repro juliet --cwe 416 --limit 3 --scheme asan
-    python -m repro experiments fig4 --scale small
+    python -m repro experiments fig4 --scale small --jobs 4
 """
 
 from __future__ import annotations
@@ -335,8 +335,8 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.set_defaults(fn=cmd_analyze)
 
     experiments_p = sub.add_parser(
-        "experiments", help="regenerate paper figures "
-        "(see repro.harness.experiments)")
+        "experiments", help="regenerate paper figures; supports "
+        "--jobs N parallel sweeps (see repro.harness.experiments)")
     experiments_p.add_argument("rest", nargs=argparse.REMAINDER)
     experiments_p.set_defaults(fn=cmd_experiments)
     return parser

@@ -1,7 +1,11 @@
-"""Experiment harness: runners, coverage evaluation, figure tables.
+"""Experiment harness: runners, sweeps, coverage, figure tables.
 
-* :mod:`repro.harness.runner` — compile-and-run helpers with caching,
+* :mod:`repro.harness.runner` — compile-and-run helpers,
   perf.oh (Eq. 7) and speedup (Eq. 8) math, detection classification;
+* :mod:`repro.harness.parallel` — process-pool sweep executor with
+  per-cell failure envelopes (``--jobs N``);
+* :mod:`repro.harness.compile_cache` — content-addressed compile cache
+  (``compile.cache.*`` counters);
 * :mod:`repro.harness.coverage` — Fig. 6 Juliet coverage evaluation;
 * :mod:`repro.harness.experiments` — one entry point per paper artefact
   (``python -m repro.harness.experiments --list``).
@@ -14,7 +18,14 @@ from repro.harness.runner import (
     run_workload,
     speedup,
 )
+from repro.harness.compile_cache import CompileCache, process_cache
 from repro.harness.coverage import evaluate_coverage, CoverageResult
+from repro.harness.parallel import (
+    CellResult,
+    CellSpec,
+    SweepExecutor,
+    run_cells,
+)
 
 __all__ = [
     "detected",
@@ -24,4 +35,10 @@ __all__ = [
     "speedup",
     "evaluate_coverage",
     "CoverageResult",
+    "CellResult",
+    "CellSpec",
+    "SweepExecutor",
+    "run_cells",
+    "CompileCache",
+    "process_cache",
 ]

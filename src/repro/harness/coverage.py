@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.harness.runner import detected, run_program
+from repro.harness.parallel import CellSpec, SweepExecutor, run_cells
+from repro.harness.runner import detected
 from repro.workloads.juliet import (
     JulietCase, SPATIAL_CWES, TEMPORAL_CWES, generate_corpus,
 )
@@ -53,27 +54,50 @@ def evaluate_coverage(schemes: Iterable[str],
                       fraction: float = 0.05,
                       cases: Optional[List[JulietCase]] = None,
                       check_good: bool = False,
-                      max_instructions: int = 5_000_000
-                      ) -> Dict[str, CoverageResult]:
+                      max_instructions: int = 5_000_000,
+                      executor: Optional[SweepExecutor] = None,
+                      jobs: int = 1) -> Dict[str, CoverageResult]:
     """Measure Fig. 6 coverage for the given schemes.
 
     ``fraction`` selects a stratified sample preserving the corpus
     proportions; ``check_good`` additionally runs every good variant
-    and records false positives in ``failures``.
+    and records false positives in ``failures``. (case, scheme) cells
+    fan out through ``executor`` (or a transient one with ``jobs``
+    workers); a cell whose toolchain raised — as opposed to a simulated
+    trap, which is a measured outcome — counts as not-detected and is
+    recorded as a ``sweep error`` line in ``failures``.
     """
     if cases is None:
         cases = generate_corpus(fraction=fraction)
+    schemes = list(schemes)
+    cells = []
+    for scheme in schemes:
+        for case in cases:
+            cells.append(CellSpec(
+                source=case.bad_source, scheme=scheme, timing=False,
+                max_instructions=max_instructions,
+                group=case.case_id, tag=f"{scheme}/{case.case_id}/bad"))
+            if check_good:
+                cells.append(CellSpec(
+                    source=case.good_source, scheme=scheme,
+                    timing=False, max_instructions=max_instructions,
+                    group=case.case_id,
+                    tag=f"{scheme}/{case.case_id}/good"))
+    by_tag = {cell.tag: cell for cell in run_cells(cells, executor, jobs)}
     results: Dict[str, CoverageResult] = {}
     for scheme in schemes:
         result = CoverageResult(scheme=scheme)
         for case in cases:
-            run = run_program(case.bad_source, scheme, timing=False,
-                              max_instructions=max_instructions)
-            result.record(case, detected(scheme, run))
+            run = by_tag[f"{scheme}/{case.case_id}/bad"]
+            if not run.measured:
+                result.record(case, False)
+                result.failures.append(
+                    f"{case.case_id}: sweep error -> "
+                    f"{run.failure_line()}")
+            else:
+                result.record(case, detected(scheme, run))
             if check_good:
-                good = run_program(case.good_source, scheme,
-                                   timing=False,
-                                   max_instructions=max_instructions)
+                good = by_tag[f"{scheme}/{case.case_id}/good"]
                 if not (good.status == "exit" and good.exit_code == 0):
                     result.failures.append(
                         f"{case.case_id}: good variant -> {good.status}")

@@ -1,0 +1,284 @@
+"""Process-pool sweep executor with per-cell fault tolerance.
+
+Every paper artefact is a sweep over (workload x scheme x config x
+scale) cells. This module runs those cells through one engine:
+
+* **Job specs are picklable.** A :class:`CellSpec` names either a
+  registered workload or carries raw source, plus the scheme, scale,
+  config and simulation knobs. Workers rebuild everything else.
+* **Cells never abort the sweep.** Each cell returns a
+  :class:`CellResult` envelope (``ok``/``status``/``error``/``cycles``/
+  ``stats``/``metrics``); exceptions — compile errors, simulator bugs,
+  bad configs — are caught in the worker and come back as
+  ``status="error"`` with the traceback in ``error``. The experiment
+  layer assembles rows from the survivors and reports the casualties.
+* **Compilation is cached.** Workers share a per-process
+  :class:`~repro.harness.compile_cache.CompileCache`; cells are grouped
+  (by workload, by default) so one worker sees all schemes of a
+  workload and compiles its front end exactly once.
+* **Telemetry flows home.** Worker-side registry snapshots and cache
+  counters merge into the parent executor's ``MetricsRegistry``
+  (``compile.cache.hits`` etc.) and its merged ``obs`` snapshot.
+
+``jobs=1`` runs every cell inline in the parent process — same code
+path, no pool — and produces bit-identical experiment dicts to the
+pre-executor serial harness.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import HwstConfig
+from repro.harness.compile_cache import process_cache
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.pipeline.timing import TimingParams
+
+__all__ = ["CellSpec", "CellResult", "SweepExecutor", "run_cells"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One picklable sweep cell: what to compile, how to run it.
+
+    Exactly one of ``workload`` (registered name, rendered at
+    ``scale``) or ``source`` (raw mini-C text) must be set. ``tag`` is
+    the caller's cookie for finding this cell among the results;
+    ``group`` keys worker affinity (cells sharing a group run on the
+    same worker, in order, maximising compile-cache locality).
+    """
+
+    scheme: str
+    workload: Optional[str] = None
+    source: Optional[str] = None
+    scale: str = "default"
+    config: Optional[HwstConfig] = None
+    timing: bool = True
+    timing_params: Optional[TimingParams] = None
+    max_instructions: int = 200_000_000
+    collect_registry: bool = False
+    group: Optional[str] = None
+    tag: str = ""
+
+    def __post_init__(self):
+        if (self.workload is None) == (self.source is None):
+            raise ValueError(
+                "CellSpec needs exactly one of workload= or source=")
+
+    @property
+    def group_key(self) -> str:
+        if self.group is not None:
+            return self.group
+        return self.workload if self.workload is not None else self.tag
+
+    @property
+    def label(self) -> str:
+        name = self.workload if self.workload is not None else \
+            (self.tag or "<source>")
+        return f"{name}/{self.scheme}"
+
+
+@dataclass
+class CellResult:
+    """Result envelope of one cell — failure is data, not control flow.
+
+    ``error`` is non-empty only for infrastructure failures (the cell
+    raised instead of producing a ``RunResult``); a simulated trap
+    (violation, fault, abort) is a *measured* outcome with ``ok`` False
+    and ``error`` empty.
+    """
+
+    tag: str
+    workload: Optional[str]
+    scheme: str
+    ok: bool
+    status: str
+    exit_code: int = 0
+    detail: str = ""
+    error: str = ""
+    cycles: int = 0
+    instret: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    obs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def measured(self) -> bool:
+        """True when the simulator produced a result (even a trap)."""
+        return not self.error
+
+    def failure_line(self) -> str:
+        """One-line summary for the sweep failure report."""
+        name = self.workload or self.tag or "<source>"
+        if self.error:
+            reason = self.error.strip().splitlines()[-1]
+        else:
+            reason = self.status
+            if self.status == "exit":
+                reason = f"exit code {self.exit_code}"
+            if self.detail:
+                reason += f" ({self.detail})"
+        return f"{name}/{self.scheme}: {reason}"
+
+
+def _execute_cell(spec: CellSpec) -> CellResult:
+    """Run one cell in this process; never raises."""
+    from repro.pipeline.timing import InOrderPipeline
+    from repro.sim.machine import Machine
+    from repro.workloads import WORKLOADS
+
+    try:
+        if spec.source is not None:
+            source = spec.source
+        else:
+            workload = WORKLOADS.get(spec.workload)
+            if workload is None:
+                raise ValueError(
+                    f"unknown workload {spec.workload!r}; known: "
+                    f"{sorted(WORKLOADS)}")
+            source = workload.source(spec.scale)
+        config = spec.config or HwstConfig()
+        registry = MetricsRegistry() if spec.collect_registry else None
+        program = process_cache().compile(source, spec.scheme, config,
+                                          metrics=registry)
+        pipeline = InOrderPipeline(spec.timing_params, metrics=registry) \
+            if spec.timing else None
+        machine = Machine(config=config, timing=pipeline, metrics=registry)
+        result = machine.run(program,
+                             max_instructions=spec.max_instructions)
+        return CellResult(
+            tag=spec.tag, workload=spec.workload, scheme=spec.scheme,
+            ok=result.ok, status=result.status,
+            exit_code=result.exit_code, detail=result.detail,
+            cycles=result.cycles, instret=result.instret,
+            stats=result.stats, metrics=result.metrics,
+            obs=registry.snapshot() if registry is not None else {})
+    except Exception:
+        return CellResult(
+            tag=spec.tag, workload=spec.workload, scheme=spec.scheme,
+            ok=False, status="error", error=traceback.format_exc())
+
+
+def _run_group(specs: Sequence[CellSpec]
+               ) -> Tuple[List[CellResult], Dict[str, int]]:
+    """Worker entry point: run a group of cells on one process.
+
+    Returns the envelopes plus the *delta* of this process's compile
+    cache counters, so the parent can aggregate cache behaviour across
+    a pool without double counting earlier groups.
+    """
+    cache = process_cache()
+    before = cache.stats_snapshot()
+    results = [_execute_cell(spec) for spec in specs]
+    delta = {name: value - before[name]
+             for name, value in cache.stats_snapshot().items()}
+    return results, delta
+
+
+class SweepExecutor:
+    """Fan (workload, scheme, config, scale) cells across processes.
+
+    ``jobs=1`` executes inline (deterministically identical to the old
+    serial harness); ``jobs>1`` keeps a ``ProcessPoolExecutor`` alive
+    across :meth:`run` calls so worker-side compile caches persist
+    between experiments of an ``all`` sweep. Use as a context manager
+    or call :meth:`close`.
+    """
+
+    def __init__(self, jobs: int = 1,
+                 registry: Optional[MetricsRegistry] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.obs: Dict[str, object] = {}
+        self.cells_run = 0
+        self.cells_failed = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
+        """Run every cell; results come back in input order."""
+        cells = list(cells)
+        groups: Dict[str, List[int]] = {}
+        for index, spec in enumerate(cells):
+            groups.setdefault(spec.group_key, []).append(index)
+        results: List[Optional[CellResult]] = [None] * len(cells)
+        if self.jobs == 1:
+            for indices in groups.values():
+                envelopes, delta = _run_group([cells[i] for i in indices])
+                self._place(results, indices, envelopes, delta)
+        else:
+            pool = self._ensure_pool()
+            futures = {
+                pool.submit(_run_group, [cells[i] for i in indices]):
+                indices for indices in groups.values()}
+            for future in as_completed(futures):
+                envelopes, delta = future.result()
+                self._place(results, futures[future], envelopes, delta)
+        done = [result for result in results if result is not None]
+        assert len(done) == len(cells)
+        self.cells_run += len(done)
+        # Only infrastructure failures count against the sweep: a
+        # simulated trap is a measurement (fig6 cells are *supposed*
+        # to trap), not a failed cell.
+        self.cells_failed += sum(1 for r in done if not r.measured)
+        return done
+
+    def _place(self, results, indices, envelopes, delta):
+        for index, envelope in zip(indices, envelopes):
+            results[index] = envelope
+        self._absorb(delta)
+        for envelope in envelopes:
+            if envelope.obs:
+                self.obs = merge_snapshots(self.obs, envelope.obs)
+
+    def _absorb(self, delta: Dict[str, int]):
+        """Fold a worker's cache-counter delta into the parent registry."""
+        for name, value in delta.items():
+            if isinstance(value, int) and value > 0:
+                self.registry.counter(name).inc(value)
+        self.obs = merge_snapshots(self.obs, delta)
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        hits = self.registry.counter("compile.cache.hits").value
+        misses = self.registry.counter("compile.cache.misses").value
+        return (f"sweep: cells={self.cells_run} "
+                f"failed={self.cells_failed} jobs={self.jobs} "
+                f"compile-cache hits={hits} misses={misses}")
+
+
+def run_cells(cells: Sequence[CellSpec],
+              executor: Optional[SweepExecutor] = None,
+              jobs: int = 1) -> List[CellResult]:
+    """Run cells on ``executor``, or a transient one (closed after)."""
+    if executor is not None:
+        return executor.run(cells)
+    with SweepExecutor(jobs=jobs) as transient:
+        return transient.run(cells)

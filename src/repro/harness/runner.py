@@ -20,19 +20,28 @@ def run_program(source: str, scheme: str,
                 timing_params: Optional[TimingParams] = None,
                 max_instructions: int = 200_000_000,
                 metrics=None, tracer=None, profiler=None,
-                phases=None) -> RunResult:
+                phases=None, cache=None) -> RunResult:
     """Compile + execute one program under one scheme.
 
     Observability hooks (``metrics``/``tracer``/``profiler``/compile
     ``phases``) are optional and off by default; when a shared
     registry is passed, compile-phase, simulator and pipeline metrics
     all land in the same snapshot (``RunResult.metrics``).
+
+    ``cache`` (a :class:`repro.harness.compile_cache.CompileCache`)
+    reuses an identical compiled ``Program`` instead of rebuilding it;
+    a custom ``phases`` object is ignored on that path (the cache
+    times only work it actually performs).
     """
     config = config or HwstConfig()
-    if phases is None and metrics is not None:
-        from repro.obs.phases import PhaseTimers
-        phases = PhaseTimers(metrics=metrics, tracer=tracer)
-    program = compile_source(source, scheme, config, phases=phases)
+    if cache is not None:
+        program = cache.compile(source, scheme, config,
+                                metrics=metrics, tracer=tracer)
+    else:
+        if phases is None and metrics is not None:
+            from repro.obs.phases import PhaseTimers
+            phases = PhaseTimers(metrics=metrics, tracer=tracer)
+        program = compile_source(source, scheme, config, phases=phases)
     pipeline = InOrderPipeline(timing_params, metrics=metrics) \
         if timing else None
     machine = Machine(config=config, timing=pipeline, metrics=metrics,
@@ -42,7 +51,11 @@ def run_program(source: str, scheme: str,
 
 def run_workload(name: str, scheme: str, scale: str = "default",
                  **kwargs) -> RunResult:
-    """Run a registered benchmark workload under a scheme."""
+    """Run a registered benchmark workload under a scheme.
+
+    Keyword arguments (including ``cache=``) pass through to
+    :func:`run_program`.
+    """
     return run_program(WORKLOADS[name].source(scale), scheme, **kwargs)
 
 

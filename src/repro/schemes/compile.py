@@ -72,8 +72,18 @@ def scheme_names():
     return list(SCHEMES)
 
 
-def _compile_unit(source: str, name: str, phases=NULL_PHASES):
-    """Front end for one translation unit, phase-timed stage by stage."""
+def _compile_unit(source: str, name: str, phases=NULL_PHASES,
+                  unit_cache=None):
+    """Front end for one translation unit, phase-timed stage by stage.
+
+    ``unit_cache`` (a :class:`repro.harness.compile_cache.CompileCache`)
+    memoises the scheme-independent front-end result; a hit returns a
+    fresh unpickled ``Module`` that later passes may mutate freely.
+    """
+    if unit_cache is not None:
+        module = unit_cache.load_unit(source, name)
+        if module is not None:
+            return module
     with phases.phase("lex"):
         tokens = tokenize(source)
     with phases.phase("parse"):
@@ -81,13 +91,16 @@ def _compile_unit(source: str, name: str, phases=NULL_PHASES):
     with phases.phase("sema"):
         sema = analyze(unit)
     with phases.phase("irgen"):
-        return lower_unit(sema, name)
+        module = lower_unit(sema, name)
+    if unit_cache is not None:
+        unit_cache.store_unit(source, name, module)
+    return module
 
 
 def compile_source(source: str, scheme: str = "baseline",
                    config: Optional[HwstConfig] = None,
                    program_name: str = "program",
-                   phases=None):
+                   phases=None, unit_cache=None):
     """Compile mini-C ``source`` under ``scheme`` into a Program.
 
     ``phases`` is an optional :class:`repro.obs.phases.PhaseTimers`;
@@ -109,7 +122,7 @@ def compile_source(source: str, scheme: str = "baseline",
     config = config or HwstConfig()
     phases = phases if phases is not None else NULL_PHASES
 
-    module = _compile_unit(source, program_name, phases)
+    module = _compile_unit(source, program_name, phases, unit_cache)
     if spec.instrument is not None:
         from repro.ir.instrument import PASSES, instrument_module
 
@@ -145,15 +158,18 @@ def compile_source(source: str, scheme: str = "baseline",
                     scope.counter(f"analyze.{key}").inc(value)
     runtime = _compile_unit(
         runtime_source(spec.runtime, spec.sbcets_shadow), "runtime",
-        phases)
+        phases, unit_cache)
     module.merge(runtime)
     verify_module(module)
 
+    meta: Dict[str, object] = {"scheme": scheme, "name": program_name}
+    if "analyze" in module.meta:
+        # Keep the elision summary on the Program so cached builds can
+        # replay the compile.analyze.* counters without re-analysing.
+        meta["analyze"] = dict(module.meta["analyze"])
     options = CodegenOptions(spill_meta=spec.spill_meta)
     program = build_program(module, config=config, layout=DEFAULT_LAYOUT,
-                            options=options,
-                            meta={"scheme": scheme, "name": program_name},
-                            phases=phases)
+                            options=options, meta=meta, phases=phases)
     return program
 
 

@@ -253,6 +253,10 @@ class Machine:
         stats["kb_hits"] = self.keybuffer.hits
         stats["kb_misses"] = self.keybuffer.misses
         stats["shadow_bytes"] = self.memory.shadow_bytes_touched
+        # Eq. 3-6 census (Fig. 2): largest object range and highest
+        # lock_location index the compressor packed on this run.
+        stats["comp_max_range"] = self.compressor.max_range_seen
+        stats["comp_max_lock_index"] = self.compressor.max_lock_index_seen
         cycles = self.timing.cycles if self.timing is not None else self.instret
         # Timing-model keys are always present (zeroed without a timing
         # model) so consumers never need key-existence checks.

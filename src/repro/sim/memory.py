@@ -55,9 +55,13 @@ class Memory:
     def __init__(self):
         self._pages: Dict[int, bytearray] = {}
         self._regions: List[Tuple[int, int, str]] = []  # (start, end, name)
+        # Coalesced union of the mapped regions: adjacent/overlapping
+        # regions merge into one span, so an access straddling a
+        # text/data or data/heap boundary (every byte mapped) succeeds.
+        self._spans: List[Tuple[int, int]] = []
         self.shadow_bytes_touched = 0
         self._shadow_range: Optional[Tuple[int, int]] = None
-        # Fast path: the most recently hit region (accesses cluster).
+        # Fast path: the most recently hit span (accesses cluster).
         self._hot = (1, 0)  # impossible range -> first access misses
 
     # -- region management --------------------------------------------------
@@ -69,6 +73,18 @@ class Memory:
         self._regions.append((start, start + size, name))
         if name == "shadow":
             self._shadow_range = (start, start + size)
+        self._coalesce_spans()
+
+    def _coalesce_spans(self):
+        spans: List[Tuple[int, int]] = []
+        for start, end, _ in sorted(self._regions):
+            if spans and start <= spans[-1][1]:
+                if end > spans[-1][1]:
+                    spans[-1] = (spans[-1][0], end)
+            else:
+                spans.append((start, end))
+        self._spans = spans
+        self._hot = (1, 0)
 
     def map_layout(self, layout: MemoryLayout):
         """Map the standard user segments + shadow region of ``layout``."""
@@ -90,7 +106,9 @@ class Memory:
         return None
 
     def is_mapped(self, addr: int, size: int = 1) -> bool:
-        for start, end, _ in self._regions:
+        """True when every byte of ``[addr, addr+size)`` is mapped
+        (spans of adjacent regions count as one)."""
+        for start, end in self._spans:
             if start <= addr and addr + size <= end:
                 return True
         return False
@@ -98,7 +116,7 @@ class Memory:
     def _check(self, addr: int, size: int):
         hot_start, hot_end = self._hot
         if addr < hot_start or addr + size > hot_end:
-            for start, end, _ in self._regions:
+            for start, end in self._spans:
                 if start <= addr and addr + size <= end:
                     self._hot = (start, end)
                     break
@@ -185,12 +203,28 @@ class Memory:
     def store_u8(self, addr: int, value: int):
         self.store_uint(addr, 1, value)
 
-    def load_cstring(self, addr: int, limit: int = 4096) -> bytes:
-        """Read a NUL-terminated byte string (diagnostics/syscalls)."""
+    #: Marker appended when ``load_cstring(allow_truncated=True)`` hits
+    #: its limit before a NUL, so diagnostics never look complete when
+    #: they are not.
+    TRUNCATION_MARKER = b"...[truncated]"
+
+    def load_cstring(self, addr: int, limit: int = 4096,
+                     allow_truncated: bool = False) -> bytes:
+        """Read a NUL-terminated byte string (diagnostics/syscalls).
+
+        When no NUL appears within ``limit`` bytes the string is not
+        actually terminated: by default that raises
+        :class:`MemoryFault` instead of silently returning a prefix;
+        with ``allow_truncated`` the prefix comes back with
+        :data:`TRUNCATION_MARKER` appended.
+        """
         out = bytearray()
         for i in range(limit):
             byte = self.load_u8(addr + i)
             if byte == 0:
-                break
+                return bytes(out)
             out.append(byte)
-        return bytes(out)
+        if allow_truncated:
+            return bytes(out) + self.TRUNCATION_MARKER
+        raise MemoryFault(
+            addr, f"unterminated C string: no NUL within {limit} bytes")

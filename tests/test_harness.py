@@ -4,13 +4,15 @@ import pytest
 
 from repro.harness.coverage import CoverageResult, evaluate_coverage
 from repro.harness.experiments import (
-    abl_compression, abl_keybuffer, abl_shadow_map,
+    _geomean, abl_compression, abl_keybuffer, abl_shadow_map,
     fig2_compression, fig4_overhead, fig5_speedup, hwcost_table,
 )
 from repro.harness.runner import (
     detected, perf_overhead_pct, run_workload, speedup,
 )
 from repro.sim.machine import RunResult
+from repro.workloads import WORKLOADS
+from repro.workloads.base import Workload, register
 from repro.workloads.juliet import generate_corpus
 
 
@@ -132,6 +134,59 @@ class TestExperiments:
         data = abl_shadow_map(workloads=("tsp",), scale="small")
         row = data["rows"][0]
         assert row["trie_oh"] > row["linear_oh"]
+
+
+class TestSelectionValidation:
+    def test_geomean_of_empty_selection_raises(self):
+        """Used to return 0.0, turning an empty sweep into -100%."""
+        with pytest.raises(ValueError, match="empty selection"):
+            _geomean([])
+
+    def test_empty_workload_list_rejected(self):
+        with pytest.raises(ValueError, match="empty workload"):
+            fig4_overhead(scale="small", workloads=[])
+
+    def test_unknown_workload_name_rejected(self):
+        with pytest.raises(ValueError) as err:
+            fig5_speedup(scale="small", workloads=["treadd"])  # typo
+        assert "treadd" in str(err.value)
+        assert "known:" in str(err.value)
+
+
+class TestAblationFailureRouting:
+    """abl_compression/abl_shadow_map used to read cycles off runs
+    without ever checking RunResult.ok; a crashed cell now lands in
+    ``failures`` and never feeds a row."""
+
+    BROKEN = "int main( {"
+
+    def _with_broken_workload(self, fn):
+        register(Workload(name="abl_crash", group="test",
+                          source_template=self.BROKEN))
+        try:
+            return fn()
+        finally:
+            WORKLOADS.pop("abl_crash")
+
+    def test_abl_compression_reports_failed_cells(self):
+        data = self._with_broken_workload(lambda: abl_compression(
+            workloads=("tsp", "abl_crash"), scale="small"))
+        assert [row["workload"] for row in data["rows"]] == ["tsp"]
+        assert any("abl_crash" in line for line in data["failures"])
+
+    def test_abl_shadow_reports_failed_cells(self):
+        data = self._with_broken_workload(lambda: abl_shadow_map(
+            workloads=("tsp", "abl_crash"), scale="small"))
+        assert [row["workload"] for row in data["rows"]] == ["tsp"]
+        assert any("abl_crash" in line for line in data["failures"])
+
+    def test_abl_keybuffer_reports_failed_cells(self):
+        data = self._with_broken_workload(lambda: abl_keybuffer(
+            sizes=(0, 8), workloads=("hmmer", "abl_crash"),
+            scale="small"))
+        assert any("abl_crash" in line for line in data["failures"])
+        rows = {row["entries"]: row for row in data["rows"]}
+        assert "hmmer" in rows[8] and "abl_crash" not in rows[8]
 
 
 class TestWorkloadRunner:

@@ -1,0 +1,259 @@
+"""Tests for the sweep executor, compile cache and failure envelopes."""
+
+import pytest
+
+from repro.core.config import HwstConfig
+from repro.harness.compile_cache import (
+    CompileCache, config_fingerprint, process_cache,
+)
+from repro.harness.experiments import fig4_overhead, fig5_speedup, main
+from repro.harness.parallel import (
+    CellResult, CellSpec, SweepExecutor, run_cells,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads import WORKLOADS
+from repro.workloads.base import Workload, register
+
+GOOD = """
+int main() {
+  int *p = malloc(32);
+  p[0] = 7;
+  int v = p[0];
+  free(p);
+  return v - 7;
+}
+"""
+
+BROKEN = "int main( {"  # parse error -> infrastructure failure
+
+
+def _inject_workload(name, source):
+    """Register a throwaway workload; caller must pop it."""
+    return register(Workload(name=name, group="test",
+                             source_template=source))
+
+
+class TestCellSpec:
+    def test_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            CellSpec(scheme="baseline")
+        with pytest.raises(ValueError):
+            CellSpec(scheme="baseline", workload="treeadd", source=GOOD)
+
+    def test_group_key_defaults_to_workload(self):
+        assert CellSpec(scheme="baseline",
+                        workload="treeadd").group_key == "treeadd"
+        assert CellSpec(scheme="baseline", source=GOOD,
+                        tag="t", group="g").group_key == "g"
+
+
+class TestFailureEnvelopes:
+    def test_crashing_cell_completes_sweep(self):
+        """A cell that cannot compile yields an error envelope, and the
+        other cells in the sweep still run."""
+        cells = [
+            CellSpec(scheme="baseline", source=BROKEN, timing=False,
+                     tag="broken"),
+            CellSpec(scheme="baseline", source=GOOD, timing=False,
+                     tag="good"),
+        ]
+        results = run_cells(cells, jobs=1)
+        assert [r.tag for r in results] == ["broken", "good"]
+        broken, good = results
+        assert not broken.ok
+        assert broken.status == "error"
+        assert not broken.measured
+        assert "Traceback" in broken.error
+        assert good.ok and good.measured and good.error == ""
+
+    def test_failure_line_rendering(self):
+        cell = CellResult(tag="t", workload="w", scheme="s", ok=False,
+                          status="error",
+                          error="Traceback ...\nBoom: bad parse")
+        assert cell.failure_line() == "w/s: Boom: bad parse"
+        trap = CellResult(tag="t", workload="w", scheme="s", ok=False,
+                          status="spatial_violation", detail="oob")
+        assert trap.measured
+        assert "spatial_violation" in trap.failure_line()
+
+    def test_executor_counts_infrastructure_failures_only(self):
+        with SweepExecutor(jobs=1) as executor:
+            executor.run([
+                CellSpec(scheme="baseline", source=BROKEN, timing=False,
+                         tag="broken"),
+                # hwst128_tchk trap on a use-after-free is a
+                # *measurement*, not a failed cell.
+                CellSpec(scheme="hwst128_tchk", timing=False, tag="uaf",
+                         source="""
+                         int main() {
+                           int *p = malloc(16);
+                           free(p);
+                           return p[0];
+                         }
+                         """),
+            ])
+            assert executor.cells_run == 2
+            assert executor.cells_failed == 1
+            assert "failed=1" in executor.summary()
+
+    def test_injected_failing_workload_lands_in_failures(self):
+        _inject_workload("crashme", BROKEN)
+        try:
+            data = fig4_overhead(scale="small",
+                                 workloads=["treeadd", "crashme"])
+        finally:
+            WORKLOADS.pop("crashme")
+        assert [row["workload"] for row in data["rows"]] == ["treeadd"]
+        assert any("crashme" in line for line in data["failures"])
+        assert data["geomean"]["hwst128_tchk"] > 0
+
+
+class TestDeterminism:
+    def test_fig4_jobs4_matches_serial(self):
+        serial = fig4_overhead(scale="small",
+                               workloads=["treeadd", "sha"])
+        with SweepExecutor(jobs=4) as executor:
+            parallel = fig4_overhead(scale="small",
+                                     workloads=["treeadd", "sha"],
+                                     executor=executor)
+        assert parallel == serial
+
+    def test_fig5_jobs2_matches_serial(self):
+        serial = fig5_speedup(scale="small", workloads=["hmmer"])
+        with SweepExecutor(jobs=2) as executor:
+            parallel = fig5_speedup(scale="small", workloads=["hmmer"],
+                                    executor=executor)
+        assert parallel == serial
+
+    def test_all_green_dict_has_no_failures_key(self):
+        data = fig4_overhead(scale="small", workloads=["treeadd"])
+        assert "failures" not in data
+
+
+class TestCompileCache:
+    def test_program_hit_on_identical_request(self):
+        cache = CompileCache()
+        config = HwstConfig()
+        first = cache.compile(GOOD, "hwst128_tchk", config)
+        second = cache.compile(GOOD, "hwst128_tchk", config)
+        assert cache.program_hits == 1
+        # Hits hand back a *fresh* object graph, never a shared one.
+        assert first is not second
+
+    def test_config_change_invalidates_program_tier(self):
+        cache = CompileCache()
+        cache.compile(GOOD, "hwst128_tchk", HwstConfig())
+        cache.compile(GOOD, "hwst128_tchk",
+                      HwstConfig(elide_checks=True))
+        cache.compile(GOOD, "hwst128_tchk",
+                      HwstConfig(keybuffer_entries=4))
+        assert cache.program_hits == 0
+        assert cache.misses == 3
+        # ... but the front-end unit tier is config-independent, so
+        # the re-instrumentations reuse the parsed modules.
+        assert cache.unit_hits > 0
+
+    def test_fingerprint_distinguishes_configs(self):
+        base = config_fingerprint(HwstConfig())
+        assert config_fingerprint(HwstConfig(elide_checks=True)) != base
+        assert config_fingerprint(HwstConfig(keybuffer_entries=4)) != base
+        assert config_fingerprint(HwstConfig()) == base
+
+    def test_scheme_is_part_of_the_key(self):
+        cache = CompileCache()
+        config = HwstConfig()
+        cache.compile(GOOD, "baseline", config)
+        cache.compile(GOOD, "hwst128_tchk", config)
+        assert cache.program_hits == 0
+
+    def test_source_change_invalidates(self):
+        cache = CompileCache()
+        config = HwstConfig()
+        cache.compile(GOOD, "baseline", config)
+        cache.compile(GOOD.replace("32", "64"), "baseline", config)
+        assert cache.program_hits == 0
+
+    def test_stats_snapshot_names(self):
+        cache = CompileCache()
+        cache.compile(GOOD, "baseline", HwstConfig())
+        snap = cache.stats_snapshot()
+        assert snap["compile.cache.misses"] == 1
+        assert snap["compile.cache.hits"] == 0
+
+    def test_cached_program_replays_elision_counters(self):
+        """fig4's checks_elided field must survive a cache hit."""
+        cache = CompileCache()
+        config = HwstConfig(elide_checks=True)
+        cache.compile(GOOD, "hwst128_tchk", config)
+        registry = MetricsRegistry()
+        cache.compile(GOOD, "hwst128_tchk", config, metrics=registry)
+        assert cache.program_hits == 1
+        snap = registry.snapshot()
+        assert "compile.analyze.checks_total" in snap
+
+
+class TestCacheReuseAcrossSweep:
+    def test_fig4_reuses_frontend_per_workload(self):
+        """Acceptance: >= 1 compile reuse per workload within one fig4.
+
+        All five cells of a workload share one front end; grouping
+        sends them to one worker, so each workload sees unit-tier hits.
+        """
+        with SweepExecutor(jobs=1) as executor:
+            fig4_overhead(scale="small", workloads=["treeadd", "sha"],
+                          executor=executor)
+            hits = executor.registry.counter("compile.cache.hits").value
+            assert hits >= 2   # >= 1 per workload
+            assert executor.obs.get("compile.cache.hits", 0) >= 2
+
+    def test_executor_survives_repeat_runs(self):
+        with SweepExecutor(jobs=2) as executor:
+            first = fig5_speedup(scale="small", workloads=["hmmer"],
+                                 executor=executor)
+            before = executor.registry.counter(
+                "compile.cache.program_hits").value
+            second = fig5_speedup(scale="small", workloads=["hmmer"],
+                                  executor=executor)
+            after = executor.registry.counter(
+                "compile.cache.program_hits").value
+        assert first == second
+        # Worker-side caches persist across run() calls: the repeat
+        # sweep is served from the program tier.
+        assert after - before >= 5
+
+
+class TestProcessCache:
+    def test_singleton(self):
+        assert process_cache() is process_cache()
+
+
+class TestCli:
+    def test_jobs_flag_round_trip(self, capsys):
+        code = main(["fig4", "--scale", "small",
+                     "--workloads", "treeadd", "--jobs", "2"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "treeadd" in captured.out
+        assert "sweep: cells=" in captured.err
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(["fig4", "--jobs", "0"]) == 2
+
+    def test_unknown_workload_exits_cleanly(self, capsys):
+        code = main(["fig4", "--scale", "small",
+                     "--workloads", "notathing"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown workload" in captured.err
+
+    def test_failing_cell_sets_exit_code(self, capsys):
+        _inject_workload("cli_crash", BROKEN)
+        try:
+            code = main(["fig4", "--scale", "small",
+                         "--workloads", "treeadd,cli_crash"])
+        finally:
+            WORKLOADS.pop("cli_crash")
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "failed cell(s)" in captured.err
+        assert "cli_crash" in captured.err

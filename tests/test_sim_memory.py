@@ -46,6 +46,48 @@ class TestRegions:
         with pytest.raises(ValueError):
             Memory().map_region(0, 0)
 
+    def test_access_spanning_adjacent_regions(self):
+        """Two back-to-back regions behave as one mapped span."""
+        memory = Memory()
+        memory.map_region(0x1000, 0x1000, "lo")
+        memory.map_region(0x2000, 0x1000, "hi")
+        memory.store_u64(0x2000 - 4, 0x1122_3344_5566_7788)
+        assert memory.load_u64(0x2000 - 4) == 0x1122_3344_5566_7788
+        assert memory.is_mapped(0x2000 - 4, 8)
+
+    def test_text_data_boundary_spans(self):
+        """load_u64(data_base - 4): every byte mapped -> no fault."""
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        addr = DEFAULT_LAYOUT.data_base - 4
+        memory.store_u64(addr, 0xDEAD_BEEF_CAFE_F00D)
+        assert memory.load_u64(addr) == 0xDEAD_BEEF_CAFE_F00D
+
+    def test_data_heap_boundary_spans(self):
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        addr = DEFAULT_LAYOUT.heap_base - 1
+        memory.store_bytes(addr, b"\xAA\xBB")
+        assert memory.load_bytes(addr, 2) == b"\xAA\xBB"
+
+    def test_heap_top_edge_still_faults(self):
+        """heap_top..stack_base is a hole: spanning it must fault."""
+        memory = Memory()
+        memory.map_layout(DEFAULT_LAYOUT)
+        assert DEFAULT_LAYOUT.heap_top < DEFAULT_LAYOUT.stack_base
+        with pytest.raises(MemoryFault):
+            memory.load_u64(DEFAULT_LAYOUT.heap_top - 4)
+        # The last fully-in-heap access still works.
+        assert memory.load_u64(DEFAULT_LAYOUT.heap_top - 8) == 0
+
+    def test_overlapping_regions_coalesce(self):
+        memory = Memory()
+        memory.map_region(0x1000, 0x2000, "a")
+        memory.map_region(0x1800, 0x2000, "b")   # overlaps a
+        assert memory.is_mapped(0x1000, 0x2800)
+        with pytest.raises(MemoryFault):
+            memory.load_u8(0x3800)
+
 
 class TestScalars:
     def test_u64_roundtrip(self):
@@ -96,10 +138,23 @@ class TestBulk:
         memory.store_bytes(0x1200, b"hello\x00world")
         assert memory.load_cstring(0x1200) == b"hello"
 
-    def test_cstring_limit(self):
+    def test_cstring_unterminated_raises(self):
+        """No NUL within the limit must not silently truncate."""
         memory = small_memory()
         memory.store_bytes(0x1300, b"a" * 64)
-        assert memory.load_cstring(0x1300, limit=16) == b"a" * 16
+        with pytest.raises(MemoryFault, match="unterminated"):
+            memory.load_cstring(0x1300, limit=16)
+
+    def test_cstring_truncation_marker(self):
+        memory = small_memory()
+        memory.store_bytes(0x1300, b"a" * 64)
+        out = memory.load_cstring(0x1300, limit=16, allow_truncated=True)
+        assert out == b"a" * 16 + Memory.TRUNCATION_MARKER
+
+    def test_cstring_nul_at_limit_is_complete(self):
+        memory = small_memory()
+        memory.store_bytes(0x1400, b"abc\x00")
+        assert memory.load_cstring(0x1400, limit=4) == b"abc"
 
     def test_pages_allocated_lazily(self):
         memory = Memory()
