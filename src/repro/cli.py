@@ -20,7 +20,8 @@ import sys
 from typing import List, Optional
 
 from repro.core.config import HwstConfig
-from repro.errors import ReproError
+from repro.errors import (EXIT_CODE_BY_STATUS, EXIT_FAILURE, EXIT_OK,
+                          ReproError, exit_code_for)
 from repro.harness.runner import detected
 from repro.pipeline.timing import InOrderPipeline
 from repro.schemes import SCHEMES, compile_source
@@ -44,10 +45,22 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _result_exit_code(result) -> int:
+    """Distinct documented exit code for a run outcome (see
+    repro.errors: 4=spatial, 5=temporal, 6=memory fault, ...)."""
+    if result.status == "exit":
+        return EXIT_OK if result.exit_code == 0 else EXIT_FAILURE
+    return EXIT_CODE_BY_STATUS.get(result.status, EXIT_FAILURE)
+
+
 def _print_result(result, stats: bool):
     print(f"status : {result.status}")
     if result.status == "exit":
         print(f"exit   : {result.exit_code}")
+    if result.trap_class:
+        pc = f" @ {result.trap_pc:#x}" if result.trap_pc is not None \
+            else ""
+        print(f"trap   : {result.trap_class}{pc}")
     if result.detail:
         print(f"detail : {result.detail}")
     if result.output:
@@ -110,7 +123,7 @@ def cmd_run(args) -> int:
         note = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
         print(f"trace   -> {args.trace_out} "
               f"({len(tracer)} events{note})")
-    return 0 if result.status == "exit" and result.exit_code == 0 else 1
+    return _result_exit_code(result)
 
 
 def cmd_stats(args) -> int:
@@ -232,6 +245,38 @@ def cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_faultcampaign(args) -> int:
+    """Seeded fault-injection campaign with a differential oracle."""
+    import json
+
+    from repro.faultinject import FAMILIES, run_campaign
+    from repro.harness.parallel import SweepExecutor
+
+    families = [name.strip() for name in args.faults.split(",")
+                if name.strip()]
+    unknown = [name for name in families if name not in FAMILIES]
+    if unknown:
+        print(f"error: unknown fault families {unknown}; known: "
+              f"{sorted(FAMILIES)}", file=sys.stderr)
+        return 2
+    with SweepExecutor(jobs=args.jobs) as executor:
+        report = run_campaign(
+            scheme=args.scheme, families=families, n=args.n,
+            seed=args.seed, executor=executor,
+            wallclock_budget=args.wallclock)
+    print(report.table())
+    print(executor.summary())
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report -> {args.out}")
+    # Gate on harness health: injections are *supposed* to be detected
+    # or masked (and silent corruption is a finding, not a failure),
+    # but a crash or hang means the harness itself misbehaved.
+    return 0 if report.clean else 1
+
+
 def cmd_experiments(args) -> int:
     from repro.harness import experiments
 
@@ -334,6 +379,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit repro.analyze/v1 JSON")
     analyze_p.set_defaults(fn=cmd_analyze)
 
+    fault_p = sub.add_parser(
+        "faultcampaign",
+        help="seeded fault-injection campaign (differential oracle)")
+    fault_p.add_argument("--scheme", default="hwst128",
+                         choices=sorted(SCHEMES))
+    fault_p.add_argument("--faults", default="metadata,keybuffer,checks",
+                         metavar="FAM[,FAM...]",
+                         help="fault families: metadata, keybuffer, "
+                         "checks")
+    fault_p.add_argument("--n", type=_positive_int, default=200,
+                         help="number of injections")
+    fault_p.add_argument("--seed", type=int, default=0)
+    fault_p.add_argument("--jobs", type=_positive_int, default=1)
+    fault_p.add_argument("--wallclock", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="per-injection watchdog budget")
+    fault_p.add_argument("--out", metavar="OUT.JSON",
+                         help="write the repro.faultinject/v1 report")
+    fault_p.set_defaults(fn=cmd_faultcampaign)
+
     experiments_p = sub.add_parser(
         "experiments", help="regenerate paper figures; supports "
         "--jobs N parallel sweeps (see repro.harness.experiments)")
@@ -357,10 +422,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.fn(args)
     except FileNotFoundError as err:
         print(f"error: {err}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
     except ReproError as err:
+        # Each error class maps to a distinct documented exit code
+        # (repro.errors: 3=toolchain, 4=spatial, 5=temporal, ...).
         print(f"error: {type(err).__name__}: {err}", file=sys.stderr)
-        return 1
+        return exit_code_for(err)
 
 
 if __name__ == "__main__":

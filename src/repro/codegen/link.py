@@ -23,7 +23,7 @@ from repro import bits
 from repro.core.config import HwstConfig
 from repro.errors import LinkError
 from repro.isa import csr as csrdef
-from repro.isa.instructions import Instr, li_sequence
+from repro.isa.instructions import Instr, SPEC_TABLE, li_sequence
 from repro.isa.registers import A0, A7, RA, T0, ZERO
 from repro.ir.ir import Module
 from repro.codegen.lower import CodegenOptions, compile_function
@@ -36,6 +36,82 @@ SYS_TRAP_SPATIAL = 1001
 SYS_TRAP_TEMPORAL = 1002
 SYS_TRAP_ASAN = 1003
 SYS_TRAP_CANARY = 1004
+
+
+# ---------------------------------------------------------------------------
+# Check-op mutation (repro.faultinject)
+# ---------------------------------------------------------------------------
+#
+# Fault models for "a check instruction went missing / appeared where it
+# should not": both are in-place single-instruction substitutions, so
+# the text layout (and every already-patched relative branch) is
+# untouched. The checked fused accesses and their plain twins follow
+# the ``<op>.chk`` naming convention; the table below is derived from
+# SPEC_TABLE rather than hard-coded so new checked ops join for free.
+
+PLAIN_OF_CHECKED = {
+    name: name[:-len(".chk")]
+    for name, spec in SPEC_TABLE.items()
+    if spec.checked and name.endswith(".chk")
+    and name[:-len(".chk")] in SPEC_TABLE
+}
+CHECKED_OF_PLAIN = {plain: chk for chk, plain in PLAIN_OF_CHECKED.items()}
+
+
+def _check_sites(instrs: List[Instr]) -> List[int]:
+    """Indexes of HWST128 check ops (tchk + fused checked accesses)."""
+    return [i for i, ins in enumerate(instrs)
+            if ins.op == "tchk" or ins.op in PLAIN_OF_CHECKED]
+
+
+def _plain_mem_sites(instrs: List[Instr]) -> List[int]:
+    """Indexes of plain loads/stores that have a checked twin."""
+    return [i for i, ins in enumerate(instrs)
+            if ins.op in CHECKED_OF_PLAIN]
+
+
+def mutate_check_ops(program, kind: str, select: int) -> str:
+    """Mutate one HWST128 check op of ``program`` in place.
+
+    ``kind`` is ``"check_drop"`` (a check instruction is lost: ``tchk``
+    becomes a nop, a fused checked access becomes its unchecked twin)
+    or ``"check_dup"`` (a spurious check appears: a plain access becomes
+    its checked twin, which will consult whatever — likely invalid —
+    metadata sits in SRF[rs1]). ``select`` picks the site
+    deterministically. Returns a human-readable description of the
+    mutation, or ``""`` when the program has no eligible site (the
+    fault lands nowhere — a masked outcome by construction).
+    """
+    instrs = program.instrs
+    if kind == "check_drop":
+        sites = _check_sites(instrs)
+        if not sites:
+            return ""
+        index = sites[select % len(sites)]
+        ins = instrs[index]
+        pc = program.text_base + 4 * index
+        if ins.op == "tchk":
+            instrs[index] = Instr("addi", rd=0, rs1=0, imm=0,
+                                  comment="faultinject: dropped tchk")
+            return f"dropped tchk at {pc:#x}"
+        old = ins.op
+        instrs[index] = Instr(PLAIN_OF_CHECKED[old], rd=ins.rd,
+                              rs1=ins.rs1, rs2=ins.rs2, imm=ins.imm,
+                              comment=f"faultinject: unchecked {old}")
+        return f"dropped check of {old} at {pc:#x}"
+    if kind == "check_dup":
+        sites = _plain_mem_sites(instrs)
+        if not sites:
+            return ""
+        index = sites[select % len(sites)]
+        ins = instrs[index]
+        pc = program.text_base + 4 * index
+        old = ins.op
+        instrs[index] = Instr(CHECKED_OF_PLAIN[old], rd=ins.rd,
+                              rs1=ins.rs1, rs2=ins.rs2, imm=ins.imm,
+                              comment=f"faultinject: spurious check on {old}")
+        return f"added spurious check to {old} at {pc:#x}"
+    raise ValueError(f"unknown check mutation kind {kind!r}")
 
 
 def _stub_ret() -> Instr:

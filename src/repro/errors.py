@@ -141,3 +141,59 @@ class ShadowMemoryExhausted(SimTrap):
         )
         self.used = used
         self.budget = budget
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+#
+# ``repro run`` maps every failure class to a distinct, documented exit
+# code so scripts (and the fault-injection oracle) can classify outcomes
+# without parsing stderr. 0/1 keep their POSIX meaning; 2 is argparse's
+# usage-error code; everything above is ours.
+
+EXIT_OK = 0                 # program exited 0
+EXIT_FAILURE = 1            # program exited non-zero / generic error
+EXIT_USAGE = 2              # bad command line (argparse)
+EXIT_TOOLCHAIN = 3          # ToolchainError: lex/parse/sema/IR/codegen/link
+EXIT_SPATIAL = 4            # SpatialViolation trap (out-of-bounds)
+EXIT_TEMPORAL = 5           # TemporalViolation trap (dangling pointer)
+EXIT_MEMFAULT = 6           # MemoryFault (unmapped access, "SIGSEGV")
+EXIT_SIMLIMIT = 7           # SimLimitExceeded (instruction budget)
+EXIT_ABORT = 8              # EcallAbort (runtime abort / ASAN / canary)
+EXIT_ILLEGAL = 9            # IllegalInstruction
+EXIT_SHADOW_OOM = 10        # ShadowMemoryExhausted
+
+#: Exception class -> CLI exit code. Looked up through the MRO so a
+#: subclass of (say) SpatialViolation inherits its code.
+EXIT_CODE_BY_ERROR = {
+    ToolchainError: EXIT_TOOLCHAIN,
+    SpatialViolation: EXIT_SPATIAL,
+    TemporalViolation: EXIT_TEMPORAL,
+    MemoryFault: EXIT_MEMFAULT,
+    SimLimitExceeded: EXIT_SIMLIMIT,
+    EcallAbort: EXIT_ABORT,
+    IllegalInstruction: EXIT_ILLEGAL,
+    ShadowMemoryExhausted: EXIT_SHADOW_OOM,
+}
+
+#: ``RunResult.status`` -> CLI exit code (the trap classes above after
+#: the machine has converted them into statuses).
+EXIT_CODE_BY_STATUS = {
+    "spatial_violation": EXIT_SPATIAL,
+    "temporal_violation": EXIT_TEMPORAL,
+    "memory_fault": EXIT_MEMFAULT,
+    "limit": EXIT_SIMLIMIT,
+    "abort": EXIT_ABORT,
+    "illegal_instruction": EXIT_ILLEGAL,
+    "shadow_oom": EXIT_SHADOW_OOM,
+}
+
+
+def exit_code_for(error: BaseException) -> int:
+    """Distinct CLI exit code for a :class:`ReproError` instance."""
+    for cls in type(error).__mro__:
+        code = EXIT_CODE_BY_ERROR.get(cls)
+        if code is not None:
+            return code
+    return EXIT_FAILURE

@@ -1,0 +1,38 @@
+"""repro.faultinject: seeded fault injection with a differential oracle.
+
+Does the protection stack *fail safe*? This package perturbs a running
+:class:`~repro.sim.machine.Machine` (metadata bit-flips, codec
+corruption, keybuffer aliasing/staleness) or the linked program
+(dropped/duplicated check ops), re-runs the workload, and compares the
+outcome against a golden uninjected run. Every injection lands in one
+of five scoreboard classes: ``detected`` / ``masked`` /
+``silent_corruption`` / ``crash`` / ``hang``.
+
+Entry points: :func:`run_campaign` (library),
+``repro faultcampaign`` (CLI). See ``docs/robustness.md``.
+"""
+
+from repro.faultinject.faults import (
+    ALL_KINDS, FAMILIES, FaultSpec, LINK_KINDS, RUNTIME_KINDS,
+    RuntimeInjector, apply_link_fault, kinds_for,
+)
+from repro.faultinject.oracle import (
+    CLASSES, CRASH, DETECTED, HANG, MASKED, SILENT_CORRUPTION,
+    RunProfile, classify, golden_run, profile_run,
+)
+from repro.faultinject.targets import DEFAULT_TARGETS, TARGETS
+from repro.faultinject.campaign import (
+    CampaignReport, InjectionCell, REPORT_SCHEMA, plan_campaign,
+    run_campaign,
+)
+
+__all__ = [
+    "ALL_KINDS", "FAMILIES", "FaultSpec", "LINK_KINDS", "RUNTIME_KINDS",
+    "RuntimeInjector", "apply_link_fault", "kinds_for",
+    "CLASSES", "CRASH", "DETECTED", "HANG", "MASKED",
+    "SILENT_CORRUPTION", "RunProfile", "classify", "golden_run",
+    "profile_run",
+    "DEFAULT_TARGETS", "TARGETS",
+    "CampaignReport", "InjectionCell", "REPORT_SCHEMA", "plan_campaign",
+    "run_campaign",
+]

@@ -1,0 +1,93 @@
+"""Campaign target programs: small, fast, deterministic mini-C kernels.
+
+Four targets cover the quadrants the oracle needs:
+
+* ``vecsum``   — benign, array-heavy: exercises fused spatial checks
+  and shadow metadata stores; golden run exits 0.
+* ``chase``    — benign, linked-list build/walk/free: exercises the
+  temporal check path, the keybuffer and the clear-on-free snoop;
+  golden run exits 0.
+* ``overflow`` — one-past-the-end heap store: the golden run under a
+  protecting scheme already traps spatially (faults here probe whether
+  an injection can *suppress* detection).
+* ``uaf``      — use-after-free load: golden run traps temporally.
+
+Each is a few thousand retired instructions, so a 200-cell campaign
+stays interactive even at ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TARGETS", "DEFAULT_TARGETS"]
+
+_VECSUM = r"""
+int main(void) {
+    long *a = (long*)malloc(64 * 8);
+    long i;
+    long s = 0;
+    for (i = 0; i < 64; i = i + 1) { a[i] = i * 3; }
+    for (i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+    free(a);
+    print_int(s);
+    return s == 6048 ? 0 : 1;
+}
+"""
+
+_CHASE = r"""
+typedef struct Node Node;
+struct Node { long value; Node *next; };
+
+int main(void) {
+    Node *head = 0;
+    long i;
+    for (i = 0; i < 24; i = i + 1) {
+        Node *n = (Node*)malloc(sizeof(Node));
+        n->value = i;
+        n->next = head;
+        head = n;
+    }
+    long s = 0;
+    Node *p = head;
+    while (p) {
+        s = s + p->value;
+        p = p->next;
+    }
+    while (head) {
+        Node *dead = head;
+        head = head->next;
+        free(dead);
+    }
+    print_int(s);
+    return s == 276 ? 0 : 1;
+}
+"""
+
+_OVERFLOW = r"""
+int main(void) {
+    long *a = (long*)malloc(8 * 8);
+    long i;
+    for (i = 0; i <= 8; i = i + 1) { a[i] = i; }
+    free(a);
+    return 0;
+}
+"""
+
+_UAF = r"""
+int main(void) {
+    long *p = (long*)malloc(4 * 8);
+    p[0] = 11;
+    p[1] = 22;
+    free(p);
+    return p[0] + p[1] == 33 ? 0 : 1;
+}
+"""
+
+#: name -> mini-C source. Insertion order = campaign round-robin order.
+TARGETS = {
+    "vecsum": _VECSUM,
+    "chase": _CHASE,
+    "overflow": _OVERFLOW,
+    "uaf": _UAF,
+}
+
+DEFAULT_TARGETS = tuple(TARGETS)

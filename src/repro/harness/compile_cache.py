@@ -50,6 +50,18 @@ def _digest(*parts: str) -> str:
     return hasher.hexdigest()
 
 
+#: Bump when the shape of cached entries changes: entries written by
+#: an older layout are treated as corrupt (-> recompile), never
+#: unpickled blind.
+CACHE_FORMAT = 1
+
+
+def _seal(payload) -> tuple:
+    """Wrap a pickled artefact with its format version + fingerprint."""
+    blob = pickle.dumps(payload)
+    return (CACHE_FORMAT, hashlib.sha256(blob).hexdigest(), blob)
+
+
 class CompileCache:
     """Two-tier content-addressed cache of compile artefacts.
 
@@ -60,12 +72,39 @@ class CompileCache:
 
     def __init__(self, max_entries: int = 1024):
         self.max_entries = max_entries
-        self._programs: Dict[str, bytes] = {}
-        self._units: Dict[str, bytes] = {}
+        # key -> (format_version, sha256-of-blob, pickled blob). The
+        # guard tuple is checked on every load so a corrupt or
+        # stale-format entry falls back to recompilation instead of
+        # raising UnpicklingError mid-sweep.
+        self._programs: Dict[str, tuple] = {}
+        self._units: Dict[str, tuple] = {}
         self.program_hits = 0
         self.unit_hits = 0
         self.misses = 0
         self.unit_misses = 0
+        self.corrupt = 0
+
+    def _open(self, store: Dict[str, tuple], key: str):
+        """Verified unpickle of a cached entry.
+
+        Returns None (and bumps the ``compile.cache.corrupt`` counter,
+        dropping the entry) when the format version or the content
+        fingerprint does not match, or the blob fails to unpickle —
+        the caller then recompiles as if the entry never existed.
+        """
+        entry = store.get(key)
+        if entry is None:
+            return None
+        try:
+            version, fingerprint, blob = entry
+            if version != CACHE_FORMAT or \
+                    hashlib.sha256(blob).hexdigest() != fingerprint:
+                raise ValueError("cache entry failed integrity check")
+            return pickle.loads(blob)
+        except Exception:
+            self.corrupt += 1
+            store.pop(key, None)
+            return None
 
     # -- keys ---------------------------------------------------------------
 
@@ -82,16 +121,16 @@ class CompileCache:
 
     def load_unit(self, source: str, name: str):
         """Fresh front-end ``Module`` for ``source``, or None on miss."""
-        blob = self._units.get(self.unit_key(source, name))
-        if blob is None:
+        module = self._open(self._units, self.unit_key(source, name))
+        if module is None:
             self.unit_misses += 1
             return None
         self.unit_hits += 1
-        return pickle.loads(blob)
+        return module
 
     def store_unit(self, source: str, name: str, module) -> None:
         if len(self._units) < self.max_entries:
-            self._units[self.unit_key(source, name)] = pickle.dumps(module)
+            self._units[self.unit_key(source, name)] = _seal(module)
 
     # -- program tier -------------------------------------------------------
 
@@ -111,10 +150,9 @@ class CompileCache:
 
         config = config or HwstConfig()
         key = self.program_key(source, scheme, config)
-        blob = self._programs.get(key)
-        if blob is not None:
+        program = self._open(self._programs, key)
+        if program is not None:
             self.program_hits += 1
-            program = pickle.loads(blob)
             self._replay_analyze(program, metrics)
             return program
         self.misses += 1
@@ -126,7 +164,7 @@ class CompileCache:
         program = compile_source(source, scheme, config, program_name,
                                  phases=phases, unit_cache=self)
         if len(self._programs) < self.max_entries:
-            self._programs[key] = pickle.dumps(program)
+            self._programs[key] = _seal(program)
         return program
 
     @staticmethod
@@ -154,6 +192,7 @@ class CompileCache:
             "compile.cache.unit_hits": self.unit_hits,
             "compile.cache.misses": self.misses,
             "compile.cache.unit_misses": self.unit_misses,
+            "compile.cache.corrupt": self.corrupt,
         }
 
     def clear(self) -> None:
@@ -161,6 +200,7 @@ class CompileCache:
         self._units.clear()
         self.program_hits = self.unit_hits = 0
         self.misses = self.unit_misses = 0
+        self.corrupt = 0
 
 
 _PROCESS_CACHE: Optional[CompileCache] = None

@@ -5,13 +5,25 @@ scale) cells. This module runs those cells through one engine:
 
 * **Job specs are picklable.** A :class:`CellSpec` names either a
   registered workload or carries raw source, plus the scheme, scale,
-  config and simulation knobs. Workers rebuild everything else.
+  config and simulation knobs. Workers rebuild everything else. Any
+  other picklable object exposing ``execute() -> CellResult`` (plus
+  ``tag``/``scheme``/``group_key``) runs through the same machinery —
+  the fault-injection campaign's cells take this path.
 * **Cells never abort the sweep.** Each cell returns a
   :class:`CellResult` envelope (``ok``/``status``/``error``/``cycles``/
   ``stats``/``metrics``); exceptions — compile errors, simulator bugs,
   bad configs — are caught in the worker and come back as
   ``status="error"`` with the traceback in ``error``. The experiment
   layer assembles rows from the survivors and reports the casualties.
+* **Cells are bounded in time.** ``max_instructions`` is the
+  deterministic step budget (the simulator raises SimLimitExceeded);
+  ``wallclock_budget`` arms a per-cell SIGALRM watchdog in the worker,
+  so a wedged cell comes back as ``status="hang"`` instead of stalling
+  the sweep.
+* **Worker deaths are retried once.** A group whose worker process
+  dies (BrokenProcessPool) is resubmitted exactly once on a fresh
+  pool; a second death produces ``status="worker_died"`` envelopes.
+  Retries are counted under ``sweep.worker_retries``.
 * **Compilation is cached.** Workers share a per-process
   :class:`~repro.harness.compile_cache.CompileCache`; cells are grouped
   (by workload, by default) so one worker sees all schemes of a
@@ -27,8 +39,11 @@ pre-executor serial harness.
 
 from __future__ import annotations
 
+import signal
+import threading
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,7 +52,52 @@ from repro.harness.compile_cache import process_cache
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.pipeline.timing import TimingParams
 
-__all__ = ["CellSpec", "CellResult", "SweepExecutor", "run_cells"]
+__all__ = ["CellSpec", "CellResult", "SweepExecutor", "run_cells",
+           "WallclockTimeout", "wallclock_guard",
+           "STATUS_HANG", "STATUS_WORKER_DIED"]
+
+#: Envelope statuses minted by the executor itself (never by the
+#: simulator): the per-cell watchdog fired / the worker process died
+#: twice.
+STATUS_HANG = "hang"
+STATUS_WORKER_DIED = "worker_died"
+
+
+class WallclockTimeout(Exception):
+    """Raised inside a worker when the per-cell watchdog fires."""
+
+    def __init__(self, budget: float):
+        super().__init__(f"wallclock budget {budget:g}s exceeded")
+        self.budget = budget
+
+
+@contextmanager
+def wallclock_guard(budget: Optional[float]):
+    """Arm a SIGALRM watchdog for ``budget`` seconds around a cell.
+
+    Yields True when the watchdog is armed. Degrades to a no-op (yields
+    False) when no budget is set, SIGALRM is unavailable (non-POSIX),
+    or we are not on the main thread (signal handlers can only be
+    installed there) — the deterministic step budget still bounds the
+    cell in that case.
+    """
+    usable = (budget is not None and budget > 0
+              and hasattr(signal, "SIGALRM")
+              and threading.current_thread() is threading.main_thread())
+    if not usable:
+        yield False
+        return
+
+    def _fire(signum, frame):
+        raise WallclockTimeout(budget)
+
+    previous = signal.signal(signal.SIGALRM, _fire)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @dataclass(frozen=True)
@@ -59,6 +119,9 @@ class CellSpec:
     timing: bool = True
     timing_params: Optional[TimingParams] = None
     max_instructions: int = 200_000_000
+    # Per-cell wallclock watchdog (seconds); None leaves only the
+    # deterministic step budget above. See wallclock_guard().
+    wallclock_budget: Optional[float] = None
     collect_registry: bool = False
     group: Optional[str] = None
     tag: str = ""
@@ -104,11 +167,17 @@ class CellResult:
     stats: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, object] = field(default_factory=dict)
     obs: Dict[str, object] = field(default_factory=dict)
+    # Uniform trap classification (RunResult.trap_class/trap_pc).
+    trap_class: str = ""
+    trap_pc: Optional[int] = None
+    # Free-form payload for generic cells (fault-injection verdicts …).
+    extra: Dict[str, object] = field(default_factory=dict)
 
     @property
     def measured(self) -> bool:
         """True when the simulator produced a result (even a trap)."""
-        return not self.error
+        return not self.error and self.status not in (
+            STATUS_HANG, STATUS_WORKER_DIED)
 
     def failure_line(self) -> str:
         """One-line summary for the sweep failure report."""
@@ -124,41 +193,72 @@ class CellResult:
         return f"{name}/{self.scheme}: {reason}"
 
 
-def _execute_cell(spec: CellSpec) -> CellResult:
-    """Run one cell in this process; never raises."""
+def _spec_identity(spec) -> Tuple[str, Optional[str], str]:
+    """(tag, workload, scheme) for envelope construction, tolerant of
+    generic (non-CellSpec) job specs."""
+    return (getattr(spec, "tag", "") or "",
+            getattr(spec, "workload", None),
+            getattr(spec, "scheme", "") or "")
+
+
+def _run_cellspec(spec: CellSpec) -> CellResult:
+    """The classic compile-and-simulate cell body (may raise)."""
     from repro.pipeline.timing import InOrderPipeline
     from repro.sim.machine import Machine
     from repro.workloads import WORKLOADS
 
+    if spec.source is not None:
+        source = spec.source
+    else:
+        workload = WORKLOADS.get(spec.workload)
+        if workload is None:
+            raise ValueError(
+                f"unknown workload {spec.workload!r}; known: "
+                f"{sorted(WORKLOADS)}")
+        source = workload.source(spec.scale)
+    config = spec.config or HwstConfig()
+    registry = MetricsRegistry() if spec.collect_registry else None
+    program = process_cache().compile(source, spec.scheme, config,
+                                      metrics=registry)
+    pipeline = InOrderPipeline(spec.timing_params, metrics=registry) \
+        if spec.timing else None
+    machine = Machine(config=config, timing=pipeline, metrics=registry)
+    result = machine.run(program,
+                         max_instructions=spec.max_instructions)
+    return CellResult(
+        tag=spec.tag, workload=spec.workload, scheme=spec.scheme,
+        ok=result.ok, status=result.status,
+        exit_code=result.exit_code, detail=result.detail,
+        cycles=result.cycles, instret=result.instret,
+        stats=result.stats, metrics=result.metrics,
+        trap_class=result.trap_class, trap_pc=result.trap_pc,
+        obs=registry.snapshot() if registry is not None else {})
+
+
+def _execute_cell(spec) -> CellResult:
+    """Run one cell in this process; never raises.
+
+    ``spec`` is either a :class:`CellSpec` or any picklable object with
+    an ``execute() -> CellResult`` method (generic cells — e.g.
+    fault-injection jobs). Both run under the wallclock watchdog when
+    the spec carries a ``wallclock_budget``.
+    """
+    tag, workload, scheme = _spec_identity(spec)
+    budget = getattr(spec, "wallclock_budget", None)
     try:
-        if spec.source is not None:
-            source = spec.source
-        else:
-            workload = WORKLOADS.get(spec.workload)
-            if workload is None:
-                raise ValueError(
-                    f"unknown workload {spec.workload!r}; known: "
-                    f"{sorted(WORKLOADS)}")
-            source = workload.source(spec.scale)
-        config = spec.config or HwstConfig()
-        registry = MetricsRegistry() if spec.collect_registry else None
-        program = process_cache().compile(source, spec.scheme, config,
-                                          metrics=registry)
-        pipeline = InOrderPipeline(spec.timing_params, metrics=registry) \
-            if spec.timing else None
-        machine = Machine(config=config, timing=pipeline, metrics=registry)
-        result = machine.run(program,
-                             max_instructions=spec.max_instructions)
+        with wallclock_guard(budget):
+            execute = getattr(spec, "execute", None)
+            if execute is not None:
+                return execute()
+            return _run_cellspec(spec)
+    except WallclockTimeout as timeout:
         return CellResult(
-            tag=spec.tag, workload=spec.workload, scheme=spec.scheme,
-            ok=result.ok, status=result.status,
-            exit_code=result.exit_code, detail=result.detail,
-            cycles=result.cycles, instret=result.instret,
-            stats=result.stats, metrics=result.metrics,
-            obs=registry.snapshot() if registry is not None else {})
+            tag=tag, workload=workload, scheme=scheme,
+            ok=False, status=STATUS_HANG, detail=str(timeout),
+            extra={"watchdog_fired": True})
     except Exception:
         return CellResult(
-            tag=spec.tag, workload=spec.workload, scheme=spec.scheme,
+            tag=tag, workload=workload, scheme=scheme,
             ok=False, status="error", error=traceback.format_exc())
 
 
@@ -226,20 +326,17 @@ class SweepExecutor:
         cells = list(cells)
         groups: Dict[str, List[int]] = {}
         for index, spec in enumerate(cells):
-            groups.setdefault(spec.group_key, []).append(index)
+            key = getattr(spec, "group_key", None)
+            if key is None:
+                key = getattr(spec, "tag", "") or str(index)
+            groups.setdefault(key, []).append(index)
         results: List[Optional[CellResult]] = [None] * len(cells)
         if self.jobs == 1:
             for indices in groups.values():
                 envelopes, delta = _run_group([cells[i] for i in indices])
                 self._place(results, indices, envelopes, delta)
         else:
-            pool = self._ensure_pool()
-            futures = {
-                pool.submit(_run_group, [cells[i] for i in indices]):
-                indices for indices in groups.values()}
-            for future in as_completed(futures):
-                envelopes, delta = future.result()
-                self._place(results, futures[future], envelopes, delta)
+            self._run_pooled(cells, list(groups.values()), results)
         done = [result for result in results if result is not None]
         assert len(done) == len(cells)
         self.cells_run += len(done)
@@ -248,6 +345,55 @@ class SweepExecutor:
         # to trap), not a failed cell.
         self.cells_failed += sum(1 for r in done if not r.measured)
         return done
+
+    def _run_pooled(self, cells, pending: List[List[int]], results):
+        """Fan groups over the pool; retry dead workers exactly once.
+
+        A worker process dying (os._exit, segfault, OOM-kill) breaks
+        the whole ProcessPoolExecutor: *every* unfinished future raises
+        instead of returning envelopes — including groups that were
+        merely queued behind the culprit. Each failed group is
+        therefore retried once in its own isolated single-worker pool,
+        so a persistently dying group cannot poison a healthy group's
+        retry. The cells are deterministic, so a *transient* death
+        (e.g. memory pressure) recovers with identical results; a group
+        that dies again on its isolated retry gets
+        ``status="worker_died"`` envelopes.
+        """
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_run_group, [cells[i] for i in indices]):
+            indices for indices in pending}
+        failed: List[List[int]] = []
+        for future in as_completed(futures):
+            try:
+                envelopes, delta = future.result()
+            except Exception:
+                failed.append(futures[future])
+                continue
+            self._place(results, futures[future], envelopes, delta)
+        if not failed:
+            return
+        # The shared pool is broken; drop it (the next run() call
+        # rebuilds it lazily) and retry each casualty in isolation.
+        self.close()
+        self.registry.counter("sweep.worker_retries").inc(len(failed))
+        for indices in failed:
+            try:
+                with ProcessPoolExecutor(max_workers=1) as solo:
+                    envelopes, delta = solo.submit(
+                        _run_group,
+                        [cells[i] for i in indices]).result()
+            except Exception:
+                for i in indices:
+                    tag, workload, scheme = _spec_identity(cells[i])
+                    results[i] = CellResult(
+                        tag=tag, workload=workload, scheme=scheme,
+                        ok=False, status=STATUS_WORKER_DIED,
+                        error="worker process died twice running "
+                              "this cell group")
+                continue
+            self._place(results, indices, envelopes, delta)
 
     def _place(self, results, indices, envelopes, delta):
         for index, envelope in zip(indices, envelopes):
@@ -269,9 +415,13 @@ class SweepExecutor:
     def summary(self) -> str:
         hits = self.registry.counter("compile.cache.hits").value
         misses = self.registry.counter("compile.cache.misses").value
-        return (f"sweep: cells={self.cells_run} "
+        line = (f"sweep: cells={self.cells_run} "
                 f"failed={self.cells_failed} jobs={self.jobs} "
                 f"compile-cache hits={hits} misses={misses}")
+        retries = self.registry.counter("sweep.worker_retries").value
+        if retries:
+            line += f" worker-retries={retries}"
+        return line
 
 
 def run_cells(cells: Sequence[CellSpec],

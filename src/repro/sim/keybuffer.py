@@ -88,6 +88,26 @@ class KeyBuffer(HitMissStats):
             self._evictions.value += 1
         return evicted
 
+    def locks(self) -> list:
+        """Resident lock addresses, in insertion/recency order
+        (deterministic — used by seeded fault injectors)."""
+        return list(self._data)
+
+    def peek(self, lock: int) -> Optional[int]:
+        """Cached key for ``lock`` without touching hit/miss accounting
+        or the replacement order (inspection/fault-injection hook)."""
+        return self._data.get(lock)
+
+    def poison(self, lock: int, key: int):
+        """Fault-injection hook: overwrite the cached key of ``lock``
+        (or force-install a bogus entry) without touching the hit/miss
+        accounting. Models a corrupted or stale translation."""
+        if self._entries == 0:
+            return
+        self._data[lock] = key
+        while len(self._data) > self._entries:
+            self._data.popitem(last=False)
+
     def invalidate(self, lock: int):
         """Drop a single entry (a new key was written to its lock)."""
         self._data.pop(lock, None)

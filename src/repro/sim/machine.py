@@ -74,6 +74,19 @@ STATUS_LIMIT = "limit"
 STATUS_ILLEGAL = "illegal_instruction"
 STATUS_OOM = "shadow_oom"
 
+# Uniform SimTrap -> RunResult.status mapping (looked up through the
+# trap's MRO so subclasses inherit their parent's status). EcallExit is
+# handled separately — a requested exit is not a trap.
+STATUS_BY_TRAP = {
+    SpatialViolation: STATUS_SPATIAL,
+    TemporalViolation: STATUS_TEMPORAL,
+    ShadowMemoryExhausted: STATUS_OOM,
+    MemoryFault: STATUS_FAULT,
+    EcallAbort: STATUS_ABORT,
+    IllegalInstruction: STATUS_ILLEGAL,
+    SimLimitExceeded: STATUS_LIMIT,
+}
+
 
 @dataclass
 class RunResult:
@@ -89,6 +102,12 @@ class RunResult:
     # Flat metric snapshot (``sim.*`` + ``pipeline.*``) of the run; the
     # legacy ``stats`` dict is a view of the same counters.
     metrics: Dict[str, object] = dc_field(default_factory=dict)
+    # Trap classification, populated uniformly for *every* SimTrap
+    # subclass: the class name and the faulting pc (the trap's own
+    # ``pc`` attribute when it carries one, else the machine pc at the
+    # moment the trap fired). Empty/None on a clean exit.
+    trap_class: str = ""
+    trap_pc: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -146,6 +165,10 @@ class Machine:
         self.instret = 0
         self.output = bytearray()
         self.program: Optional[Program] = None
+        # Fault-injection hook (repro.faultinject): when set, called as
+        # ``hook(self)`` once per instruction, before dispatch. The
+        # normal path pays one ``is not None`` test per retire.
+        self.fault_hook: Optional[Callable[["Machine"], None]] = None
         self._lock_lo = self.config.lock_base
         self._lock_hi = self.config.lock_limit
         self._dispatch: Dict[str, Callable[[Instr], Optional[int]]] = \
@@ -212,7 +235,10 @@ class Machine:
         instrs = program.instrs
         text_base = program.text_base
         dispatch = self._dispatch
+        fault_hook = self.fault_hook
         status, code, detail = STATUS_EXIT, 0, ""
+        trap_class: str = ""
+        trap_pc: Optional[int] = None
         try:
             remaining = max_instructions
             while True:
@@ -227,6 +253,8 @@ class Machine:
                     self._trace.append((self.pc, ins))
                     if len(self._trace) > self.trace_depth:
                         del self._trace[0]
+                if fault_hook is not None:
+                    fault_hook(self)
                 next_pc = handler(ins)
                 self.pc = self.pc + 4 if next_pc is None else next_pc
                 self.instret += 1
@@ -235,20 +263,18 @@ class Machine:
                     raise SimLimitExceeded(max_instructions)
         except EcallExit as trap:
             code = trap.code
-        except SpatialViolation as trap:
-            status, detail = STATUS_SPATIAL, str(trap)
-        except TemporalViolation as trap:
-            status, detail = STATUS_TEMPORAL, str(trap)
-        except ShadowMemoryExhausted as trap:
-            status, detail = STATUS_OOM, str(trap)
-        except MemoryFault as trap:
-            status, detail = STATUS_FAULT, str(trap)
-        except EcallAbort as trap:
-            status, detail = STATUS_ABORT, str(trap)
-        except IllegalInstruction as trap:
-            status, detail = STATUS_ILLEGAL, str(trap)
-        except SimLimitExceeded as trap:
-            status, detail = STATUS_LIMIT, str(trap)
+        except SimTrap as trap:
+            for cls in type(trap).__mro__:
+                mapped = STATUS_BY_TRAP.get(cls)
+                if mapped is not None:
+                    status = mapped
+                    break
+            else:
+                raise  # unknown SimTrap subclass: not a machine outcome
+            detail = str(trap)
+            trap_class = type(trap).__name__
+            pc = getattr(trap, "pc", None)
+            trap_pc = pc if pc is not None else self.pc
         stats = self.stats
         stats["kb_hits"] = self.keybuffer.hits
         stats["kb_misses"] = self.keybuffer.misses
@@ -287,6 +313,7 @@ class Machine:
             instret=self.instret, cycles=cycles,
             output=bytes(self.output), stats=stats,
             metrics=self.metrics_snapshot(),
+            trap_class=trap_class, trap_pc=trap_pc,
         )
 
     def metrics_snapshot(self) -> Dict[str, object]:

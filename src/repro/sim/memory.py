@@ -9,6 +9,7 @@ run produces on a null dereference.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -202,6 +203,60 @@ class Memory:
 
     def store_u8(self, addr: int, value: int):
         self.store_uint(addr, 1, value)
+
+    # -- inspection (fault injection / differential oracle) ------------------
+
+    def hash_range(self, start: int, end: int) -> str:
+        """Content digest of ``[start, end)``, unallocated bytes = 0.
+
+        Pages that were never touched and pages holding only zeros hash
+        identically (both contribute nothing), so the digest depends
+        only on the observable memory contents — the differential
+        oracle compares final heap images with it.
+        """
+        hasher = hashlib.sha256()
+        first = start >> PAGE_SHIFT
+        last = (end - 1) >> PAGE_SHIFT
+        for index in sorted(self._pages):
+            if index < first or index > last:
+                continue
+            page_base = index << PAGE_SHIFT
+            lo = max(start, page_base)
+            hi = min(end, page_base + PAGE_SIZE)
+            chunk = self._pages[index][lo - page_base:hi - page_base]
+            if chunk.count(0) == len(chunk):
+                continue
+            hasher.update(lo.to_bytes(8, "little"))
+            hasher.update(chunk)
+        return hasher.hexdigest()
+
+    def nonzero_u64_addrs(self, start: int, end: int,
+                          limit: int = 65536) -> List[int]:
+        """Addresses of nonzero 8-byte-aligned words in ``[start, end)``.
+
+        Deterministic (sorted) — fault injectors pick a corruption
+        target from this list with a seeded index. Only allocated pages
+        are scanned; at most ``limit`` addresses are returned.
+        """
+        out: List[int] = []
+        first = start >> PAGE_SHIFT
+        last = (end - 1) >> PAGE_SHIFT
+        for index in sorted(self._pages):
+            if index < first or index > last:
+                continue
+            page = self._pages[index]
+            if page.count(0) == PAGE_SIZE:
+                continue
+            page_base = index << PAGE_SHIFT
+            lo = max(start, page_base)
+            hi = min(end, page_base + PAGE_SIZE)
+            for addr in range((lo + 7) & ~7, hi - 7, 8):
+                offset = addr - page_base
+                if page[offset:offset + 8].count(0) != 8:
+                    out.append(addr)
+                    if len(out) >= limit:
+                        return out
+        return out
 
     #: Marker appended when ``load_cstring(allow_truncated=True)`` hits
     #: its limit before a NUL, so diagnostics never look complete when

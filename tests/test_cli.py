@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import errors
 from repro.cli import main
 
 CLEAN = """
@@ -47,9 +48,10 @@ class TestRun:
 
     def test_run_detects_bug(self, buggy_file, capsys):
         rc = main(["run", buggy_file, "--scheme", "hwst128_tchk"])
-        assert rc == 1
+        assert rc == errors.EXIT_TEMPORAL
         out = capsys.readouterr().out
         assert "temporal_violation" in out
+        assert "TemporalViolation" in out  # trap line
 
     def test_run_with_stats(self, clean_file, capsys):
         assert main(["run", clean_file, "--stats"]) == 0
@@ -58,16 +60,16 @@ class TestRun:
     def test_run_with_trace(self, buggy_file, capsys):
         rc = main(["run", buggy_file, "--scheme", "sbcets",
                    "--trace", "8"])
-        assert rc == 1
+        assert rc == errors.EXIT_TEMPORAL
         assert "last retired instructions" in capsys.readouterr().out
 
     def test_missing_file(self, capsys):
-        assert main(["run", "/nonexistent.c"]) == 1
+        assert main(["run", "/nonexistent.c"]) == errors.EXIT_FAILURE
 
     def test_compile_error_reported(self, tmp_path, capsys):
         path = tmp_path / "bad.c"
         path.write_text("int main(void) { return undeclared; }")
-        assert main(["run", str(path)]) == 1
+        assert main(["run", str(path)]) == errors.EXIT_TOOLCHAIN
         assert "error" in capsys.readouterr().err
 
 
@@ -141,3 +143,108 @@ class TestExperimentsPassthrough:
     def test_list(self, capsys):
         assert main(["experiments", "--list"]) == 0
         assert "fig4" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """Every ReproError class maps to a distinct documented exit code."""
+
+    def _run(self, tmp_path, source, *argv):
+        path = tmp_path / "prog.c"
+        path.write_text(source)
+        return main(["run", str(path), *argv])
+
+    def test_codes_are_distinct(self):
+        codes = [errors.EXIT_OK, errors.EXIT_FAILURE, errors.EXIT_USAGE,
+                 errors.EXIT_TOOLCHAIN, errors.EXIT_SPATIAL,
+                 errors.EXIT_TEMPORAL, errors.EXIT_MEMFAULT,
+                 errors.EXIT_SIMLIMIT, errors.EXIT_ABORT,
+                 errors.EXIT_ILLEGAL, errors.EXIT_SHADOW_OOM]
+        assert len(set(codes)) == len(codes)
+
+    def test_exit_code_for_walks_mro(self):
+        assert errors.exit_code_for(
+            errors.ParseError("x", 1, 1)) == errors.EXIT_TOOLCHAIN
+        assert errors.exit_code_for(
+            errors.SemanticError("x")) == errors.EXIT_TOOLCHAIN
+        assert errors.exit_code_for(
+            errors.SpatialViolation(0, 0, 0, 8)) == errors.EXIT_SPATIAL
+        assert errors.exit_code_for(
+            errors.TemporalViolation(0, 1, 2, 3)) == errors.EXIT_TEMPORAL
+        assert errors.exit_code_for(
+            errors.MemoryFault(0)) == errors.EXIT_MEMFAULT
+        assert errors.exit_code_for(
+            errors.SimLimitExceeded(9)) == errors.EXIT_SIMLIMIT
+        assert errors.exit_code_for(
+            errors.ReproError("generic")) == errors.EXIT_FAILURE
+
+    def test_toolchain_error(self, tmp_path):
+        rc = self._run(tmp_path, "int main(void) { return nope; }")
+        assert rc == errors.EXIT_TOOLCHAIN
+
+    def test_spatial_violation(self, tmp_path):
+        src = """
+        int main(void) {
+            long *a = (long*)malloc(8);
+            a[3] = 1;
+            return 0;
+        }
+        """
+        rc = self._run(tmp_path, src, "--scheme", "hwst128")
+        assert rc == errors.EXIT_SPATIAL
+
+    def test_temporal_violation(self, tmp_path):
+        src = """
+        int main(void) {
+            long *p = (long*)malloc(8);
+            free(p);
+            return (int)(p[0] & 0);
+        }
+        """
+        rc = self._run(tmp_path, src, "--scheme", "hwst128_tchk")
+        assert rc == errors.EXIT_TEMPORAL
+
+    def test_memory_fault(self, tmp_path):
+        src = """
+        int main(void) {
+            long *p = 0;
+            return (int)(p[0] & 0);
+        }
+        """
+        rc = self._run(tmp_path, src, "--scheme", "baseline")
+        assert rc == errors.EXIT_MEMFAULT
+
+    def test_sim_limit(self, tmp_path):
+        src = "int main(void) { while (1) {} return 0; }"
+        rc = self._run(tmp_path, src, "--max-instructions", "1000")
+        assert rc == errors.EXIT_SIMLIMIT
+
+    def test_nonzero_exit_is_generic_failure(self, tmp_path):
+        rc = self._run(tmp_path, "int main(void) { return 3; }")
+        assert rc == errors.EXIT_FAILURE
+
+    def test_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run"])  # missing file operand
+        assert exc.value.code == errors.EXIT_USAGE
+
+
+class TestFaultCampaign:
+    def test_smoke_and_report(self, tmp_path, capsys):
+        out = str(tmp_path / "report.json")
+        rc = main(["faultcampaign", "--scheme", "hwst128", "--n", "6",
+                   "--seed", "5", "--out", out])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "fault campaign" in text
+        import json
+
+        report = json.loads(open(out).read())
+        assert report["schema"] == "repro.faultinject/v1"
+        assert sum(report["scoreboard"].values()) == 6
+        assert report["scoreboard"]["crash"] == 0
+        assert report["scoreboard"]["hang"] == 0
+
+    def test_unknown_family_is_usage_error(self, capsys):
+        rc = main(["faultcampaign", "--faults", "nope", "--n", "1"])
+        assert rc == errors.EXIT_USAGE
+        assert "unknown fault families" in capsys.readouterr().err

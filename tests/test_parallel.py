@@ -1,14 +1,18 @@
 """Tests for the sweep executor, compile cache and failure envelopes."""
 
+import os
+from dataclasses import dataclass
+from typing import Optional
+
 import pytest
 
 from repro.core.config import HwstConfig
 from repro.harness.compile_cache import (
-    CompileCache, config_fingerprint, process_cache,
+    CACHE_FORMAT, CompileCache, config_fingerprint, process_cache,
 )
 from repro.harness.experiments import fig4_overhead, fig5_speedup, main
 from repro.harness.parallel import (
-    CellResult, CellSpec, SweepExecutor, run_cells,
+    CellResult, CellSpec, STATUS_WORKER_DIED, SweepExecutor, run_cells,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.workloads import WORKLOADS
@@ -257,3 +261,101 @@ class TestCli:
         assert code == 1
         assert "failed cell(s)" in captured.err
         assert "cli_crash" in captured.err
+
+
+# Module level so ProcessPoolExecutor can pickle it into workers.
+@dataclass(frozen=True)
+class DyingSpec:
+    """Generic cell whose worker process dies until ``sentinel`` exists
+    (dies forever when ``always`` is set)."""
+
+    sentinel: str
+    always: bool = False
+    tag: str = "dying"
+    scheme: str = "none"
+    workload: Optional[str] = None
+    wallclock_budget: Optional[float] = None
+    group_key: str = "dying-group"
+
+    def execute(self) -> CellResult:
+        if self.always or not os.path.exists(self.sentinel):
+            with open(self.sentinel, "w") as fh:
+                fh.write("died once\n")
+            os._exit(17)  # simulate a segfault/OOM-kill
+        return CellResult(tag=self.tag, workload=None, scheme=self.scheme,
+                          ok=True, status="exit")
+
+
+class TestWorkerDeathRetry:
+    def test_transient_death_retried_once(self, tmp_path):
+        sentinel = str(tmp_path / "died")
+        with SweepExecutor(jobs=2) as executor:
+            result = executor.run([DyingSpec(sentinel=sentinel)])[0]
+            retries = executor.registry.counter(
+                "sweep.worker_retries").value
+            summary = executor.summary()
+        assert result.status == "exit" and result.ok
+        assert retries == 1
+        assert "worker-retries=1" in summary
+
+    def test_second_death_yields_worker_died_envelope(self, tmp_path):
+        sentinel = str(tmp_path / "died")
+        with SweepExecutor(jobs=2) as executor:
+            result = executor.run(
+                [DyingSpec(sentinel=sentinel, always=True)])[0]
+        assert result.status == STATUS_WORKER_DIED
+        assert not result.measured
+        assert "died twice" in result.error
+
+    def test_healthy_groups_unaffected_by_a_dying_one(self, tmp_path):
+        sentinel = str(tmp_path / "died")
+        cells = [
+            CellSpec(scheme="baseline", source=GOOD, timing=False,
+                     tag="good", group="good-group"),
+            DyingSpec(sentinel=sentinel, always=True),
+        ]
+        with SweepExecutor(jobs=2) as executor:
+            results = executor.run(cells)
+        by_tag = {result.tag: result for result in results}
+        assert by_tag["good"].ok
+        assert by_tag["dying"].status == STATUS_WORKER_DIED
+
+
+class TestCacheIntegrity:
+    def _prime(self):
+        cache = CompileCache()
+        cache.compile(GOOD, "baseline", HwstConfig())
+        key = next(iter(cache._programs))
+        return cache, key
+
+    def test_tampered_blob_recompiles(self):
+        cache, key = self._prime()
+        version, fingerprint, blob = cache._programs[key]
+        cache._programs[key] = (version, fingerprint,
+                                blob[:-4] + b"\x00\x00\x00\x00")
+        program = cache.compile(GOOD, "baseline", HwstConfig())
+        assert program is not None
+        assert cache.corrupt == 1
+        assert cache.stats_snapshot()["compile.cache.corrupt"] == 1
+
+    def test_stale_format_version_recompiles(self):
+        cache, key = self._prime()
+        _, fingerprint, blob = cache._programs[key]
+        cache._programs[key] = (CACHE_FORMAT + 1, fingerprint, blob)
+        assert cache.compile(GOOD, "baseline", HwstConfig()) is not None
+        assert cache.corrupt == 1
+
+    def test_corrupt_entry_is_evicted_then_reseeded(self):
+        cache, key = self._prime()
+        version, fingerprint, blob = cache._programs[key]
+        cache._programs[key] = (version, "0" * 64, blob)
+        cache.compile(GOOD, "baseline", HwstConfig())  # corrupt -> miss
+        assert cache.corrupt == 1
+        cache.compile(GOOD, "baseline", HwstConfig())  # fresh entry hits
+        assert cache.corrupt == 1
+        assert cache.program_hits >= 1
+
+    def test_clean_entries_never_count_corrupt(self):
+        cache, _ = self._prime()
+        cache.compile(GOOD, "baseline", HwstConfig())
+        assert cache.corrupt == 0

@@ -500,3 +500,73 @@ class TestTimingIntegration:
         ]
         result = run(exit_with(seq), timing=True)
         assert result.stats["cyc_load_use"] >= 1
+
+
+class TestTrapMetadata:
+    """RunResult.trap_class/trap_pc are populated uniformly for every
+    SimTrap subclass, and stay empty on a clean exit."""
+
+    def _run(self, source, scheme, **kwargs):
+        from repro.harness.runner import run_program
+
+        return run_program(source, scheme, timing=False, **kwargs)
+
+    def test_clean_exit_has_no_trap(self):
+        result = self._run("int main(void) { return 0; }", "baseline")
+        assert result.status == "exit"
+        assert result.trap_class == ""
+        assert result.trap_pc is None
+
+    def test_spatial_violation(self):
+        result = self._run(
+            """
+            int main(void) {
+                long *a = (long*)malloc(8);
+                a[2] = 1;
+                return 0;
+            }
+            """, "hwst128")
+        assert result.status == "spatial_violation"
+        assert result.trap_class == "SpatialViolation"
+        # The trap carries its own pc: it must match the detail text.
+        assert f"pc={result.trap_pc:#x}" in result.detail
+
+    def test_temporal_violation(self):
+        result = self._run(
+            """
+            int main(void) {
+                long *p = (long*)malloc(8);
+                free(p);
+                return (int)(p[0] & 0);
+            }
+            """, "hwst128_tchk")
+        assert result.status == "temporal_violation"
+        assert result.trap_class == "TemporalViolation"
+        assert result.trap_pc is not None
+
+    def test_memory_fault(self):
+        result = self._run(
+            """
+            int main(void) {
+                long *p = 0;
+                return (int)(p[0] & 0);
+            }
+            """, "baseline")
+        assert result.status == "memory_fault"
+        assert result.trap_class == "MemoryFault"
+        # MemoryFault carries no pc attribute: the machine pc at the
+        # moment the trap fired is recorded instead.
+        assert result.trap_pc is not None
+
+    def test_sim_limit(self):
+        result = self._run("int main(void) { while (1) {} return 0; }",
+                           "baseline", max_instructions=500)
+        assert result.status == "limit"
+        assert result.trap_class == "SimLimitExceeded"
+        assert result.trap_pc is not None
+
+    def test_abort(self):
+        result = self._run(
+            "int main(void) { abort(); return 0; }", "baseline")
+        assert result.status == "abort"
+        assert result.trap_class == "EcallAbort"
