@@ -277,6 +277,26 @@ def cmd_faultcampaign(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_fuzz(args) -> int:
+    """Coverage-guided differential fuzzing campaign."""
+    from repro.fuzz import run_fuzz
+    from repro.harness.parallel import SweepExecutor
+
+    with SweepExecutor(jobs=args.jobs) as executor:
+        report = run_fuzz(
+            n=args.n, seed=args.seed, executor=executor,
+            corpus_dir=args.corpus,
+            reduce_divergences=not args.no_reduce,
+            wallclock_budget=args.wallclock)
+    print(report.table())
+    print(executor.summary())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report -> {args.out}")
+    return 0 if report.clean else 1
+
+
 def cmd_experiments(args) -> int:
     from repro.harness import experiments
 
@@ -398,6 +418,26 @@ def build_parser() -> argparse.ArgumentParser:
     fault_p.add_argument("--out", metavar="OUT.JSON",
                          help="write the repro.faultinject/v1 report")
     fault_p.set_defaults(fn=cmd_faultcampaign)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing (grammar generator "
+        "+ oracle stack + ddmin reducer)")
+    fuzz_p.add_argument("--n", type=_positive_int, default=200,
+                        help="number of generated programs")
+    fuzz_p.add_argument("--seed", type=int, default=0)
+    fuzz_p.add_argument("--jobs", type=_positive_int, default=1)
+    fuzz_p.add_argument("--wallclock", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="per-program watchdog budget")
+    fuzz_p.add_argument("--corpus", metavar="DIR",
+                        help="save divergent programs (orig + reduced "
+                        "repro + metadata) here")
+    fuzz_p.add_argument("--no-reduce", action="store_true",
+                        help="skip ddmin reduction of divergences")
+    fuzz_p.add_argument("--out", metavar="OUT.JSON",
+                        help="write the repro.fuzz/v1 report")
+    fuzz_p.set_defaults(fn=cmd_fuzz)
 
     experiments_p = sub.add_parser(
         "experiments", help="regenerate paper figures; supports "

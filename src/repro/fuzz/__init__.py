@@ -1,0 +1,25 @@
+"""repro.fuzz — coverage-guided differential fuzzing for the stack.
+
+The subsystem generates seeded, guaranteed-terminating mini-C programs
+(:mod:`repro.fuzz.gen`), cross-checks every layer of the toolchain on
+them through a stack of differential oracles (:mod:`repro.fuzz.oracle`),
+steers generation with grammar-production and runtime-function coverage
+(:mod:`repro.fuzz.coverage`), and shrinks any divergence to a minimal
+repro (:mod:`repro.fuzz.reduce`).  :mod:`repro.fuzz.campaign` ties it
+together behind ``repro fuzz`` and the ``repro.fuzz/v1`` report.
+"""
+
+from repro.fuzz.campaign import FuzzCell, FuzzReport, run_fuzz
+from repro.fuzz.gen import (
+    BUG_KINDS, EXPECTED_CLASS, GeneratedProgram, generate_program,
+    plan_programs,
+)
+from repro.fuzz.oracle import Divergence, classify_program, probe_program
+from repro.fuzz.coverage import FuzzCoverage
+from repro.fuzz.reduce import reduce_source
+
+__all__ = [
+    "BUG_KINDS", "EXPECTED_CLASS", "Divergence", "FuzzCell", "FuzzCoverage",
+    "FuzzReport", "GeneratedProgram", "classify_program", "generate_program",
+    "plan_programs", "probe_program", "reduce_source", "run_fuzz",
+]

@@ -1,0 +1,72 @@
+"""Coverage feedback for the fuzzer's generation loop.
+
+Two coverage domains steer generation:
+
+* **grammar productions** — the statement/declaration kinds each
+  generated program exercised (reported by the generator itself);
+* **runtime functions** — which runtime symbols (``malloc``,
+  ``memset``, ``strlen`` …) actually retired instructions, folded out
+  of the existing ``repro.obs`` per-PC profiler on the timed probe.
+
+:meth:`FuzzCoverage.weights` turns both into selection weights:
+productions get inverse-frequency weight (rare productions become more
+likely), and productions linked to cold runtime functions get an extra
+boost.  All arithmetic is plain float on small integers, so weights —
+and therefore the whole campaign — are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+from repro.fuzz.gen import STATEMENT_KINDS
+
+#: statement production -> runtime function it drives.
+RUNTIME_LINKS = {
+    "stmt.memset": "memset",
+    "stmt.memcpy": "memcpy",
+    "stmt.strops": "strlen",
+    "stmt.print": "print_int",
+}
+
+
+@dataclass
+class FuzzCoverage:
+    """Accumulated coverage counters across generated programs."""
+
+    productions: Dict[str, int] = field(default_factory=dict)
+    runtime_functions: Dict[str, int] = field(default_factory=dict)
+    programs: int = 0
+
+    def observe(self, features: Iterable[str],
+                functions: Iterable[str]) -> None:
+        """Fold one program's generator features + profiled functions."""
+        self.programs += 1
+        for feature in features:
+            self.productions[feature] = \
+                self.productions.get(feature, 0) + 1
+        for function in functions:
+            self.runtime_functions[function] = \
+                self.runtime_functions.get(function, 0) + 1
+
+    def weights(self) -> Dict[str, float]:
+        """Selection weights for the next generation round."""
+        out: Dict[str, float] = {}
+        for kind in STATEMENT_KINDS:
+            weight = 4.0 / (1.0 + self.productions.get(kind, 0))
+            linked = RUNTIME_LINKS.get(kind)
+            if linked is not None:
+                hits = self.runtime_functions.get(linked, 0)
+                weight *= 1.0 + 2.0 / (1.0 + hits)
+            out[kind] = weight
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "programs": self.programs,
+            "productions": {k: self.productions[k]
+                            for k in sorted(self.productions)},
+            "runtime_functions": {k: self.runtime_functions[k]
+                                  for k in sorted(self.runtime_functions)},
+        }

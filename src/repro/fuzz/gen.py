@@ -1,0 +1,475 @@
+"""Seeded grammar-based mini-C program generator.
+
+Every program is typed, memory-safe by construction (all reads follow
+writes, every index is provably in bounds, loops are bounded by
+constants, helper functions are non-recursive) and therefore guaranteed
+to terminate.  A program optionally carries exactly one planted,
+ground-truth-labelled bug drawn from the Juliet fault taxonomy
+(:data:`BUG_KINDS`); the planted statement is always placed after the
+last loop and the last allocation so that an *unchecked* scheme cannot
+be pushed into an unbounded loop by the corruption.
+
+Determinism: all randomness flows from a private
+``random.Random(f"fuzz/{seed}/{index}")`` — the same (seed, index,
+weights) triple always yields the same source text.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: planted-bug kinds -> violation class the checked schemes must raise.
+EXPECTED_CLASS = {
+    "oob_write": "spatial",
+    "oob_read": "spatial",
+    "oob_under": "spatial",
+    "uaf": "temporal",
+    "double_free": "temporal",
+    "free_offset": "temporal",
+}
+
+BUG_KINDS: Tuple[str, ...] = tuple(sorted(EXPECTED_CLASS))
+
+#: statement productions the coverage loop can steer towards.
+STATEMENT_KINDS: Tuple[str, ...] = (
+    "stmt.assign", "stmt.compound", "stmt.postinc", "stmt.if",
+    "stmt.ifelse", "stmt.for", "stmt.while", "stmt.dowhile", "stmt.call",
+    "stmt.memset", "stmt.memcpy", "stmt.strops", "stmt.print",
+    "stmt.ternary", "stmt.cast", "stmt.member",
+)
+
+#: productions legal inside a loop or branch body (no nested loops, so
+#: the constant-bound termination argument stays trivial).
+_SIMPLE_KINDS: Tuple[str, ...] = (
+    "stmt.assign", "stmt.compound", "stmt.postinc", "stmt.print",
+    "stmt.ternary", "stmt.cast",
+)
+
+_BIN_OPS = ("+", "-", "*", "&", "|", "^")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_COMPOUND_OPS = ("+=", "-=", "*=", "^=", "|=", "&=")
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated fuzz program plus its ground-truth label."""
+
+    index: int
+    name: str
+    kind: str                      # "safe" or a member of BUG_KINDS
+    expect: str                    # "", "spatial" or "temporal"
+    source: str
+    features: Tuple[str, ...]      # grammar productions exercised
+
+
+@dataclass
+class _Buf:
+    name: str
+    count: int                     # element count
+    elem: str                      # "long" or "char"
+    heap: bool
+
+
+class _Gen:
+    def __init__(self, rng: random.Random, weights: Dict[str, float]):
+        self.rng = rng
+        self.weights = weights
+        self.lines: List[str] = []
+        self.features: set = set()
+        self.scalars: List[str] = []       # long lvalues
+        self.int_scalars: List[str] = []   # int lvalues (cast targets)
+        self.bufs: List[_Buf] = []
+        self.helpers: List[str] = []
+        self.counter = 0
+        self.use_struct = False
+        self.struct_ptr = False
+        # Largest value a live loop variable can take inside its body
+        # (for-loops count 0..bound-1, while/do countdowns bound..1);
+        # lvalue() consults this before indexing a buffer with it.
+        self.loop_max: Dict[str, int] = {}
+
+    # -- small helpers -----------------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        name = f"{prefix}{self.counter}"
+        self.counter += 1
+        return name
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def pick_kind(self, kinds: Sequence[str]) -> str:
+        total = sum(self.weights.get(k, 1.0) for k in kinds)
+        x = self.rng.random() * total
+        for kind in kinds:
+            x -= self.weights.get(kind, 1.0)
+            if x <= 0:
+                return kind
+        return kinds[-1]
+
+    def const(self) -> str:
+        value = self.rng.randint(-99, 99)
+        return str(value) if value >= 0 else f"(-{-value})"
+
+    # -- expressions -------------------------------------------------------
+
+    def rvalue(self, depth: int, loop_var: Optional[str] = None) -> str:
+        """A safe long-valued expression."""
+        rng = self.rng
+        atoms: List[str] = list(self.scalars)
+        if loop_var:
+            atoms.append(loop_var)
+        for buf in self.bufs:
+            if buf.elem == "long":
+                atoms.append(f"{buf.name}[{rng.randrange(buf.count)}]")
+        if self.use_struct:
+            atoms.append("sp0.a")
+            atoms.append(f"sp0.b[{rng.randrange(self.struct_dim)}]")
+            if self.struct_ptr:
+                atoms.append("pp0->a")
+        atoms.append(self.const())
+        if depth <= 0:
+            return rng.choice(atoms)
+        roll = rng.random()
+        if roll < 0.45:
+            op = rng.choice(_BIN_OPS)
+            return (f"{self.rvalue(depth - 1, loop_var)} {op} "
+                    f"{self.rvalue(depth - 1, loop_var)}")
+        if roll < 0.55:
+            divisor = rng.choice((2, 3, 5, 7, 9))
+            op = rng.choice(("/", "%"))
+            return f"({self.rvalue(depth - 1, loop_var)}) {op} {divisor}"
+        if roll < 0.65:
+            shift = rng.randrange(6)
+            op = rng.choice(("<<", ">>"))
+            return f"({self.rvalue(depth - 1, loop_var)}) {op} {shift}"
+        if roll < 0.72 and self.helpers:
+            self.features.add("expr.call")
+            fn = rng.choice(self.helpers)
+            return (f"{fn}({self.rvalue(0, loop_var)}, "
+                    f"{self.rvalue(0, loop_var)})")
+        if roll < 0.80:
+            self.features.add("expr.sizeof")
+            what = rng.choice(("long", "int", "char *"))
+            return f"({self.rvalue(depth - 1, loop_var)} + sizeof({what}))"
+        if roll < 0.88:
+            op = rng.choice(("-", "~"))
+            return f"{op}({self.rvalue(depth - 1, loop_var)})"
+        return rng.choice(atoms)
+
+    def cond(self, loop_var: Optional[str] = None) -> str:
+        op = self.rng.choice(_CMP_OPS)
+        return f"{self.rvalue(1, loop_var)} {op} {self.rvalue(0, loop_var)}"
+
+    def lvalue(self, loop_var: Optional[str] = None) -> str:
+        """A writable location (never a loop counter)."""
+        rng = self.rng
+        options: List[str] = list(self.scalars)
+        for buf in self.bufs:
+            if buf.elem == "long":
+                # The loop variable is only a legal index when its
+                # entire range fits the buffer (unknown vars are
+                # treated as unbounded and never used).
+                in_range = (loop_var is not None and
+                            self.loop_max.get(loop_var, buf.count)
+                            < buf.count)
+                index = (loop_var if in_range and rng.random() < 0.5
+                         else str(rng.randrange(buf.count)))
+                options.append(f"{buf.name}[{index}]")
+        if self.use_struct:
+            options.append("sp0.a")
+            options.append(f"sp0.b[{rng.randrange(self.struct_dim)}]")
+        return rng.choice(options)
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self, kind: str, indent: int,
+                  loop_var: Optional[str] = None) -> None:
+        rng = self.rng
+        self.features.add(kind)
+        if kind == "stmt.assign":
+            self.emit(indent, f"{self.lvalue(loop_var)} = "
+                              f"{self.rvalue(2, loop_var)};")
+        elif kind == "stmt.compound":
+            op = rng.choice(_COMPOUND_OPS)
+            self.emit(indent, f"{self.lvalue(loop_var)} {op} "
+                              f"{self.rvalue(1, loop_var)};")
+        elif kind == "stmt.postinc":
+            target = rng.choice(self.scalars)
+            self.emit(indent, f"{target}{rng.choice(('++', '--'))};")
+        elif kind == "stmt.print":
+            self.emit(indent, f"print_int({self.rvalue(1, loop_var)});")
+        elif kind == "stmt.ternary":
+            self.emit(indent, f"{rng.choice(self.scalars)} = "
+                              f"{self.cond(loop_var)} ? "
+                              f"{self.rvalue(1, loop_var)} : "
+                              f"{self.rvalue(1, loop_var)};")
+        elif kind == "stmt.cast":
+            if self.int_scalars:
+                target = rng.choice(self.int_scalars)
+                self.emit(indent, f"{target} = "
+                                  f"(int)({self.rvalue(1, loop_var)});")
+                self.emit(indent, f"acc += (long){target};")
+            else:
+                self.emit(indent, f"acc += (long)(char)"
+                                  f"({self.rvalue(1, loop_var)});")
+        elif kind == "stmt.if":
+            self.emit(indent, f"if ({self.cond(loop_var)}) {{")
+            self.body(rng.randint(1, 2), indent + 1, _SIMPLE_KINDS,
+                      loop_var)
+            self.emit(indent, "}")
+        elif kind == "stmt.ifelse":
+            self.emit(indent, f"if ({self.cond(loop_var)}) {{")
+            self.body(1, indent + 1, _SIMPLE_KINDS, loop_var)
+            self.emit(indent, "} else {")
+            self.body(1, indent + 1, _SIMPLE_KINDS, loop_var)
+            self.emit(indent, "}")
+        elif kind == "stmt.for":
+            var = self.fresh("i")
+            bound = rng.randint(2, 8)
+            self.loop_max[var] = bound - 1
+            self.emit(indent, f"for (long {var} = 0; {var} < {bound}; "
+                              f"{var}++) {{")
+            self.body(rng.randint(1, 2), indent + 1, _SIMPLE_KINDS, var)
+            self.emit(indent, "}")
+        elif kind in ("stmt.while", "stmt.dowhile"):
+            var = self.fresh("t")
+            bound = rng.randint(2, 6)
+            self.loop_max[var] = bound     # countdown: body sees bound..1
+            self.emit(indent, f"long {var} = {bound};")
+            if kind == "stmt.while":
+                self.emit(indent, f"while ({var} > 0) {{")
+            else:
+                self.emit(indent, "do {")
+            self.body(1, indent + 1, _SIMPLE_KINDS, var)
+            self.emit(indent + 1, f"{var} = {var} - 1;")
+            if kind == "stmt.while":
+                self.emit(indent, "}")
+            else:
+                self.emit(indent, f"}} while ({var} > 0);")
+        elif kind == "stmt.call":
+            if self.helpers:
+                fn = rng.choice(self.helpers)
+                self.emit(indent, f"acc += {fn}({self.rvalue(1, loop_var)}, "
+                                  f"{self.rvalue(0, loop_var)});")
+            else:
+                self.statement("stmt.assign", indent, loop_var)
+        elif kind == "stmt.memset":
+            heap_longs = [b for b in self.bufs if b.heap and
+                          b.elem == "long"]
+            if heap_longs:
+                buf = rng.choice(heap_longs)
+                fill = rng.randrange(4)
+                self.emit(indent, f"memset({buf.name}, {fill}, "
+                                  f"{buf.count} * sizeof(long));")
+            else:
+                self.statement("stmt.assign", indent, loop_var)
+        elif kind == "stmt.memcpy":
+            heap_longs = [b for b in self.bufs if b.heap and
+                          b.elem == "long"]
+            if len(heap_longs) >= 2:
+                dst, src = rng.sample(heap_longs, 2)
+                count = min(dst.count, src.count)
+                self.emit(indent, f"memcpy({dst.name}, {src.name}, "
+                                  f"{count} * sizeof(long));")
+            else:
+                self.statement("stmt.assign", indent, loop_var)
+        elif kind == "stmt.strops":
+            char_bufs = [b for b in self.bufs if b.elem == "char"]
+            if char_bufs:
+                buf = rng.choice(char_bufs)
+                word = "".join(rng.choice("abcdxyz")
+                               for _ in range(rng.randint(1, buf.count - 1)))
+                self.emit(indent, f'strcpy({buf.name}, "{word}");')
+                self.emit(indent, f"acc += strlen({buf.name});")
+            else:
+                self.statement("stmt.assign", indent, loop_var)
+        elif kind == "stmt.member":
+            if self.use_struct:
+                if self.struct_ptr and rng.random() < 0.5:
+                    self.emit(indent, f"pp0->a = {self.rvalue(1, loop_var)};")
+                else:
+                    dim = rng.randrange(self.struct_dim)
+                    self.emit(indent, f"sp0.b[{dim}] = "
+                                      f"{self.rvalue(1, loop_var)};")
+                self.emit(indent, "acc += sp0.a;")
+            else:
+                self.statement("stmt.assign", indent, loop_var)
+        else:   # pragma: no cover - defensive
+            raise ValueError(f"unknown statement kind {kind!r}")
+
+    def body(self, count: int, indent: int, kinds: Sequence[str],
+             loop_var: Optional[str] = None) -> None:
+        for _ in range(count):
+            self.statement(self.pick_kind(kinds), indent, loop_var)
+
+
+def _emit_bug(gen: _Gen, kind: str) -> None:
+    """Plant the labelled bug; placed after every loop and allocation."""
+    rng = gen.rng
+    heap = [b for b in gen.bufs if b.heap and b.elem == "long"]
+    stack = [b for b in gen.bufs if not b.heap]
+    target = rng.choice(heap)
+    if kind == "oob_write":
+        victims = heap + stack
+        buf = rng.choice(victims)
+        gen.emit(1, f"{buf.name}[{buf.count}] = 99;")
+    elif kind == "oob_read":
+        victims = heap + stack
+        buf = rng.choice(victims)
+        gen.emit(1, f"acc += {buf.name}[{buf.count}];")
+    elif kind == "oob_under":
+        gen.emit(1, f"{target.name}[-1] = 7;")
+    elif kind == "uaf":
+        gen.emit(1, f"free({target.name});")
+        gen.emit(1, f"acc += {target.name}[0];")
+        target.heap = False          # skip the final free
+    elif kind == "double_free":
+        gen.emit(1, f"free({target.name});")
+        gen.emit(1, f"free({target.name});")
+        target.heap = False
+    elif kind == "free_offset":
+        offset = rng.choice((1, 2, 3))
+        gen.emit(1, f"free({target.name} + {offset});")
+        target.heap = False
+    else:   # pragma: no cover - defensive
+        raise ValueError(f"unknown bug kind {kind!r}")
+
+
+def generate_program(seed: int, index: int, kind: str = "safe",
+                     weights: Optional[Dict[str, float]] = None
+                     ) -> GeneratedProgram:
+    """Generate program ``index`` of the campaign seeded with ``seed``."""
+    if kind != "safe" and kind not in EXPECTED_CLASS:
+        raise ValueError(f"unknown program kind {kind!r}")
+    rng = random.Random(f"fuzz/{seed}/{index}")
+    gen = _Gen(rng, dict(weights or {}))
+
+    gen.use_struct = rng.random() < 0.35
+    gen.struct_dim = rng.randint(2, 4)
+    gen.struct_ptr = gen.use_struct and rng.random() < 0.5
+    n_helpers = rng.randint(0, 2)
+    n_globals = rng.randint(0, 2)
+    n_scalars = rng.randint(2, 4)
+    n_ints = rng.randint(0, 1)
+    n_stack = rng.randint(0, 2)
+    n_heap = rng.randint(1, 2)
+    use_charbuf = rng.random() < 0.4
+    n_body = rng.randint(5, 12)
+
+    out = gen.lines
+    if gen.use_struct:
+        gen.features.add("decl.struct")
+        out.append(f"struct Pair {{ long a; long b[{gen.struct_dim}]; }};")
+    for g in range(n_globals):
+        gen.features.add("decl.global")
+        name = f"g{g}"
+        out.append(f"long {name} = {rng.randint(-50, 50)};")
+        gen.scalars.append(name)
+    for h in range(n_helpers):
+        gen.features.add("decl.helper")
+        name = f"fn{h}"
+        out.append(f"long {name}(long a0, long a1) {{")
+        out.append(f"    long r = a0 {rng.choice(_BIN_OPS)} "
+                   f"(a1 {rng.choice(_BIN_OPS)} {rng.randint(1, 9)});")
+        if rng.random() < 0.5:
+            out.append(f"    if (r {rng.choice(_CMP_OPS)} "
+                       f"{rng.randint(-20, 20)}) {{ r = r "
+                       f"{rng.choice(('+', '-', '^'))} a0; }}")
+        out.append("    return r;")
+        out.append("}")
+        gen.helpers.append(name)
+    out.append("int main() {")
+    gen.emit(1, f"long acc = {rng.randint(0, 9)};")
+    gen.scalars.append("acc")
+    for v in range(n_scalars):
+        name = f"v{v}"
+        gen.emit(1, f"long {name} = {rng.randint(-99, 99)};")
+        gen.scalars.append(name)
+    for w in range(n_ints):
+        name = f"w{w}"
+        gen.emit(1, f"int {name} = {rng.randint(-99, 99)};")
+        gen.int_scalars.append(name)
+    for s in range(n_stack):
+        gen.features.add("decl.stack_array")
+        buf = _Buf(f"s{s}", rng.randint(4, 10), "long", heap=False)
+        gen.emit(1, f"long {buf.name}[{buf.count}];")
+        gen.bufs.append(buf)
+    for h in range(n_heap):
+        gen.features.add("decl.heap_buffer")
+        buf = _Buf(f"h{h}", rng.randint(4, 10), "long", heap=True)
+        gen.emit(1, f"long *{buf.name} = (long *)malloc({buf.count} "
+                    f"* sizeof(long));")
+        gen.bufs.append(buf)
+    if use_charbuf:
+        gen.features.add("decl.char_buffer")
+        buf = _Buf("c0", rng.randint(6, 14), "char", heap=True)
+        gen.emit(1, f"char *{buf.name} = (char *)malloc({buf.count});")
+        gen.bufs.append(buf)
+        gen.emit(1, f"{buf.name}[0] = 0;")
+    if gen.use_struct:
+        gen.emit(1, "struct Pair sp0;")
+        gen.emit(1, f"sp0.a = {rng.randint(-20, 20)};")
+        if gen.struct_ptr:
+            gen.emit(1, "struct Pair *pp0 = &sp0;")
+    # Deterministic fills so every later read is of initialised memory.
+    for buf in gen.bufs:
+        if buf.elem != "long":
+            continue
+        var = gen.fresh("i")
+        stride = rng.randint(1, 5)
+        gen.emit(1, f"for (long {var} = 0; {var} < {buf.count}; "
+                    f"{var}++) {{")
+        gen.emit(2, f"{buf.name}[{var}] = {var} * {stride} + "
+                    f"{rng.randint(0, 9)};")
+        gen.emit(1, "}")
+    if gen.use_struct:
+        var = gen.fresh("i")
+        gen.emit(1, f"for (long {var} = 0; {var} < {gen.struct_dim}; "
+                    f"{var}++) {{")
+        gen.emit(2, f"sp0.b[{var}] = {var} + {rng.randint(0, 9)};")
+        gen.emit(1, "}")
+
+    gen.body(n_body, 1, STATEMENT_KINDS)
+
+    # Checksum sinks: observable stdout that every scheme must agree on.
+    gen.emit(1, "print_int(acc);")
+    for name in gen.scalars[:3]:
+        gen.emit(1, f"print_int({name});")
+    for buf in gen.bufs:
+        if buf.elem == "long":
+            gen.emit(1, f"print_int({buf.name}"
+                        f"[{rng.randrange(buf.count)}]);")
+
+    if kind != "safe":
+        gen.features.add(f"bug.{kind}")
+        _emit_bug(gen, kind)
+    for buf in gen.bufs:
+        if buf.heap:
+            gen.emit(1, f"free({buf.name});")
+    gen.emit(1, "return 0;")
+    out.append("}")
+
+    return GeneratedProgram(
+        index=index,
+        name=f"fuzz-{seed}-{index}",
+        kind=kind,
+        expect=EXPECTED_CLASS.get(kind, ""),
+        source="\n".join(out) + "\n",
+        features=tuple(sorted(gen.features)),
+    )
+
+
+def plan_programs(seed: int, count: int, start: int = 0
+                  ) -> List[Tuple[int, str]]:
+    """Deterministic (index, kind) plan: roughly half safe, half planted."""
+    plan: List[Tuple[int, str]] = []
+    for index in range(start, start + count):
+        rng = random.Random(f"fuzz-plan/{seed}/{index}")
+        if rng.random() < 0.5:
+            plan.append((index, "safe"))
+        else:
+            plan.append((index, rng.choice(BUG_KINDS)))
+    return plan

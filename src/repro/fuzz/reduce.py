@@ -1,0 +1,240 @@
+"""ddmin-style test-case reducer over the mini-C AST.
+
+Shrinks a divergence-triggering program to a minimal repro: parse the
+source, repeatedly delete pre-order chunks of statements (halving the
+chunk size, ddmin's complement-deletion schedule), then hoist loop and
+branch bodies into their parent block, re-printing each candidate with
+the deterministic pretty-printer and re-checking the caller's
+``predicate``.  A candidate that fails to print (rare unprintable
+shapes) or no longer exhibits the divergence is simply rejected — the
+semantic analyzer rejecting a candidate (e.g. a deleted declaration
+still referenced) shows up as a failing predicate, not a crash.
+
+The reducer is deterministic: site enumeration is pre-order over the
+AST, candidates are tried in a fixed schedule, and the predicate is
+assumed pure.  ``max_checks`` bounds the number of predicate
+evaluations so reduction cost stays predictable.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.pretty import PrettyError, pretty
+
+__all__ = ["ReduceResult", "count_statements", "reduce_source"]
+
+
+@dataclass
+class ReduceResult:
+    source: str
+    statements: int
+    checks: int          # predicate evaluations spent
+    reduced: bool        # anything actually removed?
+
+
+# -- site enumeration --------------------------------------------------------
+
+def _stmt_sites(block: ast.Block, out: List[Tuple]) -> None:
+    for index, stmt in enumerate(block.stmts):
+        out.append(("stmt", block, index))
+        for child in _child_blocks(stmt):
+            _stmt_sites(child, out)
+
+
+def _child_blocks(stmt: ast.Stmt):
+    """Blocks nested directly under a statement (bodies and branches)."""
+    if isinstance(stmt, ast.Block):
+        yield stmt
+        return
+    for name in ("body", "then", "other"):
+        child = getattr(stmt, name, None)
+        if isinstance(child, ast.Block):
+            yield child
+        elif isinstance(child, ast.Stmt):
+            yield from _child_blocks(child)
+
+
+def _sites(unit: ast.TranslationUnit) -> List[Tuple]:
+    """Deletable sites in deterministic pre-order."""
+    sites: List[Tuple] = []
+    for index, _ in enumerate(unit.globals):
+        sites.append(("global", unit, index))
+    for index, func in enumerate(unit.functions):
+        if func.name != "main":
+            sites.append(("func", unit, index))
+    for func in unit.functions:
+        if func.body is not None:
+            _stmt_sites(func.body, sites)
+    return sites
+
+
+def count_statements(unit: ast.TranslationUnit) -> int:
+    """Statements in function bodies (control headers count once)."""
+    return sum(1 for site in _sites(unit) if site[0] == "stmt")
+
+
+def _apply_removal(unit: ast.TranslationUnit, drop: range) -> None:
+    """Remove the sites with pre-order ids in ``drop`` (in place)."""
+    sites = _sites(unit)
+    selected = [sites[i] for i in drop if i < len(sites)]
+    # Remove highest index first within each container so earlier
+    # removals don't shift later ones.
+    for kind, container, index in sorted(
+            selected, key=lambda s: -s[2]):
+        if kind == "global":
+            del container.globals[index]
+        elif kind == "func":
+            del container.functions[index]
+        else:
+            del container.stmts[index]
+
+
+# -- hoisting transforms -----------------------------------------------------
+
+def _hoist_candidates(stmt: ast.Stmt) -> List[List[ast.Stmt]]:
+    """Replacement statement lists that simplify a control statement."""
+    def as_list(body: Optional[ast.Stmt]) -> List[ast.Stmt]:
+        if body is None:
+            return []
+        if isinstance(body, ast.Block):
+            return list(body.stmts)
+        return [body]
+
+    if isinstance(stmt, ast.If):
+        out = [as_list(stmt.then)]
+        if stmt.other is not None:
+            out.append(as_list(stmt.other))
+            stripped = copy.deepcopy(stmt)
+            stripped.other = None
+            out.append([stripped])
+        return out
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        return [as_list(stmt.body)]
+    if isinstance(stmt, ast.For):
+        init = [stmt.init] if stmt.init is not None else []
+        return [init + as_list(stmt.body)]
+    return []
+
+
+# -- the reduction loop ------------------------------------------------------
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _render(unit: ast.TranslationUnit) -> Optional[str]:
+    try:
+        text = pretty(unit)
+        parse(text)          # candidate must stay syntactically valid
+        return text
+    except (PrettyError, Exception):
+        return None
+
+
+def _try(unit: ast.TranslationUnit, mutate,
+         predicate: Callable[[str], bool],
+         budget: _Budget) -> Optional[ast.TranslationUnit]:
+    """Deep-copy, mutate, render, check. None if rejected/out of budget."""
+    candidate = copy.deepcopy(unit)
+    try:
+        mutate(candidate)
+    except Exception:
+        return None
+    text = _render(candidate)
+    if text is None:
+        return None
+    if not budget.spend():
+        return None
+    return candidate if predicate(text) else None
+
+
+def reduce_source(source: str, predicate: Callable[[str], bool],
+                  max_checks: int = 400) -> ReduceResult:
+    """Shrink ``source`` while ``predicate(candidate_source)`` holds.
+
+    ``predicate`` receives pretty-printed candidate source and must
+    return True when the candidate still exhibits the divergence being
+    chased.  The original source is assumed to satisfy it.
+    """
+    budget = _Budget(max_checks)
+    try:
+        unit = parse(source)
+    except Exception:
+        return ReduceResult(source=source, statements=-1,
+                            checks=0, reduced=False)
+    text = _render(unit)
+    if text is None or not budget.spend() or not predicate(text):
+        # The printed form misbehaves differently from the raw source:
+        # keep the original untouched rather than chase a ghost.
+        return ReduceResult(source=source, statements=count_statements(unit),
+                            checks=budget.used, reduced=False)
+
+    reduced_any = False
+    # Phase 1+2: chunked deletion, chunk size halving to 1 (ddmin's
+    # complement-deletion schedule), to fixpoint.
+    passes = True
+    while passes:
+        passes = False
+        size = max(1, len(_sites(unit)) // 2)
+        while size >= 1:
+            start = 0
+            while True:
+                total = len(_sites(unit))
+                if start >= total:
+                    break
+                drop = range(start, min(start + size, total))
+                accepted = _try(unit,
+                                lambda u, d=drop: _apply_removal(u, d),
+                                predicate, budget)
+                if accepted is not None:
+                    unit = accepted
+                    reduced_any = passes = True
+                else:
+                    start += size
+                if budget.used >= budget.limit:
+                    break
+            if budget.used >= budget.limit:
+                break
+            size //= 2
+        if budget.used >= budget.limit:
+            break
+
+    # Phase 3: hoist control bodies (turn `if/while/for { S }` into S),
+    # repeating until nothing simplifies.
+    changed = True
+    while changed and budget.used < budget.limit:
+        changed = False
+        sites = _sites(unit)
+        for site_id, (kind, container, index) in enumerate(sites):
+            if kind != "stmt":
+                continue
+            stmt = container.stmts[index]
+            for replacement in _hoist_candidates(stmt):
+                def mutate(u, sid=site_id, repl=replacement):
+                    target_sites = _sites(u)
+                    _, block, idx = target_sites[sid]
+                    block.stmts[idx:idx + 1] = copy.deepcopy(repl)
+                accepted = _try(unit, mutate, predicate, budget)
+                if accepted is not None:
+                    unit = accepted
+                    reduced_any = changed = True
+                    break
+            if changed:
+                break
+
+    return ReduceResult(source=_render(unit) or source,
+                        statements=count_statements(unit),
+                        checks=budget.used, reduced=reduced_any)

@@ -1,0 +1,630 @@
+"""Deterministic pretty-printer for the mini-C AST.
+
+``pretty(unit)`` renders a :class:`~repro.minic.ast.TranslationUnit`
+back to compilable source such that ``parse(pretty(unit))`` is
+structurally identical to ``unit`` (see :func:`ast_equal`).  The fuzzer
+reducer leans on this property: it mutates the AST, prints it, and
+re-runs the toolchain on the printed text.
+
+Determinism: output depends only on the AST (no ids, no dict iteration
+over unordered sets), so the same tree always prints byte-identically.
+
+Printable subset
+----------------
+The printer covers everything :func:`repro.minic.parser.parse` can
+produce, with two deliberate exceptions that raise :class:`PrettyError`:
+
+* statement bodies whose ``then`` branch ends in an else-less ``if``
+  while the outer ``if`` has an ``else`` (the dangling-else shape cannot
+  be printed without inserting a ``Block`` that would change the AST);
+* types the declarator grammar cannot spell, e.g. a pointer *to* an
+  array (``parse`` always yields ``Array**k(Pointer**m(base))``).
+
+Parser-side normalisations are mirrored rather than fought: enum
+references print as their integer value, ``++x`` prints as ``x += 1``
+(that is what the parser stores), and string escapes are re-encoded so
+the greedy ``\\x`` lexer rule cannot swallow a following hex digit.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.minic import ast
+from repro.minic.lexer import _ESCAPES
+from repro.minic.parser import _BINOP_PREC
+from repro.minic.types import (
+    ArrayType, CType, FuncType, IntType, PointerType, StructType, VoidType,
+)
+
+INDENT = "    "
+
+# Expression "production levels", mirroring the recursive-descent
+# grammar.  A child is parenthesised when its own level is below the
+# minimum level the parser would need to re-produce it in that slot.
+_PREC_ASSIGN = 1
+_PREC_COND = 2
+_PREC_BINARY_BASE = 2          # binary op prec p parses at level p + 2
+_PREC_UNARY = 13
+_PREC_POSTFIX = 14
+_PREC_PRIMARY = 15
+
+_INT_NAMES = {1: "char", 2: "short", 4: "int", 8: "long"}
+
+#: escape table inverted: byte value -> escape letter
+_UNESCAPES = {value: key for key, value in _ESCAPES.items()
+              if key not in ("'",)}  # ' needs no escape inside "..."
+
+_HEX_DIGITS = frozenset(string.hexdigits)
+
+
+class PrettyError(ReproError):
+    """AST shape that cannot be printed without changing its meaning."""
+
+
+# ---------------------------------------------------------------------------
+# Types and declarators
+# ---------------------------------------------------------------------------
+
+def _split_declarator(ctype: CType) -> Tuple[CType, int, List[int]]:
+    """Peel ``Array^k(Pointer^m(base))`` into (base, stars, dims)."""
+    dims: List[int] = []
+    while isinstance(ctype, ArrayType):
+        dims.append(ctype.count)
+        ctype = ctype.elem
+    stars = 0
+    while isinstance(ctype, PointerType):
+        stars += 1
+        ctype = ctype.pointee
+    if isinstance(ctype, (ArrayType, PointerType)):
+        raise PrettyError(f"undeclarable type shape: {ctype}")
+    return ctype, stars, dims
+
+
+def _base_name(ctype: CType) -> str:
+    if isinstance(ctype, VoidType):
+        return "void"
+    if isinstance(ctype, IntType):
+        prefix = "" if ctype.signed else "unsigned "
+        return prefix + _INT_NAMES[ctype.size]
+    if isinstance(ctype, StructType):
+        return f"struct {ctype.name}"
+    if isinstance(ctype, FuncType):
+        raise PrettyError("function types have no declarator syntax")
+    raise PrettyError(f"unprintable base type: {ctype!r}")
+
+
+def format_decl(ctype: Optional[CType], name: str) -> str:
+    """Render ``long **name[2][3]`` style declarations."""
+    if ctype is None:
+        raise PrettyError("declaration without a type")
+    base, stars, dims = _split_declarator(ctype)
+    suffix = "".join(f"[{dim}]" for dim in dims)
+    decl = "*" * stars + name + suffix
+    return f"{_base_name(base)} {decl}".rstrip()
+
+
+def _type_name(ctype: CType) -> str:
+    """Type-only spelling for casts and ``sizeof``."""
+    return format_decl(ctype, "")
+
+
+# ---------------------------------------------------------------------------
+# String literals
+# ---------------------------------------------------------------------------
+
+def c_string(data: bytes) -> str:
+    """Escape ``data`` as one (or several adjacent) C string literals.
+
+    The lexer's ``\\x`` escape is greedy, so ``b"\\x01A"`` must not
+    print as ``"\\x01A"`` (which would lex back as the single byte
+    0x1A).  When a hex escape is followed by a hex-digit character the
+    literal is closed and re-opened; adjacent literals concatenate.
+    """
+    parts = ['"']
+    previous_was_hex = False
+    for byte in data:
+        ch = chr(byte)
+        if previous_was_hex and ch in _HEX_DIGITS:
+            parts.append('" "')
+        previous_was_hex = False
+        if ch in ('"', "\\"):
+            parts.append("\\" + ch)
+        elif 0x20 <= byte < 0x7F:
+            parts.append(ch)
+        elif byte in _UNESCAPES:
+            parts.append("\\" + _UNESCAPES[byte])
+        else:
+            parts.append(f"\\x{byte:02x}")
+            previous_was_hex = True
+    parts.append('"')
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def _render(expr: ast.Expr) -> Tuple[str, int]:
+    """Return (text, production level) for ``expr``."""
+    if isinstance(expr, ast.IntLit):
+        if expr.value < 0:
+            return f"-{-expr.value}", _PREC_UNARY
+        return str(expr.value), _PREC_PRIMARY
+    if isinstance(expr, ast.StrLit):
+        return c_string(expr.value), _PREC_PRIMARY
+    if isinstance(expr, ast.Ident):
+        if expr.binding == "enum":
+            value = expr.enum_value
+            if value < 0:
+                return f"-{-value}", _PREC_UNARY
+            return str(value), _PREC_PRIMARY
+        return expr.name, _PREC_PRIMARY
+    if isinstance(expr, ast.Unary):
+        inner = _expr(expr.operand, _PREC_UNARY)
+        spacer = " " if expr.op in ("-", "&") and \
+            inner.startswith(expr.op[0]) else ""
+        return f"{expr.op}{spacer}{inner}", _PREC_UNARY
+    if isinstance(expr, ast.PostIncDec):
+        return f"{_expr(expr.operand, _PREC_POSTFIX)}{expr.op}", \
+            _PREC_POSTFIX
+    if isinstance(expr, ast.Binary):
+        prec = _BINOP_PREC[expr.op] + _PREC_BINARY_BASE
+        left = _expr(expr.left, prec)
+        right = _expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, ast.Assign):
+        target = _expr(expr.target, _PREC_COND)
+        value = _expr(expr.value, _PREC_ASSIGN)
+        return f"{target} {expr.op} {value}", _PREC_ASSIGN
+    if isinstance(expr, ast.Cond):
+        cond = _expr(expr.cond, _PREC_BINARY_BASE + 1)
+        then = _expr(expr.then, _PREC_ASSIGN)
+        other = _expr(expr.other, _PREC_COND)
+        return f"{cond} ? {then} : {other}", _PREC_COND
+    if isinstance(expr, ast.Call):
+        args = ", ".join(_expr(a, _PREC_ASSIGN) for a in expr.args)
+        return f"{expr.name}({args})", _PREC_POSTFIX
+    if isinstance(expr, ast.Index):
+        base = _expr(expr.base, _PREC_POSTFIX)
+        return f"{base}[{_expr(expr.index, _PREC_ASSIGN)}]", _PREC_POSTFIX
+    if isinstance(expr, ast.Member):
+        base = _expr(expr.base, _PREC_POSTFIX)
+        return f"{base}{'->' if expr.arrow else '.'}{expr.name}", \
+            _PREC_POSTFIX
+    if isinstance(expr, ast.Cast):
+        operand = _expr(expr.operand, _PREC_UNARY)
+        return f"({_type_name(expr.target_type)}){operand}", _PREC_UNARY
+    if isinstance(expr, ast.SizeofType):
+        return f"sizeof({_type_name(expr.query_type)})", _PREC_PRIMARY
+    if isinstance(expr, ast.SizeofExpr):
+        # ``sizeof(x)`` — the parens belong to the operand, so the
+        # whole form is self-delimiting.
+        return f"sizeof({_expr(expr.operand, _PREC_ASSIGN)})", \
+            _PREC_PRIMARY
+    raise PrettyError(f"unprintable expression: {type(expr).__name__}")
+
+
+def _expr(expr: Optional[ast.Expr], min_prec: int) -> str:
+    if expr is None:
+        raise PrettyError("missing expression operand")
+    text, prec = _render(expr)
+    return f"({text})" if prec < min_prec else text
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render a standalone expression (statement / argument level)."""
+    return _expr(expr, _PREC_ASSIGN)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+def _ends_with_open_if(stmt: Optional[ast.Stmt]) -> bool:
+    """Would a trailing ``else`` attach to an ``if`` inside ``stmt``?"""
+    if isinstance(stmt, ast.If):
+        return stmt.other is None or _ends_with_open_if(stmt.other)
+    if isinstance(stmt, (ast.While, ast.For)):
+        return _ends_with_open_if(stmt.body)
+    return False   # DoWhile ends with `while (...);` — closed
+
+
+def _var_decl_text(decl: ast.VarDecl) -> str:
+    text = format_decl(decl.var_type, decl.name)
+    if decl.init is not None:
+        text += f" = {_expr(decl.init, _PREC_ASSIGN)}"
+    elif decl.init_list is not None:
+        items = ", ".join(_expr(item, _PREC_ASSIGN)
+                          for item in decl.init_list)
+        text += " = { " + items + " }" if items else " = {}"
+    return text
+
+
+def _declarator_with_init(decl: ast.VarDecl) -> str:
+    """Declarator-only spelling for ``for (long i = 0, j = 1; ...)``."""
+    _, stars, dims = _split_declarator(decl.var_type)
+    text = "*" * stars + decl.name + "".join(f"[{d}]" for d in dims)
+    if decl.init is not None:
+        text += f" = {_expr(decl.init, _PREC_ASSIGN)}"
+    elif decl.init_list is not None:
+        items = ", ".join(_expr(item, _PREC_ASSIGN)
+                          for item in decl.init_list)
+        text += " = { " + items + " }" if items else " = {}"
+    return text
+
+
+def _for_init_text(init: Optional[ast.Stmt]) -> str:
+    if init is None:
+        return ";"
+    if isinstance(init, ast.ExprStmt):
+        return f"{pretty_expr(init.expr)};"
+    if isinstance(init, ast.VarDecl):
+        return f"{_var_decl_text(init)};"
+    if isinstance(init, ast.Block) and init.stmts and \
+            all(isinstance(s, ast.VarDecl) for s in init.stmts):
+        # Multi-declarator: every VarDecl must share the base type.
+        bases = [_split_declarator(s.var_type)[0] for s in init.stmts]
+        if any(not _ctype_equal(bases[0], b, set()) for b in bases[1:]):
+            raise PrettyError("for-init declarators mix base types")
+        decls = ", ".join(_declarator_with_init(s) for s in init.stmts)
+        return f"{_base_name(bases[0])} {decls};"
+    raise PrettyError(f"unprintable for-init: {type(init).__name__}")
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    # -- statement emission ------------------------------------------------
+
+    def stmt(self, stmt: ast.Stmt, indent: int) -> None:
+        pad = INDENT * indent
+        if isinstance(stmt, ast.Block):
+            if not stmt.stmts:
+                self.lines.append(pad + ";")
+                return
+            self.lines.append(pad + "{")
+            for inner in stmt.stmts:
+                self.stmt(inner, indent + 1)
+            self.lines.append(pad + "}")
+        elif isinstance(stmt, ast.VarDecl):
+            self.lines.append(pad + _var_decl_text(stmt) + ";")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lines.append(pad + pretty_expr(stmt.expr) + ";")
+        elif isinstance(stmt, ast.If):
+            self.if_stmt(stmt, indent)
+        elif isinstance(stmt, ast.While):
+            header = f"while ({pretty_expr(stmt.cond)})"
+            self.attach_body(header, stmt.body, indent)
+        elif isinstance(stmt, ast.DoWhile):
+            tail = f"while ({pretty_expr(stmt.cond)});"
+            if isinstance(stmt.body, ast.Block):
+                self.lines.append(pad + "do {")
+                for inner in stmt.body.stmts:
+                    self.stmt(inner, indent + 1)
+                self.lines.append(pad + "} " + tail)
+            else:
+                self.lines.append(pad + "do")
+                self.stmt(stmt.body, indent + 1)
+                self.lines.append(pad + tail)
+        elif isinstance(stmt, ast.For):
+            header = "for (" + _for_init_text(stmt.init)
+            if stmt.cond is not None:
+                header += f" {pretty_expr(stmt.cond)}"
+            header += ";"
+            if stmt.step is not None:
+                header += f" {pretty_expr(stmt.step)}"
+            header += ")"
+            self.attach_body(header, stmt.body, indent)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.lines.append(pad + "return;")
+            else:
+                self.lines.append(pad + f"return {pretty_expr(stmt.value)};")
+        elif isinstance(stmt, ast.Break):
+            self.lines.append(pad + "break;")
+        elif isinstance(stmt, ast.Continue):
+            self.lines.append(pad + "continue;")
+        else:
+            raise PrettyError(f"unprintable statement: {type(stmt).__name__}")
+
+    def attach_body(self, header: str, body: Optional[ast.Stmt],
+                    indent: int) -> None:
+        """Emit ``header { ... }`` for Block bodies, indented otherwise."""
+        pad = INDENT * indent
+        if body is None:
+            raise PrettyError("loop/if without a body")
+        if isinstance(body, ast.Block):
+            self.lines.append(pad + header + " {")
+            for inner in body.stmts:
+                self.stmt(inner, indent + 1)
+            self.lines.append(pad + "}")
+        else:
+            self.lines.append(pad + header)
+            self.stmt(body, indent + 1)
+
+    def if_stmt(self, stmt: ast.If, indent: int) -> None:
+        pad = INDENT * indent
+        if stmt.other is not None and not isinstance(stmt.then, ast.Block) \
+                and _ends_with_open_if(stmt.then):
+            raise PrettyError("dangling-else shape is not printable")
+        header = f"if ({pretty_expr(stmt.cond)})"
+        self.attach_body(header, stmt.then, indent)
+        if stmt.other is None:
+            return
+        if isinstance(stmt.then, ast.Block):
+            else_head = self.lines.pop() + " else"   # "... } else"
+        else:
+            else_head = pad + "else"
+        if isinstance(stmt.other, ast.If):
+            mark = len(self.lines)
+            self.if_stmt(stmt.other, indent)
+            self.lines[mark] = else_head + " " + self.lines[mark].lstrip()
+        elif isinstance(stmt.other, ast.Block):
+            self.lines.append(else_head + " {")
+            for inner in stmt.other.stmts:
+                self.stmt(inner, indent + 1)
+            self.lines.append(pad + "}")
+        else:
+            self.lines.append(else_head)
+            self.stmt(stmt.other, indent + 1)
+
+
+# ---------------------------------------------------------------------------
+# Struct collection
+# ---------------------------------------------------------------------------
+
+def _walk_types(unit: ast.TranslationUnit):
+    """Yield every CType mentioned anywhere in the unit, in AST order."""
+
+    def from_expr(expr):
+        if expr is None:
+            return
+        if isinstance(expr, ast.Cast):
+            yield expr.target_type
+        if isinstance(expr, ast.SizeofType):
+            yield expr.query_type
+        for name in ("operand", "left", "right", "target", "value", "cond",
+                     "then", "other", "base", "index"):
+            child = getattr(expr, name, None)
+            if isinstance(child, ast.Expr):
+                yield from from_expr(child)
+        for arg in getattr(expr, "args", []) or []:
+            yield from from_expr(arg)
+
+    def from_stmt(stmt):
+        if stmt is None:
+            return
+        if isinstance(stmt, ast.VarDecl):
+            yield stmt.var_type
+            yield from from_expr(stmt.init)
+            for item in stmt.init_list or []:
+                yield from from_expr(item)
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.stmts:
+                yield from from_stmt(inner)
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from from_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            yield from from_expr(stmt.cond)
+            yield from from_stmt(stmt.then)
+            yield from from_stmt(stmt.other)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            yield from from_expr(stmt.cond)
+            yield from from_stmt(stmt.body)
+        elif isinstance(stmt, ast.For):
+            yield from from_stmt(stmt.init)
+            yield from from_expr(stmt.cond)
+            yield from from_expr(stmt.step)
+            yield from from_stmt(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            yield from from_expr(stmt.value)
+
+    for gvar in unit.globals:
+        yield gvar.var_type
+        yield from from_expr(gvar.init)
+        for item in gvar.init_list or []:
+            yield from from_expr(item)
+    for func in unit.functions:
+        yield func.ret_type
+        for param in func.params:
+            yield param.ctype
+        yield from from_stmt(func.body)
+
+
+def _collect_structs(unit: ast.TranslationUnit) -> List[StructType]:
+    """Complete structs reachable from the unit, definition-ordered.
+
+    Order: first-mention order, then topologically sorted so a struct
+    embedding another *by value* is emitted after its dependency.
+    """
+    found: List[StructType] = []
+    by_name = {}
+
+    def note(ctype: Optional[CType]):
+        stack = [ctype]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ArrayType):
+                stack.append(current.elem)
+            elif isinstance(current, PointerType):
+                stack.append(current.pointee)
+            elif isinstance(current, StructType):
+                known = by_name.get(current.name)
+                if known is None:
+                    by_name[current.name] = current
+                    found.append(current)
+                    for field_obj in current.fields:
+                        stack.append(field_obj.ctype)
+                elif known is not current:
+                    raise PrettyError(
+                        f"two distinct structs named {current.name!r}")
+
+    for ctype in _walk_types(unit):
+        note(ctype)
+
+    complete = [s for s in found if s.complete]
+    ordered: List[StructType] = []
+    emitted = set()
+
+    def emit(struct: StructType, trail: Tuple[str, ...]):
+        if struct.name in emitted:
+            return
+        if struct.name in trail:
+            raise PrettyError(f"struct value-cycle via {struct.name}")
+        for field_obj in struct.fields:
+            ctype = field_obj.ctype
+            while isinstance(ctype, ArrayType):
+                ctype = ctype.elem
+            if isinstance(ctype, StructType) and ctype.complete:
+                emit(ctype, trail + (struct.name,))
+        emitted.add(struct.name)
+        ordered.append(struct)
+
+    for struct in complete:
+        emit(struct, ())
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+def _global_text(gvar: ast.GlobalVar) -> str:
+    text = format_decl(gvar.var_type, gvar.name)
+    if gvar.init is not None:
+        # Global initialisers parse at ternary level; the precedence
+        # machinery parenthesises an Assign (level 1) automatically.
+        text += f" = {_expr(gvar.init, _PREC_COND)}"
+    elif gvar.init_list is not None:
+        items = ", ".join(_expr(item, _PREC_ASSIGN)
+                          for item in gvar.init_list)
+        text += " = { " + items + " }" if items else " = {}"
+    elif gvar.init_string is not None:
+        data = gvar.init_string
+        if not data.endswith(b"\x00"):
+            raise PrettyError("init_string without trailing NUL")
+        text += f" = {c_string(data[:-1])}"
+    return text + ";"
+
+
+def pretty(unit: ast.TranslationUnit) -> str:
+    """Render ``unit`` so that ``parse(pretty(unit))`` equals ``unit``."""
+    printer = _Printer()
+    out = printer.lines
+    for struct in _collect_structs(unit):
+        out.append(f"struct {struct.name} {{")
+        for field_obj in struct.fields:
+            out.append(INDENT + format_decl(field_obj.ctype,
+                                            field_obj.name) + ";")
+        out.append("};")
+        out.append("")
+    for gvar in unit.globals:
+        out.append(_global_text(gvar))
+    if unit.globals:
+        out.append("")
+    for func in unit.functions:
+        params = ", ".join(format_decl(p.ctype, p.name)
+                           for p in func.params) or "void"
+        out.append(f"{format_decl(func.ret_type, func.name)}({params}) {{")
+        for inner in (func.body.stmts if func.body else []):
+            printer.stmt(inner, 1)
+        out.append("}")
+        out.append("")
+    while out and out[-1] == "":
+        out.pop()
+    return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Structural AST equality
+# ---------------------------------------------------------------------------
+
+_SKIP_FIELDS = frozenset(["line", "col", "struct_names"])
+
+
+def _norm(node):
+    """Fold parser normalisations so equivalent spellings compare equal."""
+    if isinstance(node, ast.Ident) and node.binding == "enum":
+        return ast.IntLit(value=node.enum_value)
+    if isinstance(node, ast.Unary) and node.op == "-":
+        inner = _norm(node.operand)
+        if isinstance(inner, ast.IntLit):
+            return ast.IntLit(value=-inner.value)
+    return node
+
+
+def _ctype_equal(a: Optional[CType], b: Optional[CType], seen) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, VoidType):
+        return True
+    if isinstance(a, IntType):
+        return a.size == b.size and a.signed == b.signed
+    if isinstance(a, PointerType):
+        return _ctype_equal(a.pointee, b.pointee, seen)
+    if isinstance(a, ArrayType):
+        return a.count == b.count and _ctype_equal(a.elem, b.elem, seen)
+    if isinstance(a, StructType):
+        key = (id(a), id(b))
+        if key in seen:
+            return True
+        seen.add(key)
+        if a.name != b.name or a.complete != b.complete or \
+                len(a.fields) != len(b.fields):
+            return False
+        return all(fa.name == fb.name and fa.offset == fb.offset and
+                   _ctype_equal(fa.ctype, fb.ctype, seen)
+                   for fa, fb in zip(a.fields, b.fields))
+    if isinstance(a, FuncType):
+        return _ctype_equal(a.ret, b.ret, seen) and \
+            len(a.params) == len(b.params) and \
+            all(_ctype_equal(pa, pb, seen)
+                for pa, pb in zip(a.params, b.params))
+    return a == b
+
+
+def _value_equal(a, b, seen) -> bool:
+    if isinstance(a, ast.Node) or isinstance(b, ast.Node):
+        return _node_equal(a, b, seen)
+    if isinstance(a, CType) or isinstance(b, CType):
+        if not (isinstance(a, CType) and isinstance(b, CType)):
+            return False
+        return _ctype_equal(a, b, seen)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and \
+            all(_value_equal(x, y, seen) for x, y in zip(a, b))
+    return a == b
+
+
+def _node_equal(a, b, seen) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    a, b = _norm(a), _norm(b)
+    if type(a) is not type(b):
+        return False
+    import dataclasses
+    for field_info in dataclasses.fields(a):
+        if field_info.name in _SKIP_FIELDS:
+            continue
+        if not _value_equal(getattr(a, field_info.name),
+                            getattr(b, field_info.name), seen):
+            return False
+    return True
+
+
+def ast_equal(a: Optional[ast.Node], b: Optional[ast.Node]) -> bool:
+    """Structural equality ignoring positions and parser bookkeeping.
+
+    StructTypes compare structurally (name + members) instead of by
+    identity, enum identifiers compare equal to their integer value,
+    and ``line``/``col``/``struct_names`` are ignored.
+    """
+    return _node_equal(a, b, set())

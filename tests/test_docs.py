@@ -97,7 +97,10 @@ class TestDocstrings:
             "repro.pipeline", "repro.pipeline.timing",
             "repro.pipeline.cache", "repro.pipeline.hwcost",
             "repro.minic", "repro.minic.lexer", "repro.minic.parser",
-            "repro.minic.sema", "repro.minic.types",
+            "repro.minic.sema", "repro.minic.types", "repro.minic.pretty",
+            "repro.fuzz", "repro.fuzz.gen", "repro.fuzz.oracle",
+            "repro.fuzz.coverage", "repro.fuzz.reduce",
+            "repro.fuzz.campaign",
             "repro.ir", "repro.ir.ir", "repro.ir.irgen",
             "repro.ir.instrument", "repro.ir.verify",
             "repro.codegen", "repro.codegen.lower", "repro.codegen.link",

@@ -186,6 +186,46 @@ def test_b_format_roundtrip(op, rs1, rs2, imm):
     assert (ins.op, ins.rs1, ins.rs2, ins.imm) == (op, rs1, rs2, imm)
 
 
+# Exhaustive round-trip: EVERY mnemonic in SPEC_TABLE ----------------------
+
+_SHIFT_OPS = frozenset(("slli", "srli", "srai", "slliw", "srliw", "sraiw"))
+
+_FMT_OPERANDS = {
+    FMT_R: dict(rd=1, rs1=2, rs2=3),
+    FMT_S: dict(rs1=2, rs2=3, imm=-16),
+    FMT_B: dict(rs1=1, rs2=2, imm=-64),
+    FMT_U: dict(rd=3, imm=0x12345),
+    FMT_J: dict(rd=1, imm=2048),
+    FMT_SYS: dict(),
+    FMT_CSR: dict(rd=1, rs1=2, imm=0x800),
+}
+
+
+def _representative(op, spec) -> Instr:
+    if spec.fmt == FMT_I:
+        imm = 13 if op in _SHIFT_OPS else -16
+        return Instr(op, rd=4, rs1=5, imm=imm)
+    return Instr(op, **_FMT_OPERANDS[spec.fmt])
+
+
+@pytest.mark.parametrize("op", sorted(SPEC_TABLE))
+def test_every_mnemonic_roundtrips(op):
+    """encode(decode) is the identity for every instruction we define."""
+    spec = SPEC_TABLE[op]
+    original = _representative(op, spec)
+    decoded = _roundtrip(original)
+    assert decoded.op == op
+    for fld in ("rd", "rs1", "rs2", "imm"):
+        assert getattr(decoded, fld) == getattr(original, fld), \
+            f"{op}.{fld} mangled by encode/decode"
+
+
+def test_spec_table_fully_covered():
+    """Guard: the per-format operand table knows every format in use."""
+    known = set(_FMT_OPERANDS) | {FMT_I}
+    assert {s.fmt for s in SPEC_TABLE.values()} <= known
+
+
 @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
 def test_li_sequence_materialises_constant(value):
     """li_sequence must reconstruct any 64-bit constant when executed."""

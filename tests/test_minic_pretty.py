@@ -1,0 +1,150 @@
+"""Round-trip property tests for the deterministic mini-C pretty-printer.
+
+The core contract: for any AST the printer accepts,
+``parse(pretty(ast))`` is structurally equal to the original
+(``ast_equal``), and printing is a *fixpoint* — pretty-printing the
+reparsed tree reproduces the text byte-for-byte.  The property is
+checked over every corpus the repo owns: the examples, every registered
+workload at its default scale, a Juliet sample, and a slice of the
+fuzzer's own generated programs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.pretty import PrettyError, ast_equal, c_string, pretty
+from repro.workloads import WORKLOADS
+
+EXAMPLES = sorted(Path(__file__).resolve().parent.parent
+                  .joinpath("examples", "c").glob("*.c"))
+
+
+def assert_roundtrip(source: str, name: str = "<source>") -> None:
+    unit = parse(source)
+    text = pretty(unit)
+    reparsed = parse(text)
+    assert ast_equal(unit, reparsed), f"{name}: AST changed by round-trip"
+    assert pretty(reparsed) == text, f"{name}: printing is not a fixpoint"
+
+
+class TestCorpusRoundtrip:
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[p.name for p in EXAMPLES])
+    def test_examples(self, path):
+        assert_roundtrip(path.read_text(), path.name)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workloads(self, name):
+        assert_roundtrip(WORKLOADS[name].source("default"), name)
+
+    def test_juliet_sample(self):
+        from repro.workloads.juliet.generator import generate_corpus
+
+        for case in generate_corpus(fraction=0.02, max_per_subtype=1):
+            assert_roundtrip(case.bad_source, f"{case.case_id}/bad")
+            assert_roundtrip(case.good_source, f"{case.case_id}/good")
+
+    def test_fuzzer_corpus(self):
+        from repro.fuzz.gen import generate_program, plan_programs
+
+        for index, kind in plan_programs(3, 30):
+            program = generate_program(3, index, kind)
+            assert_roundtrip(program.source, program.name)
+
+
+class TestExpressionFidelity:
+    """Precedence/associativity shapes that naive printers get wrong."""
+
+    CASES = [
+        "long main(void) { return 1 - (2 - 3); }",
+        "long main(void) { return (1 + 2) * 3; }",
+        "long main(void) { return 8 / (4 / 2); }",
+        "long main(void) { return 1 << (2 + 3); }",
+        "long main(void) { return -(-5); }",
+        "long main(void) { long x; x = 1 ? 2 : (3 ? 4 : 5); }",
+        "long main(void) { long x; x = (1 ? 2 : 3) ? 4 : 5; }",
+        "long main(void) { long a[3]; return *(a + 1) + (*a); }",
+        "long main(void) { long x = 0; return &x == &x; }",
+        "long main(void) { return sizeof(long) + sizeof(long *); }",
+        "long main(void) { return (1 < 2) == (3 < 4); }",
+    ]
+
+    @pytest.mark.parametrize("src", CASES)
+    def test_roundtrip(self, src):
+        assert_roundtrip(src)
+
+
+class TestDeclarations:
+    CASES = [
+        "long g = 4; long main(void) { return g; }",
+        "long tab[2][3]; long main(void) { return tab[1][2]; }",
+        "long *p; long **pp; long main(void) { return 0; }",
+        "struct P { long x; long y; };\n"
+        "struct P g; long main(void) { return g.x; }",
+        "struct N { struct N *next; long v; };\n"
+        "long main(void) { struct N n; n.next = 0; return n.v; }",
+        'char msg[6] = "hello"; long main(void) { return msg[0]; }',
+        "long main(void) { for (long i = 0, j = 9; i < j; i = i + 1) "
+        "{ } return 0; }",
+    ]
+
+    @pytest.mark.parametrize("src", CASES)
+    def test_roundtrip(self, src):
+        assert_roundtrip(src)
+
+
+class TestCString:
+    def test_plain(self):
+        assert c_string(b"hi") == '"hi"'
+
+    def test_escapes_roundtrip(self):
+        # Every byte value must re-lex to the same data (the parser
+        # appends the implicit NUL terminator itself).
+        data = bytes(range(1, 128))
+        literal = c_string(data)
+        unit = parse(f"char blob[{len(data) + 1}] = {literal}; "
+                     "long main(void) { return 0; }")
+        assert unit.globals[0].init_string == data + b"\x00"
+
+    def test_hex_escape_adjacency(self):
+        # "\x1" followed by 'f' must not fuse into "\x1f".
+        data = b"\x01f"
+        literal = c_string(data)
+        unit = parse(f"char blob[3] = {literal}; "
+                     "long main(void) { return 0; }")
+        assert unit.globals[0].init_string == data + b"\x00"
+
+
+class TestUnprintableShapes:
+    def test_dangling_else_raises(self):
+        # `if (a) if (b) s; else t;` — the else binds to the inner if;
+        # reparsing a naive print would re-bind it, so the printer must
+        # refuse rather than silently change meaning.
+        def lit(value):
+            return ast.IntLit(value=value)
+
+        inner = ast.If(cond=lit(1), then=ast.ExprStmt(expr=lit(2)),
+                       other=None)
+        outer = ast.If(cond=lit(3), then=inner,
+                       other=ast.ExprStmt(expr=lit(4)))
+        template = parse("long main(void) { return 0; }").functions[0]
+        func = ast.FuncDef(name="main", ret_type=template.ret_type,
+                           params=[], body=ast.Block(stmts=[outer]))
+        unit = ast.TranslationUnit(functions=[func], globals=[])
+        with pytest.raises(PrettyError):
+            pretty(unit)
+
+
+class TestAstEqual:
+    def test_detects_difference(self):
+        a = parse("long main(void) { return 1; }")
+        b = parse("long main(void) { return 2; }")
+        assert not ast_equal(a, b)
+
+    def test_ignores_positions(self):
+        a = parse("long main(void) { return 1; }")
+        b = parse("long main(void)\n{\n    return 1;\n}")
+        assert ast_equal(a, b)

@@ -63,6 +63,21 @@ class TestGlobalStateUntouched:
             workload.source("small")
         assert random.getstate() == state
 
+    def test_fuzz_generation(self):
+        from repro.fuzz import generate_program, plan_programs
+
+        state = self._snapshot()
+        for index, kind in plan_programs(5, 6):
+            generate_program(5, index, kind)
+        assert random.getstate() == state
+
+    def test_fuzz_campaign(self):
+        from repro.fuzz import run_fuzz
+
+        state = self._snapshot()
+        run_fuzz(4, seed=2, jobs=1)
+        assert random.getstate() == state
+
 
 class TestNoGlobalRandomInSources:
     @staticmethod
@@ -81,6 +96,9 @@ class TestNoGlobalRandomInSources:
 
     def test_faultinject_uses_private_rngs_only(self):
         assert self._violations("faultinject") == []
+
+    def test_fuzz_uses_private_rngs_only(self):
+        assert self._violations("fuzz") == []
 
     def test_the_audit_regex_catches_offenders(self):
         assert _GLOBAL_RANDOM_USE.search("x = random.randrange(4)")
