@@ -1,0 +1,62 @@
+"""BENCH — the simulator's own performance trajectory.
+
+Runs a reduced slice of the ``repro bench`` scenario suite (see
+EXPERIMENTS.md "BENCH") under pytest-benchmark, validates the
+``repro.bench/v1`` envelope invariants, and exercises the regression
+gate both ways (clean self-comparison, tripped perturbed copy).
+Results land in ``benchmarks/results/bench_trajectory.json`` — the
+full per-PR baseline is ``BENCH_SIM.json`` at the repo root.
+"""
+
+import copy
+
+from repro.obs.bench import (
+    envelope_to_json, run_bench, strip_measured,
+)
+from repro.obs.compare import compare_envelopes
+from conftest import save_results
+
+SCENARIOS = ["sha/baseline", "sha/hwst128_tchk", "treeadd/baseline",
+             "treeadd/hwst128_tchk"]
+
+
+def test_bench_trajectory(benchmark):
+    envelope = benchmark.pedantic(
+        run_bench, kwargs={"scenarios": SCENARIOS, "reps": 2,
+                           "seed": 7},
+        rounds=1, iterations=1)
+    save_results("bench_trajectory", envelope)
+    print()
+    print("BENCH guest-MIPS medians (reps=2):")
+    for name in SCENARIOS:
+        measured = envelope["scenarios"][name]["measured"]
+        mips = measured["guest_mips"]
+        wall = measured["wall_ms"]
+        print(f"  {name:<22} {mips['median']:>7.2f} MIPS  "
+              f"{wall['median']:>8.2f} ms ±{wall['iqr']:.2f}")
+    # instrumented runs do strictly more guest work than baseline
+    for workload in ("sha", "treeadd"):
+        base = envelope["scenarios"][f"{workload}/baseline"]
+        tchk = envelope["scenarios"][f"{workload}/hwst128_tchk"]
+        assert tchk["guest_instructions"] > base["guest_instructions"]
+        assert tchk["guest_cycles"] > base["guest_cycles"]
+    # the deterministic skeleton reproduces at the same seed
+    again = run_bench(scenarios=SCENARIOS[:1], reps=1, seed=7)
+    assert strip_measured(again)["scenarios"]["sha/baseline"] == \
+        strip_measured(envelope)["scenarios"]["sha/baseline"]
+    assert envelope_to_json(envelope)   # serialises cleanly
+
+
+def test_bench_gate_round_trip(benchmark):
+    envelope = benchmark.pedantic(
+        run_bench, kwargs={"scenarios": SCENARIOS[:1], "reps": 1,
+                           "seed": 7},
+        rounds=1, iterations=1)
+    assert compare_envelopes(envelope, envelope).ok
+    slow = copy.deepcopy(envelope)
+    band = slow["scenarios"][SCENARIOS[0]]["measured"]["wall_ms"]
+    band["median"] *= 3.0
+    band["iqr"] = 0.01
+    comparison = compare_envelopes(envelope, slow)
+    assert not comparison.ok
+    assert "REGRESSED" in comparison.table()

@@ -11,6 +11,8 @@ open-source tool chain)::
     python -m repro workloads --run treeadd --scheme sbcets
     python -m repro juliet --cwe 416 --limit 3 --scheme asan
     python -m repro experiments fig4 --scale small --jobs 4
+    python -m repro bench --reps 3 --seed 7 --out BENCH_SIM.json
+    python -m repro bench --against BENCH_SIM.json
 """
 
 from __future__ import annotations
@@ -82,7 +84,8 @@ def _print_result(result, stats: bool):
 
 def cmd_run(args) -> int:
     source = _read_source(args.file)
-    observing = bool(args.profile or args.trace_out or args.metrics_out)
+    profiling = bool(args.profile or args.folded_out)
+    observing = bool(profiling or args.trace_out or args.metrics_out)
     metrics = tracer = profiler = phases = None
     if observing:
         from repro.obs import (CycleProfiler, MetricsRegistry, PhaseTimers,
@@ -91,7 +94,7 @@ def cmd_run(args) -> int:
         metrics = MetricsRegistry()
         if args.trace_out:
             tracer = Tracer(capacity=args.trace_buffer)
-        if args.profile:
+        if profiling:
             profiler = CycleProfiler()
         phases = PhaseTimers(metrics=metrics, tracer=tracer)
     program = compile_source(source, args.scheme, _config(args),
@@ -104,12 +107,19 @@ def cmd_run(args) -> int:
     if args.trace and result.status != "exit":
         print("\nlast retired instructions:")
         print(machine.trace_text())
-    if args.profile:
+    if profiling:
         report = profiler.report(program)
-        print("\nhotspots:")
-        print(report.table())
-        print(f"attributed : {100.0 * report.attributed_fraction:.1f}% "
-              "of cycles mapped to functions")
+        if args.profile:
+            print("\nhotspots:")
+            print(report.table())
+            print(f"attributed : "
+                  f"{100.0 * report.attributed_fraction:.1f}% "
+                  "of cycles mapped to functions")
+        if args.folded_out:
+            with open(args.folded_out, "w") as fh:
+                fh.write(report.to_collapsed())
+            print(f"folded  -> {args.folded_out} "
+                  "(flamegraph.pl / speedscope)")
     if args.metrics_out:
         machine.metrics.to_json(
             args.metrics_out,
@@ -123,6 +133,11 @@ def cmd_run(args) -> int:
         note = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
         print(f"trace   -> {args.trace_out} "
               f"({len(tracer)} events{note})")
+        if tracer.dropped:
+            print(f"warning: trace ring buffer overflowed, "
+                  f"{tracer.dropped} oldest events dropped — raise "
+                  f"--trace-buffer (currently {args.trace_buffer})",
+                  file=sys.stderr)
     return _result_exit_code(result)
 
 
@@ -245,6 +260,18 @@ def cmd_analyze(args) -> int:
     return 1 if failed else 0
 
 
+def _heartbeat(args, total: int, label: str, executor=None):
+    """Build the campaign Heartbeat from ``--heartbeat SECONDS``
+    (0 = off, the default: short runs and tests stay silent)."""
+    if not getattr(args, "heartbeat", 0):
+        return None
+    from repro.obs import Heartbeat
+
+    registry = executor.registry if executor is not None else None
+    return Heartbeat(total=total, label=label,
+                     interval_s=args.heartbeat, metrics=registry)
+
+
 def cmd_faultcampaign(args) -> int:
     """Seeded fault-injection campaign with a differential oracle."""
     import json
@@ -260,10 +287,12 @@ def cmd_faultcampaign(args) -> int:
               f"{sorted(FAMILIES)}", file=sys.stderr)
         return 2
     with SweepExecutor(jobs=args.jobs) as executor:
+        heartbeat = _heartbeat(args, total=args.n, label="faultinject",
+                               executor=executor)
         report = run_campaign(
             scheme=args.scheme, families=families, n=args.n,
             seed=args.seed, executor=executor,
-            wallclock_budget=args.wallclock)
+            wallclock_budget=args.wallclock, heartbeat=heartbeat)
     print(report.table())
     print(executor.summary())
     if args.out:
@@ -283,11 +312,13 @@ def cmd_fuzz(args) -> int:
     from repro.harness.parallel import SweepExecutor
 
     with SweepExecutor(jobs=args.jobs) as executor:
+        heartbeat = _heartbeat(args, total=args.n, label="fuzz",
+                               executor=executor)
         report = run_fuzz(
             n=args.n, seed=args.seed, executor=executor,
             corpus_dir=args.corpus,
             reduce_divergences=not args.no_reduce,
-            wallclock_budget=args.wallclock)
+            wallclock_budget=args.wallclock, heartbeat=heartbeat)
     print(report.table())
     print(executor.summary())
     if args.out:
@@ -301,6 +332,67 @@ def cmd_experiments(args) -> int:
     from repro.harness import experiments
 
     return experiments.main(args.rest)
+
+
+def cmd_bench(args) -> int:
+    """Performance-trajectory bench: run/compare repro.bench/v1
+    envelopes (see repro.obs.bench / repro.obs.compare)."""
+    from repro.errors import BenchRegression
+    from repro.obs.bench import (
+        SCENARIOS, load_envelope, run_bench, save_envelope,
+    )
+    from repro.obs.compare import compare_envelopes
+
+    if args.list:
+        width = max(len(name) for name in SCENARIOS) + 2
+        for name, scenario in SCENARIOS.items():
+            quick = "quick " if scenario.quick else "      "
+            print(f"{quick}{name:{width}s}{scenario.description}")
+        return 0
+
+    names = None
+    if args.scenarios:
+        names = [name.strip() for name in args.scenarios.split(",")
+                 if name.strip()]
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            print(f"error: unknown bench scenarios {unknown}; see "
+                  "repro bench --list", file=sys.stderr)
+            return 2
+    if args.replay:
+        # Compare two existing envelopes without running anything
+        # (CI's self-check path).
+        envelope = load_envelope(args.replay)
+    else:
+        def progress(name, index, total):
+            print(f"bench [{index + 1}/{total}] {name} "
+                  f"(x{args.reps})", file=sys.stderr)
+
+        envelope = run_bench(scenarios=names, reps=args.reps,
+                             seed=args.seed, quick=args.quick,
+                             progress=progress)
+    if args.out:
+        save_envelope(envelope, args.out)
+        print(f"envelope -> {args.out}")
+    if args.against:
+        base = load_envelope(args.against)
+        comparison = compare_envelopes(
+            base, envelope, tolerance_pct=args.tolerance,
+            min_wall_ms=args.min_wall)
+        print(comparison.table())
+        if not comparison.ok:
+            # Distinct documented exit code (repro.errors: 11).
+            raise BenchRegression(
+                [d.name for d in comparison.regressions])
+    elif not args.out and not args.replay:
+        # No baseline and nowhere to save: show what was measured.
+        for name, entry in envelope["scenarios"].items():
+            wall = entry["measured"]["wall_ms"]
+            mips = entry["measured"].get("guest_mips")
+            mips_s = f"  {mips['median']:.2f} MIPS" if mips else ""
+            print(f"{name:<28}{wall['median']:>10.2f} ms "
+                  f"±{wall['iqr']:.2f}{mips_s}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -323,6 +415,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=200_000_000)
     run_p.add_argument("--profile", action="store_true",
                        help="per-function cycle-attribution hotspot table")
+    run_p.add_argument("--folded-out", metavar="OUT.FOLDED",
+                       help="write collapsed-stack profile lines "
+                       "(flamegraph.pl / speedscope input)")
     run_p.add_argument("--metrics-out", metavar="OUT.JSON",
                        help="write the metric snapshot "
                        "(repro.obs.metrics/v1)")
@@ -417,6 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-injection watchdog budget")
     fault_p.add_argument("--out", metavar="OUT.JSON",
                          help="write the repro.faultinject/v1 report")
+    fault_p.add_argument("--heartbeat", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="emit JSON progress heartbeats on stderr "
+                         "every SECONDS (0 = off)")
     fault_p.set_defaults(fn=cmd_faultcampaign)
 
     fuzz_p = sub.add_parser(
@@ -437,7 +536,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip ddmin reduction of divergences")
     fuzz_p.add_argument("--out", metavar="OUT.JSON",
                         help="write the repro.fuzz/v1 report")
+    fuzz_p.add_argument("--heartbeat", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="emit JSON progress heartbeats on stderr "
+                        "every SECONDS (0 = off)")
     fuzz_p.set_defaults(fn=cmd_fuzz)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="performance-trajectory bench: run the scenario suite, "
+        "write/compare repro.bench/v1 envelopes")
+    bench_p.add_argument("--reps", type=_positive_int, default=3,
+                         help="repetitions per scenario (median/IQR)")
+    bench_p.add_argument("--seed", type=int, default=7,
+                         help="campaign-smoke seed")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="run the quick scenario subset only")
+    bench_p.add_argument("--scenarios", metavar="NAME[,NAME...]",
+                         help="run only these scenarios "
+                         "(see --list)")
+    bench_p.add_argument("--list", action="store_true",
+                         help="list registered scenarios and exit")
+    bench_p.add_argument("--out", metavar="OUT.JSON",
+                         help="write the repro.bench/v1 envelope "
+                         "(BENCH_SIM.json)")
+    bench_p.add_argument("--against", metavar="BASE.JSON",
+                         help="gate against a baseline envelope; exits "
+                         "11 on regression past tolerance")
+    bench_p.add_argument("--replay", metavar="CUR.JSON",
+                         help="compare an existing envelope instead of "
+                         "running the suite")
+    bench_p.add_argument("--tolerance", type=float, default=25.0,
+                         metavar="PCT",
+                         help="median wall-time slowdown gate")
+    bench_p.add_argument("--min-wall", type=float, default=2.0,
+                         metavar="MS",
+                         help="baseline medians below this never gate")
+    bench_p.set_defaults(fn=cmd_bench)
 
     experiments_p = sub.add_parser(
         "experiments", help="regenerate paper figures; supports "

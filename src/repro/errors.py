@@ -144,6 +144,22 @@ class ShadowMemoryExhausted(SimTrap):
 
 
 # ---------------------------------------------------------------------------
+# Harness verdicts
+# ---------------------------------------------------------------------------
+
+class BenchRegression(ReproError):
+    """The performance gate failed: ``repro bench --against`` found at
+    least one scenario slowed past tolerance (see repro.obs.compare)."""
+
+    def __init__(self, scenarios):
+        names = ", ".join(scenarios)
+        super().__init__(
+            f"performance regression in {len(scenarios)} scenario(s): "
+            f"{names}")
+        self.scenarios = list(scenarios)
+
+
+# ---------------------------------------------------------------------------
 # CLI exit codes
 # ---------------------------------------------------------------------------
 #
@@ -163,6 +179,7 @@ EXIT_SIMLIMIT = 7           # SimLimitExceeded (instruction budget)
 EXIT_ABORT = 8              # EcallAbort (runtime abort / ASAN / canary)
 EXIT_ILLEGAL = 9            # IllegalInstruction
 EXIT_SHADOW_OOM = 10        # ShadowMemoryExhausted
+EXIT_BENCH_REGRESSION = 11  # BenchRegression (repro bench --against)
 
 #: Exception class -> CLI exit code. Looked up through the MRO so a
 #: subclass of (say) SpatialViolation inherits its code.
@@ -175,6 +192,7 @@ EXIT_CODE_BY_ERROR = {
     EcallAbort: EXIT_ABORT,
     IllegalInstruction: EXIT_ILLEGAL,
     ShadowMemoryExhausted: EXIT_SHADOW_OOM,
+    BenchRegression: EXIT_BENCH_REGRESSION,
 }
 
 #: ``RunResult.status`` -> CLI exit code (the trap classes above after

@@ -228,13 +228,17 @@ def run_campaign(scheme: str = "hwst128",
                  config: Optional[HwstConfig] = None,
                  executor=None, jobs: int = 1,
                  wallclock_budget: Optional[float] = 60.0,
-                 registry=None) -> CampaignReport:
+                 registry=None, heartbeat=None) -> CampaignReport:
     """Run a seeded fault-injection campaign; see the module docstring.
 
     ``executor`` (a :class:`SweepExecutor`) is reused when given —
     its ``fault.*`` counters and merged obs snapshot accumulate there;
     otherwise a transient executor with ``jobs`` workers runs the
     cells and ``registry`` (optional) receives the counters.
+    ``heartbeat`` (a :class:`repro.obs.heartbeat.Heartbeat`) receives
+    rate-limited progress ticks as injection groups complete —
+    stderr/telemetry only; the ``repro.faultinject/v1`` report stays
+    byte-identical with or without it.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1: {n}")
@@ -259,7 +263,12 @@ def run_campaign(scheme: str = "hwst128",
             config=config, wallclock_budget=wallclock_budget)
         for index, (target, fault) in enumerate(plan)
     ]
-    results = run_cells(cells, executor=executor, jobs=jobs)
+    progress = None
+    if heartbeat is not None:
+        def progress(done, _total):
+            heartbeat.tick(done, phase="inject")
+    results = run_cells(cells, executor=executor, jobs=jobs,
+                        progress=progress)
 
     scoreboard = {cls: 0 for cls in CLASSES}
     by_kind = {kind: {cls: 0 for cls in CLASSES} for kind in kinds}

@@ -217,11 +217,15 @@ def run_fuzz(n: int, seed: int,
              round_size: int = ROUND_SIZE,
              max_instructions: int = 2_000_000,
              wallclock_budget: Optional[float] = 60.0,
-             reduce_checks: int = 300) -> FuzzReport:
+             reduce_checks: int = 300,
+             heartbeat=None) -> FuzzReport:
     """Run a fuzz campaign of ``n`` programs from ``seed``.
 
     Deterministic: the report (and its JSON rendering) is byte-identical
     for the same ``(seed, n, round_size, schemes)`` at any ``jobs``.
+    ``heartbeat`` (a :class:`repro.obs.heartbeat.Heartbeat`) receives
+    rate-limited progress ticks as probe groups complete — stderr/
+    telemetry only, never a byte of the report.
     """
     schemes = tuple(schemes)
     report = FuzzReport(seed=seed, n=n, schemes=schemes,
@@ -242,8 +246,18 @@ def run_fuzz(n: int, seed: int,
                 expect=program.expect, source=program.source,
                 schemes=schemes, max_instructions=max_instructions,
                 wallclock_budget=wallclock_budget)))
+        progress = None
+        if heartbeat is not None:
+            base_done = done
+
+            def progress(round_done, _total, _base=base_done):
+                heartbeat.tick(
+                    _base + round_done,
+                    divergent_programs=len(divergent),
+                    phase="probe")
         results = run_cells([cell for _, cell in cells],
-                            executor=executor, jobs=jobs)
+                            executor=executor, jobs=jobs,
+                            progress=progress)
         # Fold results back in index order — the only order that exists
         # as far as the report is concerned, whatever jobs= was.
         for (program, cell), result in zip(cells, results):
@@ -279,6 +293,9 @@ def run_fuzz(n: int, seed: int,
     if corpus is not None:
         corpus.mkdir(parents=True, exist_ok=True)
     for cell, found in divergent:
+        if heartbeat is not None:
+            heartbeat.tick(n, divergent_programs=len(divergent),
+                           phase="reduce", reducing=cell.name)
         record = {
             "index": cell.index,
             "name": cell.name,

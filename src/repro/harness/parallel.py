@@ -45,7 +45,7 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import HwstConfig
 from repro.harness.compile_cache import process_cache
@@ -299,6 +299,9 @@ class SweepExecutor:
         self.cells_run = 0
         self.cells_failed = 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._progress: Optional[Callable[[int, int], None]] = None
+        self._progress_done = 0
+        self._progress_total = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -321,8 +324,17 @@ class SweepExecutor:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, cells: Sequence[CellSpec]) -> List[CellResult]:
-        """Run every cell; results come back in input order."""
+    def run(self, cells: Sequence[CellSpec],
+            progress: Optional[Callable[[int, int], None]] = None,
+            ) -> List[CellResult]:
+        """Run every cell; results come back in input order.
+
+        ``progress(done, total)`` — when given — is called in the
+        parent process after each cell *group* completes (in
+        completion order under a pool), with the running count of
+        finished cells. Campaign heartbeats hang off this hook; a
+        callback that raises aborts the sweep, so keep it cheap.
+        """
         cells = list(cells)
         groups: Dict[str, List[int]] = {}
         for index, spec in enumerate(cells):
@@ -331,12 +343,16 @@ class SweepExecutor:
                 key = getattr(spec, "tag", "") or str(index)
             groups.setdefault(key, []).append(index)
         results: List[Optional[CellResult]] = [None] * len(cells)
+        self._progress_done = 0
+        self._progress = progress
+        self._progress_total = len(cells)
         if self.jobs == 1:
             for indices in groups.values():
                 envelopes, delta = _run_group([cells[i] for i in indices])
                 self._place(results, indices, envelopes, delta)
         else:
             self._run_pooled(cells, list(groups.values()), results)
+        self._progress = None
         done = [result for result in results if result is not None]
         assert len(done) == len(cells)
         self.cells_run += len(done)
@@ -392,6 +408,7 @@ class SweepExecutor:
                         ok=False, status=STATUS_WORKER_DIED,
                         error="worker process died twice running "
                               "this cell group")
+                self._note_progress(len(indices))
                 continue
             self._place(results, indices, envelopes, delta)
 
@@ -402,6 +419,12 @@ class SweepExecutor:
         for envelope in envelopes:
             if envelope.obs:
                 self.obs = merge_snapshots(self.obs, envelope.obs)
+        self._note_progress(len(envelopes))
+
+    def _note_progress(self, completed: int):
+        self._progress_done += completed
+        if self._progress is not None:
+            self._progress(self._progress_done, self._progress_total)
 
     def _absorb(self, delta: Dict[str, int]):
         """Fold a worker's cache-counter delta into the parent registry."""
@@ -426,9 +449,11 @@ class SweepExecutor:
 
 def run_cells(cells: Sequence[CellSpec],
               executor: Optional[SweepExecutor] = None,
-              jobs: int = 1) -> List[CellResult]:
+              jobs: int = 1,
+              progress: Optional[Callable[[int, int], None]] = None,
+              ) -> List[CellResult]:
     """Run cells on ``executor``, or a transient one (closed after)."""
     if executor is not None:
-        return executor.run(cells)
+        return executor.run(cells, progress=progress)
     with SweepExecutor(jobs=jobs) as transient:
-        return transient.run(cells)
+        return transient.run(cells, progress=progress)

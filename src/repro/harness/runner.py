@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import HwstConfig
 from repro.pipeline.timing import InOrderPipeline, TimingParams
@@ -57,6 +58,53 @@ def run_workload(name: str, scheme: str, scale: str = "default",
     :func:`run_program`.
     """
     return run_program(WORKLOADS[name].source(scale), scheme, **kwargs)
+
+
+def timed_run(source: str, scheme: str,
+              config: Optional[HwstConfig] = None,
+              timing: bool = True,
+              max_instructions: int = 200_000_000,
+              profile: bool = False) -> Tuple[RunResult, Dict]:
+    """One *measured* compile+run: the bench runner's unit of work.
+
+    Compiles without any cache (so compile-phase wall time is real
+    work, not a pickle load), times ``Machine.run`` with
+    ``perf_counter``, and returns ``(result, sample)`` where
+    ``sample`` carries the host-side measurements of this repetition:
+
+    * ``wall_s`` — wall-clock seconds of the simulation loop only;
+    * ``compile_s`` / ``phases_ms`` — compile wall time, total and per
+      phase (lex/parse/…/link, from :class:`PhaseTimers`);
+    * ``peak_rss_kb`` / ``gc_collections`` — host gauges sampled after
+      the run (:mod:`repro.obs.host`, the same source of truth the
+      machine stamps into ``RunResult.metrics``);
+    * ``profile`` (only with ``profile=True``) — the deterministic
+      per-function cycle list
+      (:meth:`~repro.obs.profiler.ProfileReport.function_summary`).
+    """
+    from repro.obs.host import gc_collections, peak_rss_kb
+    from repro.obs.phases import PhaseTimers
+    from repro.obs.profiler import CycleProfiler
+
+    config = config or HwstConfig()
+    phases = PhaseTimers()
+    program = compile_source(source, scheme, config, phases=phases)
+    profiler = CycleProfiler() if profile else None
+    pipeline = InOrderPipeline() if timing else None
+    machine = Machine(config=config, timing=pipeline, profiler=profiler)
+    t0 = time.perf_counter()
+    result = machine.run(program, max_instructions=max_instructions)
+    wall = time.perf_counter() - t0
+    sample: Dict = {
+        "wall_s": wall,
+        "compile_s": sum(phases.seconds.values()),
+        "phases_ms": phases.summary(),
+        "peak_rss_kb": peak_rss_kb(),
+        "gc_collections": gc_collections(),
+    }
+    if profiler is not None:
+        sample["profile"] = profiler.report(program).function_summary()
+    return result, sample
 
 
 def perf_overhead_pct(instrumented_cycles: int,

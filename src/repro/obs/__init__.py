@@ -1,6 +1,6 @@
 """``repro.obs`` — unified telemetry for the HWST128 reproduction.
 
-Four cooperating pieces (see docs/observability.md for the catalogue):
+Cooperating pieces (see docs/observability.md for the catalogue):
 
 * :mod:`repro.obs.metrics` — hierarchical :class:`MetricsRegistry`
   with typed :class:`Counter`/:class:`Gauge`/:class:`Histogram`,
@@ -8,14 +8,24 @@ Four cooperating pieces (see docs/observability.md for the catalogue):
 * :mod:`repro.obs.tracing` — bounded-ring structured event
   :class:`Tracer` with Chrome ``trace_event`` and JSONL exporters;
 * :mod:`repro.obs.profiler` — :class:`CycleProfiler`, per-PC /
-  per-function cycle attribution on the timing model;
+  per-function cycle attribution on the timing model, plus a
+  collapsed-stack (folded) exporter for flamegraph/speedscope;
 * :mod:`repro.obs.phases` — :class:`PhaseTimers`, wall-clock spans
-  around the compile pipeline.
+  around the compile pipeline;
+* :mod:`repro.obs.host` — host-process gauges (peak RSS, GC);
+* :mod:`repro.obs.heartbeat` — :class:`Heartbeat`, rate-limited
+  structured progress events for long campaigns;
+* :mod:`repro.obs.bench` / :mod:`repro.obs.compare` — the
+  performance-trajectory bench: ``repro.bench/v1`` envelopes
+  (``BENCH_SIM.json``) and the regression gate with differential
+  profiling (``repro bench --against``).
 
 Everything is off by default: a machine without a tracer/profiler and
 a compile without phase timers take the null-sink fast paths.
 """
 
+from repro.obs.heartbeat import Heartbeat
+from repro.obs.host import gc_collections, observe_host, peak_rss_kb
 from repro.obs.metrics import (
     Counter, Gauge, Histogram, MetricsRegistry, Scope, format_tree,
     merge_snapshots,
@@ -37,4 +47,5 @@ __all__ = [
     "HitMissStats", "derived_rates",
     "NULL_TRACER", "NullTracer", "TRACE_CATEGORIES", "TraceEvent",
     "Tracer",
+    "Heartbeat", "gc_collections", "observe_host", "peak_rss_kb",
 ]

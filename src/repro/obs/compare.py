@@ -1,0 +1,273 @@
+"""Bench-envelope comparison: regression gating + differential profiling.
+
+:func:`compare_envelopes` diffs two ``repro.bench/v1`` envelopes
+scenario by scenario. The gate is deliberately noise-aware: a scenario
+counts as **regressed** only when the median wall time slowed past the
+relative tolerance *and* the median shift clears the combined IQR
+noise bands *and* the scenario is large enough for wall-clock to mean
+anything (``min_wall_ms``). Self-comparison of an envelope is
+therefore always clean, and one noisy rep cannot fail CI.
+
+When a scenario regresses, the differential profile explains *where*:
+the deterministic per-function cycle profiles embedded in both
+envelopes are diffed (:func:`diff_profiles`) to name the guest
+functions whose simulated cost moved, and the counter census is
+diffed (:func:`diff_counters`) to name the ``sim.*``/``cyc_*`` event
+classes that moved. Identical profiles + counters on a wall-clock
+regression mean the guest work did not change — the *interpreter*
+(or the host) got slower, which is exactly the signal the fast-ISS
+trajectory needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ScenarioDelta", "BenchComparison", "compare_envelopes",
+           "diff_profiles", "diff_counters"]
+
+#: Default gate: >25 % median wall-time slowdown (host timers in CI are
+#: noisy; the IQR guard below does the fine discrimination).
+DEFAULT_TOLERANCE_PCT = 25.0
+
+#: Scenarios whose baseline median wall is below this never gate.
+DEFAULT_MIN_WALL_MS = 2.0
+
+
+def diff_profiles(base: List[dict], new: List[dict],
+                  top: int = 5) -> List[dict]:
+    """Top-N per-function cycle movers between two embedded profiles.
+
+    Each profile is the envelope's deterministic ``"profile"`` list
+    (``{"name", "cycles", "retired"}`` records). Returns mover records
+    sorted by absolute cycle delta, descending; functions present on
+    only one side diff against zero.
+    """
+    base_by = {fn["name"]: fn for fn in base}
+    new_by = {fn["name"]: fn for fn in new}
+    movers = []
+    for name in sorted(set(base_by) | set(new_by)):
+        b = base_by.get(name, {})
+        n = new_by.get(name, {})
+        delta = n.get("cycles", 0) - b.get("cycles", 0)
+        if delta == 0:
+            continue
+        base_cycles = b.get("cycles", 0)
+        movers.append({
+            "function": name,
+            "base_cycles": base_cycles,
+            "new_cycles": n.get("cycles", 0),
+            "delta_cycles": delta,
+            "delta_pct": (100.0 * delta / base_cycles
+                          if base_cycles else None),
+            "delta_retired": n.get("retired", 0) - b.get("retired", 0),
+        })
+    movers.sort(key=lambda m: (-abs(m["delta_cycles"]), m["function"]))
+    return movers[:top]
+
+
+def diff_counters(base: Dict[str, int], new: Dict[str, int],
+                  top: int = 5) -> List[dict]:
+    """Top-N moved scalar counters between two snapshot dicts."""
+    movers = []
+    for name in sorted(set(base) | set(new)):
+        b, n = base.get(name, 0), new.get(name, 0)
+        if not isinstance(b, (int, float)) or \
+                not isinstance(n, (int, float)) or n == b:
+            continue
+        movers.append({
+            "counter": name,
+            "base": b,
+            "new": n,
+            "delta": n - b,
+            "delta_pct": 100.0 * (n - b) / b if b else None,
+        })
+    movers.sort(key=lambda m: (-abs(m["delta"]), m["counter"]))
+    return movers[:top]
+
+
+@dataclass
+class ScenarioDelta:
+    """One scenario's base-vs-new comparison row."""
+
+    name: str
+    verdict: str                  # ok | regressed | improved | new | missing
+    base_wall_ms: Optional[float] = None
+    new_wall_ms: Optional[float] = None
+    slowdown_pct: Optional[float] = None
+    base_mips: Optional[float] = None
+    new_mips: Optional[float] = None
+    noise_ms: float = 0.0
+    notes: List[str] = field(default_factory=list)
+    profile_movers: List[dict] = field(default_factory=list)
+    counter_movers: List[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "verdict": self.verdict,
+            "base_wall_ms": self.base_wall_ms,
+            "new_wall_ms": self.new_wall_ms,
+            "slowdown_pct": self.slowdown_pct,
+            "base_mips": self.base_mips,
+            "new_mips": self.new_mips,
+            "noise_ms": self.noise_ms,
+            "notes": list(self.notes),
+            "profile_movers": list(self.profile_movers),
+            "counter_movers": list(self.counter_movers),
+        }
+
+
+@dataclass
+class BenchComparison:
+    """Full envelope diff: per-scenario rows + the gate verdict."""
+
+    tolerance_pct: float
+    min_wall_ms: float
+    deltas: List[ScenarioDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[ScenarioDelta]:
+        return [d for d in self.deltas if d.verdict == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.bench.compare/v1",
+            "tolerance_pct": self.tolerance_pct,
+            "min_wall_ms": self.min_wall_ms,
+            "ok": self.ok,
+            "deltas": [d.to_dict() for d in self.deltas],
+        }
+
+    def table(self) -> str:
+        """Regression table + differential profiles for the casualties."""
+        lines = [
+            f"{'scenario':<28}{'base ms':>10}{'new ms':>10}"
+            f"{'Δ%':>8}{'base MIPS':>11}{'new MIPS':>11}  verdict",
+        ]
+        for d in self.deltas:
+            wall_b = f"{d.base_wall_ms:.2f}" \
+                if d.base_wall_ms is not None else "-"
+            wall_n = f"{d.new_wall_ms:.2f}" \
+                if d.new_wall_ms is not None else "-"
+            pct = f"{d.slowdown_pct:+.1f}" \
+                if d.slowdown_pct is not None else "-"
+            mips_b = f"{d.base_mips:.2f}" \
+                if d.base_mips is not None else "-"
+            mips_n = f"{d.new_mips:.2f}" \
+                if d.new_mips is not None else "-"
+            mark = d.verdict.upper() if d.verdict == "regressed" \
+                else d.verdict
+            lines.append(f"{d.name:<28}{wall_b:>10}{wall_n:>10}"
+                         f"{pct:>8}{mips_b:>11}{mips_n:>11}  {mark}")
+            for note in d.notes:
+                lines.append(f"{'':<28}  note: {note}")
+        for d in self.regressions:
+            lines.append("")
+            lines.append(f"differential profile — {d.name}:")
+            if not d.profile_movers and not d.counter_movers:
+                lines.append("  guest profile and counters identical: "
+                             "interpreter/host-side slowdown")
+                continue
+            for m in d.profile_movers:
+                pct = f" ({m['delta_pct']:+.1f}%)" \
+                    if m["delta_pct"] is not None else ""
+                lines.append(
+                    f"  fn {m['function']:<24} "
+                    f"{m['base_cycles']:>10} -> {m['new_cycles']:>10} "
+                    f"cycles  Δ{m['delta_cycles']:+d}{pct}")
+            for m in d.counter_movers:
+                pct = f" ({m['delta_pct']:+.1f}%)" \
+                    if m["delta_pct"] is not None else ""
+                lines.append(
+                    f"  ct {m['counter']:<24} "
+                    f"{m['base']:>10} -> {m['new']:>10}"
+                    f"  Δ{m['delta']:+d}{pct}")
+        gate = "OK" if self.ok else \
+            f"REGRESSED ({len(self.regressions)} scenario(s))"
+        lines.append("")
+        lines.append(f"bench gate: {gate} "
+                     f"(tolerance {self.tolerance_pct:g}%, "
+                     f"IQR noise guard, floor {self.min_wall_ms:g}ms)")
+        return "\n".join(lines)
+
+
+def _wall(entry: dict) -> Tuple[float, float]:
+    band = entry.get("measured", {}).get("wall_ms", {})
+    return float(band.get("median", 0.0)), float(band.get("iqr", 0.0))
+
+
+def _mips(entry: dict) -> Optional[float]:
+    band = entry.get("measured", {}).get("guest_mips")
+    if not band:
+        return None
+    return float(band.get("median", 0.0))
+
+
+def compare_envelopes(base: dict, new: dict,
+                      tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+                      min_wall_ms: float = DEFAULT_MIN_WALL_MS,
+                      top: int = 5) -> BenchComparison:
+    """Diff two ``repro.bench/v1`` envelopes; see the module docstring
+    for the gate semantics."""
+    comparison = BenchComparison(tolerance_pct=tolerance_pct,
+                                 min_wall_ms=min_wall_ms)
+    base_scenarios = base.get("scenarios", {})
+    new_scenarios = new.get("scenarios", {})
+    for name in sorted(set(base_scenarios) | set(new_scenarios)):
+        if name not in new_scenarios:
+            comparison.deltas.append(ScenarioDelta(
+                name=name, verdict="missing",
+                notes=["scenario present in baseline only"]))
+            continue
+        entry = new_scenarios[name]
+        if name not in base_scenarios:
+            wall, _ = _wall(entry)
+            comparison.deltas.append(ScenarioDelta(
+                name=name, verdict="new", new_wall_ms=wall,
+                new_mips=_mips(entry),
+                notes=["no baseline for this scenario"]))
+            continue
+        base_entry = base_scenarios[name]
+        base_wall, base_iqr = _wall(base_entry)
+        new_wall, new_iqr = _wall(entry)
+        delta = ScenarioDelta(
+            name=name, verdict="ok",
+            base_wall_ms=base_wall, new_wall_ms=new_wall,
+            base_mips=_mips(base_entry), new_mips=_mips(entry),
+            noise_ms=base_iqr + new_iqr)
+        if base_wall > 0:
+            delta.slowdown_pct = 100.0 * (new_wall / base_wall - 1.0)
+        base_instret = base_entry.get("guest_instructions")
+        new_instret = entry.get("guest_instructions")
+        if base_instret is not None and new_instret is not None \
+                and base_instret != new_instret:
+            delta.notes.append(
+                f"guest instructions changed: {base_instret} -> "
+                f"{new_instret} (behaviour change, MIPS not "
+                "like-for-like)")
+        slowed = (
+            base_wall >= min_wall_ms
+            and delta.slowdown_pct is not None
+            and delta.slowdown_pct > tolerance_pct
+            and (new_wall - base_wall) > delta.noise_ms
+        )
+        if slowed:
+            delta.verdict = "regressed"
+            delta.profile_movers = diff_profiles(
+                base_entry.get("profile", []),
+                entry.get("profile", []), top=top)
+            delta.counter_movers = diff_counters(
+                base_entry.get("counters", {}),
+                entry.get("counters", {}), top=top)
+        elif delta.slowdown_pct is not None and \
+                delta.slowdown_pct < -tolerance_pct and \
+                (base_wall - new_wall) > delta.noise_ms:
+            delta.verdict = "improved"
+        comparison.deltas.append(delta)
+    return comparison

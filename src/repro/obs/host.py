@@ -1,0 +1,54 @@
+"""Host-process gauges: peak RSS and GC activity.
+
+One source of truth for every consumer that reports host-side memory:
+:class:`~repro.sim.machine.Machine` stamps these into each run's metric
+snapshot (``host.peak_rss_kb`` / ``host.gc_collections``), the bench
+runner (:mod:`repro.obs.bench`) records them per scenario, and campaign
+heartbeats (:mod:`repro.obs.heartbeat`) include them in progress events.
+
+``resource`` is POSIX-only; on platforms without it (or without the
+``ru_maxrss`` field) the helpers degrade to ``0`` rather than raising —
+callers treat zero as "unavailable".
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+
+__all__ = ["peak_rss_kb", "gc_collections", "observe_host"]
+
+try:                                    # POSIX only
+    import resource as _resource
+except ImportError:                     # pragma: no cover - non-POSIX
+    _resource = None
+
+
+def peak_rss_kb() -> int:
+    """Peak resident-set size of this process, in KiB (0 if unknown).
+
+    A process-lifetime high-water mark (``ru_maxrss``): it never
+    decreases, so per-phase deltas are only meaningful when the phase
+    raised the high-water mark.
+    """
+    if _resource is None:               # pragma: no cover - non-POSIX
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":        # pragma: no cover - macOS: bytes
+        peak //= 1024
+    return int(peak)
+
+
+def gc_collections() -> int:
+    """Total garbage-collector collections across all generations."""
+    return sum(stat.get("collections", 0) for stat in gc.get_stats())
+
+
+def observe_host(scope) -> None:
+    """Stamp the host gauges onto a metrics scope (or registry).
+
+    Names the metrics ``<scope>.peak_rss_kb`` and
+    ``<scope>.gc_collections``.
+    """
+    scope.gauge("peak_rss_kb").set(peak_rss_kb())
+    scope.gauge("gc_collections").set(gc_collections())

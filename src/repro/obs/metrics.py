@@ -338,9 +338,45 @@ class MetricsRegistry:
         return text
 
 
+def _merge_hist_summaries(prev: Dict[str, object],
+                          value: Dict[str, object]) -> Dict[str, object]:
+    """Order-independent merge of two histogram summary dicts.
+
+    counts/sums add, min/max combine, mean is recomputed from the
+    merged moments, and the percentiles become the count-weighted
+    average of the inputs' percentiles — an approximation (the raw
+    samples are gone), but a *symmetric* one: pairwise weighted
+    averaging is associative and commutative (up to float rounding),
+    so parallel sweeps that merge worker snapshots in completion order
+    still converge on the same summary whatever the order was.
+    """
+    pc = prev.get("count", 0)
+    vc = value.get("count", 0)
+    if not vc:
+        return dict(prev)
+    if not pc:
+        return dict(value)
+    count = pc + vc
+    out: Dict[str, object] = {
+        "count": count,
+        "sum": prev.get("sum", 0) + value.get("sum", 0),
+        "min": min(prev.get("min", 0.0), value.get("min", 0.0)),
+        "max": max(prev.get("max", 0.0), value.get("max", 0.0)),
+    }
+    out["mean"] = out["sum"] / count
+    for key in ("p50", "p95", "p99"):
+        if key in prev or key in value:
+            out[key] = (pc * prev.get(key, 0.0)
+                        + vc * value.get(key, 0.0)) / count
+    return out
+
+
 def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
-    """Combine flat snapshots: scalars add, histogram dicts combine
-    count/sum/min/max (percentiles keep the last snapshot's values)."""
+    """Combine flat snapshots: scalars add, histogram summary dicts
+    merge via :func:`_merge_hist_summaries` (exact count/sum/min/max,
+    count-weighted percentile approximation). Both operations are
+    commutative and associative (scalars exactly, histogram floats up
+    to rounding), so multi-worker merges are order-independent."""
     out: Dict[str, object] = {}
     for snap in snapshots:
         for name, value in snap.items():
@@ -349,10 +385,7 @@ def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
             elif isinstance(value, dict):
                 prev = out[name]
                 assert isinstance(prev, dict), name
-                count = prev.get("count", 0) + value.get("count", 0)
-                prev.update(value)
-                prev["count"] = count
-                prev["sum"] = prev.get("sum", 0)
+                out[name] = _merge_hist_summaries(prev, value)
             else:
                 out[name] = out[name] + value
     return out

@@ -80,6 +80,30 @@ class ProfileReport:
             f"{'':>7s}{self.total_retired:>10d}")
         return "\n".join(lines)
 
+    def function_summary(self) -> List[dict]:
+        """Deterministic per-function cost list for bench envelopes
+        (``repro.bench/v1`` embeds this; repro.obs.compare diffs it)."""
+        return [
+            {"name": fn.name, "cycles": fn.cycles, "retired": fn.retired}
+            for fn in self.functions
+        ]
+
+    def to_collapsed(self, root: Optional[str] = None) -> str:
+        """Collapsed-stack ("folded") rendering for flamegraph tools.
+
+        One line per frame, ``frame cycles`` — loadable by
+        flamegraph.pl and https://speedscope.app (paste as "folded
+        stacks"). The simulator attributes cycles per PC, not per call
+        chain, so stacks are one frame deep; ``root`` (e.g. the
+        workload name) prepends a common parent frame so several
+        exports can be concatenated into one flamegraph.
+        """
+        lines = []
+        for fn in sorted(self.functions, key=lambda f: f.name):
+            stack = fn.name if root is None else f"{root};{fn.name}"
+            lines.append(f"{stack} {fn.cycles}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def to_dict(self) -> dict:
         return {
             "total_cycles": self.total_cycles,

@@ -17,6 +17,8 @@ Categories
 ``kb``        keybuffer fills / evictions / clears
 ``shadow``    shadow-memory metadata writes and clears
 ``sim``       whole-run span markers
+``campaign``  heartbeat progress instants from long campaigns
+              (wall-clock µs; see repro.obs.heartbeat)
 
 Exporters
 ---------
@@ -37,11 +39,12 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple
 __all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER",
            "TRACE_CATEGORIES"]
 
-TRACE_CATEGORIES = ("compile", "retire", "trap", "kb", "shadow", "sim")
+TRACE_CATEGORIES = ("compile", "retire", "trap", "kb", "shadow", "sim",
+                    "campaign")
 
 # Wall-clock categories land on their own pid in the Chrome export so
 # their microsecond timestamps don't share a track with cycle counts.
-_WALLCLOCK_CATEGORIES = frozenset(["compile"])
+_WALLCLOCK_CATEGORIES = frozenset(["compile", "campaign"])
 
 
 class TraceEvent:

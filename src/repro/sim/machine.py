@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.isa import csr as csrdef
 from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.obs.host import observe_host
 from repro.obs.metrics import MetricsRegistry
 from repro.pipeline.timing import BREAKDOWN_KEYS
 from repro.sim.keybuffer import KeyBuffer
@@ -301,6 +302,11 @@ class Machine:
                 tracer.emit("sim", "run", ts=0, dur=cycles,
                             args={"status": status,
                                   "instret": self.instret})
+            # Surface ring-buffer overflow: a truncated trace silently
+            # lies about the run, so the loss count rides in the metric
+            # snapshot (and `repro run --trace-out` warns on it).
+            self.metrics.counter("obs.trace.dropped").value = \
+                tracer.dropped
         sim = self._sim
         sim.gauge("instret").set(self.instret)
         sim.gauge("cycles").set(cycles)
@@ -308,6 +314,9 @@ class Machine:
             self.memory.shadow_bytes_touched)
         sim.scope("mem").gauge("pages_allocated").set(
             self.memory.pages_allocated)
+        # Host-side gauges (bench envelopes and campaign heartbeats
+        # read the same helpers — one source of truth).
+        observe_host(self.metrics.scope("host"))
         return RunResult(
             status=status, exit_code=code, detail=detail,
             instret=self.instret, cycles=cycles,

@@ -164,6 +164,68 @@ class TestRegistry:
         assert merged["a"] == 3
         assert merged["h"]["count"] == 3
 
+    def test_merge_snapshots_histogram_moments_exact(self):
+        """Regression: the merge must combine min/max/sum, not let the
+        last snapshot's values clobber the accumulated ones."""
+        a = {"h": {"count": 2, "sum": 10.0, "min": 1.0, "max": 9.0,
+                   "mean": 5.0, "p50": 5.0, "p95": 9.0, "p99": 9.0}}
+        b = {"h": {"count": 2, "sum": 6.0, "min": 2.0, "max": 4.0,
+                   "mean": 3.0, "p50": 3.0, "p95": 4.0, "p99": 4.0}}
+        merged = merge_snapshots(a, b)["h"]
+        assert merged["count"] == 4
+        assert merged["sum"] == 16.0
+        assert merged["min"] == 1.0          # not b's 2.0
+        assert merged["max"] == 9.0          # not b's 4.0
+        assert merged["mean"] == 4.0         # recomputed from moments
+        assert merged["p50"] == 4.0          # count-weighted average
+
+    def test_merge_snapshots_order_independent(self):
+        """Snapshots arrive in worker-completion order under --jobs N;
+        the merged summary must not depend on that order."""
+        snaps = [
+            {"c": 5, "h": {"count": 1, "sum": 2.0, "min": 2.0,
+                           "max": 2.0, "mean": 2.0, "p50": 2.0,
+                           "p95": 2.0, "p99": 2.0}},
+            {"c": 7, "h": {"count": 3, "sum": 30.0, "min": 5.0,
+                           "max": 20.0, "mean": 10.0, "p50": 5.0,
+                           "p95": 20.0, "p99": 20.0}},
+            {"c": 1, "h": {"count": 2, "sum": 8.0, "min": 1.0,
+                           "max": 7.0, "mean": 4.0, "p50": 4.0,
+                           "p95": 7.0, "p99": 7.0}},
+        ]
+        import itertools
+        reference = merge_snapshots(*snaps)
+        for perm in itertools.permutations(snaps):
+            merged = merge_snapshots(*perm)
+            assert merged["c"] == reference["c"]
+            for key in ("count", "sum", "min", "max"):
+                assert merged["h"][key] == reference["h"][key]
+            for key in ("mean", "p50", "p95", "p99"):
+                assert merged["h"][key] == \
+                    pytest.approx(reference["h"][key])
+
+    def test_merge_snapshots_associative(self):
+        a = {"h": {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0,
+                   "mean": 2.0, "p50": 2.0}}
+        b = {"h": {"count": 3, "sum": 30.0, "min": 5.0, "max": 20.0,
+                   "mean": 10.0, "p50": 5.0}}
+        c = {"h": {"count": 2, "sum": 8.0, "min": 1.0, "max": 7.0,
+                   "mean": 4.0, "p50": 4.0}}
+        left = merge_snapshots(merge_snapshots(a, b), c)["h"]
+        right = merge_snapshots(a, merge_snapshots(b, c))["h"]
+        for key in ("count", "sum", "min", "max"):
+            assert left[key] == right[key]
+        for key in ("mean", "p50"):
+            assert left[key] == pytest.approx(right[key])
+
+    def test_merge_snapshots_empty_histogram_identity(self):
+        empty = {"h": {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                       "mean": 0.0, "p50": 0.0}}
+        full = {"h": {"count": 2, "sum": 6.0, "min": 2.0, "max": 4.0,
+                      "mean": 3.0, "p50": 3.0}}
+        assert merge_snapshots(empty, full)["h"] == full["h"]
+        assert merge_snapshots(full, empty)["h"] == full["h"]
+
     def test_tree_and_format(self):
         reg = MetricsRegistry()
         reg.counter("sim.kb.hits").inc(2)
@@ -369,6 +431,159 @@ class TestProfiler:
         prof.reset()
         assert prof.total_cycles == 0 and not prof.pc_cycles
 
+    def test_collapsed_stack_export(self):
+        from repro.schemes import compile_source
+
+        program = compile_source(SRC, "baseline")
+        prof = CycleProfiler()
+        from repro.sim.machine import Machine
+
+        result = Machine(profiler=prof).run(program)
+        assert result.ok
+        report = prof.report(program)
+        folded = report.to_collapsed()
+        assert folded.endswith("\n")
+        lines = folded.strip().splitlines()
+        assert lines == sorted(lines)        # deterministic ordering
+        by_name = {}
+        for line in lines:
+            name, cycles = line.rsplit(" ", 1)
+            by_name[name] = int(cycles)
+        assert "main" in by_name and by_name["main"] > 0
+        # a root prefix produces flamegraph-style frame chains
+        rooted = report.to_collapsed(root="all")
+        assert all(line.startswith("all;")
+                   for line in rooted.strip().splitlines())
+
+    def test_function_summary_matches_report(self):
+        prof = CycleProfiler()
+        prof.record(0x100, 4)
+        summary = prof.report().function_summary()
+        assert summary == [{"name": "?", "cycles": 4, "retired": 1}]
+
+
+# ---------------------------------------------------------------------------
+# Host gauges + heartbeats
+# ---------------------------------------------------------------------------
+
+class TestHostGauges:
+    def test_peak_rss_positive(self):
+        from repro.obs import peak_rss_kb
+
+        assert peak_rss_kb() > 0            # linux CI always has rusage
+
+    def test_gc_collections_monotonic(self):
+        import gc
+
+        from repro.obs import gc_collections
+
+        before = gc_collections()
+        gc.collect()
+        assert gc_collections() >= before + 1
+
+    def test_observe_host_sets_gauges(self):
+        from repro.obs import observe_host
+
+        reg = MetricsRegistry()
+        observe_host(reg.scope("host"))
+        snap = reg.snapshot()
+        assert snap["host.peak_rss_kb"] > 0
+        assert snap["host.gc_collections"] >= 0
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestHeartbeat:
+    def _make(self, stream, interval=10.0, metrics=None):
+        from repro.obs import Heartbeat
+
+        clock = _Clock()
+        hb = Heartbeat(total=100, label="fuzz", interval_s=interval,
+                       stream=stream, metrics=metrics, clock=clock)
+        return hb, clock
+
+    def test_rate_limited(self):
+        import io
+
+        stream = io.StringIO()
+        hb, clock = self._make(stream)
+        assert not hb.tick(1)               # interval not yet elapsed
+        clock.now = 5.0
+        assert not hb.tick(2)
+        clock.now = 10.0
+        assert hb.tick(3)                   # first emission
+        assert hb.tick(4) is False          # immediately suppressed again
+        assert hb.emitted == 1
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 1
+
+    def test_event_payload(self):
+        import io
+
+        stream = io.StringIO()
+        hb, clock = self._make(stream)
+        clock.now = 20.0
+        assert hb.tick(40, divergent_programs=2, phase="probe")
+        event = json.loads(stream.getvalue())
+        assert event["event"] == "heartbeat"
+        assert event["label"] == "fuzz"
+        assert event["done"] == 40 and event["total"] == 100
+        assert event["pct"] == 40.0
+        assert event["elapsed_s"] == 20.0
+        assert event["rate_per_s"] == 2.0
+        assert event["eta_s"] == 30.0       # 60 left at 2/s
+        assert event["divergent_programs"] == 2
+        assert event["phase"] == "probe"
+        assert event["peak_rss_kb"] > 0
+
+    def test_disabled_when_interval_zero(self):
+        import io
+
+        stream = io.StringIO()
+        hb, clock = self._make(stream, interval=0.0)
+        clock.now = 1e9
+        assert not hb.enabled
+        assert not hb.tick(50)
+        assert stream.getvalue() == ""
+
+    def test_campaign_gauges(self):
+        import io
+
+        reg = MetricsRegistry()
+        hb, clock = self._make(io.StringIO(), metrics=reg)
+        clock.now = 10.0
+        hb.tick(25)
+        snap = reg.snapshot()
+        assert snap["obs.campaign.done"] == 25
+        assert snap["obs.campaign.total"] == 100
+        assert snap["obs.campaign.heartbeats"] == 1
+
+    def test_fuzz_campaign_emits_heartbeats(self):
+        """End-to-end: a tiny fuzz campaign with a sub-millisecond
+        interval emits progress without changing the report."""
+        import io
+
+        from repro.fuzz import run_fuzz
+        from repro.obs import Heartbeat
+
+        stream = io.StringIO()
+        hb = Heartbeat(total=4, label="fuzz", interval_s=1e-9,
+                       stream=stream)
+        with_hb = run_fuzz(n=4, seed=3, reduce_divergences=False,
+                           heartbeat=hb)
+        without = run_fuzz(n=4, seed=3, reduce_divergences=False)
+        assert with_hb.to_json() == without.to_json()  # byte-identity
+        events = [json.loads(line) for line
+                  in stream.getvalue().strip().splitlines()]
+        assert events and all(e["event"] == "heartbeat" for e in events)
+        assert events[-1]["done"] == 4
+
 
 # ---------------------------------------------------------------------------
 # Integration with the simulator
@@ -439,6 +654,39 @@ class TestIntegration:
         cats = {e.cat for e in tracer.events()}
         assert {"retire", "kb", "shadow", "sim"} <= cats
         json.loads(tracer.to_chrome_json())   # exports stay valid JSON
+
+    def test_host_gauges_in_run_result_metrics(self):
+        from repro.obs import MetricsRegistry
+        from repro.schemes import run_source
+
+        reg = MetricsRegistry()
+        result = run_source(SRC, "baseline", metrics=reg)
+        assert result.ok
+        assert result.metrics["host.peak_rss_kb"] > 0
+        assert result.metrics["host.gc_collections"] >= 0
+
+    def test_trace_dropped_counter_surfaces_overflow(self):
+        from repro.obs import MetricsRegistry
+        from repro.schemes import run_source
+
+        reg = MetricsRegistry()
+        tracer = Tracer(capacity=16)           # far too small
+        result = run_source(SRC, "hwst128_tchk", metrics=reg,
+                            tracer=tracer)
+        assert result.ok
+        assert tracer.dropped > 0
+        assert result.metrics["obs.trace.dropped"] == tracer.dropped
+
+    def test_trace_dropped_counter_zero_when_roomy(self):
+        from repro.obs import MetricsRegistry
+        from repro.schemes import run_source
+
+        reg = MetricsRegistry()
+        tracer = Tracer(capacity=1 << 20)
+        result = run_source(SRC, "baseline", metrics=reg,
+                            tracer=tracer)
+        assert result.ok
+        assert result.metrics["obs.trace.dropped"] == 0
 
     def test_profiler_attribution(self):
         from repro.schemes import compile_source

@@ -359,3 +359,53 @@ class TestCacheIntegrity:
         cache, _ = self._prime()
         cache.compile(GOOD, "baseline", HwstConfig())
         assert cache.corrupt == 0
+
+
+class TestProgressCallback:
+    def _cells(self, count=4):
+        return [CellSpec(scheme="baseline", source=GOOD, timing=False,
+                         tag=f"p{i}", group=f"g{i}")
+                for i in range(count)]
+
+    def test_inline_progress_reaches_total(self):
+        seen = []
+        with SweepExecutor(jobs=1) as executor:
+            executor.run(self._cells(), progress=lambda d, t:
+                         seen.append((d, t)))
+        assert seen[-1] == (4, 4)
+        dones = [d for d, _ in seen]
+        assert dones == sorted(dones)        # monotonic
+
+    def test_pooled_progress_reaches_total(self):
+        seen = []
+        with SweepExecutor(jobs=2) as executor:
+            executor.run(self._cells(), progress=lambda d, t:
+                         seen.append((d, t)))
+        assert seen[-1][0] == 4
+        assert all(t == 4 for _, t in seen)
+
+    def test_callback_cleared_between_runs(self):
+        seen = []
+        with SweepExecutor(jobs=1) as executor:
+            executor.run(self._cells(2), progress=lambda d, t:
+                         seen.append(d))
+            executor.run(self._cells(2))     # no callback this time
+        assert seen == [1, 2]
+
+
+class TestParallelMergeOrderIndependence:
+    def test_jobs1_and_jobs2_merge_to_same_counters(self):
+        """Worker snapshots merge in completion order; the merged
+        executor.obs counters must agree with a serial run."""
+        cells = [CellSpec(scheme="baseline", source=GOOD, timing=False,
+                          tag=f"m{i}", group=f"g{i}") for i in range(4)]
+        snaps = {}
+        for jobs in (1, 2):
+            with SweepExecutor(jobs=jobs) as executor:
+                executor.run(cells)
+                snaps[jobs] = executor.registry.snapshot()
+        for name, serial in snaps[1].items():
+            if isinstance(serial, dict):     # histogram summary
+                assert snaps[2][name]["count"] == serial["count"]
+            elif name.startswith(("sim.", "compile.cache.")):
+                assert snaps[2][name] == serial, name
