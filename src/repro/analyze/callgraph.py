@@ -1,0 +1,134 @@
+"""Call graph over an IR module, with SCC condensation.
+
+The interprocedural analysis needs two orders:
+
+* **bottom-up** (callees before callers) for computing function
+  summaries to fixpoint — :meth:`CallGraph.sccs` returns strongly
+  connected components in reverse-topological order of the
+  condensation, which is exactly that order; and
+* **top-down** (callers before callees) for context-sensitive
+  re-analysis — :meth:`CallGraph.topo_down`.
+
+Everything is deterministic: functions are visited in module
+insertion order and call edges in first-occurrence order, so the
+resulting orders (and every report derived from them) are stable
+across runs and worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.ir import Call, Module
+
+__all__ = ["CallGraph"]
+
+
+class CallGraph:
+    """Static call graph restricted to functions defined in-module.
+
+    ``callees[f]`` / ``callers[f]`` list in-module neighbours in
+    first-call order; ``externals[f]`` names callees that are *not*
+    defined in the module (runtime helpers or truly unknown code).
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.callees: Dict[str, List[str]] = {}
+        self.callers: Dict[str, List[str]] = {}
+        self.externals: Dict[str, List[str]] = {}
+        for name in module.functions:
+            self.callees[name] = []
+            self.callers[name] = []
+            self.externals[name] = []
+        for name, fn in module.functions.items():
+            seen: Set[str] = set()
+            for blk in fn.blocks:
+                for ins in blk.instrs:
+                    if not isinstance(ins, Call) or ins.name in seen:
+                        continue
+                    seen.add(ins.name)
+                    if ins.name in module.functions:
+                        self.callees[name].append(ins.name)
+                        self.callers[ins.name].append(name)
+                    else:
+                        self.externals[name].append(ins.name)
+        self._sccs = self._tarjan()
+        self._scc_of: Dict[str, int] = {}
+        for i, comp in enumerate(self._sccs):
+            for name in comp:
+                self._scc_of[name] = i
+
+    # -- orders ------------------------------------------------------------
+
+    def sccs(self) -> List[List[str]]:
+        """SCCs in bottom-up order (every callee's component comes
+        before its callers' components)."""
+        return self._sccs
+
+    def topo_down(self) -> List[str]:
+        """Function names with callers before callees (SCC members
+        stay grouped, in module order within the component)."""
+        order: List[str] = []
+        for comp in reversed(self._sccs):
+            order.extend(comp)
+        return order
+
+    def in_cycle(self, name: str) -> bool:
+        """True when the function sits on a call cycle (including
+        direct self-recursion)."""
+        comp = self._sccs[self._scc_of[name]]
+        return len(comp) > 1 or name in self.callees[name]
+
+    # -- Tarjan ------------------------------------------------------------
+
+    def _tarjan(self) -> List[List[str]]:
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str):
+            # Iterative Tarjan: (node, iterator position) work stack.
+            work = [(root, 0)]
+            while work:
+                node, pos = work.pop()
+                if pos == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                succs = self.callees[node]
+                for i in range(pos, len(succs)):
+                    succ = succs[i]
+                    if succ not in index:
+                        work.append((node, i + 1))
+                        work.append((succ, 0))
+                        recurse = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    # Keep module order inside the component.
+                    comp.sort(key=list(self.module.functions).index)
+                    sccs.append(comp)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+
+        for name in self.module.functions:
+            if name not in index:
+                strongconnect(name)
+        return sccs

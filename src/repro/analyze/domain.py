@@ -223,6 +223,11 @@ class AVal:
     ``origin``: stack-slot name this value was loaded from, if any —
     the hook branch refinement uses to write facts back to the slot.
     ``pred``: for int results of compares, (op, lhs AVal, rhs AVal).
+    ``sub``: optional sub-object window ``(rel, size)`` — the pointer
+    sits ``rel`` bytes past the start of a ``size``-byte struct field.
+    Object-granularity bounds cannot see intra-object overflows; this
+    window lets the linter flag them even though the runtime schemes
+    (by design, and per the paper's threat model) will not trap.
     """
 
     kind: str = "top"
@@ -232,6 +237,7 @@ class AVal:
     nullness: str = "maybe"
     origin: Optional[str] = None
     pred: Optional[tuple] = None
+    sub: Optional[Tuple[Interval, int]] = None
 
     # -- constructors ------------------------------------------------------
 
@@ -277,6 +283,17 @@ class AVal:
     def is_int(self) -> bool:
         return self.kind == "int"
 
+    # -- pointer arithmetic ------------------------------------------------
+
+    def shift(self, delta: Interval) -> "AVal":
+        """Pointer moved by ``delta`` bytes: the object offset and any
+        sub-object window move together."""
+        sub = None
+        if self.sub is not None:
+            sub = (self.sub[0].add(delta), self.sub[1])
+        return replace(self, offset=self.offset.add(delta),
+                       pred=None, sub=sub)
+
     # -- lattice -----------------------------------------------------------
 
     def join(self, other: "AVal") -> "AVal":
@@ -307,7 +324,9 @@ class AVal:
             return AVal(kind="ptr", region=region, offset=offset,
                         nullness=_join_null(self.nullness,
                                             other.nullness),
-                        origin=self._join_origin(other))
+                        origin=self._join_origin(other),
+                        sub=_join_sub(self.sub, other.sub,
+                                      Interval.join))
         return AVal.top()
 
     def _join_origin(self, other: "AVal") -> Optional[str]:
@@ -323,7 +342,9 @@ class AVal:
                         offset=self.offset.widen(newer.offset),
                         nullness=_join_null(self.nullness,
                                             newer.nullness),
-                        origin=self._join_origin(newer))
+                        origin=self._join_origin(newer),
+                        sub=_join_sub(self.sub, newer.sub,
+                                      Interval.widen))
         return self.join(newer)
 
     def __repr__(self) -> str:
@@ -338,3 +359,11 @@ class AVal:
 
 def _join_null(a: str, b: str) -> str:
     return a if a == b else "maybe"
+
+
+def _join_sub(a, b, combine):
+    """Join/widen two sub-object windows; kept only when both sides
+    agree on the field size (else the window is meaningless)."""
+    if a is None or b is None or a[1] != b[1]:
+        return None
+    return (combine(a[0], b[0]), a[1])

@@ -1,0 +1,120 @@
+"""Interprocedural driver: summaries bottom-up, contexts top-down.
+
+:func:`analyze_module_interproc` is the one entry point the linter and
+the compile pipeline share. It
+
+1. builds the call graph and condenses it (:mod:`callgraph`),
+2. computes :class:`FunctionSummary` objects bottom-up over the SCCs
+   (:mod:`summaries`),
+3. re-analyzes every function top-down (callers first) with
+   :class:`MemSafety` in interprocedural mode, feeding each call
+   site's facts forward as a :class:`FnContext` join.
+
+Context-sensitivity policy (documented in docs/analysis.md): one
+context per function, the *join* over every call site. A function is
+eligible for a context only when it is not ``main``, not on a call
+cycle, and — guaranteed by the top-down order — every caller has
+already been analyzed, so the join is complete before the callee runs.
+Everything is deterministic and single-threaded per module; reports
+are byte-identical across runs and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.analyze.callgraph import CallGraph
+from repro.analyze.dataflow import run_forward
+from repro.analyze.memsafety import MemSafety, Recorder
+from repro.analyze.summaries import FnContext, compute_summaries
+from repro.core.config import HwstConfig
+from repro.ir.ir import Function, Module
+
+__all__ = ["analyze_module_interproc", "FunctionAnalysis",
+           "InterprocStats"]
+
+
+@dataclass
+class InterprocStats:
+    """Counters surfaced as ``compile.analyze.summary.*``."""
+
+    functions: int = 0
+    sccs: int = 0
+    scc_iterations: int = 0
+    callsites_refined: int = 0
+    contexts_applied: int = 0
+    checks_hoisted: int = 0      # filled in by the elision pass
+    cross_call_elided: int = 0   # filled in by the elision pass
+
+    def to_meta(self) -> Dict[str, int]:
+        return {
+            "summary.functions": self.functions,
+            "summary.sccs": self.sccs,
+            "summary.scc_iterations": self.scc_iterations,
+            "summary.callsites_refined": self.callsites_refined,
+            "summary.contexts_applied": self.contexts_applied,
+            "summary.checks_hoisted": self.checks_hoisted,
+            "summary.cross_call_elided": self.cross_call_elided,
+        }
+
+
+@dataclass
+class FunctionAnalysis:
+    """One function's fixpoint plus the analysis instance that owns
+    it (kept so the elision pass can re-run transfers for hoisting
+    proofs)."""
+
+    fn: Function
+    result: object          # DataflowResult
+    analysis: MemSafety
+    contexts: Dict[str, FnContext] = field(default_factory=dict)
+
+
+def analyze_module_interproc(
+        module: Module,
+        config: Optional[HwstConfig] = None,
+        recorder_factory: Optional[
+            Callable[[Function], Recorder]] = None,
+        stamp: bool = False,
+) -> tuple:
+    """Analyze a whole module interprocedurally.
+
+    Returns ``(per_function, stats)`` where ``per_function`` maps the
+    function name to its :class:`FunctionAnalysis` in analysis
+    (top-down) order.
+    """
+    cg = CallGraph(module)
+    summaries, scc_iterations = compute_summaries(module, cg)
+    stats = InterprocStats(functions=len(module.functions),
+                           sccs=len(cg.sccs()),
+                           scc_iterations=scc_iterations)
+
+    contexts: Dict[str, FnContext] = {}
+    per_function: Dict[str, FunctionAnalysis] = {}
+    for name in cg.topo_down():
+        fn = module.functions[name]
+        context = contexts.get(name)
+        if context is not None:
+            stats.contexts_applied += 1
+        ms = MemSafety(module, fn, config, summaries=summaries,
+                       context=context)
+        result = run_forward(ms, fn)
+        recorder = recorder_factory(fn) if recorder_factory \
+            else (lambda *a: None)
+        ms.report(result, recorder, stamp=stamp)
+        stats.callsites_refined += ms.callsites_refined
+        per_function[name] = FunctionAnalysis(fn, result, ms,
+                                              contexts)
+        # Feed this function's call-site facts to eligible callees
+        # (not main, not on a cycle, not a self-call); the top-down
+        # order guarantees the join is complete before they run.
+        for callee, entries in ms.callsites:
+            if callee == name or callee == "main" or \
+                    cg.in_cycle(callee):
+                continue
+            ctx = FnContext(entries)
+            cur = contexts.get(callee)
+            contexts[callee] = ctx if cur is None \
+                else cur.join(ctx)
+    return per_function, stats

@@ -1,14 +1,22 @@
 """Static memory-safety linter: findings, reports, module/source APIs.
 
-``analyze_module`` runs the :mod:`repro.analyze.memsafety` dataflow
-over every function of an IR module and collects structured findings;
-``analyze_source`` runs just the front end (lex/parse/sema/irgen — no
-instrumentation, no runtime link) and then analyzes the result, which
-is what the ``repro analyze`` CLI uses.
+``analyze_module`` drives the interprocedural analysis
+(:mod:`repro.analyze.interproc` — call-graph summaries bottom-up,
+call-site contexts top-down) over an IR module and collects structured
+findings; ``analyze_source`` runs just the front end (lex/parse/sema/
+irgen — no instrumentation, no runtime link) and then analyzes the
+result, which is what the ``repro analyze`` CLI uses.
 
 Severity convention: ``error`` findings are *must*-style facts (a
 trapping execution provably exists on a feasible path); ``warning``
-and ``info`` findings are advisory and never gate an exit code.
+and ``info`` findings are advisory and never gate an exit code. The
+one deliberate exception is ``intra-oob``: the access provably escapes
+the struct *field* its pointer was formed from, which object-
+granularity metadata (one bound per allocation) cannot trap at runtime
+— that blind spot is exactly why the finding exists.
+
+Every finding carries a stable ``rule_id`` (``REPRO-MS-*``) used by
+the SARIF 2.1.0 export (:meth:`AnalysisReport.to_sarif`).
 """
 
 from __future__ import annotations
@@ -18,29 +26,65 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analyze.cfg import CFG
-from repro.analyze.memsafety import (MemSafety, compute_may_free,
-                                     run_forward)
+from repro.analyze.interproc import analyze_module_interproc
 from repro.core.config import HwstConfig
 from repro.ir.ir import Module
 
-__all__ = ["Finding", "AnalysisReport", "analyze_module",
-           "analyze_source"]
+__all__ = ["Finding", "AnalysisReport", "RULE_IDS",
+           "analyze_module", "analyze_source"]
 
 SEVERITIES = ("error", "warning", "info")
+
+# Stable rule identifiers, one per finding kind. These are part of the
+# tool's external contract (SARIF consumers key baselines on them), so
+# existing ids must never be renamed — only new ones added.
+RULE_IDS: Dict[str, str] = {
+    "oob": "REPRO-MS-OOB",
+    "intra-oob": "REPRO-MS-INTRA-OOB",
+    "uaf": "REPRO-MS-UAF",
+    "double-free": "REPRO-MS-DOUBLE-FREE",
+    "invalid-free": "REPRO-MS-INVALID-FREE",
+    "null-deref": "REPRO-MS-NULL-DEREF",
+    "uninit-deref": "REPRO-MS-UNINIT-DEREF",
+    "scope-escape": "REPRO-MS-SCOPE-ESCAPE",
+    "dead-code": "REPRO-MS-DEAD-CODE",
+}
+
+_RULE_DESCRIPTIONS: Dict[str, str] = {
+    "oob": "Out-of-bounds access to a sized object",
+    "intra-oob": "Access overflows the struct field its pointer was "
+                 "formed from (invisible to object-granularity "
+                 "metadata)",
+    "uaf": "Use of a freed heap allocation",
+    "double-free": "free() of an already-freed allocation",
+    "invalid-free": "free() of a non-heap or interior pointer",
+    "null-deref": "Dereference of a definitely-NULL pointer",
+    "uninit-deref": "Use of an uninitialized pointer",
+    "scope-escape": "Pointer to a local object escapes its scope",
+    "dead-code": "Statement can never execute",
+}
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning",
+                 "info": "note"}
 
 
 @dataclass(frozen=True)
 class Finding:
     """One linter diagnostic with function/line provenance."""
 
-    kind: str           # oob | uaf | double-free | invalid-free |
-    #                     null-deref | uninit-deref | scope-escape |
-    #                     dead-code
+    kind: str           # oob | intra-oob | uaf | double-free |
+    #                     invalid-free | null-deref | uninit-deref |
+    #                     scope-escape | dead-code
     severity: str       # error | warning | info
     function: str
     block: str
     line: int           # 1-based source line; 0 when unknown
     message: str
+
+    @property
+    def rule_id(self) -> str:
+        return RULE_IDS.get(self.kind,
+                            "REPRO-MS-" + self.kind.upper())
 
     def location(self) -> str:
         where = self.function
@@ -49,7 +93,8 @@ class Finding:
         return where
 
     def to_dict(self) -> Dict[str, object]:
-        return {"kind": self.kind, "severity": self.severity,
+        return {"kind": self.kind, "rule_id": self.rule_id,
+                "severity": self.severity,
                 "function": self.function, "block": self.block,
                 "line": self.line, "message": self.message}
 
@@ -60,6 +105,7 @@ class AnalysisReport:
 
     name: str = "module"
     findings: List[Finding] = field(default_factory=list)
+    interproc: Dict[str, int] = field(default_factory=dict)
 
     def errors(self) -> List[Finding]:
         return [f for f in self.findings if f.severity == "error"]
@@ -80,11 +126,55 @@ class AnalysisReport:
             "name": self.name,
             "ok": self.ok,
             "counts": self.counts_by_kind(),
+            "interproc": dict(sorted(self.interproc.items())),
             "findings": [f.to_dict() for f in self.findings],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def to_sarif(self) -> Dict[str, object]:
+        """SARIF 2.1.0 document for CI annotation / IDE import."""
+        used = sorted({f.kind for f in self.findings})
+        rules = [{
+            "id": RULE_IDS.get(kind, "REPRO-MS-" + kind.upper()),
+            "name": kind,
+            "shortDescription": {
+                "text": _RULE_DESCRIPTIONS.get(kind, kind)},
+        } for kind in used]
+        rule_index = {r["id"]: i for i, r in enumerate(rules)}
+        results = []
+        for f in self.findings:
+            region = {"startLine": f.line} if f.line else {}
+            results.append({
+                "ruleId": f.rule_id,
+                "ruleIndex": rule_index[f.rule_id],
+                "level": _SARIF_LEVELS[f.severity],
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": self.name},
+                        **({"region": region} if region else {}),
+                    },
+                    "logicalLocations": [{
+                        "name": f.function,
+                        "kind": "function",
+                    }],
+                }],
+            })
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro-analyze",
+                    "informationUri":
+                        "https://example.invalid/repro",
+                    "rules": rules,
+                }},
+                "results": results,
+            }],
+        }
 
     def text(self) -> str:
         if not self.findings:
@@ -106,37 +196,50 @@ class AnalysisReport:
 def analyze_module(module: Module,
                    config: Optional[HwstConfig] = None,
                    stamp: bool = False) -> AnalysisReport:
-    """Run the memory-safety analysis over every function."""
+    """Run the interprocedural memory-safety analysis over a module."""
     config = config or HwstConfig()
     report = AnalysisReport(name=module.name)
-    may_free = compute_may_free(module)
-    for fn in module.functions.values():
-        analysis = MemSafety(module, fn, config, may_free)
-        result = run_forward(analysis, fn)
+    by_fn: Dict[str, List[Finding]] = {
+        name: [] for name in module.functions}
+
+    def recorder_factory(fn):
+        # Per-function instruction -> block index, built once: keeps
+        # finding attribution O(1) instead of scanning every block
+        # per finding.
+        index = {id(ins): blk.label
+                 for blk in fn.blocks for ins in blk.instrs}
         seen = set()
+        sink = by_fn[fn.name]
 
-        def record(ins, kind, severity, message,
-                   _fn=fn, _result=result, _seen=seen):
-            block = _block_of(_result.cfg, ins)
+        def record(ins, kind, severity, message, _fn=fn):
             dedup = (id(ins), kind, message)
-            if dedup in _seen:
+            if dedup in seen:
                 return
-            _seen.add(dedup)
-            report.findings.append(Finding(
+            seen.add(dedup)
+            sink.append(Finding(
                 kind=kind, severity=severity, function=_fn.name,
-                block=block, line=getattr(ins, "line", 0),
-                message=message))
+                block=index.get(id(ins), "?"),
+                line=getattr(ins, "line", 0), message=message))
 
-        analysis.report(result, record, stamp=stamp)
-        _dead_code_findings(fn, result.cfg, report)
+        return record
+
+    per_function, stats = analyze_module_interproc(
+        module, config, recorder_factory, stamp=stamp)
+    # Emit findings in module order regardless of analysis order, so
+    # reports stay stable under call-graph shape changes.
+    for name, fn in module.functions.items():
+        report.findings.extend(by_fn[name])
+        fa = per_function.get(name)
+        if fa is not None:
+            _dead_code_findings(fn, fa.result.cfg, report)
+    report.interproc = {
+        "functions": stats.functions,
+        "sccs": stats.sccs,
+        "scc_iterations": stats.scc_iterations,
+        "callsites_refined": stats.callsites_refined,
+        "contexts_applied": stats.contexts_applied,
+    }
     return report
-
-
-def _block_of(cfg: CFG, ins) -> str:
-    for label, blk in cfg.blocks.items():
-        if ins in blk.instrs:
-            return label
-    return "?"
 
 
 def _dead_code_findings(fn, cfg: CFG, report: AnalysisReport):

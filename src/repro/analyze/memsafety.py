@@ -33,8 +33,11 @@ from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 from repro.analyze.cfg import CFG
 from repro.analyze.dataflow import (EdgeStates, ForwardAnalysis,
                                     run_forward)
-from repro.analyze.domain import (FREED, LIVE, MAYBE_FREED, AVal,
+from repro.analyze.domain import (FREED, INF, LIVE, MAYBE_FREED, AVal,
                                   HeapRegion, Interval)
+from repro.analyze.summaries import (KNOWN_RUNTIME, PURE_FNS,
+                                     WRITE_THROUGH_ARG0, FnContext,
+                                     FunctionSummary, ParamCtx)
 from repro.core.config import HwstConfig
 from repro.ir.instrument import ALLOC_FNS, WRAPPED_RANGE_FNS
 from repro.ir.ir import (AddrGlobal, AddrLocal, BinOp, Br, Call, Conv,
@@ -42,7 +45,8 @@ from repro.ir.ir import (AddrGlobal, AddrLocal, BinOp, Br, Call, Conv,
                          Ret, Store, UnOp)
 
 __all__ = ["MemSafety", "analyze_function", "compute_may_free",
-           "AccessFacts"]
+           "AccessFacts", "PURE_FNS", "WRITE_THROUGH_ARG0",
+           "KNOWN_RUNTIME"]
 
 CMP_OPS = frozenset({"eq", "ne", "slt", "sle", "sgt", "sge",
                      "ult", "ule", "ugt", "uge"})
@@ -53,16 +57,8 @@ CMP_SWAP = {"eq": "eq", "ne": "ne", "slt": "sgt", "sgt": "slt",
             "sle": "sge", "sge": "sle", "ult": "ugt", "ugt": "ult",
             "ule": "uge", "uge": "ule"}
 
-# Runtime helpers that neither write user memory nor free anything.
-PURE_FNS = frozenset({"print_char", "print_str", "print_int",
-                      "print_hex", "rand_seed", "rand_next",
-                      "strlen", "strcmp", "strncmp", "memcmp",
-                      "__alloc_size"})
-# Runtime helpers that write through their first pointer argument.
-WRITE_THROUGH_ARG0 = frozenset({"memcpy", "memset", "strncpy",
-                                "strcpy", "strcat"})
-KNOWN_RUNTIME = (PURE_FNS | WRITE_THROUGH_ARG0 | set(ALLOC_FNS)
-                 | {"free"})
+# PURE_FNS / WRITE_THROUGH_ARG0 / KNOWN_RUNTIME now live in
+# repro.analyze.summaries (re-exported above for compatibility).
 
 
 def compute_may_free(module: Module) -> Set[str]:
@@ -97,12 +93,44 @@ def compute_may_free(module: Module) -> Set[str]:
 class AccessFacts:
     """Per-access conclusions, stamped on the Load/Store instruction."""
 
-    __slots__ = ("spatial_ok", "temporal_ok", "temporal_dom")
+    __slots__ = ("spatial_ok", "temporal_ok", "temporal_dom",
+                 "cross_call", "origin", "target")
+
+    _UNSET = "\0unset"
 
     def __init__(self):
         self.spatial_ok = True   # AND-accumulated over report visits
         self.temporal_ok = True
         self.temporal_dom = True
+        # OR-accumulated: some proof leaned on a call-site context
+        # (param region) — used to attribute cross-call elisions.
+        self.cross_call = False
+        # Slot the pointer was loaded from, when consistent across
+        # every visit (None otherwise) — the loop-hoist transform key.
+        self.origin = AccessFacts._UNSET
+        # For stores: the region written through, when consistent
+        # (None otherwise) — the loop-hoist clobber check.
+        self.target = AccessFacts._UNSET
+
+    def origin_slot(self):
+        return None if self.origin is AccessFacts._UNSET \
+            else self.origin
+
+    def note_origin(self, origin):
+        if self.origin is AccessFacts._UNSET:
+            self.origin = origin
+        elif self.origin != origin:
+            self.origin = None
+
+    def target_region(self):
+        return None if self.target is AccessFacts._UNSET \
+            else self.target
+
+    def note_target(self, region):
+        if self.target is AccessFacts._UNSET:
+            self.target = region
+        elif self.target != region:
+            self.target = None
 
     def __repr__(self):
         return (f"AccessFacts(sp={self.spatial_ok}, "
@@ -135,6 +163,14 @@ class MState:
                 f"checked={sorted(self.checked)})")
 
 
+def _is_param_site(site) -> bool:
+    """True for the abstract caller-provided region behind a pointer
+    parameter (``("param", name)``; own allocation sites are
+    ``(fn, label, idx)`` triples)."""
+    return isinstance(site, tuple) and len(site) == 2 and \
+        site[0] == "param"
+
+
 def _strip(av: AVal) -> AVal:
     return replace(av, origin=None, pred=None)
 
@@ -152,14 +188,43 @@ class MemSafety(ForwardAnalysis):
 
     def __init__(self, module: Module, fn: Function,
                  config: Optional[HwstConfig] = None,
-                 may_free: Optional[Set[str]] = None):
+                 may_free: Optional[Set[str]] = None,
+                 summaries: Optional[Dict[str,
+                                          FunctionSummary]] = None,
+                 context: Optional[FnContext] = None):
         self.module = module
         self.fn = fn
         self.config = config or HwstConfig()
+        self.summaries = summaries
+        self.context = context
+        # Parameter regions (and with them the interprocedural
+        # machinery) switch on only when summaries are supplied; the
+        # plain constructor keeps the strictly intraprocedural PR-2
+        # behaviour.
+        self.param_regions = summaries is not None
         self.may_free = may_free if may_free is not None \
-            else compute_may_free(module)
+            else (set() if summaries is not None
+                  else compute_may_free(module))
+        # Call-site context contributions, collected during the report
+        # pass: (callee name, ((param, ParamCtx), ...)).
+        self.callsites: list = []
+        self.callsites_refined = 0
         self._record: Optional[Recorder] = None
         self._stamp = False
+
+    def _param_site(self, name: str):
+        return ("heap", ("param", name))
+
+    def _ptr_params(self):
+        from repro.minic.types import PointerType
+
+        out = []
+        for p in self.fn.param_names:
+            slot = self.fn.locals.get(p)
+            if slot is not None and \
+                    isinstance(slot.ctype, PointerType):
+                out.append(p)
+        return out
 
     # -- lattice -----------------------------------------------------------
 
@@ -169,7 +234,23 @@ class MemSafety(ForwardAnalysis):
             slots["l:" + name] = AVal.uninit()
         for name, data in self.module.globals.items():
             slots["g:" + name] = self._global_initial(data)
-        return MState(slots, {}, frozenset())
+        heap: Dict[tuple, HeapRegion] = {}
+        if self.param_regions:
+            # Each pointer parameter gets an abstract caller-provided
+            # region. Size/liveness come from the call-site context
+            # (the checked-on-entry lattice); without a context the
+            # region has unknown size and maybe-freed status, which
+            # still enables must-facts (UAF after the function's own
+            # free, double-free) inside the callee.
+            for pname in self._ptr_params():
+                ctx = self.context.get(pname) if self.context \
+                    else None
+                avail = ctx.avail if ctx is not None else 0
+                live = ctx.live if ctx is not None else False
+                heap[self._param_site(pname)[1]] = HeapRegion(
+                    Interval(max(avail, 0), INF),
+                    LIVE if live else MAYBE_FREED)
+        return MState(slots, heap, frozenset())
 
     def _global_initial(self, data) -> AVal:
         from repro.minic.types import PointerType
@@ -294,8 +375,25 @@ class MemSafety(ForwardAnalysis):
                                         Interval.const(0))
             elif isinstance(ins, GetParam):
                 prov = self.fn.prov.get(ins.dst)
-                env[ins.dst] = AVal.unknown_ptr() if prov else \
-                    AVal.top()
+                pname = self.fn.param_names[ins.index] \
+                    if ins.index < len(self.fn.param_names) else None
+                if prov and self.param_regions and pname:
+                    ctx = self.context.get(pname) if self.context \
+                        else None
+                    nullness = ctx.nullness if ctx is not None \
+                        else "maybe"
+                    env[ins.dst] = AVal.ptr(
+                        self._param_site(pname), Interval.const(0),
+                        nullness=nullness)
+                elif prov:
+                    env[ins.dst] = AVal.unknown_ptr()
+                else:
+                    ctx = self.context.get(pname) \
+                        if self.context and pname else None
+                    if ctx is not None and not ctx.rng.is_top:
+                        env[ins.dst] = AVal.int_range(ctx.rng)
+                    else:
+                        env[ins.dst] = AVal.top()
             elif isinstance(ins, Conv):
                 env[ins.dst] = self._conv(aval(ins.a), ins.width,
                                           ins.signed)
@@ -329,6 +427,16 @@ class MemSafety(ForwardAnalysis):
                 # Instrumentation / hardware ops: defs go to Top.
                 for d in ins.defs():
                     env[d] = AVal.top()
+            dst = getattr(ins, "dst", None)
+            if dst is not None and dst in self.fn.subobj:
+                # Member lowering marked this vreg as the start of a
+                # struct-field window: anchor the sub-object bounds.
+                val = env.get(dst)
+                if val is not None and val.is_ptr and \
+                        val.nullness != "null":
+                    env[dst] = replace(
+                        val, sub=(Interval.const(0),
+                                  self.fn.subobj[dst]))
         return out
 
     # -- expression transfer -----------------------------------------------
@@ -376,17 +484,14 @@ class MemSafety(ForwardAnalysis):
             return self._compare(op, a, b)
         if op == "add":
             if a.is_ptr and b.is_int:
-                return replace(a, offset=a.offset.add(b.rng),
-                               pred=None)
+                return a.shift(b.rng)
             if b.is_ptr and a.is_int:
-                return replace(b, offset=b.offset.add(a.rng),
-                               pred=None)
+                return b.shift(a.rng)
             if a.is_int and b.is_int:
                 return self._int(a.rng.add(b.rng), width, signed)
         elif op == "sub":
             if a.is_ptr and b.is_int:
-                return replace(a, offset=a.offset.sub(b.rng),
-                               pred=None)
+                return a.shift(b.rng.neg())
             if a.is_ptr and b.is_ptr:
                 if a.region is not None and a.region == b.region:
                     return AVal.int_range(a.offset.sub(b.offset))
@@ -475,7 +580,13 @@ class MemSafety(ForwardAnalysis):
                 else AVal.top()
         elif ins.ptr_result and not value.is_ptr and \
                 value.kind != "uninit":
-            value = replace(AVal.unknown_ptr(), origin=value.origin)
+            if value.is_int and value.rng == Interval.const(0):
+                # `long *p = 0;` stores a plain integer zero; reading
+                # it back as a pointer is a definite NULL.
+                value = replace(AVal.null(), origin=value.origin)
+            else:
+                value = replace(AVal.unknown_ptr(),
+                                origin=value.origin)
         return value
 
     def _store(self, ins: Store, addr: AVal, src: AVal,
@@ -495,6 +606,12 @@ class MemSafety(ForwardAnalysis):
                     new.slots[key] = AVal.top()
                 new.checked = new.checked - {key}
                 return new
+            if addr.region[0] == "heap" and \
+                    _is_param_site(addr.region[1]):
+                # Caller memory may alias any module global (but not
+                # this frame's locals: they did not exist when the
+                # caller formed the argument pointer).
+                return self._havoc_globals(state)
             return state  # heap store: element values untracked
         # Store through an unknown pointer: it may legally target any
         # address-taken object or global (the access's own check stays,
@@ -516,6 +633,35 @@ class MemSafety(ForwardAnalysis):
         new.checked = new.checked - dropped
         return new
 
+    def _havoc_globals(self, state: MState) -> MState:
+        new = state.copy()
+        dropped = set()
+        for key in new.slots:
+            if key.startswith("g:"):
+                new.slots[key] = AVal.top()
+                dropped.add(key)
+        new.checked = new.checked - dropped
+        return new
+
+    def _degrade_param_siblings(self, new: MState, site):
+        """A param region was freed: any other param region may alias
+        it (two caller arguments can point into one object), so their
+        liveness and every param-aimed dominance fact degrade."""
+        for osite, oreg in list(new.heap.items()):
+            if osite != site and _is_param_site(osite) and \
+                    oreg.status == LIVE:
+                new.heap[osite] = HeapRegion(oreg.size, MAYBE_FREED)
+        new.checked = frozenset(
+            s for s in new.checked
+            if not self._aims_param(new, s))
+
+    def _aims_param(self, state: MState, skey: str) -> bool:
+        av = state.slots.get(skey)
+        return (av is not None and av.is_ptr
+                and av.region is not None
+                and av.region[0] == "heap"
+                and _is_param_site(av.region[1]))
+
     # -- calls -------------------------------------------------------------
 
     def _call(self, ins: Call, label: str, idx: int,
@@ -530,6 +676,13 @@ class MemSafety(ForwardAnalysis):
             return self._alloc(ins, label, idx, env, state)
         if name == "free":
             return self._free(ins, aval(ins.args[0]), state)
+
+        if self.summaries is not None and \
+                name in self.module.functions:
+            summary = self.summaries.get(name)
+            if summary is not None:
+                return self._apply_summary(ins, summary, label, idx,
+                                           env, state)
 
         ranges = WRAPPED_RANGE_FNS.get(name)
         if ranges:
@@ -569,6 +722,264 @@ class MemSafety(ForwardAnalysis):
                     for site, r in new.heap.items()}
             new = MState(new.slots, heap, frozenset())
         return new
+
+    # -- summary application -----------------------------------------------
+
+    def _apply_summary(self, ins: Call, s: FunctionSummary,
+                       label: str, idx: int, env: Dict[int, AVal],
+                       state: MState) -> MState:
+        """Transfer for a call to a summarized in-module function:
+        targeted effects instead of the wholesale havoc, plus (during
+        the report pass) call-site findings and context collection."""
+        bind: Dict[str, AVal] = {}
+        binding: Dict[str, Interval] = {}
+        for i, v in enumerate(ins.args):
+            av = env.get(v, AVal.top()) if v is not None \
+                else AVal.top()
+            key = s.params[i] if i < len(s.params) else f"${i}"
+            bind[key] = av
+            if av.is_int:
+                binding[key] = av.rng
+
+        if self._record is not None:
+            self._callsite_findings(ins, s, bind, binding, state)
+            if not (s.havocs and s.frees_unknown):
+                self.callsites_refined += 1
+            self._collect_context(s, bind, state)
+
+        new = state.copy()
+        new = self._summary_frees(s, bind, new)
+        new = self._summary_writes(s, bind, new)
+        if ins.dst is not None:
+            env[ins.dst] = self._summary_ret(s, bind, binding, label,
+                                             idx, ins.ptr_result, new)
+        return new
+
+    def _summary_frees(self, s: FunctionSummary,
+                       bind: Dict[str, AVal],
+                       new: MState) -> MState:
+        if s.frees_unknown:
+            heap = {site: HeapRegion(r.size,
+                                     FREED if r.status == FREED
+                                     else MAYBE_FREED)
+                    for site, r in new.heap.items()}
+            return MState(new.slots, heap, frozenset())
+        for p in sorted(s.frees_may):
+            av = bind.get(p)
+            if av is None or not av.is_ptr or \
+                    av.nullness == "null":
+                continue
+            if av.region is None:
+                # Callee frees a pointer we cannot place: anything
+                # might have been released.
+                heap = {site: HeapRegion(r.size,
+                                         FREED if r.status == FREED
+                                         else MAYBE_FREED)
+                        for site, r in new.heap.items()}
+                return MState(new.slots, heap, frozenset())
+            if av.region[0] != "heap":
+                continue  # invalid-free: reported, state unchanged
+            site = av.region[1]
+            region = new.heap.get(site)
+            size = region.size if region is not None \
+                else Interval.top()
+            if p in s.frees_must or \
+                    (region is not None and region.status == FREED):
+                status = FREED
+            else:
+                status = MAYBE_FREED
+            new.heap[site] = HeapRegion(size, status)
+            new.checked = frozenset(
+                k for k in new.checked
+                if not (new.slots.get(k) is not None
+                        and new.slots[k].is_ptr
+                        and new.slots[k].region == av.region))
+            if _is_param_site(site):
+                self._degrade_param_siblings(new, site)
+        return new
+
+    def _summary_writes(self, s: FunctionSummary,
+                        bind: Dict[str, AVal],
+                        new: MState) -> MState:
+        if s.havocs:
+            return self._havoc_objects(new)
+        if s.writes_globals:
+            new = self._havoc_globals(new)
+        for p in sorted(s.writes):
+            av = bind.get(p)
+            if av is None or not av.is_ptr:
+                continue
+            if av.region is None:
+                return self._havoc_objects(new)
+            key = self._slot_key(av.region)
+            if key is not None:
+                new.slots[key] = AVal.top()
+                new.checked = new.checked - {key}
+            elif av.region[0] == "heap" and \
+                    _is_param_site(av.region[1]):
+                # Write through caller memory: may alias globals.
+                new = self._havoc_globals(new)
+        return new
+
+    def _summary_ret(self, s: FunctionSummary, bind: Dict[str, AVal],
+                     binding: Dict[str, Interval], label: str,
+                     idx: int, ptr_result: bool,
+                     new: MState) -> AVal:
+        ret = s.ret
+        if ret.kind == "int":
+            rng = ret.itv.eval(binding)
+            return AVal.top() if rng.is_top else AVal.int_range(rng)
+        if ret.kind == "null":
+            return AVal.null()
+        if ret.kind == "param":
+            av = bind.get(ret.param)
+            if av is not None and av.is_ptr:
+                out = replace(av.shift(ret.off.eval(binding)),
+                              origin=None)
+                if ret.nullable and out.nullness == "nonnull":
+                    out = replace(out, nullness="maybe")
+                return out
+        if ret.kind == "fresh":
+            site = (f"ret:{s.name}", label, idx)
+            size = ret.itv.eval(binding)
+            old = new.heap.get(site)
+            live = ret.fresh_live and not s.frees_unknown
+            status = LIVE if live and (old is None or
+                                       old.status == LIVE) \
+                else MAYBE_FREED
+            new.heap[site] = HeapRegion(
+                Interval(max(size.lo, 0), size.hi), status)
+            return AVal.ptr(("heap", site), Interval.const(0),
+                            nullness="maybe")
+        if ret.kind == "global":
+            if ret.param in self.module.globals:
+                return AVal.ptr(("global", ret.param),
+                                ret.off.eval(binding),
+                                nullness="maybe" if ret.nullable
+                                else "nonnull")
+        return AVal.unknown_ptr() if ptr_result else AVal.top()
+
+    def _callsite_findings(self, ins: Call, s: FunctionSummary,
+                           bind: Dict[str, AVal],
+                           binding: Dict[str, Interval],
+                           state: MState):
+        """Caller-side findings from the callee's summary. Errors are
+        claimed only from *definite* callee behaviour over finite
+        caller facts, so every one still maps to a trapping run."""
+        for p, rec in s.derefs:
+            av = bind.get(p)
+            if av is None or not av.is_ptr or not rec.definite:
+                continue
+            if av.nullness == "null":
+                self._emit(ins, "null-deref", "error",
+                           f"passing NULL as '{p}' to {s.name}(), "
+                           f"which dereferences it")
+                continue
+            if av.region is None:
+                continue
+            if av.region[0] == "heap":
+                hr = state.heap.get(av.region[1])
+                if hr is not None and hr.status == FREED:
+                    self._emit(ins, "uaf", "error",
+                               f"passing freed pointer as '{p}' to "
+                               f"{s.name}(), which dereferences it")
+                    continue
+                if _is_param_site(av.region[1]):
+                    # Forwarding our own parameter: its backward
+                    # extent is unknown and its forward extent is a
+                    # lower bound, so no bounds claim here.
+                    continue
+            size = self._region_size(state, av.region)
+            if size is None:
+                continue
+            win = rec.itv.eval(binding)
+            if win.hi <= win.lo:
+                continue  # empty window proves nothing
+            under = (win.lo != float("-inf")
+                     and av.offset.lo != float("-inf")
+                     and av.offset.lo + win.lo < 0)
+            over = (win.hi != INF and av.offset.hi != INF
+                    and av.offset.hi + win.hi > size.hi)
+            if under or over:
+                what = "writes" if rec.write else "reads"
+                self._emit(ins, "oob", "error",
+                           f"{s.name}() {what} bytes {win!r} past "
+                           f"argument '{p}', out of bounds of the "
+                           f"{av.region[0]} object (size {size!r})")
+        for p in sorted(s.frees_must):
+            av = bind.get(p)
+            if av is None or not av.is_ptr or \
+                    av.nullness == "null" or av.region is None:
+                continue
+            kind = av.region[0]
+            if kind in ("local", "global"):
+                self._emit(ins, "invalid-free", "error",
+                           f"{s.name}() frees its argument '{p}', "
+                           f"but the pointer targets {kind} "
+                           f"'{av.region[1]}'")
+            else:
+                hr = state.heap.get(av.region[1])
+                if hr is not None and hr.status == FREED:
+                    self._emit(ins, "double-free", "error",
+                               f"{s.name}() frees its argument "
+                               f"'{p}', which is already freed")
+                elif not av.offset.contains(0) and \
+                        not _is_param_site(av.region[1]):
+                    self._emit(ins, "invalid-free", "error",
+                               f"{s.name}() frees its argument "
+                               f"'{p}', an interior pointer "
+                               f"(offset {av.offset!r})")
+        for p in sorted(s.escapes):
+            av = bind.get(p)
+            if av is not None and av.is_ptr and \
+                    av.region is not None and \
+                    av.region[0] == "local":
+                self._emit(ins, "scope-escape", "warning",
+                           f"pointer to local '{av.region[1]}' "
+                           f"escapes through {s.name}() "
+                           f"argument '{p}'")
+        if s.ret.kind == "local":
+            self._emit(ins, "scope-escape", "warning",
+                       f"{s.name}() returns a pointer to its own "
+                       f"local '{s.ret.param}'")
+
+    def _collect_context(self, s: FunctionSummary,
+                         bind: Dict[str, AVal], state: MState):
+        entries = []
+        for pname in s.params:
+            entries.append((pname,
+                            self._param_ctx(bind.get(pname), state)))
+        self.callsites.append((s.name, tuple(entries)))
+
+    def _param_ctx(self, av: Optional[AVal],
+                   state: MState) -> ParamCtx:
+        if av is None:
+            return ParamCtx()
+        if av.is_int:
+            return ParamCtx(rng=av.rng)
+        if not av.is_ptr:
+            return ParamCtx()
+        avail = 0
+        live = False
+        if av.region is not None:
+            size = self._region_size(state, av.region)
+            if size is not None and av.offset.lo >= 0 and \
+                    av.offset.hi != INF and size.lo != INF:
+                avail = max(0, int(size.lo - av.offset.hi))
+            kind = av.region[0]
+            if kind in ("local", "global"):
+                live = True
+            elif kind == "heap":
+                hr = state.heap.get(av.region[1])
+                live = hr is not None and hr.status == LIVE
+        if not live and av.origin is not None and \
+                av.origin in state.checked:
+            live = True   # checked-on-entry: a kept caller check
+                          # dominates the call
+        return ParamCtx(avail=avail,
+                        nullness="nonnull"
+                        if av.nullness == "nonnull" else "maybe",
+                        live=live)
 
     def _alloc(self, ins: Call, label: str, idx: int,
                env: Dict[int, AVal], state: MState) -> MState:
@@ -629,7 +1040,9 @@ class MemSafety(ForwardAnalysis):
         if region is not None and region.status == FREED:
             self._emit(ins, "double-free", "error",
                        "free() of an already-freed allocation")
-        elif not p.offset.contains(0):
+        elif not p.offset.contains(0) and not _is_param_site(site):
+            # (For a param region the incoming pointer may itself be
+            # interior, so a nonzero offset proves nothing.)
             self._emit(ins, "invalid-free", "error",
                        f"free() of interior pointer "
                        f"(offset {p.offset!r})")
@@ -641,6 +1054,8 @@ class MemSafety(ForwardAnalysis):
             if not (new.slots.get(s) is not None
                     and new.slots[s].is_ptr
                     and new.slots[s].region == p.region))
+        if _is_param_site(site):
+            self._degrade_param_siblings(new, site)
         return new
 
     # -- access classification ---------------------------------------------
@@ -652,6 +1067,7 @@ class MemSafety(ForwardAnalysis):
         fold the verdict into the instruction's AccessFacts."""
         spatial_ok = False
         temporal_ok = False
+        cross_call = False
         what = f"{wrapper}() range" if wrapper else \
             ("store" if is_store else "load")
 
@@ -665,8 +1081,10 @@ class MemSafety(ForwardAnalysis):
                 self._emit(ins, "null-deref", "error",
                            f"{what} through NULL pointer")
             elif addr.region is not None:
-                spatial_ok, temporal_ok = self._judge_region(
-                    ins, addr, length, state, what)
+                spatial_ok, temporal_ok, cross_call = \
+                    self._judge_region(ins, addr, length, state,
+                                       what)
+            self._check_subobj(ins, addr, length, wrapper, what)
 
         temporal_dom = (addr.origin is not None
                         and addr.origin in state.checked)
@@ -678,6 +1096,11 @@ class MemSafety(ForwardAnalysis):
             facts.spatial_ok &= spatial_ok
             facts.temporal_ok &= temporal_ok
             facts.temporal_dom &= temporal_dom
+            facts.cross_call |= cross_call
+            facts.note_origin(addr.origin)
+            if is_store:
+                facts.note_target(addr.region if addr.is_ptr
+                                  else None)
         # Seed dominance only when this access keeps a temporal check
         # (a fully-proven access's check disappears; a dominated one
         # reuses the earlier check).
@@ -687,33 +1110,60 @@ class MemSafety(ForwardAnalysis):
 
     def _judge_region(self, ins, addr: AVal, length: Interval,
                       state: MState, what: str
-                      ) -> Tuple[bool, bool]:
+                      ) -> Tuple[bool, bool, bool]:
         region = addr.region
         size = self._region_size(state, region)
         kind = region[0]
         temporal_ok = kind in ("local", "global")
+        param = kind == "heap" and _is_param_site(region[1])
         if kind == "heap":
             hr = state.heap.get(region[1])
             if hr is not None and hr.status == FREED:
                 self._emit(ins, "uaf", "error",
                            f"{what} through freed heap pointer")
-                return False, False
+                return False, False, False
             temporal_ok = hr is not None and hr.status == LIVE
         if size is None:
-            return False, temporal_ok
+            return False, temporal_ok, param and temporal_ok
         end = addr.offset.add(length)
         if addr.offset.lo < 0 or end.hi > size.hi:
+            if param:
+                # Behind the incoming pointer: the caller may have
+                # passed an interior pointer, so the region's
+                # backward extent is unknown — no claim either way.
+                return False, temporal_ok, param and temporal_ok
             if length.lo > 0 or not what.endswith("range"):
                 name = region[1] if kind != "heap" else "allocation"
                 self._emit(ins, "oob", "error",
                            f"{what} out of bounds of {kind} object "
                            f"'{name}': offsets {addr.offset!r}+"
                            f"{length!r} exceed size {size!r}")
-            return False, temporal_ok
+            return False, temporal_ok, param and temporal_ok
         spatial_ok = (addr.offset.lo >= 0
                       and end.hi <= size.lo
                       and addr.nullness == "nonnull")
-        return spatial_ok, temporal_ok
+        # A proof that leaned on a parameter region leaned on the
+        # call-site context; elision stats attribute it cross-call.
+        return spatial_ok, temporal_ok, \
+            param and (spatial_ok or temporal_ok)
+
+    def _check_subobj(self, ins, addr: AVal, length: Interval,
+                      wrapper: Optional[str], what: str):
+        """Intra-object overflow: the access escapes the struct field
+        its pointer was formed from. Object-granularity metadata (one
+        bound per allocation) cannot trap these, so they are reported
+        even when the access stays inside the allocation."""
+        if addr.sub is None or addr.nullness == "null":
+            return
+        if length.lo <= 0 and wrapper is not None:
+            return
+        rel, sub_size = addr.sub
+        end = rel.add(length)
+        if rel.lo < 0 or end.hi > sub_size:
+            self._emit(ins, "intra-oob", "error",
+                       f"{what} overflows the {sub_size}-byte struct "
+                       f"field it points into (field-relative "
+                       f"offsets {rel!r}+{length!r})")
 
     def _emit(self, ins, kind: str, severity: str, message: str):
         if self._record is not None:
@@ -862,11 +1312,18 @@ def analyze_function(module: Module, fn: Function,
                      config: Optional[HwstConfig] = None,
                      may_free: Optional[Set[str]] = None,
                      recorder: Optional[Recorder] = None,
-                     stamp: bool = True):
+                     stamp: bool = True,
+                     summaries: Optional[Dict[str,
+                                              FunctionSummary]] = None,
+                     context: Optional[FnContext] = None):
     """Fixpoint + report pass for one function. Returns the
     DataflowResult; findings go to ``recorder``; AccessFacts are
-    stamped on checked accesses when ``stamp``."""
-    analysis = MemSafety(module, fn, config, may_free)
+    stamped on checked accesses when ``stamp``. Supplying
+    ``summaries`` switches on the interprocedural machinery (use
+    :func:`repro.analyze.interproc.analyze_module_interproc` to drive
+    a whole module)."""
+    analysis = MemSafety(module, fn, config, may_free,
+                         summaries=summaries, context=context)
     result = run_forward(analysis, fn)
     analysis.report(result, recorder or (lambda *a: None),
                     stamp=stamp)

@@ -250,6 +250,14 @@ def cmd_analyze(args) -> int:
         reports.append(report)
         if report.errors():
             failed = True
+    if getattr(args, "sarif", None):
+        sarif = reports[0].to_sarif()
+        if len(reports) > 1:
+            for report in reports[1:]:
+                sarif["runs"].extend(report.to_sarif()["runs"])
+        with open(args.sarif, "w", encoding="utf-8") as fh:
+            json.dump(sarif, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     if args.json:
         payload = [report.to_dict() for report in reports]
         print(json.dumps(payload[0] if len(payload) == 1 else payload,
@@ -492,6 +500,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze_p.add_argument("files", nargs="+")
     analyze_p.add_argument("--json", action="store_true",
                            help="emit repro.analyze/v1 JSON")
+    analyze_p.add_argument("--sarif", metavar="OUT.SARIF",
+                           help="write findings as SARIF 2.1.0 "
+                                "(one run per input file)")
     analyze_p.set_defaults(fn=cmd_analyze)
 
     fault_p = sub.add_parser(

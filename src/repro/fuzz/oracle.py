@@ -56,6 +56,7 @@ _EXPECT_STATUS = {"spatial": STATUS_SPATIAL, "temporal": STATUS_TEMPORAL}
 #: linter finding kind -> violation class it asserts.
 _LINT_CLASS = {
     "oob": "spatial",
+    "intra-oob": "spatial",
     "uaf": "temporal",
     "double-free": "temporal",
     "invalid-free": "temporal",

@@ -311,6 +311,8 @@ class _PassBase:
             if ins.ptr_result:
                 self.root[ins.dst] = ins.addr
                 self.on_ptr_loaded(ins)
+                if getattr(ins, "_hoist_temporal", False):
+                    self.on_hoisted(ins)
             return
         if isinstance(ins, Store):
             if ins.needs_check:
@@ -348,6 +350,11 @@ class _PassBase:
 
     def on_ptr_loaded(self, ins: Load):
         pass
+
+    def on_hoisted(self, ins: Load):
+        """A ``hoist.N`` preheader load (loop-invariant temporal check
+        moved out of the loop): emit the scheme's temporal check for
+        the loaded pointer, untagged so elision never drops it."""
 
     def on_ptr_store(self, ins: Store):
         pass
@@ -410,6 +417,9 @@ class HwstPass(_PassBase):
                 self._temporal_check(addr)
         # kind == "call": freshly returned pointer cannot be stale;
         # null/none: SRF is invalid -> the fused check traps.
+
+    def on_hoisted(self, ins: Load):
+        self._temporal_check(ins.dst)
 
     def _temporal_check(self, addr: int):
         if self.use_tchk:
@@ -577,6 +587,12 @@ class SbcetsPass(_PassBase):
             key = self.load_global(self.g_key)
             lock = self.load_global(self.g_lock)
             self.inline_key_check(key, lock)
+
+    def on_hoisted(self, ins: Load):
+        self.materialize(ins.dst)
+        key = self.load_global(self.g_key)
+        lock = self.load_global(self.g_lock)
+        self.inline_key_check(key, lock)
 
     def on_ptr_store(self, ins: Store):
         self.materialize(ins.src)

@@ -426,6 +426,11 @@ class Function:
         #   ("param", name)   pointer argument (metadata on shadow stack)
         #   None              not a pointer / unknown
         self.prov: Dict[int, Optional[Tuple[str, Optional[str]]]] = {}
+        # Sub-object windows per vreg: a pointer produced by member
+        # lowering points into a struct field of this byte size. Used
+        # only by the static analyzer (intra-object overflow linting);
+        # codegen and instrumentation ignore it.
+        self.subobj: Dict[int, int] = {}
         self.uses_frame_lock = False   # set by instrumentation
 
     def new_vreg(self, ctype: Optional[CType] = None) -> int:

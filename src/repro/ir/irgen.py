@@ -196,11 +196,15 @@ class _FuncLowering:
             field_obj = struct.field_named(expr.name)
             if field_obj.offset == 0:
                 self.set_prov(base, self.prov_of(base))
+                if field_obj.ctype.size > 0:
+                    self.fn.subobj[base] = field_obj.ctype.size
                 return base, needs_check
             off = self.const(field_obj.offset)
             dst = self.vreg(PointerType(expr.ctype))
             self.emit(BinOp(dst, "add", base, off))
             self.set_prov(dst, self.prov_of(base))
+            if field_obj.ctype.size > 0:
+                self.fn.subobj[dst] = field_obj.ctype.size
             return dst, needs_check
         if isinstance(expr, ast.Cast):
             # (T*)lvalue used as lvalue — forward to the operand.

@@ -129,14 +129,19 @@ def compile_source(source: str, scheme: str = "baseline",
         elide = config.elide_checks and \
             getattr(PASSES.get(spec.instrument), "elidable", False)
         if elide:
-            from repro.analyze.memsafety import (analyze_function,
-                                                 compute_may_free)
+            from repro.analyze.elide import hoist_loop_checks
+            from repro.analyze.interproc import \
+                analyze_module_interproc
 
             with phases.phase("analyze"):
-                may_free = compute_may_free(module)
-                for fn in module.functions.values():
-                    analyze_function(module, fn, config, may_free,
-                                     stamp=True)
+                # Interprocedural: call-graph summaries refine call
+                # sites, call-site contexts refine callees, and proven
+                # loop-invariant temporal checks move to preheaders
+                # before instrumentation.
+                per_function, istats = analyze_module_interproc(
+                    module, config, stamp=True)
+                istats.checks_hoisted = hoist_loop_checks(
+                    module, per_function)
         with phases.phase("instrument"):
             instrument_module(module, spec.instrument, config=config)
         if elide:
@@ -144,6 +149,7 @@ def compile_source(source: str, scheme: str = "baseline",
 
             with phases.phase("analyze"):
                 stats = elide_module(module, config)
+            istats.cross_call_elided = stats.cross_call_elided
             module.meta["analyze"] = {
                 "checks_total": stats.checks_total,
                 "checks_proven": stats.checks_proven,
@@ -151,6 +157,7 @@ def compile_source(source: str, scheme: str = "baseline",
                 "spatial_elided": stats.spatial_elided,
                 "temporal_elided": stats.temporal_elided,
                 "ops_removed": stats.ops_removed,
+                **istats.to_meta(),
             }
             scope = phases.metrics
             if scope is not None:

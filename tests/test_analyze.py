@@ -386,10 +386,15 @@ class TestJulietCrossValidation:
 
     def test_static_errors_imply_dynamic_traps(self):
         """Every statically-reported bad variant must also trap under
-        the SBCETS oracle — the linter must not invent violations."""
+        the SBCETS oracle — the linter must not invent violations.
+        ``intra-oob`` is exempt by design: the access escapes a struct
+        *field* but stays inside the allocation, which object-
+        granularity metadata cannot trap (that blind spot is why the
+        finding exists)."""
         for case in JULIET_SAMPLE:
             report = analyze_source(case.bad_source, case.case_id)
-            if not report.errors():
+            if not [e for e in report.errors()
+                    if e.kind != "intra-oob"]:
                 continue
             result = run_program(case.bad_source, "sbcets",
                                  timing=False,
@@ -539,3 +544,295 @@ int main(void) {
         snapshot = registry.snapshot()
         assert "compile.analyze.checks_total" not in snapshot
         assert "analyze" not in phases.seconds
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural analysis: summaries, contexts, SARIF
+# ---------------------------------------------------------------------------
+
+class TestInterproc:
+    def _kinds(self, source):
+        report = analyze_source(source)
+        return {f.kind for f in report.findings}
+
+    def test_oob_through_helper(self):
+        """The callee's bounds effect (a deref at a constant offset)
+        surfaces at the call site passing a too-small object."""
+        assert "oob" in self._kinds("""
+int peek(int *p) {
+    return p[6];
+}
+int main(void) {
+    int buf[4];
+    return peek(buf);
+}
+""")
+
+    def test_uaf_through_helper(self):
+        assert "uaf" in self._kinds("""
+int get(int *p) {
+    return *p;
+}
+int main(void) {
+    int *p = (int*)malloc(16);
+    free(p);
+    return get(p);
+}
+""")
+
+    def test_callee_frees_argument(self):
+        """A helper that frees its argument makes the caller's second
+        free a double free."""
+        assert "double-free" in self._kinds("""
+void release(int *p) {
+    free(p);
+}
+int main(void) {
+    int *p = (int*)malloc(16);
+    release(p);
+    free(p);
+    return 0;
+}
+""")
+
+    def test_null_argument_to_derefing_helper(self):
+        assert "null-deref" in self._kinds("""
+int get(int *p) {
+    return *p;
+}
+int main(void) {
+    int *p = 0;
+    return get(p);
+}
+""")
+
+    def test_helpers_stay_quiet_on_clean_calls(self):
+        report = analyze_source("""
+int get(int *p) {
+    return *p;
+}
+void put(int *p, int v) {
+    *p = v;
+}
+int main(void) {
+    int *p = (int*)malloc(16);
+    if (p == 0) {
+        return 1;
+    }
+    put(p, 7);
+    int v = get(p);
+    free(p);
+    return v;
+}
+""")
+        assert report.ok, report.text()
+
+    def test_interproc_counters_in_report(self):
+        report = analyze_source("""
+int get(int *p) {
+    return *p;
+}
+int main(void) {
+    int x = 3;
+    return get(&x);
+}
+""")
+        assert report.interproc["functions"] == 2
+        assert report.interproc["sccs"] == 2
+        assert report.interproc["callsites_refined"] >= 1
+        assert report.interproc["contexts_applied"] >= 1
+
+    def test_recursion_stays_sound(self):
+        """Cyclic call graphs fall back to conservative summaries
+        without findings exploding or the fixpoint diverging."""
+        report = analyze_source("""
+int down(int *p, int n) {
+    if (n <= 0) {
+        return *p;
+    }
+    return down(p, n - 1);
+}
+int main(void) {
+    int x = 1;
+    return down(&x, 4);
+}
+""")
+        assert report.ok, report.text()
+
+
+class TestSarif:
+    def test_sarif_export(self):
+        report = analyze_source("""
+int main(void) {
+    int buf[2];
+    int *p = (int*)malloc(8);
+    free(p);
+    return buf[3] + *p;
+}
+""", name="prog.c")
+        doc = report.to_sarif()
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "REPRO-MS-OOB" in rules
+        assert "REPRO-MS-UAF" in rules
+        for res in run["results"]:
+            assert res["ruleId"] in rules
+            assert run["tool"]["driver"]["rules"][
+                res["ruleIndex"]]["id"] == res["ruleId"]
+            loc = res["locations"][0]
+            assert loc["physicalLocation"]["artifactLocation"][
+                "uri"] == "prog.c"
+        levels = {res["level"] for res in run["results"]}
+        assert "error" in levels
+
+    def test_rule_ids_are_stable(self):
+        from repro.analyze.linter import RULE_IDS
+        assert RULE_IDS["oob"] == "REPRO-MS-OOB"
+        assert RULE_IDS["intra-oob"] == "REPRO-MS-INTRA-OOB"
+        assert RULE_IDS["uaf"] == "REPRO-MS-UAF"
+
+
+# ---------------------------------------------------------------------------
+# Juliet recall ratchet (tests/data/juliet_ratchet.json)
+# ---------------------------------------------------------------------------
+
+class TestJulietRatchet:
+    def test_sample_recall_meets_ratchet(self):
+        import os
+        from collections import defaultdict
+
+        path = os.path.join(os.path.dirname(__file__), "data",
+                            "juliet_ratchet.json")
+        with open(path, encoding="utf-8") as fh:
+            ratchet = json.load(fh)
+        sample = ratchet["sample"]
+        corpus = generate_corpus(fraction=sample["fraction"])
+        flagged = defaultdict(int)
+        false_positives = []
+        for case in corpus:
+            bad = analyze_source(case.bad_source, case.case_id)
+            if bad.errors():
+                flagged[case.cwe] += 1
+            good = analyze_source(case.good_source, case.case_id)
+            if good.errors():
+                false_positives.append(case.case_id)
+        assert len(false_positives) <= \
+            ratchet["good_false_positives_max"], false_positives
+        total = sum(flagged.values())
+        assert total >= sample["total_flagged_min"], \
+            f"{total} flagged < ratchet {sample['total_flagged_min']}"
+        for cwe, floor in sample["per_cwe_flagged_min"].items():
+            assert flagged[int(cwe)] >= floor, \
+                f"CWE{cwe}: {flagged[int(cwe)]} < ratchet {floor}"
+
+
+# ---------------------------------------------------------------------------
+# Loop-invariant temporal-check hoisting
+# ---------------------------------------------------------------------------
+
+HOIST_LOOP = """
+int *g;
+void setup(void) {
+    g = (int *)malloc(40);
+    int i = 0;
+    while (i < 10) { g[i] = i; i = i + 1; }
+}
+int main(void) {
+    setup();
+    int s = 0;
+    int i = 0;
+    while (i < 10) {
+        s = s + g[i];
+        i = i + 1;
+    }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+class TestHoist:
+    def _compile_counters(self, source, scheme):
+        from repro.obs import MetricsRegistry, PhaseTimers
+        from repro.schemes import compile_source
+
+        registry = MetricsRegistry()
+        phases = PhaseTimers(metrics=registry)
+        compile_source(source, scheme, HwstConfig(elide_checks=True),
+                       phases=phases)
+        return registry.snapshot()
+
+    def test_hoist_fires_on_loop_invariant_global_pointer(self):
+        snap = self._compile_counters(HOIST_LOOP, "hwst128_tchk")
+        assert snap["compile.analyze.summary.checks_hoisted"] >= 1
+        assert snap["compile.analyze.temporal_elided"] >= 1
+
+    def test_hoist_preserves_output_and_saves_instructions(self):
+        from repro.schemes import run_source
+
+        config = HwstConfig(elide_checks=True)
+        for scheme in ("hwst128_tchk", "hwst128", "sbcets"):
+            base = run_source(HOIST_LOOP, scheme)
+            elided = run_source(HOIST_LOOP, scheme, config=config)
+            assert elided.status == base.status, scheme
+            assert elided.output == base.output, scheme
+            assert elided.instret < base.instret, scheme
+
+    def test_hoist_preserves_temporal_trap_on_dangling_loop(self):
+        from repro.schemes import run_source
+
+        dangling = HOIST_LOOP.replace("setup();",
+                                      "setup();\n    free(g);")
+        config = HwstConfig(elide_checks=True)
+        for scheme in ("hwst128_tchk", "sbcets"):
+            base = run_source(dangling, scheme)
+            elided = run_source(dangling, scheme, config=config)
+            assert base.status == "temporal_violation", scheme
+            assert elided.status == "temporal_violation", scheme
+
+    def test_no_hoist_for_conditional_access(self):
+        """An access that only executes on some iterations must keep
+        its own check: hoisting it could trap where the original
+        program never checks."""
+        source = """
+int *g;
+int flag;
+int main(void) {
+    g = (int *)malloc(40);
+    int s = 0;
+    int i = 0;
+    while (i < 10) {
+        if (flag > 0) {
+            s = s + g[i];
+        }
+        i = i + 1;
+    }
+    return s;
+}
+"""
+        snap = self._compile_counters(source, "hwst128_tchk")
+        assert snap["compile.analyze.summary.checks_hoisted"] == 0
+
+    def test_no_hoist_when_loop_calls_impure_helper(self):
+        source = """
+int *g;
+void rotate(void) {
+    free(g);
+    g = (int *)malloc(40);
+}
+int main(void) {
+    g = (int *)malloc(40);
+    int s = 0;
+    int i = 0;
+    while (i < 10) {
+        s = s + g[0];
+        rotate();
+        i = i + 1;
+    }
+    return s;
+}
+"""
+        snap = self._compile_counters(source, "hwst128_tchk")
+        assert snap["compile.analyze.summary.checks_hoisted"] == 0
