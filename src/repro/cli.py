@@ -99,9 +99,12 @@ def cmd_run(args) -> int:
         phases = PhaseTimers(metrics=metrics, tracer=tracer)
     program = compile_source(source, args.scheme, _config(args),
                              phases=phases)
+    from repro.sim import make_machine
+
     timing = None if args.no_timing else InOrderPipeline(metrics=metrics)
-    machine = Machine(timing=timing, trace_depth=args.trace,
-                      metrics=metrics, tracer=tracer, profiler=profiler)
+    machine = make_machine(args.engine, timing=timing,
+                           trace_depth=args.trace, metrics=metrics,
+                           tracer=tracer, profiler=profiler)
     result = machine.run(program, max_instructions=args.max_instructions)
     _print_result(result, args.stats)
     if args.trace and result.status != "exit":
@@ -300,7 +303,8 @@ def cmd_faultcampaign(args) -> int:
         report = run_campaign(
             scheme=args.scheme, families=families, n=args.n,
             seed=args.seed, executor=executor,
-            wallclock_budget=args.wallclock, heartbeat=heartbeat)
+            wallclock_budget=args.wallclock, heartbeat=heartbeat,
+            engine_lockstep=args.engine_lockstep)
     print(report.table())
     print(executor.summary())
     if args.out:
@@ -326,7 +330,8 @@ def cmd_fuzz(args) -> int:
             n=args.n, seed=args.seed, executor=executor,
             corpus_dir=args.corpus,
             reduce_divergences=not args.no_reduce,
-            wallclock_budget=args.wallclock, heartbeat=heartbeat)
+            wallclock_budget=args.wallclock, heartbeat=heartbeat,
+            engine_lockstep=args.engine_lockstep)
     print(report.table())
     print(executor.summary())
     if args.out:
@@ -378,7 +383,7 @@ def cmd_bench(args) -> int:
 
         envelope = run_bench(scenarios=names, reps=args.reps,
                              seed=args.seed, quick=args.quick,
-                             progress=progress)
+                             engine=args.engine, progress=progress)
     if args.out:
         save_envelope(envelope, args.out)
         print(f"envelope -> {args.out}")
@@ -417,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--elide-checks", action="store_true",
                        help="statically remove proven-redundant checks")
     run_p.add_argument("--no-timing", action="store_true")
+    run_p.add_argument("--engine", default="ref", choices=("ref", "fast"),
+                       help="execution core: 'ref' (per-instruction "
+                       "reference interpreter) or 'fast' (translation-"
+                       "cached superblock interpreter; same observables)")
     run_p.add_argument("--trace", type=int, default=0, metavar="N",
                        help="keep the last N instructions for post-mortem")
     run_p.add_argument("--max-instructions", type=int,
@@ -523,6 +532,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-injection watchdog budget")
     fault_p.add_argument("--out", metavar="OUT.JSON",
                          help="write the repro.faultinject/v1 report")
+    fault_p.add_argument("--engine-lockstep", action="store_true",
+                         help="before injecting, re-run every golden "
+                         "on the fast engine and abort on any "
+                         "observable mismatch (report bytes unchanged)")
     fault_p.add_argument("--heartbeat", type=float, default=0.0,
                          metavar="SECONDS",
                          help="emit JSON progress heartbeats on stderr "
@@ -547,6 +560,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip ddmin reduction of divergences")
     fuzz_p.add_argument("--out", metavar="OUT.JSON",
                         help="write the repro.fuzz/v1 report")
+    fuzz_p.add_argument("--engine-lockstep", action="store_true",
+                        help="add the ref-vs-fast engine oracle to "
+                        "every probe (hwst128 build re-executed on the "
+                        "fast engine; must match including instret)")
     fuzz_p.add_argument("--heartbeat", type=float, default=0.0,
                         metavar="SECONDS",
                         help="emit JSON progress heartbeats on stderr "
@@ -580,6 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--tolerance", type=float, default=25.0,
                          metavar="PCT",
                          help="median wall-time slowdown gate")
+    bench_p.add_argument("--engine", default="ref",
+                         choices=("ref", "fast"),
+                         help="execution core for workload scenarios "
+                         "(the envelope records it)")
     bench_p.add_argument("--min-wall", type=float, default=2.0,
                          metavar="MS",
                          help="baseline medians below this never gate")

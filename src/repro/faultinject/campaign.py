@@ -228,7 +228,8 @@ def run_campaign(scheme: str = "hwst128",
                  config: Optional[HwstConfig] = None,
                  executor=None, jobs: int = 1,
                  wallclock_budget: Optional[float] = 60.0,
-                 registry=None, heartbeat=None) -> CampaignReport:
+                 registry=None, heartbeat=None,
+                 engine_lockstep: bool = False) -> CampaignReport:
     """Run a seeded fault-injection campaign; see the module docstring.
 
     ``executor`` (a :class:`SweepExecutor`) is reused when given —
@@ -239,6 +240,12 @@ def run_campaign(scheme: str = "hwst128",
     rate-limited progress ticks as injection groups complete —
     stderr/telemetry only; the ``repro.faultinject/v1`` report stays
     byte-identical with or without it.
+
+    ``engine_lockstep`` (opt-in, default off) re-runs every golden
+    profile on the fast translation-cached engine before the campaign
+    starts and raises :class:`ReproError` on any observable mismatch
+    (including instret). It never changes the report bytes — it either
+    passes silently or aborts loudly.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1: {n}")
@@ -253,6 +260,19 @@ def run_campaign(scheme: str = "hwst128",
 
     goldens = {name: golden_run(TARGETS[name], scheme, config)
                for name in target_names}
+    if engine_lockstep:
+        from repro.errors import ReproError
+
+        for name in target_names:
+            fast = golden_run(TARGETS[name], scheme, config,
+                              engine="fast")
+            ref = goldens[name]
+            if not (ref.matches(fast) and ref.instret == fast.instret):
+                raise ReproError(
+                    f"engine lockstep failed on golden {name!r}/"
+                    f"{scheme}: ref {ref.status}/exit={ref.exit_code}/"
+                    f"instret={ref.instret} vs fast {fast.status}/"
+                    f"exit={fast.exit_code}/instret={fast.instret}")
 
     plan = plan_campaign(n, seed, kinds, target_names, goldens)
     cells = [

@@ -110,19 +110,22 @@ def profile_run(machine: Machine, result) -> RunProfile:
 def golden_run(source: str, scheme: str,
                config: Optional[HwstConfig] = None,
                max_instructions: int = 50_000_000,
-               cache=None) -> RunProfile:
+               cache=None, engine: str = "ref") -> RunProfile:
     """Compile + run ``source`` uninjected and profile the outcome.
 
     Untimed (``timing=None``) — the oracle compares architectural
     state, and injected runs use the same machine construction so the
-    comparison is apples-to-apples.
+    comparison is apples-to-apples. ``engine`` selects the execution
+    core; the campaign's opt-in lockstep check re-runs each golden on
+    the fast engine and demands an identical profile.
     """
     from repro.harness.compile_cache import process_cache
+    from repro.sim import make_machine
 
     config = config or HwstConfig()
     cache = cache if cache is not None else process_cache()
     program = cache.compile(source, scheme, config)
-    machine = Machine(config=config, timing=None)
+    machine = make_machine(engine, config=config, timing=None)
     result = machine.run(program, max_instructions=max_instructions)
     return profile_run(machine, result)
 

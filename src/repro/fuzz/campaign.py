@@ -52,6 +52,7 @@ class FuzzCell:
     schemes: Tuple[str, ...] = DEFAULT_SCHEMES
     max_instructions: int = 2_000_000
     wallclock_budget: Optional[float] = 60.0
+    engine_lockstep: bool = False
 
     @property
     def tag(self) -> str:
@@ -72,7 +73,8 @@ class FuzzCell:
 
     def execute(self) -> CellResult:
         probe = probe_program(self.source, self.schemes,
-                              max_instructions=self.max_instructions)
+                              max_instructions=self.max_instructions,
+                              engine_lockstep=self.engine_lockstep)
         verdicts, divergences = classify_program(
             self.kind, self.expect, probe, self.schemes)
         reference = probe.profiles[self.schemes[-1]]
@@ -112,12 +114,14 @@ def _envelope_divergence(result: CellResult) -> Divergence:
 
 def _signatures_of(source: str, kind: str, expect: str,
                    schemes: Sequence[str],
-                   max_instructions: int) -> Set[Tuple[str, str]]:
+                   max_instructions: int,
+                   engine_lockstep: bool = False) -> Set[Tuple[str, str]]:
     """Divergence signatures a candidate source exhibits (for ddmin)."""
     try:
         probe = probe_program(source, schemes,
                               max_instructions=max_instructions,
-                              collect_coverage=False)
+                              collect_coverage=False,
+                              engine_lockstep=engine_lockstep)
     except Exception as exc:                    # toolchain crash class
         return {("harness", f"crash.{type(exc).__name__}")}
     _, divergences = classify_program(kind, expect, probe, schemes)
@@ -218,7 +222,8 @@ def run_fuzz(n: int, seed: int,
              max_instructions: int = 2_000_000,
              wallclock_budget: Optional[float] = 60.0,
              reduce_checks: int = 300,
-             heartbeat=None) -> FuzzReport:
+             heartbeat=None,
+             engine_lockstep: bool = False) -> FuzzReport:
     """Run a fuzz campaign of ``n`` programs from ``seed``.
 
     Deterministic: the report (and its JSON rendering) is byte-identical
@@ -226,6 +231,9 @@ def run_fuzz(n: int, seed: int,
     ``heartbeat`` (a :class:`repro.obs.heartbeat.Heartbeat`) receives
     rate-limited progress ticks as probe groups complete — stderr/
     telemetry only, never a byte of the report.
+
+    ``engine_lockstep`` (opt-in) adds the ref-vs-fast engine oracle to
+    every probe; default-off keeps existing reports byte-identical.
     """
     schemes = tuple(schemes)
     report = FuzzReport(seed=seed, n=n, schemes=schemes,
@@ -245,7 +253,8 @@ def run_fuzz(n: int, seed: int,
                 index=index, name=program.name, kind=program.kind,
                 expect=program.expect, source=program.source,
                 schemes=schemes, max_instructions=max_instructions,
-                wallclock_budget=wallclock_budget)))
+                wallclock_budget=wallclock_budget,
+                engine_lockstep=engine_lockstep)))
         progress = None
         if heartbeat is not None:
             base_done = done
@@ -313,7 +322,8 @@ def run_fuzz(n: int, seed: int,
             def predicate(candidate: str,
                           _wanted=frozenset(wanted)) -> bool:
                 got = _signatures_of(candidate, cell.kind, cell.expect,
-                                     schemes, max_instructions)
+                                     schemes, max_instructions,
+                                     engine_lockstep=engine_lockstep)
                 return _wanted <= got
 
             shrunk = reduce_source(cell.source, predicate,

@@ -103,15 +103,17 @@ class ProgramProbe:
 
 def _profile(cache, source: str, scheme: str, config: HwstConfig,
              max_instructions: int, timed: bool = False,
-             profiler=None) -> Tuple[RunProfile, object]:
-    from repro.sim.machine import Machine
+             profiler=None, engine: str = "ref"
+             ) -> Tuple[RunProfile, object]:
+    from repro.sim import make_machine
 
     program = cache.compile(source, scheme, config)
     timing = None
     if timed:
         from repro.pipeline.timing import InOrderPipeline
         timing = InOrderPipeline()
-    machine = Machine(config=config, timing=timing, profiler=profiler)
+    machine = make_machine(engine, config=config, timing=timing,
+                           profiler=profiler)
     result = machine.run(program, max_instructions=max_instructions)
     return profile_run(machine, result), program
 
@@ -121,9 +123,16 @@ def probe_program(source: str,
                   config: Optional[HwstConfig] = None,
                   cache=None,
                   max_instructions: int = 2_000_000,
-                  collect_coverage: bool = True) -> ProgramProbe:
+                  collect_coverage: bool = True,
+                  engine_lockstep: bool = False) -> ProgramProbe:
     """Run every oracle probe for ``source``; may raise on a toolchain
     crash (the campaign layer converts that into a harness divergence).
+
+    ``engine_lockstep`` (opt-in, off by default so existing
+    ``repro.fuzz/v1`` reports stay byte-identical) adds a fifth oracle
+    axis: the hwst128 build re-executed on the fast translation-cached
+    engine, which must match the reference run on every observable
+    including instret and the heap digest.
     """
     from repro.analyze.linter import analyze_source
     from repro.harness.compile_cache import process_cache
@@ -136,6 +145,10 @@ def probe_program(source: str,
                                        max_instructions)
     functions: Tuple[str, ...] = ()
     if "hwst128" in schemes:
+        if engine_lockstep:
+            profiles["hwst128@fast"], _ = _profile(
+                cache, source, "hwst128", config, max_instructions,
+                engine="fast")
         profiles["hwst128@alt"], _ = _profile(
             cache, source, "hwst128", alt_config(config), max_instructions)
         profiler = None
@@ -265,4 +278,18 @@ def classify_program(kind: str, expect: str, probe: ProgramProbe,
         "compression": compression_verdict,
         "timing": timing_verdict,
     }
+
+    # -- reference vs fast engine (opt-in lockstep) ------------------------
+    # The verdict key appears only when the probe carried the fast-
+    # engine profile, so default campaign reports stay byte-identical.
+    if "hwst128" in profiles and "hwst128@fast" in profiles:
+        a, b = profiles["hwst128"], profiles["hwst128@fast"]
+        if a.matches(b) and a.instret == b.instret:
+            verdicts["engine"] = "agree"
+        else:
+            verdicts["engine"] = "divergence"
+            divergences.append(Divergence(
+                "engine", "ref_fast_mismatch",
+                f"ref {_show(a)} instret={a.instret} vs "
+                f"fast {_show(b)} instret={b.instret}"))
     return verdicts, divergences

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import Dict, Optional, Tuple
 
@@ -21,7 +22,8 @@ def run_program(source: str, scheme: str,
                 timing_params: Optional[TimingParams] = None,
                 max_instructions: int = 200_000_000,
                 metrics=None, tracer=None, profiler=None,
-                phases=None, cache=None) -> RunResult:
+                phases=None, cache=None,
+                engine: str = "ref") -> RunResult:
     """Compile + execute one program under one scheme.
 
     Observability hooks (``metrics``/``tracer``/``profiler``/compile
@@ -33,7 +35,13 @@ def run_program(source: str, scheme: str,
     reuses an identical compiled ``Program`` instead of rebuilding it;
     a custom ``phases`` object is ignored on that path (the cache
     times only work it actually performs).
+
+    ``engine`` selects the execution core (``ref`` | ``fast``, see
+    :func:`repro.sim.make_machine`); every architecturally visible
+    outcome is engine-independent.
     """
+    from repro.sim import make_machine
+
     config = config or HwstConfig()
     if cache is not None:
         program = cache.compile(source, scheme, config,
@@ -45,8 +53,9 @@ def run_program(source: str, scheme: str,
         program = compile_source(source, scheme, config, phases=phases)
     pipeline = InOrderPipeline(timing_params, metrics=metrics) \
         if timing else None
-    machine = Machine(config=config, timing=pipeline, metrics=metrics,
-                      tracer=tracer, profiler=profiler)
+    machine = make_machine(engine, config=config, timing=pipeline,
+                           metrics=metrics, tracer=tracer,
+                           profiler=profiler)
     return machine.run(program, max_instructions=max_instructions)
 
 
@@ -64,7 +73,8 @@ def timed_run(source: str, scheme: str,
               config: Optional[HwstConfig] = None,
               timing: bool = True,
               max_instructions: int = 200_000_000,
-              profile: bool = False) -> Tuple[RunResult, Dict]:
+              profile: bool = False,
+              engine: str = "ref") -> Tuple[RunResult, Dict]:
     """One *measured* compile+run: the bench runner's unit of work.
 
     Compiles without any cache (so compile-phase wall time is real
@@ -72,7 +82,10 @@ def timed_run(source: str, scheme: str,
     ``perf_counter``, and returns ``(result, sample)`` where
     ``sample`` carries the host-side measurements of this repetition:
 
-    * ``wall_s`` — wall-clock seconds of the simulation loop only;
+    * ``wall_s`` — wall-clock seconds of the simulation loop only (the
+      cyclic collector is drained before the clock starts and disabled
+      while it runs, so neither a previous rep's garbage nor a gen2
+      pass over the process heap bills its pauses to this rep);
     * ``compile_s`` / ``phases_ms`` — compile wall time, total and per
       phase (lex/parse/…/link, from :class:`PhaseTimers`);
     * ``peak_rss_kb`` / ``gc_collections`` — host gauges sampled after
@@ -85,16 +98,33 @@ def timed_run(source: str, scheme: str,
     from repro.obs.host import gc_collections, peak_rss_kb
     from repro.obs.phases import PhaseTimers
     from repro.obs.profiler import CycleProfiler
+    from repro.sim import make_machine
 
     config = config or HwstConfig()
     phases = PhaseTimers()
     program = compile_source(source, scheme, config, phases=phases)
     profiler = CycleProfiler() if profile else None
     pipeline = InOrderPipeline() if timing else None
-    machine = Machine(config=config, timing=pipeline, profiler=profiler)
-    t0 = time.perf_counter()
-    result = machine.run(program, max_instructions=max_instructions)
-    wall = time.perf_counter() - t0
+    machine = make_machine(engine, config=config, timing=pipeline,
+                           profiler=profiler)
+    # Measurement isolation: drain the cyclic collector (the previous
+    # rep's dead machine and this rep's compile garbage otherwise pay
+    # their collector pauses inside *this* rep's timed region), then
+    # keep it off for the run itself — a translation cache allocating
+    # thousands of closures triggers full gen2 passes over the whole
+    # process heap, a double-digit-millisecond pause billed to whatever
+    # rep it lands in.  Exactly one machine lives inside the disabled
+    # window, so the deferred garbage is bounded.
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        t0 = time.perf_counter()
+        result = machine.run(program, max_instructions=max_instructions)
+        wall = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     sample: Dict = {
         "wall_s": wall,
         "compile_s": sum(phases.seconds.values()),

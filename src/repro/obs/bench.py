@@ -21,6 +21,7 @@ what remains must be byte-identical across reruns at the same seed
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 from dataclasses import dataclass
@@ -128,7 +129,8 @@ def _band(samples: Sequence[float], digits: int = 4) -> Dict[str, object]:
 # Scenario execution
 # ---------------------------------------------------------------------------
 
-def _run_workload_scenario(scenario: BenchScenario, reps: int) -> dict:
+def _run_workload_scenario(scenario: BenchScenario, reps: int,
+                           engine: str = "ref") -> dict:
     from repro.harness.runner import timed_run
     from repro.workloads import WORKLOADS
 
@@ -137,7 +139,7 @@ def _run_workload_scenario(scenario: BenchScenario, reps: int) -> dict:
     deterministic: Optional[dict] = None
     for rep in range(reps):
         result, sample = timed_run(source, scenario.scheme,
-                                   profile=(rep == 0))
+                                   profile=(rep == 0), engine=engine)
         if result.status != "exit" or result.exit_code != 0:
             raise RuntimeError(
                 f"bench scenario {scenario.name} did not run clean: "
@@ -160,6 +162,7 @@ def _run_workload_scenario(scenario: BenchScenario, reps: int) -> dict:
         "workload": scenario.workload,
         "scheme": scenario.scheme,
         "scale": scenario.scale,
+        "engine": engine,
     }
     entry.update(deterministic)
     phase_medians = {}
@@ -185,6 +188,10 @@ def _run_campaign_scenario(scenario: BenchScenario, reps: int,
     walls: List[float] = []
     deterministic: Optional[dict] = None
     for rep in range(reps):
+        # Same measurement isolation as timed_run(): drain the cyclic
+        # collector so the previous rep's dead machines don't bill
+        # their GC pauses to this rep's wall.
+        gc.collect()
         t0 = time.perf_counter()
         if scenario.campaign == "fuzz":
             from repro.fuzz import run_fuzz
@@ -227,12 +234,18 @@ def _run_campaign_scenario(scenario: BenchScenario, reps: int,
 
 
 def run_scenario(scenario: BenchScenario, reps: int = 3,
-                 seed: int = 7) -> dict:
-    """Run one scenario ``reps`` times; returns its envelope entry."""
+                 seed: int = 7, engine: str = "ref") -> dict:
+    """Run one scenario ``reps`` times; returns its envelope entry.
+
+    ``engine`` selects the execution core for *workload* scenarios
+    (the deterministic subtree is engine-independent by the lockstep
+    contract, so only the measured bands move). Campaign smokes always
+    run their own orchestration and ignore it.
+    """
     if reps < 1:
         raise ValueError(f"reps must be >= 1: {reps}")
     if scenario.kind == "workload":
-        return _run_workload_scenario(scenario, reps)
+        return _run_workload_scenario(scenario, reps, engine=engine)
     return _run_campaign_scenario(scenario, reps, seed)
 
 
@@ -242,13 +255,16 @@ def run_scenario(scenario: BenchScenario, reps: int = 3,
 
 def run_bench(scenarios: Optional[Sequence[str]] = None,
               reps: int = 3, seed: int = 7, quick: bool = False,
+              engine: str = "ref",
               progress: Optional[Callable[[str, int, int], None]] = None,
               ) -> dict:
     """Run the bench suite and build the ``repro.bench/v1`` envelope.
 
     ``scenarios`` selects by name (default: the full registry, or the
-    ``--quick`` subset). ``progress(name, index, total)`` is called
-    before each scenario starts (the CLI prints a status line).
+    ``--quick`` subset). ``engine`` selects the workload-scenario
+    execution core (``ref`` | ``fast``); the envelope records it.
+    ``progress(name, index, total)`` is called before each scenario
+    starts (the CLI prints a status line).
     """
     import platform
     import sys as _sys
@@ -263,12 +279,13 @@ def run_bench(scenarios: Optional[Sequence[str]] = None,
         if progress is not None:
             progress(name, index, len(names))
         entries[name] = run_scenario(SCENARIOS[name], reps=reps,
-                                     seed=seed)
+                                     seed=seed, engine=engine)
     return {
         "schema": ENVELOPE_SCHEMA,
         "seed": seed,
         "reps": reps,
         "quick": bool(quick),
+        "engine": engine,
         "scenarios": entries,
         "host": {
             "python": platform.python_version(),

@@ -8,13 +8,41 @@
 * :mod:`repro.sim.program` — linked program images (text + data + symbols);
 * :mod:`repro.sim.machine` — the instruction-set simulator executing the
   RV64 subset plus the HWST128/MPX/AVX extensions, in the role the
-  augmented SPIKE plays in the paper.
+  augmented SPIKE plays in the paper (the *reference engine*);
+* :mod:`repro.sim.fastmachine` — the translation-cached superblock
+  engine, architecturally identical to the reference but decoding each
+  basic block once (``--engine fast``).
 """
 
 from repro.sim.memory import Memory, MemoryLayout
 from repro.sim.keybuffer import KeyBuffer
 from repro.sim.program import Program, Segment
 from repro.sim.machine import Machine, RunResult
+from repro.sim.fastmachine import FastMachine
+
+#: Engine registry: name -> Machine class. "ref" is the golden
+#: fetch/decode/execute interpreter; "fast" the translation-cached one.
+ENGINES = {
+    "ref": Machine,
+    "fast": FastMachine,
+}
+DEFAULT_ENGINE = "ref"
+
+
+def make_machine(engine: str = DEFAULT_ENGINE, **kwargs) -> Machine:
+    """Construct a simulator by engine name (``ref`` | ``fast``).
+
+    Every keyword argument is forwarded to the engine's constructor —
+    the two engines take identical arguments by design.
+    """
+    try:
+        cls = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from "
+            f"{', '.join(sorted(ENGINES))}") from None
+    return cls(**kwargs)
+
 
 __all__ = [
     "Memory",
@@ -23,5 +51,9 @@ __all__ = [
     "Program",
     "Segment",
     "Machine",
+    "FastMachine",
     "RunResult",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "make_machine",
 ]

@@ -1,0 +1,1319 @@
+"""Translation-cached fast engine for the RV64 + HWST128 simulator.
+
+:class:`FastMachine` is the QEMU-style dynamic-binary-translation
+answer to the classic fetch/decode/execute loop in
+:class:`~repro.sim.machine.Machine` (which stays untouched as the
+golden reference engine): the first time execution reaches a pc, the
+basic block starting there is decoded **once** into a list of bound
+Python closures with every static operand (pc, rd, rs1, rs2, imm,
+branch targets, link values) pre-extracted, and the block is cached by
+entry pc. Subsequent visits replay the closures with no per-instruction
+fetch, dispatch-dict lookup, operand decoding, or budget bookkeeping —
+instret advances in one bulk add per block.
+
+Design points (docs/fast-iss.md covers the full contract):
+
+* **Superblocks.** Traces extend across unconditional direct jumps
+  (``jal``): a call or a ``j`` does not end the trace, so a hot
+  caller+callee sequence becomes one block (bounded by
+  :data:`MAX_TRACE`, and a trace never revisits a pc — loops translate
+  once, not unrolled). Conditional branches, ``jalr``, ``ecall`` and
+  ``ebreak`` terminate a trace; their successors chain through the
+  pc-indexed block cache.
+* **Fusion.** The instrumentation idiom ``tchk rs1`` followed by a
+  fused-check access (``ld.chk``/``sd.chk`` …) is translated into a
+  *single* closure — one Python call performs the temporal check, the
+  spatial check and the memory access, while still retiring as two
+  instructions with two distinct trap pcs.
+* **Exactness.** Every architecturally visible observable is
+  bit-identical with the reference engine: registers, memory, SRF,
+  stdout, instret (including at trap boundaries — a mid-block trap
+  credits exactly the instructions that completed before it), trap
+  class/pc/detail, ``sim.*`` counters, keybuffer and shadow statistics,
+  and — when a timing model is attached — cycles and the full
+  ``cyc_*``/dcache breakdown. The timing model is evaluated at
+  *translate time*: everything ``retire()`` charges that is static per
+  instruction (base cost, structural extras, mul/div latency, jump
+  redirects, intra-block interlocks) is summed into one per-block
+  **fold** applied once per replay, with an exact per-position unwind
+  for mid-block traps; only the D-cache outcome, the tchk
+  keybuffer-miss beat and taken-branch redirects stay in the closures.
+  Reference-wrapped ops self-account through the real ``retire()`` and
+  therefore occupy a block alone in timed mode, reading interlock
+  state the fold materialises at block boundaries.
+* **Invalidation.** ``load()`` registers a store watch on the text
+  window; any store overlapping a translated block drops that block
+  from the cache. (Instruction *semantics* cannot change — both
+  engines fetch from the decoded ``Program.instrs`` list, not from
+  memory bytes — so this is cache hygiene plus honest statistics, and
+  the contract a future fetch-from-memory engine will need.)
+* **Fallbacks.** Per-instruction observers — a fault-injection hook,
+  a trace ring buffer, an event tracer, a cycle profiler (whose
+  ``record`` must fire exactly once per retired pc) — and the budget
+  tail (fewer remaining instructions than the next block retires) all
+  run on the reference ``_dispatch_loop``, which is also what
+  ``step()`` uses: semantics cannot drift because there is only one
+  single-instruction path, and observed runs pay zero translation
+  overhead on top of what the reference engine costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro import bits
+from repro.core.config import ALIGN_SHIFT
+from repro.errors import (
+    IllegalInstruction, MemoryFault, ReproError, ShadowMemoryExhausted,
+    SimTrap,
+)
+from repro.isa import csr as csrdef
+from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.sim.machine import Machine, SRF_INVALID
+from repro.sim.program import Program
+
+__all__ = ["FastMachine", "MAX_TRACE"]
+
+#: Upper bound on instructions per translated trace. Superblock
+#: extension across ``jal`` stops here so a call-heavy region cannot
+#: translate into one giant block (which would defeat the budget tail
+#: and bloat retranslation after an invalidation).
+MAX_TRACE = 64
+
+_ALU_R_OPS = frozenset((
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "addw", "subw", "sllw", "srlw", "sraw",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+    "mulw", "divw", "divuw", "remw", "remuw",
+))
+_ALU_I_OPS = frozenset((
+    "addi", "slti", "sltiu", "xori", "ori", "andi",
+    "slli", "srli", "srai", "addiw", "slliw", "srliw", "sraiw",
+))
+_BRANCH_OPS = frozenset(("beq", "bne", "blt", "bge", "bltu", "bgeu"))
+
+_M64 = bits.MASK64
+
+# Translation modes, decided per run from the attached timing model.
+# (Per-instruction observers never reach translated code at all: they
+# run on the reference _dispatch_loop, see _exec_loop.)
+_PLAIN = "plain"   # no timing model
+_TIMED = "timed"   # timing model attached
+
+
+# ----------------------------------------------------------------------
+# Specialised ALU closure factories (exec-compiled once per mnemonic)
+# ----------------------------------------------------------------------
+#
+# The generic reference path costs three calls per ALU instruction
+# (closure -> _alu_fn lambda -> bits helper). These templates inline the
+# operation *expression* into the closure body, so the hot ops are one
+# call with only arithmetic inside. Semantics are forced equal by
+# construction: every expression below is the reference _alu_table
+# lambda with bits.to_u64/to_s64/sext unfolded (``(x ^ SIGN) - SIGN`` is
+# sign extension; signed compares drop the common ``- SIGN`` term).
+
+_ALU_EXPR = {
+    "add": "(a + b) & 0xFFFFFFFFFFFFFFFF",
+    "sub": "(a - b) & 0xFFFFFFFFFFFFFFFF",
+    "sll": "(a << (b & 63)) & 0xFFFFFFFFFFFFFFFF",
+    "slt": "1 if (a ^ 0x8000000000000000) < (b ^ 0x8000000000000000)"
+           " else 0",
+    "sltu": "1 if a < b else 0",
+    "xor": "a ^ b",
+    "srl": "a >> (b & 63)",
+    "sra": "(((a ^ 0x8000000000000000) - 0x8000000000000000)"
+           " >> (b & 63)) & 0xFFFFFFFFFFFFFFFF",
+    "or": "a | b",
+    "and": "a & b",
+    "addw": "((((a + b) & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+            " & 0xFFFFFFFFFFFFFFFF",
+    "subw": "((((a - b) & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+            " & 0xFFFFFFFFFFFFFFFF",
+    "sllw": "((((a << (b & 31)) & 0xFFFFFFFF) ^ 0x80000000)"
+            " - 0x80000000) & 0xFFFFFFFFFFFFFFFF",
+    "srlw": "((((a & 0xFFFFFFFF) >> (b & 31)) ^ 0x80000000)"
+            " - 0x80000000) & 0xFFFFFFFFFFFFFFFF",
+    "sraw": "((((a & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+            " >> (b & 31)) & 0xFFFFFFFFFFFFFFFF",
+    "mul": "(a * b) & 0xFFFFFFFFFFFFFFFF",
+    "mulw": "((((a * b) & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+            " & 0xFFFFFFFFFFFFFFFF",
+    # immediate variants share the R expressions (b = u64 immediate):
+    "addi": "(a + b) & 0xFFFFFFFFFFFFFFFF",
+    "slti": "1 if (a ^ 0x8000000000000000) < (b ^ 0x8000000000000000)"
+            " else 0",
+    "sltiu": "1 if a < b else 0",
+    "xori": "a ^ b",
+    "ori": "a | b",
+    "andi": "a & b",
+    "slli": "(a << (b & 63)) & 0xFFFFFFFFFFFFFFFF",
+    "srli": "a >> (b & 63)",
+    "srai": "(((a ^ 0x8000000000000000) - 0x8000000000000000)"
+            " >> (b & 63)) & 0xFFFFFFFFFFFFFFFF",
+    "addiw": "((((a + b) & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+             " & 0xFFFFFFFFFFFFFFFF",
+    "slliw": "((((a << (b & 31)) & 0xFFFFFFFF) ^ 0x80000000)"
+             " - 0x80000000) & 0xFFFFFFFFFFFFFFFF",
+    "srliw": "((((a & 0xFFFFFFFF) >> (b & 31)) ^ 0x80000000)"
+             " - 0x80000000) & 0xFFFFFFFFFFFFFFFF",
+    "sraiw": "((((a & 0xFFFFFFFF) ^ 0x80000000) - 0x80000000)"
+             " >> (b & 31)) & 0xFFFFFFFFFFFFFFFF",
+    # (mulh*/div*/rem* stay on the reference lambdas: rare, and their
+    # latency dwarfs a function call anyway)
+}
+
+_TPL_R_PLAIN = """\
+def _mk(regs, srf, srf_wide, rd, rs1, rs2, INVALID=INVALID):
+    def run():
+        a = regs[rs1]; b = regs[rs2]
+        regs[rd] = {expr}
+        e1 = srf[rs1]
+        w1 = srf_wide[rs1]
+        if e1[2] or e1[3] or w1 is not None:
+            srf[rd] = e1
+            srf_wide[rd] = w1
+        else:
+            e2 = srf[rs2]
+            w2 = srf_wide[rs2]
+            if e2[2] or e2[3] or w2 is not None:
+                srf[rd] = e2
+                srf_wide[rd] = w2
+            else:
+                srf[rd] = INVALID
+                srf_wide[rd] = None
+    return run
+"""
+
+_TPL_I_PLAIN = """\
+def _mk(regs, srf, srf_wide, rd, rs1, b):
+    def run():
+        a = regs[rs1]
+        regs[rd] = {expr}
+        srf[rd] = srf[rs1]
+        srf_wide[rd] = srf_wide[rs1]
+    return run
+"""
+
+def _compile_alu_makers():
+    """(op -> closure maker) from the expression table.
+
+    One (semantics-only) maker per mnemonic: timed blocks use the same
+    closures — every cycle an ALU op costs is static and lives in the
+    block's timing fold, not in the per-instruction closure.
+    """
+    makers = {}
+    for op, expr in _ALU_EXPR.items():
+        tpl = _TPL_I_PLAIN if op in _ALU_I_OPS else _TPL_R_PLAIN
+        ns = {"INVALID": SRF_INVALID}
+        exec(compile(tpl.format(expr=expr),
+                     f"<fastmachine:{op}>", "exec"), ns)
+        makers[op] = ns["_mk"]
+    return makers
+
+
+_ALU_MAKERS = _compile_alu_makers()
+
+_SPECIALISED_OPS = frozenset(
+    ("tchk", "lui", "auipc", "bndrs", "bndrt",
+     "sbdl", "sbdu", "lbdls", "lbdus", "jal", "jalr"),
+) | _ALU_R_OPS | _ALU_I_OPS | _BRANCH_OPS
+
+
+def _is_specialised(op: str, spec) -> bool:
+    """True when the op has a dedicated emitter (its full static cost
+    is known at translate time); False for reference-wrapped ops."""
+    if op in _SPECIALISED_OPS:
+        return True
+    if spec is None:
+        return False
+    if spec.is_load and spec.opcode == 0x03:
+        return True
+    if spec.is_store and spec.opcode == 0x23:
+        return True
+    return spec.checked and (spec.is_load or spec.is_store)
+
+
+class _Block:
+    """One translated trace: straight-line closures + terminator."""
+
+    __slots__ = ("body", "term", "n", "pos", "end_pc", "lo", "hi",
+                 "fold", "unwind")
+
+    def __init__(self, body, term, n, pos, end_pc, lo, hi,
+                 fold=None, unwind=None):
+        self.body = body      # tuple of 0-arg closures (returns ignored)
+        self.term = term      # 0-arg closure -> next pc | None, or None
+        self.n = n            # instructions this block retires
+        self.pos = pos        # pc -> instructions completed before it
+        self.end_pc = end_pc  # successor pc when term falls through
+        self.lo = lo          # lowest pc in the trace (invalidation)
+        self.hi = hi          # one past the highest pc in the trace
+        self.fold = fold      # applies the block's static costs, or None
+        self.unwind = unwind  # fold prefix for a trap after k instrs
+
+
+class FastMachine(Machine):
+    """Machine with a translation-cached superblock execution engine.
+
+    Drop-in replacement for :class:`Machine` — construction arguments,
+    ``run()``/``step()`` signatures and :class:`RunResult` contents are
+    identical; only the execution core differs.
+    """
+
+    MAX_TRACE = MAX_TRACE
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._blocks: Dict[int, _Block] = {}
+        self._mode = _PLAIN
+        self._translations = 0
+        self._translated_instrs = 0
+        self._fused_pairs = 0
+        self._invalidated_blocks = 0
+        self._block_runs = 0
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+
+    def load(self, program: Program):
+        super().load(program)
+        # A fresh run translates from scratch: reset() replaced the
+        # memory/keybuffer/dcache objects the closures capture.
+        self._blocks.clear()
+        self._translations = 0
+        self._translated_instrs = 0
+        self._fused_pairs = 0
+        self._invalidated_blocks = 0
+        self._block_runs = 0
+        self._mode = self._pick_mode()
+        self.memory.watch_stores(program.text_base, program.text_end,
+                                 self._on_text_store)
+
+    def _pick_mode(self) -> str:
+        return _TIMED if self.timing is not None else _PLAIN
+
+    def _on_text_store(self, addr: int, size: int):
+        """Store into the text window: drop every overlapping block."""
+        end = addr + size
+        stale = [entry for entry, block in self._blocks.items()
+                 if addr < block.hi and end > block.lo]
+        for entry in stale:
+            del self._blocks[entry]
+        self._invalidated_blocks += len(stale)
+
+    def fast_stats(self) -> Dict[str, int]:
+        """Translation-cache statistics (deterministic per run)."""
+        return {
+            "blocks": len(self._blocks),
+            "translations": self._translations,
+            "translated_instrs": self._translated_instrs,
+            "fused_pairs": self._fused_pairs,
+            "invalidated_blocks": self._invalidated_blocks,
+            "block_runs": self._block_runs,
+        }
+
+    # ------------------------------------------------------------------
+    # Execution engine
+    # ------------------------------------------------------------------
+
+    def _exec_loop(self, max_instructions: int) -> None:
+        if self.fault_hook is not None or self.trace_depth \
+                or self.tracer is not None or self.profiler is not None \
+                or self._tracer_retire is not None:
+            # Per-instruction observation (fault hooks, trace ring,
+            # event tracers stamping ``_now()`` timestamps, cycle
+            # profilers recording every retired pc): the reference
+            # loop is the only honest way to run these — and it is
+            # also *faster* than wrapping reference handlers in block
+            # closures, so observed runs skip translation entirely.
+            self._dispatch_loop(max_instructions, max_instructions)
+            return
+        blocks = self._blocks
+        translate = self._translate
+        remaining = max_instructions
+        pc = self.pc
+        runs = 0
+        try:
+            while True:
+                self.pc = pc
+                block = blocks.get(pc)
+                if block is None:
+                    block = translate(pc)
+                n = block.n
+                if remaining < n:
+                    # Budget tail: fewer instructions left than this
+                    # block retires — finish (and overrun-trap) on the
+                    # reference loop, reporting the run-level limit.
+                    self._dispatch_loop(remaining, max_instructions)
+                    return
+                runs += 1
+                try:
+                    for fn in block.body:
+                        fn()
+                except ReproError:
+                    # Credit exactly the instructions that completed
+                    # before the trapping one (which set self.pc).
+                    # ReproError, not just SimTrap: compression range
+                    # errors (bndrs/bndrt) must leave the same instret
+                    # the reference loop would. The unwind applies the
+                    # same prefix of the block's folded static costs.
+                    completed = block.pos[self.pc]
+                    self.instret += completed
+                    if block.unwind is not None:
+                        block.unwind(completed)
+                    raise
+                # The fold (block-level static cycles/counters and the
+                # end-of-block interlock state) applies after the body
+                # but before the terminator: a wrapped terminator
+                # (ecall) runs the reference retire, which must read
+                # the post-body pipeline state — and must not be
+                # double-counted if it traps.
+                fold = block.fold
+                if fold is not None:
+                    fold()
+                term = block.term
+                if term is not None:
+                    try:
+                        tpc = term()
+                    except ReproError:
+                        self.instret += block.pos[self.pc]
+                        raise
+                else:
+                    tpc = None
+                self.instret += n
+                remaining -= n
+                pc = block.end_pc if tpc is None else tpc
+        finally:
+            self._block_runs += runs
+            scope = self._sim.scope("fast")
+            scope.gauge("blocks").set(len(self._blocks))
+            scope.gauge("translations").set(self._translations)
+            scope.gauge("translated_instrs").set(self._translated_instrs)
+            scope.gauge("fused_pairs").set(self._fused_pairs)
+            scope.gauge("invalidated_blocks").set(self._invalidated_blocks)
+            scope.gauge("block_runs").set(self._block_runs)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def _translate(self, entry_pc: int) -> _Block:
+        """Decode the trace starting at ``entry_pc`` into a block.
+
+        Called exactly at execution time (the block cache missed), so
+        raising here — pc outside text, unknown opcode — is observably
+        identical to the reference loop raising at the same pc.
+        """
+        program = self.program
+        index = program.index_of(entry_pc)
+        if index < 0:
+            raise MemoryFault(entry_pc, "pc outside text")
+        instrs = program.instrs
+        dispatch = self._dispatch
+        timed = self._mode is _TIMED
+        body: List[Callable] = []
+        term: Optional[Callable] = None
+        pos: Dict[int, int] = {}
+        count = 0
+        pc = entry_pc
+        end_pc = entry_pc
+        lo, hi = entry_pc, entry_pc
+        # Per-position static-cost records feeding the block fold:
+        # statics[i] = (cycles, ((counter, delta), ...)) for position
+        # i; states[k] = the pipeline's load-producer state after k
+        # instructions (states[0] is a never-read placeholder — a trap
+        # at position 0 leaves the previous block's state in place).
+        statics: List = []
+        states: List = [(-1, -1)]
+        prev_state = None
+        first_desc = None
+        spec_count = 0
+
+        def push(ins2):
+            """Record one specialised instruction's static costs."""
+            nonlocal prev_state, first_desc, spec_count
+            spec2 = SPEC_TABLE[ins2.op]
+            pairs = self._static_counters(ins2, spec2)
+            if timed:
+                cyc, tpairs = self._static_timing(ins2, spec2,
+                                                  prev_state)
+                pairs = pairs + tpairs
+                if first_desc is None:
+                    first_desc = self._boundary_desc(ins2, spec2)
+                prev_state = (
+                    ins2.rd if (spec2.is_load and spec2.writes_rd
+                                and not spec2.srf_write) else -1,
+                    ins2.rd if (spec2.srf_write and spec2.is_load)
+                    else -1,
+                )
+                states.append(prev_state)
+            else:
+                cyc = 0
+            statics.append((cyc, tuple(pairs)))
+            spec_count += 1
+
+        while True:
+            idx = program.index_of(pc)
+            if idx < 0 or (count and pc in pos) or count >= self.MAX_TRACE:
+                # Ran off text / joined this trace (loop) / trace full:
+                # fall through to pc; the next block starts there.
+                end_pc = pc
+                break
+            ins = instrs[idx]
+            op = ins.op
+            if dispatch.get(op) is None:
+                if count == 0:
+                    raise IllegalInstruction(pc, op)
+                end_pc = pc
+                break
+            if pc < lo:
+                lo = pc
+            if pc + 4 > hi:
+                hi = pc + 4
+            if op in ("csrrw", "csrrs", "csrrc") or (
+                    timed and op not in ("ecall", "ebreak")
+                    and not _is_specialised(op, SPEC_TABLE.get(op))):
+                # CSR reads of instret/cycle must see the exact
+                # architectural count, but the block loop bulk-adds
+                # instret after the block — so a CSR op is always the
+                # sole instruction of its own block, where the count is
+                # exact at entry (every prior block fully retired). In
+                # timed mode every other reference-wrapped op joins
+                # them: its handler runs the full reference retire(),
+                # which must read interlock state the fold only
+                # materialises at block boundaries.
+                if count:
+                    end_pc = pc
+                    break
+                pos[pc] = 0
+                count = 1
+                body.append(self._emit_wrapped(ins, pc))
+                end_pc = pc + 4
+                break
+            # tchk + fused-check access -> one fused closure.
+            if op == "tchk" and idx + 1 < len(instrs) \
+                    and count + 2 <= self.MAX_TRACE \
+                    and (pc + 4) not in pos:
+                nxt = instrs[idx + 1]
+                nspec = SPEC_TABLE.get(nxt.op)
+                if nspec is not None and nspec.checked \
+                        and dispatch.get(nxt.op) is not None:
+                    pos[pc] = count
+                    pos[pc + 4] = count + 1
+                    push(ins)
+                    push(nxt)
+                    body.append(self._emit_fused(ins, pc, nxt, nspec))
+                    count += 2
+                    if pc + 8 > hi:
+                        hi = pc + 8
+                    pc += 8
+                    self._fused_pairs += 1
+                    continue
+            pos[pc] = count
+            count += 1
+            if op in _BRANCH_OPS:
+                push(ins)
+                term = self._emit_branch(ins, pc)
+                end_pc = pc + 4
+                break
+            if op == "jal":
+                push(ins)
+                target = (pc + ins.imm) & _M64
+                if program.index_of(target) >= 0 and target not in pos \
+                        and count < self.MAX_TRACE:
+                    # Superblock extension: the jump does not end the
+                    # trace — translation continues at its target.
+                    closure = self._emit_jal(ins, pc, target,
+                                             terminator=False)
+                    if closure is not None:
+                        body.append(closure)
+                    pc = target
+                    continue
+                term = self._emit_jal(ins, pc, target, terminator=True)
+                end_pc = target
+                break
+            if op == "jalr":
+                push(ins)
+                term = self._emit_jalr(ins, pc)
+                end_pc = pc + 4  # unused: jalr always returns a target
+                break
+            if op in ("ecall", "ebreak"):
+                # May raise or (SYS_WRITE) fall through; rare enough
+                # that the reference handler is the right tool. Its
+                # retire self-accounts *after* the fold ran (the term
+                # slot runs post-fold), so it needs no statics — just a
+                # placeholder keeping unwind prefixes aligned.
+                statics.append((0, ()))
+                term = self._emit_wrapped(ins, pc)
+                end_pc = pc + 4
+                break
+            if _is_specialised(op, SPEC_TABLE.get(op)):
+                push(ins)
+            else:
+                # Plain-mode wrapped op mid-block: the reference
+                # handler does its own census, so its fold record is
+                # an alignment placeholder.
+                statics.append((0, ()))
+            closure = self._emit_straightline(ins, pc)
+            if closure is not None:
+                body.append(closure)
+            pc += 4
+        fold, unwind = self._build_fold(statics, states, first_desc,
+                                        spec_count)
+        block = _Block(tuple(body), term, count, pos, end_pc, lo, hi,
+                       fold, unwind)
+        self._blocks[entry_pc] = block
+        self._translations += 1
+        self._translated_instrs += count
+        return block
+
+    # -- block-level static cost fold ----------------------------------
+
+    def _static_counters(self, ins: Instr, spec):
+        """The sim-census increments of one specialised instruction, as
+        ``(counter, delta)`` pairs — everything the reference handler
+        counts unconditionally *after* its last possible trap point.
+        ``tchk`` is the exception (counted before a temporal trap can
+        raise) and stays inline; ``taken`` is data-dependent and stays
+        in the branch terminator."""
+        ct = self._ct
+        op = ins.op
+        if op == "tchk":
+            return []
+        if op in ("sbdl", "sbdu"):
+            return [(ct["stores"], 1), (ct["hwst_ops"], 1),
+                    (ct["shadow_ops"], 1)]
+        if op in ("lbdls", "lbdus"):
+            return [(ct["loads"], 1), (ct["hwst_ops"], 1),
+                    (ct["shadow_ops"], 1)]
+        if spec.is_load:
+            pairs = [(ct["loads"], 1)]
+        elif spec.is_store:
+            pairs = [(ct["stores"], 1)]
+        elif op in ("bndrs", "bndrt"):
+            return [(ct["hwst_ops"], 1)]
+        elif spec.is_branch:
+            return [(ct["branches"], 1)]
+        elif op == "jal":
+            return [(ct["calls"], 1)]
+        else:
+            return []
+        if spec.checked:
+            pairs.append((ct["hwst_ops"], 1))
+        return pairs
+
+    def _static_timing(self, ins: Instr, spec, prev_state):
+        """The translate-time-known part of ``retire()`` for one
+        specialised instruction: ``(cycles, [(counter, delta), ...])``.
+
+        Mirrors :meth:`InOrderPipeline.retire` term by term; what is
+        *not* here stays dynamic in the closures — the D-cache outcome,
+        the tchk keybuffer-miss beat, and the taken-branch redirect.
+        ``prev_state`` is the load-producer state after the previous
+        instruction of the trace, or ``None`` for the first one (whose
+        interlock against the previous block the fold resolves at run
+        time)."""
+        pl = self.timing
+        params = pl.params
+        bk = pl._bk
+        op = ins.op
+        cyc = 1
+        deltas = [(bk["base"], 1)]
+        wide = 0
+        if spec.shadow_access:
+            wide += params.smac_extra
+        if op == "tchk":
+            wide += params.tchk_occupancy
+        if spec.srf_write and not spec.is_load:
+            wide += params.bind_extra
+        if (spec.is_load or spec.is_store) and spec.mem_bytes > 8:
+            wide += params.wide_access_extra
+        if wide:
+            cyc += wide
+            deltas.append((bk["wide"], wide))
+        if spec.mul_like:
+            cyc += params.mul_latency
+            deltas.append((bk["muldiv"], params.mul_latency))
+        elif spec.div_like:
+            cyc += params.div_latency
+            deltas.append((bk["muldiv"], params.div_latency))
+        if spec.is_jump:
+            # jal/jalr always redirect; a taken *branch* pays its
+            # penalty dynamically in the terminator closure.
+            cyc += params.jump_penalty
+            deltas.append((bk["redirect"], params.jump_penalty))
+        if prev_state is not None:
+            llr, lsrf = prev_state
+            stall = 0
+            if llr > 0 and ((spec.reads_rs1 and ins.rs1 == llr)
+                            or (spec.reads_rs2 and ins.rs2 == llr)):
+                stall += params.load_use_stall
+            if lsrf >= 0 and (
+                    ((spec.checked or op == "tchk")
+                     and ins.rs1 == lsrf)
+                    or (op in ("sbdl", "sbdu") and ins.rs2 == lsrf)):
+                stall += params.srf_load_use_stall
+            if stall:
+                cyc += stall
+                deltas.append((bk["load_use"], stall))
+        return cyc, deltas
+
+    @staticmethod
+    def _boundary_desc(ins: Instr, spec):
+        """Operand descriptor for the block's *first* instruction,
+        whose interlock against the previous block is resolved by the
+        fold at run time. Sentinels (-2/-3) can never match: the GPR
+        producer test requires ``last > 0``, the SRF one ``last >=
+        0``."""
+        op = ins.op
+        return (
+            ins.rs1 if spec.reads_rs1 else -2,
+            ins.rs2 if spec.reads_rs2 else -2,
+            ins.rs1 if (spec.checked or op == "tchk")
+            else (ins.rs2 if op in ("sbdl", "sbdu") else -3),
+        )
+
+    def _build_fold(self, statics, states, first_desc, spec_count):
+        """Compile the per-block ``(fold, unwind)`` pair.
+
+        ``fold()`` applies the whole block's static costs in one shot:
+        the merged counter deltas, the static cycle total plus the
+        dynamically resolved first-instruction boundary interlock, and
+        the end-of-block producer state. ``unwind(k)`` applies the same
+        for the k-instruction prefix that completed before a mid-block
+        trap. Returns ``(None, None)`` when there is nothing to fold
+        (reference-wrapped sole blocks self-account)."""
+        if spec_count == 0:
+            return None, None
+        total = 0
+        merged: Dict[int, list] = {}
+        for cyc, pairs in statics:
+            total += cyc
+            for counter, delta in pairs:
+                key = id(counter)
+                entry = merged.get(key)
+                if entry is None:
+                    merged[key] = [counter, delta]
+                else:
+                    entry[1] += delta
+        merged_pairs = tuple((counter, delta)
+                             for counter, delta in merged.values())
+        if self._mode is not _TIMED:
+            if not merged_pairs:
+                return None, None
+
+            def fold_plain():
+                for counter, delta in merged_pairs:
+                    counter.value += delta
+
+            def unwind_plain(completed):
+                for i in range(completed):
+                    for counter, delta in statics[i][1]:
+                        counter.value += delta
+
+            return fold_plain, unwind_plain
+        pl = self.timing
+        bk_lu = pl._bk["load_use"]
+        params = pl.params
+        lu_stall = params.load_use_stall
+        srf_stall = params.srf_load_use_stall
+        a, b, srf_c = first_desc
+        end_state = states[-1]
+
+        def fold():
+            extra = 0
+            last = pl._last_load_rd
+            if last > 0 and (a == last or b == last):
+                extra = lu_stall
+                bk_lu.value += lu_stall
+            last = pl._last_srf_load_rd
+            if last >= 0 and srf_c == last:
+                extra += srf_stall
+                bk_lu.value += srf_stall
+            for counter, delta in merged_pairs:
+                counter.value += delta
+            pl.cycles += total + extra
+            pl._last_load_rd, pl._last_srf_load_rd = end_state
+
+        def unwind(completed):
+            if not completed:
+                return
+            cyc = 0
+            for i in range(completed):
+                ci, pairs = statics[i]
+                cyc += ci
+                for counter, delta in pairs:
+                    counter.value += delta
+            last = pl._last_load_rd
+            if last > 0 and (a == last or b == last):
+                cyc += lu_stall
+                bk_lu.value += lu_stall
+            last = pl._last_srf_load_rd
+            if last >= 0 and srf_c == last:
+                cyc += srf_stall
+                bk_lu.value += srf_stall
+            pl.cycles += cyc
+            pl._last_load_rd, pl._last_srf_load_rd = states[completed]
+
+        return fold, unwind
+
+    # ------------------------------------------------------------------
+    # Closure emitters — straight-line ops
+    # ------------------------------------------------------------------
+
+    def _emit_straightline(self, ins: Instr, pc: int):
+        """Closure for one non-control-flow instruction (or None when
+        the instruction is architecturally dead, e.g. a plain-mode
+        nop: it still counts in instret via the block's bulk add)."""
+        op = ins.op
+        if op in _ALU_R_OPS:
+            return self._emit_alu_r(ins, pc)
+        if op in _ALU_I_OPS:
+            return self._emit_alu_i(ins, pc)
+        spec = SPEC_TABLE[op]
+        if spec.is_load and spec.opcode == 0x03:
+            return self._emit_load(ins, pc, spec, checked=False)
+        if spec.is_store and spec.opcode == 0x23:
+            return self._emit_store(ins, pc, spec, checked=False)
+        if spec.checked and spec.is_load:
+            return self._emit_load(ins, pc, spec, checked=True)
+        if spec.checked and spec.is_store:
+            return self._emit_store(ins, pc, spec, checked=True)
+        if op == "tchk":
+            return self._emit_tchk(ins, pc)
+        if op in ("lui", "auipc"):
+            return self._emit_const_write(ins, pc)
+        if op in ("bndrs", "bndrt"):
+            return self._emit_bind(ins, pc, temporal=(op == "bndrt"))
+        if op in ("sbdl", "sbdu"):
+            return self._emit_sbd(ins, pc, upper=(op == "sbdu"))
+        if op in ("lbdls", "lbdus"):
+            return self._emit_lbds(ins, pc, upper=(op == "lbdus"))
+        # CSR ops, decompressing metadata loads, MPX/AVX model ops,
+        # fences: rare — reference handlers keep them exact.
+        return self._emit_wrapped(ins, pc)
+
+    def _emit_wrapped(self, ins: Instr, pc: int):
+        """Reference handler pre-bound to its operands. Used for every
+        op without a specialised emitter."""
+        handler = self._dispatch[ins.op]
+        m = self
+
+        def run():
+            m.pc = pc
+            return handler(ins)
+
+        return run
+
+    def _spatial_consts(self):
+        """Translate-time constants for an inlined decompress_spatial.
+
+        The compressor object lives for the machine's lifetime and its
+        field widths are fixed at construction, so the masks can be
+        burned into closures. Returns ``(base_mask, base_width,
+        range_mask)``; the inline expansion is exactly
+        :meth:`MetadataCompressor.decompress_spatial`.
+        """
+        comp = self.compressor
+        return comp._base_mask, comp._widths.base, comp._range_mask
+
+    # -- timing fragments ----------------------------------------------
+
+    def _interlock_ops(self):
+        """Captured pipeline internals for partially evaluated timing.
+
+        The emitted closures read/write the same ``_last_load_rd`` /
+        ``_last_srf_load_rd`` attributes and breakdown counters the
+        reference ``InOrderPipeline.retire`` uses, so specialised and
+        reference-handled instructions interleave with exact interlock
+        and cycle accounting.
+        """
+        pl = self.timing
+        p = pl.params
+        return (pl, pl.dcache.access, pl._bk, p.load_use_stall,
+                p.srf_load_use_stall, p.dcache_miss_penalty)
+
+    def _emit_alu_r(self, ins: Instr, pc: int):
+        """Semantics-only in both modes: every cycle an ALU op costs
+        (base, mul/div latency, the intra-block interlock) is static
+        and lives in the block's timing fold."""
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd, rs1, rs2 = ins.rd, ins.rs1, ins.rs2
+        if rd == 0:
+            return None  # architectural nop (the fold still bills it)
+        maker = _ALU_MAKERS.get(ins.op)
+        if maker is not None:
+            return maker(regs, srf, srf_wide, rd, rs1, rs2)
+        fn = self._alu_fn(ins.op)
+
+        def run():
+            regs[rd] = fn(regs[rs1], regs[rs2])
+            e1 = srf[rs1]
+            w1 = srf_wide[rs1]
+            if e1[2] or e1[3] or w1 is not None:
+                srf[rd] = e1
+                srf_wide[rd] = w1
+            else:
+                e2 = srf[rs2]
+                w2 = srf_wide[rs2]
+                if e2[2] or e2[3] or w2 is not None:
+                    srf[rd] = e2
+                    srf_wide[rd] = w2
+                else:
+                    srf[rd] = SRF_INVALID
+                    srf_wide[rd] = None
+
+        return run
+
+    def _emit_alu_i(self, ins: Instr, pc: int):
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd, rs1 = ins.rd, ins.rs1
+        imm_u = ins.imm & _M64
+        if rd == 0:
+            return None
+        maker = _ALU_MAKERS.get(ins.op)
+        if maker is not None:
+            return maker(regs, srf, srf_wide, rd, rs1, imm_u)
+        fn = self._alu_fn(ins.op)
+
+        def run():
+            regs[rd] = fn(regs[rs1], imm_u)
+            srf[rd] = srf[rs1]
+            srf_wide[rd] = srf_wide[rs1]
+
+        return run
+
+    def _emit_load(self, ins: Instr, pc: int, spec, checked: bool):
+        m = self
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd, rs1, imm = ins.rd, ins.rs1, ins.imm
+        nbytes = spec.mem_bytes
+        mem_load = self.memory.load_uint
+        # Sign extension is the identity for 8-byte loads; for narrower
+        # loads ``((v ^ sb) - sb) & M64`` is bits.sext unfolded (the
+        # loaded value is already < 2**width).
+        signed = spec.mem_signed and nbytes < 8
+        sb = 1 << (8 * nbytes - 1)
+        base_mask, base_w, range_mask = self._spatial_consts()
+        # Only the D-cache outcome is dynamic: base cost, interlocks
+        # and the sim counters are static per block (the timing fold).
+        timed = self._mode is _TIMED
+        if timed:
+            pl, dc_access, _, _, _, miss = self._interlock_ops()
+            bk_dmiss = pl._bk["dmiss"]
+
+        def run():
+            m.pc = pc
+            addr = (regs[rs1] + imm) & _M64
+            if checked:
+                e = srf[rs1]
+                if not e[2]:
+                    m._spatial_fail(addr, 0, 0)
+                lower = e[0]
+                base = (lower & base_mask) << ALIGN_SHIFT
+                bound = base + \
+                    (((lower >> base_w) & range_mask) << ALIGN_SHIFT)
+                if addr < base or addr + nbytes > bound:
+                    m._spatial_fail(addr, base, bound)
+            value = mem_load(addr, nbytes)
+            if signed:
+                value = ((value ^ sb) - sb) & _M64
+            if rd:
+                regs[rd] = value
+                srf[rd] = SRF_INVALID
+                srf_wide[rd] = None
+            if timed and not dc_access(addr, False):
+                pl.cycles += miss
+                bk_dmiss.value += miss
+
+        return run
+
+    def _emit_store(self, ins: Instr, pc: int, spec, checked: bool):
+        m = self
+        regs, srf = self.regs, self.srf
+        rs1, rs2, imm = ins.rs1, ins.rs2, ins.imm
+        nbytes = spec.mem_bytes
+        mem_store = self.memory.store_uint
+        base_mask, base_w, range_mask = self._spatial_consts()
+        snoop = nbytes == 8
+        timed = self._mode is _TIMED
+        if timed:
+            pl, dc_access, _, _, _, miss = self._interlock_ops()
+            bk_dmiss = pl._bk["dmiss"]
+
+        def run():
+            m.pc = pc
+            addr = (regs[rs1] + imm) & _M64
+            if checked:
+                e = srf[rs1]
+                if not e[2]:
+                    m._spatial_fail(addr, 0, 0)
+                lower = e[0]
+                base = (lower & base_mask) << ALIGN_SHIFT
+                bound = base + \
+                    (((lower >> base_w) & range_mask) << ALIGN_SHIFT)
+                if addr < base or addr + nbytes > bound:
+                    m._spatial_fail(addr, base, bound)
+            value = regs[rs2]
+            mem_store(addr, nbytes, value)
+            if snoop and m._lock_lo <= addr < m._lock_hi:
+                m._snoop_lock_store(addr, value)
+            if timed and not dc_access(addr, True):
+                pl.cycles += miss
+                bk_dmiss.value += miss
+
+        return run
+
+    def _temporal_consts(self):
+        """Translate-time constants for an inlined ``_temporal_check``.
+
+        Valid only on the fast block path, which never runs with a
+        tracer attached (``_exec_loop`` falls back to the reference
+        dispatch loop then), so the kb-trace emission in the reference
+        helper is unreachable here by construction.
+        """
+        comp = self.compressor
+        return (comp._lock_mask, comp._widths.lock, comp._key_mask,
+                comp._config.lock_base, self.keybuffer.lookup,
+                self.keybuffer.fill, self.memory.load_u64)
+
+    def _emit_tchk(self, ins: Instr, pc: int):
+        m = self
+        srf = self.srf
+        rs1 = ins.rs1
+        ct_tchk = self._ct["tchk"]
+        ct_hwst = self._ct["hwst_ops"]
+        lock_mask, lock_w, key_mask, lock_base, kb_lookup, kb_fill, \
+            mem_load_u64 = self._temporal_consts()
+        # ct_tchk/ct_hwst stay inline (not folded): the reference
+        # handler counts a tchk *before* a temporal trap can raise.
+        # Base cost, occupancy and interlocks are static (the fold);
+        # only the keybuffer-miss beat — the secondary key load through
+        # the D-cache — is dynamic.
+        timed = self._mode is _TIMED
+        if timed:
+            pl, dc_access, bk, _, _, miss = self._interlock_ops()
+            bk_dmiss, bk_tchk_miss = bk["dmiss"], bk["tchk_miss"]
+            kb_extra = pl.params.keybuffer_miss_extra
+
+        def run():
+            m.pc = pc
+            ct_tchk.value += 1
+            ct_hwst.value += 1
+            e = srf[rs1]
+            if not e[3]:
+                m._temporal_fail(0, 0, 0)
+            upper = e[1]
+            lock_idx = upper & lock_mask
+            key = (upper >> lock_w) & key_mask
+            if lock_idx == 0:
+                m._temporal_fail(key, 0, 0)
+            lock = lock_base + ((lock_idx - 1) << 3)
+            cached = kb_lookup(lock)
+            if cached is not None:
+                if cached != key:
+                    m._temporal_fail(key, cached, lock)
+            else:
+                stored = mem_load_u64(lock)
+                kb_fill(lock, stored)
+                if stored != key:
+                    m._temporal_fail(key, stored, lock)
+                if timed:
+                    extra = 1 + kb_extra
+                    if not dc_access(lock, False):
+                        extra += miss
+                        bk_dmiss.value += miss
+                    bk_tchk_miss.value += kb_extra + 1
+                    pl.cycles += extra
+
+        return run
+
+    def _emit_bind(self, ins: Instr, pc: int, temporal: bool):
+        """bndrs/bndrt: compress + SRF write (census side effects stay
+        in the compressor's bound method). The SRF write is unguarded —
+        the reference handlers write ``srf[0]`` too."""
+        m = self
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd, rs1, rs2 = ins.rd, ins.rs1, ins.rs2
+        compress = self.compressor.compress_temporal if temporal \
+            else self.compressor.compress_spatial
+
+        def run():
+            m.pc = pc  # compress may raise MetadataRangeError
+            packed = compress(regs[rs1], regs[rs2])
+            e = srf[rd]
+            if temporal:
+                srf[rd] = (e[0], packed, e[2], True)
+            else:
+                srf[rd] = (packed, e[1], True, e[3])
+                srf_wide[rd] = None
+
+        return run
+
+    def _emit_sbd(self, ins: Instr, pc: int, upper: bool):
+        """sbdl/sbdu: SRF half -> shadow memory (Eq. 1 address). The
+        SMAC budget guard is inlined; like the reference handler, the
+        shadow store does not snoop the lock window."""
+        m = self
+        regs, srf = self.regs, self.srf
+        rs1, rs2, imm = ins.rs1, ins.rs2, ins.imm
+        off = 8 if upper else 0
+        csrs = self.csrs  # mutated in place by csrrw — read per access
+        sm_key = csrdef.HWST_SM_OFFSET
+        budget = self.config.shadow_budget
+        memory = self.memory
+        store_u64 = memory.store_u64
+        timed = self._mode is _TIMED
+        if timed:
+            pl, dc_access, _, _, _, miss = self._interlock_ops()
+            bk_dmiss = pl._bk["dmiss"]
+
+        def run():
+            m.pc = pc
+            container = (regs[rs1] + imm) & _M64
+            sa = (container << 2) + csrs[sm_key] + off
+            if budget and memory.shadow_bytes_touched > budget:
+                raise ShadowMemoryExhausted(
+                    memory.shadow_bytes_touched, budget)
+            e = srf[rs2]
+            if upper:
+                value = e[1] if e[3] else 0
+            else:
+                value = e[0] if e[2] else 0
+            store_u64(sa, value)
+            if timed and not dc_access(sa, True):
+                pl.cycles += miss
+                bk_dmiss.value += miss
+
+        return run
+
+    def _emit_lbds(self, ins: Instr, pc: int, upper: bool):
+        """lbdls/lbdus: shadow memory -> SRF half (no decompression).
+        Writes ``srf[rd]`` unguarded, exactly like the reference."""
+        m = self
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd, rs1, imm = ins.rd, ins.rs1, ins.imm
+        off = 8 if upper else 0
+        csrs = self.csrs
+        sm_key = csrdef.HWST_SM_OFFSET
+        budget = self.config.shadow_budget
+        memory = self.memory
+        load_u64 = memory.load_u64
+        timed = self._mode is _TIMED
+        if timed:
+            pl, dc_access, _, _, _, miss = self._interlock_ops()
+            bk_dmiss = pl._bk["dmiss"]
+
+        def run():
+            m.pc = pc
+            container = (regs[rs1] + imm) & _M64
+            sa = (container << 2) + csrs[sm_key] + off
+            if budget and memory.shadow_bytes_touched > budget:
+                raise ShadowMemoryExhausted(
+                    memory.shadow_bytes_touched, budget)
+            value = load_u64(sa)
+            e = srf[rd]
+            if upper:
+                srf[rd] = (e[0], value, e[2], True)
+            else:
+                srf[rd] = (value, e[1], True, e[3])
+            srf_wide[rd] = None
+            if timed and not dc_access(sa, False):
+                pl.cycles += miss
+                bk_dmiss.value += miss
+
+        return run
+
+    def _emit_fused(self, tchk_ins: Instr, pc: int, acc: Instr, aspec):
+        """One closure for a ``tchk`` + fused-check access pair.
+
+        Retires as two instructions: ``self.pc`` steps from the tchk to
+        the access before the spatial check, so a trap in either half
+        reports its own pc and the block's position map credits the
+        completed half (the fold's unwind then bills exactly the
+        completed half's static costs — the access half's never stall,
+        because the tchk clears both interlock producers). Only the
+        tchk census counters and the two dynamic D-cache beats stay in
+        the closure.
+        """
+        m = self
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rs1_t = tchk_ins.rs1
+        pc_acc = pc + 4
+        rd, rs1, rs2, imm = acc.rd, acc.rs1, acc.rs2, acc.imm
+        nbytes = aspec.mem_bytes
+        is_load = aspec.is_load
+        signed = aspec.mem_signed and nbytes < 8
+        sb = 1 << (8 * nbytes - 1)
+        mem_load = self.memory.load_uint
+        mem_store = self.memory.store_uint
+        base_mask, base_w, range_mask = self._spatial_consts()
+        lock_mask, lock_w, key_mask, lock_base, kb_lookup, kb_fill, \
+            mem_load_u64 = self._temporal_consts()
+        snoop = (not is_load) and nbytes == 8
+        ct_tchk = self._ct["tchk"]
+        ct_hwst = self._ct["hwst_ops"]
+        timed = self._mode is _TIMED
+        if timed:
+            pl, dc_access, bk, _, _, miss = self._interlock_ops()
+            bk_dmiss, bk_tchk_miss = bk["dmiss"], bk["tchk_miss"]
+            kb_extra = pl.params.keybuffer_miss_extra
+
+        def run():
+            m.pc = pc
+            ct_tchk.value += 1
+            ct_hwst.value += 1
+            et = srf[rs1_t]
+            if not et[3]:
+                m._temporal_fail(0, 0, 0)
+            upper = et[1]
+            lock_idx = upper & lock_mask
+            key = (upper >> lock_w) & key_mask
+            if lock_idx == 0:
+                m._temporal_fail(key, 0, 0)
+            lock = lock_base + ((lock_idx - 1) << 3)
+            cached = kb_lookup(lock)
+            if cached is not None:
+                if cached != key:
+                    m._temporal_fail(key, cached, lock)
+            else:
+                stored = mem_load_u64(lock)
+                kb_fill(lock, stored)
+                if stored != key:
+                    m._temporal_fail(key, stored, lock)
+                if timed:
+                    extra = 1 + kb_extra
+                    if not dc_access(lock, False):
+                        extra += miss
+                        bk_dmiss.value += miss
+                    bk_tchk_miss.value += kb_extra + 1
+                    pl.cycles += extra
+            m.pc = pc_acc
+            addr = (regs[rs1] + imm) & _M64
+            e = srf[rs1]
+            if not e[2]:
+                m._spatial_fail(addr, 0, 0)
+            lower = e[0]
+            base = (lower & base_mask) << ALIGN_SHIFT
+            bound = base + \
+                (((lower >> base_w) & range_mask) << ALIGN_SHIFT)
+            if addr < base or addr + nbytes > bound:
+                m._spatial_fail(addr, base, bound)
+            if is_load:
+                value = mem_load(addr, nbytes)
+                if signed:
+                    value = ((value ^ sb) - sb) & _M64
+                if rd:
+                    regs[rd] = value
+                    srf[rd] = SRF_INVALID
+                    srf_wide[rd] = None
+            else:
+                value = regs[rs2]
+                mem_store(addr, nbytes, value)
+                if snoop and m._lock_lo <= addr < m._lock_hi:
+                    m._snoop_lock_store(addr, value)
+            if timed and not dc_access(addr, not is_load):
+                pl.cycles += miss
+                bk_dmiss.value += miss
+
+        return run
+
+    def _emit_const_write(self, ins: Instr, pc: int):
+        """lui/auipc: the written value is a translate-time constant."""
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd = ins.rd
+        if ins.op == "lui":
+            value = bits.sext(ins.imm << 12, 32) & _M64
+        else:
+            value = (pc + bits.sext(ins.imm << 12, 32)) & _M64
+        if rd == 0:
+            return None
+
+        def run():
+            regs[rd] = value
+            srf[rd] = SRF_INVALID
+            srf_wide[rd] = None
+
+        return run
+
+    # ------------------------------------------------------------------
+    # Closure emitters — control flow
+    # ------------------------------------------------------------------
+
+    def _emit_branch(self, ins: Instr, pc: int):
+        regs = self.regs
+        rs1, rs2 = ins.rs1, ins.rs2
+        op = ins.op
+        taken_pc = (pc + ins.imm) & _M64
+        S = bits.to_s64
+        compare = {
+            "beq": lambda a, b: a == b,
+            "bne": lambda a, b: a != b,
+            "blt": lambda a, b: S(a) < S(b),
+            "bge": lambda a, b: S(a) >= S(b),
+            "bltu": lambda a, b: a < b,
+            "bgeu": lambda a, b: a >= b,
+        }[op]
+        # ct_branches, the base cost and the interlock are static (the
+        # fold); only the taken-path redirect penalty is dynamic.
+        ct_taken = self._ct["taken"]
+        if self._mode is _PLAIN:
+            def run():
+                if compare(regs[rs1], regs[rs2]):
+                    ct_taken.value += 1
+                    return taken_pc
+                return None
+
+            return run
+        pl, _, bk, _, _, _ = self._interlock_ops()
+        bk_redirect = bk["redirect"]
+        penalty = pl.params.branch_penalty
+
+        def run_timed():
+            if compare(regs[rs1], regs[rs2]):
+                ct_taken.value += 1
+                pl.cycles += penalty
+                bk_redirect.value += penalty
+                return taken_pc
+            return None
+
+        return run_timed
+
+    def _emit_jal(self, ins: Instr, pc: int, target: int,
+                  terminator: bool):
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd = ins.rd
+        link = (pc + 4) & _M64
+        # ct_calls and the full cost (a jal always redirects) are
+        # static — a plain ``j`` inside a superblock costs nothing at
+        # run time.
+        if not terminator and rd == 0:
+            return None
+
+        def run():
+            if rd:
+                regs[rd] = link
+                srf[rd] = SRF_INVALID
+                srf_wide[rd] = None
+            if terminator:
+                return target
+            return None
+
+        return run
+
+    def _emit_jalr(self, ins: Instr, pc: int):
+        regs, srf, srf_wide = self.regs, self.srf, self.srf_wide
+        rd, rs1, imm = ins.rd, ins.rs1, ins.imm
+        link = (pc + 4) & _M64
+
+        def run():
+            target = ((regs[rs1] + imm) & _M64) & ~1
+            if rd:
+                regs[rd] = link
+                srf[rd] = SRF_INVALID
+                srf_wide[rd] = None
+            return target
+
+        return run

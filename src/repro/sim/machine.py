@@ -233,35 +233,11 @@ class Machine:
             max_instructions: int = 200_000_000) -> RunResult:
         """Execute ``program`` to completion and summarise the outcome."""
         self.load(program)
-        instrs = program.instrs
-        text_base = program.text_base
-        dispatch = self._dispatch
-        fault_hook = self.fault_hook
         status, code, detail = STATUS_EXIT, 0, ""
         trap_class: str = ""
         trap_pc: Optional[int] = None
         try:
-            remaining = max_instructions
-            while True:
-                index = (self.pc - text_base) >> 2
-                if index < 0 or index >= len(instrs):
-                    raise MemoryFault(self.pc, "pc outside text")
-                ins = instrs[index]
-                handler = dispatch.get(ins.op)
-                if handler is None:
-                    raise IllegalInstruction(self.pc, ins.op)
-                if self.trace_depth:
-                    self._trace.append((self.pc, ins))
-                    if len(self._trace) > self.trace_depth:
-                        del self._trace[0]
-                if fault_hook is not None:
-                    fault_hook(self)
-                next_pc = handler(ins)
-                self.pc = self.pc + 4 if next_pc is None else next_pc
-                self.instret += 1
-                remaining -= 1
-                if remaining <= 0:
-                    raise SimLimitExceeded(max_instructions)
+            self._exec_loop(max_instructions)
         except EcallExit as trap:
             code = trap.code
         except SimTrap as trap:
@@ -325,6 +301,54 @@ class Machine:
             trap_class=trap_class, trap_pc=trap_pc,
         )
 
+    def _exec_loop(self, max_instructions: int) -> None:
+        """Engine hook: execute the loaded program until a
+        :class:`SimTrap` ends the run (``run()``'s epilogue catches it).
+        Subclasses (the fast engine) override this — everything outside
+        it (load, trap classification, stats, result assembly) is
+        engine-independent by construction."""
+        self._dispatch_loop(max_instructions, max_instructions)
+
+    def _dispatch_loop(self, budget: int, limit: Optional[int]) -> None:
+        """The classic fetch/decode/execute loop — the *reference
+        engine*, and the one single-instruction path in the machine.
+
+        Executes at most ``budget`` instructions. On budget exhaustion
+        raises :class:`SimLimitExceeded` carrying ``limit`` (the
+        run-level budget, so a partial-budget call from the fast
+        engine's tail reports the same limit the reference run would),
+        or returns when ``limit`` is None (``step()``'s contract).
+        """
+        program = self.program
+        instrs = program.instrs
+        text_base = program.text_base
+        dispatch = self._dispatch
+        fault_hook = self.fault_hook
+        trace_depth = self.trace_depth
+        remaining = budget
+        while True:
+            if remaining <= 0:
+                if limit is None:
+                    return
+                raise SimLimitExceeded(limit)
+            index = (self.pc - text_base) >> 2
+            if index < 0 or index >= len(instrs):
+                raise MemoryFault(self.pc, "pc outside text")
+            ins = instrs[index]
+            handler = dispatch.get(ins.op)
+            if handler is None:
+                raise IllegalInstruction(self.pc, ins.op)
+            if trace_depth:
+                self._trace.append((self.pc, ins))
+                if len(self._trace) > trace_depth:
+                    del self._trace[0]
+            if fault_hook is not None:
+                fault_hook(self)
+            next_pc = handler(ins)
+            self.pc = self.pc + 4 if next_pc is None else next_pc
+            self.instret += 1
+            remaining -= 1
+
     def metrics_snapshot(self) -> Dict[str, object]:
         """Combined flat snapshot of the machine's registry plus the
         timing model's (when the pipeline keeps its own registry)."""
@@ -353,17 +377,15 @@ class Machine:
         return "\n".join(lines)
 
     def step(self):
-        """Execute a single instruction (testing hook)."""
+        """Execute a single instruction (testing hook).
+
+        Routes through the same :meth:`_dispatch_loop` ``run()`` uses,
+        so stepping and running cannot drift apart semantically — the
+        lockstep oracle relies on there being exactly one
+        single-instruction path.
+        """
         assert self.program is not None, "load a program first"
-        ins = self.program.instr_at(self.pc)
-        if ins is None:
-            raise MemoryFault(self.pc, "pc outside text")
-        handler = self._dispatch.get(ins.op)
-        if handler is None:
-            raise IllegalInstruction(self.pc, ins.op)
-        next_pc = handler(ins)
-        self.pc = self.pc + 4 if next_pc is None else next_pc
-        self.instret += 1
+        self._dispatch_loop(1, None)
 
     # ------------------------------------------------------------------
     # Timing hook
@@ -438,27 +460,43 @@ class Machine:
     # Check units
     # ------------------------------------------------------------------
 
-    def _spatial_check(self, reg: int, addr: int, nbytes: int):
-        """SCU: fused bounds check of ``addr`` against SRF[reg]."""
+    def _spatial_fail(self, addr: int, base: int, bound: int):
+        """The one place a spatial check reports: every checker raises
+        through here so the ``(addr, base, bound)`` fields of
+        :class:`SpatialViolation` are populated consistently."""
+        raise SpatialViolation(self.pc, addr, base, bound)
+
+    def _temporal_fail(self, key: int, stored: int, lock: int):
+        """Single raise site for temporal violations (see
+        :meth:`_spatial_fail`)."""
+        raise TemporalViolation(self.pc, key, stored, lock)
+
+    def _spatial_bounds(self, reg: int, addr: int) -> Tuple[int, int]:
+        """Decompressed ``(base, bound)`` window of ``SRF[reg]``; an
+        unbound pointer reports a zero-window violation at ``addr``."""
         lower, _, lvalid, _ = self.srf[reg]
         if not lvalid:
-            raise SpatialViolation(self.pc, addr, 0, 0)
-        base, bound = self.compressor.decompress_spatial(lower)
+            self._spatial_fail(addr, 0, 0)
+        return self.compressor.decompress_spatial(lower)
+
+    def _spatial_check(self, reg: int, addr: int, nbytes: int):
+        """SCU: fused bounds check of ``addr`` against SRF[reg]."""
+        base, bound = self._spatial_bounds(reg, addr)
         if addr < base or addr + nbytes > bound:
-            raise SpatialViolation(self.pc, addr, base, bound)
+            self._spatial_fail(addr, base, bound)
 
     def _temporal_check(self, reg: int):
         """TCU: keybuffer-assisted key/lock compare. Returns (kb_hit, mem2)."""
         _, upper, _, uvalid = self.srf[reg]
         if not uvalid:
-            raise TemporalViolation(self.pc, 0, 0, 0)
+            self._temporal_fail(0, 0, 0)
         key, lock = self.compressor.decompress_temporal(upper)
         if lock == 0:
-            raise TemporalViolation(self.pc, key, 0, 0)
+            self._temporal_fail(key, 0, 0)
         cached = self.keybuffer.lookup(lock)
         if cached is not None:
             if cached != key:
-                raise TemporalViolation(self.pc, key, cached, lock)
+                self._temporal_fail(key, cached, lock)
             return True, None
         stored = self.memory.load_u64(lock)
         evicted = self.keybuffer.fill(lock, stored)
@@ -470,7 +508,7 @@ class Machine:
                 tracer.emit("kb", "evict", ts=now,
                             args={"lock": evicted})
         if stored != key:
-            raise TemporalViolation(self.pc, key, stored, lock)
+            self._temporal_fail(key, stored, lock)
         return False, lock
 
     # ------------------------------------------------------------------
@@ -561,8 +599,20 @@ class Machine:
 
     # -- ALU -----------------------------------------------------------
 
+    #: Memoized mnemonic -> binary-function table (built on first use;
+    #: dispatch/translation factories look ops up per instruction, and
+    #: rebuilding the 50-lambda table each time dominated translation).
+    _ALU_TABLE: Optional[Dict[str, Callable[[int, int], int]]] = None
+
+    @classmethod
+    def _alu_fn(cls, op: str):
+        table = cls._ALU_TABLE
+        if table is None:
+            table = Machine._ALU_TABLE = cls._build_alu_table()
+        return table[op]
+
     @staticmethod
-    def _alu_fn(op: str):
+    def _build_alu_table() -> Dict[str, Callable[[int, int], int]]:
         U, S = bits.to_u64, bits.to_s64
 
         def div64(a, b):
@@ -630,7 +680,7 @@ class Machine:
             "srliw": lambda a, b: U(bits.sext((a & bits.MASK32) >> (b & 31), 32)),
             "sraiw": lambda a, b: U(bits.to_s32(a) >> (b & 31)),
         }
-        return table[op]
+        return table
 
     def _make_alu_r(self, op: str):
         fn = self._alu_fn(op)
@@ -797,7 +847,6 @@ class Machine:
         raise EcallAbort("ebreak")
 
     def _op_ecall(self, ins: Instr):
-        self._retire(ins)
         number = self.regs[17]  # a7
         if number == SYS_EXIT:
             raise EcallExit(bits.to_s64(self.regs[10]))
@@ -805,6 +854,12 @@ class Machine:
             buf, length = self.regs[11], self.regs[12]
             self.output += self.memory.load_bytes(buf, length)
             self.regs[10] = length
+            # Retire only on the path that returns: a trapping ecall is
+            # never counted in instret, so the profiler and the timing
+            # model must not see it either (retire fires exactly once
+            # per *retired* instruction — the fast engine relies on
+            # this invariant at trap boundaries).
+            self._retire(ins)
             return None
         if number == SYS_ABORT:
             raise EcallAbort("program abort")
@@ -966,24 +1021,18 @@ class Machine:
     # -- MPX comparator model ---------------------------------------------
 
     def _op_bndcl(self, ins: Instr):
-        lower, _, lvalid, _ = self.srf[ins.rs1]
         addr = self.regs[ins.rs2]
-        if not lvalid:
-            raise SpatialViolation(self.pc, addr, 0, 0)
-        base, _ = self.compressor.decompress_spatial(lower)
+        base, bound = self._spatial_bounds(ins.rs1, addr)
         if addr < base:
-            raise SpatialViolation(self.pc, addr, base, base)
+            self._spatial_fail(addr, base, bound)
         self._retire(ins)
         return None
 
     def _op_bndcu(self, ins: Instr):
-        lower, _, lvalid, _ = self.srf[ins.rs1]
         addr = self.regs[ins.rs2]
-        if not lvalid:
-            raise SpatialViolation(self.pc, addr, 0, 0)
-        base, bound = self.compressor.decompress_spatial(lower)
+        base, bound = self._spatial_bounds(ins.rs1, addr)
         if addr >= bound:
-            raise SpatialViolation(self.pc, addr, base, bound)
+            self._spatial_fail(addr, base, bound)
         self._retire(ins)
         return None
 
@@ -1039,15 +1088,15 @@ class Machine:
         wide = self.srf_wide[ins.rs1]
         addr = self.regs[ins.rs2]
         if wide is None:
-            raise SpatialViolation(self.pc, addr, 0, 0)
+            self._spatial_fail(addr, 0, 0)
         base, bound, key, lock = wide
         if addr < base or addr >= bound:
-            raise SpatialViolation(self.pc, addr, base, bound)
+            self._spatial_fail(addr, base, bound)
         mem2 = None
         if lock:
             stored = self.memory.load_u64(lock)
             mem2 = lock
             if stored != key:
-                raise TemporalViolation(self.pc, key, stored, lock)
+                self._temporal_fail(key, stored, lock)
         self._retire(ins, mem2=mem2)
         return None

@@ -62,8 +62,21 @@ class Memory:
         self._spans: List[Tuple[int, int]] = []
         self.shadow_bytes_touched = 0
         self._shadow_range: Optional[Tuple[int, int]] = None
-        # Fast path: the most recently hit span (accesses cluster).
+        # Fast path: the two most recently hit spans (a 2-entry MRU).
+        # Instrumented runs alternate between a user segment and its
+        # shadow — one hot span would thrash on every metadata access.
         self._hot = (1, 0)  # impossible range -> first access misses
+        self._hot2 = (1, 0)
+        # Optional store watch: (lo, hi, callback) — the fast engine
+        # registers the text window here so stores into it invalidate
+        # translated blocks. None keeps the store path at a single
+        # attribute test.
+        self._store_watch: Optional[Tuple[int, int, object]] = None
+
+    def watch_stores(self, lo: int, hi: int, callback) -> None:
+        """Invoke ``callback(addr, size)`` on every store overlapping
+        ``[lo, hi)`` (one watch window; None callback clears it)."""
+        self._store_watch = None if callback is None else (lo, hi, callback)
 
     # -- region management --------------------------------------------------
 
@@ -86,6 +99,7 @@ class Memory:
                 spans.append((start, end))
         self._spans = spans
         self._hot = (1, 0)
+        self._hot2 = (1, 0)
 
     def map_layout(self, layout: MemoryLayout):
         """Map the standard user segments + shadow region of ``layout``."""
@@ -114,15 +128,24 @@ class Memory:
                 return True
         return False
 
+    def _find_span(self, addr: int, size: int):
+        """Both MRU spans missed: full lookup, promoting the hit."""
+        for start, end in self._spans:
+            if start <= addr and addr + size <= end:
+                self._hot2 = self._hot
+                self._hot = (start, end)
+                return
+        raise MemoryFault(addr, f"unmapped {size}-byte access")
+
     def _check(self, addr: int, size: int):
-        hot_start, hot_end = self._hot
-        if addr < hot_start or addr + size > hot_end:
-            for start, end in self._spans:
-                if start <= addr and addr + size <= end:
-                    self._hot = (start, end)
-                    break
+        hot = self._hot
+        if addr < hot[0] or addr + size > hot[1]:
+            hot2 = self._hot2
+            if hot2[0] <= addr and addr + size <= hot2[1]:
+                self._hot = hot2
+                self._hot2 = hot
             else:
-                raise MemoryFault(addr, f"unmapped {size}-byte access")
+                self._find_span(addr, size)
         if self._shadow_range and \
                 self._shadow_range[0] <= addr < self._shadow_range[1]:
             self.shadow_bytes_touched += size
@@ -155,6 +178,10 @@ class Memory:
 
     def store_bytes(self, addr: int, data: bytes):
         self._check(addr, len(data))
+        watch = self._store_watch
+        if watch is not None and addr < watch[1] and \
+                addr + len(data) > watch[0]:
+            watch[2](addr, len(data))
         pos = 0
         remaining = len(data)
         while remaining:
@@ -167,21 +194,58 @@ class Memory:
             remaining -= take
 
     def load_uint(self, addr: int, size: int) -> int:
-        """Unsigned little-endian load of ``size`` bytes."""
-        self._check(addr, size)
+        """Unsigned little-endian load of ``size`` bytes.
+
+        The scalar accessors are the ISS data path — :meth:`_check` and
+        :meth:`_page` are inlined here (hot-span hit, resident page) so
+        the common access is one call deep.
+        """
+        hot = self._hot
+        if hot[0] > addr or addr + size > hot[1]:
+            hot2 = self._hot2
+            if hot2[0] <= addr and addr + size <= hot2[1]:
+                self._hot = hot2
+                self._hot2 = hot
+            else:
+                self._find_span(addr, size)
+        shadow = self._shadow_range
+        if shadow is not None and shadow[0] <= addr < shadow[1]:
+            self.shadow_bytes_touched += size
         offset = addr & PAGE_MASK
         if offset + size <= PAGE_SIZE:
-            page = self._page(addr >> PAGE_SHIFT)
+            index = addr >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
             return int.from_bytes(page[offset:offset + size], "little")
         return int.from_bytes(self.load_bytes(addr, size), "little")
 
     def store_uint(self, addr: int, size: int, value: int):
         """Little-endian store of the low ``size`` bytes of ``value``."""
-        self._check(addr, size)
+        hot = self._hot
+        if hot[0] > addr or addr + size > hot[1]:
+            hot2 = self._hot2
+            if hot2[0] <= addr and addr + size <= hot2[1]:
+                self._hot = hot2
+                self._hot2 = hot
+            else:
+                self._find_span(addr, size)
+        shadow = self._shadow_range
+        if shadow is not None and shadow[0] <= addr < shadow[1]:
+            self.shadow_bytes_touched += size
         value &= (1 << (8 * size)) - 1
         offset = addr & PAGE_MASK
         if offset + size <= PAGE_SIZE:
-            page = self._page(addr >> PAGE_SHIFT)
+            watch = self._store_watch
+            if watch is not None and addr < watch[1] and \
+                    addr + size > watch[0]:
+                watch[2](addr, size)
+            index = addr >> PAGE_SHIFT
+            page = self._pages.get(index)
+            if page is None:
+                page = bytearray(PAGE_SIZE)
+                self._pages[index] = page
             page[offset:offset + size] = value.to_bytes(size, "little")
         else:
             self.store_bytes(addr, value.to_bytes(size, "little"))

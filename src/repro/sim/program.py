@@ -56,11 +56,17 @@ class Program:
         except KeyError:
             raise KeyError(f"no symbol named {name!r}") from None
 
-    def instr_at(self, pc: int) -> Optional[Instr]:
+    def index_of(self, pc: int) -> int:
+        """Instruction index of ``pc``, or -1 when outside text (the
+        translator's fetch primitive — one definition of 'in text')."""
         index = (pc - self.text_base) >> 2
         if 0 <= index < len(self.instrs):
-            return self.instrs[index]
-        return None
+            return index
+        return -1
+
+    def instr_at(self, pc: int) -> Optional[Instr]:
+        index = self.index_of(pc)
+        return self.instrs[index] if index >= 0 else None
 
     def load_into(self, memory: Memory):
         """Map the layout and copy data segments into ``memory``."""
