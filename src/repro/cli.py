@@ -13,17 +13,20 @@ open-source tool chain)::
     python -m repro experiments fig4 --scale small --jobs 4
     python -m repro bench --reps 3 --seed 7 --out BENCH_SIM.json
     python -m repro bench --against BENCH_SIM.json
+    python -m repro serve --port 8128 --jobs 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
 from typing import List, Optional
 
 from repro.core.config import HwstConfig
-from repro.errors import (EXIT_CODE_BY_STATUS, EXIT_FAILURE, EXIT_OK,
-                          ReproError, exit_code_for)
+from repro.errors import (EXIT_FAILURE, EXIT_INTERRUPTED, EXIT_OK,
+                          ReproError, exit_code_for, exit_code_for_status)
 from repro.harness.runner import detected
 from repro.pipeline.timing import InOrderPipeline
 from repro.schemes import SCHEMES, compile_source
@@ -50,9 +53,32 @@ def _positive_int(text: str) -> int:
 def _result_exit_code(result) -> int:
     """Distinct documented exit code for a run outcome (see
     repro.errors: 4=spatial, 5=temporal, 6=memory fault, ...)."""
-    if result.status == "exit":
-        return EXIT_OK if result.exit_code == 0 else EXIT_FAILURE
-    return EXIT_CODE_BY_STATUS.get(result.status, EXIT_FAILURE)
+    return exit_code_for_status(result.status, result.exit_code)
+
+
+@contextlib.contextmanager
+def _graceful_stop():
+    """Convert SIGTERM/SIGINT into a polled stop flag for the scope of
+    a campaign, so ``repro fuzz`` / ``repro faultcampaign`` flush a
+    valid truncated report (exit code 12) instead of dying mid-write.
+    A second SIGINT restores default handling (immediate kill escape
+    hatch). Yields the flag callable the campaigns poll."""
+    state = {"stop": False}
+
+    def handler(signum, _frame):
+        if state["stop"] and signum == signal.SIGINT:
+            signal.signal(signal.SIGINT, signal.default_int_handler)
+        state["stop"] = True
+        print("interrupt: finishing current chunk, flushing truncated "
+              "report (send SIGINT again to kill)", file=sys.stderr)
+
+    previous = {sig: signal.signal(sig, handler)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        yield lambda: state["stop"]
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def _print_result(result, stats: bool):
@@ -297,14 +323,15 @@ def cmd_faultcampaign(args) -> int:
         print(f"error: unknown fault families {unknown}; known: "
               f"{sorted(FAMILIES)}", file=sys.stderr)
         return 2
-    with SweepExecutor(jobs=args.jobs) as executor:
+    with SweepExecutor(jobs=args.jobs) as executor, \
+            _graceful_stop() as stop:
         heartbeat = _heartbeat(args, total=args.n, label="faultinject",
                                executor=executor)
         report = run_campaign(
             scheme=args.scheme, families=families, n=args.n,
             seed=args.seed, executor=executor,
             wallclock_budget=args.wallclock, heartbeat=heartbeat,
-            engine_lockstep=args.engine_lockstep)
+            engine_lockstep=args.engine_lockstep, stop=stop)
     print(report.table())
     print(executor.summary())
     if args.out:
@@ -312,6 +339,10 @@ def cmd_faultcampaign(args) -> int:
             json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report -> {args.out}")
+    if report.interrupted:
+        print(f"interrupted after {len(report.injections)}/{args.n} "
+              "injections; truncated report is valid", file=sys.stderr)
+        return EXIT_INTERRUPTED
     # Gate on harness health: injections are *supposed* to be detected
     # or masked (and silent corruption is a finding, not a failure),
     # but a crash or hang means the harness itself misbehaved.
@@ -323,7 +354,8 @@ def cmd_fuzz(args) -> int:
     from repro.fuzz import run_fuzz
     from repro.harness.parallel import SweepExecutor
 
-    with SweepExecutor(jobs=args.jobs) as executor:
+    with SweepExecutor(jobs=args.jobs) as executor, \
+            _graceful_stop() as stop:
         heartbeat = _heartbeat(args, total=args.n, label="fuzz",
                                executor=executor)
         report = run_fuzz(
@@ -331,14 +363,56 @@ def cmd_fuzz(args) -> int:
             corpus_dir=args.corpus,
             reduce_divergences=not args.no_reduce,
             wallclock_budget=args.wallclock, heartbeat=heartbeat,
-            engine_lockstep=args.engine_lockstep)
+            engine_lockstep=args.engine_lockstep, stop=stop)
     print(report.table())
     print(executor.summary())
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report.to_json())
         print(f"report -> {args.out}")
+    if report.interrupted:
+        print(f"interrupted after {len(report.programs)}/{args.n} "
+              "programs; truncated report is valid", file=sys.stderr)
+        return EXIT_INTERRUPTED
     return 0 if report.clean else 1
+
+
+def cmd_serve(args) -> int:
+    """Long-running compile-and-check HTTP service (repro.serve/v1)."""
+    import asyncio
+
+    from repro.serve import ServeApp, Supervisor
+
+    supervisor = Supervisor(
+        jobs=args.jobs,
+        disk_root=args.cache_dir,
+        disk_max_bytes=args.cache_max_mb * 1024 * 1024,
+        breaker_cooldown_s=args.breaker_cooldown)
+    app = ServeApp(
+        supervisor,
+        host=args.host, port=args.port,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+        drain_timeout_s=args.drain_timeout,
+        allow_debug=args.debug_faults)
+
+    async def serve() -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, app.request_shutdown)
+        await app.start()
+        print(f"repro serve listening on "
+              f"http://{app.host}:{app.port} "
+              f"(workers={args.jobs} queue={args.queue_limit} "
+              f"deadline={args.deadline:g}s)", flush=True)
+        await app.run()
+
+    try:
+        asyncio.run(serve())
+    finally:
+        supervisor.close()
+    print("repro serve: drained cleanly", file=sys.stderr)
+    return EXIT_OK
 
 
 def cmd_experiments(args) -> int:
@@ -605,6 +679,44 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="MS",
                          help="baseline medians below this never gate")
     bench_p.set_defaults(fn=cmd_bench)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="hardened compile-and-check HTTP service "
+        "(repro.serve/v1; POST /v1/check, /healthz, /metrics)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8128,
+                         help="listen port (0 = ephemeral, printed at "
+                         "startup)")
+    serve_p.add_argument("--jobs", type=_positive_int, default=2,
+                         help="supervised worker processes")
+    serve_p.add_argument("--queue-limit", type=_positive_int, default=8,
+                         help="admitted concurrent requests before "
+                         "load-shedding 429s")
+    serve_p.add_argument("--deadline", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-request wallclock deadline "
+                         "(exceeding it returns 504)")
+    serve_p.add_argument("--drain-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="SIGTERM drain budget; missing it exits "
+                         "14 with in-flight requests dropped")
+    serve_p.add_argument("--cache-dir", metavar="DIR",
+                         help="cross-process on-disk artifact store "
+                         "shared by the workers (omit for per-process "
+                         "memory-only caching)")
+    serve_p.add_argument("--cache-max-mb", type=_positive_int,
+                         default=256,
+                         help="artifact store size cap (LRU eviction)")
+    serve_p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="circuit-breaker quarantine window for a "
+                         "worker-killing request fingerprint")
+    serve_p.add_argument("--debug-faults", action="store_true",
+                         help="accept the 'debug' request block "
+                         "(planted worker crashes/sleeps) — soak "
+                         "tests only, never production")
+    serve_p.set_defaults(fn=cmd_serve)
 
     experiments_p = sub.add_parser(
         "experiments", help="regenerate paper figures; supports "

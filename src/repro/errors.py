@@ -159,6 +159,39 @@ class BenchRegression(ReproError):
         self.scenarios = list(scenarios)
 
 
+class CampaignInterrupted(ReproError):
+    """A fuzz/fault campaign was stopped by SIGTERM/SIGINT after
+    flushing a valid truncated report (``"interrupted": true``)."""
+
+    def __init__(self, completed: int, requested: int):
+        super().__init__(
+            f"campaign interrupted after {completed}/{requested} "
+            "cells; truncated report flushed")
+        self.completed = completed
+        self.requested = requested
+
+
+class OverloadShed(ReproError):
+    """``repro serve`` admission control shed load (HTTP 429) where the
+    caller required completion — e.g. the smoke client saw an
+    unexpected 429 on an idle server."""
+
+    def __init__(self, detail: str = "request shed under overload"):
+        super().__init__(detail)
+
+
+class DrainTimeout(ReproError):
+    """``repro serve`` SIGTERM drain exceeded its deadline with
+    requests still in flight (they were dropped)."""
+
+    def __init__(self, dropped: int, timeout_s: float):
+        super().__init__(
+            f"drain deadline ({timeout_s:g}s) exceeded with {dropped} "
+            "request(s) still in flight")
+        self.dropped = dropped
+        self.timeout_s = timeout_s
+
+
 # ---------------------------------------------------------------------------
 # CLI exit codes
 # ---------------------------------------------------------------------------
@@ -180,6 +213,11 @@ EXIT_ABORT = 8              # EcallAbort (runtime abort / ASAN / canary)
 EXIT_ILLEGAL = 9            # IllegalInstruction
 EXIT_SHADOW_OOM = 10        # ShadowMemoryExhausted
 EXIT_BENCH_REGRESSION = 11  # BenchRegression (repro bench --against)
+EXIT_INTERRUPTED = 12       # CampaignInterrupted (SIGTERM/SIGINT flush)
+EXIT_OVERLOAD_SHED = 13     # OverloadShed (serve 429 where completion
+#                             was required, e.g. the smoke client)
+EXIT_DRAIN_TIMEOUT = 14     # DrainTimeout (serve SIGTERM drain missed
+#                             its deadline; in-flight requests dropped)
 
 #: Exception class -> CLI exit code. Looked up through the MRO so a
 #: subclass of (say) SpatialViolation inherits its code.
@@ -193,6 +231,9 @@ EXIT_CODE_BY_ERROR = {
     IllegalInstruction: EXIT_ILLEGAL,
     ShadowMemoryExhausted: EXIT_SHADOW_OOM,
     BenchRegression: EXIT_BENCH_REGRESSION,
+    CampaignInterrupted: EXIT_INTERRUPTED,
+    OverloadShed: EXIT_OVERLOAD_SHED,
+    DrainTimeout: EXIT_DRAIN_TIMEOUT,
 }
 
 #: ``RunResult.status`` -> CLI exit code (the trap classes above after
@@ -215,3 +256,13 @@ def exit_code_for(error: BaseException) -> int:
         if code is not None:
             return code
     return EXIT_FAILURE
+
+
+def exit_code_for_status(status: str, exit_code: int = 0) -> int:
+    """Documented CLI exit code for a ``RunResult``-shaped outcome —
+    the single mapping shared by ``repro run`` and the ``repro serve``
+    verdict envelopes (which must agree byte-for-byte with the offline
+    CLI)."""
+    if status == "exit":
+        return EXIT_OK if exit_code == 0 else EXIT_FAILURE
+    return EXIT_CODE_BY_STATUS.get(status, EXIT_FAILURE)

@@ -23,6 +23,13 @@
    durations or job counts — same seed, same JSON, byte for byte,
    regardless of parallelism. ``fault.*`` counters land on the
    executor's metrics registry.
+
+A campaign is **interruptible**: pass ``stop`` (a zero-argument
+callable, e.g. a flag set by a SIGTERM handler) and cells run in
+bounded chunks with the flag checked at each chunk boundary. An
+interrupted campaign still returns a *valid* report over the completed
+prefix, marked ``"interrupted": true`` + ``"completed": N`` —
+uninterrupted reports carry neither key, so their bytes are unchanged.
 """
 
 from __future__ import annotations
@@ -53,6 +60,11 @@ REPORT_SCHEMA = "repro.faultinject/v1"
 #: that a detoured-but-terminating run finishes, tight enough that a
 #: genuinely wedged run is caught quickly.
 _STEP_SLACK = 50_000
+
+#: Cells per executor submission when a ``stop`` flag is wired in —
+#: the granularity at which an interrupt takes effect. Kept a multiple
+#: of the default target count so chunks retain target grouping.
+_STOP_CHUNK = 16
 
 
 @dataclass(frozen=True)
@@ -154,6 +166,9 @@ class CampaignReport:
     scoreboard: Dict[str, int]
     by_kind: Dict[str, Dict[str, int]]
     injections: List[dict] = field(default_factory=list)
+    #: True when a ``stop`` flag cut the campaign short; the report
+    #: then covers only the completed prefix (``len(injections)``).
+    interrupted: bool = False
 
     @property
     def clean(self) -> bool:
@@ -164,9 +179,11 @@ class CampaignReport:
         """The ``repro.faultinject/v1`` document.
 
         Deliberately free of timestamps, wall-times and job counts:
-        same seed -> byte-identical JSON at any parallelism.
+        same seed -> byte-identical JSON at any parallelism. The
+        ``interrupted``/``completed`` keys appear *only* on a truncated
+        report, so completed campaigns keep their exact bytes.
         """
-        return {
+        doc = {
             "schema": REPORT_SCHEMA,
             "scheme": self.scheme,
             "seed": self.seed,
@@ -180,6 +197,10 @@ class CampaignReport:
                         for kind, row in self.by_kind.items()},
             "injections": list(self.injections),
         }
+        if self.interrupted:
+            doc["interrupted"] = True
+            doc["completed"] = len(self.injections)
+        return doc
 
     def table(self) -> str:
         """Human-readable scoreboard."""
@@ -229,7 +250,8 @@ def run_campaign(scheme: str = "hwst128",
                  executor=None, jobs: int = 1,
                  wallclock_budget: Optional[float] = 60.0,
                  registry=None, heartbeat=None,
-                 engine_lockstep: bool = False) -> CampaignReport:
+                 engine_lockstep: bool = False,
+                 stop=None) -> CampaignReport:
     """Run a seeded fault-injection campaign; see the module docstring.
 
     ``executor`` (a :class:`SweepExecutor`) is reused when given —
@@ -246,6 +268,13 @@ def run_campaign(scheme: str = "hwst128",
     starts and raises :class:`ReproError` on any observable mismatch
     (including instret). It never changes the report bytes — it either
     passes silently or aborts loudly.
+
+    ``stop`` (optional zero-argument callable) makes the campaign
+    interruptible: cells run in chunks of ``_STOP_CHUNK`` and the flag
+    is polled at every chunk boundary; once it returns True the report
+    is finalised over the completed prefix with ``interrupted=True``.
+    Without ``stop`` all cells go to the executor in one submission,
+    exactly as before.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1: {n}")
@@ -283,12 +312,27 @@ def run_campaign(scheme: str = "hwst128",
             config=config, wallclock_budget=wallclock_budget)
         for index, (target, fault) in enumerate(plan)
     ]
-    progress = None
-    if heartbeat is not None:
-        def progress(done, _total):
-            heartbeat.tick(done, phase="inject")
-    results = run_cells(cells, executor=executor, jobs=jobs,
-                        progress=progress)
+    interrupted = False
+    if stop is None:
+        progress = None
+        if heartbeat is not None:
+            def progress(done, _total):
+                heartbeat.tick(done, phase="inject")
+        results = run_cells(cells, executor=executor, jobs=jobs,
+                            progress=progress)
+    else:
+        results = []
+        for start in range(0, len(cells), _STOP_CHUNK):
+            if stop():
+                interrupted = True
+                break
+            progress = None
+            if heartbeat is not None:
+                def progress(done, _total, _base=start):
+                    heartbeat.tick(_base + done, phase="inject")
+            results.extend(run_cells(
+                cells[start:start + _STOP_CHUNK],
+                executor=executor, jobs=jobs, progress=progress))
 
     scoreboard = {cls: 0 for cls in CLASSES}
     by_kind = {kind: {cls: 0 for cls in CLASSES} for kind in kinds}
@@ -317,7 +361,7 @@ def run_campaign(scheme: str = "hwst128",
     reg = executor.registry if executor is not None else registry
     if reg is not None:
         fault_scope = reg.scope("fault")
-        fault_scope.counter("injected").inc(n)
+        fault_scope.counter("injected").inc(len(results))
         for cls in CLASSES:
             fault_scope.counter(cls).inc(scoreboard[cls])
 
@@ -325,4 +369,4 @@ def run_campaign(scheme: str = "hwst128",
         scheme=scheme, seed=seed, n=n,
         families=list(families), targets=target_names,
         goldens=goldens, scoreboard=scoreboard, by_kind=by_kind,
-        injections=injections)
+        injections=injections, interrupted=interrupted)

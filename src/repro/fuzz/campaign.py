@@ -139,6 +139,9 @@ class FuzzReport:
     programs: List[dict] = field(default_factory=list)
     divergences: List[dict] = field(default_factory=list)
     coverage: dict = field(default_factory=dict)
+    #: True when a ``stop`` flag cut the campaign short at a round (or
+    #: reduction) boundary; the report then covers the completed prefix.
+    interrupted: bool = False
 
     @property
     def clean(self) -> bool:
@@ -165,7 +168,9 @@ class FuzzReport:
         }
 
     def to_dict(self) -> dict:
-        return {
+        # interrupted/completed appear only on truncated reports, so
+        # completed campaigns keep their exact bytes.
+        doc = {
             "schema": REPORT_SCHEMA,
             "seed": self.seed,
             "n": self.n,
@@ -176,6 +181,10 @@ class FuzzReport:
             "programs": self.programs,
             "divergences": self.divergences,
         }
+        if self.interrupted:
+            doc["interrupted"] = True
+            doc["completed"] = len(self.programs)
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
@@ -223,7 +232,8 @@ def run_fuzz(n: int, seed: int,
              wallclock_budget: Optional[float] = 60.0,
              reduce_checks: int = 300,
              heartbeat=None,
-             engine_lockstep: bool = False) -> FuzzReport:
+             engine_lockstep: bool = False,
+             stop=None) -> FuzzReport:
     """Run a fuzz campaign of ``n`` programs from ``seed``.
 
     Deterministic: the report (and its JSON rendering) is byte-identical
@@ -234,6 +244,11 @@ def run_fuzz(n: int, seed: int,
 
     ``engine_lockstep`` (opt-in) adds the ref-vs-fast engine oracle to
     every probe; default-off keeps existing reports byte-identical.
+
+    ``stop`` (optional zero-argument callable, e.g. a SIGTERM flag) is
+    polled at every round boundary and between divergence reductions;
+    once True, the campaign finalises a valid truncated report over
+    the rounds that completed, marked ``interrupted=True``.
     """
     schemes = tuple(schemes)
     report = FuzzReport(seed=seed, n=n, schemes=schemes,
@@ -244,6 +259,9 @@ def run_fuzz(n: int, seed: int,
 
     done = 0
     while done < n:
+        if stop is not None and stop():
+            report.interrupted = True
+            break
         batch = min(round_size, n - done)
         plan = plan_programs(seed, batch, start=done)
         cells = []
@@ -302,6 +320,11 @@ def run_fuzz(n: int, seed: int,
     if corpus is not None:
         corpus.mkdir(parents=True, exist_ok=True)
     for cell, found in divergent:
+        if stop is not None and stop() and not report.interrupted:
+            # Keep recording the (cheap) divergence facts; only skip
+            # the remaining expensive ddmin reductions.
+            report.interrupted = True
+            reduce_divergences = False
         if heartbeat is not None:
             heartbeat.tick(n, divergent_programs=len(divergent),
                            phase="reduce", reducing=cell.name)

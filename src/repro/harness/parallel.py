@@ -17,9 +17,11 @@ scale) cells. This module runs those cells through one engine:
   layer assembles rows from the survivors and reports the casualties.
 * **Cells are bounded in time.** ``max_instructions`` is the
   deterministic step budget (the simulator raises SimLimitExceeded);
-  ``wallclock_budget`` arms a per-cell SIGALRM watchdog in the worker,
-  so a wedged cell comes back as ``status="hang"`` instead of stalling
-  the sweep.
+  ``wallclock_budget`` arms a per-cell thread-based deadline watchdog
+  in the worker, so a wedged cell comes back as ``status="hang"``
+  instead of stalling the sweep. The watchdog works off the main
+  thread (unlike the SIGALRM timer it replaced), which is what lets
+  ``repro.serve`` run deadline-bounded cells inside server workers.
 * **Worker deaths are retried once.** A group whose worker process
   dies (BrokenProcessPool) is resubmitted exactly once on a fresh
   pool; a second death produces ``status="worker_died"`` envelopes.
@@ -39,7 +41,7 @@ pre-executor serial harness.
 
 from __future__ import annotations
 
-import signal
+import ctypes
 import threading
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -53,7 +55,7 @@ from repro.obs.metrics import MetricsRegistry, merge_snapshots
 from repro.pipeline.timing import TimingParams
 
 __all__ = ["CellSpec", "CellResult", "SweepExecutor", "run_cells",
-           "WallclockTimeout", "wallclock_guard",
+           "WallclockTimeout", "wallclock_guard", "DeadlineGuard",
            "STATUS_HANG", "STATUS_WORKER_DIED"]
 
 #: Envelope statuses minted by the executor itself (never by the
@@ -64,40 +66,122 @@ STATUS_WORKER_DIED = "worker_died"
 
 
 class WallclockTimeout(Exception):
-    """Raised inside a worker when the per-cell watchdog fires."""
+    """Raised inside a worker when the per-cell watchdog fires.
+
+    ``budget`` is optional because the asynchronous delivery path
+    (``PyThreadState_SetAsyncExc``) instantiates the class with no
+    arguments; :func:`wallclock_guard` re-raises with the budget
+    attached so envelopes keep their informative detail line.
+    """
+
+    def __init__(self, budget: Optional[float] = None):
+        if budget is None:
+            super().__init__("wallclock budget exceeded")
+        else:
+            super().__init__(f"wallclock budget {budget:g}s exceeded")
+        self.budget = budget
+
+
+#: Asynchronous cross-thread raises need the CPython C API; on any
+#: other interpreter the watchdog degrades to a no-op (the
+#: deterministic step budget still bounds every cell).
+_CAN_ASYNC_RAISE = hasattr(ctypes, "pythonapi") and \
+    hasattr(ctypes.pythonapi, "PyThreadState_SetAsyncExc")
+
+
+def _async_raise(tid: int, exc_type) -> int:
+    """Schedule ``exc_type`` to be raised in thread ``tid`` at its next
+    bytecode boundary. Returns the number of thread states modified."""
+    modified = ctypes.pythonapi.PyThreadState_SetAsyncExc(
+        ctypes.c_ulong(tid), ctypes.py_object(exc_type))
+    if modified > 1:           # invalid tid matched several states:
+        _clear_async_raise(tid)  # undo, never poison a random thread
+    return modified
+
+
+def _clear_async_raise(tid: int) -> None:
+    ctypes.pythonapi.PyThreadState_SetAsyncExc(ctypes.c_ulong(tid), None)
+
+
+class DeadlineGuard:
+    """One armed deadline for the *current* thread.
+
+    A daemon :class:`threading.Timer` fires after ``budget`` seconds
+    and schedules :class:`WallclockTimeout` in the guarded thread via
+    ``PyThreadState_SetAsyncExc`` — no signals, no main-thread
+    requirement, so it works inside pool workers and server threads
+    alike. The fire/disarm race is resolved under a lock: once
+    :meth:`disarm` returns, the timer can no longer raise, and a fire
+    that won the race but whose exception has not surfaced yet is
+    converted into a deterministic raise by the caller
+    (:func:`wallclock_guard`).
+    """
+
+    __slots__ = ("budget", "_tid", "_lock", "_state", "_timer")
 
     def __init__(self, budget: float):
-        super().__init__(f"wallclock budget {budget:g}s exceeded")
         self.budget = budget
+        self._tid = threading.get_ident()
+        self._lock = threading.Lock()
+        self._state = "armed"          # armed -> fired | disarmed
+        self._timer = threading.Timer(budget, self._fire)
+        self._timer.daemon = True
+
+    def start(self):
+        self._timer.start()
+
+    def _fire(self):
+        with self._lock:
+            if self._state != "armed":
+                return
+            self._state = "fired"
+            _async_raise(self._tid, WallclockTimeout)
+
+    def disarm(self) -> bool:
+        """Cancel the timer; True when it already fired."""
+        with self._lock:
+            fired = self._state == "fired"
+            self._state = "disarmed"
+        self._timer.cancel()
+        return fired
 
 
 @contextmanager
 def wallclock_guard(budget: Optional[float]):
-    """Arm a SIGALRM watchdog for ``budget`` seconds around a cell.
+    """Arm a deadline watchdog for ``budget`` seconds around a cell.
 
     Yields True when the watchdog is armed. Degrades to a no-op (yields
-    False) when no budget is set, SIGALRM is unavailable (non-POSIX),
-    or we are not on the main thread (signal handlers can only be
-    installed there) — the deterministic step budget still bounds the
-    cell in that case.
+    False) when no budget is set or asynchronous cross-thread raises
+    are unavailable (non-CPython) — the deterministic step budget still
+    bounds the cell in that case. Unlike the SIGALRM watchdog this
+    replaces, the guard works on *any* thread, which is what lets
+    ``repro.serve`` enforce per-request deadlines inside worker
+    processes and threads.
     """
-    usable = (budget is not None and budget > 0
-              and hasattr(signal, "SIGALRM")
-              and threading.current_thread() is threading.main_thread())
+    usable = budget is not None and budget > 0 and _CAN_ASYNC_RAISE
     if not usable:
         yield False
         return
 
-    def _fire(signum, frame):
-        raise WallclockTimeout(budget)
-
-    previous = signal.signal(signal.SIGALRM, _fire)
-    signal.setitimer(signal.ITIMER_REAL, budget)
+    guard = DeadlineGuard(budget)
+    guard.start()
+    delivered = False
     try:
         yield True
+    except WallclockTimeout:
+        delivered = True
+        # Normalise: the async path raises the bare class; re-raise
+        # with the budget attached for an informative envelope detail.
+        raise WallclockTimeout(budget) from None
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, previous)
+        fired = guard.disarm()
+        if fired and not delivered:
+            # The timer won the race but its exception has not surfaced
+            # in the body (it would detonate at some later bytecode
+            # boundary — possibly far outside this guard). Clear the
+            # pending raise and convert it into a deterministic one.
+            _clear_async_raise(threading.get_ident())
+            raise WallclockTimeout(budget)
 
 
 @dataclass(frozen=True)

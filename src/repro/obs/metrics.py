@@ -27,7 +27,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "Scope",
-    "format_tree", "merge_snapshots",
+    "format_tree", "merge_snapshots", "to_prometheus",
 ]
 
 
@@ -389,6 +389,47 @@ def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
             else:
                 out[name] = out[name] + value
     return out
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def to_prometheus(snapshot: Dict[str, object],
+                  prefix: str = "repro") -> str:
+    """Render a flat :meth:`MetricsRegistry.snapshot` in the Prometheus
+    text exposition format (``repro serve``'s ``/metrics`` endpoint).
+
+    Dots become underscores under a ``repro_`` prefix; histogram
+    summary dicts expand into ``_count``/``_sum`` plus ``quantile``-
+    labelled sample lines. Untyped (no TYPE metadata is emitted for
+    plain scalars beyond ``gauge`` — the registry snapshot does not
+    carry the metric kind, and consumers treat untyped as gauge).
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        metric = _prom_name(name, prefix)
+        if isinstance(value, dict):
+            lines.append(f"# TYPE {metric} summary")
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"),
+                                  ("0.99", "p99")):
+                if key in value:
+                    lines.append(
+                        f'{metric}{{quantile="{quantile}"}} '
+                        f'{float(value[key]):g}')
+            lines.append(f"{metric}_sum {float(value.get('sum', 0)):g}")
+            lines.append(f"{metric}_count {int(value.get('count', 0))}")
+        elif isinstance(value, bool):
+            lines.append(f"{metric} {int(value)}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"{metric} {value:g}" if isinstance(value, float)
+                         else f"{metric} {value}")
+        else:
+            continue  # non-numeric gauge (labels, paths): not exposable
+    return "\n".join(lines) + "\n"
 
 
 def _fmt_scalar(value) -> str:

@@ -1,0 +1,37 @@
+"""repro.serve: hardened long-running compile-and-check service.
+
+The batch CLI turned into infrastructure: an asyncio HTTP/JSON API
+(stdlib only) that accepts mini-C source and returns a versioned
+``repro.serve/v1`` envelope — scheme verdicts through the existing
+run path, ``repro.analyze`` linter findings, an overhead estimate and
+a trap report — engineered so one bad request cannot take down the
+next million. Layers:
+
+* :mod:`repro.serve.protocol` — request validation and the **pure**
+  ``evaluate()`` entry point (no global state; byte-identical to the
+  offline CLI for the same source);
+* :mod:`repro.serve.store` — bounded in-memory result cache keyed by
+  request fingerprint (the on-disk artifact store lives in
+  :mod:`repro.harness.compile_cache`);
+* :mod:`repro.serve.supervisor` — supervised worker pool over
+  :mod:`repro.harness.parallel`: thread-based deadline watchdog,
+  crashed-worker detection with bounded restart + exponential
+  backoff, per-cell circuit breaker;
+* :mod:`repro.serve.app` — the asyncio HTTP server: admission control
+  with load-shedding 429s, request coalescing by source sha-256,
+  ``/healthz`` + ``/metrics``, graceful SIGTERM drain.
+"""
+
+from repro.serve.protocol import (
+    DEFAULT_SCHEMES, RequestError, SCHEMA, canonical_json, evaluate,
+    parse_request, request_fingerprint,
+)
+from repro.serve.store import ResultCache
+from repro.serve.supervisor import ServeCell, Supervisor
+from repro.serve.app import ServeApp
+
+__all__ = [
+    "DEFAULT_SCHEMES", "RequestError", "SCHEMA", "canonical_json",
+    "evaluate", "parse_request", "request_fingerprint",
+    "ResultCache", "ServeCell", "Supervisor", "ServeApp",
+]

@@ -1,0 +1,60 @@
+"""Bounded in-memory result cache for served envelopes.
+
+Keyed by :func:`repro.serve.protocol.request_fingerprint`, so a
+repeated submission of the same source + options is answered without
+touching the worker pool at all. Envelopes are deterministic (see
+:mod:`repro.serve.protocol`), which makes this cache semantically
+invisible — a hit returns exactly the bytes a fresh evaluation would
+have produced.
+
+Only ever touched from the single-threaded asyncio event loop, so no
+locking; the on-disk, cross-process artifact tier lives in
+:class:`repro.harness.compile_cache.DiskArtifactStore`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU map of request fingerprint -> served envelope dict."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        return entry
+
+    def put(self, fingerprint: str, envelope: dict) -> None:
+        self._entries[fingerprint] = envelope
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return {
+            "serve.result_cache.entries": len(self._entries),
+            "serve.result_cache.hits": self.hits,
+            "serve.result_cache.misses": self.misses,
+            "serve.result_cache.evictions": self.evictions,
+        }

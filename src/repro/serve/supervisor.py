@@ -1,0 +1,374 @@
+"""Supervised worker pool for the serve front end.
+
+Layers the server's fault domains on top of the primitives in
+:mod:`repro.harness.parallel`:
+
+* each request becomes a :class:`ServeCell` — a picklable job whose
+  ``execute()`` runs the pure :func:`repro.serve.evaluate` under the
+  per-request deadline watchdog (``_execute_cell`` arms it from the
+  cell's ``wallclock_budget``), against the worker's process-local
+  compile cache backed by the shared on-disk artifact store;
+* a dead worker (``os._exit``, segfault, OOM-kill) breaks the whole
+  ``ProcessPoolExecutor``; the supervisor detects it, rebuilds the
+  pool under **exponential backoff**, and retries the cell a bounded
+  number of times — innocents queued behind a crasher recover, the
+  crasher itself exhausts its attempts and comes back as
+  ``status="worker_died"``;
+* a **circuit breaker** quarantines a request fingerprint after
+  repeated deaths: further identical submissions are refused for a
+  cooldown without touching the pool (``status="quarantined"``), then
+  one trial request is let through (half-open);
+* too many *consecutive* deaths — nothing completing at all — flips
+  the supervisor into **degraded** mode: requests are refused
+  (``status="degraded"``) until something succeeds or the operator
+  restarts, keeping a poisoned host from fork-bombing itself.
+
+:meth:`Supervisor.run_cell` is blocking and thread-safe; the asyncio
+app calls it through ``run_in_executor``. It returns
+``(CellResult, cache_delta, meta)`` and mutates **no** metrics
+registry itself — counter updates happen on the event-loop thread
+(see :mod:`repro.serve.app`), because registry counters are not
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.harness.compile_cache import configure_process_cache, \
+    process_cache
+from repro.harness.parallel import CellResult, STATUS_WORKER_DIED, \
+    _execute_cell
+
+__all__ = ["ServeCell", "Supervisor", "STATUS_SERVED",
+           "STATUS_QUARANTINED", "STATUS_DEGRADED", "CRASH_EXIT_CODE"]
+
+#: Envelope statuses minted by this layer.
+STATUS_SERVED = "served"
+STATUS_QUARANTINED = "quarantined"
+STATUS_DEGRADED = "degraded"
+
+#: Exit code a debug-fault crash cell kills its worker with — visible
+#: in soak-test logs as the planted cause of pool restarts.
+CRASH_EXIT_CODE = 86
+
+
+@dataclass(frozen=True)
+class ServeCell:
+    """One request as a picklable pool job.
+
+    ``execute()`` returns a :class:`CellResult` whose ``extra`` carries
+    the deterministic ``repro.serve/v1`` envelope; the wallclock
+    watchdog and exception fencing around it come from
+    ``parallel._execute_cell``, exactly as sweep cells get them.
+
+    ``debug_crash`` (only reachable when the server runs with
+    ``--debug-faults``) kills the worker process mid-cell — the soak
+    test's planted fault for exercising supervision.
+    """
+
+    source: str
+    schemes: Tuple[str, ...]
+    elide_checks: bool = False
+    max_instructions: int = 5_000_000
+    wallclock_budget: Optional[float] = None
+    fingerprint: str = ""
+    debug_crash: bool = False
+    debug_sleep_s: float = 0.0
+
+    # _spec_identity / envelope compatibility with parallel cells.
+    workload: Optional[str] = None
+
+    @property
+    def tag(self) -> str:
+        return self.fingerprint
+
+    @property
+    def scheme(self) -> str:
+        return "+".join(self.schemes)
+
+    @property
+    def group_key(self) -> str:
+        return self.fingerprint
+
+    def execute(self) -> CellResult:
+        from repro.serve.protocol import evaluate
+
+        if self.debug_crash:
+            os._exit(CRASH_EXIT_CODE)
+        if self.debug_sleep_s > 0:
+            time.sleep(self.debug_sleep_s)
+        envelope = evaluate(
+            self.source, schemes=self.schemes,
+            elide_checks=self.elide_checks,
+            max_instructions=self.max_instructions,
+            cache=process_cache())
+        return CellResult(
+            tag=self.tag, workload=None, scheme=self.scheme,
+            ok=True, status=STATUS_SERVED,
+            extra={"envelope": envelope})
+
+
+def _worker_init(disk_root: Optional[str], max_bytes: int) -> None:
+    """Pool initializer: point the worker's process-local compile cache
+    at the shared on-disk artifact store."""
+    if disk_root is not None:
+        configure_process_cache(disk_root=disk_root,
+                                max_bytes=max_bytes)
+
+
+def _worker_ping() -> int:
+    """No-op pool job; see :meth:`Supervisor.warm`."""
+    return os.getpid()
+
+
+def _worker_run(cell: ServeCell) -> Tuple[CellResult, Dict[str, int]]:
+    """Worker entry point: one cell + this process's cache delta."""
+    cache = process_cache()
+    before = cache.stats_snapshot()
+    result = _execute_cell(cell)
+    delta = {name: value - before.get(name, 0)
+             for name, value in cache.stats_snapshot().items()}
+    return result, delta
+
+
+@dataclass
+class _BreakerEntry:
+    strikes: int = 0
+    open_until: float = 0.0
+    half_open: bool = False
+
+
+@dataclass
+class SupervisorMeta:
+    """Per-call supervision record, for the app's metrics/transport."""
+
+    attempts: int = 0
+    worker_deaths: int = 0
+    pool_restarts: int = 0
+    quarantined: bool = False
+    degraded: bool = False
+    breaker_opened: bool = False
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class Supervisor:
+    """Thread-safe supervised pool; see the module docstring."""
+
+    def __init__(self, jobs: int = 2,
+                 disk_root: Optional[str] = None,
+                 disk_max_bytes: int = 256 * 1024 * 1024,
+                 max_attempts: int = 3,
+                 backoff_base_s: float = 0.05,
+                 backoff_cap_s: float = 2.0,
+                 breaker_threshold: int = 2,
+                 breaker_cooldown_s: float = 30.0,
+                 degraded_after: int = 6):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.disk_root = disk_root
+        self.disk_max_bytes = disk_max_bytes
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.degraded_after = degraded_after
+
+        # Workers come from a *forkserver*, not plain fork: a server
+        # process forks workers from a template captured before any
+        # connection exists, so replacement workers (after a crash,
+        # with requests in flight) can never inherit live client
+        # sockets — a forked fd duplicate would hold connections open
+        # past the server's close() and break ``Connection: close``
+        # EOF semantics. Falls back to the platform default where the
+        # forkserver method is unavailable.
+        try:
+            self._mp_context = multiprocessing.get_context("forkserver")
+        except ValueError:
+            self._mp_context = None
+
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._generation = 0
+        self._cooldown_until = 0.0
+        self._consecutive_deaths = 0
+        self._degraded = False
+        self._breakers: Dict[str, _BreakerEntry] = {}
+        # Lifetime counters, read (not mutated) by the app's /healthz.
+        self.total_deaths = 0
+        self.total_restarts = 0
+        self.cells_completed = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        with self._lock:
+            return self._degraded
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- pool management ---------------------------------------------------
+
+    def _pool_handle(self) -> Tuple[ProcessPoolExecutor, int]:
+        """Current pool + its generation, honouring restart backoff."""
+        while True:
+            with self._lock:
+                if self._pool is not None:
+                    return self._pool, self._generation
+                wait = self._cooldown_until - time.monotonic()
+                if wait <= 0:
+                    self._pool = ProcessPoolExecutor(
+                        max_workers=self.jobs,
+                        mp_context=self._mp_context,
+                        initializer=_worker_init,
+                        initargs=(self.disk_root, self.disk_max_bytes))
+                    self._generation += 1
+                    return self._pool, self._generation
+            time.sleep(min(wait, 0.05))
+
+    def warm(self) -> None:
+        """Spin up the forkserver + worker pool *before* the listening
+        socket accepts anything (prefork): blocking, call once at
+        startup."""
+        pool, _ = self._pool_handle()
+        pool.submit(_worker_ping).result()
+
+    def _note_death(self, generation: int, meta: SupervisorMeta) -> None:
+        """A submission observed its pool break: retire that pool
+        generation (first observer wins) and schedule the rebuild
+        under exponential backoff."""
+        with self._lock:
+            self.total_deaths += 1
+            meta.worker_deaths += 1
+            if self._generation == generation and self._pool is not None:
+                pool, self._pool = self._pool, None
+                self.total_restarts += 1
+                meta.pool_restarts += 1
+                self._consecutive_deaths += 1
+                backoff = min(
+                    self.backoff_base_s *
+                    (2 ** (self._consecutive_deaths - 1)),
+                    self.backoff_cap_s)
+                self._cooldown_until = time.monotonic() + backoff
+                if self._consecutive_deaths >= self.degraded_after:
+                    self._degraded = True
+            else:
+                pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- circuit breaker ---------------------------------------------------
+
+    def _breaker_admits(self, key: str) -> bool:
+        """False while ``key`` is quarantined; lets one trial through
+        after the cooldown (half-open)."""
+        if not key:
+            return True
+        with self._lock:
+            entry = self._breakers.get(key)
+            if entry is None or entry.strikes < self.breaker_threshold:
+                return True
+            now = time.monotonic()
+            if now < entry.open_until:
+                return False
+            if entry.half_open:
+                return False      # a trial is already in flight
+            entry.half_open = True
+            return True
+
+    def _breaker_strike(self, key: str, meta: SupervisorMeta) -> None:
+        if not key:
+            return
+        with self._lock:
+            entry = self._breakers.setdefault(key, _BreakerEntry())
+            entry.strikes += 1
+            entry.half_open = False
+            if entry.strikes >= self.breaker_threshold:
+                entry.open_until = time.monotonic() + \
+                    self.breaker_cooldown_s
+                meta.breaker_opened = True
+
+    def _breaker_clear(self, key: str) -> None:
+        if key:
+            with self._lock:
+                self._breakers.pop(key, None)
+
+    def open_breakers(self) -> int:
+        with self._lock:
+            return sum(
+                1 for e in self._breakers.values()
+                if e.strikes >= self.breaker_threshold)
+
+    # -- execution ---------------------------------------------------------
+
+    def run_cell(self, cell: ServeCell
+                 ) -> Tuple[CellResult, Dict[str, int], SupervisorMeta]:
+        """Run one cell to a verdict envelope; blocking, never raises.
+
+        Every outcome is a :class:`CellResult`: ``served`` (with the
+        envelope in ``extra``), ``hang`` (deadline), ``error``
+        (evaluate bug), ``worker_died`` (attempts exhausted),
+        ``quarantined`` (breaker open) or ``degraded``.
+        """
+        meta = SupervisorMeta()
+        key = cell.fingerprint
+        if not self._breaker_admits(key):
+            meta.quarantined = True
+            return (self._refusal(cell, STATUS_QUARANTINED,
+                                  "circuit breaker open for this "
+                                  "request fingerprint"), {}, meta)
+        if self.degraded:
+            meta.degraded = True
+            return (self._refusal(cell, STATUS_DEGRADED,
+                                  "supervisor degraded after repeated "
+                                  "worker deaths"), {}, meta)
+
+        for _ in range(self.max_attempts):
+            meta.attempts += 1
+            pool, generation = self._pool_handle()
+            try:
+                result, delta = pool.submit(_worker_run, cell).result()
+            except Exception:
+                # BrokenProcessPool / BrokenExecutor — or a submit on a
+                # pool another thread is retiring right now. Either
+                # way: note, back off, retry on a fresh generation.
+                self._note_death(generation, meta)
+                self._breaker_strike(key, meta)
+                continue
+            with self._lock:
+                self._consecutive_deaths = 0
+                self._degraded = False
+                self.cells_completed += 1
+            self._breaker_clear(key)
+            return result, delta, meta
+
+        return (self._refusal(
+            cell, STATUS_WORKER_DIED,
+            f"worker process died {meta.attempts} time(s) running "
+            "this request"), {}, meta)
+
+    @staticmethod
+    def _refusal(cell: ServeCell, status: str, detail: str) -> CellResult:
+        return CellResult(
+            tag=cell.tag, workload=None, scheme=cell.scheme,
+            ok=False, status=status, detail=detail, error=detail)

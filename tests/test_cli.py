@@ -248,3 +248,71 @@ class TestFaultCampaign:
         rc = main(["faultcampaign", "--faults", "nope", "--n", "1"])
         assert rc == errors.EXIT_USAGE
         assert "unknown fault families" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# robustness exit codes + signal handling (repro serve / campaigns)
+# ---------------------------------------------------------------------------
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+class TestRobustnessExitCodes:
+    def test_new_codes_are_stable(self):
+        assert errors.EXIT_INTERRUPTED == 12
+        assert errors.EXIT_OVERLOAD_SHED == 13
+        assert errors.EXIT_DRAIN_TIMEOUT == 14
+
+    def test_error_classes_map_to_their_codes(self):
+        assert errors.exit_code_for(
+            errors.CampaignInterrupted(3, 10)) == errors.EXIT_INTERRUPTED
+        assert errors.exit_code_for(
+            errors.OverloadShed("queue full")) == \
+            errors.EXIT_OVERLOAD_SHED
+        assert errors.exit_code_for(
+            errors.DrainTimeout(2, 5.0)) == errors.EXIT_DRAIN_TIMEOUT
+
+    def test_status_mapping_is_shared_with_serve(self):
+        # The serve envelope's cli_exit_code uses this same function,
+        # so the CLI and the service can never disagree.
+        assert errors.exit_code_for_status("exit", 0) == errors.EXIT_OK
+        assert errors.exit_code_for_status("exit", 3) == \
+            errors.EXIT_FAILURE
+        assert errors.exit_code_for_status("temporal_violation") == \
+            errors.EXIT_TEMPORAL
+        assert errors.exit_code_for_status("limit") == \
+            errors.EXIT_SIMLIMIT
+
+
+class TestGracefulInterrupt:
+    def test_sigterm_flushes_truncated_faultcampaign(self, tmp_path):
+        """SIGTERM mid-campaign: the current chunk finishes, a valid
+        truncated report reaches --out, and the exit code is 12."""
+        out = tmp_path / "report.json"
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "faultcampaign",
+             "--n", "200", "--heartbeat", "0.1", "--out", str(out)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            env=env, text=True)
+        try:
+            first = proc.stderr.readline()   # first heartbeat tick
+            assert first.strip(), "campaign produced no heartbeat"
+            proc.send_signal(signal.SIGTERM)
+            _, stderr_rest = proc.communicate(timeout=180)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == errors.EXIT_INTERRUPTED
+        assert "interrupt" in (first + stderr_rest)
+        report = json.loads(out.read_text())
+        assert report["interrupted"] is True
+        assert report["completed"] == len(report["injections"])
+        assert 0 < report["completed"] < 200

@@ -350,3 +350,46 @@ class TestWatchdog:
             result = executor.run([spec])[0]
         assert result.status == "limit"
         assert result.trap_class == "SimLimitExceeded"
+
+
+class TestInterrupt:
+    def test_stop_truncates_at_a_chunk_boundary(self):
+        polls = []
+
+        def stop():
+            polls.append(True)
+            return len(polls) > 1    # first chunk runs, then stop
+
+        report = run_campaign(n=40, seed=5, jobs=1,
+                              wallclock_budget=None, stop=stop)
+        assert report.interrupted
+        assert len(report.injections) == 16   # one _STOP_CHUNK
+        doc = report.to_dict()
+        assert doc["interrupted"] is True
+        assert doc["completed"] == 16
+
+    def test_interrupted_prefix_matches_the_full_run(self):
+        full = run_campaign(n=40, seed=5, jobs=1,
+                            wallclock_budget=None)
+        polls = []
+
+        def stop_after_first_chunk():
+            polls.append(True)
+            return len(polls) > 1
+
+        partial = run_campaign(n=40, seed=5, jobs=1,
+                               wallclock_budget=None,
+                               stop=stop_after_first_chunk)
+        prefix = partial.injections
+        assert prefix == full.injections[:len(prefix)]
+
+    def test_uninterrupted_report_bytes_are_unchanged(self):
+        plain = run_campaign(n=16, seed=5, jobs=1,
+                             wallclock_budget=None)
+        polled = run_campaign(n=16, seed=5, jobs=1,
+                              wallclock_budget=None,
+                              stop=lambda: False)
+        assert not plain.interrupted and not polled.interrupted
+        assert "interrupted" not in plain.to_dict()
+        assert json.dumps(plain.to_dict(), sort_keys=True) == \
+            json.dumps(polled.to_dict(), sort_keys=True)

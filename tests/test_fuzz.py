@@ -262,3 +262,32 @@ class TestReducer:
         source = "long main(void) { return 0; }"
         result = reduce_source(source, lambda s: False)
         assert result.source == source and not result.reduced
+
+
+class TestInterrupt:
+    def test_stop_truncates_at_a_round_boundary(self):
+        polls = []
+
+        def stop():
+            polls.append(True)
+            return len(polls) > 1    # first round runs, then stop
+
+        report = run_fuzz(75, seed=42, jobs=1, stop=stop)
+        assert report.interrupted
+        assert len(report.programs) == 25     # one ROUND_SIZE
+        doc = report.to_dict()
+        assert doc["interrupted"] is True
+        assert doc["completed"] == 25
+
+    def test_immediate_stop_yields_empty_valid_report(self):
+        report = run_fuzz(50, seed=42, jobs=1, stop=lambda: True)
+        assert report.interrupted
+        assert report.programs == []
+        doc = report.to_dict()
+        assert doc["completed"] == 0
+
+    def test_uninterrupted_report_carries_no_interrupt_keys(self):
+        report = run_fuzz(8, seed=42, jobs=1, stop=lambda: False)
+        assert not report.interrupted
+        assert "interrupted" not in report.to_dict()
+        assert "completed" not in report.to_dict()
