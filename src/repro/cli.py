@@ -13,6 +13,7 @@ open-source tool chain)::
     python -m repro experiments fig4 --scale small --jobs 4
     python -m repro bench --reps 3 --seed 7 --out BENCH_SIM.json
     python -m repro bench --against BENCH_SIM.json
+    python -m repro conform --jobs 4 --fuzz-count 200 --out CONFORM.json
     python -m repro serve --port 8128 --jobs 4 --cache-dir .repro-cache
 """
 
@@ -363,7 +364,8 @@ def cmd_fuzz(args) -> int:
             corpus_dir=args.corpus,
             reduce_divergences=not args.no_reduce,
             wallclock_budget=args.wallclock, heartbeat=heartbeat,
-            engine_lockstep=args.engine_lockstep, stop=stop)
+            engine_lockstep=args.engine_lockstep,
+            spec_lockstep=args.spec_lockstep, stop=stop)
     print(report.table())
     print(executor.summary())
     if args.out:
@@ -375,6 +377,56 @@ def cmd_fuzz(args) -> int:
               "programs; truncated report is valid", file=sys.stderr)
         return EXIT_INTERRUPTED
     return 0 if report.clean else 1
+
+
+def cmd_conform(args) -> int:
+    """Conformance campaign: executable spec vs the ISS engines."""
+    from repro.errors import EXIT_SPEC_DIVERGENCE
+    from repro.harness.conform import (divergences_of, report_to_json,
+                                       run_conform)
+    from repro.harness.parallel import SweepExecutor
+
+    schemes = [name.strip() for name in args.schemes.split(",")
+               if name.strip()]
+    unknown = [name for name in schemes if name not in SCHEMES]
+    if unknown:
+        print(f"error: unknown schemes {unknown}; known: "
+              f"{sorted(SCHEMES)}", file=sys.stderr)
+        return 2
+    workloads = None
+    if args.workloads:
+        workloads = [name.strip() for name in args.workloads.split(",")
+                     if name.strip()]
+        missing = [name for name in workloads if name not in WORKLOADS]
+        if missing:
+            print(f"error: unknown workloads {missing}; known: "
+                  f"{sorted(WORKLOADS)}", file=sys.stderr)
+            return 2
+    with SweepExecutor(jobs=args.jobs) as executor:
+        report = run_conform(
+            workloads=workloads, schemes=schemes, scale=args.scale,
+            fuzz_count=args.fuzz_count, seed=args.seed,
+            equiv=not args.skip_equiv, lockstep=not args.skip_lockstep,
+            max_instructions=args.max_instructions,
+            heartbeat_s=args.heartbeat, registry=executor.registry,
+            executor=executor)
+        summary = executor.summary()
+    totals = report["totals"]
+    print(f"conform: {totals['cells']} cells, "
+          f"{totals['equiv_cases']} equivalence cases, "
+          f"{totals['retires']} lockstep retires, "
+          f"{totals['mnemonics_covered']} mnemonics covered, "
+          f"{totals['divergences']} divergences")
+    never = report["coverage"]["never_exercised"]
+    if never and not args.skip_lockstep:
+        print(f"never exercised by the lockstep corpus ({len(never)}): "
+              + " ".join(never))
+    print(summary)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report_to_json(report))
+        print(f"report -> {args.out}")
+    return EXIT_SPEC_DIVERGENCE if divergences_of(report) else EXIT_OK
 
 
 def cmd_serve(args) -> int:
@@ -638,11 +690,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add the ref-vs-fast engine oracle to "
                         "every probe (hwst128 build re-executed on the "
                         "fast engine; must match including instret)")
+    fuzz_p.add_argument("--spec-lockstep", action="store_true",
+                        help="add the executable golden spec "
+                        "(repro.spec) as an oracle: the hwst128 build "
+                        "co-simulated against the reference engine "
+                        "with per-retire architectural state diffs")
     fuzz_p.add_argument("--heartbeat", type=float, default=0.0,
                         metavar="SECONDS",
                         help="emit JSON progress heartbeats on stderr "
                         "every SECONDS (0 = off)")
     fuzz_p.set_defaults(fn=cmd_fuzz)
+
+    conform_p = sub.add_parser(
+        "conform",
+        help="spec-vs-ISS conformance: per-instruction equivalence "
+        "sweeps + lockstep co-simulation over workloads and fuzz "
+        "programs (exit 15 on any divergence)")
+    conform_p.add_argument("--workloads", metavar="A,B,...",
+                           help="lockstep these workload kernels only "
+                           "(default: all registered workloads)")
+    conform_p.add_argument("--schemes", default=",".join(
+        ("hwst128_tchk", "bogo", "wdl_wide")),
+        metavar="A,B,...",
+        help="schemes to lockstep each workload under")
+    conform_p.add_argument("--scale", default="small",
+                           help="workload input scale")
+    conform_p.add_argument("--fuzz-count", type=int, default=200,
+                           metavar="N",
+                           help="generated fuzz programs to lockstep "
+                           "(0 = none)")
+    conform_p.add_argument("--seed", type=int, default=20260807,
+                           help="seed for equivalence cases and the "
+                           "fuzz corpus")
+    conform_p.add_argument("--jobs", type=_positive_int, default=1)
+    conform_p.add_argument("--skip-equiv", action="store_true",
+                           help="skip the per-instruction equivalence "
+                           "sweep")
+    conform_p.add_argument("--skip-lockstep", action="store_true",
+                           help="skip program lockstep (equivalence "
+                           "sweep only)")
+    conform_p.add_argument("--max-instructions", type=_positive_int,
+                           default=2_000_000,
+                           help="per-program lockstep retire budget")
+    conform_p.add_argument("--heartbeat", type=float, default=0.0,
+                           metavar="SECONDS",
+                           help="emit JSON progress heartbeats on "
+                           "stderr every SECONDS (0 = off)")
+    conform_p.add_argument("--out", metavar="OUT.JSON",
+                           help="write the repro.spec/v1 report")
+    conform_p.set_defaults(fn=cmd_conform)
 
     bench_p = sub.add_parser(
         "bench",

@@ -218,6 +218,8 @@ EXIT_OVERLOAD_SHED = 13     # OverloadShed (serve 429 where completion
 #                             was required, e.g. the smoke client)
 EXIT_DRAIN_TIMEOUT = 14     # DrainTimeout (serve SIGTERM drain missed
 #                             its deadline; in-flight requests dropped)
+EXIT_SPEC_DIVERGENCE = 15   # repro conform found the executable spec
+#                             and an ISS engine disagreeing
 
 #: Exception class -> CLI exit code. Looked up through the MRO so a
 #: subclass of (say) SpatialViolation inherits its code.

@@ -53,6 +53,7 @@ class FuzzCell:
     max_instructions: int = 2_000_000
     wallclock_budget: Optional[float] = 60.0
     engine_lockstep: bool = False
+    spec_lockstep: bool = False
 
     @property
     def tag(self) -> str:
@@ -74,7 +75,8 @@ class FuzzCell:
     def execute(self) -> CellResult:
         probe = probe_program(self.source, self.schemes,
                               max_instructions=self.max_instructions,
-                              engine_lockstep=self.engine_lockstep)
+                              engine_lockstep=self.engine_lockstep,
+                              spec_lockstep=self.spec_lockstep)
         verdicts, divergences = classify_program(
             self.kind, self.expect, probe, self.schemes)
         reference = probe.profiles[self.schemes[-1]]
@@ -115,13 +117,15 @@ def _envelope_divergence(result: CellResult) -> Divergence:
 def _signatures_of(source: str, kind: str, expect: str,
                    schemes: Sequence[str],
                    max_instructions: int,
-                   engine_lockstep: bool = False) -> Set[Tuple[str, str]]:
+                   engine_lockstep: bool = False,
+                   spec_lockstep: bool = False) -> Set[Tuple[str, str]]:
     """Divergence signatures a candidate source exhibits (for ddmin)."""
     try:
         probe = probe_program(source, schemes,
                               max_instructions=max_instructions,
                               collect_coverage=False,
-                              engine_lockstep=engine_lockstep)
+                              engine_lockstep=engine_lockstep,
+                              spec_lockstep=spec_lockstep)
     except Exception as exc:                    # toolchain crash class
         return {("harness", f"crash.{type(exc).__name__}")}
     _, divergences = classify_program(kind, expect, probe, schemes)
@@ -233,6 +237,7 @@ def run_fuzz(n: int, seed: int,
              reduce_checks: int = 300,
              heartbeat=None,
              engine_lockstep: bool = False,
+             spec_lockstep: bool = False,
              stop=None) -> FuzzReport:
     """Run a fuzz campaign of ``n`` programs from ``seed``.
 
@@ -243,7 +248,9 @@ def run_fuzz(n: int, seed: int,
     telemetry only, never a byte of the report.
 
     ``engine_lockstep`` (opt-in) adds the ref-vs-fast engine oracle to
-    every probe; default-off keeps existing reports byte-identical.
+    every probe; ``spec_lockstep`` (opt-in) adds the executable golden
+    spec (``repro.spec``) co-simulated against the reference engine.
+    Both default off, keeping existing reports byte-identical.
 
     ``stop`` (optional zero-argument callable, e.g. a SIGTERM flag) is
     polled at every round boundary and between divergence reductions;
@@ -272,7 +279,8 @@ def run_fuzz(n: int, seed: int,
                 expect=program.expect, source=program.source,
                 schemes=schemes, max_instructions=max_instructions,
                 wallclock_budget=wallclock_budget,
-                engine_lockstep=engine_lockstep)))
+                engine_lockstep=engine_lockstep,
+                spec_lockstep=spec_lockstep)))
         progress = None
         if heartbeat is not None:
             base_done = done
@@ -346,7 +354,8 @@ def run_fuzz(n: int, seed: int,
                           _wanted=frozenset(wanted)) -> bool:
                 got = _signatures_of(candidate, cell.kind, cell.expect,
                                      schemes, max_instructions,
-                                     engine_lockstep=engine_lockstep)
+                                     engine_lockstep=engine_lockstep,
+                                     spec_lockstep=spec_lockstep)
                 return _wanted <= got
 
             shrunk = reduce_source(cell.source, predicate,

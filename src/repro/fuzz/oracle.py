@@ -99,6 +99,9 @@ class ProgramProbe:
     profiles: Dict[str, RunProfile]
     lint_kinds: Tuple[str, ...]
     functions: Tuple[str, ...]       # runtime functions hit (timed run)
+    #: Spec-lockstep observation (opt-in): first divergence (or None)
+    #: plus run shape. None when the spec oracle was not requested.
+    spec: Optional[dict] = None
 
 
 def _profile(cache, source: str, scheme: str, config: HwstConfig,
@@ -124,7 +127,8 @@ def probe_program(source: str,
                   cache=None,
                   max_instructions: int = 2_000_000,
                   collect_coverage: bool = True,
-                  engine_lockstep: bool = False) -> ProgramProbe:
+                  engine_lockstep: bool = False,
+                  spec_lockstep: bool = False) -> ProgramProbe:
     """Run every oracle probe for ``source``; may raise on a toolchain
     crash (the campaign layer converts that into a harness divergence).
 
@@ -133,6 +137,12 @@ def probe_program(source: str,
     axis: the hwst128 build re-executed on the fast translation-cached
     engine, which must match the reference run on every observable
     including instret and the heap digest.
+
+    ``spec_lockstep`` (opt-in, same byte-compatibility contract) adds
+    the executable golden spec (``repro.spec``) as an oracle: the
+    hwst128 build co-simulated instruction-by-instruction against the
+    reference engine, with full architectural state diffed at every
+    retire.
     """
     from repro.analyze.linter import analyze_source
     from repro.harness.compile_cache import process_cache
@@ -144,11 +154,31 @@ def probe_program(source: str,
         profiles[scheme], _ = _profile(cache, source, scheme, config,
                                        max_instructions)
     functions: Tuple[str, ...] = ()
+    spec_record: Optional[dict] = None
     if "hwst128" in schemes:
         if engine_lockstep:
             profiles["hwst128@fast"], _ = _profile(
                 cache, source, "hwst128", config, max_instructions,
                 engine="fast")
+        if spec_lockstep:
+            from repro.sim import make_machine
+            from repro.spec.lockstep import run_lockstep
+
+            program = cache.compile(source, "hwst128", config)
+            machine = make_machine("ref", config=config, timing=None)
+            widths = config.widths
+            lockstep = run_lockstep(
+                machine, program,
+                widths=(widths.base, widths.range, widths.lock,
+                        widths.key),
+                lock_base=config.lock_base,
+                shadow_budget=config.shadow_budget,
+                max_instructions=max_instructions)
+            spec_record = {
+                "divergence": lockstep.divergence,
+                "status": lockstep.outcome.status,
+                "retires": lockstep.retires,
+            }
         profiles["hwst128@alt"], _ = _profile(
             cache, source, "hwst128", alt_config(config), max_instructions)
         profiler = None
@@ -165,7 +195,7 @@ def probe_program(source: str,
     lint = analyze_source(source, "fuzz", config)
     lint_kinds = tuple(sorted({f.kind for f in lint.errors()}))
     return ProgramProbe(profiles=profiles, lint_kinds=lint_kinds,
-                        functions=functions)
+                        functions=functions, spec=spec_record)
 
 
 def _show(profile: RunProfile) -> str:
@@ -292,4 +322,20 @@ def classify_program(kind: str, expect: str, probe: ProgramProbe,
                 "engine", "ref_fast_mismatch",
                 f"ref {_show(a)} instret={a.instret} vs "
                 f"fast {_show(b)} instret={b.instret}"))
+
+    # -- executable spec vs ISS (opt-in lockstep) --------------------------
+    # Same byte-compatibility contract as the engine oracle: the
+    # verdict key exists only when the probe carried a spec record.
+    if probe.spec is not None:
+        divergence = probe.spec.get("divergence")
+        if divergence is None:
+            verdicts["spec"] = "agree"
+        else:
+            verdicts["spec"] = "divergence"
+            first = divergence.get("deltas") or [{}]
+            divergences.append(Divergence(
+                "spec", "spec_iss_mismatch",
+                f"{divergence.get('reason')} at retire "
+                f"{divergence.get('retire')} pc={divergence.get('pc')} "
+                f"{divergence.get('mnemonic')}: {first[0]}"))
     return verdicts, divergences

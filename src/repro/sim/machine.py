@@ -616,12 +616,16 @@ class Machine:
         U, S = bits.to_u64, bits.to_s64
 
         def div64(a, b):
+            # RISC-V DIV truncates toward zero; Python // floors, and
+            # float division loses precision past 2**53, so negate into
+            # the positive quadrant for exact truncating division.
             a, b = S(a), S(b)
             if b == 0:
                 return bits.MASK64
             if a == -(1 << 63) and b == -1:
                 return U(a)
-            return U(int(a / b) if (a < 0) != (b < 0) else a // b)
+            q = abs(a) // abs(b)
+            return U(-q if (a < 0) != (b < 0) else q)
 
         def rem64(a, b):
             a, b = S(a), S(b)
@@ -629,7 +633,10 @@ class Machine:
                 return U(a)
             if a == -(1 << 63) and b == -1:
                 return 0
-            return U(a - int(a / b) * b if (a < 0) != (b < 0) else a % b)
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            return U(a - q * b)
 
         table = {
             "add": lambda a, b: U(a + b),

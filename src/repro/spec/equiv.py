@@ -1,0 +1,421 @@
+"""Per-instruction equivalence: spec vs ISS over operand edge cases.
+
+For every mnemonic in the encoding tables the driver generates a
+deterministic, seeded battery of single-instruction cases — sign
+boundaries, shift-amount extremes, metadata field extremes, all four
+compression geometries, keybuffer lock-index bounds, mapped/unmapped
+address corners — executes each case once on the spec and once on an
+injected ISS machine from an identical architectural pre-state, and
+diffs the outcome (retired state or trap, field by field).
+
+Case generation is pure: seeded ``random.Random`` instances keyed by
+``(seed, mnemonic)``, never the global generator, so a sweep is
+byte-deterministic at any ``--jobs``. The platform memory map used to
+pick interesting addresses is the documented layout from
+``docs/isa.md``; machines are injected by ``repro.harness.conform`` so
+this module imports nothing from ``repro.sim``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.spec import geometry
+from repro.spec.lockstep import (
+    classify_trap,
+    diff_retire,
+    diff_trap,
+    make_env,
+    snapshot_state,
+)
+from repro.spec.state import SpecTrap, SrfEntry
+from repro.spec.table import _ALU_FN, _ALU_I, _BRANCH_FN, spec_step
+
+_M64 = (1 << 64) - 1
+
+# Documented platform memory map (docs/isa.md) — the address corners
+# the sweep probes. These are layout constants, not simulator state.
+TEXT_BASE = 0x0001_0000
+DATA_BASE = 0x0020_0000
+HEAP_BASE = 0x0040_0000
+HEAP_TOP = 0x00D0_0000
+STACK_TOP = 0x00F0_0000
+USER_TOP = 0x0100_0000
+SHADOW_OFFSET = 0x1000_0000
+SHADOW_TOP = SHADOW_OFFSET + (USER_TOP << 2)
+LOCK_BASE = SHADOW_OFFSET
+
+_EDGE64 = (0, 1, 2, 7, 8, 0x7F, 0x80,
+           0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 1 << 32,
+           0x7FFFFFFFFFFFFFFF, 1 << 63, (1 << 63) + 1, _M64 - 1, _M64)
+_SHAMT = (0, 1, 31, 32, 63, 64, 127, _M64)
+_IMM12 = (-2048, -1, 0, 1, 7, 2047)
+_ADDR_POOL = (DATA_BASE, HEAP_BASE, HEAP_BASE + 4096, HEAP_TOP - 8,
+              HEAP_TOP - 1, HEAP_TOP, STACK_TOP - 4096, TEXT_BASE,
+              0, USER_TOP, 0xFFFF_FFFF_FFFF_F000)
+_SEED_WORDS = (0x8877665544332211, 0xFFFFFFFFFFFFFFFF,
+               0x7FEDCBA987654321, 0x0000000080000000)
+
+
+@dataclass(frozen=True)
+class EquivCase:
+    """One single-instruction equivalence case (picklable plain data)."""
+
+    mnemonic: str
+    geom: int = 0                     # index into geometry.GEOMETRIES
+    rd: int = 10
+    rs1: int = 5
+    rs2: int = 6
+    imm: int = 0
+    regs: Tuple[Tuple[int, int], ...] = ()
+    srf: Tuple[Tuple[int, SrfEntry], ...] = ()
+    wide: Tuple[Tuple[int, Tuple[int, int, int, int]], ...] = ()
+    mem: Tuple[Tuple[int, int], ...] = ()    # (addr, u64) seeds, mapped
+
+    def describe(self) -> str:
+        return (f"{self.mnemonic} geom={self.geom} rd={self.rd} "
+                f"rs1={self.rs1} rs2={self.rs2} imm={self.imm}")
+
+
+def _rng(seed: int, mnemonic: str) -> random.Random:
+    return random.Random(f"spec-equiv/{seed}/{mnemonic}")
+
+
+def _alu_pools(op: str, rng: random.Random) -> Tuple[Tuple[int, ...],
+                                                     Tuple[int, ...]]:
+    a_pool = _EDGE64 + tuple(rng.getrandbits(64) for _ in range(4))
+    if op in ("sll", "srl", "sra", "sllw", "srlw", "sraw"):
+        return a_pool, _SHAMT
+    if op in ("div", "divu", "rem", "remu", "divw", "divuw",
+              "remw", "remuw", "mulh", "mulhu", "mulhsu", "mul", "mulw"):
+        b_pool = (0, 1, 2, 3, 5, _M64, 1 << 63, (1 << 63) + 1,
+                  0x7FFFFFFFFFFFFFFF, 0xFFFFFFFF, 0x80000000,
+                  rng.getrandbits(64))
+        return a_pool, b_pool
+    return a_pool, (0, 1, 8, 0x7FFFFFFF, 0x80000000,
+                    1 << 63, _M64, rng.getrandbits(64))
+
+
+def _spatial_windows(addr: int, nbytes: int) -> Tuple[Tuple[int, int], ...]:
+    """Interesting (base, bound) windows around an access at ``addr``."""
+    return (
+        (addr, addr + nbytes),              # exact fit
+        (addr & ~7, (addr + nbytes + 7) & ~7),
+        (addr + 8, addr + 64),              # addr below base
+        (max(0, addr - 64), max(0, addr - 16) & ~7),  # bound below addr
+        (0, _M64 >> 8),                     # huge window
+    )
+
+
+def _geom_lock_edges(geom: int) -> Tuple[int, ...]:
+    """Lock addresses at and beyond the representable index bound."""
+    lock_bits = geometry.GEOMETRIES[geom][2]
+    mask = (1 << lock_bits) - 1
+    return (0, LOCK_BASE, LOCK_BASE + 8, LOCK_BASE + 4, LOCK_BASE - 8,
+            LOCK_BASE + 8 * (mask - 1),     # last representable index
+            LOCK_BASE + 8 * mask)           # one past: meta_range
+
+
+def cases_for(mnemonic: str, seed: int) -> Tuple[EquivCase, ...]:
+    """The deterministic case battery for one mnemonic."""
+    rng = _rng(seed, mnemonic)
+    spec = SPEC_TABLE[mnemonic]
+    cases: List[EquivCase] = []
+    add = cases.append
+
+    def C(**kw) -> EquivCase:
+        return EquivCase(mnemonic=mnemonic, **kw)
+
+    if mnemonic in _ALU_FN:
+        a_pool, b_pool = _alu_pools(mnemonic, rng)
+        for a in a_pool:
+            for b in b_pool:
+                add(C(regs=((5, a), (6, b))))
+        add(C(rd=0, regs=((5, 3), (6, 5))))
+        add(C(rd=5, regs=((5, 9), (6, 4))))          # rd aliases rs1
+        add(C(rs2=5, regs=((5, rng.getrandbits(64)),)))  # rs1 == rs2
+        # metadata propagation: rs1-bound, rs2-bound, both, wide-only
+        entry = (0x1234, 0x99, True, False)
+        add(C(regs=((5, 1), (6, 2)), srf=((5, entry),)))
+        add(C(regs=((5, 1), (6, 2)), srf=((6, entry),)))
+        add(C(regs=((5, 1), (6, 2)),
+              srf=((5, (0, 7, False, True)), (6, entry))))
+        add(C(regs=((5, 1), (6, 2)), wide=((6, (1, 2, 3, 4)),)))
+    elif mnemonic in _ALU_I:
+        base_op = _ALU_I[mnemonic]
+        shift = base_op in ("sll", "srl", "sra", "sllw", "srlw", "sraw")
+        imm_pool = (0, 1, 5, 31, 63) if shift else _IMM12
+        a_pool = _EDGE64 + tuple(rng.getrandbits(64) for _ in range(4))
+        for a in a_pool:
+            for imm in imm_pool:
+                add(C(imm=imm, regs=((5, a),)))
+        add(C(rd=0, imm=1, regs=((5, 3),)))
+        add(C(imm=4, regs=((5, 8),),
+              srf=((5, (0xBEEF, 0, True, False)),)))  # propagation
+    elif mnemonic in _BRANCH_FN:
+        pairs = ((0, 0), (1, 2), (2, 1), (_M64, 0), (0, _M64),
+                 (1 << 63, 1), (1, 1 << 63), (_M64, _M64),
+                 (rng.getrandbits(64), rng.getrandbits(64)))
+        for a, b in pairs:
+            for imm in (-8, 4, 8, 0x1000):
+                add(C(imm=imm, regs=((5, a), (6, b))))
+    elif mnemonic == "jal":
+        for rd in (0, 1, 10):
+            for imm in (-4, 4, 8, 0x2000):
+                add(C(rd=rd, imm=imm))
+    elif mnemonic == "jalr":
+        for base in (TEXT_BASE + 8, TEXT_BASE + 9, 0, _M64):
+            for imm in (-1, 0, 1, 4):
+                add(C(imm=imm, regs=((5, base),)))
+        add(C(rd=0, regs=((5, TEXT_BASE),)))
+        add(C(rd=5, regs=((5, TEXT_BASE + 4),)))
+    elif mnemonic in ("lui", "auipc"):
+        for imm in (0, 1, 0x7FFFF, 0x80000, 0xFFFFF):
+            add(C(imm=imm))
+        add(C(rd=0, imm=0x12345))
+    elif mnemonic == "fence":
+        add(C())
+    elif mnemonic == "ebreak":
+        add(C())
+    elif mnemonic == "ecall":
+        for a0 in (0, 1, 255, _M64, 1 << 63):
+            add(C(regs=((17, 93), (10, a0))))
+        writes = ((DATA_BASE, 0), (DATA_BASE, 16), (HEAP_TOP - 8, 8),
+                  (HEAP_TOP - 8, 16), (0, 8), (SHADOW_OFFSET, 8),
+                  (STACK_TOP - 64, 3))
+        for buf, length in writes:
+            add(C(regs=((17, 64), (11, buf), (12, length)),
+                  mem=((DATA_BASE, _SEED_WORDS[0]),
+                       (DATA_BASE + 8, _SEED_WORDS[1]))))
+        for number in (1000, 1001, 1002, 1003, 1004, 0, 2, 9999):
+            add(C(regs=((17, number), (10, 0xABC))))
+    elif mnemonic in ("csrrw", "csrrs", "csrrc"):
+        for addr in (0xC00, 0xC01, 0xC02, 0x800, 0x801, 0x802,
+                     0x804, 0x123):
+            for src in (0, 1, _M64, 0x12345678):
+                add(C(imm=addr, regs=((5, src),)))
+            add(C(imm=addr, rs1=0))              # rs1=x0: no write (s/c)
+            add(C(imm=addr, rd=0, regs=((5, 0xF0),)))
+    elif spec.is_load and spec.mem_bytes and not spec.shadow_access \
+            and not spec.checked:
+        nb = spec.mem_bytes
+        for i, base in enumerate(_ADDR_POOL):
+            for imm in (-8, -1, 0, 1, 2047, -2048):
+                seeds = _mapped_seeds(base + imm, nb, i)
+                add(C(imm=imm, regs=((5, base),), mem=seeds))
+        add(C(rd=0, regs=((5, DATA_BASE),),
+              mem=((DATA_BASE, _SEED_WORDS[0]),)))
+        add(C(regs=((5, DATA_BASE),),
+              srf=((10, (1, 2, True, True)),),
+              mem=((DATA_BASE, _SEED_WORDS[2]),)))   # rd invalidation
+    elif spec.is_store and spec.mem_bytes and not spec.shadow_access \
+            and not spec.checked:
+        for base in _ADDR_POOL:
+            for imm in (-8, 0, 1, 2047):
+                for value in (0, _M64, 0x0123456789ABCDEF):
+                    add(C(imm=imm, regs=((5, base), (6, value))))
+        # an 8-byte store into the lock table (keybuffer snoop window)
+        if spec.mem_bytes == 8:
+            add(C(regs=((5, LOCK_BASE + 16), (6, 0))))
+            add(C(regs=((5, LOCK_BASE + 16), (6, 77))))
+    elif spec.checked and (spec.is_load or spec.is_store):
+        nb = spec.mem_bytes
+        target = HEAP_BASE + 16
+        for geom in range(len(geometry.GEOMETRIES)):
+            base_b, range_b = geometry.GEOMETRIES[geom][:2]
+            for imm in (-8, 0, 8):
+                addr = target + imm
+                for win_base, win_bound in _spatial_windows(addr, nb):
+                    try:
+                        lower = geometry.spatial_pack(
+                            win_base, win_bound, base_b, range_b)
+                    except geometry.GeometryError:
+                        continue
+                    regs = ((5, target), (6, 0xAB))
+                    add(C(geom=geom, imm=imm, regs=regs,
+                          srf=((5, (lower, 0, True, False)),),
+                          mem=_mapped_seeds(addr, nb, geom)))
+            add(C(geom=geom, regs=((5, target), (6, 1)),
+                  srf=((5, (0, 0, False, False)),)))     # unbound
+            add(C(geom=geom, regs=((5, target), (6, 1)),
+                  srf=((5, (0xDEADBEEFDEADBEEF, 0, True, False)),)))
+    elif mnemonic == "bndrs":
+        for geom in range(len(geometry.GEOMETRIES)):
+            pairs = ((0, 0), (0, 8), (HEAP_BASE, HEAP_BASE + 64),
+                     (HEAP_BASE + 3, HEAP_BASE + 13),
+                     (8, 0),                      # bound < base
+                     (1 << 40, (1 << 40) + 8),    # base overflow (g0)
+                     (0, 1 << 36),                # range overflow (g0)
+                     (0, _M64))
+            for base, bound in pairs:
+                add(C(geom=geom, regs=((5, base), (6, bound)),
+                      srf=((10, (0, 0x77, False, True)),),
+                      wide=((10, (9, 9, 9, 9)),)))
+            add(C(geom=geom, rd=0, regs=((5, 0), (6, 8))))
+    elif mnemonic == "bndrt":
+        for geom in range(len(geometry.GEOMETRIES)):
+            key_bits = geometry.GEOMETRIES[geom][3]
+            keys = (0, 1, (1 << key_bits) - 1, 1 << key_bits, _M64)
+            for key in keys:
+                for lock in _geom_lock_edges(geom):
+                    add(C(geom=geom, regs=((5, key), (6, lock & _M64)),
+                          srf=((10, (0x55, 0, True, False)),)))
+            add(C(geom=geom, rd=0, regs=((5, 1), (6, 0))))
+    elif mnemonic == "tchk":
+        for geom in range(len(geometry.GEOMETRIES)):
+            lock_b, key_b = geometry.GEOMETRIES[geom][2:]
+            good = LOCK_BASE + 8
+            far = LOCK_BASE + 8 * ((1 << lock_b) - 2)
+            batt = (
+                (7, good, 7, True),       # key matches stored
+                (7, good, 8, True),       # mismatch
+                (0, good, 0, True),       # zero key matches zero store
+                (7, 0, 0, True),          # null lock
+                (9, far, 9, far < SHADOW_TOP - 8),  # index bound
+            )
+            for key, lock, stored, seed_mem in batt:
+                upper = geometry.temporal_pack(key, lock, lock_b, key_b,
+                                               LOCK_BASE)
+                mem = ((lock, stored),) if (lock and seed_mem) else ()
+                add(C(geom=geom, srf=((5, (0, upper, False, True)),),
+                      mem=mem))
+            add(C(geom=geom, srf=((5, (0, 0, True, False)),)))  # no uvalid
+            add(C(geom=geom,
+                  srf=((5, (0, 0xDEADBEEFDEADBEEF, False, True)),)))
+    elif mnemonic in ("sbdl", "sbdu", "lbdls", "lbdus", "lbas", "lbnd",
+                      "lkey", "lloc", "bndldx", "bndstx", "vld256",
+                      "vst256"):
+        containers = (HEAP_BASE, HEAP_BASE + 8, USER_TOP - 8, 0,
+                      STACK_TOP, _M64, 1 << 62)
+        entries = ((0x1111, 0x2222, True, True),
+                   (0x1111, 0x2222, True, False),
+                   (0x1111, 0x2222, False, True),
+                   (0, 0, False, False))
+        for geom in (0, 1):
+            for container in containers:
+                shadow = (container << 2) + SHADOW_OFFSET
+                seeds = ()
+                if shadow + 32 <= SHADOW_TOP:
+                    seeds = tuple((shadow + 8 * i, _SEED_WORDS[i])
+                                  for i in range(4))
+                for imm in (0, -8):
+                    for entry in entries[:2]:
+                        add(C(geom=geom, imm=imm,
+                              regs=((5, container),),
+                              srf=((6, entry), (10, entries[2])),
+                              wide=((6, (5, 6, 7, 8)),
+                                    (10, (1, 2, 3, 4))),
+                              mem=seeds))
+                add(C(geom=geom, regs=((5, container),),
+                      srf=((6, entries[3]),), mem=seeds))
+        add(C(rd=0, regs=((5, HEAP_BASE),),
+              mem=(((HEAP_BASE << 2) + SHADOW_OFFSET, 0x1234),)))
+    elif mnemonic in ("bndcl", "bndcu"):
+        target = HEAP_BASE + 32
+        for geom in range(len(geometry.GEOMETRIES)):
+            base_b, range_b = geometry.GEOMETRIES[geom][:2]
+            lower = geometry.spatial_pack(target - 16, target + 16,
+                                          base_b, range_b)
+            for addr in (target - 17, target - 16, target, target + 15,
+                         target + 16, 0, _M64):
+                add(C(geom=geom, regs=((6, addr),),
+                      srf=((5, (lower, 0, True, False)),)))
+            add(C(geom=geom, regs=((6, target),),
+                  srf=((5, (0, 0, False, False)),)))
+    elif mnemonic == "vchk":
+        locks = (0, LOCK_BASE + 8, 0x123)
+        for base, bound in ((HEAP_BASE, HEAP_BASE + 64), (0, 0)):
+            for addr in (base - 1 if base else _M64, base,
+                         bound - 1 if bound else 0, bound):
+                for lock in locks:
+                    mem = ((lock, 0xFEED),) if lock >= LOCK_BASE else ()
+                    for key in (0xFEED, 0xBAD):
+                        add(C(regs=((6, addr & _M64),),
+                              wide=((5, (base, bound, key, lock)),),
+                              mem=mem))
+        add(C(regs=((6, HEAP_BASE),)))               # wide unset
+    else:  # pragma: no cover — a new mnemonic must be given cases
+        raise KeyError(f"no equivalence cases for mnemonic {mnemonic!r}")
+    return tuple(cases)
+
+
+def _mapped_seeds(addr: int, nbytes: int,
+                  salt: int) -> Tuple[Tuple[int, int], ...]:
+    """8-byte seed words covering [addr, addr+nbytes), only for
+    addresses inside the always-mapped user segments."""
+    lo = addr & ~7
+    if not (DATA_BASE <= lo and lo + 16 <= HEAP_TOP) \
+            and not (TEXT_BASE <= lo and lo + 16 <= DATA_BASE):
+        return ()
+    return ((lo, _SEED_WORDS[salt % len(_SEED_WORDS)]),
+            (lo + 8, _SEED_WORDS[(salt + 1) % len(_SEED_WORDS)]))
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+def run_case(case: EquivCase, bench) -> Optional[dict]:
+    """Execute one case on the spec and the injected ISS; returns a
+    divergence record or None.
+
+    ``bench`` (see ``repro.harness.conform.EquivBench``) provides
+    ``machine_for(geom)`` — a loaded machine whose program is the
+    single instruction of the case — without this module importing any
+    simulator code.
+    """
+    ins = Instr(op=case.mnemonic, rd=case.rd, rs1=case.rs1, rs2=case.rs2,
+                imm=case.imm)
+    machine = bench.machine_for(case.geom, ins)
+    for reg, value in case.regs:
+        machine.regs[reg] = value
+    for reg, entry in case.srf:
+        machine.srf[reg] = tuple(entry)
+    for reg, wide in case.wide:
+        machine.srf_wide[reg] = tuple(wide)
+    for addr, value in case.mem:
+        machine.memory.store_uint(addr, 8, value)
+    state = snapshot_state(machine)
+    env = make_env(machine.memory, geometry.GEOMETRIES[case.geom],
+                   LOCK_BASE, SHADOW_OFFSET, SHADOW_TOP)
+    spec_out = spec_step(state, ins, env)
+    exc: Optional[BaseException] = None
+    try:
+        machine.step()
+    except Exception as caught:  # noqa: BLE001 — classified below
+        if classify_trap(caught) is None:
+            raise
+        exc = caught
+    if isinstance(spec_out, SpecTrap):
+        if exc is None:
+            deltas = [{"field": "trap.kind", "spec": spec_out.kind,
+                       "iss": None}]
+        else:
+            deltas = diff_trap(spec_out, exc, machine.pc)
+    elif exc is not None:
+        deltas = [{"field": "trap.kind", "spec": None,
+                   "iss": classify_trap(exc)}]
+    else:
+        deltas = diff_retire(spec_out, machine)
+    if not deltas:
+        return None
+    return {"case": case.describe(), "deltas": deltas}
+
+
+def run_mnemonic(mnemonic: str, seed: int, bench) -> Dict[str, object]:
+    """All cases for one mnemonic; deterministic result envelope."""
+    divergences: List[dict] = []
+    cases = cases_for(mnemonic, seed)
+    for case in cases:
+        record = run_case(case, bench)
+        if record is not None:
+            divergences.append(record)
+    return {"mnemonic": mnemonic, "cases": len(cases),
+            "divergences": divergences}
+
+
+def all_mnemonics() -> Tuple[str, ...]:
+    return tuple(sorted(SPEC_TABLE))

@@ -1,0 +1,104 @@
+"""Metadata compression geometry as standalone pure bit functions.
+
+This is the *specification* of Eq. 2-6 (Fig. 2): how a 256-bit pointer
+metadata record (base, bound, key, lock — four 64-bit fields) packs into
+the 128-bit SRF image. It is written from ``docs/isa.md`` and the paper,
+deliberately **not** from ``repro.core.compression`` — the two
+implementations are compared by the conformance layer, so sharing code
+would make the comparison vacuous.
+
+Every function here is total over its documented domain, takes the field
+widths as plain integers, and touches no global or mutable state.
+
+Conventions (matching the ISA doc):
+
+* addresses align on the 8-byte grid (``ALIGN_SHIFT = 3``): the base is
+  rounded *down*, the bound *up*, so the represented window always
+  covers the requested object;
+* the lock is stored as a **1-based** 8-byte index into the lock table
+  (index 0 is reserved for "no temporal metadata"), so a lock index must
+  stay *strictly below* the all-ones field value;
+* a field that does not fit its width raises :class:`GeometryError` —
+  the spec-level twin of the COMP unit's metadata-range fault.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+ALIGN_SHIFT = 3
+
+#: The four compression geometries the equivalence sweep exercises,
+#: as ``(base_bits, range_bits, lock_bits, key_bits)``. Each half must
+#: pack into 64 bits (base+range == lock+key == 64). Geometry 0 is the
+#: paper's default (Fig. 2 census), geometry 1 the fuzz oracle's
+#: alternative packing; 2 and 3 stress small-lock / wide-base corners.
+GEOMETRIES: Tuple[Tuple[int, int, int, int], ...] = (
+    (35, 29, 20, 44),
+    (38, 26, 18, 46),
+    (32, 32, 16, 48),
+    (40, 24, 24, 40),
+)
+
+
+class GeometryError(ValueError):
+    """A metadata field does not fit its configured compressed width."""
+
+
+def spatial_pack(base: int, bound: int,
+                 base_bits: int, range_bits: int) -> int:
+    """Pack ``base``/``bound`` into the 64-bit spatial (lower) half.
+
+    ``lower = (base >> 3) | (ceil8(bound - align8(base)) >> 3) << base_bits``
+    """
+    if bound < base:
+        raise GeometryError(f"bound {bound:#x} precedes base {base:#x}")
+    base_c = base >> ALIGN_SHIFT
+    range_c = (bound - (base_c << ALIGN_SHIFT) + 7) >> ALIGN_SHIFT
+    if base_c > (1 << base_bits) - 1:
+        raise GeometryError(f"base {base:#x} exceeds {base_bits} bits")
+    if range_c > (1 << range_bits) - 1:
+        raise GeometryError(
+            f"range {bound - base} exceeds {range_bits} bits")
+    return base_c | (range_c << base_bits)
+
+
+def spatial_unpack(lower: int, base_bits: int,
+                   range_bits: int) -> Tuple[int, int]:
+    """Unpack the spatial half into ``(base, bound)`` byte addresses."""
+    base = (lower & ((1 << base_bits) - 1)) << ALIGN_SHIFT
+    range_c = (lower >> base_bits) & ((1 << range_bits) - 1)
+    return base, base + (range_c << ALIGN_SHIFT)
+
+
+def temporal_pack(key: int, lock: int, lock_bits: int, key_bits: int,
+                  lock_base: int) -> int:
+    """Pack ``key``/``lock`` into the 64-bit temporal (upper) half.
+
+    The lock byte address becomes a 1-based 8-byte index relative to
+    ``lock_base``; a null lock stays index 0.
+    """
+    if lock == 0:
+        lock_idx = 0
+    else:
+        offset = lock - lock_base
+        if offset < 0 or offset % 8:
+            raise GeometryError(f"lock {lock:#x} outside the lock table")
+        lock_idx = offset >> 3
+        if lock_idx >= (1 << lock_bits) - 1:
+            raise GeometryError(
+                f"lock index {lock_idx} exceeds {lock_bits} bits")
+        lock_idx += 1
+    if key > (1 << key_bits) - 1:
+        raise GeometryError(f"key {key:#x} exceeds {key_bits} bits")
+    return lock_idx | (key << lock_bits)
+
+
+def temporal_unpack(upper: int, lock_bits: int, key_bits: int,
+                    lock_base: int) -> Tuple[int, int]:
+    """Unpack the temporal half into ``(key, lock)``."""
+    lock_idx = upper & ((1 << lock_bits) - 1)
+    key = (upper >> lock_bits) & ((1 << key_bits) - 1)
+    if lock_idx == 0:
+        return key, 0
+    return key, lock_base + ((lock_idx - 1) << 3)

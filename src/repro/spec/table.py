@@ -1,0 +1,793 @@
+"""Table-driven executable specification of RV64 + HWST128.
+
+One small pure function per mnemonic, keyed by the mnemonic string:
+``SPEC_EXEC[op](state, ins, env)`` returns either the successor
+:class:`~repro.spec.state.SpecState` (pc advanced, instret bumped,
+memory effects in ``state.events``) or a
+:class:`~repro.spec.state.SpecTrap`.
+
+The semantics are written from ``docs/isa.md`` and the ``repro.isa``
+encoding tables — deliberately *not* from the simulator — so the
+conformance layer compares two independently derived implementations.
+Notable architectural corners the ISA doc pins down and the spec
+reproduces exactly:
+
+* a trapping instruction never retires: pc/instret are untouched and no
+  memory effect is emitted;
+* ``x0`` is hard-wired for the integer file, but the SRF has no zero
+  register: ``bndrs``/``bndrt``/``lbdls``/``lbdus``/``bndldx``/``vld256``
+  write ``SRF[rd]`` even when ``rd == 0`` (propagation reads it back);
+* SRF propagation: reg-reg ALU ops forward rs1's metadata when bound,
+  else rs2's; reg-imm ALU ops forward rs1 unconditionally; every other
+  rd-writer invalidates;
+* the COMP/DECOMP geometry is fixed by the platform config — CSR writes
+  to the lock-base/limit CSRs move the keybuffer snoop window (a
+  non-architectural structure) but never re-parameterise compression;
+* ``SYS_WRITE`` returns the requested length in ``a0`` *without*
+  invalidating its SRF entry (the syscall stub's register file is not
+  re-derived metadata).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.isa.instructions import Instr, SPEC_TABLE
+from repro.spec import geometry
+from repro.spec.state import (
+    KIND_ABORT,
+    KIND_EXIT,
+    KIND_FAULT,
+    KIND_ILLEGAL,
+    KIND_META_RANGE,
+    KIND_OOM,
+    KIND_SPATIAL,
+    KIND_TEMPORAL,
+    MemEvent,
+    SRF_INVALID,
+    SpecEnv,
+    SpecState,
+    SpecTrap,
+)
+
+StepResult = Union[SpecState, SpecTrap]
+Handler = Callable[[SpecState, Instr, SpecEnv], StepResult]
+
+_M64 = (1 << 64) - 1
+_M32 = (1 << 32) - 1
+
+# CSR addresses (docs/isa.md CSR map).
+_CSR_CYCLE = 0xC00
+_CSR_TIME = 0xC01
+_CSR_INSTRET = 0xC02
+_CSR_SM_OFFSET = 0x800
+
+# Proxy-kernel syscall numbers.
+_SYS_WRITE = 64
+_SYS_EXIT = 93
+_SYS_ABORT = 1000
+_SYS_TRAP_SPATIAL = 1001
+_SYS_TRAP_TEMPORAL = 1002
+_SYS_TRAP_ASAN = 1003
+_SYS_TRAP_CANARY = 1004
+
+
+def _u64(v: int) -> int:
+    return v & _M64
+
+
+def _s64(v: int) -> int:
+    v &= _M64
+    return v - (1 << 64) if v >> 63 else v
+
+
+def _s32(v: int) -> int:
+    v &= _M32
+    return v - (1 << 32) if v >> 31 else v
+
+
+def _sx32(v: int) -> int:
+    """Sign-extend the low 32 bits of ``v`` into a u64."""
+    return _u64(_s32(v))
+
+
+def _set(tup: tuple, index: int, value) -> tuple:
+    return tup[:index] + (value,) + tup[index + 1:]
+
+
+# ---------------------------------------------------------------------------
+# SRF propagation (Section 3.2 in-pipeline rules)
+# ---------------------------------------------------------------------------
+
+def _bound(state: SpecState, reg: int) -> bool:
+    entry = state.srf[reg]
+    return entry[2] or entry[3] or state.srf_wide[reg] is not None
+
+
+def _prop_r(state: SpecState, srf: tuple, wide: tuple,
+            rd: int, rs1: int, rs2: int) -> Tuple[tuple, tuple]:
+    if rd == 0:
+        return srf, wide
+    if _bound(state, rs1):
+        return (_set(srf, rd, state.srf[rs1]),
+                _set(wide, rd, state.srf_wide[rs1]))
+    if _bound(state, rs2):
+        return (_set(srf, rd, state.srf[rs2]),
+                _set(wide, rd, state.srf_wide[rs2]))
+    return _set(srf, rd, SRF_INVALID), _set(wide, rd, None)
+
+
+def _prop_i(state: SpecState, srf: tuple, wide: tuple,
+            rd: int, rs1: int) -> Tuple[tuple, tuple]:
+    if rd == 0:
+        return srf, wide
+    return (_set(srf, rd, state.srf[rs1]),
+            _set(wide, rd, state.srf_wide[rs1]))
+
+
+def _invalidate(srf: tuple, wide: tuple, rd: int) -> Tuple[tuple, tuple]:
+    if rd == 0:
+        return srf, wide
+    return _set(srf, rd, SRF_INVALID), _set(wide, rd, None)
+
+
+# ---------------------------------------------------------------------------
+# Trap constructors
+# ---------------------------------------------------------------------------
+
+def _fault(pc: int, addr: int, detail: str = "unmapped access") -> SpecTrap:
+    return SpecTrap(KIND_FAULT, pc, detail=detail,
+                    fields=(("addr", addr),))
+
+
+def _spatial(pc: int, addr: int, base: int, bound: int) -> SpecTrap:
+    return SpecTrap(KIND_SPATIAL, pc,
+                    detail=f"addr {addr:#x} outside [{base:#x},{bound:#x})",
+                    fields=(("addr", addr), ("base", base),
+                            ("bound", bound)))
+
+
+def _temporal(pc: int, key: int, stored: int, lock: int) -> SpecTrap:
+    return SpecTrap(KIND_TEMPORAL, pc,
+                    detail=f"key {key:#x} != lock[{lock:#x}] {stored:#x}",
+                    fields=(("ptr_key", key), ("lock_key", stored),
+                            ("lock", lock)))
+
+
+# ---------------------------------------------------------------------------
+# ALU semantics (independent formulations; exact integer arithmetic)
+# ---------------------------------------------------------------------------
+
+def _divq(a: int, b: int) -> int:
+    """Signed quotient truncated toward zero (``b != 0``)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _div64(a: int, b: int) -> int:
+    sa, sb = _s64(a), _s64(b)
+    if sb == 0:
+        return _M64
+    if sa == -(1 << 63) and sb == -1:
+        return _u64(sa)
+    return _u64(_divq(sa, sb))
+
+
+def _rem64(a: int, b: int) -> int:
+    sa, sb = _s64(a), _s64(b)
+    if sb == 0:
+        return _u64(sa)
+    if sa == -(1 << 63) and sb == -1:
+        return 0
+    return _u64(sa - _divq(sa, sb) * sb)
+
+
+def _divw(a: int, b: int) -> int:
+    sa, sb = _s32(a), _s32(b)
+    if sb == 0:
+        return _M64
+    return _u64(_s32(_divq(sa, sb)))
+
+
+def _remw(a: int, b: int) -> int:
+    sa, sb = _s32(a), _s32(b)
+    if sb == 0:
+        return _u64(sa)
+    return _u64(sa - _divq(sa, sb) * sb)
+
+
+_ALU_FN: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: _u64(a + b),
+    "sub": lambda a, b: _u64(a - b),
+    "sll": lambda a, b: _u64(a << (b & 63)),
+    "slt": lambda a, b: int(_s64(a) < _s64(b)),
+    "sltu": lambda a, b: int(a < b),
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: a >> (b & 63),
+    "sra": lambda a, b: _u64(_s64(a) >> (b & 63)),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "addw": lambda a, b: _sx32(a + b),
+    "subw": lambda a, b: _sx32(a - b),
+    "sllw": lambda a, b: _sx32(a << (b & 31)),
+    "srlw": lambda a, b: _sx32((a & _M32) >> (b & 31)),
+    "sraw": lambda a, b: _u64(_s32(a) >> (b & 31)),
+    "mul": lambda a, b: _u64(a * b),
+    "mulh": lambda a, b: _u64((_s64(a) * _s64(b)) >> 64),
+    "mulhsu": lambda a, b: _u64((_s64(a) * b) >> 64),
+    "mulhu": lambda a, b: (a * b) >> 64,
+    "div": _div64,
+    "divu": lambda a, b: _M64 if b == 0 else a // b,
+    "rem": _rem64,
+    "remu": lambda a, b: a if b == 0 else a % b,
+    "mulw": lambda a, b: _sx32(a * b),
+    "divw": _divw,
+    "divuw": lambda a, b: _M64 if (b & _M32) == 0
+    else _sx32((a & _M32) // (b & _M32)),
+    "remw": _remw,
+    "remuw": lambda a, b: _sx32(a & _M32) if (b & _M32) == 0
+    else _sx32((a & _M32) % (b & _M32)),
+}
+
+#: reg-imm mnemonics share the binary function of their reg-reg twin.
+_ALU_I: Dict[str, str] = {
+    "addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+    "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+    "srai": "sra", "addiw": "addw", "slliw": "sllw", "srliw": "srlw",
+    "sraiw": "sraw",
+}
+
+_BRANCH_FN: Dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _s64(a) < _s64(b),
+    "bge": lambda a, b: _s64(a) >= _s64(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
+# ---------------------------------------------------------------------------
+# Shadow-memory helpers
+# ---------------------------------------------------------------------------
+
+def _shadow_bytes(env: SpecEnv, addr: int, size: int) -> int:
+    """Bytes this access adds to the shadow-traffic census (the window
+    test matches the platform's: start byte inside the shadow range)."""
+    return size if env.shadow_lo <= addr < env.shadow_hi else 0
+
+
+def _smac(state: SpecState, env: SpecEnv,
+          container: int) -> Union[int, SpecTrap]:
+    """Shadow-memory address calculation (Eq. 1) + budget guard."""
+    if env.shadow_budget and state.shadow_touched > env.shadow_budget:
+        return SpecTrap(KIND_OOM, state.pc,
+                        detail=f"shadow budget {env.shadow_budget} "
+                               f"exhausted ({state.shadow_touched})")
+    # Deliberately unwrapped: Eq. 1 is plain address arithmetic, so a
+    # container above the user range yields an out-of-range shadow
+    # address that faults as-is.
+    return (container << 2) + state.csrs[_CSR_SM_OFFSET]
+
+
+def _spatial_window(state: SpecState, env: SpecEnv, reg: int,
+                    addr: int) -> Union[Tuple[int, int], SpecTrap]:
+    """Decompressed (base, bound) of SRF[reg]; an unbound pointer is a
+    zero-window violation at ``addr``."""
+    lower, _, lvalid, _ = state.srf[reg]
+    if not lvalid:
+        return _spatial(state.pc, addr, 0, 0)
+    base_b, range_b, _, _ = env.widths
+    return geometry.spatial_unpack(lower, base_b, range_b)
+
+
+# ---------------------------------------------------------------------------
+# Handlers
+# ---------------------------------------------------------------------------
+
+def _exec_alu_r(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    rd = ins.rd
+    regs, srf, wide = state.regs, state.srf, state.srf_wide
+    if rd:
+        fn = _ALU_FN[ins.op]
+        regs = _set(regs, rd, fn(regs[ins.rs1], regs[ins.rs2]))
+        srf, wide = _prop_r(state, srf, wide, rd, ins.rs1, ins.rs2)
+    return state.evolve(pc=state.pc + 4, regs=regs, srf=srf,
+                        srf_wide=wide, instret=state.instret + 1,
+                        events=())
+
+
+def _exec_alu_i(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    rd = ins.rd
+    regs, srf, wide = state.regs, state.srf, state.srf_wide
+    if rd:
+        fn = _ALU_FN[_ALU_I[ins.op]]
+        regs = _set(regs, rd, fn(regs[ins.rs1], _u64(ins.imm)))
+        srf, wide = _prop_i(state, srf, wide, rd, ins.rs1)
+    return state.evolve(pc=state.pc + 4, regs=regs, srf=srf,
+                        srf_wide=wide, instret=state.instret + 1,
+                        events=())
+
+
+def _make_load(nbytes: int, signed: bool, checked: bool) -> Handler:
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        addr = _u64(state.regs[ins.rs1] + ins.imm)
+        if checked:
+            window = _spatial_window(state, env, ins.rs1, addr)
+            if isinstance(window, SpecTrap):
+                return window
+            base, bound = window
+            if addr < base or addr + nbytes > bound:
+                return _spatial(state.pc, addr, base, bound)
+        value = env.load(addr, nbytes)
+        if value is None:
+            return _fault(state.pc, addr)
+        if signed and value >> (8 * nbytes - 1):
+            value = _u64(value - (1 << 8 * nbytes))
+        regs, srf, wide = state.regs, state.srf, state.srf_wide
+        if ins.rd:
+            regs = _set(regs, ins.rd, value)
+            srf, wide = _invalidate(srf, wide, ins.rd)
+        return state.evolve(
+            pc=state.pc + 4, regs=regs, srf=srf, srf_wide=wide,
+            instret=state.instret + 1, events=(),
+            shadow_touched=state.shadow_touched
+            + _shadow_bytes(env, addr, nbytes))
+
+    return handler
+
+
+def _make_store(nbytes: int, checked: bool) -> Handler:
+    mask = (1 << 8 * nbytes) - 1
+
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        addr = _u64(state.regs[ins.rs1] + ins.imm)
+        if checked:
+            window = _spatial_window(state, env, ins.rs1, addr)
+            if isinstance(window, SpecTrap):
+                return window
+            base, bound = window
+            if addr < base or addr + nbytes > bound:
+                return _spatial(state.pc, addr, base, bound)
+        if not env.is_mapped(addr, nbytes):
+            return _fault(state.pc, addr)
+        value = state.regs[ins.rs2] & mask
+        return state.evolve(
+            pc=state.pc + 4, instret=state.instret + 1,
+            events=(MemEvent(addr, nbytes, value),),
+            shadow_touched=state.shadow_touched
+            + _shadow_bytes(env, addr, nbytes))
+
+    return handler
+
+
+def _exec_branch(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    taken = _BRANCH_FN[ins.op](state.regs[ins.rs1], state.regs[ins.rs2])
+    pc = _u64(state.pc + ins.imm) if taken else state.pc + 4
+    return state.evolve(pc=pc, instret=state.instret + 1, events=())
+
+
+def _exec_jal(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    regs, srf, wide = state.regs, state.srf, state.srf_wide
+    if ins.rd:
+        regs = _set(regs, ins.rd, _u64(state.pc + 4))
+        srf, wide = _invalidate(srf, wide, ins.rd)
+    return state.evolve(pc=_u64(state.pc + ins.imm), regs=regs, srf=srf,
+                        srf_wide=wide, instret=state.instret + 1,
+                        events=())
+
+
+def _exec_jalr(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    target = _u64(state.regs[ins.rs1] + ins.imm) & ~1
+    regs, srf, wide = state.regs, state.srf, state.srf_wide
+    if ins.rd:
+        regs = _set(regs, ins.rd, _u64(state.pc + 4))
+        srf, wide = _invalidate(srf, wide, ins.rd)
+    return state.evolve(pc=target, regs=regs, srf=srf, srf_wide=wide,
+                        instret=state.instret + 1, events=())
+
+
+def _exec_lui(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    regs, srf, wide = state.regs, state.srf, state.srf_wide
+    if ins.rd:
+        regs = _set(regs, ins.rd, _sx32(ins.imm << 12))
+        srf, wide = _invalidate(srf, wide, ins.rd)
+    return state.evolve(pc=state.pc + 4, regs=regs, srf=srf,
+                        srf_wide=wide, instret=state.instret + 1,
+                        events=())
+
+
+def _exec_auipc(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    regs, srf, wide = state.regs, state.srf, state.srf_wide
+    if ins.rd:
+        regs = _set(regs, ins.rd, _u64(state.pc + _s32(ins.imm << 12)))
+        srf, wide = _invalidate(srf, wide, ins.rd)
+    return state.evolve(pc=state.pc + 4, regs=regs, srf=srf,
+                        srf_wide=wide, instret=state.instret + 1,
+                        events=())
+
+
+def _exec_fence(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    return state.evolve(pc=state.pc + 4, instret=state.instret + 1,
+                        events=())
+
+
+def _exec_ebreak(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    return SpecTrap(KIND_ABORT, state.pc, detail="ebreak")
+
+
+def _exec_ecall(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    number = state.regs[17]  # a7
+    if number == _SYS_EXIT:
+        return SpecTrap(KIND_EXIT, state.pc,
+                        exit_code=_s64(state.regs[10]))
+    if number == _SYS_WRITE:
+        buf, length = state.regs[11], state.regs[12]
+        data = env.load_bytes(buf, length)
+        if data is None:
+            return _fault(state.pc, buf)
+        # a0 reports the length written; the syscall does *not*
+        # invalidate a0's SRF entry (no metadata is derived here).
+        regs = _set(state.regs, 10, length)
+        return state.evolve(
+            pc=state.pc + 4, regs=regs, instret=state.instret + 1,
+            output=state.output + data, events=(),
+            shadow_touched=state.shadow_touched
+            + _shadow_bytes(env, buf, length))
+    if number == _SYS_ABORT:
+        return SpecTrap(KIND_ABORT, state.pc, detail="program abort")
+    if number == _SYS_TRAP_SPATIAL:
+        return _spatial(state.pc, state.regs[10], 0, 0)
+    if number == _SYS_TRAP_TEMPORAL:
+        return _temporal(state.pc, state.regs[10], 0, 0)
+    if number == _SYS_TRAP_ASAN:
+        return SpecTrap(KIND_ABORT, state.pc, detail="asan-report")
+    if number == _SYS_TRAP_CANARY:
+        return SpecTrap(KIND_ABORT, state.pc,
+                        detail="stack-smashing-detected")
+    return SpecTrap(KIND_ILLEGAL, state.pc,
+                    detail=f"unknown ecall {number}")
+
+
+def _csr_read(state: SpecState, addr: int) -> int:
+    # Untimed platform: the cycle counter advances with instret.
+    if addr in (_CSR_CYCLE, _CSR_TIME, _CSR_INSTRET):
+        return state.instret
+    return state.csrs.get(addr, 0)
+
+
+def _make_csr(kind: str) -> Handler:
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        addr = ins.imm
+        old = _csr_read(state, addr)
+        src = state.regs[ins.rs1]
+        csrs = state.csrs
+        if kind == "w":
+            csrs = dict(csrs)
+            csrs[addr] = _u64(src)
+        elif kind == "s" and ins.rs1 != 0:
+            csrs = dict(csrs)
+            csrs[addr] = _u64(old | src)
+        elif kind == "c" and ins.rs1 != 0:
+            csrs = dict(csrs)
+            csrs[addr] = _u64(old & ~src)
+        regs, srf, wide = state.regs, state.srf, state.srf_wide
+        if ins.rd:
+            regs = _set(regs, ins.rd, old)
+            srf, wide = _invalidate(srf, wide, ins.rd)
+        return state.evolve(pc=state.pc + 4, regs=regs, srf=srf,
+                            srf_wide=wide, csrs=csrs,
+                            instret=state.instret + 1, events=())
+
+    return handler
+
+
+# -- HWST128 -----------------------------------------------------------------
+
+def _exec_bndrs(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    base_b, range_b, _, _ = env.widths
+    try:
+        lower = geometry.spatial_pack(state.regs[ins.rs1],
+                                      state.regs[ins.rs2],
+                                      base_b, range_b)
+    except geometry.GeometryError as exc:
+        return SpecTrap(KIND_META_RANGE, state.pc, detail=str(exc))
+    _, upper, _, uvalid = state.srf[ins.rd]
+    # The SRF has no zero register: rd == x0 still writes entry 0.
+    srf = _set(state.srf, ins.rd, (lower, upper, True, uvalid))
+    wide = _set(state.srf_wide, ins.rd, None)
+    return state.evolve(pc=state.pc + 4, srf=srf, srf_wide=wide,
+                        instret=state.instret + 1, events=())
+
+
+def _exec_bndrt(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    _, _, lock_b, key_b = env.widths
+    try:
+        upper = geometry.temporal_pack(state.regs[ins.rs1],
+                                       state.regs[ins.rs2],
+                                       lock_b, key_b, env.lock_base)
+    except geometry.GeometryError as exc:
+        return SpecTrap(KIND_META_RANGE, state.pc, detail=str(exc))
+    lower, _, lvalid, _ = state.srf[ins.rd]
+    srf = _set(state.srf, ins.rd, (lower, upper, lvalid, True))
+    return state.evolve(pc=state.pc + 4, srf=srf,
+                        instret=state.instret + 1, events=())
+
+
+def _exec_tchk(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    _, upper, _, uvalid = state.srf[ins.rs1]
+    if not uvalid:
+        return _temporal(state.pc, 0, 0, 0)
+    _, _, lock_b, key_b = env.widths
+    key, lock = geometry.temporal_unpack(upper, lock_b, key_b,
+                                         env.lock_base)
+    if lock == 0:
+        return _temporal(state.pc, key, 0, 0)
+    stored = env.load(lock, 8)
+    if stored is None:
+        return _fault(state.pc, lock)
+    if stored != key:
+        return _temporal(state.pc, key, stored, lock)
+    return state.evolve(pc=state.pc + 4, instret=state.instret + 1,
+                        events=(),
+                        shadow_touched=state.shadow_touched
+                        + _shadow_bytes(env, lock, 8))
+
+
+def _make_sbd(upper: bool) -> Handler:
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        container = _u64(state.regs[ins.rs1] + ins.imm)
+        shadow = _smac(state, env, container)
+        if isinstance(shadow, SpecTrap):
+            return shadow
+        shadow += 8 if upper else 0
+        lower_v, upper_v, lvalid, uvalid = state.srf[ins.rs2]
+        value = (upper_v if uvalid else 0) if upper \
+            else (lower_v if lvalid else 0)
+        if not env.is_mapped(shadow, 8):
+            return _fault(state.pc, shadow)
+        return state.evolve(pc=state.pc + 4,
+                            instret=state.instret + 1,
+                            events=(MemEvent(shadow, 8, value),),
+                            shadow_touched=state.shadow_touched
+                            + _shadow_bytes(env, shadow, 8))
+
+    return handler
+
+
+def _make_lbds(upper: bool) -> Handler:
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        container = _u64(state.regs[ins.rs1] + ins.imm)
+        shadow = _smac(state, env, container)
+        if isinstance(shadow, SpecTrap):
+            return shadow
+        shadow += 8 if upper else 0
+        value = env.load(shadow, 8)
+        if value is None:
+            return _fault(state.pc, shadow)
+        lower_v, upper_v, lvalid, uvalid = state.srf[ins.rd]
+        entry = (lower_v, value, lvalid, True) if upper \
+            else (value, upper_v, True, uvalid)
+        srf = _set(state.srf, ins.rd, entry)
+        wide = _set(state.srf_wide, ins.rd, None)
+        return state.evolve(pc=state.pc + 4, srf=srf, srf_wide=wide,
+                            instret=state.instret + 1, events=(),
+                            shadow_touched=state.shadow_touched
+                            + _shadow_bytes(env, shadow, 8))
+
+    return handler
+
+
+def _make_meta_gpr_load(which: str) -> Handler:
+    temporal = which in ("key", "lock")
+
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        container = _u64(state.regs[ins.rs1] + ins.imm)
+        shadow = _smac(state, env, container)
+        if isinstance(shadow, SpecTrap):
+            return shadow
+        shadow += 8 if temporal else 0
+        value = env.load(shadow, 8)
+        if value is None:
+            return _fault(state.pc, shadow)
+        base_b, range_b, lock_b, key_b = env.widths
+        if temporal:
+            key, lock = geometry.temporal_unpack(value, lock_b, key_b,
+                                                 env.lock_base)
+            result = key if which == "key" else lock
+        else:
+            base, bound = geometry.spatial_unpack(value, base_b, range_b)
+            result = base if which == "base" else bound
+        regs, srf, wide = state.regs, state.srf, state.srf_wide
+        if ins.rd:
+            regs = _set(regs, ins.rd, _u64(result))
+            srf, wide = _invalidate(srf, wide, ins.rd)
+        return state.evolve(pc=state.pc + 4, regs=regs, srf=srf,
+                            srf_wide=wide, instret=state.instret + 1,
+                            events=(),
+                            shadow_touched=state.shadow_touched
+                            + _shadow_bytes(env, shadow, 8))
+
+    return handler
+
+
+# -- MPX comparator model ----------------------------------------------------
+
+def _make_bndc(upper: bool) -> Handler:
+    def handler(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+        addr = state.regs[ins.rs2]
+        window = _spatial_window(state, env, ins.rs1, addr)
+        if isinstance(window, SpecTrap):
+            return window
+        base, bound = window
+        if (addr >= bound) if upper else (addr < base):
+            return _spatial(state.pc, addr, base, bound)
+        return state.evolve(pc=state.pc + 4, instret=state.instret + 1,
+                            events=())
+
+    return handler
+
+
+def _exec_bndldx(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    container = _u64(state.regs[ins.rs1] + ins.imm)
+    shadow = _smac(state, env, container)
+    if isinstance(shadow, SpecTrap):
+        return shadow
+    value = env.load(shadow, 8)
+    if value is None:
+        return _fault(state.pc, shadow)
+    _, upper_v, _, uvalid = state.srf[ins.rd]
+    srf = _set(state.srf, ins.rd, (value, upper_v, True, uvalid))
+    return state.evolve(pc=state.pc + 4, srf=srf,
+                        instret=state.instret + 1, events=(),
+                        shadow_touched=state.shadow_touched
+                        + _shadow_bytes(env, shadow, 8))
+
+
+def _exec_bndstx(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    container = _u64(state.regs[ins.rs1] + ins.imm)
+    shadow = _smac(state, env, container)
+    if isinstance(shadow, SpecTrap):
+        return shadow
+    lower_v, _, lvalid, _ = state.srf[ins.rs2]
+    if not env.is_mapped(shadow, 8):
+        return _fault(state.pc, shadow)
+    return state.evolve(pc=state.pc + 4, instret=state.instret + 1,
+                        events=(MemEvent(shadow, 8,
+                                         lower_v if lvalid else 0),),
+                        shadow_touched=state.shadow_touched
+                        + _shadow_bytes(env, shadow, 8))
+
+
+# -- AVX comparator model ----------------------------------------------------
+
+def _exec_vld256(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    container = _u64(state.regs[ins.rs1] + ins.imm)
+    shadow = _smac(state, env, container)
+    if isinstance(shadow, SpecTrap):
+        return shadow
+    fields = []
+    touched = state.shadow_touched
+    for i in range(4):
+        value = env.load(shadow + 8 * i, 8)
+        if value is None:
+            return _fault(state.pc, shadow + 8 * i)
+        touched += _shadow_bytes(env, shadow + 8 * i, 8)
+        fields.append(value)
+    wide = _set(state.srf_wide, ins.rd, tuple(fields))
+    srf = _set(state.srf, ins.rd, SRF_INVALID)
+    return state.evolve(pc=state.pc + 4, srf=srf, srf_wide=wide,
+                        instret=state.instret + 1, events=(),
+                        shadow_touched=touched)
+
+
+def _exec_vst256(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    container = _u64(state.regs[ins.rs1] + ins.imm)
+    shadow = _smac(state, env, container)
+    if isinstance(shadow, SpecTrap):
+        return shadow
+    fields = state.srf_wide[ins.rs2] or (0, 0, 0, 0)
+    events = []
+    touched = state.shadow_touched
+    for i, value in enumerate(fields):
+        addr = shadow + 8 * i
+        if not env.is_mapped(addr, 8):
+            return _fault(state.pc, addr)
+        events.append(MemEvent(addr, 8, value))
+        touched += _shadow_bytes(env, addr, 8)
+    return state.evolve(pc=state.pc + 4, instret=state.instret + 1,
+                        events=tuple(events), shadow_touched=touched)
+
+
+def _exec_vchk(state: SpecState, ins: Instr, env: SpecEnv) -> StepResult:
+    wide = state.srf_wide[ins.rs1]
+    addr = state.regs[ins.rs2]
+    if wide is None:
+        return _spatial(state.pc, addr, 0, 0)
+    base, bound, key, lock = wide
+    if addr < base or addr >= bound:
+        return _spatial(state.pc, addr, base, bound)
+    touched = state.shadow_touched
+    if lock:
+        stored = env.load(lock, 8)
+        if stored is None:
+            return _fault(state.pc, lock)
+        if stored != key:
+            return _temporal(state.pc, key, stored, lock)
+        touched += _shadow_bytes(env, lock, 8)
+    return state.evolve(pc=state.pc + 4, instret=state.instret + 1,
+                        events=(), shadow_touched=touched)
+
+
+# ---------------------------------------------------------------------------
+# Table assembly
+# ---------------------------------------------------------------------------
+
+def _build_table() -> Dict[str, Handler]:
+    table: Dict[str, Handler] = {}
+    for op in _ALU_FN:
+        table[op] = _exec_alu_r
+    for op in _ALU_I:
+        table[op] = _exec_alu_i
+    # Memory mnemonics (plain and checked) come from the encoding
+    # tables: opcode 0x03/0x23 are the RV64I forms, the ``.chk``
+    # variants carry the fused SCU bounds check.
+    for op, spec in SPEC_TABLE.items():
+        if spec.is_load and spec.mem_bytes and not spec.shadow_access:
+            table[op] = _make_load(spec.mem_bytes, spec.mem_signed,
+                                   spec.checked)
+        elif spec.is_store and spec.mem_bytes and not spec.shadow_access:
+            table[op] = _make_store(spec.mem_bytes, spec.checked)
+    for op in _BRANCH_FN:
+        table[op] = _exec_branch
+    table["jal"] = _exec_jal
+    table["jalr"] = _exec_jalr
+    table["lui"] = _exec_lui
+    table["auipc"] = _exec_auipc
+    table["fence"] = _exec_fence
+    table["ecall"] = _exec_ecall
+    table["ebreak"] = _exec_ebreak
+    table["csrrw"] = _make_csr("w")
+    table["csrrs"] = _make_csr("s")
+    table["csrrc"] = _make_csr("c")
+    table["bndrs"] = _exec_bndrs
+    table["bndrt"] = _exec_bndrt
+    table["tchk"] = _exec_tchk
+    table["sbdl"] = _make_sbd(upper=False)
+    table["sbdu"] = _make_sbd(upper=True)
+    table["lbdls"] = _make_lbds(upper=False)
+    table["lbdus"] = _make_lbds(upper=True)
+    table["lbas"] = _make_meta_gpr_load("base")
+    table["lbnd"] = _make_meta_gpr_load("bound")
+    table["lkey"] = _make_meta_gpr_load("key")
+    table["lloc"] = _make_meta_gpr_load("lock")
+    table["bndcl"] = _make_bndc(upper=False)
+    table["bndcu"] = _make_bndc(upper=True)
+    table["bndldx"] = _exec_bndldx
+    table["bndstx"] = _exec_bndstx
+    table["vld256"] = _exec_vld256
+    table["vst256"] = _exec_vst256
+    table["vchk"] = _exec_vchk
+    return table
+
+
+#: mnemonic -> pure step function; the spec's entire dispatch surface.
+SPEC_EXEC: Dict[str, Handler] = _build_table()
+
+
+def spec_step(state: SpecState, ins: Optional[Instr],
+              env: SpecEnv) -> StepResult:
+    """Execute one instruction of the specification.
+
+    ``ins`` is the decoded instruction at ``state.pc`` (``None`` when
+    the pc points outside text — an instruction fetch fault).
+    """
+    if ins is None:
+        return _fault(state.pc, state.pc, detail="pc outside text")
+    handler = SPEC_EXEC.get(ins.op)
+    if handler is None:
+        return SpecTrap(KIND_ILLEGAL, state.pc, detail=ins.op)
+    return handler(state, ins, env)
+
+
+__all__ = ["SPEC_EXEC", "spec_step", "Handler", "StepResult"]

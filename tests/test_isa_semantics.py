@@ -1,8 +1,19 @@
-"""Golden tests for RV64 arithmetic corner cases in the ISS.
+"""Golden tests for RV64 arithmetic corner cases — ISS *and* spec.
 
-Each case executes one instruction on the machine and compares against
-the architecturally defined result — the corners where Python integer
-semantics and two's-complement hardware diverge.
+Each case executes one instruction and compares against the
+architecturally defined result — the corners where Python integer
+semantics and two's-complement hardware diverge. Every case runs on
+two independent implementations:
+
+* the ISS (``repro.sim.machine.Machine``), and
+* the executable specification (``repro.spec`` via
+  :func:`repro.spec.lockstep.run_spec`, which shares no code with the
+  simulator).
+
+A failure therefore names the wrong side: if only one implementation
+misses the hand-written expectation, that implementation has the bug;
+if both miss it identically, the expectation (or the architecture
+reading) is wrong. See ``docs/conformance.md``.
 """
 
 import pytest
@@ -11,22 +22,55 @@ from repro.isa.instructions import Instr, li_sequence
 from repro.sim.machine import Machine
 from repro.sim.memory import DEFAULT_LAYOUT
 from repro.sim.program import Program
+from repro.spec.lockstep import run_spec
 
 INT64_MIN = -(1 << 63)
 INT32_MIN = -(1 << 31)
 U64 = (1 << 64) - 1
 
+#: (base, range, lock, key) of the default platform geometry — the
+#: spec-side twin of ``HwstConfig().widths``.
+WIDTHS = (35, 29, 20, 44)
+LOCK_BASE = DEFAULT_LAYOUT.shadow_offset
+LOCK_LIMIT = LOCK_BASE + 8 * (1 << 20)
 
-def compute(op, a, b):
-    machine = Machine()
-    instrs = (li_sequence(5, a) + li_sequence(6, b) +
-              [Instr(op, rd=10, rs1=5, rs2=6),
-               Instr("addi", rd=17, rs1=0, imm=93),
-               Instr("ecall")])
-    program = Program(instrs=instrs, entry=DEFAULT_LAYOUT.text_base)
-    result = machine.run(program)
-    assert result.status == "exit"
-    return result.exit_code  # sign-extended 64-bit value
+
+def _program(instrs):
+    return Program(
+        instrs=list(instrs) + [Instr("addi", rd=17, rs1=0, imm=93),
+                               Instr("ecall")],
+        entry=DEFAULT_LAYOUT.text_base)
+
+
+def compute_both(instrs):
+    """Exit code of the instruction sequence on the ISS and the spec."""
+    program = _program(instrs)
+    iss = Machine().run(program)
+    assert iss.status == "exit"
+    spec_outcome, _ = run_spec(program, widths=WIDTHS,
+                               lock_base=LOCK_BASE, lock_limit=LOCK_LIMIT)
+    assert spec_outcome.status == "exit"
+    return iss.exit_code, spec_outcome.exit_code
+
+
+def assert_both(instrs, expected):
+    """Both implementations must produce ``expected``; a mismatch
+    names the side (or sides) that got it wrong."""
+    iss_value, spec_value = compute_both(instrs)
+    wrong = []
+    if iss_value != expected:
+        wrong.append(f"ISS produced {iss_value}")
+    if spec_value != expected:
+        wrong.append(f"spec produced {spec_value}")
+    assert not wrong, (f"expected {expected}: " + "; ".join(wrong) +
+                       " (only one side wrong -> that implementation "
+                       "has the bug; both wrong -> re-derive the "
+                       "expectation)")
+
+
+def binop(op, a, b):
+    return (li_sequence(5, a) + li_sequence(6, b) +
+            [Instr(op, rd=10, rs1=5, rs2=6)])
 
 
 CASES = [
@@ -44,6 +88,12 @@ CASES = [
     ("remu", 7, 0, 7),
     ("div", -7, 2, -3),                              # trunc toward zero
     ("rem", -7, 2, -1),
+    # Mixed-sign division beyond 2^53: float-based truncation loses
+    # precision here (caught by spec lockstep; keep as regression).
+    ("div", INT64_MIN + 1, 3, -3074457345618258602),
+    ("rem", INT64_MIN + 1, 3, -1),
+    ("div", 3, INT64_MIN + 2, 0),
+    ("rem", (1 << 62) + 1, -3, 2),
     ("sll", 1, 63, INT64_MIN),
     ("sll", 1, 64, 1),                               # shamt mod 64
     ("srl", -1, 1, (1 << 63) - 1),                   # logical
@@ -68,49 +118,46 @@ CASES = [
 @pytest.mark.parametrize("op,a,b,expected", CASES,
                          ids=[f"{c[0]}_{i}" for i, c in enumerate(CASES)])
 def test_arithmetic_corner(op, a, b, expected):
-    assert compute(op, a, b) == expected
+    assert_both(binop(op, a, b), expected)
 
 
 class TestImmediates:
-    def run_prog(self, instrs):
-        program = Program(
-            instrs=list(instrs) + [Instr("addi", rd=17, rs1=0, imm=93),
-                                   Instr("ecall")],
-            entry=DEFAULT_LAYOUT.text_base)
-        result = Machine().run(program)
-        assert result.status == "exit"
-        return result.exit_code
-
     def test_addiw_wraps(self):
-        value = self.run_prog(
-            li_sequence(5, (1 << 31) - 1) +
-            [Instr("addiw", rd=10, rs1=5, imm=1)])
-        assert value == INT32_MIN
+        assert_both(li_sequence(5, (1 << 31) - 1) +
+                    [Instr("addiw", rd=10, rs1=5, imm=1)], INT32_MIN)
 
     def test_sraiw_on_negative(self):
-        value = self.run_prog(
-            li_sequence(5, -64) + [Instr("sraiw", rd=10, rs1=5, imm=3)])
-        assert value == -8
+        assert_both(li_sequence(5, -64) +
+                    [Instr("sraiw", rd=10, rs1=5, imm=3)], -8)
 
     def test_srli_vs_srai(self):
-        logical = self.run_prog(
-            li_sequence(5, -2) + [Instr("srli", rd=10, rs1=5, imm=1)])
-        arithmetic = self.run_prog(
-            li_sequence(5, -2) + [Instr("srai", rd=10, rs1=5, imm=1)])
-        assert logical == (1 << 63) - 1
-        assert arithmetic == -1
+        assert_both(li_sequence(5, -2) +
+                    [Instr("srli", rd=10, rs1=5, imm=1)], (1 << 63) - 1)
+        assert_both(li_sequence(5, -2) +
+                    [Instr("srai", rd=10, rs1=5, imm=1)], -1)
 
     def test_sltiu_with_negative_imm(self):
         # sltiu compares against the sign-extended immediate as unsigned:
         # anything but all-ones is < 0xFFFF...FFFF.
-        value = self.run_prog(
-            li_sequence(5, 12345) + [Instr("sltiu", rd=10, rs1=5, imm=-1)])
-        assert value == 1
+        assert_both(li_sequence(5, 12345) +
+                    [Instr("sltiu", rd=10, rs1=5, imm=-1)], 1)
 
     def test_lui_sign_extends(self):
-        value = self.run_prog([Instr("lui", rd=10, imm=0x80000)])
-        assert value == -(1 << 31)
+        assert_both([Instr("lui", rd=10, imm=0x80000)], -(1 << 31))
 
     def test_auipc_is_pc_relative(self):
-        value = self.run_prog([Instr("auipc", rd=10, imm=0)])
-        assert value == DEFAULT_LAYOUT.text_base
+        assert_both([Instr("auipc", rd=10, imm=0)],
+                    DEFAULT_LAYOUT.text_base)
+
+
+class TestDisagreementNamesTheWrongSide:
+    """The helper's failure message must identify which implementation
+    missed the expectation (satellite contract of the dual-oracle
+    refactor)."""
+
+    def test_wrong_expectation_blames_both(self):
+        with pytest.raises(AssertionError) as excinfo:
+            assert_both(binop("add", 2, 2), 5)
+        message = str(excinfo.value)
+        assert "ISS produced 4" in message
+        assert "spec produced 4" in message

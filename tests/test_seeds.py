@@ -78,6 +78,22 @@ class TestGlobalStateUntouched:
         run_fuzz(4, seed=2, jobs=1)
         assert random.getstate() == state
 
+    def test_spec_equiv_generation(self):
+        from repro.spec.equiv import all_mnemonics, cases_for
+
+        state = self._snapshot()
+        for mnemonic in all_mnemonics():
+            cases_for(mnemonic, 99)
+        assert random.getstate() == state
+
+    def test_conform_campaign(self):
+        from repro.harness.conform import run_conform
+
+        state = self._snapshot()
+        run_conform(workloads=["treeadd"], schemes=["hwst128_tchk"],
+                    fuzz_count=2, equiv=False, jobs=1, heartbeat_s=0)
+        assert random.getstate() == state
+
 
 class TestNoGlobalRandomInSources:
     @staticmethod
@@ -99,6 +115,9 @@ class TestNoGlobalRandomInSources:
 
     def test_fuzz_uses_private_rngs_only(self):
         assert self._violations("fuzz") == []
+
+    def test_spec_uses_private_rngs_only(self):
+        assert self._violations("spec") == []
 
     def test_the_audit_regex_catches_offenders(self):
         assert _GLOBAL_RANDOM_USE.search("x = random.randrange(4)")
